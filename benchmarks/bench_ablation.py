@@ -1,0 +1,140 @@
+"""Ablations of the reproduction's own design choices.
+
+Not a paper experiment — these sweeps justify implementation decisions
+called out in DESIGN.md:
+
+* wait-list strategy (paper's ordered linked list vs binary heap) as the
+  number of distinct live levels grows;
+* the virtual-time substrate's processor model (one-processor-per-thread
+  vs a bounded pool) on the E3 workload — showing the paper's
+  multiprocessor assumption is the regime where ragged synchronization
+  pays;
+* wavefront column-block granularity (sync amortization inside the
+  wavefront pattern).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.bench import Table, measure
+from repro.core import MonotonicCounter
+
+
+def test_ablation_waitlist_strategy(benchmark, show):
+    """O(L) list insertion vs O(log L) heap insertion, single-threaded:
+    insert a waiter at each of L levels (worst-case ascending order for
+    the list), then release all."""
+    table = Table(
+        "ablation A: wait-list strategy, park/release of L distinct levels (ms)",
+        ["levels", "linked", "heap"],
+        caption="the paper's list is fine at realistic L; the heap wins asymptotically",
+    )
+
+    def park_release(strategy: str, levels: int) -> None:
+        counter = MonotonicCounter(strategy=strategy)
+        ready = threading.Semaphore(0)
+        threads = [
+            threading.Thread(
+                target=lambda lv=level: (ready.release(), counter.check(lv, timeout=30)),
+                daemon=True,
+            )
+            for level in range(1, levels + 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(levels):
+            ready.acquire()
+        while counter.snapshot().total_waiters < levels:
+            pass
+        counter.increment(levels)
+        for thread in threads:
+            thread.join(30)
+
+    for levels in (16, 64, 256):
+        linked = measure(lambda: park_release("linked", levels), repeats=3)
+        heap = measure(lambda: park_release("heap", levels), repeats=3)
+        table.add_row(levels, linked.mean * 1e3, heap.mean * 1e3)
+    show(table)
+    benchmark(lambda: park_release("linked", 64))
+
+
+def test_ablation_processor_model(benchmark, show):
+    """The sim's processor knob: with processors << threads, ragged and
+    barrier converge (no parallelism to recover); with one processor per
+    thread (the paper's regime) ragged wins.  Justifies DESIGN.md's
+    default of an unbounded pool."""
+    from repro.apps.sim_models import sim_floyd_warshall
+
+    table = Table(
+        "ablation B: FW counter-vs-barrier ratio by processor pool (N=48, 8 threads, imbalance 0.6)",
+        ["processors", "barrier", "counter", "counter/barrier"],
+    )
+    for processors in (1, 2, 4, 8, None):
+        barrier = sim_floyd_warshall(
+            48, 8, "barrier", imbalance=0.6, seed=3, processors=processors
+        )
+        counter = sim_floyd_warshall(
+            48, 8, "counter", imbalance=0.6, seed=3, processors=processors
+        )
+        table.add_row(
+            "∞" if processors is None else processors,
+            barrier.makespan,
+            counter.makespan,
+            counter.makespan / barrier.makespan,
+        )
+    show(table)
+    benchmark(
+        lambda: sim_floyd_warshall(48, 8, "counter", imbalance=0.6, seed=3, processors=4)
+    )
+
+
+def test_ablation_wavefront_granularity(benchmark, show):
+    """Column-block sweep for the 2-D wavefront: per-block sync cost vs
+    lost diagonal overlap — the §5.3 granularity story on a 2-D pattern."""
+    import numpy as np
+
+    from repro.apps.lcs import lcs_length_sequential, lcs_length_wavefront
+
+    rng = np.random.default_rng(0)
+    a = "".join(rng.choice(list("ACGT")) for _ in range(96))
+    b = "".join(rng.choice(list("ACGT")) for _ in range(96))
+    expected = lcs_length_sequential(a, b)
+    table = Table(
+        "ablation C: wavefront LCS wall clock by column block (96x96, 4 threads, ms)",
+        ["col_block", "time", "correct"],
+    )
+    for col_block in (1, 4, 16, 48, 96):
+        timing = measure(
+            lambda cb=col_block: lcs_length_wavefront(a, b, num_threads=4, col_block=cb),
+            repeats=3,
+        )
+        got = lcs_length_wavefront(a, b, num_threads=4, col_block=col_block)
+        table.add_row(col_block, timing.mean * 1e3, got == expected)
+    show(table)
+    benchmark(lambda: lcs_length_wavefront(a, b, num_threads=4, col_block=16))
+
+
+def test_ablation_traced_counter_overhead(benchmark, show):
+    """Per-op cost of instrumentation layers: plain -> traced (vector
+    clocks) — what the one-run certificate costs at the operation level."""
+    from repro.determinism import DeterminismChecker
+
+    table = Table(
+        "ablation D: per-op cost of instrumentation (µs/op, 5k ops)",
+        ["implementation", "increment", "immediate check"],
+    )
+    plain = MonotonicCounter()
+    checker = DeterminismChecker()
+    traced = checker.counter("t")
+    for name, counter in (("plain", plain), ("traced", traced)):
+        inc = measure(
+            lambda c=counter: [c.increment(1) for _ in range(5000)], repeats=3
+        ).mean / 5000
+        chk = measure(
+            lambda c=counter: [c.check(1) for _ in range(5000)], repeats=3
+        ).mean / 5000
+        table.add_row(name, inc * 1e6, chk * 1e6)
+    show(table)
+    hot = MonotonicCounter()
+    benchmark(lambda: hot.increment(1))

@@ -1,0 +1,108 @@
+"""E4 — §5.1 ragged barriers: time-stepped simulation with boundary exchange.
+
+The paper's claim: complete barrier synchronization is unnecessarily
+restrictive when dependencies are pairwise; counters remove the N-way
+bottleneck and reduce load-imbalance stalls.  Regenerates the
+barrier-vs-ragged makespan series over thread count and imbalance, the
+per-thread wait-time breakdown, and a real-thread wall-clock comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.heat import heat_barrier, heat_ragged, heat_sequential
+from repro.apps.sim_models import sim_heat
+from repro.bench import Table, measure
+
+
+def test_e4_virtual_time_makespan(benchmark, show):
+    table = Table(
+        "E4a: heat simulation virtual-time makespan (200 steps)",
+        ["threads", "imbalance", "barrier", "ragged", "ragged/barrier"],
+        caption="pairwise (ragged) sync beats the N-way barrier as imbalance grows (§5.1)",
+    )
+    for threads in (4, 8, 16):
+        for imbalance in (0.0, 0.25, 0.5, 0.9):
+            barrier = sim_heat(threads, 200, "barrier", imbalance=imbalance, seed=7)
+            ragged = sim_heat(threads, 200, "ragged", imbalance=imbalance, seed=7)
+            table.add_row(
+                threads,
+                imbalance,
+                barrier.makespan,
+                ragged.makespan,
+                ragged.makespan / barrier.makespan,
+            )
+    show(table)
+    benchmark(lambda: sim_heat(16, 200, "ragged", imbalance=0.5, seed=7))
+
+
+def test_e4_wait_time_breakdown(benchmark, show):
+    """Where the barrier loses: accumulated synchronization wait."""
+    table = Table(
+        "E4b: total synchronization wait (16 threads, 200 steps)",
+        ["imbalance", "barrier wait", "ragged wait", "saved"],
+    )
+    for imbalance in (0.0, 0.5, 0.9):
+        barrier = sim_heat(16, 200, "barrier", imbalance=imbalance, seed=9)
+        ragged = sim_heat(16, 200, "ragged", imbalance=imbalance, seed=9)
+        table.add_row(
+            imbalance,
+            barrier.total_wait,
+            ragged.total_wait,
+            barrier.total_wait - ragged.total_wait,
+        )
+    show(table)
+    benchmark(lambda: sim_heat(16, 200, "barrier", imbalance=0.5, seed=9))
+
+
+def test_e4_gauss_seidel_2d(benchmark, show):
+    """§5.1 generalized to 2-D: red-black Gauss-Seidel, barrier vs ragged
+    counters (same protocol, two half-sweeps per iteration)."""
+    from repro.apps.gauss_seidel import (
+        gauss_seidel_barrier,
+        gauss_seidel_ragged,
+        gauss_seidel_sequential,
+    )
+
+    table = Table(
+        "E4d: 2-D red-black Gauss-Seidel wall clock (40x32 grid, 60 sweeps, ms)",
+        ["threads", "barrier", "ragged"],
+        caption="real-thread overhead; correctness is bitwise vs the oracle",
+    )
+    grid = np.random.default_rng(2).uniform(0, 100, (40, 32))
+    expected = gauss_seidel_sequential(grid, 60)
+    for threads in (2, 4):
+        barrier_t = measure(
+            lambda: gauss_seidel_barrier(grid, 60, num_threads=threads), repeats=3
+        )
+        ragged_t = measure(
+            lambda: gauss_seidel_ragged(grid, 60, num_threads=threads), repeats=3
+        )
+        assert np.array_equal(
+            gauss_seidel_ragged(grid, 60, num_threads=threads), expected
+        )
+        table.add_row(threads, barrier_t.mean * 1e3, ragged_t.mean * 1e3)
+    show(table)
+    benchmark(lambda: gauss_seidel_ragged(grid, 60, num_threads=4))
+
+
+def test_e4_real_thread_wall_clock(benchmark, show):
+    table = Table(
+        "E4c: heat real-thread wall clock (N=34 cells, 200 steps, ms)",
+        ["threads", "barrier", "ragged"],
+        caption="overhead measurement on CPython threads",
+    )
+    init = np.random.default_rng(0).uniform(0, 100, 34)
+    expected = heat_sequential(init, 200)
+    for threads in (2, 4, 8):
+        barrier_t = measure(
+            lambda: heat_barrier(init, 200, num_threads=threads), repeats=3
+        )
+        ragged_t = measure(
+            lambda: heat_ragged(init, 200, num_threads=threads), repeats=3
+        )
+        assert np.allclose(heat_ragged(init, 200, num_threads=threads), expected)
+        table.add_row(threads, barrier_t.mean * 1e3, ragged_t.mean * 1e3)
+    show(table)
+    benchmark(lambda: heat_ragged(init, 200, num_threads=4))

@@ -1,0 +1,97 @@
+"""E5 — §5.2 mutual exclusion with sequential ordering: lock vs counter.
+
+Two claims to regenerate:
+
+* determinacy: the counter-ordered fold produces ONE result across runs
+  (bitwise, on a floating-point workload whose sum is order-sensitive);
+  the lock fold is schedule-dependent;
+* cost: sequential ordering sacrifices concurrency — quantified in
+  virtual time, where the counter version's makespan meets or exceeds
+  the lock version's.
+"""
+
+from __future__ import annotations
+
+from repro.apps.accumulate import (
+    accumulate_counter,
+    accumulate_lock,
+    accumulate_sequential,
+    distinct_float_sums,
+    float_sum,
+    ill_conditioned_terms,
+)
+from repro.apps.sim_models import sim_ordered_accumulate
+from repro.bench import Table
+
+
+def test_e5_determinacy_table(benchmark, show):
+    table = Table(
+        "E5a: ordered accumulation determinacy (ill-conditioned float sum)",
+        ["threads", "lock distinct", "counter distinct", "counter == sequential"],
+        caption="20 jittered runs each; permutation-sensitivity of the workload shown below",
+    )
+    for n in (8, 16, 32):
+        terms = ill_conditioned_terms(n, seed=n)
+        sequential = accumulate_sequential(terms, float_sum, 0.0)
+        lock_results = {
+            accumulate_lock(terms, float_sum, 0.0, jitter=0.001) for _ in range(20)
+        }
+        counter_results = {
+            accumulate_counter(terms, float_sum, 0.0, jitter=0.001) for _ in range(20)
+        }
+        table.add_row(
+            n,
+            len(lock_results),
+            len(counter_results),
+            counter_results == {sequential},
+        )
+    show(table)
+    terms16 = ill_conditioned_terms(16, seed=16)
+    show(
+        f"workload sensitivity: {distinct_float_sums(terms16, permutations=50)} "
+        "distinct sums over 50 random permutations of the 16-term series"
+    )
+    benchmark(lambda: accumulate_counter(terms16, float_sum, 0.0))
+
+
+def test_e5_concurrency_cost(benchmark, show):
+    table = Table(
+        "E5b: the §5.2 trade in virtual time (work=10, critical section=1)",
+        ["threads", "imbalance", "lock makespan", "counter makespan", "cost"],
+        caption="'greater determinacy at the cost of less concurrency'",
+    )
+    for threads in (4, 16, 64):
+        for imbalance in (0.0, 0.8):
+            lock = sim_ordered_accumulate(threads, "lock", imbalance=imbalance, seed=5)
+            counter = sim_ordered_accumulate(threads, "counter", imbalance=imbalance, seed=5)
+            table.add_row(
+                threads,
+                imbalance,
+                lock.makespan,
+                counter.makespan,
+                counter.makespan / lock.makespan,
+            )
+    show(table)
+    benchmark(lambda: sim_ordered_accumulate(64, "counter", imbalance=0.8, seed=5))
+
+
+def test_e5_list_append_ordering(benchmark, show):
+    """The paper's other non-associative example: list append."""
+    from repro.apps.accumulate import list_append
+
+    items = list(range(32))
+    lock_orders = {
+        tuple(accumulate_lock(items, list_append, [], jitter=0.001)) for _ in range(20)
+    }
+    counter_orders = {
+        tuple(accumulate_counter(items, list_append, [], jitter=0.001)) for _ in range(20)
+    }
+    table = Table(
+        "E5c: list append ordering (32 appends, 20 jittered runs)",
+        ["variant", "distinct orderings", "always sequential order"],
+    )
+    table.add_row("lock", len(lock_orders), lock_orders == {tuple(items)})
+    table.add_row("counter", len(counter_orders), counter_orders == {tuple(items)})
+    show(table)
+    assert counter_orders == {tuple(items)}
+    benchmark(lambda: accumulate_counter(items, list_append, []))

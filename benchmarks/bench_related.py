@@ -1,0 +1,209 @@
+"""E9 — §8 related work: counters vs latches, phasers, and semaphores.
+
+The paper positions counters against mechanisms with one (or statically
+many) suspension queues.  This experiment re-expresses two counter
+workloads with the closest modern comparators and counts what the
+substitution costs:
+
+* the §4 iteration-ready pattern: one counter vs an ARRAY of
+  CountDownLatches vs one Phaser;
+* the §5.3 broadcast pattern: one counter vs per-reader semaphores
+  (a semaphore's value is consumed by P, so a single semaphore cannot
+  broadcast to R readers — it takes R of them, one per reader).
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, measure
+from repro.core import MonotonicCounter
+from repro.structured import ThreadScope, multithreaded_for
+from repro.sync import CountDownLatch, CountingSemaphore, Phaser
+
+
+def _counter_pipeline(n: int, readers: int) -> None:
+    counter = MonotonicCounter()
+
+    def reader():
+        for k in range(n):
+            counter.check(k + 1)
+
+    with ThreadScope() as scope:
+        for _ in range(readers):
+            scope.spawn(reader)
+        for _ in range(n):
+            counter.increment(1)
+
+
+def _latch_pipeline(n: int, readers: int) -> None:
+    latches = [CountDownLatch(1) for _ in range(n)]
+
+    def reader():
+        for k in range(n):
+            latches[k].await_()
+
+    with ThreadScope() as scope:
+        for _ in range(readers):
+            scope.spawn(reader)
+        for k in range(n):
+            latches[k].count_down()
+
+
+def _phaser_pipeline(n: int, readers: int) -> None:
+    phaser = Phaser(1)  # the writer is the only arriving party
+
+    def reader():
+        for k in range(n):
+            phaser.await_advance(k)
+
+    with ThreadScope() as scope:
+        for _ in range(readers):
+            scope.spawn(reader)
+        for _ in range(n):
+            phaser.arrive()
+
+
+def _semaphore_pipeline(n: int, readers: int) -> None:
+    # One semaphore PER READER: V is consumed by P, so broadcast requires
+    # the writer to release once per reader per item.
+    sems = [CountingSemaphore(0) for _ in range(readers)]
+
+    def reader(r):
+        for _ in range(n):
+            sems[r].acquire()
+
+    with ThreadScope() as scope:
+        for r in range(readers):
+            scope.spawn(reader, r)
+        for _ in range(n):
+            for r in range(readers):
+                sems[r].release()
+
+
+PIPELINES = {
+    "counter x1": _counter_pipeline,
+    "latch xN": _latch_pipeline,
+    "phaser x1": _phaser_pipeline,
+    "semaphore xR": _semaphore_pipeline,
+}
+
+OBJECTS = {
+    "counter x1": lambda n, r: 1,
+    "latch xN": lambda n, r: n,
+    "phaser x1": lambda n, r: 1,
+    "semaphore xR": lambda n, r: r,
+}
+
+WRITER_OPS = {
+    "counter x1": lambda n, r: n,
+    "latch xN": lambda n, r: n,
+    "phaser x1": lambda n, r: n,
+    "semaphore xR": lambda n, r: n * r,
+}
+
+
+def test_e9_iteration_ready_pattern(benchmark, show):
+    n, readers = 400, 4
+    table = Table(
+        "E9a: the §4 'iteration k ready' pattern, by mechanism "
+        f"(n={n} levels, {readers} readers, ms)",
+        ["mechanism", "sync objects", "writer ops", "time"],
+        caption="one counter replaces N latches / R semaphores at equal or better cost",
+    )
+    for name, pipeline in PIPELINES.items():
+        timing = measure(lambda p=pipeline: p(n, readers), repeats=3, warmup=1)
+        table.add_row(name, OBJECTS[name](n, readers), WRITER_OPS[name](n, readers), timing.mean * 1e3)
+    show(table)
+    benchmark(lambda: _counter_pipeline(n, readers))
+
+
+def test_e9_latch_cannot_rewait_counter_can(benchmark, show):
+    """Qualitative gap: a latch is single-shot; a counter level stays
+    checkable forever (monotonicity).  Late-arriving readers are free
+    with a counter; with latches every reader must hold all N objects."""
+    counter = MonotonicCounter()
+    for _ in range(100):
+        counter.increment(1)
+    late_reader_checks = measure(
+        lambda: [counter.check(k + 1) for k in range(100)], repeats=3
+    )
+    table = Table(
+        "E9b: late reader replaying 100 announcements (ms)",
+        ["mechanism", "time", "objects the reader must reference"],
+    )
+    table.add_row("counter x1", late_reader_checks.mean * 1e3, 1)
+    latches = [CountDownLatch(1) for _ in range(100)]
+    for latch in latches:
+        latch.count_down()
+    latch_replay = measure(lambda: [l.await_() for l in latches], repeats=3)
+    table.add_row("latch x100", latch_replay.mean * 1e3, 100)
+    show(table)
+    benchmark(lambda: [counter.check(k + 1) for k in range(100)])
+
+
+def test_e9_suspension_queue_census(benchmark, show):
+    """§8's taxonomy, measured: suspension queues per mechanism for the
+    'N announcements, R waiters' workload.  Counters are the only
+    mechanism whose queue count adapts to the waiters' actual positions."""
+    n, readers = 50, 3
+    counter = MonotonicCounter()
+    # Park readers at distinct levels spread over the announcement range.
+    from repro.structured import ThreadScope as _Scope
+    from tests.helpers import wait_until
+
+    with _Scope() as scope:
+        for r in range(readers):
+            level = (r + 1) * n // (readers + 1)
+            scope.spawn(lambda lv=level: counter.check(lv, timeout=30))
+        wait_until(lambda: counter.snapshot().total_waiters == readers)
+        live_queues = len(counter.snapshot().nodes)
+        counter.increment(n)
+
+    table = Table(
+        "E9d: suspension queues by mechanism (N=50 announcements, 3 waiters)",
+        ["mechanism", "queues (static)", "queues live in this run"],
+        caption="§8: counters have a dynamically varying number of queues",
+    )
+    table.add_row("counter x1", "dynamic", live_queues)
+    table.add_row("latch xN", n, n)
+    table.add_row("event xN", n, n)
+    table.add_row("phaser x1", 1, 1)
+    table.add_row("semaphore xR", readers, readers)
+    table.add_row("monitor (1 cond)", 1, 1)
+    table.add_row("rendezvous entry", 2, 2)
+    show(table)
+    assert live_queues == readers  # one queue per distinct waited level
+    benchmark(lambda: MonotonicCounter().increment(1))
+
+
+def test_e9_barrier_emulation(benchmark, show):
+    """§8: counters subsume barriers — CounterBarrier vs CyclicBarrier
+    throughput."""
+    from repro.sync import CounterBarrier, CyclicBarrier
+
+    table = Table(
+        "E9c: barrier episode throughput (4 parties, 100 episodes, ms)",
+        ["implementation", "time"],
+    )
+    for name, factory in (("CyclicBarrier", CyclicBarrier), ("CounterBarrier", CounterBarrier)):
+        def run(factory=factory):
+            barrier = factory(4)
+
+            def party(_):
+                for _ in range(100):
+                    barrier.pass_()
+
+            multithreaded_for(party, range(4))
+
+        table.add_row(name, measure(run, repeats=3).mean * 1e3)
+    show(table)
+
+    def bench_unit():
+        barrier = CounterBarrier(2)
+
+        def party(_):
+            for _ in range(20):
+                barrier.pass_()
+
+        multithreaded_for(party, range(2))
+
+    benchmark(bench_unit)

@@ -1,0 +1,26 @@
+"""Benchmark-suite fixtures.
+
+Every experiment regenerator both *times* a representative unit with
+pytest-benchmark (so ``--benchmark-only`` reports it) and *prints* the
+experiment's full table — the same rows/series the paper's evaluation
+discusses.  Tables print through ``capsys.disabled()`` so they reach the
+terminal without requiring ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a :class:`repro.bench.Table` (or string) to the real terminal."""
+
+    def _show(table) -> None:
+        with capsys.disabled():
+            if hasattr(table, "render"):
+                print(table.render())
+            else:
+                print(table)
+
+    return _show

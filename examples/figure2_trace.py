@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Figure 2, live: the internal structure of a counter over seven steps.
+
+Reprints the paper's trace — value, ordered wait nodes with per-level
+counts and set flags — using the real implementation and real threads.
+
+Run:  python examples/figure2_trace.py
+"""
+
+import threading
+import time
+
+from repro.core import MonotonicCounter
+
+
+def settle(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.001)
+    raise RuntimeError("trace did not settle")
+
+
+def main() -> None:
+    c = MonotonicCounter(name="c")
+    print(f"(a) construction:          {c.snapshot()}")
+
+    t1 = threading.Thread(target=c.check, args=(5,), name="T1", daemon=True)
+    t1.start()
+    settle(lambda: c.snapshot().total_waiters == 1)
+    print(f"(b) c.Check(5) by T1:      {c.snapshot()}")
+
+    t2 = threading.Thread(target=c.check, args=(9,), name="T2", daemon=True)
+    t2.start()
+    settle(lambda: c.snapshot().total_waiters == 2)
+    print(f"(c) c.Check(9) by T2:      {c.snapshot()}")
+
+    t3 = threading.Thread(target=c.check, args=(5,), name="T3", daemon=True)
+    t3.start()
+    settle(lambda: c.snapshot().total_waiters == 3)
+    print(f"(d) c.Check(5) by T3:      {c.snapshot()}")
+
+    c.increment(7)
+    print(f"(e) c.Increment(7) by T0:  {c.snapshot()}")
+    settle(lambda: c.snapshot().total_waiters == 1)
+    print(f"(f/g) T1 and T3 resumed:   {c.snapshot()}")
+
+    c.increment(2)
+    for t in (t1, t2, t3):
+        t.join()
+    print(f"(end) T2 released at 9:    {c.snapshot()}")
+    print("\nnote the §7 structure: one node per DISTINCT level (T1 and T3")
+    print("share the level-5 node), list ordered by level, nodes vanish as")
+    print("the last waiter leaves — storage ∝ levels, not threads")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Seeing the §4 argument: Gantt charts of barrier vs counter schedules.
+
+Renders virtual-time execution traces of the Floyd-Warshall
+synchronization structure under load imbalance.  Blank space is a thread
+stalled on synchronization — with the barrier, every iteration ends in a
+convoy behind the slowest thread; with the counter, each thread stalls
+only until the one row it needs is staged.
+
+Run:  python examples/gantt_chart.py
+"""
+
+import random
+
+from repro.simthread import Compute, Simulation, render_gantt
+from repro.structured import block_range
+
+
+def build(variant: str, *, n: int = 12, threads: int = 4, imbalance: float = 0.8, seed: int = 5):
+    rng = random.Random(seed)
+    rows_of = [list(block_range(t, n, threads)) for t in range(threads)]
+    costs = [
+        [[rng.uniform(1 - imbalance, 1 + imbalance) for _ in rows_of[t]] for _ in range(n)]
+        for t in range(threads)
+    ]
+    sim = Simulation(trace=True)
+    if variant == "barrier":
+        barrier = sim.barrier(threads)
+
+        def worker(t):
+            for k in range(n):
+                for cost in costs[t][k]:
+                    yield Compute(cost)
+                yield barrier.pass_()
+
+    else:
+        counter = sim.counter("kCount")
+
+        def worker(t):
+            for k in range(n):
+                yield counter.check(k)
+                for offset, i in enumerate(rows_of[t]):
+                    yield Compute(costs[t][k][offset])
+                    if i == k + 1:
+                        yield counter.increment(1)
+
+    for t in range(threads):
+        sim.spawn(worker(t), name=f"thread{t}")
+    result = sim.run()
+    return sim, result
+
+
+def main() -> None:
+    barrier_sim, barrier_result = build("barrier")
+    counter_sim, counter_result = build("counter")
+    width = 100
+    scale = max(barrier_result.makespan, counter_result.makespan)
+
+    print("== §4.3 barrier version (gaps = all threads waiting for the slowest) ==")
+    print(render_gantt(barrier_sim.trace, width=width, makespan=scale))
+    print(f"\nmakespan: {barrier_result.makespan:.1f}   "
+          f"total wait: {barrier_result.total_wait:.1f}\n")
+
+    print("== §4.5 counter version (each thread waits only for its own row) ==")
+    print(render_gantt(counter_sim.trace, width=width, makespan=scale))
+    print(f"\nmakespan: {counter_result.makespan:.1f}   "
+          f"total wait: {counter_result.total_wait:.1f}")
+    saving = 1 - counter_result.makespan / barrier_result.makespan
+    print(f"\ncounter version finishes {saving:.0%} sooner on the same workload")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""§5.1: ragged barriers — heat transfer along a metal rod.
+
+One thread per block of rod cells; each time step needs the neighbours'
+previous-step values.  The traditional solution barriers ALL threads
+twice per step; the counter solution synchronizes each thread only with
+its two neighbours, so a slow thread only delays its neighbours — not the
+whole rod.
+
+Run:  python examples/heat_simulation.py
+"""
+
+import numpy as np
+
+from repro.apps.heat import heat_barrier, heat_ragged, heat_sequential
+from repro.apps.sim_models import sim_heat
+
+
+def correctness() -> None:
+    print("== correctness: 30-cell rod, 100 steps ==")
+    rng = np.random.default_rng(0)
+    rod = rng.uniform(0.0, 100.0, 30)
+    rod[0], rod[-1] = 0.0, 100.0  # clamped ends
+
+    reference = heat_sequential(rod, 100)
+    for impl, label in ((heat_barrier, "barrier"), (heat_ragged, "ragged counters")):
+        result = impl(rod, 100, num_threads=4)
+        status = "matches sequential" if np.allclose(result, reference) else "MISMATCH"
+        print(f"  {label:>16}: {status}")
+    print(f"  mid-rod temperatures: {np.round(reference[13:17], 2)}")
+    print()
+
+
+def sparkline(values: np.ndarray) -> str:
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = float(values.min()), float(values.max())
+    span = (hi - lo) or 1.0
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values)
+
+
+def evolution() -> None:
+    print("== diffusion toward the steady state (hot right end) ==")
+    rod = np.zeros(40)
+    rod[-1] = 100.0
+    for steps in (0, 50, 200, 1000, 5000):
+        state = heat_sequential(rod, steps)
+        print(f"  t={steps:>5}: {sparkline(state)}")
+    print()
+
+
+def barrier_vs_ragged() -> None:
+    print("== the §5.1 argument in virtual time (16 threads, 300 steps) ==")
+    print(f"{'imbalance':>9}  {'barrier':>9}  {'ragged':>9}  {'ragged wins by':>14}")
+    for imbalance in (0.0, 0.25, 0.5, 0.9):
+        barrier = sim_heat(16, 300, "barrier", imbalance=imbalance, seed=3)
+        ragged = sim_heat(16, 300, "ragged", imbalance=imbalance, seed=3)
+        print(
+            f"{imbalance:>9.2f}  {barrier.makespan:>9.1f}  {ragged.makespan:>9.1f}"
+            f"  {1 - ragged.makespan / barrier.makespan:>13.1%}"
+        )
+    print("\npairwise synchronization lets fast threads run ahead; the")
+    print("barrier makes every step cost the slowest thread's time (§5.1)")
+
+
+if __name__ == "__main__":
+    correctness()
+    evolution()
+    barrier_vs_ragged()

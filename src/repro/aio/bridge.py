@@ -1,0 +1,63 @@
+"""Bridging thread-world counters into asyncio.
+
+A hybrid program (compute threads + an async I/O loop) often wants the
+loop to await progress announced by threads.  :class:`CounterBridge`
+mirrors a thread-side :class:`~repro.core.counter.MonotonicCounter` into
+a loop-side :class:`~repro.aio.counter.AsyncCounter`: every thread-side
+``increment`` is forwarded with ``loop.call_soon_threadsafe``.
+
+Monotonicity makes this trivially correct: forwarding can lag, batch, or
+reorder *notifications* freely because the mirrored value only ever
+grows and every ``check`` condition is stable — the exact property the
+paper exploits for race-freedom, reused here for cross-runtime
+signalling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.aio.counter import AsyncCounter
+from repro.core.counter import MonotonicCounter
+
+__all__ = ["CounterBridge"]
+
+
+class CounterBridge:
+    """A thread-side writer façade mirrored into an event loop.
+
+    Create it *inside* the loop; hand :meth:`increment` (or the whole
+    bridge) to threads; ``await bridge.async_counter.check(level)`` in
+    coroutines.
+
+    The thread-side counter is a full :class:`MonotonicCounter`, so
+    threads can also ``check`` it directly — both worlds wait on the
+    same monotone value.
+    """
+
+    __slots__ = ("_loop", "thread_counter", "async_counter")
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None, *, name: str | None = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self.thread_counter = MonotonicCounter(name=name)
+        self.async_counter = AsyncCounter(name=name)
+
+    def increment(self, amount: int = 1) -> int:
+        """Thread-safe: bump the thread counter and mirror into the loop."""
+        new_value = self.thread_counter.increment(amount)
+        # Mirror the *target value*, not the delta: call_soon_threadsafe
+        # callbacks may coalesce or arrive late, and setting an absolute
+        # floor is idempotent under monotonicity.
+        self._loop.call_soon_threadsafe(self._raise_to, new_value)
+        return new_value
+
+    def _raise_to(self, target: int) -> None:
+        gap = target - self.async_counter.value
+        if gap > 0:
+            self.async_counter.increment(gap)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CounterBridge thread={self.thread_counter.value} "
+            f"async={self.async_counter.value}>"
+        )

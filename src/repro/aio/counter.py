@@ -1,0 +1,156 @@
+"""Monotonic counters for asyncio.
+
+The paper (§8) argues counters are "not tied to any particular notation
+or type system — they can easily be incorporated in almost any language
+as a library."  This module is that claim exercised against a different
+concurrency runtime: cooperative coroutines instead of preemptive
+threads.  The semantics carry over unchanged because they never depended
+on preemption — only on monotonicity.
+
+:class:`AsyncCounter` mirrors the §7 implementation: a dynamically
+varying ordered collection of per-level wakeup objects
+(``asyncio.Event`` per distinct level), so storage and wake cost stay
+proportional to the number of distinct waiting levels.  No lock is
+needed for state transitions: asyncio is cooperative, and every mutation
+completes synchronously between awaits.
+
+Thread-safety: an ``AsyncCounter`` belongs to one event loop.  For
+cross-thread signalling into a loop, use
+:func:`repro.aio.bridge.thread_to_async_counter`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.errors import CheckTimeout, CounterOverflowError, ResetConcurrencyError
+from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
+from repro.core.stats import CounterStats
+from repro.core.validation import validate_amount, validate_level, validate_timeout
+
+__all__ = ["AsyncCounter"]
+
+
+class _Level:
+    """One distinct waiting level: count of waiters + its wakeup event."""
+
+    __slots__ = ("level", "count", "event")
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self.count = 0
+        self.event = asyncio.Event()
+
+
+class AsyncCounter:
+    """The monotonic counter, for coroutines.
+
+    >>> async def demo():
+    ...     c = AsyncCounter()
+    ...     async def waiter():
+    ...         await c.check(2)
+    ...         return c.value
+    ...     task = asyncio.ensure_future(waiter())
+    ...     c.increment(2)
+    ...     return await task
+    >>> asyncio.run(demo())
+    2
+    """
+
+    __slots__ = ("_value", "_levels", "_max_value", "_name", "stats")
+
+    def __init__(self, *, max_value: int | None = None, name: str | None = None) -> None:
+        if max_value is not None and (not isinstance(max_value, int) or max_value < 0):
+            raise ValueError(f"max_value must be a nonnegative int or None, got {max_value!r}")
+        self._value = 0
+        self._levels: dict[int, _Level] = {}
+        self._max_value = max_value
+        self._name = name
+        self.stats = CounterStats()
+
+    @property
+    def value(self) -> int:
+        """Current value (diagnostic only — synchronize with ``check``)."""
+        return self._value
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` and wake every coroutine whose level is reached.
+
+        Synchronous (no await needed): the wakeups are scheduled on the
+        loop; woken coroutines resume at the next scheduling point.
+        """
+        amount = validate_amount(amount)
+        new_value = self._value + amount
+        if self._max_value is not None and new_value > self._max_value:
+            raise CounterOverflowError(
+                f"{self!r}: increment({amount}) would exceed max_value={self._max_value}"
+            )
+        self._value = new_value
+        self.stats.increments += 1
+        if amount and self._levels:
+            released = [lv for lv in self._levels if lv <= new_value]
+            for lv in released:
+                node = self._levels.pop(lv)
+                self.stats.nodes_released += 1
+                self.stats.threads_woken += node.count
+                node.event.set()
+        return new_value
+
+    async def check(self, level: int, timeout: float | None = None) -> None:
+        """Suspend the calling coroutine until ``value >= level``."""
+        level = validate_level(level)
+        timeout = validate_timeout(timeout)
+        if self._value >= level:
+            self.stats.immediate_checks += 1
+            return
+        node = self._levels.get(level)
+        if node is None:
+            node = _Level(level)
+            self._levels[level] = node
+            self.stats.nodes_created += 1
+        node.count += 1
+        self.stats.suspended_checks += 1
+        self.stats.note_levels(
+            len(self._levels), sum(n.count for n in self._levels.values())
+        )
+        try:
+            if timeout is None:
+                await node.event.wait()
+            else:
+                try:
+                    await asyncio.wait_for(asyncio.shield(node.event.wait()), timeout)
+                except asyncio.TimeoutError:
+                    if not node.event.is_set():
+                        self.stats.timeouts += 1
+                        raise CheckTimeout(
+                            f"{self!r}: check({level}) timed out after {timeout}s "
+                            f"(value={self._value})"
+                        ) from None
+        finally:
+            node.count -= 1
+            if node.count == 0 and not node.event.is_set():
+                # Last waiter timed out/cancelled: reclaim the level so
+                # storage stays proportional to live waiting levels.
+                self._levels.pop(level, None)
+
+    def reset(self) -> None:
+        """Reset to zero; refuses while any coroutine is suspended."""
+        if self._levels:
+            raise ResetConcurrencyError(
+                f"{self!r}: reset() with {len(self._levels)} waiting level(s)"
+            )
+        self._value = 0
+
+    def snapshot(self) -> CounterSnapshot:
+        """Freeze value + waiting structure (Figure 2 equivalent)."""
+        return CounterSnapshot(
+            value=self._value,
+            nodes=tuple(
+                WaitNodeSnapshot(level=node.level, count=node.count, signaled=node.event.is_set())
+                for node in sorted(self._levels.values(), key=lambda n: n.level)
+            ),
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return f"<AsyncCounter{label} value={self._value}>"

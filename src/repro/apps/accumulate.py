@@ -1,0 +1,169 @@
+"""Ordered accumulation of concurrent subresults (paper §5.2).
+
+``N`` threads each compute an independent subresult; an ``Accumulate``
+operation folds them into one result.  When the fold is not associative
+— the paper's examples are list append and floating-point addition —
+lock-based mutual exclusion yields schedule-dependent results, while a
+counter check/increment pair yields the sequential order every time.
+
+* :func:`accumulate_lock` — ``resultLock.Lock(); Accumulate; Unlock()``.
+* :func:`accumulate_counter` — ``resultCount.Check(i); Accumulate;
+  Increment(1)``: mutual exclusion *plus* sequential ordering.
+* :func:`accumulate_sequential` — the plain loop (the oracle the counter
+  version must equal, by §6 sequential equivalence).
+
+Floating-point non-associativity is real but tiny for random inputs; to
+make nondeterminism observable in tests and benchmarks,
+:func:`ill_conditioned_terms` generates a series whose sum differs by
+orders of magnitude across permutations (alternating huge/tiny terms
+with catastrophic cancellation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.api import CounterProtocol
+from repro.determinism.equivalence import scheduling_jitter
+from repro.patterns.ordered import OrderedRegion
+from repro.structured.forloop import multithreaded_for
+from repro.sync.errors import SyncError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "accumulate_sequential",
+    "accumulate_lock",
+    "accumulate_counter",
+    "float_sum",
+    "list_append",
+    "ill_conditioned_terms",
+]
+
+
+def float_sum(acc: float, item: float) -> float:
+    """Floating-point addition — non-associative, the paper's example."""
+    return acc + item
+
+
+def list_append(acc: list, item: object) -> list:
+    """List append — order-revealing, the paper's other example."""
+    acc.append(item)
+    return acc
+
+
+def ill_conditioned_terms(n: int, *, seed: int = 0) -> list[float]:
+    """Terms whose float sum is strongly permutation-dependent.
+
+    Pairs of huge near-cancelling values interleaved with tiny ones: the
+    tiny terms are absorbed or preserved depending on when the huge pair
+    cancels, so almost every accumulation order gives a different sum.
+    """
+    rng = random.Random(seed)
+    terms: list[float] = []
+    for _ in range(max(1, n // 3)):
+        big = rng.uniform(1e15, 1e16)
+        terms += [big, rng.uniform(0.1, 1.0), -big]
+    del terms[n:]
+    while len(terms) < n:
+        terms.append(rng.uniform(0.1, 1.0))
+    return terms
+
+
+def accumulate_sequential(
+    items: Sequence[T],
+    accumulate: Callable[[R, T], R],
+    initial: R,
+) -> R:
+    """The fold in index order on one thread (the §6 sequential oracle)."""
+    result = initial
+    for item in items:
+        result = accumulate(result, item)
+    return result
+
+
+def accumulate_lock(
+    items: Sequence[T],
+    accumulate: Callable[[R, T], R],
+    initial: R,
+    *,
+    compute: Callable[[int, T], T] | None = None,
+    jitter: float = 0.0,
+) -> R:
+    """§5.2's lock version: mutual exclusion, nondeterministic order.
+
+    ``compute`` models the per-thread subresult computation (defaults to
+    identity); ``jitter`` adds random pre-lock delay so the
+    nondeterminism is actually exercised on a quiet machine.
+    """
+    import threading
+
+    result_holder: list[R] = [initial]
+    result_lock = threading.Lock()
+
+    def worker(i: int) -> None:
+        subresult = compute(i, items[i]) if compute is not None else items[i]
+        if jitter:
+            scheduling_jitter(jitter)
+        with result_lock:
+            result_holder[0] = accumulate(result_holder[0], subresult)
+
+    multithreaded_for(worker, range(len(items)), name="accumulate-lock")
+    return result_holder[0]
+
+
+def accumulate_counter(
+    items: Sequence[T],
+    accumulate: Callable[[R, T], R],
+    initial: R,
+    *,
+    compute: Callable[[int, T], T] | None = None,
+    jitter: float = 0.0,
+    counter: CounterProtocol | None = None,
+    timeout: float | None = None,
+) -> R:
+    """§5.2's counter version: mutual exclusion AND sequential ordering.
+
+    Thread ``i`` enters the critical section only once threads
+    ``0..i-1`` have accumulated, so the result equals
+    :func:`accumulate_sequential` on every run.
+    """
+    region = OrderedRegion(counter=counter) if counter is not None else OrderedRegion()
+    result_holder: list[R] = [initial]
+
+    def worker(i: int) -> None:
+        subresult = compute(i, items[i]) if compute is not None else items[i]
+        if jitter:
+            scheduling_jitter(jitter)
+        with region.turn(i, timeout=timeout):
+            result_holder[0] = accumulate(result_holder[0], subresult)
+
+    multithreaded_for(worker, range(len(items)), name="accumulate-counter")
+    if region.completed != len(items):
+        raise SyncError(
+            f"ordered accumulation incomplete: {region.completed}/{len(items)}"
+        )  # pragma: no cover - defensive
+    return result_holder[0]
+
+
+def distinct_float_sums(terms: Sequence[float], *, permutations: int = 20, seed: int = 0) -> int:
+    """How many distinct values the float sum of ``terms`` takes over
+    random permutations — a schedule-free lower bound on the lock
+    version's nondeterminism."""
+    rng = np.random.default_rng(seed)
+    sums = set()
+    order = np.arange(len(terms))
+    for _ in range(permutations):
+        rng.shuffle(order)
+        total = 0.0
+        for index in order:
+            total += terms[index]
+        sums.add(total)
+    return len(sums)
+
+
+__all__.append("distinct_float_sums")

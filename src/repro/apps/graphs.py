@@ -1,0 +1,71 @@
+"""Graph workload generators for the shortest-path experiments.
+
+Seeded, reproducible inputs for E1/E3: dense random matrices, sparse
+Erdős–Rényi digraphs (via networkx when available), and graphs with
+negative edges but no negative cycles (the §4.1 contract, exercised by
+Figure 1 itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.floyd_warshall import INF
+
+__all__ = ["random_dense_graph", "random_sparse_graph", "random_negative_graph"]
+
+
+def random_dense_graph(n: int, *, seed: int = 0, low: float = 1.0, high: float = 10.0) -> np.ndarray:
+    """Complete digraph with uniform weights in [low, high], zero diagonal."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    edge = rng.uniform(low, high, (n, n))
+    np.fill_diagonal(edge, 0.0)
+    return edge
+
+
+def random_sparse_graph(n: int, *, p: float = 0.2, seed: int = 0, high: float = 10.0) -> np.ndarray:
+    """Erdős–Rényi G(n, p) digraph; absent edges are ``inf``.
+
+    Uses networkx when importable (the richer generator), otherwise a
+    numpy Bernoulli mask — identical distribution either way.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    try:
+        import networkx as nx
+
+        graph = nx.gnp_random_graph(n, p, seed=seed, directed=True)
+        edge = np.full((n, n), INF)
+        np.fill_diagonal(edge, 0.0)
+        for u, v in graph.edges:
+            edge[u, v] = rng.uniform(1.0, high)
+        return edge
+    except ImportError:  # pragma: no cover - networkx is installed here
+        mask = rng.random((n, n)) < p
+        edge = np.where(mask, rng.uniform(1.0, high, (n, n)), INF)
+        np.fill_diagonal(edge, 0.0)
+        return edge
+
+
+def random_negative_graph(n: int, *, seed: int = 0, negative_fraction: float = 0.1) -> np.ndarray:
+    """A graph with some negative edges but provably no negative cycles.
+
+    Construction: assign each vertex a potential ``h(v)``; set the weight
+    of edge (u, v) to ``w0(u, v) + h(u) - h(v)`` with ``w0 >= 0``.  Every
+    cycle's potential terms telescope to zero, so cycle weights stay
+    nonnegative while individual edges can be negative (a Johnson
+    reweighting run backwards).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.0, 10.0, (n, n))
+    potential = rng.uniform(0.0, 10.0 * negative_fraction * n, n)
+    edge = base + potential[:, None] - potential[None, :]
+    np.fill_diagonal(edge, 0.0)
+    return edge

@@ -1,0 +1,156 @@
+"""1-D time-stepped simulation with boundary exchange (paper §5.1).
+
+Heat transfer along a rod: cell ``i`` at step ``t`` is a function of
+cells ``i-1, i, i+1`` at step ``t-1``; the end cells are held constant.
+Three implementations:
+
+* :func:`heat_sequential` — vectorized oracle.
+* :func:`heat_barrier` — the traditional version: every thread passes a
+  full barrier twice per step (once before reading neighbour state, once
+  before writing its own).
+* :func:`heat_ragged` — the paper's counter version: an array of
+  counters provides *pairwise* ragged-barrier synchronization; counter
+  ``c[p] >= 2t-1`` means "thread p finished reading its neighbours in
+  step t", ``>= 2t`` means "thread p completed step t".  Boundary
+  pseudo-threads are preloaded with ``2*steps`` exactly as in the
+  listing.
+
+Both threaded versions accept ``num_threads``: each thread owns a
+contiguous block of interior cells and synchronizes only at block edges
+(``num_threads = N - 2`` degenerates to the paper's one-thread-per-cell
+form).  The update rule is pluggable; the default is explicit diffusion
+``c + alpha * (l - 2c + r)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.patterns.ragged import RaggedBarrier
+from repro.structured.forloop import block_range, multithreaded_for
+from repro.sync.barrier import CyclicBarrier
+
+__all__ = [
+    "default_update",
+    "heat_sequential",
+    "heat_barrier",
+    "heat_ragged",
+]
+
+UpdateFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+def default_update(
+    left: np.ndarray, centre: np.ndarray, right: np.ndarray, *, alpha: float = 0.25
+) -> np.ndarray:
+    """Explicit diffusion step (stable for ``alpha <= 0.5``)."""
+    return centre + alpha * (left - 2.0 * centre + right)
+
+
+def _validate(initial: np.ndarray, steps: int, num_threads: int | None) -> tuple[np.ndarray, int]:
+    state = np.asarray(initial, dtype=np.float64).copy()
+    if state.ndim != 1 or state.shape[0] < 3:
+        raise ValueError(f"initial state must be 1-D with >= 3 cells, got shape {state.shape}")
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    interior = state.shape[0] - 2
+    if num_threads is None:
+        num_threads = interior
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    return state, min(num_threads, interior)
+
+
+def heat_sequential(
+    initial: np.ndarray, steps: int, update: UpdateFn = default_update
+) -> np.ndarray:
+    """Vectorized single-threaded reference."""
+    state, _ = _validate(initial, steps, 1)
+    for _ in range(steps):
+        state[1:-1] = update(state[:-2], state[1:-1], state[2:])
+    return state
+
+
+def heat_barrier(
+    initial: np.ndarray,
+    steps: int,
+    *,
+    num_threads: int | None = None,
+    update: UpdateFn = default_update,
+) -> np.ndarray:
+    """Traditional full-barrier version: all threads synchronize twice a step."""
+    state, threads = _validate(initial, steps, num_threads)
+    interior = state.shape[0] - 2
+    barrier = CyclicBarrier(threads, name="heat")
+
+    def worker(p: int) -> None:
+        block = block_range(p, interior, threads)
+        lo, hi = block.start + 1, block.stop + 1  # interior offset
+        for _ in range(steps):
+            barrier.pass_()
+            left = state[lo - 1]
+            right = state[hi]
+            inner = state[lo:hi].copy()
+            barrier.pass_()
+            state[lo:hi] = update(
+                np.concatenate(([left], inner[:-1])),
+                inner,
+                np.concatenate((inner[1:], [right])),
+            )
+
+    multithreaded_for(worker, range(threads), name="heat-barrier")
+    return state
+
+
+def heat_ragged(
+    initial: np.ndarray,
+    steps: int,
+    *,
+    num_threads: int | None = None,
+    update: UpdateFn = default_update,
+) -> np.ndarray:
+    """The paper's ragged-barrier version over an array of counters.
+
+    Thread ``p`` (1-based, with pseudo-threads 0 and P+1 preloaded for the
+    constant boundary cells) runs, per step ``t``:
+
+    1. ``c[p-1].check(2t-2)``, read left edge; ``c[p+1].check(2t-2)``,
+       read right edge — neighbours have *written* step t-1;
+    2. ``c[p].increment(1)`` — "my reads are done" (value ``2t-1``);
+    3. compute the new block locally;
+    4. ``c[p-1].check(2t-1)``, ``c[p+1].check(2t-1)`` — neighbours have
+       *read* my step t-1 edge values;
+    5. write the block, ``c[p].increment(1)`` (value ``2t``).
+    """
+    state, threads = _validate(initial, steps, num_threads)
+    interior = state.shape[0] - 2
+    ragged = RaggedBarrier(threads + 2)
+    ragged.preload(0, 2 * steps)
+    ragged.preload(threads + 1, 2 * steps)
+
+    def worker(index: int) -> None:
+        p = index + 1  # 1-based among the counters
+        block = block_range(index, interior, threads)
+        lo, hi = block.start + 1, block.stop + 1
+        local = state[lo:hi].copy()
+        for t in range(1, steps + 1):
+            ragged.wait_for(p - 1, 2 * t - 2)
+            left = state[lo - 1]
+            ragged.wait_for(p + 1, 2 * t - 2)
+            right = state[hi]
+            ragged.advance(p)
+            new_local = update(
+                np.concatenate(([left], local[:-1])),
+                local,
+                np.concatenate((local[1:], [right])),
+            )
+            ragged.wait_for(p - 1, 2 * t - 1)
+            ragged.wait_for(p + 1, 2 * t - 1)
+            state[lo:hi] = new_local
+            local = new_local
+            ragged.advance(p)
+
+    multithreaded_for(worker, range(threads), name="heat-ragged")
+    return state

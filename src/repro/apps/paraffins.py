@@ -1,0 +1,80 @@
+"""A Paraffins-style dataflow pipeline (paper §5.3's motivating workload).
+
+The Paraffins Problem [paper ref 9] generates all paraffin molecules up
+to a size: an array of molecules of size *k* is produced by one thread
+and concurrently read by the threads generating larger molecules — the
+single-writer multiple-reader broadcast pattern.
+
+We reproduce the *synchronization structure* with a chemistry-free
+analogue of the same recursive shape: **integer partitions**.  Stage
+``k`` publishes every partition of ``k`` (parts in nonincreasing order),
+built from the smaller stages' streams: a partition of ``k`` with
+largest part ``m`` is ``(m,) + q`` for every partition ``q`` of
+``k - m`` whose parts are ≤ ``m``.  Every stage is a single writer whose
+stream is read concurrently by *all* later stages — stage streams are
+re-readable, exactly like the paper's molecule arrays.
+
+The pipeline is counter-synchronized end to end
+(:class:`~repro.patterns.broadcast.ClosableBroadcast`), so by §6 it is
+deterministic and sequentially equivalent — which the tests assert
+against the classic partition-function recurrence.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.patterns.broadcast import ClosableBroadcast
+from repro.structured.forloop import multithreaded_for
+
+__all__ = ["dataflow_partitions", "partition_count"]
+
+
+@lru_cache(maxsize=None)
+def _count(n: int, max_part: int) -> int:
+    if n == 0:
+        return 1
+    if max_part == 0:
+        return 0
+    return sum(_count(n - m, min(m, n - m)) for m in range(1, min(max_part, n) + 1))
+
+
+def partition_count(n: int) -> int:
+    """The partition function p(n) — oracle for the pipeline output."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return _count(n, n)
+
+
+def dataflow_partitions(max_n: int) -> dict[int, list[tuple[int, ...]]]:
+    """Generate all partitions of 0..max_n with one thread per stage.
+
+    Stage ``k`` reads the streams of stages ``k-1 .. 0`` (each possibly
+    mid-production) and publishes its own.  Returns
+    ``{k: [partitions of k]}`` in a deterministic order.
+
+    >>> result = dataflow_partitions(4)
+    >>> result[4]
+    [(1, 1, 1, 1), (2, 1, 1), (2, 2), (3, 1), (4,)]
+    """
+    if max_n < 0:
+        raise ValueError(f"max_n must be >= 0, got {max_n}")
+    stages: list[ClosableBroadcast[tuple[int, ...]]] = [
+        ClosableBroadcast() for _ in range(max_n + 1)
+    ]
+
+    def run_stage(k: int) -> None:
+        if k == 0:
+            stages[0].publish(())
+            stages[0].close()
+            return
+        for m in range(1, k + 1):
+            # Partitions of k with largest part exactly m; the reader
+            # filters the smaller stage's stream on "largest part <= m".
+            for q in stages[k - m].read():
+                if not q or q[0] <= m:
+                    stages[k].publish((m, *q))
+        stages[k].close()
+
+    multithreaded_for(run_stage, range(max_n + 1), name="partitions")
+    return {k: list(stages[k].read()) for k in range(max_n + 1)}

@@ -1,0 +1,288 @@
+"""Virtual-time models of the paper's workloads (benchmark substrate).
+
+Each function builds a :class:`~repro.simthread.Simulation` that models
+one of the paper's programs — same threads, same synchronization
+structure, with compute replaced by ``Compute(cost)`` — and returns the
+:class:`~repro.simthread.SimResult`.  The makespan is then the critical
+path of the synchronization structure, which is exactly the quantity the
+paper's §4/§5 performance arguments are about (barrier bottleneck vs
+ragged overlap), measured without GIL or timer noise.
+
+Cost models: a base cost per unit of work plus multiplicative jitter
+``U(1 - imbalance, 1 + imbalance)`` drawn from a seeded RNG, so "load
+imbalance" is a single reproducible knob.  Synchronization operations
+optionally cost ``op_cost`` processor time each, modelling the §7
+constant-factor overhead (used by the E6 granularity sweep).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.simthread.scheduler import Simulation, SimResult
+from repro.simthread.syscalls import Compute
+from repro.structured.forloop import block_range
+
+__all__ = [
+    "sim_floyd_warshall",
+    "sim_heat",
+    "sim_broadcast",
+    "sim_ordered_accumulate",
+]
+
+
+def _jitter_fn(imbalance: float, seed: int):
+    if not 0.0 <= imbalance < 1.0:
+        raise ValueError(f"imbalance must be in [0, 1), got {imbalance}")
+    rng = random.Random(seed)
+    if imbalance == 0.0:
+        return lambda: 1.0
+    return lambda: rng.uniform(1.0 - imbalance, 1.0 + imbalance)
+
+
+def sim_floyd_warshall(
+    n: int,
+    num_threads: int,
+    variant: str,
+    *,
+    row_cost: float = 1.0,
+    imbalance: float = 0.0,
+    seed: int = 0,
+    processors: int | None = None,
+) -> SimResult:
+    """§4 Floyd-Warshall synchronization structure in virtual time.
+
+    ``variant``: ``"barrier"`` (§4.3), ``"events"`` (§4.4) or
+    ``"counter"`` (§4.5).  Per iteration ``k``, each thread computes its
+    row block (cost ``row_cost`` × jitter per row); the ragged variants
+    announce row ``k+1`` the moment it is ready, the barrier variant
+    synchronizes all threads.
+    """
+    if variant not in ("barrier", "events", "counter"):
+        raise ValueError(f"unknown variant {variant!r}")
+    if n < 1 or num_threads < 1:
+        raise ValueError("n and num_threads must be >= 1")
+    num_threads = min(num_threads, n)
+    jitter = _jitter_fn(imbalance, seed)
+    # Pre-draw per (thread, iteration, row) costs so every variant sees the
+    # identical workload.
+    rows_of = [list(block_range(t, n, num_threads)) for t in range(num_threads)]
+    costs = [
+        [[row_cost * jitter() for _ in rows_of[t]] for _ in range(n)]
+        for t in range(num_threads)
+    ]
+    sim = Simulation(processors=processors)
+
+    if variant == "barrier":
+        barrier = sim.barrier(num_threads, "fw")
+
+        def barrier_worker(t: int):
+            for k in range(n):
+                for cost in costs[t][k]:
+                    yield Compute(cost)
+                yield barrier.pass_()
+
+        for t in range(num_threads):
+            sim.spawn(barrier_worker(t), name=f"w{t}")
+        return sim.run()
+
+    if variant == "events":
+        events = [sim.event(f"kDone[{k}]") for k in range(n)]
+        events[0].is_set = True  # kDone[0].Set() before the loop
+
+        def events_worker(t: int):
+            for k in range(n):
+                yield events[k].check()
+                for offset, i in enumerate(rows_of[t]):
+                    yield Compute(costs[t][k][offset])
+                    if i == k + 1:
+                        yield events[k + 1].set()
+
+        for t in range(num_threads):
+            sim.spawn(events_worker(t), name=f"w{t}")
+        return sim.run()
+
+    counter = sim.counter("kCount")
+
+    def counter_worker(t: int):
+        for k in range(n):
+            yield counter.check(k)
+            for offset, i in enumerate(rows_of[t]):
+                yield Compute(costs[t][k][offset])
+                if i == k + 1:
+                    yield counter.increment(1)
+
+    for t in range(num_threads):
+        sim.spawn(counter_worker(t), name=f"w{t}")
+    return sim.run()
+
+
+def sim_heat(
+    num_threads: int,
+    steps: int,
+    variant: str,
+    *,
+    step_cost: float = 1.0,
+    read_cost: float = 0.01,
+    imbalance: float = 0.0,
+    seed: int = 0,
+    processors: int | None = None,
+) -> SimResult:
+    """§5.1 boundary-exchange structure in virtual time.
+
+    ``variant``: ``"barrier"`` (two full barriers per step) or
+    ``"ragged"`` (the paper's counter protocol).  Per-step compute cost
+    is ``step_cost`` × jitter per (thread, step).
+    """
+    if variant not in ("barrier", "ragged"):
+        raise ValueError(f"unknown variant {variant!r}")
+    if num_threads < 1 or steps < 0:
+        raise ValueError("num_threads must be >= 1 and steps >= 0")
+    jitter = _jitter_fn(imbalance, seed)
+    costs = [[step_cost * jitter() for _ in range(steps)] for _ in range(num_threads)]
+    sim = Simulation(processors=processors)
+
+    if variant == "barrier":
+        barrier = sim.barrier(num_threads, "heat")
+
+        def barrier_worker(p: int):
+            for t in range(steps):
+                yield barrier.pass_()
+                yield Compute(read_cost)
+                yield barrier.pass_()
+                yield Compute(costs[p][t])
+
+        for p in range(num_threads):
+            sim.spawn(barrier_worker(p), name=f"cell{p}")
+        return sim.run()
+
+    counters = [sim.counter(f"c[{p}]") for p in range(num_threads + 2)]
+    counters[0].value = 2 * steps  # preloaded boundary pseudo-threads
+    counters[num_threads + 1].value = 2 * steps
+
+    def ragged_worker(index: int):
+        p = index + 1
+        for t in range(1, steps + 1):
+            yield counters[p - 1].check(2 * t - 2)
+            yield counters[p + 1].check(2 * t - 2)
+            yield Compute(read_cost)
+            yield counters[p].increment(1)
+            yield Compute(costs[index][t - 1])
+            yield counters[p - 1].check(2 * t - 1)
+            yield counters[p + 1].check(2 * t - 1)
+            yield counters[p].increment(1)
+
+    for index in range(num_threads):
+        sim.spawn(ragged_worker(index), name=f"cell{index}")
+    return sim.run()
+
+
+def sim_broadcast(
+    n_items: int,
+    num_readers: int,
+    *,
+    writer_block: int = 1,
+    reader_block: int = 1,
+    gen_cost: float = 1.0,
+    use_cost: float = 1.0,
+    op_cost: float = 0.2,
+    imbalance: float = 0.0,
+    seed: int = 0,
+    processors: int | None = None,
+) -> SimResult:
+    """§5.3 single-writer multiple-reader broadcast in virtual time.
+
+    One writer generates ``n_items`` (cost ``gen_cost`` each, announced
+    every ``writer_block`` items); each reader consumes all items (cost
+    ``use_cost`` each, synchronizing every ``reader_block`` items).  Each
+    synchronization operation costs ``op_cost``, so the sweep over block
+    sizes reproduces the paper's granularity trade-off.
+    """
+    if n_items < 0 or num_readers < 1:
+        raise ValueError("n_items must be >= 0 and num_readers >= 1")
+    if writer_block < 1 or reader_block < 1:
+        raise ValueError("block sizes must be >= 1")
+    jitter = _jitter_fn(imbalance, seed)
+    sim = Simulation(processors=processors)
+    counter = sim.counter("dataCount")
+
+    def writer():
+        pending = 0
+        for _ in range(n_items):
+            yield Compute(gen_cost * jitter())
+            pending += 1
+            if pending == writer_block:
+                if op_cost:
+                    yield Compute(op_cost)
+                yield counter.increment(pending)
+                pending = 0
+        if pending:
+            if op_cost:
+                yield Compute(op_cost)
+            yield counter.increment(pending)
+
+    def reader(r: int):
+        for i in range(n_items):
+            if i % reader_block == 0:
+                if op_cost:
+                    yield Compute(op_cost)
+                yield counter.check(min(i + reader_block, n_items))
+            yield Compute(use_cost * jitter())
+
+    sim.spawn(writer(), name="writer")
+    for r in range(num_readers):
+        sim.spawn(reader(r), name=f"reader{r}")
+    return sim.run()
+
+
+def sim_ordered_accumulate(
+    n_threads: int,
+    variant: str,
+    *,
+    work: float = 10.0,
+    cs_cost: float = 1.0,
+    imbalance: float = 0.5,
+    seed: int = 0,
+    policy: str = "fifo",
+    processors: int | None = None,
+) -> SimResult:
+    """§5.2 accumulation structure: lock vs ordered counter, in virtual time.
+
+    Each thread computes a subresult (cost ``work`` × jitter), then folds
+    it in a critical section (cost ``cs_cost``).  The lock variant admits
+    threads in arrival order; the counter variant in index order, which
+    is the paper's "less concurrency for more determinacy" trade — the
+    makespans quantify it.
+    """
+    if variant not in ("lock", "counter"):
+        raise ValueError(f"unknown variant {variant!r}")
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    jitter = _jitter_fn(imbalance, seed)
+    works = [work * jitter() for _ in range(n_threads)]
+    sim = Simulation(policy=policy, seed=seed, processors=processors)
+
+    if variant == "lock":
+        lock = sim.lock("resultLock")
+
+        def lock_worker(i: int):
+            yield Compute(works[i])
+            yield lock.acquire()
+            yield Compute(cs_cost)
+            yield lock.release()
+
+        for i in range(n_threads):
+            sim.spawn(lock_worker(i), name=f"t{i}")
+        return sim.run()
+
+    counter = sim.counter("resultCount")
+
+    def counter_worker(i: int):
+        yield Compute(works[i])
+        yield counter.check(i)
+        yield Compute(cs_cost)
+        yield counter.increment(1)
+
+    for i in range(n_threads):
+        sim.spawn(counter_worker(i), name=f"t{i}")
+    return sim.run()

@@ -1,0 +1,7 @@
+"""Benchmark harness utilities: tables, timing, counter stress workloads."""
+
+from repro.bench.tables import Table
+from repro.bench.timing import Timing, measure
+from repro.bench.workloads import SpreadResult, spread_waiters
+
+__all__ = ["Table", "Timing", "measure", "SpreadResult", "spread_waiters"]

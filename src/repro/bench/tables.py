@@ -1,0 +1,74 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every experiment's regenerator prints one of these — the same
+rows/series the paper's evaluation discusses — so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the EXPERIMENTS.md data source.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A fixed-column text table with a title and optional caption."""
+
+    def __init__(self, title: str, columns: Sequence[str], *, caption: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.caption = caption
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are stringified (floats get 3 decimals)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([self._format(cell) for cell in cells])
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def render(self) -> str:
+        """The table as aligned monospaced text."""
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        out.write(f"\n== {self.title} ==\n")
+        if self.caption:
+            out.write(f"{self.caption}\n")
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        out.write(header + "\n")
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in self.rows:
+            out.write("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """The table as CSV (header + rows)."""
+        lines = [",".join(self.columns)]
+        lines += [",".join(row) for row in self.rows]
+        return "\n".join(lines) + "\n"
+
+    def show(self) -> None:
+        """Print the rendered table (benchmarks call this under ``-s``)."""
+        print(self.render())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"<Table {self.title!r} rows={len(self.rows)}>"

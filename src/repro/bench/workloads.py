@@ -1,0 +1,86 @@
+"""Counter-stress workload generators for the E8 complexity benchmarks.
+
+Section 7 claims storage and per-op cost proportional to the number of
+*distinct waiting levels* L, not the number of waiting threads W.  These
+helpers arrange W real threads over L distinct levels against any counter
+implementation, releasing them with one sweep of increments, and report
+the counter's own high-water statistics for verification.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.api import CounterProtocol
+
+__all__ = ["SpreadResult", "spread_waiters"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpreadResult:
+    """Outcome of one spread-waiters run."""
+
+    waiters: int
+    levels: int
+    max_live_levels: int
+    max_live_waiters: int
+
+
+def spread_waiters(
+    counter: CounterProtocol,
+    *,
+    waiters: int,
+    levels: int,
+    increment_steps: int = 1,
+    timeout: float = 30.0,
+) -> SpreadResult:
+    """Park ``waiters`` threads across ``levels`` distinct levels, release all.
+
+    Levels used are ``1..levels``; waiter ``w`` waits on level
+    ``(w % levels) + 1``.  The main thread waits until every waiter is
+    suspended, then raises the counter to ``levels`` in
+    ``increment_steps`` equal increments.  Returns the counter's
+    high-water level/waiter statistics when the implementation exposes
+    them (zeros otherwise).
+    """
+    if waiters < 1 or levels < 1 or levels > waiters:
+        raise ValueError(f"need waiters >= levels >= 1, got {waiters}, {levels}")
+    if increment_steps < 1:
+        raise ValueError(f"increment_steps must be >= 1, got {increment_steps}")
+    parked = threading.Semaphore(0)
+
+    def wait(w: int) -> None:
+        parked.release()
+        counter.check((w % levels) + 1, timeout=timeout)
+
+    threads = [threading.Thread(target=wait, args=(w,)) for w in range(waiters)]
+    for thread in threads:
+        thread.start()
+    for _ in range(waiters):
+        parked.acquire()
+    # Parked means "about to check"; give the checks a moment to suspend.
+    # Correctness does not depend on this (checks of already-passed levels
+    # return immediately); only the high-water stats do.
+    deadline_spins = 10_000
+    while deadline_spins and _suspended_below(counter) < waiters:
+        deadline_spins -= 1
+    base, remainder = divmod(levels, increment_steps)
+    for step in range(increment_steps):
+        counter.increment(base + (1 if step < remainder else 0))
+    for thread in threads:
+        thread.join()
+    stats = getattr(counter, "stats", None)
+    return SpreadResult(
+        waiters=waiters,
+        levels=levels,
+        max_live_levels=getattr(stats, "max_live_levels", 0),
+        max_live_waiters=getattr(stats, "max_live_waiters", 0),
+    )
+
+
+def _suspended_below(counter: CounterProtocol) -> int:
+    snapshot = getattr(counter, "snapshot", None)
+    if snapshot is None:
+        return 1 << 30  # cannot observe; skip the settle loop
+    return snapshot().total_waiters

@@ -1,0 +1,318 @@
+"""Monotonic counter implementations over locks and condition variables.
+
+This is the paper's §7 implementation, transliterated to
+``threading.Lock`` / ``threading.Condition``:
+
+* one mutual-exclusion lock per counter,
+* a dynamically-varying ordered list of wait nodes, one node per distinct
+  level on which at least one thread is suspended,
+* each node owning its own condition variable (sharing the counter lock),
+  a waiter count, and a *set* flag.
+
+``check(level)`` with ``level <= value`` returns immediately; otherwise it
+finds-or-inserts the node for ``level``, bumps its count, and waits on the
+node's condition.  ``increment(amount)`` bumps the value, unlinks every
+node whose level the new value reaches, sets each node's flag and wakes all
+its waiters.  The last waiter to leave a node "deallocates" it (drops the
+final reference).  Storage and per-op time are O(L) in the number of
+distinct waiting levels, never O(total waiters).
+
+Three classes are exported:
+
+* :class:`MonotonicCounter` — the canonical counter; pluggable waitlist
+  strategy (``"linked"`` is the paper-literal list, ``"heap"`` a
+  binary-heap variant with identical semantics).
+* :class:`BroadcastCounter` — the *naive* baseline: one condition variable
+  for everybody, ``notify_all`` on every increment.  Semantically
+  equivalent but wakes O(total waiters) threads per increment; it exists so
+  benchmark E8 can measure what §7's per-level queues actually buy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Literal
+
+from repro.core.api import AbstractCounter
+from repro.core.errors import CheckTimeout, CounterOverflowError, ResetConcurrencyError
+from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
+from repro.core.stats import CounterStats
+from repro.core.validation import validate_amount, validate_level, validate_timeout
+from repro.core.waitlist import HeapWaitList, LinkedWaitList, WaitList
+
+__all__ = ["MonotonicCounter", "BroadcastCounter", "Counter"]
+
+WaitListStrategy = Literal["linked", "heap"]
+
+
+class MonotonicCounter(AbstractCounter):
+    """The monotonic counter of Thornley & Chandy (IPPS 2000).
+
+    Example
+    -------
+    >>> from repro.core.counter import MonotonicCounter
+    >>> c = MonotonicCounter()
+    >>> c.increment(3)
+    3
+    >>> c.check(2)   # 3 >= 2: returns immediately
+    >>> c.value
+    3
+
+    Parameters
+    ----------
+    strategy:
+        ``"linked"`` (default) uses the paper's ordered linked list of wait
+        nodes; ``"heap"`` uses a binary heap.  Identical semantics.
+    max_value:
+        Optional upper bound on the value (mirrors the paper's
+        ``unsigned int``); exceeding it raises
+        :class:`~repro.core.errors.CounterOverflowError` and leaves the
+        value unchanged.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("_lock", "_value", "_waiters", "_draining", "_max_value", "_name", "stats")
+
+    def __init__(
+        self,
+        *,
+        strategy: WaitListStrategy = "linked",
+        max_value: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+        # Nodes released by an increment whose waiters have not all resumed
+        # yet — the "set" nodes of Figure 2 (e)/(f).  Kept only so that
+        # snapshots can reproduce the figure; the last waiter out drops the
+        # node (the paper's deallocation point).
+        self._draining: list = []
+        if strategy == "linked":
+            self._waiters: WaitList = LinkedWaitList(self._lock)
+        elif strategy == "heap":
+            self._waiters = HeapWaitList(self._lock)
+        else:
+            raise ValueError(f"unknown waitlist strategy: {strategy!r}")
+        if max_value is not None and (not isinstance(max_value, int) or max_value < 0):
+            raise ValueError(f"max_value must be a nonnegative int or None, got {max_value!r}")
+        self._max_value = max_value
+        self._name = name
+        #: Lifetime operation statistics (see :class:`repro.core.stats.CounterStats`).
+        self.stats = CounterStats()
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def value(self) -> int:
+        """Current value.  Diagnostic only — synchronize with ``check``."""
+        with self._lock:
+            return self._value
+
+    def increment(self, amount: int = 1) -> int:
+        """Atomically add ``amount`` and wake all newly-satisfied waiters."""
+        amount = validate_amount(amount)
+        with self._lock:
+            new_value = self._value + amount
+            if self._max_value is not None and new_value > self._max_value:
+                raise CounterOverflowError(
+                    f"{self!r}: increment({amount}) would exceed max_value={self._max_value}"
+                )
+            self._value = new_value
+            self.stats.increments += 1
+            if amount:
+                for node in self._waiters.release_through(new_value):
+                    self.stats.nodes_released += 1
+                    self.stats.threads_woken += node.count
+                    node.signal()
+                    if node.count:
+                        self._draining.append(node)
+            return new_value
+
+    def check(self, level: int, timeout: float | None = None) -> None:
+        """Suspend the calling thread until ``value >= level``."""
+        level = validate_level(level)
+        timeout = validate_timeout(timeout)
+        with self._lock:
+            if self._value >= level:
+                self.stats.immediate_checks += 1
+                return
+            node = self._waiters.find_or_insert(level)
+            if node.count == 0 and not node.signaled:
+                self.stats.nodes_created += 1
+            node.count += 1
+            self.stats.suspended_checks += 1
+            self.stats.note_levels(
+                len(self._waiters), sum(n.count for n in self._waiters)
+            )
+            try:
+                if timeout is None:
+                    while not node.signaled:
+                        node.condition.wait()
+                else:
+                    deadline = time.monotonic() + timeout
+                    while not node.signaled:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not node.condition.wait(remaining):
+                            if node.signaled:
+                                break
+                            self.stats.timeouts += 1
+                            raise CheckTimeout(
+                                f"{self!r}: check({level}) timed out after {timeout}s "
+                                f"(value={self._value})"
+                            )
+            finally:
+                node.count -= 1
+                if node.count == 0:
+                    if node.signaled:
+                        # Last waiter out of a released node deallocates it
+                        # (Figure 2 (f) -> (g)).
+                        try:
+                            self._draining.remove(node)
+                        except ValueError:  # pragma: no cover - defensive
+                            pass
+                    else:
+                        # Timed out as the level's last waiter: reclaim the
+                        # node so storage stays proportional to live levels.
+                        self._waiters.discard_if_empty(node)
+
+    def reset(self) -> None:
+        """Reset the value to zero for reuse between algorithm phases.
+
+        Per the paper's contract, ``reset`` must never run concurrently
+        with other operations on the same counter; a reset while threads
+        are suspended in ``check`` is detected and refused.
+        """
+        with self._lock:
+            if len(self._waiters) != 0 or self._draining:
+                raise ResetConcurrencyError(
+                    f"{self!r}: reset() with {len(self._waiters)} waiting level(s) "
+                    f"and {len(self._draining)} draining node(s); reset must not "
+                    "be concurrent with other counter operations"
+                )
+            self._value = 0
+
+    # -------------------------------------------------------- introspection
+
+    def snapshot(self) -> CounterSnapshot:
+        """Freeze value + wait-node chain (reproduces Figure 2 states).
+
+        Includes *set* nodes whose woken waiters have not all resumed yet
+        (Figure 2 (e)/(f)), ordered by level ahead of the live waiting
+        list, which never overlaps them.
+        """
+        with self._lock:
+            draining = sorted(self._draining, key=lambda node: node.level)
+            return CounterSnapshot(
+                value=self._value,
+                nodes=tuple(node.snapshot() for node in draining)
+                + tuple(node.snapshot() for node in self._waiters),
+            )
+
+    @property
+    def waiting_levels(self) -> tuple[int, ...]:
+        """Distinct levels with suspended threads, ascending."""
+        return self.snapshot().waiting_levels
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return f"<MonotonicCounter{label} value={self._value}>"
+
+
+class BroadcastCounter(AbstractCounter):
+    """Naive counter: one shared condition variable, broadcast on increment.
+
+    Semantically a monotonic counter, but every increment wakes **every**
+    waiting thread so each can re-test its own level — O(total waiters)
+    wakeups against the paper implementation's O(released waiters).  Kept
+    as the ablation baseline for benchmark E8 and as the simplest-possible
+    reference implementation for differential testing.
+    """
+
+    __slots__ = ("_cond", "_value", "_max_value", "_name", "_waiting", "stats")
+
+    def __init__(self, *, max_value: int | None = None, name: str | None = None) -> None:
+        self._cond = threading.Condition()
+        self._value = 0
+        self._max_value = max_value
+        self._name = name
+        self._waiting = 0
+        self.stats = CounterStats()
+
+    @property
+    def value(self) -> int:
+        with self._cond:
+            return self._value
+
+    def increment(self, amount: int = 1) -> int:
+        amount = validate_amount(amount)
+        with self._cond:
+            new_value = self._value + amount
+            if self._max_value is not None and new_value > self._max_value:
+                raise CounterOverflowError(
+                    f"{self!r}: increment({amount}) would exceed max_value={self._max_value}"
+                )
+            self._value = new_value
+            self.stats.increments += 1
+            if amount and self._waiting:
+                self.stats.threads_woken += self._waiting
+                self._cond.notify_all()
+            return new_value
+
+    def check(self, level: int, timeout: float | None = None) -> None:
+        level = validate_level(level)
+        timeout = validate_timeout(timeout)
+        with self._cond:
+            if self._value >= level:
+                self.stats.immediate_checks += 1
+                return
+            self.stats.suspended_checks += 1
+            self._waiting += 1
+            self.stats.note_levels(1, self._waiting)
+            try:
+                if timeout is None:
+                    while self._value < level:
+                        self._cond.wait()
+                else:
+                    deadline = time.monotonic() + timeout
+                    while self._value < level:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            if self._value >= level:
+                                break
+                            self.stats.timeouts += 1
+                            raise CheckTimeout(
+                                f"{self!r}: check({level}) timed out after {timeout}s "
+                                f"(value={self._value})"
+                            )
+            finally:
+                self._waiting -= 1
+
+    def reset(self) -> None:
+        with self._cond:
+            if self._waiting:
+                raise ResetConcurrencyError(
+                    f"{self!r}: reset() with {self._waiting} waiting thread(s)"
+                )
+            self._value = 0
+
+    def snapshot(self) -> CounterSnapshot:
+        # The broadcast counter has a single anonymous queue; we surface it
+        # as one pseudo-node at the *smallest* level anyone could be waiting
+        # for (unknown), reported as -1-free structure: no per-level info.
+        with self._cond:
+            nodes = (
+                (WaitNodeSnapshot(level=self._value + 1, count=self._waiting),)
+                if self._waiting
+                else ()
+            )
+            return CounterSnapshot(value=self._value, nodes=nodes)
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return f"<BroadcastCounter{label} value={self._value}>"
+
+
+#: Alias matching the paper's class name (``class Counter { ... }``, §2).
+Counter = MonotonicCounter

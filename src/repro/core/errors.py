@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro.core` counter package.
+
+The paper defines a deliberately small interface (``Increment`` and
+``Check``); correspondingly the failure surface is small.  Everything a
+counter can signal derives from :class:`CounterError` so callers can catch
+one type.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CounterError",
+    "CounterValueError",
+    "CheckTimeout",
+    "ResetConcurrencyError",
+    "CounterOverflowError",
+]
+
+
+class CounterError(Exception):
+    """Base class for all counter-related errors."""
+
+
+class CounterValueError(CounterError, ValueError):
+    """An operand was invalid (negative amount/level, non-integer, ...).
+
+    The paper types amounts and levels as C++ ``unsigned int``; in Python we
+    validate instead of relying on wraparound.
+    """
+
+
+class CheckTimeout(CounterError, TimeoutError):
+    """A ``check(level, timeout=...)`` call expired before ``value >= level``.
+
+    This is a deviation from the paper's interface (which has no bounded
+    wait); it exists so tests and applications can fail fast instead of
+    hanging.  A timeout does *not* perturb counter state: the waiting record
+    for the expired thread is cleaned up.
+    """
+
+
+class ResetConcurrencyError(CounterError, RuntimeError):
+    """``reset()`` was called while other operations were in flight.
+
+    The paper's contract for ``Reset`` is that it must never be called
+    concurrently with other operations on the same counter.  We detect the
+    cheap-to-detect violation — threads currently suspended in ``check`` —
+    and refuse to reset under them.
+    """
+
+
+class CounterOverflowError(CounterError, OverflowError):
+    """The counter value exceeded the configured maximum.
+
+    Python ints do not overflow, but a practical counter implementation can
+    bound its value (mirroring the paper's ``unsigned int``) to catch runaway
+    increment loops.  Raised only when a ``max_value`` bound was configured.
+    """

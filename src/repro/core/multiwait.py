@@ -1,0 +1,96 @@
+"""Waiting on several counters at once — safe *because* of monotonicity.
+
+With traditional condition variables, "wait until P and Q both hold"
+needs careful lock choreography: P may stop holding while you wait for
+Q.  Counter conditions are stable (§2/§6: once ``value >= level`` it
+stays true), so a conjunction of counter conditions can be awaited by
+simply checking each in any order — no retry loop, no race window.
+These helpers package that reasoning with validation and a shared
+deadline.
+
+There is deliberately **no** ``check_any``: "wait until at least one of
+these reaches a level" makes the *identity of the satisfier* observable,
+which reintroduces the nondeterministic choice the paper excludes along
+with ``Probe`` (§2).  A disjunction is expressible deterministically by
+giving both producers the same counter.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.core.api import CounterProtocol
+from repro.core.errors import CheckTimeout
+from repro.core.validation import validate_level, validate_timeout
+
+__all__ = ["check_all", "Condition"]
+
+Condition = tuple[CounterProtocol, int]
+
+
+def check_all(
+    conditions: Iterable[Condition],
+    timeout: float | None = None,
+) -> None:
+    """Suspend until EVERY ``(counter, level)`` condition holds.
+
+    Equivalent to checking each in sequence — that this naive strategy
+    is correct (each condition, once passed, cannot unpass) is the point
+    of the helper.  With a ``timeout``, the budget is shared across all
+    conditions and expiry raises :class:`~repro.core.errors.CheckTimeout`.
+
+    >>> from repro.core import MonotonicCounter
+    >>> a, b = MonotonicCounter(), MonotonicCounter()
+    >>> a.increment(2); b.increment(1)
+    2
+    1
+    >>> check_all([(a, 2), (b, 1)])   # returns immediately
+    """
+    pairs: Sequence[Condition] = list(conditions)
+    for counter, level in pairs:
+        validate_level(level)
+        if not isinstance(counter, CounterProtocol):
+            raise TypeError(f"expected a counter-like object, got {counter!r}")
+    timeout = validate_timeout(timeout)
+    if timeout is None:
+        for counter, level in pairs:
+            counter.check(level)
+        return
+    deadline = time.monotonic() + timeout
+    for counter, level in pairs:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            # Let the counter decide instantly: passes iff already satisfied.
+            counter.check(level, timeout=0)
+        else:
+            counter.check(level, timeout=remaining)
+
+
+def barrier_levels(episode: int, parties: int) -> int:
+    """The counter level at which barrier ``episode`` (0-based) completes.
+
+    Companion to :class:`repro.sync.barrier.CounterBarrier`: episode e is
+    complete when the arrival counter reaches ``(e + 1) * parties``.
+    Exposed for programs that mix barrier-style waits with other counter
+    levels on the same counter (only counters can express that mix).
+    """
+    if episode < 0 or parties < 1:
+        raise ValueError(f"need episode >= 0 and parties >= 1, got {episode}, {parties}")
+    return (episode + 1) * parties
+
+
+__all__.append("barrier_levels")
+
+
+def checkpoint(counters: Iterable[CounterProtocol], level: int, timeout: float | None = None) -> None:
+    """Wait until every counter in a collection reaches one common level.
+
+    The N-producer join: e.g. N pipeline stages each announcing progress
+    on their own counter, a consumer waiting for all of them to finish
+    step ``level``.  Sugar over :func:`check_all`.
+    """
+    check_all([(counter, level) for counter in counters], timeout=timeout)
+
+
+__all__.append("checkpoint")

@@ -1,0 +1,61 @@
+"""Introspection snapshots of counter state.
+
+Section 7 / Figure 2 of the paper describe the internal structure of a
+counter as its value plus an ordered list of wait nodes, each carrying a
+level, a waiter count, and a condition variable that is either *set* or
+*not set*.  :class:`CounterSnapshot` captures exactly that structure so
+tests (and ``examples/figure2_trace.py``) can reproduce Figure 2
+node-for-node.
+
+Snapshots are **for observation only**.  The paper deliberately omits any
+probe operation because a decision based on the instantaneous value of a
+counter reintroduces race conditions; never use a snapshot to synchronize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["WaitNodeSnapshot", "CounterSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class WaitNodeSnapshot:
+    """Immutable view of one wait node (one distinct waiting level).
+
+    Attributes mirror the four node components of the paper's §7: the
+    ``level`` threads are waiting for, the ``count`` of threads waiting at
+    that level, and whether the node's condition variable has been
+    ``signaled`` (the paper's *set* flag).  The link to the next node is
+    implied by list order in :class:`CounterSnapshot`.
+    """
+
+    level: int
+    count: int
+    signaled: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        state = "set" if self.signaled else "not set"
+        return f"[level={self.level} count={self.count} {state}]"
+
+
+@dataclass(frozen=True, slots=True)
+class CounterSnapshot:
+    """Immutable view of a whole counter: value + ordered wait nodes."""
+
+    value: int
+    nodes: tuple[WaitNodeSnapshot, ...] = field(default_factory=tuple)
+
+    @property
+    def waiting_levels(self) -> tuple[int, ...]:
+        """The distinct levels with at least one suspended thread."""
+        return tuple(node.level for node in self.nodes)
+
+    @property
+    def total_waiters(self) -> int:
+        """Total number of suspended threads across all levels."""
+        return sum(node.count for node in self.nodes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        chain = " -> ".join(str(n) for n in self.nodes) or "(empty)"
+        return f"Counter(value={self.value}, waiting: {chain})"

@@ -1,0 +1,62 @@
+"""Lightweight operation statistics for counters.
+
+The complexity claims of §7 (storage and per-operation time proportional to
+the number of *distinct waiting levels*, not to the number of waiting
+threads) are quantified by benchmark E8.  Counters therefore keep a few
+cheap integer tallies; collection costs one attribute bump per event and is
+always on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CounterStats"]
+
+
+@dataclass(slots=True)
+class CounterStats:
+    """Running tallies of one counter's lifetime activity.
+
+    ``immediate_checks`` counts ``check`` calls satisfied without
+    suspension; ``suspended_checks`` counts those that had to wait.
+    ``nodes_created`` counts wait-node allocations (one per *new* distinct
+    waiting level), and ``max_live_levels`` is the high-water mark of
+    simultaneously existing wait nodes — the L in the paper's O(L) bounds.
+    """
+
+    increments: int = 0
+    immediate_checks: int = 0
+    suspended_checks: int = 0
+    timeouts: int = 0
+    nodes_created: int = 0
+    nodes_released: int = 0
+    threads_woken: int = 0
+    max_live_levels: int = 0
+    max_live_waiters: int = 0
+
+    @property
+    def checks(self) -> int:
+        """Total ``check`` calls observed."""
+        return self.immediate_checks + self.suspended_checks
+
+    def note_levels(self, live_levels: int, live_waiters: int) -> None:
+        """Record a high-water observation of live levels/waiters."""
+        if live_levels > self.max_live_levels:
+            self.max_live_levels = live_levels
+        if live_waiters > self.max_live_waiters:
+            self.max_live_waiters = live_waiters
+
+    def snapshot(self) -> "CounterStats":
+        """A detached copy (the live object keeps mutating)."""
+        return CounterStats(
+            increments=self.increments,
+            immediate_checks=self.immediate_checks,
+            suspended_checks=self.suspended_checks,
+            timeouts=self.timeouts,
+            nodes_created=self.nodes_created,
+            nodes_released=self.nodes_released,
+            threads_woken=self.threads_woken,
+            max_live_levels=self.max_live_levels,
+            max_live_waiters=self.max_live_waiters,
+        )

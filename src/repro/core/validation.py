@@ -1,0 +1,43 @@
+"""Operand validation shared by every counter implementation.
+
+The paper types ``Increment`` amounts and ``Check`` levels as C++
+``unsigned int``.  Python has no unsigned type, so we validate explicitly:
+operands must be integers (``bool`` excluded) and nonnegative.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import CounterValueError
+
+__all__ = ["validate_amount", "validate_level", "validate_timeout"]
+
+
+def _as_nonnegative_int(value: object, what: str) -> int:
+    # bool is an int subclass; accepting it silently invites bugs like
+    # increment(ok) where ok was meant to be a count.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise CounterValueError(f"{what} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise CounterValueError(f"{what} must be >= 0, got {value}")
+    return value
+
+
+def validate_amount(amount: object) -> int:
+    """Validate an ``increment`` amount; returns it typed as ``int``."""
+    return _as_nonnegative_int(amount, "increment amount")
+
+
+def validate_level(level: object) -> int:
+    """Validate a ``check`` level; returns it typed as ``int``."""
+    return _as_nonnegative_int(level, "check level")
+
+
+def validate_timeout(timeout: object) -> float | None:
+    """Validate an optional timeout in seconds."""
+    if timeout is None:
+        return None
+    if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+        raise CounterValueError(f"timeout must be a number or None, got {type(timeout).__name__}")
+    if timeout < 0:
+        raise CounterValueError(f"timeout must be >= 0, got {timeout}")
+    return float(timeout)

@@ -1,0 +1,208 @@
+"""Waiting-list strategies for monotonic counters.
+
+Section 7 of the paper represents a counter's suspended threads as *"a
+dynamically changing ordered list of condition variables, with one node for
+each level on which one or more threads are waiting"*.  This module
+implements that data structure twice:
+
+* :class:`LinkedWaitList` — the literal §7 algorithm: an ordered singly
+  linked list searched/spliced in O(L) where L is the number of distinct
+  waiting levels.  This is the canonical implementation and the one whose
+  states reproduce Figure 2.
+* :class:`HeapWaitList` — a binary-heap + hash-map variant with O(log L)
+  insertion and O(k log L) release of k nodes.  Functionally identical;
+  exists to let the E8 benchmark quantify how much the list discipline
+  matters.
+
+Both structures assume the **caller holds the counter's lock** for every
+call; they contain no locking of their own.  Each node owns a
+``threading.Condition`` created over that same lock, so waiting threads
+suspend on their level's private queue exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Iterator, Protocol
+
+from repro.core.snapshot import WaitNodeSnapshot
+
+__all__ = ["WaitNode", "WaitList", "LinkedWaitList", "HeapWaitList"]
+
+
+class WaitNode:
+    """One distinct waiting level: the four-component node of §7.
+
+    ``level``     the counter value the waiters need,
+    ``count``     number of threads currently waiting at that level,
+    ``condition`` the per-level suspension queue (shares the counter lock),
+    ``next``      the link used by :class:`LinkedWaitList`.
+
+    ``signaled`` records whether :meth:`signal` has run — the paper's *set*
+    flag.  Woken threads use it to distinguish a genuine release from a
+    spurious wakeup, and the last woken thread deallocates the node (here:
+    the wait list simply drops its reference; ``count`` hitting zero with
+    ``signaled`` True is the "deallocate" point).
+    """
+
+    __slots__ = ("level", "count", "condition", "signaled", "next")
+
+    def __init__(self, level: int, lock: threading.Lock) -> None:
+        self.level = level
+        self.count = 0
+        self.condition = threading.Condition(lock)
+        self.signaled = False
+        self.next: WaitNode | None = None
+
+    def signal(self) -> None:
+        """Mark the node set and wake every thread suspended on it."""
+        self.signaled = True
+        self.condition.notify_all()
+
+    def snapshot(self) -> WaitNodeSnapshot:
+        return WaitNodeSnapshot(level=self.level, count=self.count, signaled=self.signaled)
+
+
+class WaitList(Protocol):
+    """Strategy interface: an ordered collection of :class:`WaitNode`.
+
+    All methods require the counter lock to be held by the caller.
+    """
+
+    def find_or_insert(self, level: int) -> WaitNode:
+        """Return the node for ``level``, creating and linking it if absent."""
+        ...
+
+    def release_through(self, value: int) -> list[WaitNode]:
+        """Unlink and return all nodes with ``level <= value``, in level order."""
+        ...
+
+    def discard_if_empty(self, node: WaitNode) -> bool:
+        """Drop ``node`` if it has no waiters (timeout cleanup). True if dropped."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[WaitNode]: ...
+
+
+class LinkedWaitList:
+    """The paper's ordered singly linked list of wait nodes.
+
+    The list is kept sorted ascending by level and never contains a level
+    less than or equal to the counter value (the counter maintains that
+    invariant by calling :meth:`release_through` inside every increment).
+    """
+
+    __slots__ = ("_lock", "_head")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._head: WaitNode | None = None
+
+    def find_or_insert(self, level: int) -> WaitNode:
+        prev: WaitNode | None = None
+        node = self._head
+        while node is not None and node.level < level:
+            prev, node = node, node.next
+        if node is not None and node.level == level:
+            return node
+        fresh = WaitNode(level, self._lock)
+        fresh.next = node
+        if prev is None:
+            self._head = fresh
+        else:
+            prev.next = fresh
+        return fresh
+
+    def release_through(self, value: int) -> list[WaitNode]:
+        released: list[WaitNode] = []
+        node = self._head
+        while node is not None and node.level <= value:
+            released.append(node)
+            node = node.next
+        if released:
+            self._head = node
+            released[-1].next = None
+        return released
+
+    def discard_if_empty(self, node: WaitNode) -> bool:
+        if node.count != 0:
+            return False
+        prev: WaitNode | None = None
+        cur = self._head
+        while cur is not None and cur is not node:
+            prev, cur = cur, cur.next
+        if cur is None:
+            return False  # already released by an increment
+        if prev is None:
+            self._head = cur.next
+        else:
+            prev.next = cur.next
+        cur.next = None
+        return True
+
+    def __len__(self) -> int:
+        n = 0
+        node = self._head
+        while node is not None:
+            n += 1
+            node = node.next
+        return n
+
+    def __iter__(self) -> Iterator[WaitNode]:
+        node = self._head
+        while node is not None:
+            yield node
+            node = node.next
+
+
+class HeapWaitList:
+    """Binary-heap waiting list: same contract, O(log L) insertion.
+
+    A ``dict`` maps levels to live nodes (so ``find_or_insert`` is O(1) on
+    hit) and a heap of levels yields them in order for release.  Entries
+    whose level has been discarded (timeout cleanup) are skipped lazily.
+    """
+
+    __slots__ = ("_lock", "_nodes", "_heap")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._nodes: dict[int, WaitNode] = {}
+        self._heap: list[int] = []
+
+    def find_or_insert(self, level: int) -> WaitNode:
+        node = self._nodes.get(level)
+        if node is None:
+            node = WaitNode(level, self._lock)
+            self._nodes[level] = node
+            heapq.heappush(self._heap, level)
+        return node
+
+    def release_through(self, value: int) -> list[WaitNode]:
+        released: list[WaitNode] = []
+        while self._heap and self._heap[0] <= value:
+            level = heapq.heappop(self._heap)
+            node = self._nodes.pop(level, None)
+            if node is not None:
+                released.append(node)
+        return released
+
+    def discard_if_empty(self, node: WaitNode) -> bool:
+        if node.count != 0:
+            return False
+        live = self._nodes.get(node.level)
+        if live is not node:
+            return False  # already released by an increment
+        del self._nodes[node.level]
+        # The heap entry is left behind and skipped lazily on release.
+        return True
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[WaitNode]:
+        for level in sorted(self._nodes):
+            yield self._nodes[level]

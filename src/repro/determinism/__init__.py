@@ -1,0 +1,44 @@
+"""Determinacy machinery for counter-synchronized programs (paper §6).
+
+* :class:`~repro.determinism.checker.DeterminismChecker` — instrument a
+  run with traced counters and shared variables; get a race verdict that,
+  by counter monotonicity, certifies *all* schedules from one execution.
+* :mod:`~repro.determinism.equivalence` — determinacy-over-runs and
+  sequential-equivalence harnesses.
+* Building blocks: vector clocks, the trace context, traced counters,
+  instrumented shared variables.
+"""
+
+from repro.determinism.checker import DeterminismChecker
+from repro.determinism.equivalence import (
+    EquivalenceVerdict,
+    check_sequential_equivalence,
+    collect_results,
+    is_deterministic,
+    scheduling_jitter,
+    sequentially_executable,
+)
+from repro.determinism.registry import ThreadState, TraceContext
+from repro.determinism.report import Access, Race, RaceError, RaceReport
+from repro.determinism.shared import Shared
+from repro.determinism.traced_counter import TracedCounter
+from repro.determinism.vectorclock import VectorClock
+
+__all__ = [
+    "DeterminismChecker",
+    "TracedCounter",
+    "Shared",
+    "VectorClock",
+    "TraceContext",
+    "ThreadState",
+    "Access",
+    "Race",
+    "RaceError",
+    "RaceReport",
+    "EquivalenceVerdict",
+    "check_sequential_equivalence",
+    "collect_results",
+    "is_deterministic",
+    "scheduling_jitter",
+    "sequentially_executable",
+]

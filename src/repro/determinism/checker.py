@@ -1,0 +1,83 @@
+"""The determinacy checker façade.
+
+One :class:`DeterminismChecker` instruments one program run: create your
+counters and shared variables through it, run the program (threaded or
+sequential), then ask for the verdict.  Because counter happens-before is
+schedule-independent (§6), a race-free verdict from **one** execution
+certifies **all** executions of the same program — the checker is the
+executable form of the paper's "if the conditions hold in any one
+execution, they hold in all executions".
+
+>>> from repro.determinism import DeterminismChecker
+>>> from repro.structured import multithreaded
+>>> checker = DeterminismChecker()
+>>> x = checker.shared(0, "x")
+>>> c = checker.counter("xCount")
+>>> def first():
+...     c.check(0); x.modify(lambda v: v + 1); c.increment(1)
+>>> def second():
+...     c.check(1); x.modify(lambda v: v * 2); c.increment(1)
+>>> _ = multithreaded(first, second)
+>>> checker.report().race_free
+True
+>>> x.peek()
+2
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+from repro.determinism.registry import TraceContext
+from repro.determinism.report import Race, RaceError, RaceReport
+from repro.determinism.shared import Shared
+from repro.determinism.traced_counter import TracedCounter
+
+T = TypeVar("T")
+
+__all__ = ["DeterminismChecker"]
+
+
+class DeterminismChecker:
+    """Factory + collector for one instrumented program run."""
+
+    def __init__(self) -> None:
+        self._context = TraceContext()
+        self._races: list[Race] = []
+        self._counters: list[TracedCounter] = []
+        self._shared: list[Shared] = []
+
+    def counter(self, name: str | None = None) -> TracedCounter:
+        """A monotonic counter whose operations create happens-before edges."""
+        counter = TracedCounter(self._context, name=name)
+        self._counters.append(counter)
+        return counter
+
+    def shared(self, initial: T, name: str | None = None) -> Shared[T]:
+        """An instrumented shared variable under the §6 discipline."""
+        label = name if name is not None else f"shared_{len(self._shared)}"
+        variable: Shared[T] = Shared(
+            initial, name=label, context=self._context, sink=self._races
+        )
+        self._shared.append(variable)
+        return variable
+
+    @property
+    def context(self) -> TraceContext:
+        return self._context
+
+    def report(self) -> RaceReport:
+        """The verdict for the run instrumented so far."""
+        return RaceReport(races=list(self._races))
+
+    def assert_race_free(self) -> None:
+        """Raise :class:`~repro.determinism.report.RaceError` on any race."""
+        report = self.report()
+        if not report.race_free:
+            raise RaceError(str(report))
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeterminismChecker counters={len(self._counters)} "
+            f"shared={len(self._shared)} races={len(self._races)}>"
+        )

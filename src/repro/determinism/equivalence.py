@@ -1,0 +1,149 @@
+"""Sequential-equivalence and determinacy harnesses (paper §6).
+
+Two claims become executable here:
+
+* **Determinacy**: a counter-synchronized, discipline-obeying program
+  yields one result over many threaded runs
+  (:func:`collect_results` / :func:`is_deterministic`).
+* **Sequential equivalence**: that one result equals the result of
+  executing the program with the ``multithreaded`` keyword ignored
+  (:func:`check_sequential_equivalence`).
+
+Programs are passed as zero-argument callables that build all their state
+fresh and return a comparable result; the harness runs them under
+:func:`~repro.structured.execution.sequential_execution` and in threaded
+mode with optional scheduling jitter to shake out timing-dependent
+behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.structured.execution import sequential_execution
+
+T = TypeVar("T")
+
+__all__ = [
+    "EquivalenceVerdict",
+    "check_sequential_equivalence",
+    "collect_results",
+    "is_deterministic",
+    "scheduling_jitter",
+    "sequentially_executable",
+]
+
+
+def scheduling_jitter(max_seconds: float = 0.001, rng: random.Random | None = None) -> None:
+    """Sleep a small random duration to perturb thread interleaving.
+
+    Programs under determinacy test call this between operations so that
+    "deterministic over many runs" is evidence about synchronization
+    structure rather than about a quiet machine.
+    """
+    delay = (rng.random() if rng is not None else random.random()) * max_seconds
+    if delay > 0:
+        time.sleep(delay)
+
+
+def collect_results(
+    program: Callable[[], T],
+    *,
+    runs: int = 10,
+    key: Callable[[T], object] = lambda r: r,
+) -> list[T]:
+    """Run ``program`` repeatedly (threaded mode); return all results.
+
+    ``key`` maps results to a comparable/hashable projection when the raw
+    result is not hashable (e.g. lists).
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    return [program() for _ in range(runs)]
+
+
+def is_deterministic(
+    program: Callable[[], T],
+    *,
+    runs: int = 10,
+    key: Callable[[T], object] = lambda r: r,
+) -> bool:
+    """True iff ``runs`` threaded executions all produce the same result."""
+    results = collect_results(program, runs=runs)
+    projections = {key(result) for result in results}
+    return len(projections) == 1
+
+
+def sequentially_executable(program: Callable[[], T], *, budget: float = 1.0) -> bool:
+    """Probe the §6 precondition: does sequential execution avoid deadlock?
+
+    The theorem reads: *if sequential execution does not deadlock,
+    multithreaded execution cannot deadlock and equals it.*  This helper
+    tests the antecedent by running ``program`` under sequential
+    execution in a watchdog thread; exceeding ``budget`` seconds (or
+    raising a blocking-related error) is treated as a sequential
+    deadlock.  Heuristic by nature — deadlock is undecidable — but exact
+    for programs whose compute is fast relative to ``budget``, which is
+    what test suites use it for (§4.5's Floyd-Warshall is the canonical
+    *False*; §5.2/§5.3 programs the canonical *True*).
+    """
+    import threading
+
+    outcome: list[bool] = []
+
+    def run() -> None:
+        try:
+            with sequential_execution():
+                program()
+            outcome.append(True)
+        except BaseException:  # noqa: BLE001 - any failure => not executable
+            outcome.append(False)
+
+    watchdog = threading.Thread(target=run, daemon=True)
+    watchdog.start()
+    watchdog.join(budget)
+    return bool(outcome) and outcome[0]
+
+
+@dataclass(slots=True)
+class EquivalenceVerdict:
+    """Outcome of a sequential-equivalence check."""
+
+    sequential_result: object
+    threaded_results: list = field(default_factory=list)
+    distinct_threaded: int = 0
+    equivalent: bool = False
+
+    def __str__(self) -> str:
+        verdict = "EQUIVALENT" if self.equivalent else "NOT EQUIVALENT"
+        return (
+            f"{verdict}: sequential={self.sequential_result!r}, "
+            f"{len(self.threaded_results)} threaded runs, "
+            f"{self.distinct_threaded} distinct threaded result(s)"
+        )
+
+
+def check_sequential_equivalence(
+    program: Callable[[], T],
+    *,
+    runs: int = 10,
+    key: Callable[[T], object] = lambda r: r,
+) -> EquivalenceVerdict:
+    """Compare sequential execution of ``program`` against threaded runs.
+
+    The program must construct all of its state (counters, shared data,
+    structured constructs) inside the call so each execution is fresh.
+    """
+    with sequential_execution():
+        sequential_result = program()
+    threaded = collect_results(program, runs=runs)
+    projections = {key(result) for result in threaded}
+    return EquivalenceVerdict(
+        sequential_result=sequential_result,
+        threaded_results=threaded,
+        distinct_threaded=len(projections),
+        equivalent=len(projections) == 1 and key(sequential_result) in projections,
+    )

@@ -1,0 +1,82 @@
+"""Per-thread identity and clock registry for instrumented runs.
+
+All instrumented objects (traced counters, shared variables) in one
+analysis belong to a :class:`TraceContext`.  The context hands each OS
+thread a small dense index and a :class:`VectorClock`, both created
+lazily on the thread's first instrumented operation.
+
+A fresh context per analyzed program run keeps runs independent; contexts
+are cheap and carry their own lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.determinism.vectorclock import VectorClock
+from repro.structured.execution import current_logical_thread
+
+__all__ = ["TraceContext", "ThreadState"]
+
+
+class ThreadState:
+    """One thread's analysis state: dense index + vector clock."""
+
+    __slots__ = ("tid", "clock")
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.clock = VectorClock()
+
+    def __repr__(self) -> str:
+        return f"<ThreadState T{self.tid} {self.clock!r}>"
+
+
+class TraceContext:
+    """Registry handing each *logical* thread its analysis state.
+
+    Identity is the statement token planted by the structured constructs
+    (:func:`repro.structured.execution.current_logical_thread`), so the
+    analysis sees the multithreaded program's thread structure even when
+    the program executes sequentially — which is what makes the §6
+    verdict independent of the execution mode.  Code running outside any
+    construct falls back to per-OS-thread identity via a per-context
+    ``threading.local`` (not OS thread idents, which platforms recycle).
+
+    Thread indices are dense (0, 1, 2, ...) in first-touch order, so
+    vector clocks stay small and race reports readable.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next_tid = 0
+        self._local = threading.local()
+        self._by_token: dict[object, ThreadState] = {}
+
+    def state(self) -> ThreadState:
+        """The calling logical thread's state, created on first use."""
+        token = current_logical_thread()
+        if token is not None:
+            with self._lock:
+                state = self._by_token.get(token)
+                if state is None:
+                    state = ThreadState(tid=self._next_tid)
+                    self._next_tid += 1
+                    self._by_token[token] = state
+            return state
+        state = getattr(self._local, "state", None)
+        if state is None:
+            with self._lock:
+                state = ThreadState(tid=self._next_tid)
+                self._next_tid += 1
+            self._local.state = state
+        return state
+
+    @property
+    def thread_count(self) -> int:
+        """Number of threads that performed at least one instrumented op."""
+        with self._lock:
+            return self._next_tid
+
+    def __repr__(self) -> str:
+        return f"<TraceContext threads={self.thread_count}>"

@@ -1,0 +1,63 @@
+"""Race and ordering-violation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Access", "Race", "RaceReport", "RaceError"]
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One recorded access to a shared variable."""
+
+    variable: str
+    kind: str  # "read" | "write"
+    tid: int
+    clock: object  # VectorClock at access time (copy)
+
+    def __str__(self) -> str:
+        return f"{self.kind} of {self.variable!r} by T{self.tid}"
+
+
+@dataclass(frozen=True, slots=True)
+class Race:
+    """Two accesses to the same variable not separated by counter operations.
+
+    In the paper's terms: the pair violates the §6 discipline ("each pair
+    of operations on a shared variable must be separated by a transitive
+    chain of counter operations"), so the program may be nondeterministic.
+    """
+
+    first: Access
+    second: Access
+
+    def __str__(self) -> str:
+        return f"race on {self.first.variable!r}: {self.first} unordered with {self.second}"
+
+
+class RaceError(AssertionError):
+    """Raised by ``assert_race_free`` when races were detected."""
+
+
+@dataclass(slots=True)
+class RaceReport:
+    """All races found in one instrumented run."""
+
+    races: list[Race] = field(default_factory=list)
+
+    @property
+    def race_free(self) -> bool:
+        return not self.races
+
+    @property
+    def variables(self) -> set[str]:
+        """Names of variables involved in at least one race."""
+        return {race.first.variable for race in self.races}
+
+    def __str__(self) -> str:
+        if self.race_free:
+            return "race-free: the counter-ordering discipline holds"
+        lines = [f"{len(self.races)} race(s) detected:"]
+        lines += [f"  - {race}" for race in self.races]
+        return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Instrumented shared variables.
+
+:class:`Shared` wraps a value with ``read``/``write``/``modify`` methods
+that record each access together with the accessing thread's vector
+clock, and flags any pair of conflicting accesses (at least one a write)
+that is **not** ordered by the counter-derived happens-before relation.
+
+Important: instrumentation adds *detection*, not protection.  A ``Shared``
+does serialize its own bookkeeping internally, but it deliberately creates
+no happens-before edges — only counter operations do — so an undisciplined
+program is reported racy even when the GIL or internal locking happened to
+serialize the accesses in this particular run.  That is exactly the §6
+semantics: the discipline is a property of the synchronization structure,
+not of one lucky schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Generic, TypeVar
+
+from repro.determinism.registry import TraceContext
+from repro.determinism.report import Access, Race
+from repro.determinism.vectorclock import VectorClock
+
+T = TypeVar("T")
+
+__all__ = ["Shared"]
+
+
+class _Epoch:
+    """A (tid, clock-copy) pair for one recorded access."""
+
+    __slots__ = ("tid", "clock")
+
+    def __init__(self, tid: int, clock: VectorClock) -> None:
+        self.tid = tid
+        self.clock = clock
+
+
+class Shared(Generic[T]):
+    """A shared variable under the §6 counter-ordering discipline.
+
+    Created through
+    :meth:`repro.determinism.checker.DeterminismChecker.shared`; races are
+    accumulated on the owning checker's report.
+    """
+
+    __slots__ = ("_name", "_context", "_sink", "_lock", "_value", "_last_write", "_reads")
+
+    def __init__(
+        self,
+        value: T,
+        *,
+        name: str,
+        context: TraceContext,
+        sink: list[Race],
+    ) -> None:
+        self._name = name
+        self._context = context
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._value = value
+        self._last_write: _Epoch | None = None
+        self._reads: list[_Epoch] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def read(self) -> T:
+        """Read the value, recording the access."""
+        state = self._context.state()
+        state.clock.tick(state.tid)
+        clock = state.clock.copy()
+        with self._lock:
+            if self._last_write is not None and not self._last_write.clock.happens_before(clock):
+                self._report("write", self._last_write, "read", _Epoch(state.tid, clock))
+            self._reads.append(_Epoch(state.tid, clock))
+            return self._value
+
+    def write(self, value: T) -> None:
+        """Write the value, recording the access."""
+        state = self._context.state()
+        state.clock.tick(state.tid)
+        clock = state.clock.copy()
+        epoch = _Epoch(state.tid, clock)
+        with self._lock:
+            if self._last_write is not None and not self._last_write.clock.happens_before(clock):
+                self._report("write", self._last_write, "write", epoch)
+            for read in self._reads:
+                if not read.clock.happens_before(clock):
+                    self._report("read", read, "write", epoch)
+            self._value = value
+            self._last_write = epoch
+            self._reads.clear()
+
+    def modify(self, fn: Callable[[T], T]) -> T:
+        """Read-modify-write; recorded as a read followed by a write.
+
+        The two recordings share one clock tick pair, mirroring a source
+        statement like ``x = x + 1``.  Returns the new value.
+        """
+        state = self._context.state()
+        state.clock.tick(state.tid)
+        clock = state.clock.copy()
+        epoch = _Epoch(state.tid, clock)
+        with self._lock:
+            if self._last_write is not None and not self._last_write.clock.happens_before(clock):
+                self._report("write", self._last_write, "modify", epoch)
+            for read in self._reads:
+                if read.tid != state.tid and not read.clock.happens_before(clock):
+                    self._report("read", read, "modify", epoch)
+            self._value = fn(self._value)
+            self._last_write = epoch
+            self._reads.clear()
+            return self._value
+
+    def peek(self) -> T:
+        """Unrecorded read for post-run assertions (never call mid-run)."""
+        with self._lock:
+            return self._value
+
+    def _report(self, kind1: str, first: _Epoch, kind2: str, second: _Epoch) -> None:
+        race = Race(
+            first=Access(variable=self._name, kind=kind1, tid=first.tid, clock=first.clock),
+            second=Access(variable=self._name, kind=kind2, tid=second.tid, clock=second.clock),
+        )
+        self._sink.append(race)
+
+    def __repr__(self) -> str:
+        return f"<Shared {self._name!r} value={self._value!r}>"

@@ -1,0 +1,83 @@
+"""Vector clocks for counter-aware happens-before tracking.
+
+Section 6 of the paper states the shared-variable discipline under which
+counter programs are deterministic: *"each pair of operations on a shared
+variable must be separated by a transitive chain of counter operations."*
+We make that discipline checkable by tracking a vector clock per thread
+and deriving happens-before edges from counter operations only:
+
+* ``increment`` by thread T publishes T's clock into the counter's
+  release history at the resulting value;
+* a ``check(level)`` that returns acquired the joined clocks of exactly
+  the increment prefix that first made ``value >= level``.
+
+Because the counter is monotone, that prefix is schedule-independent —
+which is precisely why the derived happens-before relation (and hence the
+race verdict) is the same for every execution, and why checking *one*
+execution suffices (§6, last paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A mutable map thread-index -> event count, with join/compare.
+
+    Comparison follows the usual partial order: ``a <= b`` iff every
+    component of ``a`` is <= the corresponding component of ``b``.
+    """
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Mapping[int, int] | None = None) -> None:
+        self._clocks: dict[int, int] = dict(clocks) if clocks else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)
+
+    def tick(self, tid: int) -> None:
+        """Advance thread ``tid``'s own component by one local event."""
+        self._clocks[tid] = self._clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Componentwise max, in place (the 'acquire' of release clocks)."""
+        for tid, clock in other._clocks.items():
+            if clock > self._clocks.get(tid, 0):
+                self._clocks[tid] = clock
+
+    def get(self, tid: int) -> int:
+        return self._clocks.get(tid, 0)
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """True iff *every* event in self is visible in ``other`` (self <= other).
+
+        With per-access clocks (thread ticks before each shared access),
+        access A ordered-before access B is exactly ``A.clock <= B.clock``.
+        """
+        return all(clock <= other._clocks.get(tid, 0) for tid, clock in self._clocks.items())
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither ordered before the other: a potential race."""
+        return not self.happens_before(other) and not other.happens_before(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        # Missing components are zero, so strip explicit zeros for equality.
+        a = {t: c for t, c in self._clocks.items() if c}
+        b = {t: c for t, c in other._clocks.items() if c}
+        return a == b
+
+    def __hash__(self) -> int:  # immutable *views* only; use with care
+        return hash(frozenset((t, c) for t, c in self._clocks.items() if c))
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(sorted(self._clocks.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"T{t}:{c}" for t, c in self)
+        return f"<VC {inner or '∅'}>"

@@ -1,0 +1,33 @@
+"""Reusable counter synchronization patterns (paper §5).
+
+* :class:`~repro.patterns.ragged.RaggedBarrier` — §5.1 pairwise neighbour
+  synchronization replacing full barriers.
+* :class:`~repro.patterns.ordered.OrderedRegion` — §5.2 mutual exclusion
+  *with sequential ordering*.
+* :class:`~repro.patterns.broadcast.SingleWriterBroadcast` /
+  :class:`~repro.patterns.broadcast.ClosableBroadcast` — §5.3
+  single-writer multiple-reader broadcast, fixed- and unknown-length.
+* :func:`~repro.patterns.wavefront.wavefront_run` — 2-D dataflow
+  wavefront, the natural generalization the paper gestures at.
+"""
+
+from repro.patterns.broadcast import SEAL, ClosableBroadcast, SingleWriterBroadcast
+from repro.patterns.cells import DataflowArray, DataflowCell
+from repro.patterns.ordered import OrderedRegion
+from repro.patterns.ragged import RaggedBarrier
+from repro.patterns.taskgraph import CycleError, DependencyError, TaskGraph
+from repro.patterns.wavefront import wavefront_run
+
+__all__ = [
+    "RaggedBarrier",
+    "OrderedRegion",
+    "SingleWriterBroadcast",
+    "ClosableBroadcast",
+    "SEAL",
+    "DataflowCell",
+    "DataflowArray",
+    "TaskGraph",
+    "CycleError",
+    "DependencyError",
+    "wavefront_run",
+]

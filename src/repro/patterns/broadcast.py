@@ -1,0 +1,178 @@
+"""Single-writer multiple-reader broadcast (paper §5.3).
+
+One writer publishes a sequence of items; any number of readers each read
+the *entire* sequence independently (reading does not consume).  One
+counter synchronizes everybody: the writer's increments broadcast
+availability to every reader, each of which may be suspended at a
+different level — the pattern that showcases counters' dynamically-varying
+suspension queues.
+
+Two variants:
+
+* :class:`SingleWriterBroadcast` — the paper's listing: the total item
+  count ``n`` is known up front; readers iterate ``0..n-1``.  Supports the
+  paper's *blocked* granularity on both sides (``block_size`` per thread,
+  independently chosen).
+* :class:`ClosableBroadcast` — a practical extension for unknown ``n``:
+  ``close()`` bumps the counter past every conceivable level, so blocked
+  readers wake and observe completion without any probe operation.  The
+  protocol stays race-free because it relies only on monotonicity.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Sequence, TypeVar
+
+from repro.core.api import CounterProtocol
+from repro.core.counter import MonotonicCounter
+
+T = TypeVar("T")
+
+__all__ = ["SingleWriterBroadcast", "ClosableBroadcast", "SEAL"]
+
+#: Counter jump used by :meth:`ClosableBroadcast.close`; far above any real
+#: item count, so ``check(i + 1)`` passes for every i once closed.
+SEAL = 1 << 62
+
+
+class SingleWriterBroadcast(Generic[T]):
+    """Fixed-length broadcast buffer: one writer, many independent readers.
+
+    >>> bc = SingleWriterBroadcast(3)
+    >>> for i in range(3):
+    ...     bc.publish(i * 10)
+    >>> list(bc.read())
+    [0, 10, 20]
+    """
+
+    __slots__ = ("_data", "_count", "_counter", "_published")
+
+    def __init__(self, n_items: int, *, counter: CounterProtocol | None = None) -> None:
+        if n_items < 0:
+            raise ValueError(f"n_items must be >= 0, got {n_items}")
+        self._count = n_items
+        self._data: list[T | None] = [None] * n_items
+        self._counter = counter if counter is not None else MonotonicCounter(name="dataCount")
+        self._published = 0
+
+    @property
+    def n_items(self) -> int:
+        return self._count
+
+    @property
+    def counter(self) -> CounterProtocol:
+        return self._counter
+
+    # ---------------------------------------------------------------- writer
+
+    def publish(self, item: T) -> None:
+        """Write the next item and announce it (synchronize every item)."""
+        index = self._published
+        if index >= self._count:
+            raise IndexError(f"broadcast full: all {self._count} items published")
+        self._data[index] = item
+        self._published = index + 1
+        self._counter.increment(1)
+
+    def publish_blocked(self, items: Sequence[T], block_size: int) -> None:
+        """The paper's blocked writer: announce in ``block_size`` batches.
+
+        ``items`` must be exactly the remaining capacity.  Increments the
+        counter once per full block and once for the final partial block —
+        the ``(i+1) % blockSize`` logic of the §5.3 listing.
+        """
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if self._published + len(items) > self._count:
+            raise IndexError("publish_blocked would exceed the broadcast capacity")
+        pending = 0
+        for item in items:
+            self._data[self._published] = item
+            self._published += 1
+            pending += 1
+            if pending == block_size:
+                self._counter.increment(pending)
+                pending = 0
+        if pending:
+            self._counter.increment(pending)
+
+    # ---------------------------------------------------------------- reader
+
+    def read(self, block_size: int = 1, timeout: float | None = None) -> Iterator[T]:
+        """Iterate all items, synchronizing every ``block_size`` items.
+
+        Each reader chooses its own granularity (the paper's point): a
+        larger block means fewer ``check`` calls but coarser pipelining.
+        """
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        for i in range(self._count):
+            if i % block_size == 0:
+                self._counter.check(min(i + block_size, self._count), timeout=timeout)
+            yield self._data[i]  # type: ignore[misc]
+
+    def get(self, index: int, timeout: float | None = None) -> T:
+        """Random access to one item, waiting until it is published."""
+        if not 0 <= index < self._count:
+            raise IndexError(f"index {index} out of range [0, {self._count})")
+        self._counter.check(index + 1, timeout=timeout)
+        return self._data[index]  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"<SingleWriterBroadcast {self._published}/{self._count} published>"
+
+
+class ClosableBroadcast(Generic[T]):
+    """Unknown-length broadcast: publish any number of items, then close.
+
+    Readers iterate with ``check(i + 1)``; :meth:`close` increments the
+    counter by :data:`SEAL`, releasing every suspension queue at once.  A
+    woken reader distinguishes "item i exists" from "stream ended" by the
+    published length, which is safe to read because the close increment
+    happens-after the final publish.
+
+    >>> bc = ClosableBroadcast()
+    >>> bc.publish('a'); bc.publish('b'); bc.close()
+    >>> list(bc.read())
+    ['a', 'b']
+    """
+
+    __slots__ = ("_data", "_counter", "_closed")
+
+    def __init__(self, *, counter: CounterProtocol | None = None) -> None:
+        self._data: list[T] = []
+        self._counter = counter if counter is not None else MonotonicCounter(name="dataCount")
+        self._closed = False
+
+    @property
+    def counter(self) -> CounterProtocol:
+        return self._counter
+
+    def publish(self, item: T) -> None:
+        if self._closed:
+            raise RuntimeError("publish() after close()")
+        self._data.append(item)
+        self._counter.increment(1)
+
+    def close(self) -> None:
+        """End the stream, waking all readers.  Idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._counter.increment(SEAL)
+
+    def read(self, timeout: float | None = None) -> Iterator[T]:
+        """Iterate every item ever published, ending cleanly after close."""
+        i = 0
+        while True:
+            self._counter.check(i + 1, timeout=timeout)
+            # Either item i was published (i < len) or the stream closed
+            # with only i items; both facts are stable under monotonicity.
+            if i < len(self._data):
+                yield self._data[i]
+                i += 1
+            else:
+                return
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<ClosableBroadcast {state} items={len(self._data)}>"

@@ -1,0 +1,138 @@
+"""Dataflow cells: single-assignment semantics rebuilt ON counters.
+
+Section 8 positions counters as extending the single-assignment variable
+of dataflow languages by "(i) separating the synchronization and
+data-holding functionality, and (ii) allowing synchronization on many
+different values of a single object."  These classes make the first half
+concrete by *composition*: a :class:`DataflowCell` is nothing but a
+payload slot plus ``counter.check(1)`` / ``increment(1)``, and a
+:class:`DataflowArray` is a value array plus ONE counter whose level
+``i + 1`` means "slots 0..i are written" — the ``kRow`` staging idiom of
+§4.4/§4.5 packaged as a reusable component.
+
+Contrast with :class:`repro.sync.single_assignment.SingleAssignment`,
+which implements the same cell semantics directly on a condition
+variable: the counter build gets N cells for one synchronization object,
+the direct build needs N objects.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Generic, Iterator, TypeVar
+
+from repro.core.api import CounterProtocol
+from repro.core.counter import MonotonicCounter
+from repro.sync.errors import AlreadyAssignedError
+
+T = TypeVar("T")
+
+__all__ = ["DataflowCell", "DataflowArray"]
+
+
+class DataflowCell(Generic[T]):
+    """A write-once cell: a payload + a counter used at one level.
+
+    >>> cell = DataflowCell()
+    >>> cell.assign(42)
+    >>> cell.read()
+    42
+    """
+
+    __slots__ = ("_value", "_counter", "_assign_lock", "_assigned")
+
+    def __init__(self, *, counter: CounterProtocol | None = None) -> None:
+        self._value: T | None = None
+        self._counter = counter if counter is not None else MonotonicCounter(name="cell")
+        # Writer-side bookkeeping only: readers synchronize exclusively
+        # through the counter.  The lock serializes racing *writers* so a
+        # double assignment is detected reliably, not just usually.
+        self._assign_lock = threading.Lock()
+        self._assigned = False
+
+    def assign(self, value: T) -> None:
+        """Write the value; the counter's 0→1 step publishes it."""
+        with self._assign_lock:
+            if self._assigned:
+                raise AlreadyAssignedError(f"{self!r} already assigned")
+            self._value = value
+            self._assigned = True
+        self._counter.increment(1)
+
+    def read(self, timeout: float | None = None) -> T:
+        """Suspend until assigned, then return the value."""
+        self._counter.check(1, timeout=timeout)
+        return self._value  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        state = "assigned" if self._counter.value >= 1 else "unassigned"
+        return f"<DataflowCell {state}>"
+
+
+class DataflowArray(Generic[T]):
+    """N write-once slots published in index order over ONE counter.
+
+    The writer must assign slots 0, 1, 2, ... consecutively (the §4.4
+    ``kRow`` discipline); any number of readers block per-slot with
+    ``check(i + 1)``.  One synchronization object total — the §8 claim,
+    executable.
+
+    >>> arr = DataflowArray(3)
+    >>> for i in range(3):
+    ...     arr.assign_next(i * 10)
+    >>> arr.read(2)
+    20
+    >>> list(arr)
+    [0, 10, 20]
+    """
+
+    __slots__ = ("_values", "_counter", "_next", "_assign_lock")
+
+    def __init__(self, size: int, *, counter: CounterProtocol | None = None) -> None:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self._values: list[T | None] = [None] * size
+        self._counter = counter if counter is not None else MonotonicCounter(name="cells")
+        self._next = 0
+        self._assign_lock = threading.Lock()
+
+    @property
+    def size(self) -> int:
+        return len(self._values)
+
+    @property
+    def counter(self) -> CounterProtocol:
+        """The one synchronization object behind all slots."""
+        return self._counter
+
+    def assign_next(self, value: T) -> int:
+        """Write the next unwritten slot; returns its index.
+
+        Multiple writers may call this; the slot handoff is serialized
+        writer-side (readers still synchronize only through the counter).
+        """
+        with self._assign_lock:
+            index = self._next
+            if index >= len(self._values):
+                raise IndexError(f"all {len(self._values)} slots already assigned")
+            self._values[index] = value
+            self._next = index + 1
+        self._counter.increment(1)
+        return index
+
+    def read(self, index: int, timeout: float | None = None) -> T:
+        """Suspend until slot ``index`` is written, then return it."""
+        if not 0 <= index < len(self._values):
+            raise IndexError(f"index {index} out of range [0, {len(self._values)})")
+        self._counter.check(index + 1, timeout=timeout)
+        return self._values[index]  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterator[T]:
+        for index in range(len(self._values)):
+            yield self.read(index)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"<DataflowArray {self._next}/{len(self._values)} assigned>"

@@ -1,0 +1,82 @@
+"""Mutual exclusion with sequential ordering (paper §5.2).
+
+Replacing a lock/unlock pair with a counter check/increment pair buys
+*order* on top of mutual exclusion: thread ``i`` enters its critical
+section only after thread ``i-1`` has left.  The result is deterministic
+accumulation of non-associative operations (list append, float addition)
+at the cost of reduced concurrency — §5.2's stated trade.
+
+:class:`OrderedRegion` packages the pair as a context manager::
+
+    region = OrderedRegion()
+    ...
+    with region.turn(i):          # Check(i)
+        accumulate(result, sub)   # exclusive AND i-th in order
+    ...                           # Increment(1) on exit
+
+Exactly one thread can be between ``Check(i)`` succeeding and
+``Increment(1)``, because the counter equals ``i`` only until that
+increment — so mutual exclusion holds with no extra lock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
+
+from repro.core.api import CounterProtocol
+from repro.core.counter import MonotonicCounter
+
+T = TypeVar("T")
+
+__all__ = ["OrderedRegion"]
+
+
+class OrderedRegion:
+    """A critical section whose entrants are admitted in sequence 0, 1, 2, ...
+
+    Parameters
+    ----------
+    counter:
+        Optional counter to synchronize on (traced/simulated substitutes);
+        defaults to a fresh :class:`~repro.core.counter.MonotonicCounter`.
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, *, counter: CounterProtocol | None = None) -> None:
+        self._counter = counter if counter is not None else MonotonicCounter(name="ordered")
+
+    @property
+    def counter(self) -> CounterProtocol:
+        return self._counter
+
+    @property
+    def completed(self) -> int:
+        """How many turns have fully completed (diagnostic only)."""
+        return self._counter.value
+
+    @contextmanager
+    def turn(self, index: int, timeout: float | None = None) -> Iterator[None]:
+        """Enter the region as the ``index``-th entrant (0-based).
+
+        Blocks until all earlier turns have completed.  The turn is marked
+        complete on normal exit; on exception the turn is **still marked
+        complete** so later turns are not deadlocked — the exception then
+        propagates.
+        """
+        if index < 0:
+            raise ValueError(f"turn index must be >= 0, got {index}")
+        self._counter.check(index, timeout=timeout)
+        try:
+            yield
+        finally:
+            self._counter.increment(1)
+
+    def run_turn(self, index: int, fn: Callable[[], T], timeout: float | None = None) -> T:
+        """Run ``fn`` as the ``index``-th entrant and return its result."""
+        with self.turn(index, timeout=timeout):
+            return fn()
+
+    def __repr__(self) -> str:
+        return f"<OrderedRegion completed={self._counter.value}>"

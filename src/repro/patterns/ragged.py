@@ -1,0 +1,86 @@
+"""Ragged barriers (paper §5.1).
+
+A traditional barrier makes every thread wait for *all* threads each
+step.  A ragged barrier keeps the same program structure but each thread
+waits only until *its own* data dependencies are satisfied — in the
+paper's words, synchronization "between pairs of neighboring threads via
+an array of counters".
+
+:class:`RaggedBarrier` packages the §5.1 protocol: participant ``i`` owns
+counter ``c[i]``; it announces progress with :meth:`advance` and waits for
+a specific neighbour's progress with :meth:`wait_for`.  Boundary
+participants that never compute (the constant end cells of the heat
+simulation) are emulated with :meth:`preload`, which pushes their counter
+past every level anyone will ever check — the exact
+``c[0].Increment(2*numSteps)`` trick of the paper's listing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.api import CounterProtocol
+from repro.core.counter import MonotonicCounter
+
+__all__ = ["RaggedBarrier"]
+
+
+class RaggedBarrier:
+    """An array of per-participant counters for neighbour synchronization.
+
+    Parameters
+    ----------
+    participants:
+        Number of participant slots (counters).
+    counter_factory:
+        Optional factory so callers can substitute traced or simulated
+        counters; defaults to :class:`~repro.core.counter.MonotonicCounter`.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(
+        self,
+        participants: int,
+        *,
+        counter_factory: Callable[[str], CounterProtocol] | None = None,
+    ) -> None:
+        if participants < 1:
+            raise ValueError(f"participants must be >= 1, got {participants}")
+        factory = counter_factory or (lambda name: MonotonicCounter(name=name))
+        self._counters: Sequence[CounterProtocol] = tuple(
+            factory(f"ragged[{i}]") for i in range(participants)
+        )
+
+    @property
+    def participants(self) -> int:
+        return len(self._counters)
+
+    def counter(self, i: int) -> CounterProtocol:
+        """Participant ``i``'s counter (for inspection)."""
+        return self._counters[i]
+
+    def advance(self, i: int, ticks: int = 1) -> None:
+        """Announce that participant ``i`` made ``ticks`` units of progress."""
+        self._counters[i].increment(ticks)
+
+    def wait_for(self, j: int, ticks: int, timeout: float | None = None) -> None:
+        """Suspend until participant ``j`` has made at least ``ticks`` progress."""
+        self._counters[j].check(ticks, timeout=timeout)
+
+    def preload(self, i: int, ticks: int) -> None:
+        """Mark participant ``i`` as pre-completed through ``ticks`` progress.
+
+        Used for boundary participants whose state never changes, so their
+        neighbours' ``wait_for`` calls always pass (§5.1's
+        ``c[0].Increment(2*numSteps)``).
+        """
+        self._counters[i].increment(ticks)
+
+    def progress(self, i: int) -> int:
+        """Participant ``i``'s announced progress (diagnostic only)."""
+        return self._counters[i].value
+
+    def __repr__(self) -> str:
+        values = ", ".join(str(c.value) for c in self._counters)
+        return f"<RaggedBarrier [{values}]>"

@@ -1,0 +1,139 @@
+"""A task-DAG runner synchronized entirely by counters.
+
+The general form of the paper's dataflow style (§5.3, §8): a directed
+acyclic graph of tasks, each produced-once and consumed by any number of
+dependents.  Every task gets a :class:`~repro.patterns.cells.DataflowCell`
+(a payload + one counter level); a dependent simply ``read()``s its
+inputs — monotone conditions mean no wait loops, no condition-variable
+choreography, and by §6 the whole execution is deterministic and
+equivalent to any topological sequential order.
+
+Failure semantics: a failing task poisons its cell so dependents fail
+fast with :class:`DependencyError` instead of suspending forever; the
+original exceptions surface through the structured construct's
+``MultithreadedBlockError``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.patterns.cells import DataflowCell
+from repro.structured.forloop import multithreaded_for
+
+__all__ = ["TaskGraph", "CycleError", "DependencyError"]
+
+
+class CycleError(ValueError):
+    """The graph contains a dependency cycle (reported with a witness)."""
+
+
+class DependencyError(RuntimeError):
+    """A task's dependency failed; carries the upstream task's name."""
+
+
+class _Poison:
+    __slots__ = ("source",)
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+
+
+class TaskGraph:
+    """Build a DAG of named tasks, then run it with one thread per task.
+
+    >>> graph = TaskGraph()
+    >>> graph.add("a", lambda: 2)
+    >>> graph.add("b", lambda: 3)
+    >>> graph.add("sum", lambda a, b: a + b, deps=("a", "b"))
+    >>> graph.run()["sum"]
+    5
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, tuple[Callable[..., Any], tuple[str, ...]]] = {}
+
+    def add(self, name: str, fn: Callable[..., Any], deps: tuple[str, ...] | list[str] = ()) -> None:
+        """Register task ``name`` computing ``fn(*dep_results)``.
+
+        Dependencies must already be registered (which incidentally makes
+        cycles impossible to *construct*; :meth:`run` still validates, so
+        graphs assembled by other means fail loudly too).
+        """
+        if not callable(fn):
+            raise TypeError(f"task {name!r}: fn must be callable, got {fn!r}")
+        if name in self._tasks:
+            raise ValueError(f"task {name!r} already registered")
+        deps = tuple(deps)
+        for dep in deps:
+            if dep not in self._tasks:
+                raise ValueError(f"task {name!r}: unknown dependency {dep!r}")
+        self._tasks[name] = (fn, deps)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def _check_acyclic(self) -> list[str]:
+        """Topological order (raises :class:`CycleError` with a witness)."""
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 visiting, 1 done
+        stack: list[str] = []
+
+        def visit(node: str) -> None:
+            mark = state.get(node)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = stack[stack.index(node):] + [node]
+                raise CycleError(" -> ".join(cycle))
+            state[node] = 0
+            stack.append(node)
+            for dep in self._tasks[node][1]:
+                visit(dep)
+            stack.pop()
+            state[node] = 1
+            order.append(node)
+
+        for name in self._tasks:
+            visit(name)
+        return order
+
+    def run(self, *, timeout: float | None = None) -> dict[str, Any]:
+        """Execute the graph; returns ``{task name: result}``.
+
+        One thread per task (the paper's model); each suspends on its
+        inputs' cells and publishes its own.  ``timeout`` bounds every
+        individual dependency wait.
+        """
+        self._check_acyclic()
+        cells: dict[str, DataflowCell[Any]] = {
+            name: DataflowCell() for name in self._tasks
+        }
+
+        def runner(name: str) -> Any:
+            fn, deps = self._tasks[name]
+            inputs = []
+            for dep in deps:
+                value = cells[dep].read(timeout=timeout)
+                if isinstance(value, _Poison):
+                    poison = _Poison(value.source)
+                    cells[name].assign(poison)
+                    raise DependencyError(
+                        f"task {name!r} cannot run: upstream {value.source!r} failed"
+                    )
+                inputs.append(value)
+            try:
+                result = fn(*inputs)
+            except BaseException:
+                cells[name].assign(_Poison(name))
+                raise
+            cells[name].assign(result)
+            return result
+
+        names = list(self._tasks)
+        results = multithreaded_for(runner, names, name="taskgraph")
+        return dict(zip(names, results))
+
+    def __repr__(self) -> str:
+        edges = sum(len(deps) for _, deps in self._tasks.values())
+        return f"<TaskGraph tasks={len(self._tasks)} edges={edges}>"

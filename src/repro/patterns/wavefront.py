@@ -1,0 +1,70 @@
+"""2-D wavefront dataflow (a §5 "many other situations" pattern).
+
+Dynamic-programming grids where cell ``(i, j)`` depends on ``(i-1, j)``
+and ``(i, j-1)`` (edit distance, LCS, Smith-Waterman, ...) are a classic
+dataflow workload.  With one thread per row-block and one counter per
+thread, thread ``t`` increments its counter after finishing each column
+block, and thread ``t+1`` checks it before starting the same column block
+— a diagonal "wavefront" sweeps the grid with no barrier anywhere.
+
+This is the same ragged-barrier idea as §5.1 but with a genuinely 2-D
+dependency structure, which makes it the sharpest demonstration of
+"threads can be many iterations apart" (here: many *columns* apart).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.api import CounterProtocol
+from repro.core.counter import MonotonicCounter
+from repro.structured.forloop import block_range, multithreaded_for
+
+__all__ = ["wavefront_run"]
+
+
+def wavefront_run(
+    rows: int,
+    cols: int,
+    cell_fn: Callable[[int, int], None],
+    *,
+    num_threads: int,
+    col_block: int = 1,
+    counter_factory: Callable[[str], CounterProtocol] | None = None,
+) -> None:
+    """Execute ``cell_fn(i, j)`` for every grid cell, respecting
+    (i-1, j) and (i, j-1) dependencies, with row-block parallelism.
+
+    Rows are partitioned into ``num_threads`` contiguous blocks (one
+    thread each); each thread walks its rows column-by-column in blocks of
+    ``col_block`` columns, waiting on the previous thread's counter before
+    each column block.  ``cell_fn`` must only read cells above/left of the
+    one it computes (the usual DP contract); within one thread's block the
+    row-major order satisfies that automatically.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    if col_block < 1:
+        raise ValueError(f"col_block must be >= 1, got {col_block}")
+    factory = counter_factory or (lambda name: MonotonicCounter(name=name))
+    num_threads = min(num_threads, rows)
+    done = [factory(f"wavefront[{t}]") for t in range(num_threads)]
+
+    def worker(t: int) -> None:
+        my_rows = block_range(t, rows, num_threads)
+        blocks = 0
+        for j_start in range(0, cols, col_block):
+            j_end = min(j_start + col_block, cols)
+            blocks += 1
+            if t > 0:
+                # Wait until the thread above has finished these columns
+                # for ALL of its rows (its counter counts column blocks).
+                done[t - 1].check(blocks)
+            for i in my_rows:
+                for j in range(j_start, j_end):
+                    cell_fn(i, j)
+            done[t].increment(1)
+
+    multithreaded_for(worker, range(num_threads), name="wavefront")

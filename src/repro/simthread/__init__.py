@@ -1,0 +1,72 @@
+"""Deterministic virtual-time thread simulator.
+
+The performance substrate of this reproduction: simulated threads are
+generators yielding syscalls (:class:`Compute`, ``counter.check(...)``,
+...); the :class:`Simulation` scheduler interprets them against virtual
+time, so the makespan of a program is the critical path of its
+synchronization structure — measured exactly, deterministically, and
+GIL-free.  See ``DESIGN.md`` §2 for why this substitution preserves the
+paper's performance claims.
+"""
+
+from repro.simthread.primitives import (
+    SimBarrier,
+    SimChannel,
+    SimCounter,
+    SimDeadlockError,
+    SimEvent,
+    SimLock,
+    SimSemaphore,
+)
+from repro.simthread.scheduler import Simulation, SimResult, SimTaskError
+from repro.simthread.syscalls import (
+    BarrierPass,
+    ChannelGet,
+    ChannelPut,
+    CheckOp,
+    Compute,
+    Delay,
+    EventCheck,
+    EventSet,
+    IncrementOp,
+    LockAcquire,
+    LockRelease,
+    SemAcquire,
+    SemRelease,
+    Syscall,
+)
+from repro.simthread.task import Task, TaskState, TaskStats
+from repro.simthread.tracing import TraceEvent, TraceRecorder, render_gantt
+
+__all__ = [
+    "Simulation",
+    "SimResult",
+    "SimTaskError",
+    "SimCounter",
+    "SimEvent",
+    "SimBarrier",
+    "SimLock",
+    "SimSemaphore",
+    "SimChannel",
+    "SimDeadlockError",
+    "Task",
+    "TaskState",
+    "TaskStats",
+    "TraceEvent",
+    "TraceRecorder",
+    "render_gantt",
+    "Syscall",
+    "Compute",
+    "Delay",
+    "CheckOp",
+    "IncrementOp",
+    "EventSet",
+    "EventCheck",
+    "BarrierPass",
+    "LockAcquire",
+    "LockRelease",
+    "SemAcquire",
+    "SemRelease",
+    "ChannelPut",
+    "ChannelGet",
+]

@@ -1,0 +1,295 @@
+"""Discrete-event scheduler: virtual time for simulated threads.
+
+Why a simulator in a paper reproduction?  The paper's performance
+arguments (§4, §5.1) are about *dependency structure*: a barrier makes
+every thread wait for the slowest, a counter lets each thread proceed the
+instant its own data is ready.  On CPython, the GIL serializes compute and
+would drown that signal in noise; in virtual time the signal **is** the
+measurement.  Each task occupies its own processor (or queues, under a
+bounded pool), compute advances its local clock, synchronization imposes
+the ordering — so the simulated makespan is exactly the critical path of
+the synchronization structure, reproducibly, on any host.
+
+Determinism: every tie is broken by spawn order and event sequence
+numbers, and the only deliberate nondeterminism — contended lock /
+semaphore grant order — is controlled by ``policy`` (``"fifo"``,
+``"lifo"``, or ``"random"`` with a seed).  Running the same program with
+the same seed always yields the same trace; sweeping seeds emulates timing
+races for the E7 experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from repro.simthread.primitives import (
+    SimBarrier,
+    SimChannel,
+    SimCounter,
+    SimDeadlockError,
+    SimEvent,
+    SimLock,
+    SimSemaphore,
+)
+from repro.simthread.syscalls import Compute, Delay, Syscall
+from repro.simthread.task import Task, TaskState, TaskStats
+
+__all__ = ["Simulation", "SimResult", "SimTaskError"]
+
+
+class SimTaskError(ExceptionGroup):
+    """All exceptions raised by tasks during one simulation run."""
+
+
+@dataclass(slots=True)
+class SimResult:
+    """Outcome of a completed simulation."""
+
+    #: Virtual completion time of the whole program (max task finish).
+    makespan: float
+    #: Per-task accounting, keyed by task name.
+    tasks: dict[str, TaskStats] = field(default_factory=dict)
+    #: Per-task return values, keyed by task name.
+    returns: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_compute(self) -> float:
+        """Sum of processor-busy time across tasks (the serial work)."""
+        return sum(stats.compute_time for stats in self.tasks.values())
+
+    @property
+    def total_wait(self) -> float:
+        """Sum of synchronization wait across tasks (the coordination cost)."""
+        return sum(stats.wait_time for stats in self.tasks.values())
+
+    @property
+    def speedup(self) -> float:
+        """Serial work divided by makespan — parallel speedup in virtual time."""
+        return self.total_compute / self.makespan if self.makespan else float("nan")
+
+    def __str__(self) -> str:
+        return (
+            f"SimResult(makespan={self.makespan:.3f}, tasks={len(self.tasks)}, "
+            f"speedup={self.speedup:.2f}, total_wait={self.total_wait:.3f})"
+        )
+
+
+class Simulation:
+    """A virtual-time multithreaded machine.
+
+    Parameters
+    ----------
+    processors:
+        ``None`` (default) models one processor per task — the paper's
+        multiprocessor setting.  An int bounds the pool; tasks then queue
+        (FIFO) for processors during ``Compute``.
+    policy:
+        Grant order for contended locks/semaphores: ``"fifo"``,
+        ``"lifo"``, or ``"random"``.
+    seed:
+        Seed for the ``"random"`` policy.
+
+    Example
+    -------
+    >>> sim = Simulation()
+    >>> c = sim.counter("done")
+    >>> def producer():
+    ...     yield Compute(2.0)
+    ...     yield c.increment(1)
+    >>> def consumer():
+    ...     yield c.check(1)
+    ...     yield Compute(1.0)
+    >>> _ = sim.spawn(producer(), name="p")
+    >>> _ = sim.spawn(consumer(), name="q")
+    >>> sim.run().makespan
+    3.0
+    """
+
+    def __init__(
+        self,
+        *,
+        processors: int | None = None,
+        policy: str = "fifo",
+        seed: int = 0,
+        trace: bool = False,
+    ) -> None:
+        if processors is not None and processors < 1:
+            raise ValueError(f"processors must be >= 1 or None, got {processors}")
+        if policy not in ("fifo", "lifo", "random"):
+            raise ValueError(f"policy must be fifo/lifo/random, got {policy!r}")
+        if trace:
+            from repro.simthread.tracing import TraceRecorder
+
+            #: Optional execution trace (``None`` unless ``trace=True``).
+            self.trace: "TraceRecorder | None" = TraceRecorder()
+        else:
+            self.trace = None
+        self.now = 0.0
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._event_seq = 0
+        self._tasks: list[Task] = []
+        self._policy = policy
+        self._rng = random.Random(seed)
+        self._processors = processors
+        self._busy = 0
+        self._cpu_queue: list[tuple[Task, float]] = []
+        self._started = False
+
+    # ------------------------------------------------------------ factories
+
+    def counter(self, name: str = "counter") -> SimCounter:
+        return SimCounter(name)
+
+    def event(self, name: str = "event") -> SimEvent:
+        return SimEvent(name)
+
+    def barrier(self, parties: int, name: str = "barrier") -> SimBarrier:
+        return SimBarrier(parties, name)
+
+    def lock(self, name: str = "lock") -> SimLock:
+        return SimLock(name)
+
+    def semaphore(self, initial: int = 0, name: str = "semaphore") -> SimSemaphore:
+        return SimSemaphore(initial, name)
+
+    def channel(self, capacity: int, name: str = "channel") -> SimChannel:
+        return SimChannel(capacity, name)
+
+    # ------------------------------------------------------------- spawning
+
+    def spawn(self, gen: Generator[Any, Any, Any], *, name: str | None = None) -> Task:
+        """Register a task; it starts at the current virtual instant.
+
+        May be called before :meth:`run` (program setup) or from within a
+        running task (dynamic spawning) — the child starts at ``sim.now``.
+        """
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"spawn expects a generator (did you forget to call the function?), got {gen!r}"
+            )
+        task = Task(gen, name=name or f"task{len(self._tasks)}", seq=len(self._tasks))
+        self._tasks.append(task)
+        self._schedule(self.now, lambda: self._step(task))
+        return task
+
+    def spawn_all(self, gens: Iterable[Generator[Any, Any, Any]], *, prefix: str = "task") -> list[Task]:
+        """Spawn many tasks with numbered names."""
+        tasks = []
+        for gen in gens:
+            tasks.append(self.spawn(gen, name=f"{prefix}{len(tasks)}"))
+        return tasks
+
+    # ------------------------------------------------------------- main loop
+
+    def run(self) -> SimResult:
+        """Run until every task completes; raise on deadlock or task error."""
+        if self._started:
+            raise RuntimeError("Simulation.run() may only be called once")
+        self._started = True
+        while self._events:
+            time, _, action = heapq.heappop(self._events)
+            if time < self.now:
+                raise AssertionError("virtual time went backwards")  # pragma: no cover
+            self.now = time
+            action()
+        blocked = [task for task in self._tasks if task.state is not TaskState.DONE]
+        if blocked:
+            names = ", ".join(task.name for task in blocked)
+            raise SimDeadlockError(
+                f"simulation deadlocked at t={self.now}: {len(blocked)} task(s) "
+                f"blocked forever: {names}"
+            )
+        errors = [task.error for task in self._tasks if task.error is not None]
+        if errors:
+            raise SimTaskError(f"{len(errors)} task(s) failed", errors)
+        return SimResult(
+            makespan=max((t.stats.finish_time for t in self._tasks), default=0.0),
+            tasks={task.name: task.stats for task in self._tasks},
+            returns={task.name: task.result for task in self._tasks},
+        )
+
+    # ------------------------------------------------------ scheduler internals
+
+    def _schedule(self, at: float, action: Callable[[], None]) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (at, self._event_seq, action))
+
+    def _resume(self, task: Task, *, at: float, value: Any = None) -> None:
+        """Schedule the task's next generator step at virtual time ``at``."""
+        task._send_value = value
+        task.state = TaskState.READY
+        self._schedule(at, lambda: self._step(task))
+
+    def _step(self, task: Task) -> None:
+        if task.state is TaskState.DONE:  # pragma: no cover - defensive
+            return
+        task.state = TaskState.RUNNING
+        send_value, task._send_value = task._send_value, None
+        try:
+            syscall = task.gen.send(send_value)
+        except StopIteration as stop:
+            task.state = TaskState.DONE
+            task.stats.finish_time = self.now
+            task.result = stop.value
+            return
+        except BaseException as exc:  # noqa: BLE001 - aggregated in run()
+            task.state = TaskState.DONE
+            task.stats.finish_time = self.now
+            task.error = exc
+            return
+        if not isinstance(syscall, Syscall):
+            task.state = TaskState.DONE
+            task.stats.finish_time = self.now
+            task.error = TypeError(
+                f"task {task.name!r} yielded {syscall!r}; tasks must yield Syscall objects"
+            )
+            return
+        if not isinstance(syscall, (Compute, Delay)):
+            task.stats.sync_ops += 1
+        if self.trace is not None:
+            self.trace.record(self.now, task, syscall)
+            if isinstance(syscall, Delay):
+                self.trace.record_busy(task, self.now, self.now + syscall.duration, "delay")
+        syscall.apply(self, task)
+
+    def _request_processor(self, task: Task, duration: float) -> None:
+        if self._processors is None or self._busy < self._processors:
+            self._busy += 1
+            self._begin_compute(task, duration)
+        else:
+            self._cpu_queue.append((task, duration))
+            task.block(self.now)
+
+    def _begin_compute(self, task: Task, duration: float) -> None:
+        task.stats.compute_time += duration
+        if self.trace is not None:
+            self.trace.record_busy(task, self.now, self.now + duration, "compute")
+
+        def complete() -> None:
+            self._busy -= 1
+            if self._cpu_queue:
+                queued, queued_duration = self._cpu_queue.pop(0)
+                queued.unblock(self.now)
+                self._busy += 1
+                self._begin_compute(queued, queued_duration)
+            self._step(task)
+
+        self._schedule(self.now + duration, complete)
+
+    def _pick_index(self, n: int) -> int:
+        """Tie-break among n contenders per the scheduling policy."""
+        if n == 1 or self._policy == "fifo":
+            return 0
+        if self._policy == "lifo":
+            return n - 1
+        return self._rng.randrange(n)
+
+    def __repr__(self) -> str:
+        pool = "∞" if self._processors is None else str(self._processors)
+        return (
+            f"<Simulation t={self.now} tasks={len(self._tasks)} "
+            f"processors={pool} policy={self._policy}>"
+        )

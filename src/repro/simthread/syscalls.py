@@ -1,0 +1,253 @@
+"""Syscall vocabulary for simulated threads.
+
+A simulated thread is a Python generator that *yields* syscall objects;
+the scheduler interprets them against virtual time.  This mirrors how the
+paper separates a thread's compute (which takes time) from its
+synchronization operations (which impose ordering):
+
+>>> def worker(c):
+...     yield Compute(5.0)       # five units of processor work
+...     yield c.check(3)         # suspend until counter >= 3
+...     yield c.increment(1)     # announce progress
+
+``yield from`` composes sub-generators, so simulated programs factor into
+functions exactly like real threaded code.
+
+Each syscall implements ``apply(sim, task)`` — its operational semantics
+against the discrete-event scheduler.  The schedule explorer in
+:mod:`repro.verify` reinterprets the same vocabulary with untimed
+semantics for exhaustive interleaving search.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simthread.primitives import (
+        SimBarrier,
+        SimChannel,
+        SimCounter,
+        SimEvent,
+        SimLock,
+        SimSemaphore,
+    )
+    from repro.simthread.scheduler import Simulation
+    from repro.simthread.task import Task
+
+__all__ = [
+    "Syscall",
+    "Compute",
+    "Delay",
+    "CheckOp",
+    "IncrementOp",
+    "EventSet",
+    "EventCheck",
+    "BarrierPass",
+    "LockAcquire",
+    "LockRelease",
+    "SemAcquire",
+    "SemRelease",
+    "ChannelPut",
+    "ChannelGet",
+]
+
+
+class Syscall:
+    """Base class; concrete syscalls define ``apply``."""
+
+    __slots__ = ()
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Compute(Syscall):
+    """Occupy a processor for ``duration`` units of virtual time.
+
+    With a bounded processor pool the task may first queue for a free
+    processor; the queueing delay is accounted as wait time, the
+    ``duration`` itself as compute time.
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"compute duration must be >= 0, got {duration}")
+        self.duration = float(duration)
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        sim._request_processor(task, self.duration)
+
+    def __repr__(self) -> str:
+        return f"Compute({self.duration})"
+
+
+class Delay(Syscall):
+    """Advance virtual time without occupying a processor (a sleep)."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"delay duration must be >= 0, got {duration}")
+        self.duration = float(duration)
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        task.stats.delay_time += self.duration
+        sim._resume(task, at=sim.now + self.duration)
+
+    def __repr__(self) -> str:
+        return f"Delay({self.duration})"
+
+
+class CheckOp(Syscall):
+    """``counter.check(level)``: suspend until the counter reaches level."""
+
+    __slots__ = ("counter", "level")
+
+    def __init__(self, counter: "SimCounter", level: int) -> None:
+        if level < 0:
+            raise ValueError(f"check level must be >= 0, got {level}")
+        self.counter = counter
+        self.level = int(level)
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.counter._check(sim, task, self.level)
+
+    def __repr__(self) -> str:
+        return f"Check({self.counter.name}, {self.level})"
+
+
+class IncrementOp(Syscall):
+    """``counter.increment(amount)``: bump and release satisfied waiters."""
+
+    __slots__ = ("counter", "amount")
+
+    def __init__(self, counter: "SimCounter", amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"increment amount must be >= 0, got {amount}")
+        self.counter = counter
+        self.amount = int(amount)
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.counter._increment(sim, task, self.amount)
+
+    def __repr__(self) -> str:
+        return f"Increment({self.counter.name}, {self.amount})"
+
+
+class EventSet(Syscall):
+    """Set a sticky event, releasing all its waiters."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "SimEvent") -> None:
+        self.event = event
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.event._set(sim, task)
+
+
+class EventCheck(Syscall):
+    """Suspend until a sticky event has been set."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "SimEvent") -> None:
+        self.event = event
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.event._check(sim, task)
+
+
+class BarrierPass(Syscall):
+    """Arrive at an N-way barrier; all parties resume when the last arrives."""
+
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier: "SimBarrier") -> None:
+        self.barrier = barrier
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.barrier._pass(sim, task)
+
+
+class LockAcquire(Syscall):
+    """Acquire a mutex; contended acquisition order is a scheduler policy."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "SimLock") -> None:
+        self.lock = lock
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.lock._acquire(sim, task)
+
+
+class LockRelease(Syscall):
+    """Release a mutex, granting it to a waiter per the scheduler policy."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "SimLock") -> None:
+        self.lock = lock
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.lock._release(sim, task)
+
+
+class SemAcquire(Syscall):
+    """P operation on a counting semaphore."""
+
+    __slots__ = ("semaphore", "n")
+
+    def __init__(self, semaphore: "SimSemaphore", n: int = 1) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.semaphore = semaphore
+        self.n = int(n)
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.semaphore._acquire(sim, task, self.n)
+
+
+class SemRelease(Syscall):
+    """V operation on a counting semaphore."""
+
+    __slots__ = ("semaphore", "n")
+
+    def __init__(self, semaphore: "SimSemaphore", n: int = 1) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.semaphore = semaphore
+        self.n = int(n)
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.semaphore._release(sim, task, self.n)
+
+
+class ChannelPut(Syscall):
+    """Blocking put on a bounded channel."""
+
+    __slots__ = ("channel", "item")
+
+    def __init__(self, channel: "SimChannel", item: object) -> None:
+        self.channel = channel
+        self.item = item
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.channel._put(sim, task, self.item)
+
+
+class ChannelGet(Syscall):
+    """Blocking get on a bounded channel; the item becomes the yield's value."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: "SimChannel") -> None:
+        self.channel = channel
+
+    def apply(self, sim: "Simulation", task: "Task") -> None:
+        self.channel._get(sim, task)

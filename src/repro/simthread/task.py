@@ -1,0 +1,79 @@
+"""Simulated thread (task) bookkeeping."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Generator
+
+__all__ = ["Task", "TaskState", "TaskStats"]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a simulated thread."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+@dataclass(slots=True)
+class TaskStats:
+    """Virtual-time accounting for one task.
+
+    ``compute_time`` — time spent occupying a processor;
+    ``wait_time``    — time blocked on synchronization (or queued for a
+                       processor under a bounded pool);
+    ``delay_time``   — explicit :class:`~repro.simthread.syscalls.Delay`;
+    ``finish_time``  — virtual completion instant;
+    ``sync_ops``     — number of synchronization syscalls executed.
+    """
+
+    compute_time: float = 0.0
+    wait_time: float = 0.0
+    delay_time: float = 0.0
+    finish_time: float = 0.0
+    sync_ops: int = 0
+
+
+class Task:
+    """One simulated thread: a generator plus scheduling state."""
+
+    __slots__ = (
+        "name",
+        "gen",
+        "state",
+        "stats",
+        "result",
+        "error",
+        "_send_value",
+        "_blocked_since",
+        "seq",
+    )
+
+    def __init__(self, gen: Generator[Any, Any, Any], name: str, seq: int) -> None:
+        self.name = name
+        self.gen = gen
+        self.state = TaskState.READY
+        self.stats = TaskStats()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        #: Value delivered to the generator at next resume (e.g. channel item).
+        self._send_value: Any = None
+        #: Virtual instant the task blocked, for wait-time accounting.
+        self._blocked_since: float = 0.0
+        #: Spawn order; used for deterministic tie-breaking.
+        self.seq = seq
+
+    def block(self, now: float) -> None:
+        self.state = TaskState.BLOCKED
+        self._blocked_since = now
+
+    def unblock(self, now: float) -> None:
+        if self.state is TaskState.BLOCKED:
+            self.stats.wait_time += now - self._blocked_since
+        self.state = TaskState.READY
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name!r} {self.state.value}>"

@@ -1,0 +1,95 @@
+"""Execution tracing for the virtual-time simulator.
+
+A :class:`TraceRecorder` attached to a :class:`~repro.simthread.Simulation`
+collects one :class:`TraceEvent` per syscall dispatch, timestamped in
+virtual time.  From the trace you can derive per-task busy/wait segments
+(:meth:`TraceRecorder.segments`) and render a text Gantt chart
+(:func:`render_gantt`) — the visual form of the barrier-vs-ragged
+argument in §4/§5.1, see ``examples/gantt_chart.py``.
+
+Tracing is opt-in (``Simulation(trace=True)``) and costs one list append
+per syscall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simthread.task import Task
+
+__all__ = ["TraceEvent", "TraceRecorder", "render_gantt"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One dispatched syscall: virtual time, task, and its repr."""
+
+    time: float
+    task: str
+    syscall: str
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A busy interval of one task: [start, end) doing ``what``."""
+
+    task: str
+    start: float
+    end: float
+    what: str  # "compute" | "delay"
+
+
+class TraceRecorder:
+    """Collects trace events; computes busy segments per task."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._segments: list[Segment] = []
+
+    def record(self, time: float, task: "Task", syscall: object) -> None:
+        self.events.append(TraceEvent(time=time, task=task.name, syscall=repr(syscall)))
+
+    def record_busy(self, task: "Task", start: float, end: float, what: str) -> None:
+        self._segments.append(Segment(task=task.name, start=start, end=end, what=what))
+
+    def segments(self) -> Sequence[Segment]:
+        """Busy (compute/delay) intervals, in start order."""
+        return sorted(self._segments, key=lambda s: (s.task, s.start))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<TraceRecorder events={len(self.events)} segments={len(self._segments)}>"
+
+
+def render_gantt(recorder: TraceRecorder, *, width: int = 72, makespan: float | None = None) -> str:
+    """Render busy segments as a text Gantt chart (one row per task).
+
+    ``█`` marks processor-busy time, ``░`` explicit delays, spaces are
+    synchronization waits — so barrier stalls appear as literal gaps.
+    """
+    segments = recorder.segments()
+    if not segments:
+        return "(no busy segments recorded)"
+    end = makespan if makespan is not None else max(s.end for s in segments)
+    if end <= 0:
+        return "(zero-length trace)"
+    scale = width / end
+    rows: dict[str, list[str]] = {}
+    for segment in segments:
+        row = rows.setdefault(segment.task, [" "] * width)
+        start_col = int(segment.start * scale)
+        end_col = max(start_col + 1, int(segment.end * scale))
+        mark = "█" if segment.what == "compute" else "░"
+        for col in range(start_col, min(end_col, width)):
+            row[col] = mark
+    name_width = max(len(name) for name in rows)
+    lines = [
+        f"{name.rjust(name_width)} |{''.join(row)}|"
+        for name, row in sorted(rows.items())
+    ]
+    legend = f"{'':>{name_width}}  0{'virtual time'.center(width - 2)}{end:g}"
+    return "\n".join(lines + [legend])

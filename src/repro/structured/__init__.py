@@ -1,0 +1,33 @@
+"""Structured multithreaded programming model (paper §3).
+
+Python renderings of Dijkstra-style ``parbegin``/``parend`` with
+quantification: :func:`multithreaded` (the block),
+:func:`multithreaded_for` (the quantified loop), and :class:`ThreadScope`
+(imperative spawning with the same join-boundary guarantee).  The
+execution-mode switch (:func:`sequential_execution`) provides §6's
+"ignore the multithreaded keyword" semantics for sequential-equivalence
+testing.
+"""
+
+from repro.structured.block import MultithreadedBlockError, multithreaded
+from repro.structured.execution import (
+    ExecutionMode,
+    current_mode,
+    execution_mode,
+    sequential_execution,
+)
+from repro.structured.forloop import block_range, multithreaded_for
+from repro.structured.scope import SpawnHandle, ThreadScope
+
+__all__ = [
+    "multithreaded",
+    "multithreaded_for",
+    "block_range",
+    "ThreadScope",
+    "SpawnHandle",
+    "MultithreadedBlockError",
+    "ExecutionMode",
+    "current_mode",
+    "execution_mode",
+    "sequential_execution",
+]

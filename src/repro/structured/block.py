@@ -1,0 +1,115 @@
+"""The ``multithreaded`` block (§3), as a Python function.
+
+The paper writes::
+
+    multithreaded {
+        statement
+        ...
+    }
+
+We write::
+
+    multithreaded(thunk_a, thunk_b, ...)
+
+Each thunk is run as an asynchronous thread sharing the caller's address
+space; the call does not return until every thread has terminated (the
+construct is a *join* boundary, like the paper's block).  Return values
+are collected in statement order; exceptions from any statement are
+aggregated into an :class:`ExceptionGroup` raised after all threads have
+terminated, so the join-boundary guarantee holds even on failure.
+
+Under :func:`~repro.structured.execution.sequential_execution` the same
+call runs the thunks in textual order on the calling thread — the
+paper's §6 "ignore the multithreaded keyword" semantics.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.structured.execution import ExecutionMode, current_mode, fresh_logical_thread
+
+__all__ = ["multithreaded", "MultithreadedBlockError"]
+
+
+class MultithreadedBlockError(ExceptionGroup):
+    """All exceptions raised by statements of one multithreaded block."""
+
+
+def _run_threaded(thunks: Sequence[Callable[[], Any]], name: str) -> list[Any]:
+    results: list[Any] = [None] * len(thunks)
+    errors: list[BaseException] = []
+    errors_lock = threading.Lock()
+
+    def runner(index: int, thunk: Callable[[], Any], ctx: contextvars.Context) -> None:
+        try:
+            results[index] = fresh_logical_thread(ctx, thunk)
+        except BaseException as exc:  # noqa: BLE001 - aggregated and re-raised
+            with errors_lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(
+            target=runner,
+            args=(i, thunk, contextvars.copy_context()),
+            name=f"{name}-{i}",
+        )
+        for i, thunk in enumerate(thunks)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise MultithreadedBlockError(
+            f"{len(errors)} of {len(thunks)} statements failed", errors
+        )
+    return results
+
+
+def _run_sequential(thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+    results: list[Any] = []
+    for thunk in thunks:
+        try:
+            # Each statement still gets its own logical thread identity, so
+            # identity-sensitive analyses see the same structure either way.
+            results.append(fresh_logical_thread(contextvars.copy_context(), thunk))
+        except BaseException as exc:  # noqa: BLE001 - uniform failure type
+            raise MultithreadedBlockError("1 statement failed", [exc]) from None
+    return results
+
+
+def multithreaded(
+    *thunks: Callable[[], Any],
+    mode: ExecutionMode | None = None,
+    name: str = "multithreaded",
+) -> list[Any]:
+    """Execute ``thunks`` as the statements of a multithreaded block.
+
+    Parameters
+    ----------
+    thunks:
+        Zero-argument callables — the block's statements.  Use
+        ``functools.partial`` (or a closure) to bind arguments.
+    mode:
+        Override the ambient execution mode (threaded/sequential).
+    name:
+        Prefix for spawned thread names (diagnostics and tracing).
+
+    Returns the statements' return values in statement order.
+
+    >>> from repro.structured import multithreaded
+    >>> multithreaded(lambda: 1, lambda: 2)
+    [1, 2]
+    """
+    for thunk in thunks:
+        if not callable(thunk):
+            raise TypeError(f"multithreaded statements must be callable, got {thunk!r}")
+    effective = mode if mode is not None else current_mode()
+    if not thunks:
+        return []
+    if effective is ExecutionMode.SEQUENTIAL:
+        return _run_sequential(thunks)
+    return _run_threaded(thunks, name)

@@ -1,0 +1,114 @@
+"""Execution-mode plumbing for the structured threading model.
+
+Section 6 of the paper defines *sequential execution* of a multithreaded
+program as "execution ignoring the ``multithreaded`` keyword": statements
+of a multithreaded block run in textual order, iterations of a
+multithreaded for-loop run in index order, all on the calling thread.
+The determinacy theorem then says: for a counter-synchronized program
+obeying the shared-variable discipline, if sequential execution does not
+deadlock, every multithreaded execution terminates with the same result.
+
+This module provides the mode switch that makes the same program text
+runnable both ways, which is what the sequential-equivalence tests and the
+E7 experiments exercise.
+
+The mode is carried in a :mod:`contextvars` context variable and is
+explicitly propagated into threads spawned by the structured constructs,
+so nested constructs inherit the enclosing mode.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import enum
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "ExecutionMode",
+    "current_mode",
+    "execution_mode",
+    "sequential_execution",
+    "current_logical_thread",
+    "fresh_logical_thread",
+]
+
+
+class ExecutionMode(enum.Enum):
+    """How structured constructs execute their constituent statements."""
+
+    #: Spawn one thread per statement/iteration (the paper's semantics).
+    THREADED = "threaded"
+    #: Run statements/iterations in order on the calling thread
+    #: (the paper's "ignore the multithreaded keyword" semantics).
+    SEQUENTIAL = "sequential"
+
+
+_mode: contextvars.ContextVar[ExecutionMode] = contextvars.ContextVar(
+    "repro_execution_mode", default=ExecutionMode.THREADED
+)
+
+
+def current_mode() -> ExecutionMode:
+    """The execution mode in effect for structured constructs."""
+    return _mode.get()
+
+
+@contextmanager
+def execution_mode(mode: ExecutionMode) -> Iterator[None]:
+    """Run a block under the given execution mode.
+
+    >>> from repro.structured import execution_mode, ExecutionMode
+    >>> with execution_mode(ExecutionMode.SEQUENTIAL):
+    ...     pass  # all multithreaded constructs here run sequentially
+    """
+    if not isinstance(mode, ExecutionMode):
+        raise TypeError(f"mode must be an ExecutionMode, got {mode!r}")
+    token = _mode.set(mode)
+    try:
+        yield
+    finally:
+        _mode.reset(token)
+
+
+@contextmanager
+def sequential_execution() -> Iterator[None]:
+    """Shorthand for ``execution_mode(ExecutionMode.SEQUENTIAL)``."""
+    with execution_mode(ExecutionMode.SEQUENTIAL):
+        yield
+
+
+# ---------------------------------------------------------------------------
+# Logical thread identity.
+#
+# Analyses such as the §6 determinacy checker must see each *statement* of a
+# multithreaded construct as its own thread — even under sequential
+# execution, where all statements share the calling OS thread.  (Otherwise a
+# racy program would look ordered whenever it happened to run sequentially,
+# breaking the "one execution certifies all executions" property.)  Every
+# statement therefore runs with a fresh opaque token in this context
+# variable; identity-sensitive tools key on the token when present and fall
+# back to the OS thread when code runs outside any construct.
+
+_logical_thread: contextvars.ContextVar[object | None] = contextvars.ContextVar(
+    "repro_logical_thread", default=None
+)
+
+
+def current_logical_thread() -> object | None:
+    """The statement token of the enclosing multithreaded construct, if any."""
+    return _logical_thread.get()
+
+
+def fresh_logical_thread(ctx: contextvars.Context, fn, /, *args, **kwargs):
+    """Run ``fn`` inside ``ctx`` under a brand-new logical thread token.
+
+    Used by the structured constructs for every statement, in both
+    threaded and sequential modes.
+    """
+
+    def with_token():
+        _logical_thread.set(object())
+        return fn(*args, **kwargs)
+
+    return ctx.run(with_token)

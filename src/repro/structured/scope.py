@@ -1,0 +1,136 @@
+"""Imperative spawning scope — structured concurrency for irregular shapes.
+
+The block and for-loop constructs cover the paper's notation; some
+applications (e.g. the §5.3 writer + nested reader loop) are more natural
+with an imperative *scope*: spawn whatever you like inside the ``with``,
+and the scope joins everything at exit — preserving the paper's invariant
+that execution never continues past a multithreaded construct while any of
+its threads runs.
+
+>>> from repro.structured import ThreadScope
+>>> with ThreadScope() as scope:
+...     h = scope.spawn(lambda: 21 * 2)
+>>> h.result()
+42
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+from typing import Any, Callable, Generic, TypeVar
+
+from repro.structured.block import MultithreadedBlockError
+from repro.structured.execution import ExecutionMode, current_mode, fresh_logical_thread
+
+T = TypeVar("T")
+
+__all__ = ["ThreadScope", "SpawnHandle"]
+
+
+class SpawnHandle(Generic[T]):
+    """Join handle for one spawned statement.
+
+    ``result()`` is only valid after the owning scope has exited (the
+    scope is the join boundary; handles do not join individually).
+    """
+
+    __slots__ = ("_name", "_done", "_value", "_error")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._done = False
+        self._value: T | None = None
+        self._error: BaseException | None = None
+
+    def result(self) -> T:
+        """The statement's return value (raises its exception if it failed)."""
+        if not self._done:
+            raise RuntimeError(
+                f"{self!r}: result() before scope exit — the scope joins, not the handle"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "running"
+        return f"<SpawnHandle {self._name!r} {state}>"
+
+
+class ThreadScope:
+    """A joinable spawning scope with block-equivalent semantics.
+
+    All spawned callables run as threads (or inline, under sequential
+    execution mode); ``__exit__`` joins them all and aggregates their
+    exceptions into :class:`MultithreadedBlockError`.  Spawning after exit
+    is an error — the paper forbids jumping into a multithreaded block.
+    """
+
+    def __init__(self, *, name: str = "scope", mode: ExecutionMode | None = None) -> None:
+        self._name = name
+        self._mode = mode
+        self._threads: list[threading.Thread] = []
+        self._handles: list[SpawnHandle[Any]] = []
+        self._errors: list[BaseException] = []
+        self._errors_lock = threading.Lock()
+        self._entered = False
+        self._closed = False
+
+    def __enter__(self) -> "ThreadScope":
+        if self._entered:
+            raise RuntimeError(f"{self!r} is not reentrant")
+        self._entered = True
+        return self
+
+    def spawn(self, fn: Callable[..., T], *args: Any, **kwargs: Any) -> SpawnHandle[T]:
+        """Run ``fn(*args, **kwargs)`` as a statement of this scope."""
+        if not self._entered or self._closed:
+            raise RuntimeError(f"{self!r}: spawn outside the active scope")
+        if not callable(fn):
+            raise TypeError(f"spawn target must be callable, got {fn!r}")
+        handle: SpawnHandle[T] = SpawnHandle(f"{self._name}-{len(self._handles)}")
+        self._handles.append(handle)
+        effective = self._mode if self._mode is not None else current_mode()
+        if effective is ExecutionMode.SEQUENTIAL:
+            try:
+                handle._value = fresh_logical_thread(
+                    contextvars.copy_context(), fn, *args, **kwargs
+                )
+            except BaseException as exc:  # noqa: BLE001 - aggregated at exit
+                handle._error = exc
+                self._errors.append(exc)
+            finally:
+                handle._done = True
+            return handle
+
+        ctx = contextvars.copy_context()
+
+        def runner() -> None:
+            try:
+                handle._value = fresh_logical_thread(ctx, fn, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - aggregated at exit
+                handle._error = exc
+                with self._errors_lock:
+                    self._errors.append(exc)
+            finally:
+                handle._done = True
+
+        thread = threading.Thread(target=runner, name=handle._name)
+        self._threads.append(thread)
+        thread.start()
+        return handle
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self._closed = True
+        for thread in self._threads:
+            thread.join()
+        if self._errors and exc_type is None:
+            raise MultithreadedBlockError(
+                f"{len(self._errors)} of {len(self._handles)} statements failed",
+                self._errors,
+            )
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("open" if self._entered else "new")
+        return f"<ThreadScope {self._name!r} {state} spawned={len(self._handles)}>"

@@ -1,0 +1,49 @@
+"""Traditional synchronization primitives, built from scratch.
+
+These are the mechanisms the paper compares counters against (§1, §8):
+sticky events (the paper's "condition variables"), barriers, semaphores,
+single-assignment variables — plus the modern comparators the related-work
+discussion anticipates (CountDownLatch, Phaser) and a bounded-buffer
+channel for the §5.3 contrast.  Everything is implemented over
+``threading.Lock`` / ``threading.Condition`` only, so the substrate is
+self-contained and inspectable.
+"""
+
+from repro.sync.barrier import CounterBarrier, CyclicBarrier
+from repro.sync.channel import CLOSED, Channel
+from repro.sync.errors import (
+    AlreadyAssignedError,
+    BrokenBarrierError,
+    ChannelClosedError,
+    SyncError,
+    SyncTimeout,
+)
+from repro.sync.event import Event
+from repro.sync.latch import CountDownLatch
+from repro.sync.monitor import Monitor, synchronized
+from repro.sync.phaser import Phaser
+from repro.sync.rendezvous import Rendezvous
+from repro.sync.rwlock import ReadWriteLock
+from repro.sync.semaphore import CountingSemaphore
+from repro.sync.single_assignment import SingleAssignment
+
+__all__ = [
+    "Event",
+    "Monitor",
+    "synchronized",
+    "ReadWriteLock",
+    "Rendezvous",
+    "CyclicBarrier",
+    "CounterBarrier",
+    "CountingSemaphore",
+    "CountDownLatch",
+    "Phaser",
+    "SingleAssignment",
+    "Channel",
+    "CLOSED",
+    "SyncError",
+    "SyncTimeout",
+    "BrokenBarrierError",
+    "AlreadyAssignedError",
+    "ChannelClosedError",
+]

@@ -1,0 +1,170 @@
+"""Cyclic barriers, built from scratch over a lock and condition variable.
+
+The paper's §4.3 and §5.1 baselines synchronize threads with an N-way
+barrier (``b.Pass()``).  Two implementations are provided:
+
+* :class:`CyclicBarrier` — the classic counting barrier with *sense
+  reversal*: a generation flag distinguishes consecutive barrier episodes
+  so a fast thread re-entering the barrier cannot consume wakeups meant
+  for the previous episode.  Broken-barrier semantics follow
+  POSIX/Java: a timeout or abort breaks the barrier for everyone until
+  ``reset()``.
+* :class:`CounterBarrier` — a barrier *expressed with one monotonic
+  counter* (arrivals increment; ``pass_`` waits for ``generation *
+  parties``).  It exists to demonstrate that counters subsume barriers
+  (§8) and as a differential-testing twin for :class:`CyclicBarrier`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.api import CounterProtocol
+from repro.core.counter import MonotonicCounter
+from repro.sync.errors import BrokenBarrierError, SyncTimeout
+
+__all__ = ["CyclicBarrier", "CounterBarrier"]
+
+
+class CyclicBarrier:
+    """N-party reusable barrier (central algorithm, sense-reversing).
+
+    >>> b = CyclicBarrier(2)
+    >>> # two threads each call b.pass_() per iteration
+    """
+
+    __slots__ = ("_cond", "_parties", "_arrived", "_generation", "_broken", "_name", "passes")
+
+    def __init__(self, parties: int, *, name: str | None = None) -> None:
+        if not isinstance(parties, int) or isinstance(parties, bool) or parties < 1:
+            raise ValueError(f"parties must be an int >= 1, got {parties!r}")
+        self._cond = threading.Condition(threading.Lock())
+        self._parties = parties
+        self._arrived = 0
+        self._generation = 0
+        self._broken = False
+        self._name = name
+        #: Number of completed barrier episodes (diagnostic).
+        self.passes = 0
+
+    @property
+    def parties(self) -> int:
+        return self._parties
+
+    @property
+    def broken(self) -> bool:
+        with self._cond:
+            return self._broken
+
+    def pass_(self, timeout: float | None = None) -> int:
+        """Wait until all parties arrive; returns the arrival index (0-based).
+
+        The last arriver gets index ``parties - 1``, releases everyone, and
+        advances the generation.  On timeout the barrier breaks and every
+        waiter (current and future) raises
+        :class:`~repro.sync.errors.BrokenBarrierError`.
+        """
+        with self._cond:
+            if self._broken:
+                raise BrokenBarrierError(f"{self!r} is broken")
+            generation = self._generation
+            index = self._arrived
+            self._arrived += 1
+            if self._arrived == self._parties:
+                self._arrived = 0
+                self._generation += 1
+                self.passes += 1
+                self._cond.notify_all()
+                return index
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while self._generation == generation and not self._broken:
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    if self._generation != generation or self._broken:
+                        break
+                    self._break_locked()
+                    raise SyncTimeout(
+                        f"{self!r}: pass_() timed out after {timeout}s "
+                        f"({self._arrived}/{self._parties} arrived)"
+                    )
+            if self._broken and self._generation == generation:
+                raise BrokenBarrierError(f"{self!r} broke while waiting")
+            return index
+
+    def abort(self) -> None:
+        """Break the barrier, waking and failing all waiters."""
+        with self._cond:
+            self._break_locked()
+
+    def reset(self) -> None:
+        """Return a broken barrier to service (current waiters are failed)."""
+        with self._cond:
+            self._break_locked()
+            self._broken = False
+            self._arrived = 0
+            self._generation += 1
+
+    def _break_locked(self) -> None:
+        self._broken = True
+        self._cond.notify_all()
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        state = "broken" if self._broken else f"{self._arrived}/{self._parties}"
+        return f"<CyclicBarrier{label} {state}>"
+
+
+class CounterBarrier:
+    """A reusable N-party barrier expressed with a single monotonic counter.
+
+    Episode *g* completes when the counter reaches ``(g + 1) * parties``:
+    each party increments once on arrival and checks for the episode
+    total.  Each thread tracks its own episode number locally, so the
+    object itself is just a counter — a direct demonstration of §8's claim
+    that one counter with many suspension queues replaces a dedicated
+    barrier object.
+
+    Unlike :class:`CyclicBarrier` this barrier cannot "break": counter
+    monotonicity gives every episode a stable completion condition.  A
+    thread must not skip episodes (same contract as any barrier).
+    """
+
+    __slots__ = ("_counter", "_parties", "_local", "_name")
+
+    def __init__(
+        self,
+        parties: int,
+        *,
+        counter: CounterProtocol | None = None,
+        name: str | None = None,
+    ) -> None:
+        if not isinstance(parties, int) or isinstance(parties, bool) or parties < 1:
+            raise ValueError(f"parties must be an int >= 1, got {parties!r}")
+        self._counter = counter if counter is not None else MonotonicCounter(name=name)
+        self._parties = parties
+        self._local = threading.local()
+        self._name = name
+
+    @property
+    def parties(self) -> int:
+        return self._parties
+
+    @property
+    def counter(self) -> CounterProtocol:
+        """The underlying counter (for inspection in tests/benchmarks)."""
+        return self._counter
+
+    def pass_(self, timeout: float | None = None) -> None:
+        """Arrive at the barrier and wait for the current episode to fill."""
+        episode = getattr(self._local, "episode", 0)
+        self._local.episode = episode + 1
+        self._counter.increment(1)
+        self._counter.check((episode + 1) * self._parties, timeout=timeout)
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return f"<CounterBarrier{label} parties={self._parties} value={self._counter.value}>"

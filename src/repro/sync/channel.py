@@ -1,0 +1,116 @@
+"""Bounded multi-producer multi-consumer channel (the §5.3 contrast).
+
+The paper contrasts the single-writer multiple-reader *broadcast* pattern
+(each reader sees every item; counters excel) with the classic bounded
+buffer (each item consumed once; semaphores excel).  This channel is the
+bounded buffer, built from scratch on two
+:class:`~repro.sync.semaphore.CountingSemaphore` instances plus a lock —
+the textbook construction — so benchmark E6/E9 can compare both patterns
+on equal substrate footing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Generic, TypeVar
+
+from repro.sync.errors import ChannelClosedError, SyncTimeout
+from repro.sync.semaphore import CountingSemaphore
+
+T = TypeVar("T")
+
+__all__ = ["Channel", "CLOSED"]
+
+
+class _Closed:
+    """Sentinel yielded internally when a channel drains after close."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<CLOSED>"
+
+
+CLOSED = _Closed()
+
+
+class Channel(Generic[T]):
+    """Bounded FIFO channel: ``put`` blocks when full, ``get`` when empty.
+
+    ``close()`` wakes consumers; ``get`` on a drained, closed channel
+    raises :class:`ChannelClosedError`, and iteration stops cleanly:
+
+    >>> ch = Channel(capacity=2)
+    >>> ch.put(1); ch.put(2); ch.close()
+    >>> list(ch)
+    [1, 2]
+    """
+
+    __slots__ = ("_items", "_slots", "_filled", "_mutex", "_closed")
+
+    def __init__(self, capacity: int) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+            raise ValueError(f"capacity must be an int >= 1, got {capacity!r}")
+        self._items: deque[T | _Closed] = deque()
+        self._slots = CountingSemaphore(capacity, name="slots")
+        self._filled = CountingSemaphore(0, name="filled")
+        self._mutex = threading.Lock()
+        self._closed = False
+
+    def put(self, item: T, timeout: float | None = None) -> None:
+        """Enqueue ``item``, blocking while the channel is full."""
+        with self._mutex:
+            if self._closed:
+                raise ChannelClosedError("put() on closed channel")
+        self._slots.acquire(timeout=timeout)
+        with self._mutex:
+            if self._closed:
+                self._slots.release()
+                raise ChannelClosedError("put() on closed channel")
+            self._items.append(item)
+        self._filled.release()
+
+    def get(self, timeout: float | None = None) -> T:
+        """Dequeue one item, blocking while the channel is empty.
+
+        Raises :class:`ChannelClosedError` once the channel is closed and
+        fully drained.
+        """
+        self._filled.acquire(timeout=timeout)
+        with self._mutex:
+            item = self._items.popleft()
+            if isinstance(item, _Closed):
+                # Keep the tombstone available for other consumers.
+                self._items.append(item)
+                self._filled.release()
+                raise ChannelClosedError("channel closed and drained")
+        self._slots.release()
+        return item
+
+    def close(self) -> None:
+        """Close for writing; pending items remain consumable."""
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            self._items.append(CLOSED)
+        self._filled.release()
+
+    def __iter__(self):
+        while True:
+            try:
+                yield self.get()
+            except ChannelClosedError:
+                return
+
+    def __len__(self) -> int:
+        """Instantaneous queue depth (diagnostic only)."""
+        with self._mutex:
+            return sum(1 for item in self._items if not isinstance(item, _Closed))
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<Channel {state} depth={len(self)}>"
+
+
+# Re-exported for callers that catch timeouts from channel ops.
+__all__.append("SyncTimeout")

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro.sync` substrate primitives."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SyncError",
+    "SyncTimeout",
+    "BrokenBarrierError",
+    "AlreadyAssignedError",
+    "ChannelClosedError",
+]
+
+
+class SyncError(Exception):
+    """Base class for all substrate synchronization errors."""
+
+
+class SyncTimeout(SyncError, TimeoutError):
+    """A bounded wait on a substrate primitive expired."""
+
+
+class BrokenBarrierError(SyncError, RuntimeError):
+    """The barrier was broken (a party timed out or the barrier was aborted).
+
+    Mirrors the semantics of POSIX/Java barriers: once broken, every
+    current and future ``pass_()`` raises until ``reset()``.
+    """
+
+
+class AlreadyAssignedError(SyncError, RuntimeError):
+    """A single-assignment variable was assigned a second time."""
+
+
+class ChannelClosedError(SyncError, RuntimeError):
+    """A ``put`` was attempted on a closed channel."""

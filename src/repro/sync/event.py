@@ -1,0 +1,84 @@
+"""The paper's "condition variable": a sticky set/check event.
+
+Section 4.4 of the paper uses objects with ``Set()`` and ``Check()``
+operations, where ``Check`` suspends until the object has been set and a
+set object stays set.  (This is the *event* of Win32 / the "condition
+variable with memory" of older literature — not a POSIX condition
+variable, which is stateless.)  We implement it from scratch over a lock
+and a stateless wait queue so the substrate does not depend on
+``threading.Event``.
+
+An :class:`Event` is exactly a monotonic counter restricted to the value
+domain {0, 1}: ``set`` == ``increment`` to 1, ``check`` == ``check(1)``.
+That correspondence is what lets one counter replace an array of these
+objects (§4.5), and it is property-tested in
+``tests/sync/test_event.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.sync.errors import SyncTimeout
+
+__all__ = ["Event"]
+
+
+class Event:
+    """One-shot sticky event: ``set()`` once, ``check()`` forever after.
+
+    >>> e = Event()
+    >>> e.is_set()
+    False
+    >>> e.set()
+    >>> e.check()   # returns immediately
+    """
+
+    __slots__ = ("_cond", "_flag", "_name")
+
+    def __init__(self, *, name: str | None = None) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._flag = False
+        self._name = name
+
+    def set(self) -> None:
+        """Set the event and wake all waiters.  Idempotent."""
+        with self._cond:
+            if not self._flag:
+                self._flag = True
+                self._cond.notify_all()
+
+    def check(self, timeout: float | None = None) -> None:
+        """Suspend until the event is set.
+
+        ``timeout`` (seconds) raises :class:`~repro.sync.errors.SyncTimeout`
+        on expiry; ``None`` waits indefinitely.
+        """
+        with self._cond:
+            if self._flag:
+                return
+            if timeout is None:
+                while not self._flag:
+                    self._cond.wait()
+                return
+            deadline = time.monotonic() + timeout
+            while not self._flag:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    if self._flag:
+                        return
+                    raise SyncTimeout(f"{self!r}: check() timed out after {timeout}s")
+
+    # `wait` as an alias familiar to threading.Event users.
+    wait = check
+
+    def is_set(self) -> bool:
+        """Diagnostic probe; do not use for synchronization decisions."""
+        with self._cond:
+            return self._flag
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        state = "set" if self._flag else "unset"
+        return f"<Event{label} {state}>"

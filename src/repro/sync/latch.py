@@ -1,0 +1,70 @@
+"""CountDownLatch — the related-work comparator from modern libraries.
+
+The reproduction-band notes observe that monotonic counters resemble
+``java.util.concurrent.CountDownLatch``.  The resemblance is real but the
+latch is strictly weaker: it counts *down* to a single fixed level (zero),
+so it has **one** suspension queue and is single-shot, whereas a counter
+counts up forever and suspends threads at arbitrarily many levels.
+Benchmark E9 quantifies the consequence: emulating the Floyd-Warshall
+condvar-array pattern needs N latches but only one counter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.sync.errors import SyncTimeout
+
+__all__ = ["CountDownLatch"]
+
+
+class CountDownLatch:
+    """Single-shot latch: ``count_down`` toward zero, ``await_`` for zero."""
+
+    __slots__ = ("_cond", "_count", "_name")
+
+    def __init__(self, count: int, *, name: str | None = None) -> None:
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise ValueError(f"count must be an int >= 0, got {count!r}")
+        self._cond = threading.Condition(threading.Lock())
+        self._count = count
+        self._name = name
+
+    @property
+    def count(self) -> int:
+        """Remaining count (diagnostic only)."""
+        with self._cond:
+            return self._count
+
+    def count_down(self, n: int = 1) -> None:
+        """Decrease the count by ``n`` (floored at zero); zero releases all."""
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ValueError(f"n must be an int >= 1, got {n!r}")
+        with self._cond:
+            if self._count == 0:
+                return
+            self._count = max(0, self._count - n)
+            if self._count == 0:
+                self._cond.notify_all()
+
+    def await_(self, timeout: float | None = None) -> None:
+        """Suspend until the count reaches zero."""
+        with self._cond:
+            if self._count == 0:
+                return
+            if timeout is None:
+                while self._count:
+                    self._cond.wait()
+                return
+            deadline = time.monotonic() + timeout
+            while self._count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    if self._count == 0:
+                        return
+                    raise SyncTimeout(f"{self!r}: await_() timed out after {timeout}s")
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return f"<CountDownLatch{label} count={self._count}>"

@@ -1,0 +1,123 @@
+"""Hoare-style monitors (paper ref 13), built from scratch.
+
+The paper's §1/§8 lists monitors among the fundamental mechanisms, with
+"a statically bounded number of queues" — one per declared condition.
+This class provides the classic signal-and-continue monitor discipline
+(Mesa semantics): ``synchronized`` methods/blocks under one hidden lock,
+plus named condition queues with ``wait_for`` / ``notify``.
+
+It exists as a substrate/comparator: the E9 discussion contrasts its
+*statically declared* queues with a counter's dynamically varying ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from functools import wraps
+from typing import Callable, Iterator, TypeVar
+
+from repro.sync.errors import SyncError, SyncTimeout
+
+T = TypeVar("T")
+
+__all__ = ["Monitor", "synchronized"]
+
+
+class Monitor:
+    """A Mesa-semantics monitor with named condition queues.
+
+    Subclass and decorate methods with :func:`synchronized`, or use
+    :meth:`entered` as a context manager.  Condition queues are declared
+    implicitly on first use by name — but each name is one queue, fixed
+    for the monitor's lifetime, reflecting the static-queue model the
+    paper contrasts counters against.
+
+    >>> class Cell(Monitor):
+    ...     def __init__(self):
+    ...         super().__init__()
+    ...         self._full = False
+    ...     @synchronized
+    ...     def put(self, v):
+    ...         self._value, self._full = v, True
+    ...         self.notify_all("full")
+    ...     @synchronized
+    ...     def take(self):
+    ...         self.wait_for("full", lambda: self._full)
+    ...         return self._value
+    """
+
+    def __init__(self) -> None:
+        self._monitor_lock = threading.RLock()
+        self._conditions: dict[str, threading.Condition] = {}
+
+    @contextmanager
+    def entered(self) -> Iterator[None]:
+        """Hold the monitor lock for a block (re-entrant)."""
+        with self._monitor_lock:
+            yield
+
+    def _condition(self, name: str) -> threading.Condition:
+        condition = self._conditions.get(name)
+        if condition is None:
+            condition = threading.Condition(self._monitor_lock)
+            self._conditions[name] = condition
+        return condition
+
+    @property
+    def queue_names(self) -> tuple[str, ...]:
+        """The declared condition queues (static once used)."""
+        return tuple(sorted(self._conditions))
+
+    def wait_for(
+        self,
+        queue: str,
+        predicate: Callable[[], bool],
+        timeout: float | None = None,
+    ) -> None:
+        """Wait on the named queue until ``predicate()`` holds.
+
+        Mesa semantics: re-tests the predicate after every wakeup.  Must
+        be called while inside the monitor (a synchronized method or
+        :meth:`entered` block).
+        """
+        if not self._monitor_lock._is_owned():  # type: ignore[attr-defined]
+            raise SyncError("wait_for() outside the monitor")
+        condition = self._condition(queue)
+        if timeout is None:
+            while not predicate():
+                condition.wait()
+            return
+        deadline = time.monotonic() + timeout
+        while not predicate():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not condition.wait(remaining):
+                if predicate():
+                    return
+                raise SyncTimeout(f"wait_for({queue!r}) timed out after {timeout}s")
+
+    def notify(self, queue: str, n: int = 1) -> None:
+        """Wake up to ``n`` waiters on the named queue."""
+        if not self._monitor_lock._is_owned():  # type: ignore[attr-defined]
+            raise SyncError("notify() outside the monitor")
+        self._condition(queue).notify(n)
+
+    def notify_all(self, queue: str) -> None:
+        """Wake every waiter on the named queue."""
+        if not self._monitor_lock._is_owned():  # type: ignore[attr-defined]
+            raise SyncError("notify_all() outside the monitor")
+        self._condition(queue).notify_all()
+
+
+def synchronized(method: Callable[..., T]) -> Callable[..., T]:
+    """Make a :class:`Monitor` method hold the monitor lock."""
+
+    @wraps(method)
+    def wrapper(self: Monitor, *args, **kwargs) -> T:
+        if not isinstance(self, Monitor):
+            raise TypeError("@synchronized methods require a Monitor subclass")
+        with self._monitor_lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper

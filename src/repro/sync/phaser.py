@@ -1,0 +1,125 @@
+"""Phaser — a multi-phase related-work comparator.
+
+``java.util.concurrent.Phaser`` generalizes barriers with dynamic party
+registration and a monotonically advancing *phase* number.  Its
+``await_advance(phase)`` is close in spirit to ``counter.check(level)`` —
+both wait for a monotone quantity — but the phaser couples waiting to the
+all-parties-arrived protocol, while a counter decouples "progress
+announcement" (increment) from "progress requirement" (check) completely.
+Benchmark E9 uses this class to re-express the §4 Floyd-Warshall pipeline
+and measure the cost of the coupling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.sync.errors import SyncError, SyncTimeout
+
+__all__ = ["Phaser"]
+
+
+class Phaser:
+    """Reusable multi-phase barrier with dynamic registration.
+
+    Parties register (at construction or via :meth:`register`), then each
+    phase completes when every registered party has arrived.
+    ``arrive_and_await_advance`` is the barrier-style composite;
+    ``arrive`` / ``await_advance`` are the split operations.
+    """
+
+    __slots__ = ("_cond", "_parties", "_arrived", "_phase", "_name")
+
+    def __init__(self, parties: int = 0, *, name: str | None = None) -> None:
+        if not isinstance(parties, int) or isinstance(parties, bool) or parties < 0:
+            raise ValueError(f"parties must be an int >= 0, got {parties!r}")
+        self._cond = threading.Condition(threading.Lock())
+        self._parties = parties
+        self._arrived = 0
+        self._phase = 0
+        self._name = name
+
+    @property
+    def phase(self) -> int:
+        """Current phase number (diagnostic only)."""
+        with self._cond:
+            return self._phase
+
+    @property
+    def parties(self) -> int:
+        with self._cond:
+            return self._parties
+
+    def register(self, n: int = 1) -> int:
+        """Add ``n`` parties; returns the current phase."""
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ValueError(f"n must be an int >= 1, got {n!r}")
+        with self._cond:
+            self._parties += n
+            return self._phase
+
+    def arrive(self) -> int:
+        """Arrive at the current phase without waiting; returns that phase."""
+        with self._cond:
+            return self._arrive_locked(deregister=False)
+
+    def arrive_and_deregister(self) -> int:
+        """Arrive and drop out; remaining parties complete the phase."""
+        with self._cond:
+            return self._arrive_locked(deregister=True)
+
+    def arrive_and_await_advance(self, timeout: float | None = None) -> int:
+        """Barrier-style: arrive, then wait for the phase to advance."""
+        with self._cond:
+            phase = self._arrive_locked(deregister=False)
+            self._await_locked(phase, timeout)
+            return self._phase
+
+    def await_advance(self, phase: int, timeout: float | None = None) -> int:
+        """Wait until the phaser's phase exceeds ``phase``.
+
+        Returns immediately if the phaser has already advanced past
+        ``phase`` — like ``check``, the condition is stable because the
+        phase number is monotone.
+        """
+        if not isinstance(phase, int) or isinstance(phase, bool) or phase < 0:
+            raise ValueError(f"phase must be an int >= 0, got {phase!r}")
+        with self._cond:
+            self._await_locked(phase, timeout)
+            return self._phase
+
+    def _arrive_locked(self, *, deregister: bool) -> int:
+        if self._parties == 0:
+            raise SyncError(f"{self!r}: arrive() with no registered parties")
+        phase = self._phase
+        self._arrived += 1
+        if deregister:
+            self._parties -= 1
+        if self._arrived >= self._parties:
+            self._arrived = 0
+            self._phase += 1
+            self._cond.notify_all()
+        return phase
+
+    def _await_locked(self, phase: int, timeout: float | None) -> None:
+        if timeout is None:
+            while self._phase <= phase:
+                self._cond.wait()
+            return
+        deadline = time.monotonic() + timeout
+        while self._phase <= phase:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self._cond.wait(remaining):
+                if self._phase > phase:
+                    return
+                raise SyncTimeout(
+                    f"{self!r}: await_advance({phase}) timed out after {timeout}s"
+                )
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"<Phaser{label} phase={self._phase} "
+            f"arrived={self._arrived}/{self._parties}>"
+        )

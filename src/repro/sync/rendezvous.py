@@ -1,0 +1,131 @@
+"""Ada-style rendezvous (paper ref 1) — the last §1 mechanism.
+
+An *entry* couples a caller and an acceptor: ``call(request)`` blocks
+until an acceptor takes the request, computes a reply, and both proceed
+— extended rendezvous semantics (the caller stays blocked for the whole
+service, unlike a queue handoff).  One entry has exactly two suspension
+queues (callers, acceptors), the "statically bounded" shape §8 contrasts
+with counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Generic, TypeVar
+
+from repro.sync.errors import SyncTimeout
+
+Req = TypeVar("Req")
+Rep = TypeVar("Rep")
+
+__all__ = ["Rendezvous"]
+
+
+class _Exchange(Generic[Req, Rep]):
+    """One caller's pending exchange: request in, reply (or error) out."""
+
+    __slots__ = ("request", "reply", "error", "finished", "done")
+
+    def __init__(self, request: Req, lock: threading.Lock) -> None:
+        self.request = request
+        self.reply: Rep | None = None
+        self.error: BaseException | None = None
+        self.finished = False
+        self.done = threading.Condition(lock)
+
+
+class Rendezvous(Generic[Req, Rep]):
+    """A single entry with extended-rendezvous semantics.
+
+    >>> entry = Rendezvous()
+    >>> # server thread:  entry.accept(lambda req: req * 2)
+    >>> # client thread:  entry.call(21)  ->  42
+    """
+
+    def __init__(self, *, name: str | None = None) -> None:
+        self._lock = threading.Lock()
+        self._callers_ok = threading.Condition(self._lock)
+        self._queue: list[_Exchange[Req, Rep]] = []
+        self._name = name
+
+    def call(self, request: Req, timeout: float | None = None) -> Rep:
+        """Issue an entry call; blocks until an acceptor services it.
+
+        Raises whatever the acceptor's service function raised, or
+        :class:`~repro.sync.errors.SyncTimeout` if nobody accepted in
+        time (the request is then withdrawn).
+        """
+        exchange = _Exchange[Req, Rep](request, self._lock)
+        with self._lock:
+            self._queue.append(exchange)
+            self._callers_ok.notify(1)
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._finished(exchange):
+                if deadline is None:
+                    exchange.done.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not exchange.done.wait(remaining):
+                    if self._finished(exchange):
+                        break
+                    if exchange in self._queue:  # not yet taken: withdraw
+                        self._queue.remove(exchange)
+                        raise SyncTimeout(f"{self!r}: call() timed out after {timeout}s")
+                    # Taken but not finished: service in progress; extended
+                    # rendezvous means we must see it through.
+                    while not self._finished(exchange):
+                        exchange.done.wait()
+            if exchange.error is not None:
+                raise exchange.error
+            return exchange.reply  # type: ignore[return-value]
+
+    @staticmethod
+    def _finished(exchange: _Exchange[Req, Rep]) -> bool:
+        return exchange.finished
+
+    def accept(self, service: Callable[[Req], Rep], timeout: float | None = None) -> Rep:
+        """Take one pending call, run ``service`` on it, release the caller.
+
+        Returns the reply (for the acceptor's own use).  Blocks until a
+        call arrives; ``service`` runs *outside* the entry lock so other
+        calls can queue meanwhile, but the caller stays blocked until the
+        reply is posted — the extended-rendezvous contract.
+        """
+        with self._lock:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._queue:
+                if deadline is None:
+                    self._callers_ok.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._callers_ok.wait(remaining):
+                    if self._queue:
+                        break
+                    raise SyncTimeout(f"{self!r}: accept() timed out after {timeout}s")
+            exchange = self._queue.pop(0)
+        try:
+            reply = service(exchange.request)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
+            with self._lock:
+                exchange.error = exc
+                exchange.finished = True
+                exchange.done.notify_all()
+            raise
+        with self._lock:
+            exchange.reply = reply
+            exchange.finished = True
+            exchange.done.notify_all()
+        return reply
+
+    @property
+    def pending(self) -> int:
+        """Queued, not-yet-accepted calls (diagnostic only)."""
+        with self._lock:
+            return len(self._queue)
+
+    def __repr__(self) -> str:
+        # Lock-free: repr is used inside error messages raised while the
+        # entry lock is held (it is a plain, non-reentrant Lock).
+        label = f" {self._name!r}" if self._name else ""
+        return f"<Rendezvous{label} pending={len(self._queue)}>"

@@ -1,0 +1,108 @@
+"""Reader-writer lock, built from scratch over a lock and conditions.
+
+A substrate comparator with exactly two suspension queues (readers,
+writers) — another "statically bounded queues" mechanism in the paper's
+§8 taxonomy.  Writer-preference to avoid writer starvation: new readers
+queue behind a waiting writer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.sync.errors import SyncError, SyncTimeout
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Shared/exclusive lock with writer preference."""
+
+    def __init__(self, *, name: str | None = None) -> None:
+        self._lock = threading.Lock()
+        self._readers_ok = threading.Condition(self._lock)
+        self._writers_ok = threading.Condition(self._lock)
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+        self._name = name
+
+    # ---------------------------------------------------------------- read
+
+    def acquire_read(self, timeout: float | None = None) -> None:
+        """Take the lock shared; blocks while a writer holds or waits."""
+        with self._lock:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while self._active_writer or self._waiting_writers:
+                if not self._wait(self._readers_ok, deadline):
+                    raise SyncTimeout(f"{self!r}: acquire_read timed out")
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._lock:
+            if self._active_readers <= 0:
+                raise SyncError(f"{self!r}: release_read without acquire_read")
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._writers_ok.notify(1)
+
+    # --------------------------------------------------------------- write
+
+    def acquire_write(self, timeout: float | None = None) -> None:
+        """Take the lock exclusive; blocks while anyone else holds it."""
+        with self._lock:
+            self._waiting_writers += 1
+            deadline = None if timeout is None else time.monotonic() + timeout
+            try:
+                while self._active_writer or self._active_readers:
+                    if not self._wait(self._writers_ok, deadline):
+                        raise SyncTimeout(f"{self!r}: acquire_write timed out")
+                self._active_writer = True
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        with self._lock:
+            if not self._active_writer:
+                raise SyncError(f"{self!r}: release_write without acquire_write")
+            self._active_writer = False
+            if self._waiting_writers:
+                self._writers_ok.notify(1)
+            else:
+                self._readers_ok.notify_all()
+
+    # ------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _wait(condition: threading.Condition, deadline: float | None) -> bool:
+        if deadline is None:
+            condition.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        return condition.wait(remaining) or True  # re-test in caller loop
+
+    @contextmanager
+    def reading(self, timeout: float | None = None) -> Iterator[None]:
+        self.acquire_read(timeout)
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def writing(self, timeout: float | None = None) -> Iterator[None]:
+        self.acquire_write(timeout)
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        state = "W" if self._active_writer else f"R{self._active_readers}"
+        return f"<ReadWriteLock{label} {state} waitingW={self._waiting_writers}>"

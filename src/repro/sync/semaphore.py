@@ -1,0 +1,87 @@
+"""Counting semaphore, built from scratch over a lock and condition variable.
+
+Dijkstra's semaphore [paper ref 7] is the traditional tool for the
+multiple-writer multiple-reader bounded buffer that §5.3 contrasts with
+the single-writer broadcast pattern.  We implement P/V (``acquire`` /
+``release``) directly so :mod:`repro.sync.channel` and benchmark E9 have a
+from-scratch substrate.
+
+Unlike a monotonic counter, a semaphore's value can *decrease*, so a
+waiter observing "value > 0" races with other waiters — exactly the
+nondeterminism §6 discusses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.sync.errors import SyncTimeout
+
+__all__ = ["CountingSemaphore"]
+
+
+class CountingSemaphore:
+    """Classic counting semaphore with FIFO-fair wakeup accounting.
+
+    ``acquire`` (P) decrements, suspending while the value is zero;
+    ``release`` (V) increments and wakes one waiter.  Fairness note: we
+    wake with ``notify(1)`` and re-test under the lock, so barging is
+    possible exactly as with POSIX semaphores — this is the intended
+    (nondeterministic) baseline behaviour.
+    """
+
+    __slots__ = ("_cond", "_value", "_name")
+
+    def __init__(self, initial: int = 0, *, name: str | None = None) -> None:
+        if not isinstance(initial, int) or isinstance(initial, bool) or initial < 0:
+            raise ValueError(f"initial must be an int >= 0, got {initial!r}")
+        self._cond = threading.Condition(threading.Lock())
+        self._value = initial
+        self._name = name
+
+    @property
+    def value(self) -> int:
+        """Instantaneous value (diagnostic only)."""
+        with self._cond:
+            return self._value
+
+    def acquire(self, n: int = 1, timeout: float | None = None) -> None:
+        """P operation: atomically take ``n`` units, waiting as needed."""
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ValueError(f"n must be an int >= 1, got {n!r}")
+        with self._cond:
+            if timeout is None:
+                while self._value < n:
+                    self._cond.wait()
+                self._value -= n
+                return
+            deadline = time.monotonic() + timeout
+            while self._value < n:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    if self._value >= n:
+                        break
+                    raise SyncTimeout(f"{self!r}: acquire({n}) timed out after {timeout}s")
+            self._value -= n
+
+    def release(self, n: int = 1) -> None:
+        """V operation: return ``n`` units and wake waiters."""
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ValueError(f"n must be an int >= 1, got {n!r}")
+        with self._cond:
+            self._value += n
+            # notify_all rather than notify(n): waiters may need n > 1 units,
+            # so a targeted wake could strand a satisfiable waiter.
+            self._cond.notify_all()
+
+    def __enter__(self) -> "CountingSemaphore":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return f"<CountingSemaphore{label} value={self._value}>"

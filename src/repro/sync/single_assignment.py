@@ -1,0 +1,79 @@
+"""Single-assignment (sync) variables, per the paper's related work (§8).
+
+Dataflow languages (Val, Sisal, Strand, PCN, CC++ — paper refs 3-5, 10,
+12, 15) build determinism on *single-assignment variables*: a cell that is
+written once and whose readers suspend until the write happens.  Counters
+generalize them by (i) separating synchronization from data and (ii)
+supporting many waiting levels; a single-assignment variable is the
+special case "counter with one level" + a payload.
+
+This class is the substrate for the equivalence tests in
+``tests/sync/test_single_assignment.py`` and a comparator in E9.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Generic, TypeVar
+
+from repro.sync.errors import AlreadyAssignedError, SyncTimeout
+
+T = TypeVar("T")
+
+__all__ = ["SingleAssignment"]
+
+
+class SingleAssignment(Generic[T]):
+    """Write-once cell whose readers suspend until assignment.
+
+    >>> cell = SingleAssignment()
+    >>> cell.assign(42)
+    >>> cell.read()
+    42
+    """
+
+    __slots__ = ("_cond", "_assigned", "_value", "_name")
+
+    def __init__(self, *, name: str | None = None) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._assigned = False
+        self._value: T | None = None
+        self._name = name
+
+    def assign(self, value: T) -> None:
+        """Assign the value; a second assignment raises."""
+        with self._cond:
+            if self._assigned:
+                raise AlreadyAssignedError(f"{self!r} already assigned")
+            self._value = value
+            self._assigned = True
+            self._cond.notify_all()
+
+    def read(self, timeout: float | None = None) -> T:
+        """Suspend until assigned, then return the value."""
+        with self._cond:
+            if self._assigned:
+                return self._value  # type: ignore[return-value]
+            if timeout is None:
+                while not self._assigned:
+                    self._cond.wait()
+                return self._value  # type: ignore[return-value]
+            deadline = time.monotonic() + timeout
+            while not self._assigned:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    if self._assigned:
+                        break
+                    raise SyncTimeout(f"{self!r}: read() timed out after {timeout}s")
+            return self._value  # type: ignore[return-value]
+
+    def is_assigned(self) -> bool:
+        """Diagnostic probe; do not use for synchronization decisions."""
+        with self._cond:
+            return self._assigned
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        state = "assigned" if self._assigned else "unassigned"
+        return f"<SingleAssignment{label} {state}>"

@@ -1,0 +1,29 @@
+"""Exhaustive schedule exploration (model checking the §6 claims)."""
+
+from repro.verify.explorer import (
+    ExplorationReport,
+    ExplorerProgram,
+    ScheduleExplorer,
+    explore,
+    explore_random,
+)
+from repro.verify.programs import (
+    counter_ordered_program,
+    counter_racy_program,
+    counter_racy_program_split,
+    lock_program,
+    lock_program_split,
+)
+
+__all__ = [
+    "explore",
+    "explore_random",
+    "ScheduleExplorer",
+    "ExplorerProgram",
+    "ExplorationReport",
+    "lock_program",
+    "counter_ordered_program",
+    "counter_racy_program",
+    "lock_program_split",
+    "counter_racy_program_split",
+]

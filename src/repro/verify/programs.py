@@ -1,0 +1,132 @@
+"""The paper's §6 example programs, packaged for exhaustive exploration.
+
+Three two-thread programs over a shared ``x`` (initially 0), one thread
+computing ``x = x + 1`` and the other ``x = x * 2``:
+
+* :func:`lock_program` — mutual exclusion by lock (the paper's first
+  example): atomicity but **no order**, so the final value is 1 or 2
+  depending on acquisition order.
+* :func:`counter_ordered_program` — the paper's ordered counter program
+  (``Check(0)``/``Check(1)``): exactly one final state, 2.
+* :func:`counter_racy_program` — the paper's broken variant (both
+  ``Check(0)``): counter synchronization used without the shared-variable
+  discipline, so results vary with order.
+
+Each ``*_split`` variant separates the read and the write of ``x`` across
+yield points, exposing *lost-update* interleavings in addition to
+ordering nondeterminism (e.g. both threads read 0).
+"""
+
+from __future__ import annotations
+
+from repro.simthread.primitives import SimCounter, SimLock
+from repro.simthread.syscalls import Delay
+from repro.verify.explorer import ExplorerProgram
+
+__all__ = [
+    "lock_program",
+    "counter_ordered_program",
+    "counter_racy_program",
+    "lock_program_split",
+    "counter_racy_program_split",
+]
+
+
+def lock_program() -> ExplorerProgram:
+    """``multithreaded { {Lock; x=x+1; Unlock} {Lock; x=x*2; Unlock} }``."""
+    lock = SimLock("xLock")
+    x = [0]
+
+    def add_one():
+        yield lock.acquire()
+        x[0] = x[0] + 1
+        yield lock.release()
+
+    def double():
+        yield lock.acquire()
+        x[0] = x[0] * 2
+        yield lock.release()
+
+    return ExplorerProgram(tasks=[add_one(), double()], observe=lambda: x[0])
+
+
+def counter_ordered_program() -> ExplorerProgram:
+    """``{Check(0); x=x+1; Inc(1)} || {Check(1); x=x*2; Inc(1)}`` — deterministic."""
+    counter = SimCounter("xCount")
+    x = [0]
+
+    def add_one():
+        yield counter.check(0)
+        x[0] = x[0] + 1
+        yield counter.increment(1)
+
+    def double():
+        yield counter.check(1)
+        x[0] = x[0] * 2
+        yield counter.increment(1)
+
+    return ExplorerProgram(tasks=[add_one(), double()], observe=lambda: x[0])
+
+
+def counter_racy_program() -> ExplorerProgram:
+    """Both threads ``Check(0)`` — counter sync without the discipline."""
+    counter = SimCounter("xCount")
+    x = [0]
+
+    def add_one():
+        yield counter.check(0)
+        x[0] = x[0] + 1
+        yield counter.increment(1)
+
+    def double():
+        yield counter.check(0)
+        x[0] = x[0] * 2
+        yield counter.increment(1)
+
+    return ExplorerProgram(tasks=[add_one(), double()], observe=lambda: x[0])
+
+
+def lock_program_split() -> ExplorerProgram:
+    """Lock program with read/write split — still atomic (lock held), so the
+    split adds no states beyond acquisition-order nondeterminism."""
+    lock = SimLock("xLock")
+    x = [0]
+
+    def add_one():
+        yield lock.acquire()
+        tmp = x[0]
+        yield Delay(0)
+        x[0] = tmp + 1
+        yield lock.release()
+
+    def double():
+        yield lock.acquire()
+        tmp = x[0]
+        yield Delay(0)
+        x[0] = tmp * 2
+        yield lock.release()
+
+    return ExplorerProgram(tasks=[add_one(), double()], observe=lambda: x[0])
+
+
+def counter_racy_program_split() -> ExplorerProgram:
+    """Racy counter program with read/write split: exposes lost updates
+    (both threads read x == 0) on top of ordering nondeterminism."""
+    counter = SimCounter("xCount")
+    x = [0]
+
+    def add_one():
+        yield counter.check(0)
+        tmp = x[0]
+        yield Delay(0)
+        x[0] = tmp + 1
+        yield counter.increment(1)
+
+    def double():
+        yield counter.check(0)
+        tmp = x[0]
+        yield Delay(0)
+        x[0] = tmp * 2
+        yield counter.increment(1)
+
+    return ExplorerProgram(tasks=[add_one(), double()], observe=lambda: x[0])

@@ -1,0 +1,107 @@
+"""§5.2 ordered accumulation: determinacy of the counter version."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.accumulate import (
+    accumulate_counter,
+    accumulate_lock,
+    accumulate_sequential,
+    distinct_float_sums,
+    float_sum,
+    ill_conditioned_terms,
+    list_append,
+)
+
+
+class TestSequentialOracle:
+    def test_float_sum(self):
+        assert accumulate_sequential([1.0, 2.0, 3.0], float_sum, 0.0) == 6.0
+
+    def test_list_append(self):
+        assert accumulate_sequential([1, 2, 3], list_append, []) == [1, 2, 3]
+
+    def test_empty_items(self):
+        assert accumulate_sequential([], float_sum, 0.0) == 0.0
+
+
+class TestIllConditionedWorkload:
+    def test_requested_length(self):
+        assert len(ill_conditioned_terms(30)) == 30
+        assert len(ill_conditioned_terms(1)) == 1
+
+    def test_seeded_reproducibility(self):
+        assert ill_conditioned_terms(20, seed=5) == ill_conditioned_terms(20, seed=5)
+        assert ill_conditioned_terms(20, seed=5) != ill_conditioned_terms(20, seed=6)
+
+    def test_sum_is_permutation_dependent(self):
+        """The workload really is non-associative in practice: many
+        distinct sums across permutations."""
+        terms = ill_conditioned_terms(30)
+        assert distinct_float_sums(terms, permutations=30) > 1
+
+
+class TestCounterOrdering:
+    def test_counter_version_equals_sequential_float(self):
+        terms = ill_conditioned_terms(24)
+        expected = accumulate_sequential(terms, float_sum, 0.0)
+        assert accumulate_counter(terms, float_sum, 0.0) == expected
+
+    def test_counter_version_equals_sequential_list(self):
+        items = list(range(20))
+        assert accumulate_counter(items, list_append, []) == items
+
+    def test_counter_version_deterministic_with_jitter(self):
+        """Even with deliberate scheduling noise, the counter-ordered fold
+        is bitwise deterministic across runs — §5.2's claim."""
+        terms = ill_conditioned_terms(16)
+        expected = accumulate_sequential(terms, float_sum, 0.0)
+        results = {
+            accumulate_counter(terms, float_sum, 0.0, jitter=0.002) for _ in range(10)
+        }
+        assert results == {expected}
+
+    def test_list_ordering_with_jitter(self):
+        items = list(range(12))
+        for _ in range(5):
+            assert accumulate_counter(items, list_append, [], jitter=0.002) == items
+
+    def test_compute_hook(self):
+        items = [1, 2, 3, 4]
+        result = accumulate_counter(
+            items, float_sum, 0.0, compute=lambda i, x: x * 10
+        )
+        assert result == 100.0
+
+
+class TestLockBaseline:
+    def test_lock_version_preserves_multiset(self):
+        """The lock version is correct up to ordering: with a commutative
+        fold it matches; with list append it is a permutation."""
+        items = list(range(16))
+        result = accumulate_lock(items, list_append, [], jitter=0.002)
+        assert sorted(result) == items
+
+    def test_lock_version_integer_sum_exact(self):
+        items = list(range(100))
+        assert accumulate_lock(items, lambda a, b: a + b, 0) == sum(items)
+
+    def test_lock_version_can_reorder(self):
+        """Over many jittered runs the lock version usually produces at
+        least one non-sequential ordering; we assert only the weak form
+        (all orderings are permutations) plus report determinism status."""
+        items = list(range(10))
+        orders = {
+            tuple(accumulate_lock(items, list_append, [], jitter=0.003))
+            for _ in range(20)
+        }
+        assert all(sorted(order) == items for order in orders)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("n", [1, 2, 7, 30])
+    def test_sizes(self, n):
+        terms = ill_conditioned_terms(n)
+        expected = accumulate_sequential(terms, float_sum, 0.0)
+        assert accumulate_counter(terms, float_sum, 0.0) == expected

@@ -1,0 +1,103 @@
+"""2-D red-black Gauss-Seidel: the §5.1 pattern in two dimensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.gauss_seidel import (
+    gauss_seidel_barrier,
+    gauss_seidel_ragged,
+    gauss_seidel_sequential,
+    laplace_residual,
+)
+
+
+def random_grid(shape=(20, 16), seed=0) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, 100.0, shape)
+
+
+class TestOracle:
+    def test_zero_sweeps_identity(self):
+        grid = random_grid()
+        assert np.array_equal(gauss_seidel_sequential(grid, 0), grid)
+
+    def test_boundary_rows_and_columns_fixed(self):
+        grid = random_grid()
+        out = gauss_seidel_sequential(grid, 25)
+        assert np.array_equal(out[0, :], grid[0, :])
+        assert np.array_equal(out[-1, :], grid[-1, :])
+        assert np.array_equal(out[:, 0], grid[:, 0])
+        assert np.array_equal(out[:, -1], grid[:, -1])
+
+    def test_converges_to_laplace_solution(self):
+        grid = np.zeros((16, 16))
+        grid[:, -1] = 100.0
+        out = gauss_seidel_sequential(grid, 2000)
+        assert laplace_residual(out) < 1e-6
+
+    def test_residual_decreases(self):
+        grid = random_grid(seed=3)
+        r0 = laplace_residual(gauss_seidel_sequential(grid, 1))
+        r1 = laplace_residual(gauss_seidel_sequential(grid, 50))
+        assert r1 < r0
+
+    def test_constant_grid_is_fixed_point(self):
+        grid = np.full((10, 10), 7.0)
+        assert np.array_equal(gauss_seidel_sequential(grid, 20), grid)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gauss_seidel_sequential(np.zeros((2, 5)), 1)
+        with pytest.raises(ValueError):
+            gauss_seidel_sequential(np.zeros(5), 1)
+        with pytest.raises(ValueError):
+            gauss_seidel_sequential(np.zeros((5, 5)), -1)
+
+
+@pytest.mark.parametrize("impl", [gauss_seidel_barrier, gauss_seidel_ragged])
+class TestParallelVariants:
+    @pytest.mark.parametrize("num_threads", [1, 2, 3, 7, 18])
+    def test_bitwise_equal_to_oracle(self, impl, num_threads):
+        grid = random_grid(seed=1)
+        expected = gauss_seidel_sequential(grid, 30)
+        got = impl(grid, 30, num_threads=num_threads)
+        assert np.array_equal(got, expected)
+
+    def test_per_row_threads(self, impl):
+        grid = random_grid((12, 10), seed=2)
+        expected = gauss_seidel_sequential(grid, 15)
+        assert np.array_equal(impl(grid, 15, num_threads=None), expected)
+
+    def test_zero_sweeps(self, impl):
+        grid = random_grid((8, 8))
+        assert np.array_equal(impl(grid, 0, num_threads=2), grid)
+
+    def test_minimum_grid(self, impl):
+        grid = random_grid((3, 3), seed=4)
+        expected = gauss_seidel_sequential(grid, 10)
+        assert np.array_equal(impl(grid, 10), expected)
+
+    def test_deterministic_across_runs(self, impl):
+        grid = random_grid(seed=5)
+        results = {impl(grid, 20, num_threads=4).tobytes() for _ in range(5)}
+        assert len(results) == 1
+
+    def test_thread_validation(self, impl):
+        with pytest.raises(ValueError):
+            impl(random_grid(), 5, num_threads=0)
+
+    def test_input_not_mutated(self, impl):
+        grid = random_grid(seed=6)
+        original = grid.copy()
+        impl(grid, 10, num_threads=3)
+        assert np.array_equal(grid, original)
+
+
+class TestNonSquareGrids:
+    @pytest.mark.parametrize("shape", [(3, 30), (30, 3), (17, 5)])
+    def test_odd_shapes(self, shape):
+        grid = random_grid(shape, seed=7)
+        expected = gauss_seidel_sequential(grid, 12)
+        assert np.array_equal(gauss_seidel_ragged(grid, 12, num_threads=4), expected)
+        assert np.array_equal(gauss_seidel_barrier(grid, 12, num_threads=4), expected)

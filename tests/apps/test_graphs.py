@@ -1,0 +1,91 @@
+"""Tests for the graph workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.floyd_warshall import INF, shortest_paths_reference, validate_edge_matrix
+from repro.apps.graphs import random_dense_graph, random_negative_graph, random_sparse_graph
+
+
+class TestDenseGraph:
+    def test_shape_and_diagonal(self):
+        edge = random_dense_graph(10, seed=0)
+        assert edge.shape == (10, 10)
+        assert np.all(np.diag(edge) == 0)
+
+    def test_weights_in_range(self):
+        edge = random_dense_graph(10, seed=0, low=2.0, high=3.0)
+        off_diag = edge[~np.eye(10, dtype=bool)]
+        assert np.all((off_diag >= 2.0) & (off_diag <= 3.0))
+
+    def test_seeded_reproducibility(self):
+        assert np.array_equal(random_dense_graph(8, seed=5), random_dense_graph(8, seed=5))
+        assert not np.array_equal(random_dense_graph(8, seed=5), random_dense_graph(8, seed=6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_dense_graph(0)
+
+    def test_accepted_by_solver(self):
+        shortest_paths_reference(random_dense_graph(6, seed=1))
+
+
+class TestSparseGraph:
+    def test_absent_edges_are_inf(self):
+        edge = random_sparse_graph(20, p=0.1, seed=0)
+        assert np.isinf(edge).any()
+        assert np.all(np.diag(edge) == 0)
+
+    def test_density_tracks_p(self):
+        n = 40
+        dense = random_sparse_graph(n, p=0.8, seed=1)
+        sparse = random_sparse_graph(n, p=0.05, seed=1)
+        count = lambda e: np.isfinite(e).sum() - n  # noqa: E731
+        assert count(dense) > count(sparse)
+
+    def test_p_bounds_validated(self):
+        with pytest.raises(ValueError):
+            random_sparse_graph(5, p=1.5)
+        with pytest.raises(ValueError):
+            random_sparse_graph(5, p=-0.1)
+        with pytest.raises(ValueError):
+            random_sparse_graph(0)
+
+    def test_p_zero_is_edgeless(self):
+        edge = random_sparse_graph(6, p=0.0, seed=0)
+        assert np.isfinite(edge).sum() == 6  # only the diagonal
+
+    def test_solver_handles_unreachable(self):
+        edge = random_sparse_graph(10, p=0.1, seed=2)
+        path = shortest_paths_reference(edge)
+        assert np.all(np.diag(path) == 0)
+
+
+class TestNegativeGraph:
+    def test_contains_negative_edges(self):
+        edge = random_negative_graph(15, seed=0, negative_fraction=0.3)
+        assert (edge < 0).any()
+
+    def test_no_negative_cycles_by_construction(self):
+        """The potential-reweighting construction guarantees it for any
+        seed; spot-check several via Floyd-Warshall's own detector."""
+        for seed in range(5):
+            edge = random_negative_graph(12, seed=seed, negative_fraction=0.5)
+            path = shortest_paths_reference(edge)  # raises on negative cycle
+            assert np.all(np.diag(path) == 0)
+
+    def test_zero_diagonal(self):
+        edge = random_negative_graph(8, seed=3)
+        validate_edge_matrix(edge)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_negative_graph(0)
+
+
+class TestINF:
+    def test_inf_is_numpy_inf(self):
+        assert INF == np.inf
+        assert INF + 5 == INF  # additive absorbing, as Floyd-Warshall needs

@@ -1,0 +1,107 @@
+"""§5.1 heat simulation: barrier and ragged versions against the oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import default_update, heat_barrier, heat_ragged, heat_sequential
+
+
+def initial_state(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, 100.0, n)
+
+
+class TestOracle:
+    def test_zero_steps_is_identity(self):
+        init = initial_state(10)
+        assert np.array_equal(heat_sequential(init, 0), init)
+
+    def test_boundaries_constant(self):
+        init = initial_state(12)
+        final = heat_sequential(init, 50)
+        assert final[0] == init[0]
+        assert final[-1] == init[-1]
+
+    def test_diffusion_converges_toward_linear_profile(self):
+        init = np.zeros(11)
+        init[0], init[-1] = 0.0, 100.0
+        final = heat_sequential(init, 5000)
+        assert np.allclose(final, np.linspace(0.0, 100.0, 11), atol=0.5)
+
+    def test_update_rule_conserves_constant_field(self):
+        constant = np.full(9, 42.0)
+        assert np.allclose(heat_sequential(constant, 100), constant)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            heat_sequential(np.zeros(2), 1)  # too few cells
+        with pytest.raises(ValueError):
+            heat_sequential(np.zeros((3, 3)), 1)  # not 1-D
+        with pytest.raises(ValueError):
+            heat_sequential(np.zeros(5), -1)
+
+
+@pytest.mark.parametrize("impl", [heat_barrier, heat_ragged])
+class TestParallelVariants:
+    def test_matches_oracle_default_threads(self, impl):
+        init = initial_state(20, seed=1)
+        assert np.allclose(impl(init, 30), heat_sequential(init, 30))
+
+    @pytest.mark.parametrize("num_threads", [1, 2, 3, 7, 18])
+    def test_matches_oracle_blocked(self, impl, num_threads):
+        init = initial_state(20, seed=2)
+        expected = heat_sequential(init, 25)
+        assert np.allclose(impl(init, 25, num_threads=num_threads), expected)
+
+    def test_zero_steps(self, impl):
+        init = initial_state(8)
+        assert np.array_equal(impl(init, 0, num_threads=2), init)
+
+    def test_minimum_rod(self, impl):
+        init = initial_state(3)  # one interior cell
+        assert np.allclose(impl(init, 10), heat_sequential(init, 10))
+
+    def test_custom_update_rule(self, impl):
+        def averaging(left, centre, right):
+            return (left + centre + right) / 3.0
+
+        init = initial_state(12, seed=3)
+        expected = heat_sequential(init, 15, update=averaging)
+        got = impl(init, 15, num_threads=3, update=averaging)
+        assert np.allclose(got, expected)
+
+    def test_thread_count_validation(self, impl):
+        with pytest.raises(ValueError):
+            impl(initial_state(8), 5, num_threads=0)
+
+    def test_deterministic_across_runs(self, impl):
+        init = initial_state(16, seed=4)
+        results = {impl(init, 20, num_threads=4).tobytes() for _ in range(5)}
+        assert len(results) == 1
+
+
+class TestRaggedProtocolObservables:
+    def test_counters_reach_two_ticks_per_step(self):
+        """After the run, every participant's counter reads 2 * steps
+        (one read tick + one write tick per step, §5.1)."""
+        from repro.patterns.ragged import RaggedBarrier
+        from repro.structured import multithreaded_for
+
+        n, steps = 6, 10
+        rb = RaggedBarrier(n + 2)
+        rb.preload(0, 2 * steps)
+        rb.preload(n + 1, 2 * steps)
+
+        def worker(index):
+            p = index + 1
+            for t in range(1, steps + 1):
+                rb.wait_for(p - 1, 2 * t - 2)
+                rb.wait_for(p + 1, 2 * t - 2)
+                rb.advance(p)
+                rb.wait_for(p - 1, 2 * t - 1)
+                rb.wait_for(p + 1, 2 * t - 1)
+                rb.advance(p)
+
+        multithreaded_for(worker, range(n))
+        assert all(rb.progress(p) == 2 * steps for p in range(1, n + 1))

@@ -1,0 +1,131 @@
+"""Single-threaded behaviour of every counter implementation (paper §2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BroadcastCounter,
+    Counter,
+    CounterOverflowError,
+    CounterValueError,
+    MonotonicCounter,
+)
+
+
+class TestConstruction:
+    def test_initial_value_is_zero(self, counter):
+        assert counter.value == 0
+
+    def test_counter_alias_is_the_paper_class(self):
+        assert Counter is MonotonicCounter
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            MonotonicCounter(strategy="btree")
+
+    def test_negative_max_value_rejected(self):
+        with pytest.raises(ValueError, match="max_value"):
+            MonotonicCounter(max_value=-1)
+
+    def test_named_counter_repr(self):
+        c = MonotonicCounter(name="kCount")
+        assert "kCount" in repr(c)
+        assert "value=0" in repr(c)
+
+    def test_broadcast_counter_repr(self):
+        c = BroadcastCounter(name="naive")
+        assert "naive" in repr(c)
+
+
+class TestIncrement:
+    def test_increment_default_amount_is_one(self, counter):
+        assert counter.increment() == 1
+        assert counter.value == 1
+
+    def test_increment_accumulates(self, counter):
+        counter.increment(3)
+        counter.increment(4)
+        assert counter.value == 7
+
+    def test_increment_returns_new_value(self, counter):
+        assert counter.increment(5) == 5
+        assert counter.increment(2) == 7
+
+    def test_increment_zero_is_legal_noop(self, counter):
+        counter.increment(5)
+        assert counter.increment(0) == 5
+        assert counter.value == 5
+
+    def test_increment_negative_rejected(self, counter):
+        with pytest.raises(CounterValueError, match=">= 0"):
+            counter.increment(-1)
+        assert counter.value == 0
+
+    def test_increment_non_int_rejected(self, counter):
+        for bad in (1.5, "2", None, [1]):
+            with pytest.raises(CounterValueError, match="int"):
+                counter.increment(bad)
+
+    def test_increment_bool_rejected(self, counter):
+        # bool is an int subclass but almost certainly a bug at a call site.
+        with pytest.raises(CounterValueError, match="int"):
+            counter.increment(True)
+
+    def test_large_increments(self, counter):
+        counter.increment(10**18)
+        assert counter.value == 10**18
+
+
+class TestCheckImmediate:
+    def test_check_zero_always_passes(self, counter):
+        counter.check(0)  # value 0 >= level 0
+
+    def test_check_at_or_below_value_returns(self, counter):
+        counter.increment(10)
+        counter.check(10)
+        counter.check(3)
+        assert counter.value == 10
+
+    def test_check_negative_level_rejected(self, counter):
+        with pytest.raises(CounterValueError, match=">= 0"):
+            counter.check(-2)
+
+    def test_check_non_int_level_rejected(self, counter):
+        for bad in (0.5, "1", None):
+            with pytest.raises(CounterValueError, match="int"):
+                counter.check(bad)
+
+    def test_check_bool_level_rejected(self, counter):
+        with pytest.raises(CounterValueError, match="int"):
+            counter.check(False)
+
+    def test_check_invalid_timeout_rejected(self, counter):
+        with pytest.raises(CounterValueError, match="timeout"):
+            counter.check(0, timeout="soon")
+        with pytest.raises(CounterValueError, match="timeout"):
+            counter.check(0, timeout=-1)
+
+
+class TestOverflowBound:
+    def test_overflow_raises_and_preserves_value(self, counter_factory):
+        c = counter_factory(max_value=10)
+        c.increment(10)
+        with pytest.raises(CounterOverflowError):
+            c.increment(1)
+        assert c.value == 10
+
+    def test_increment_to_exactly_max_is_fine(self, counter_factory):
+        c = counter_factory(max_value=5)
+        assert c.increment(5) == 5
+
+
+class TestNoForbiddenOperations:
+    """§2: no Decrement, no Probe — the interface race-proofing."""
+
+    def test_no_decrement_operation(self, counter):
+        assert not hasattr(counter, "decrement")
+
+    def test_no_probe_or_try_check(self, counter):
+        assert not hasattr(counter, "probe")
+        assert not hasattr(counter, "try_check")

@@ -1,0 +1,150 @@
+"""Reproduction of the paper's Figure 2 — experiment E2.
+
+Figure 2 traces the internal structure of a counter ``c`` through:
+
+  (a) construction                       -> value 0, no nodes
+  (b) ``c.Check(5)`` by thread T1        -> value 0, [5: 1, not set]
+  (c) ``c.Check(9)`` by thread T2        -> value 0, [5: 1, ns] -> [9: 1, ns]
+  (d) ``c.Check(5)`` by thread T3        -> value 0, [5: 2, ns] -> [9: 1, ns]
+  (e) ``c.Increment(7)`` by thread T0    -> value 7, [5: 2, set] -> [9: 1, ns]
+  (f) T1 resumes                         -> value 7, [5: 1, set] -> [9: 1, ns]
+  (g) T3 resumes                         -> value 7, [9: 1, ns]
+
+Two reproductions: an exact white-box trace at the wait-list level (fully
+deterministic), and an observational trace with real threads where every
+snapshot seen must be one of the figure's states (wake order between T1
+and T3 is the scheduler's choice, but both orders pass through the same
+(f) state, as the figure itself notes).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import CounterSnapshot, MonotonicCounter, WaitNodeSnapshot
+from repro.core.waitlist import LinkedWaitList
+from tests.helpers import join_all, spawn, wait_until
+
+STATE_A = CounterSnapshot(value=0, nodes=())
+STATE_B = CounterSnapshot(value=0, nodes=(WaitNodeSnapshot(5, 1, False),))
+STATE_C = CounterSnapshot(
+    value=0, nodes=(WaitNodeSnapshot(5, 1, False), WaitNodeSnapshot(9, 1, False))
+)
+STATE_D = CounterSnapshot(
+    value=0, nodes=(WaitNodeSnapshot(5, 2, False), WaitNodeSnapshot(9, 1, False))
+)
+STATE_E = CounterSnapshot(
+    value=7, nodes=(WaitNodeSnapshot(5, 2, True), WaitNodeSnapshot(9, 1, False))
+)
+STATE_F = CounterSnapshot(
+    value=7, nodes=(WaitNodeSnapshot(5, 1, True), WaitNodeSnapshot(9, 1, False))
+)
+STATE_G = CounterSnapshot(value=7, nodes=(WaitNodeSnapshot(9, 1, False),))
+
+
+class TestFigure2WhiteBox:
+    """Deterministic node-for-node trace over the §7 data structure."""
+
+    def test_full_trace(self):
+        lock = threading.Lock()
+        waitlist = LinkedWaitList(lock)
+        value = 0
+
+        def snap() -> CounterSnapshot:
+            return CounterSnapshot(value=value, nodes=tuple(n.snapshot() for n in waitlist))
+
+        # (a) construction
+        assert snap() == STATE_A
+        # (b) Check(5) by T1
+        node5 = waitlist.find_or_insert(5)
+        node5.count += 1
+        assert snap() == STATE_B
+        # (c) Check(9) by T2
+        node9 = waitlist.find_or_insert(9)
+        node9.count += 1
+        assert snap() == STATE_C
+        # (d) Check(5) by T3 reuses the level-5 node
+        assert waitlist.find_or_insert(5) is node5
+        node5.count += 1
+        assert snap() == STATE_D
+        # (e) Increment(7): value reaches 7, level-5 node released and set
+        value += 7
+        released = waitlist.release_through(value)
+        assert released == [node5]
+        with lock:  # notify_all requires the counter lock, as in increment()
+            node5.signal()
+        observed = CounterSnapshot(
+            value=value, nodes=(node5.snapshot(),) + tuple(n.snapshot() for n in waitlist)
+        )
+        assert observed == STATE_E
+        # (f) T1 resumes: decrements the count
+        node5.count -= 1
+        observed = CounterSnapshot(
+            value=value, nodes=(node5.snapshot(),) + tuple(n.snapshot() for n in waitlist)
+        )
+        assert observed == STATE_F
+        # (g) T3 resumes: count hits zero, node deallocated
+        node5.count -= 1
+        assert node5.count == 0
+        assert snap() == STATE_G
+
+
+class TestFigure2Observational:
+    """The same trace with real threads and the public API."""
+
+    def test_states_a_through_d_exact(self):
+        c = MonotonicCounter()
+        assert c.snapshot() == STATE_A
+
+        t1 = spawn(lambda: c.check(5), name="T1")
+        wait_until(lambda: c.snapshot() == STATE_B)
+
+        t2 = spawn(lambda: c.check(9), name="T2")
+        wait_until(lambda: c.snapshot() == STATE_C)
+
+        t3 = spawn(lambda: c.check(5), name="T3")
+        wait_until(lambda: c.snapshot() == STATE_D)
+
+        c.increment(7)  # (e): releases T1 and T3
+        # After the dust settles only T2's node remains: state (g).
+        wait_until(lambda: c.snapshot() == STATE_G)
+        c.increment(2)  # release T2 so the threads join
+        join_all([t1, t2, t3])
+
+    def test_every_observed_state_is_a_figure_state(self):
+        """Between (e) and (g) the only possible structures are the
+        figure's: [5 set 2], [5 set 1], then [9] alone."""
+        c = MonotonicCounter()
+        threads = [
+            spawn(lambda: c.check(5), name="T1"),
+            spawn(lambda: c.check(9), name="T2"),
+            spawn(lambda: c.check(5), name="T3"),
+        ]
+        wait_until(lambda: c.snapshot() == STATE_D)
+        c.increment(7)
+        seen = set()
+        while True:
+            snapshot = c.snapshot()
+            assert snapshot in (STATE_E, STATE_F, STATE_G), f"non-figure state {snapshot}"
+            seen.add(snapshot.nodes)
+            if snapshot == STATE_G:
+                break
+        c.increment(2)
+        join_all(threads)
+
+    def test_wake_order_does_not_matter(self):
+        """Run the trace many times; the end state is always (g) —
+        monotonicity makes the release deterministic regardless of which
+        of T1/T3 the OS wakes first."""
+        for _ in range(20):
+            c = MonotonicCounter()
+            threads = [
+                spawn(lambda: c.check(5)),
+                spawn(lambda: c.check(9)),
+                spawn(lambda: c.check(5)),
+            ]
+            wait_until(lambda: c.snapshot() == STATE_D)
+            c.increment(7)
+            wait_until(lambda: c.snapshot() == STATE_G)
+            c.increment(2)
+            join_all(threads)

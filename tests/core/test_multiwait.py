@@ -1,0 +1,142 @@
+"""Tests for multi-counter waits (check_all / checkpoint / barrier_levels)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CheckTimeout,
+    CounterValueError,
+    MonotonicCounter,
+    barrier_levels,
+    check_all,
+    checkpoint,
+)
+from tests.helpers import join_all, spawn
+
+
+class TestCheckAll:
+    def test_all_satisfied_returns_immediately(self):
+        a, b = MonotonicCounter(), MonotonicCounter()
+        a.increment(2)
+        b.increment(3)
+        check_all([(a, 2), (b, 3), (a, 0)])
+
+    def test_empty_conditions(self):
+        check_all([])
+
+    def test_waits_for_every_condition(self):
+        a, b = MonotonicCounter(), MonotonicCounter()
+        done = []
+        thread = spawn(lambda: (check_all([(a, 1), (b, 1)]), done.append(True)))
+        a.increment(1)
+        thread.join(0.05)
+        assert not done, "check_all returned with one condition unmet"
+        b.increment(1)
+        join_all([thread])
+        assert done == [True]
+
+    def test_order_independence(self):
+        """Stability: conditions satisfied in the 'wrong' order still pass
+        — a satisfied condition cannot unsatisfy."""
+        a, b = MonotonicCounter(), MonotonicCounter()
+        done = []
+        thread = spawn(lambda: (check_all([(a, 1), (b, 1)]), done.append(True)))
+        b.increment(1)  # second condition first
+        a.increment(1)
+        join_all([thread])
+        assert done == [True]
+
+    def test_shared_timeout_budget(self):
+        a, b = MonotonicCounter(), MonotonicCounter()
+        a.increment(1)
+        with pytest.raises(CheckTimeout):
+            check_all([(a, 1), (b, 1)], timeout=0.02)
+
+    def test_timeout_zero_passes_iff_all_satisfied(self):
+        a = MonotonicCounter()
+        a.increment(5)
+        check_all([(a, 5)], timeout=0)
+        with pytest.raises(CheckTimeout):
+            check_all([(a, 6)], timeout=0)
+
+    def test_validation(self):
+        a = MonotonicCounter()
+        with pytest.raises(CounterValueError):
+            check_all([(a, -1)])
+        with pytest.raises(TypeError):
+            check_all([("not a counter", 1)])
+        with pytest.raises(CounterValueError):
+            check_all([(a, 0)], timeout=-1)
+
+    def test_mixed_implementations(self):
+        from repro.core import BroadcastCounter
+
+        a = MonotonicCounter(strategy="heap")
+        b = BroadcastCounter()
+        a.increment(1)
+        b.increment(1)
+        check_all([(a, 1), (b, 1)])
+
+
+class TestCheckpoint:
+    def test_waits_for_common_level(self):
+        counters = [MonotonicCounter() for _ in range(4)]
+        done = []
+        thread = spawn(lambda: (checkpoint(counters, 2), done.append(True)))
+        for counter in counters:
+            counter.increment(1)
+        thread.join(0.05)
+        assert not done
+        for counter in counters:
+            counter.increment(1)
+        join_all([thread])
+        assert done == [True]
+
+    def test_pipeline_join_use_case(self):
+        """N producer stages each announce steps on their own counter; a
+        consumer joins on 'everyone finished step k'."""
+        from repro.structured import ThreadScope
+
+        counters = [MonotonicCounter(name=f"stage{i}") for i in range(3)]
+        joined_at = []
+
+        def producer(i):
+            for _ in range(5):
+                counters[i].increment(1)
+
+        def consumer():
+            for step in range(1, 6):
+                checkpoint(counters, step, timeout=10)
+                joined_at.append(step)
+
+        with ThreadScope() as scope:
+            scope.spawn(consumer)
+            for i in range(3):
+                scope.spawn(producer, i)
+        assert joined_at == [1, 2, 3, 4, 5]
+
+
+class TestBarrierLevels:
+    def test_formula(self):
+        assert barrier_levels(0, 4) == 4
+        assert barrier_levels(2, 4) == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barrier_levels(-1, 4)
+        with pytest.raises(ValueError):
+            barrier_levels(0, 0)
+
+    def test_matches_counter_barrier_behaviour(self):
+        from repro.structured import multithreaded_for
+        from repro.sync import CounterBarrier
+
+        barrier = CounterBarrier(3)
+
+        def party(_):
+            for _ in range(4):
+                barrier.pass_()
+
+        multithreaded_for(party, range(3))
+        assert barrier.counter.value == barrier_levels(3, 3)

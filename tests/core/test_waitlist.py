@@ -1,0 +1,112 @@
+"""Unit tests for the wait-list strategies (paper §7 data structure)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.waitlist import HeapWaitList, LinkedWaitList
+
+
+@pytest.fixture(params=[LinkedWaitList, HeapWaitList])
+def waitlist(request):
+    return request.param(threading.Lock())
+
+
+class TestFindOrInsert:
+    def test_insert_keeps_level_order(self, waitlist):
+        for level in (7, 3, 9, 1, 5):
+            waitlist.find_or_insert(level)
+        assert [node.level for node in waitlist] == [1, 3, 5, 7, 9]
+
+    def test_find_returns_existing_node(self, waitlist):
+        first = waitlist.find_or_insert(4)
+        second = waitlist.find_or_insert(4)
+        assert first is second
+        assert len(waitlist) == 1
+
+    def test_new_node_starts_unset_with_zero_count(self, waitlist):
+        node = waitlist.find_or_insert(2)
+        assert node.count == 0
+        assert not node.signaled
+
+    def test_insert_at_head_and_tail(self, waitlist):
+        waitlist.find_or_insert(5)
+        waitlist.find_or_insert(1)   # head
+        waitlist.find_or_insert(10)  # tail
+        assert [node.level for node in waitlist] == [1, 5, 10]
+
+    def test_len_counts_distinct_levels(self, waitlist):
+        for level in (1, 2, 2, 3, 3, 3):
+            waitlist.find_or_insert(level)
+        assert len(waitlist) == 3
+
+
+class TestReleaseThrough:
+    def test_release_prefix_only(self, waitlist):
+        for level in (2, 4, 6, 8):
+            waitlist.find_or_insert(level)
+        released = waitlist.release_through(5)
+        assert [node.level for node in released] == [2, 4]
+        assert [node.level for node in waitlist] == [6, 8]
+
+    def test_release_nothing_below_all_levels(self, waitlist):
+        waitlist.find_or_insert(10)
+        assert waitlist.release_through(9) == []
+        assert len(waitlist) == 1
+
+    def test_release_everything(self, waitlist):
+        for level in (1, 2, 3):
+            waitlist.find_or_insert(level)
+        released = waitlist.release_through(100)
+        assert [node.level for node in released] == [1, 2, 3]
+        assert len(waitlist) == 0
+
+    def test_release_boundary_inclusive(self, waitlist):
+        waitlist.find_or_insert(5)
+        released = waitlist.release_through(5)
+        assert [node.level for node in released] == [5]
+
+    def test_release_from_empty_list(self, waitlist):
+        assert waitlist.release_through(100) == []
+
+    def test_release_then_reinsert_same_level(self, waitlist):
+        waitlist.find_or_insert(3)
+        waitlist.release_through(3)
+        node = waitlist.find_or_insert(3)
+        assert node.count == 0
+        assert [n.level for n in waitlist] == [3]
+
+
+class TestDiscardIfEmpty:
+    def test_discard_empty_node(self, waitlist):
+        node = waitlist.find_or_insert(4)
+        assert waitlist.discard_if_empty(node)
+        assert len(waitlist) == 0
+
+    def test_discard_refused_with_waiters(self, waitlist):
+        node = waitlist.find_or_insert(4)
+        node.count = 1
+        assert not waitlist.discard_if_empty(node)
+        assert len(waitlist) == 1
+
+    def test_discard_middle_node_keeps_order(self, waitlist):
+        for level in (1, 2, 3):
+            waitlist.find_or_insert(level)
+        middle = waitlist.find_or_insert(2)
+        assert waitlist.discard_if_empty(middle)
+        assert [node.level for node in waitlist] == [1, 3]
+
+    def test_discard_already_released_node_is_noop(self, waitlist):
+        node = waitlist.find_or_insert(4)
+        waitlist.release_through(10)
+        assert not waitlist.discard_if_empty(node)
+
+    def test_heap_release_skips_discarded_levels(self):
+        heap = HeapWaitList(threading.Lock())
+        node = heap.find_or_insert(3)
+        heap.find_or_insert(5)
+        heap.discard_if_empty(node)  # leaves a lazy heap entry behind
+        released = heap.release_through(10)
+        assert [n.level for n in released] == [5]

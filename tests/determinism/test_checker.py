@@ -1,0 +1,259 @@
+"""Tests for the §6 determinacy checker: traced counters + shared variables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.determinism import DeterminismChecker, RaceError
+from repro.structured import multithreaded, multithreaded_for, sequential_execution
+from tests.helpers import join_all, spawn, wait_until
+
+
+class TestSection6Examples:
+    """The paper's three two-thread programs, verdicts per §6."""
+
+    def test_ordered_counter_program_race_free(self):
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        c = checker.counter("xCount")
+
+        def add_one():
+            c.check(0)
+            x.modify(lambda v: v + 1)
+            c.increment(1)
+
+        def double():
+            c.check(1)
+            x.modify(lambda v: v * 2)
+            c.increment(1)
+
+        multithreaded(add_one, double)
+        assert checker.report().race_free
+        assert x.peek() == 2  # (0 + 1) * 2, always
+
+    def test_racy_counter_program_detected(self):
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        c = checker.counter("xCount")
+
+        def add_one():
+            c.check(0)
+            x.modify(lambda v: v + 1)
+            c.increment(1)
+
+        def double():
+            c.check(0)  # same level: no ordering between the two bodies
+            x.modify(lambda v: v * 2)
+            c.increment(1)
+
+        multithreaded(add_one, double)
+        report = checker.report()
+        assert not report.race_free
+        assert report.variables == {"x"}
+
+    def test_racy_verdict_is_schedule_independent(self):
+        """Even under sequential execution — where the accesses happen to
+        be serialized — the discipline violation is still reported.  This
+        is the paper's 'one execution certifies all executions' property."""
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        c = checker.counter("xCount")
+
+        def add_one():
+            c.check(0)
+            x.modify(lambda v: v + 1)
+            c.increment(1)
+
+        def double():
+            c.check(0)
+            x.modify(lambda v: v * 2)
+            c.increment(1)
+
+        with sequential_execution():
+            multithreaded(add_one, double)
+        assert not checker.report().race_free
+
+    def test_ordered_verdict_is_schedule_independent(self):
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        c = checker.counter("xCount")
+
+        def add_one():
+            c.check(0)
+            x.modify(lambda v: v + 1)
+            c.increment(1)
+
+        def double():
+            c.check(1)
+            x.modify(lambda v: v * 2)
+            c.increment(1)
+
+        with sequential_execution():
+            multithreaded(add_one, double)
+        assert checker.report().race_free
+
+
+class TestSharedVariable:
+    def test_unsynchronized_write_write_detected(self):
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        multithreaded(lambda: x.write(1), lambda: x.write(2))
+        assert not checker.report().race_free
+
+    def test_unsynchronized_read_write_detected(self):
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        multithreaded(lambda: x.read(), lambda: x.write(1))
+        assert not checker.report().race_free
+
+    def test_concurrent_reads_are_not_a_race(self):
+        checker = DeterminismChecker()
+        x = checker.shared(42, "x")
+        values = multithreaded(x.read, x.read, x.read)
+        assert values == [42, 42, 42]
+        assert checker.report().race_free
+
+    def test_counter_chain_orders_accesses(self):
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        c = checker.counter("c")
+
+        def writer():
+            x.write(7)
+            c.increment(1)
+
+        def reader():
+            c.check(1)
+            assert x.read() == 7
+
+        multithreaded(writer, reader)
+        assert checker.report().race_free
+
+    def test_transitive_chain_through_third_thread(self):
+        """§6: ordering via a *transitive* chain of counter operations."""
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        a = checker.counter("a")
+        b = checker.counter("b")
+
+        def first():
+            x.write(1)
+            a.increment(1)
+
+        def middle():
+            a.check(1)
+            b.increment(1)
+
+        def last():
+            b.check(1)
+            assert x.read() == 1
+
+        multithreaded(first, middle, last)
+        assert checker.report().race_free
+
+    def test_wrong_level_does_not_order(self):
+        """Checking a level the write's increment did not reach creates no
+        happens-before edge — the race is reported."""
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        c = checker.counter("c")
+        c.increment(1)  # pre-bump so check(1) passes immediately
+
+        def writer():
+            x.write(1)
+            c.increment(1)  # value -> 2
+
+        def reader():
+            c.check(1)  # satisfied by the PRE-bump, not the writer
+            x.read()
+
+        multithreaded(writer, reader)
+        assert not checker.report().race_free
+
+    def test_assert_race_free_raises(self):
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        multithreaded(lambda: x.write(1), lambda: x.write(2))
+        with pytest.raises(RaceError, match="race"):
+            checker.assert_race_free()
+
+    def test_peek_does_not_record(self):
+        checker = DeterminismChecker()
+        x = checker.shared(5, "x")
+        multithreaded(lambda: x.peek(), lambda: x.write(1))
+        assert checker.report().race_free  # peek is unrecorded by contract
+
+
+class TestTracedCounter:
+    def test_behaves_like_a_counter(self):
+        checker = DeterminismChecker()
+        c = checker.counter("c")
+        assert c.increment(3) == 3
+        c.check(2)
+        assert c.value == 3
+
+    def test_blocking_check(self):
+        checker = DeterminismChecker()
+        c = checker.counter("c")
+        released = []
+        thread = spawn(lambda: (c.check(5), released.append(True)))
+        wait_until(lambda: c.snapshot().total_waiters == 1)
+        c.increment(5)
+        join_all([thread])
+        assert released == [True]
+
+    def test_reset_clears_history(self):
+        checker = DeterminismChecker()
+        c = checker.counter("c")
+        x = checker.shared(0, "x")
+        c.increment(4)
+        c.reset()
+        # After reset, a check(1) cannot acquire pre-reset increments.
+        def writer():
+            x.write(1)
+            c.increment(1)
+
+        def reader():
+            c.check(1)
+            x.read()
+
+        multithreaded(writer, reader)
+        assert checker.report().race_free
+
+    def test_pipeline_application_race_free(self):
+        """An end-to-end §4.5-style pipeline through the checker."""
+        checker = DeterminismChecker()
+        n = 8
+        data = [checker.shared(None, f"data[{i}]") for i in range(n)]
+        c = checker.counter("dataCount")
+
+        def writer():
+            for i in range(n):
+                data[i].write(i * i)
+                c.increment(1)
+
+        def reader():
+            out = []
+            for i in range(n):
+                c.check(i + 1)
+                out.append(data[i].read())
+            assert out == [i * i for i in range(n)]
+
+        multithreaded(writer, reader, reader)
+        checker.assert_race_free()
+
+
+class TestMultithreadedForIntegration:
+    def test_ordered_region_discipline_scales(self):
+        checker = DeterminismChecker()
+        total = checker.shared(0, "total")
+        c = checker.counter("order")
+
+        def worker(i):
+            c.check(i)
+            total.modify(lambda v: v + i)
+            c.increment(1)
+
+        multithreaded_for(worker, range(12))
+        checker.assert_race_free()
+        assert total.peek() == sum(range(12))

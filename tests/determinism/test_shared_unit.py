@@ -1,0 +1,154 @@
+"""Edge-case unit tests for Shared variables and the trace registry."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.determinism import DeterminismChecker, TraceContext
+from repro.structured import ThreadScope, multithreaded
+from tests.helpers import join_all, spawn
+
+
+class TestSharedSameThread:
+    def test_same_thread_sequences_never_race(self):
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        x.write(1)
+        assert x.read() == 1
+        x.modify(lambda v: v + 1)
+        x.write(5)
+        assert x.read() == 5
+        assert checker.report().race_free
+
+    def test_modify_returns_new_value(self):
+        checker = DeterminismChecker()
+        x = checker.shared(10, "x")
+        assert x.modify(lambda v: v * 3) == 30
+        assert x.peek() == 30
+
+    def test_read_after_foreign_write_without_sync_races(self):
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+
+        def writer():
+            x.write(1)
+
+        def reader():
+            x.read()
+
+        multithreaded(writer, reader)
+        assert not checker.report().race_free
+
+    def test_race_report_contents(self):
+        checker = DeterminismChecker()
+        x = checker.shared(0, "balance")
+        multithreaded(lambda: x.write(1), lambda: x.write(2))
+        report = checker.report()
+        assert report.variables == {"balance"}
+        race = report.races[0]
+        assert race.first.variable == "balance"
+        assert {race.first.tid, race.second.tid} <= {0, 1, 2}
+        assert "balance" in str(race)
+        assert "race" in str(report)
+
+    def test_race_free_report_str(self):
+        checker = DeterminismChecker()
+        checker.shared(0, "x")
+        assert "race-free" in str(checker.report())
+
+    def test_reads_cleared_by_ordered_write(self):
+        """A properly-ordered write clears the read set: later unordered
+        reads race with the WRITE, not with stale earlier reads."""
+        checker = DeterminismChecker()
+        x = checker.shared(0, "x")
+        c = checker.counter("c")
+
+        def reader_then_announce():
+            x.read()
+            c.increment(1)
+
+        def ordered_writer():
+            c.check(1)
+            x.write(1)
+
+        multithreaded(reader_then_announce, ordered_writer)
+        assert checker.report().race_free
+
+    def test_auto_generated_names(self):
+        checker = DeterminismChecker()
+        a = checker.shared(0)
+        b = checker.shared(0)
+        assert a.name != b.name
+
+    def test_checker_repr(self):
+        checker = DeterminismChecker()
+        checker.shared(0, "x")
+        checker.counter("c")
+        text = repr(checker)
+        assert "counters=1" in text and "shared=1" in text
+
+
+class TestTraceContextIdentity:
+    def test_plain_threads_get_distinct_ids(self):
+        """Outside structured constructs, identity falls back to the OS
+        thread (per-context threading.local)."""
+        context = TraceContext()
+        tids = []
+        lock = threading.Lock()
+
+        def worker():
+            with lock:
+                tids.append(context.state().tid)
+
+        threads = [spawn(worker) for _ in range(4)]
+        join_all(threads)
+        assert len(set(tids)) == 4
+        assert context.thread_count >= 4
+
+    def test_same_thread_same_state(self):
+        context = TraceContext()
+        assert context.state() is context.state()
+
+    def test_statements_get_distinct_logical_ids_sequentially(self):
+        from repro.structured import sequential_execution
+
+        context = TraceContext()
+        tids = []
+        with sequential_execution():
+            multithreaded(
+                lambda: tids.append(context.state().tid),
+                lambda: tids.append(context.state().tid),
+            )
+        assert len(set(tids)) == 2  # distinct despite one OS thread
+
+    def test_scope_spawns_get_distinct_logical_ids(self):
+        context = TraceContext()
+        tids = []
+        lock = threading.Lock()
+
+        def worker():
+            with lock:
+                tids.append(context.state().tid)
+
+        with ThreadScope() as scope:
+            for _ in range(3):
+                scope.spawn(worker)
+        assert len(set(tids)) == 3
+
+    def test_nested_constructs_get_fresh_ids(self):
+        context = TraceContext()
+        tids = []
+        lock = threading.Lock()
+
+        def outer():
+            with lock:
+                tids.append(context.state().tid)
+            multithreaded(lambda: tids.append(context.state().tid))
+
+        multithreaded(outer, outer)
+        assert len(set(tids)) == 4  # 2 outer + 2 inner statements
+
+    def test_repr(self):
+        context = TraceContext()
+        context.state()
+        assert "threads=1" in repr(context)

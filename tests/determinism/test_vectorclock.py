@@ -1,0 +1,110 @@
+"""Tests for vector clocks (with hypothesis properties on the partial order)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.determinism import VectorClock
+
+clock_dicts = st.dictionaries(
+    st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=20), max_size=6
+)
+
+
+class TestBasics:
+    def test_empty_clock(self):
+        vc = VectorClock()
+        assert vc.get(0) == 0
+        assert vc == VectorClock()
+
+    def test_tick_advances_own_component(self):
+        vc = VectorClock()
+        vc.tick(3)
+        vc.tick(3)
+        vc.tick(1)
+        assert vc.get(3) == 2
+        assert vc.get(1) == 1
+        assert vc.get(0) == 0
+
+    def test_join_is_componentwise_max(self):
+        a = VectorClock({0: 3, 1: 1})
+        b = VectorClock({1: 5, 2: 2})
+        a.join(b)
+        assert (a.get(0), a.get(1), a.get(2)) == (3, 5, 2)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({0: 1})
+        b = a.copy()
+        b.tick(0)
+        assert a.get(0) == 1
+        assert b.get(0) == 2
+
+    def test_equality_ignores_explicit_zeros(self):
+        assert VectorClock({0: 0, 1: 2}) == VectorClock({1: 2})
+        assert hash(VectorClock({0: 0, 1: 2})) == hash(VectorClock({1: 2}))
+
+    def test_repr(self):
+        assert "T1:2" in repr(VectorClock({1: 2}))
+
+
+class TestOrdering:
+    def test_happens_before_reflexive(self):
+        vc = VectorClock({0: 1, 1: 2})
+        assert vc.happens_before(vc)
+
+    def test_strictly_smaller_happens_before(self):
+        a = VectorClock({0: 1})
+        b = VectorClock({0: 2, 1: 1})
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_concurrent_clocks(self):
+        a = VectorClock({0: 1})
+        b = VectorClock({1: 1})
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+
+    def test_ordered_clocks_not_concurrent(self):
+        a = VectorClock({0: 1})
+        b = VectorClock({0: 1, 1: 1})
+        assert not a.concurrent_with(b)
+
+
+class TestProperties:
+    @given(clock_dicts, clock_dicts)
+    def test_join_is_upper_bound(self, d1, d2):
+        a, b = VectorClock(d1), VectorClock(d2)
+        joined = a.copy()
+        joined.join(b)
+        assert a.happens_before(joined)
+        assert b.happens_before(joined)
+
+    @given(clock_dicts, clock_dicts)
+    def test_join_commutes(self, d1, d2):
+        ab = VectorClock(d1)
+        ab.join(VectorClock(d2))
+        ba = VectorClock(d2)
+        ba.join(VectorClock(d1))
+        assert ab == ba
+
+    @given(clock_dicts, clock_dicts, clock_dicts)
+    def test_happens_before_transitive(self, d1, d2, d3):
+        a, b, c = VectorClock(d1), VectorClock(d2), VectorClock(d3)
+        if a.happens_before(b) and b.happens_before(c):
+            assert a.happens_before(c)
+
+    @given(clock_dicts, clock_dicts)
+    def test_antisymmetry(self, d1, d2):
+        a, b = VectorClock(d1), VectorClock(d2)
+        if a.happens_before(b) and b.happens_before(a):
+            assert a == b
+
+    @given(clock_dicts, st.integers(min_value=0, max_value=5))
+    def test_tick_breaks_happens_before_into_other(self, d, tid):
+        """After a tick, the old clock strictly precedes the new one."""
+        old = VectorClock(d)
+        new = old.copy()
+        new.tick(tid)
+        assert old.happens_before(new)
+        assert not new.happens_before(old)

@@ -1,0 +1,39 @@
+"""Every example script must run clean — they are part of the API surface."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, f"{script.name} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist_and_include_quickstart():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable floor; we ship more
+
+
+def test_module_self_check():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"], capture_output=True, text=True, timeout=120
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "all self-checks passed" in result.stdout

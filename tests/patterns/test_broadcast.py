@@ -1,0 +1,184 @@
+"""Tests for the single-writer multiple-reader broadcast (§5.3)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import MonotonicCounter
+from repro.patterns import ClosableBroadcast, SingleWriterBroadcast
+from repro.structured import ThreadScope
+from tests.helpers import join_all, spawn
+
+
+class TestSingleWriterBroadcast:
+    def test_publish_then_read(self):
+        bc = SingleWriterBroadcast(3)
+        for i in range(3):
+            bc.publish(i * 10)
+        assert list(bc.read()) == [0, 10, 20]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SingleWriterBroadcast(-1)
+
+    def test_overfull_publish_rejected(self):
+        bc = SingleWriterBroadcast(1)
+        bc.publish("a")
+        with pytest.raises(IndexError):
+            bc.publish("b")
+
+    def test_readers_block_until_published(self):
+        bc = SingleWriterBroadcast(4)
+        collected: list[list[int]] = [[] for _ in range(3)]
+
+        def reader(r):
+            collected[r] = list(bc.read())
+
+        threads = [spawn(reader, r) for r in range(3)]
+        for i in range(4):
+            bc.publish(i)
+        join_all(threads)
+        assert collected == [[0, 1, 2, 3]] * 3
+
+    def test_every_reader_sees_every_item(self):
+        """Broadcast, not queue: reading does not consume (§5.3)."""
+        bc = SingleWriterBroadcast(5)
+        for i in range(5):
+            bc.publish(i)
+        assert list(bc.read()) == list(bc.read()) == [0, 1, 2, 3, 4]
+
+    def test_blocked_writer_blocked_readers(self):
+        bc = SingleWriterBroadcast(10)
+        results = []
+        lock = threading.Lock()
+
+        def reader(block_size):
+            out = list(bc.read(block_size=block_size))
+            with lock:
+                results.append(out)
+
+        # Different granularities per reader: the paper's flexibility claim.
+        threads = [spawn(reader, bs) for bs in (1, 3, 10)]
+        bc.publish_blocked(list(range(10)), block_size=4)
+        join_all(threads)
+        assert results == [list(range(10))] * 3
+
+    def test_publish_blocked_partial_final_block(self):
+        bc = SingleWriterBroadcast(5)
+        bc.publish_blocked([0, 1, 2, 3, 4], block_size=2)
+        assert bc.counter.value == 5  # 2 + 2 + 1
+
+    def test_publish_blocked_overflow_rejected(self):
+        bc = SingleWriterBroadcast(2)
+        with pytest.raises(IndexError):
+            bc.publish_blocked([1, 2, 3], block_size=1)
+
+    def test_block_size_validation(self):
+        bc = SingleWriterBroadcast(2)
+        with pytest.raises(ValueError):
+            list(bc.read(block_size=0))
+        with pytest.raises(ValueError):
+            bc.publish_blocked([1], block_size=0)
+
+    def test_random_access_get(self):
+        bc = SingleWriterBroadcast(3)
+        got = []
+        thread = spawn(lambda: got.append(bc.get(2)))
+        bc.publish("a")
+        bc.publish("b")
+        thread.join(0.05)
+        assert not got
+        bc.publish("c")
+        join_all([thread])
+        assert got == ["c"]
+
+    def test_get_bounds_checked(self):
+        bc = SingleWriterBroadcast(2)
+        with pytest.raises(IndexError):
+            bc.get(2)
+        with pytest.raises(IndexError):
+            bc.get(-1)
+
+    def test_one_counter_many_suspension_levels(self):
+        """The §5.3 point: a single counter synchronizes readers suspended
+        at different levels simultaneously."""
+        counter = MonotonicCounter()
+        bc = SingleWriterBroadcast(10, counter=counter)
+
+        def reader(block_size):
+            return list(bc.read(block_size=block_size))
+
+        with ThreadScope() as scope:
+            for bs in (1, 2, 5):
+                scope.spawn(reader, bs)
+            # Let readers park at their first levels (1, 2, 5), then check
+            # the counter really has multiple live suspension levels.
+            from tests.helpers import wait_until
+
+            wait_until(lambda: len(counter.snapshot().waiting_levels) == 3)
+            assert counter.snapshot().waiting_levels == (1, 2, 5)
+            for i in range(10):
+                bc.publish(i)
+
+
+class TestClosableBroadcast:
+    def test_publish_close_read(self):
+        bc = ClosableBroadcast()
+        bc.publish("a")
+        bc.publish("b")
+        bc.close()
+        assert list(bc.read()) == ["a", "b"]
+
+    def test_empty_closed_stream(self):
+        bc = ClosableBroadcast()
+        bc.close()
+        assert list(bc.read()) == []
+
+    def test_close_is_idempotent(self):
+        bc = ClosableBroadcast()
+        bc.close()
+        bc.close()
+
+    def test_publish_after_close_rejected(self):
+        bc = ClosableBroadcast()
+        bc.close()
+        with pytest.raises(RuntimeError):
+            bc.publish(1)
+
+    def test_reader_blocks_then_drains_on_close(self):
+        bc = ClosableBroadcast()
+        out = []
+        thread = spawn(lambda: out.extend(bc.read()))
+        bc.publish(1)
+        bc.publish(2)
+        thread.join(0.05)
+        assert thread.is_alive()  # reader waiting for item 3 or close
+        bc.close()
+        join_all([thread])
+        assert out == [1, 2]
+
+    def test_stream_rereadable_after_close(self):
+        bc = ClosableBroadcast()
+        for i in range(4):
+            bc.publish(i)
+        bc.close()
+        assert list(bc.read()) == list(bc.read()) == [0, 1, 2, 3]
+
+    def test_many_readers_unknown_length(self):
+        bc = ClosableBroadcast()
+        results = []
+        lock = threading.Lock()
+
+        def reader():
+            out = list(bc.read())
+            with lock:
+                results.append(out)
+
+        threads = [spawn(reader) for _ in range(4)]
+        for i in range(25):
+            bc.publish(i)
+        bc.close()
+        join_all(threads)
+        assert results == [list(range(25))] * 4

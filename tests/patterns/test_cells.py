@@ -1,0 +1,168 @@
+"""Tests for DataflowCell / DataflowArray (single-assignment on counters)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import CheckTimeout, MonotonicCounter
+from repro.patterns import DataflowArray, DataflowCell
+from repro.sync import AlreadyAssignedError, SingleAssignment
+from repro.structured import multithreaded, multithreaded_for
+from tests.helpers import join_all, spawn
+
+
+class TestDataflowCell:
+    def test_assign_then_read(self):
+        cell = DataflowCell()
+        cell.assign(42)
+        assert cell.read() == 42
+
+    def test_read_blocks_until_assigned(self):
+        cell = DataflowCell()
+        got = []
+        thread = spawn(lambda: got.append(cell.read()))
+        thread.join(0.05)
+        assert not got
+        cell.assign("ready")
+        join_all([thread])
+        assert got == ["ready"]
+
+    def test_double_assign_raises(self):
+        cell = DataflowCell()
+        cell.assign(1)
+        with pytest.raises(AlreadyAssignedError):
+            cell.assign(2)
+        assert cell.read() == 1
+
+    def test_concurrent_assign_exactly_one_wins(self):
+        cell = DataflowCell()
+        outcomes = []
+        lock = threading.Lock()
+
+        def assigner(i):
+            try:
+                cell.assign(i)
+                with lock:
+                    outcomes.append(i)
+            except AlreadyAssignedError:
+                pass
+
+        threads = [spawn(assigner, i) for i in range(8)]
+        join_all(threads)
+        assert len(outcomes) == 1
+        assert cell.read() == outcomes[0]
+
+    def test_read_timeout(self):
+        with pytest.raises(CheckTimeout):
+            DataflowCell().read(timeout=0.01)
+
+    def test_none_is_a_valid_value(self):
+        cell = DataflowCell()
+        cell.assign(None)
+        assert cell.read() is None
+
+    def test_semantics_match_direct_single_assignment(self):
+        """Differential check against the condvar-built SingleAssignment."""
+        for value in (0, "x", [1, 2]):
+            direct: SingleAssignment = SingleAssignment()
+            composed: DataflowCell = DataflowCell()
+            direct.assign(value)
+            composed.assign(value)
+            assert direct.read() == composed.read()
+
+
+class TestDataflowArray:
+    def test_in_order_assignment_and_read(self):
+        arr = DataflowArray(4)
+        for i in range(4):
+            assert arr.assign_next(i * 10) == i
+        assert list(arr) == [0, 10, 20, 30]
+
+    def test_one_counter_behind_all_slots(self):
+        counter = MonotonicCounter()
+        arr = DataflowArray(5, counter=counter)
+        for i in range(5):
+            arr.assign_next(i)
+        assert counter.value == 5
+        assert arr.counter is counter
+
+    def test_readers_block_per_slot(self):
+        arr = DataflowArray(3)
+        got = []
+        thread = spawn(lambda: got.append(arr.read(2)))
+        arr.assign_next("a")
+        arr.assign_next("b")
+        thread.join(0.05)
+        assert not got
+        arr.assign_next("c")
+        join_all([thread])
+        assert got == ["c"]
+
+    def test_overflow_rejected(self):
+        arr = DataflowArray(1)
+        arr.assign_next(1)
+        with pytest.raises(IndexError):
+            arr.assign_next(2)
+
+    def test_bounds_checked(self):
+        arr = DataflowArray(2)
+        with pytest.raises(IndexError):
+            arr.read(2)
+        with pytest.raises(IndexError):
+            arr.read(-1)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            DataflowArray(-1)
+        assert len(DataflowArray(0)) == 0
+
+    def test_multiple_writers_slot_handoff(self):
+        arr = DataflowArray(40)
+
+        def writer(i):
+            arr.assign_next(i)
+
+        multithreaded_for(writer, range(40))
+        values = list(arr)
+        assert sorted(values) == list(range(40))
+
+    def test_krow_staging_idiom(self):
+        """The §4.4 kRow usage: one producer stages rows, consumers read
+        their iteration's row through the one counter."""
+        n = 10
+        staged = DataflowArray(n)
+        sums = []
+
+        def producer():
+            for k in range(n):
+                staged.assign_next([k] * 4)
+
+        def consumer():
+            total = 0
+            for k in range(n):
+                total += sum(staged.read(k))
+            sums.append(total)
+
+        multithreaded(producer, consumer, consumer)
+        assert sums == [sum(4 * k for k in range(n))] * 2
+
+    def test_sequential_equivalence(self):
+        from repro.determinism import check_sequential_equivalence
+
+        def program():
+            arr = DataflowArray(8)
+            out = []
+
+            def producer():
+                for i in range(8):
+                    arr.assign_next(i * i)
+
+            def consumer():
+                out.append(list(arr))
+
+            multithreaded(producer, consumer)
+            return tuple(map(tuple, out))
+
+        assert check_sequential_equivalence(program, runs=5).equivalent

@@ -1,0 +1,161 @@
+"""Tests for the RaggedBarrier and OrderedRegion patterns (§5.1, §5.2)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import CheckTimeout, MonotonicCounter
+from repro.patterns import OrderedRegion, RaggedBarrier
+from repro.structured import multithreaded_for
+from tests.helpers import join_all, spawn
+
+
+class TestRaggedBarrier:
+    def test_participant_count_validated(self):
+        with pytest.raises(ValueError):
+            RaggedBarrier(0)
+
+    def test_progress_starts_at_zero(self):
+        rb = RaggedBarrier(3)
+        assert [rb.progress(i) for i in range(3)] == [0, 0, 0]
+
+    def test_advance_and_wait(self):
+        rb = RaggedBarrier(2)
+        woke = []
+        thread = spawn(lambda: (rb.wait_for(0, 2), woke.append(True)))
+        rb.advance(0)
+        thread.join(0.05)
+        assert not woke
+        rb.advance(0)
+        join_all([thread])
+        assert woke == [True]
+
+    def test_preload_for_boundary_participants(self):
+        rb = RaggedBarrier(3)
+        rb.preload(0, 100)
+        rb.wait_for(0, 100)  # returns immediately for any level <= 100
+
+    def test_pairwise_not_global(self):
+        """Participant 2 can run ahead while participant 0 lags — the
+        whole point of the ragged barrier."""
+        rb = RaggedBarrier(3)
+        rb.advance(1, 10)  # middle neighbour far ahead
+        rb.wait_for(1, 5)  # neighbour check passes though p0 is at 0
+        assert rb.progress(0) == 0
+
+    def test_counter_factory_injection(self):
+        created = []
+
+        def factory(name):
+            counter = MonotonicCounter(name=name)
+            created.append(name)
+            return counter
+
+        RaggedBarrier(3, counter_factory=factory)
+        assert created == ["ragged[0]", "ragged[1]", "ragged[2]"]
+
+    def test_neighbour_chain_simulation(self):
+        """Small end-to-end: 4 participants advancing in lockstep with
+        only neighbour waits never deadlock and finish all steps."""
+        n, steps = 4, 20
+        rb = RaggedBarrier(n + 2)
+        rb.preload(0, steps)
+        rb.preload(n + 1, steps)
+
+        def worker(index):
+            p = index + 1
+            for t in range(1, steps + 1):
+                rb.wait_for(p - 1, t - 1)
+                rb.wait_for(p + 1, t - 1)
+                rb.advance(p)
+
+        multithreaded_for(worker, range(n))
+        assert all(rb.progress(p) == steps for p in range(1, n + 1))
+
+
+class TestOrderedRegion:
+    def test_turns_admitted_in_sequence(self):
+        region = OrderedRegion()
+        order = []
+
+        def worker(i):
+            with region.turn(i):
+                order.append(i)
+
+        multithreaded_for(worker, range(10))
+        assert order == list(range(10))
+
+    def test_mutual_exclusion(self):
+        region = OrderedRegion()
+        inside = [0]
+        max_inside = [0]
+
+        def worker(i):
+            with region.turn(i):
+                inside[0] += 1
+                max_inside[0] = max(max_inside[0], inside[0])
+                inside[0] -= 1
+
+        multithreaded_for(worker, range(16))
+        assert max_inside[0] == 1
+
+    def test_negative_index_rejected(self):
+        region = OrderedRegion()
+        with pytest.raises(ValueError):
+            with region.turn(-1):
+                pass
+
+    def test_exception_does_not_deadlock_later_turns(self):
+        region = OrderedRegion()
+        results = []
+
+        def worker(i):
+            try:
+                with region.turn(i):
+                    if i == 1:
+                        raise RuntimeError("turn 1 fails")
+                    results.append(i)
+            except RuntimeError:
+                results.append(-1)
+
+        multithreaded_for(worker, range(4))
+        assert sorted(results) == [-1, 0, 2, 3]
+        assert region.completed == 4
+
+    def test_timeout_propagates(self):
+        region = OrderedRegion()
+        with pytest.raises(CheckTimeout):
+            with region.turn(5, timeout=0.01):
+                pass
+
+    def test_run_turn_returns_value(self):
+        region = OrderedRegion()
+        assert region.run_turn(0, lambda: "first") == "first"
+        assert region.run_turn(1, lambda: "second") == "second"
+        assert region.completed == 2
+
+    def test_injected_counter_observused(self):
+        counter = MonotonicCounter(name="order")
+        region = OrderedRegion(counter=counter)
+        with region.turn(0):
+            pass
+        assert counter.value == 1
+        assert region.counter is counter
+
+    def test_out_of_order_arrival_still_sequential(self):
+        """Late threads arriving for early turns are fine; early threads
+        arriving for late turns wait."""
+        region = OrderedRegion()
+        order = []
+        barrier = threading.Barrier(3)
+
+        def worker(i):
+            barrier.wait(5)  # all arrive simultaneously
+            with region.turn(i):
+                order.append(i)
+
+        threads = [spawn(worker, i) for i in (2, 0, 1)]
+        join_all(threads)
+        assert order == [0, 1, 2]

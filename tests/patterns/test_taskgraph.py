@@ -1,0 +1,132 @@
+"""Tests for the counter-synchronized task-DAG runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.determinism import check_sequential_equivalence
+from repro.patterns import DependencyError, TaskGraph
+from repro.patterns.taskgraph import CycleError
+from repro.structured import MultithreadedBlockError
+
+
+class TestConstruction:
+    def test_add_and_len(self):
+        graph = TaskGraph()
+        graph.add("a", lambda: 1)
+        graph.add("b", lambda a: a, deps=("a",))
+        assert len(graph) == 2
+
+    def test_duplicate_name_rejected(self):
+        graph = TaskGraph()
+        graph.add("a", lambda: 1)
+        with pytest.raises(ValueError, match="already"):
+            graph.add("a", lambda: 2)
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(ValueError, match="unknown"):
+            graph.add("b", lambda x: x, deps=("ghost",))
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            TaskGraph().add("a", 42)
+
+    def test_cycle_detected_with_witness(self):
+        graph = TaskGraph()
+        graph.add("a", lambda: 1)
+        # Force a cycle behind the constructor guard.
+        graph._tasks["a"] = (lambda a: a, ("b",))
+        graph._tasks["b"] = (lambda b: b, ("a",))
+        with pytest.raises(CycleError, match="->"):
+            graph.run()
+
+
+class TestExecution:
+    def test_diamond(self):
+        graph = TaskGraph()
+        graph.add("src", lambda: 10)
+        graph.add("left", lambda s: s + 1, deps=("src",))
+        graph.add("right", lambda s: s * 2, deps=("src",))
+        graph.add("join", lambda l, r: (l, r), deps=("left", "right"))
+        results = graph.run()
+        assert results == {"src": 10, "left": 11, "right": 20, "join": (11, 20)}
+
+    def test_empty_graph(self):
+        assert TaskGraph().run() == {}
+
+    def test_independent_tasks(self):
+        graph = TaskGraph()
+        for i in range(6):
+            graph.add(f"t{i}", lambda i=i: i * i)
+        assert graph.run() == {f"t{i}": i * i for i in range(6)}
+
+    def test_linear_chain_order(self):
+        graph = TaskGraph()
+        graph.add("n0", lambda: [0])
+        for i in range(1, 8):
+            graph.add(f"n{i}", lambda acc, i=i: acc + [i], deps=(f"n{i-1}",))
+        assert graph.run()["n7"] == list(range(8))
+
+    def test_fan_out_fan_in(self):
+        graph = TaskGraph()
+        graph.add("seed", lambda: 3)
+        for i in range(5):
+            graph.add(f"w{i}", lambda s, i=i: s * (i + 1), deps=("seed",))
+        graph.add("total", lambda *xs: sum(xs), deps=tuple(f"w{i}" for i in range(5)))
+        assert graph.run()["total"] == 3 * (1 + 2 + 3 + 4 + 5)
+
+    def test_deterministic_across_runs(self):
+        def build():
+            graph = TaskGraph()
+            graph.add("a", lambda: 1.0)
+            graph.add("b", lambda a: a / 3, deps=("a",))
+            graph.add("c", lambda a, b: a - b, deps=("a", "b"))
+            return tuple(sorted(graph.run().items()))
+
+        assert len({build() for _ in range(5)}) == 1
+
+    def test_sequential_equivalence(self):
+        def program():
+            graph = TaskGraph()
+            graph.add("x", lambda: 5)
+            graph.add("y", lambda x: x + 2, deps=("x",))
+            graph.add("z", lambda x, y: x * y, deps=("x", "y"))
+            return tuple(sorted(graph.run().items()))
+
+        assert check_sequential_equivalence(program, runs=5).equivalent
+
+
+class TestFailurePropagation:
+    def test_failing_task_fails_dependents_fast(self):
+        graph = TaskGraph()
+        graph.add("boom", lambda: 1 / 0)
+        graph.add("victim", lambda b: b, deps=("boom",))
+        graph.add("bystander", lambda: "fine")
+        with pytest.raises(MultithreadedBlockError) as excinfo:
+            graph.run(timeout=10)
+        kinds = {type(e) for e in excinfo.value.exceptions}
+        assert ZeroDivisionError in kinds
+        assert DependencyError in kinds
+
+    def test_poison_names_the_original_failure(self):
+        graph = TaskGraph()
+        graph.add("root_failure", lambda: (_ for _ in ()).throw(ValueError("x")))
+        graph.add("mid", lambda r: r, deps=("root_failure",))
+        graph.add("leaf", lambda m: m, deps=("mid",))
+        with pytest.raises(MultithreadedBlockError) as excinfo:
+            graph.run(timeout=10)
+        dependency_errors = [
+            e for e in excinfo.value.exceptions if isinstance(e, DependencyError)
+        ]
+        assert dependency_errors
+        assert all("root_failure" in str(e) for e in dependency_errors)
+
+    def test_unaffected_branch_still_completes(self):
+        graph = TaskGraph()
+        graph.add("boom", lambda: 1 / 0)
+        outputs = []
+        graph.add("independent", lambda: outputs.append("ran"))
+        with pytest.raises(MultithreadedBlockError):
+            graph.run(timeout=10)
+        assert outputs == ["ran"]

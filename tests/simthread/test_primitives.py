@@ -1,0 +1,309 @@
+"""Tests for the simulated synchronization primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simthread import Compute, SimDeadlockError, Simulation
+
+
+class TestSimCounter:
+    def test_check_passes_at_level(self):
+        sim = Simulation()
+        c = sim.counter("c")
+        log = []
+
+        def producer():
+            yield Compute(3.0)
+            yield c.increment(2)
+
+        def consumer():
+            yield c.check(2)
+            log.append(sim.now)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert log == [3.0]
+        assert c.value == 2
+
+    def test_wait_time_accounted(self):
+        sim = Simulation()
+        c = sim.counter()
+
+        def producer():
+            yield Compute(4.0)
+            yield c.increment(1)
+
+        def consumer():
+            yield c.check(1)
+            yield Compute(1.0)
+
+        sim.spawn(producer(), name="p")
+        sim.spawn(consumer(), name="q")
+        result = sim.run()
+        assert result.tasks["q"].wait_time == 4.0
+        assert result.makespan == 5.0
+
+    def test_multiple_levels_one_counter(self):
+        sim = Simulation()
+        c = sim.counter()
+        wake_times = {}
+
+        def producer():
+            for _ in range(3):
+                yield Compute(1.0)
+                yield c.increment(1)
+
+        def consumer(level):
+            yield c.check(level)
+            wake_times[level] = sim.now
+
+        sim.spawn(producer())
+        for level in (1, 2, 3):
+            sim.spawn(consumer(level))
+        sim.run()
+        assert wake_times == {1: 1.0, 2: 2.0, 3: 3.0}
+        assert c.max_live_levels == 3
+        assert c.max_live_waiters == 3
+
+    def test_check_level_zero_immediate(self):
+        sim = Simulation()
+        c = sim.counter()
+
+        def task():
+            yield c.check(0)
+
+        sim.spawn(task())
+        sim.run()  # must not deadlock
+
+    def test_validation(self):
+        sim = Simulation()
+        c = sim.counter()
+        with pytest.raises(ValueError):
+            c.check(-1)
+        with pytest.raises(ValueError):
+            c.increment(-1)
+
+
+class TestSimEvent:
+    def test_set_releases_waiters(self):
+        sim = Simulation()
+        e = sim.event()
+        woke = []
+
+        def setter():
+            yield Compute(2.0)
+            yield e.set()
+
+        def waiter():
+            yield e.check()
+            woke.append(sim.now)
+
+        sim.spawn(setter())
+        sim.spawn(waiter())
+        sim.spawn(waiter())
+        sim.run()
+        assert woke == [2.0, 2.0]
+        assert e.is_set
+
+    def test_check_after_set_immediate(self):
+        sim = Simulation()
+        e = sim.event()
+
+        def task():
+            yield e.set()
+            yield e.check()
+
+        sim.spawn(task())
+        sim.run()
+
+
+class TestSimBarrier:
+    def test_barrier_synchronizes_to_slowest(self):
+        sim = Simulation()
+        b = sim.barrier(3)
+        after = {}
+
+        def worker(name, cost):
+            yield Compute(cost)
+            yield b.pass_()
+            after[name] = sim.now
+
+        sim.spawn(worker("a", 1.0))
+        sim.spawn(worker("b", 5.0))
+        sim.spawn(worker("c", 3.0))
+        sim.run()
+        assert after == {"a": 5.0, "b": 5.0, "c": 5.0}
+        assert b.episodes == 1
+
+    def test_barrier_cycles(self):
+        sim = Simulation()
+        b = sim.barrier(2)
+
+        def worker(costs):
+            for cost in costs:
+                yield Compute(cost)
+                yield b.pass_()
+
+        sim.spawn(worker([1.0, 1.0]))
+        sim.spawn(worker([2.0, 2.0]))
+        result = sim.run()
+        assert result.makespan == 4.0  # lockstep with the slower task
+        assert b.episodes == 2
+
+    def test_parties_validation(self):
+        with pytest.raises(ValueError):
+            Simulation().barrier(0)
+
+
+class TestSimLock:
+    def test_mutual_exclusion_in_virtual_time(self):
+        sim = Simulation()
+        lock = sim.lock()
+        sections = []
+
+        def worker(i):
+            yield lock.acquire()
+            start = sim.now
+            yield Compute(2.0)
+            sections.append((i, start, sim.now))
+            yield lock.release()
+
+        for i in range(3):
+            sim.spawn(worker(i))
+        sim.run()
+        intervals = sorted((s, e) for _, s, e in sections)
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2, "critical sections overlapped"
+
+    def test_release_by_non_owner_fails(self):
+        sim = Simulation()
+        lock = sim.lock()
+
+        def bad():
+            yield lock.release()
+
+        sim.spawn(bad())
+        with pytest.raises(Exception, match="does not own"):
+            sim.run()
+
+
+class TestSimSemaphore:
+    def test_bounded_concurrency(self):
+        sim = Simulation()
+        sem = sim.semaphore(2)
+        concurrent = []
+
+        def worker():
+            yield sem.acquire()
+            concurrent.append(sim.now)
+            yield Compute(3.0)
+            yield sem.release()
+
+        for _ in range(4):
+            sim.spawn(worker())
+        result = sim.run()
+        assert result.makespan == 6.0  # 4 jobs, width 2, 3.0 each
+        assert concurrent.count(0.0) == 2
+
+    def test_multi_unit_acquire(self):
+        sim = Simulation()
+        sem = sim.semaphore(0)
+        woke = []
+
+        def producer():
+            for _ in range(3):
+                yield Compute(1.0)
+                yield sem.release(1)
+
+        def consumer():
+            yield sem.acquire(3)
+            woke.append(sim.now)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert woke == [3.0]
+
+    def test_validation(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.semaphore(-1)
+        sem = sim.semaphore(1)
+        with pytest.raises(ValueError):
+            sem.acquire(0)
+
+
+class TestSimChannel:
+    def test_put_get_pipeline(self):
+        sim = Simulation()
+        ch = sim.channel(capacity=2)
+        received = []
+
+        def producer():
+            for i in range(4):
+                yield Compute(1.0)
+                yield ch.put(i)
+
+        def consumer():
+            for _ in range(4):
+                item = yield ch.get()
+                received.append(item)
+                yield Compute(2.0)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert received == [0, 1, 2, 3]
+
+    def test_bounded_capacity_backpressure(self):
+        sim = Simulation()
+        ch = sim.channel(capacity=1)
+
+        def producer():
+            for i in range(3):
+                yield ch.put(i)  # zero-cost puts: must block on capacity
+
+        def consumer():
+            for _ in range(3):
+                yield Compute(5.0)
+                yield ch.get()
+
+        sim.spawn(producer(), name="p")
+        sim.spawn(consumer(), name="c")
+        result = sim.run()
+        assert result.tasks["p"].wait_time > 0.0
+
+    def test_get_blocks_until_put(self):
+        sim = Simulation()
+        ch = sim.channel(capacity=1)
+        got = []
+
+        def producer():
+            yield Compute(7.0)
+            yield ch.put("x")
+
+        def consumer():
+            item = yield ch.get()
+            got.append((item, sim.now))
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert got == [("x", 7.0)]
+
+    def test_channel_deadlock_detected(self):
+        sim = Simulation()
+        ch = sim.channel(capacity=1)
+
+        def consumer():
+            yield ch.get()
+
+        sim.spawn(consumer())
+        with pytest.raises(SimDeadlockError):
+            sim.run()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Simulation().channel(0)

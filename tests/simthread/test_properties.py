@@ -1,0 +1,137 @@
+"""Property-based tests of the virtual-time scheduler's invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simthread import Compute, Simulation
+
+compute_lists = st.lists(
+    st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=1, max_size=5),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(deadline=None, max_examples=60)
+@given(compute_lists)
+def test_unbounded_pool_makespan_is_max_task_time(workloads):
+    """Independent compute-only tasks on one processor each: the makespan
+    is exactly the longest task."""
+    sim = Simulation()
+
+    def task(costs):
+        for cost in costs:
+            yield Compute(cost)
+
+    for costs in workloads:
+        sim.spawn(task(costs))
+    result = sim.run()
+    assert result.makespan == max(sum(costs) for costs in workloads)
+    assert result.total_wait == 0.0
+
+
+@settings(deadline=None, max_examples=60)
+@given(compute_lists)
+def test_single_processor_makespan_is_total_work(workloads):
+    """With one processor, compute serializes: makespan == total work."""
+    sim = Simulation(processors=1)
+
+    def task(costs):
+        for cost in costs:
+            yield Compute(cost)
+
+    for costs in workloads:
+        sim.spawn(task(costs))
+    result = sim.run()
+    total = sum(sum(costs) for costs in workloads)
+    assert abs(result.makespan - total) < 1e-9
+    assert abs(result.total_compute - total) < 1e-9
+
+
+@settings(deadline=None, max_examples=40)
+@given(compute_lists, st.integers(min_value=1, max_value=4))
+def test_bounded_pool_brackets(workloads, processors):
+    """P processors: makespan between total/P (perfect packing) and
+    total (full serialization), and at least the longest task."""
+    sim = Simulation(processors=processors)
+
+    def task(costs):
+        for cost in costs:
+            yield Compute(cost)
+
+    for costs in workloads:
+        sim.spawn(task(costs))
+    result = sim.run()
+    total = sum(sum(costs) for costs in workloads)
+    longest = max(sum(costs) for costs in workloads)
+    assert result.makespan <= total + 1e-9
+    assert result.makespan >= max(longest, total / processors) - 1e-9
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=5.0, allow_nan=False), min_size=2, max_size=6)
+)
+def test_counter_chain_serializes_exactly(costs):
+    """A counter-ordered chain of tasks has makespan == sum of their
+    compute: the §5.2 'no concurrency' extreme, exact in virtual time."""
+    sim = Simulation()
+    counter = sim.counter()
+
+    def worker(i, cost):
+        yield counter.check(i)
+        yield Compute(cost)
+        yield counter.increment(1)
+
+    for i, cost in enumerate(costs):
+        sim.spawn(worker(i, cost))
+    result = sim.run()
+    assert abs(result.makespan - sum(costs)) < 1e-9
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=5.0, allow_nan=False), min_size=2, max_size=6),
+    st.integers(min_value=0, max_value=999_999),
+)
+def test_barrier_lockstep_formula(costs, seed):
+    """N tasks, each computing its cost then passing an N-way barrier,
+    repeated twice: makespan == 2 * max(costs) (barrier = per-round max).
+    The seed exercises the scheduler's tie-breaking paths."""
+    sim = Simulation(policy="random", seed=seed)
+    barrier = sim.barrier(len(costs))
+
+    def worker(cost):
+        for _ in range(2):
+            yield Compute(cost)
+            yield barrier.pass_()
+
+    for cost in costs:
+        sim.spawn(worker(cost))
+    result = sim.run()
+    assert abs(result.makespan - 2 * max(costs)) < 1e-9
+
+
+@settings(deadline=None, max_examples=30)
+@given(compute_lists, st.integers(min_value=0, max_value=10_000))
+def test_same_seed_same_trace(workloads, seed):
+    """Determinism: identical programs + seeds -> identical results."""
+
+    def build():
+        sim = Simulation(policy="random", seed=seed)
+        lock = sim.lock()
+
+        def task(costs):
+            for cost in costs:
+                yield Compute(cost)
+                yield lock.acquire()
+                yield lock.release()
+
+        for costs in workloads:
+            sim.spawn(task(costs))
+        result = sim.run()
+        return (result.makespan, result.total_wait, tuple(sorted(result.tasks)))
+
+    assert build() == build()

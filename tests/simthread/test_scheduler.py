@@ -1,0 +1,273 @@
+"""Tests for the virtual-time scheduler: clock, accounting, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simthread import (
+    Compute,
+    Delay,
+    SimDeadlockError,
+    SimTaskError,
+    Simulation,
+)
+
+
+class TestBasicScheduling:
+    def test_empty_simulation(self):
+        result = Simulation().run()
+        assert result.makespan == 0.0
+        assert result.tasks == {}
+
+    def test_single_task_compute_time(self):
+        sim = Simulation()
+
+        def work():
+            yield Compute(3.5)
+            yield Compute(1.5)
+
+        sim.spawn(work(), name="w")
+        result = sim.run()
+        assert result.makespan == 5.0
+        assert result.tasks["w"].compute_time == 5.0
+        assert result.tasks["w"].wait_time == 0.0
+
+    def test_tasks_run_in_parallel_by_default(self):
+        sim = Simulation()
+
+        def work():
+            yield Compute(10.0)
+
+        sim.spawn_all([work() for _ in range(4)])
+        result = sim.run()
+        assert result.makespan == 10.0  # one processor per task
+        assert result.total_compute == 40.0
+        assert result.speedup == 4.0
+
+    def test_task_return_values_collected(self):
+        sim = Simulation()
+
+        def work(v):
+            yield Compute(1.0)
+            return v * 2
+
+        sim.spawn(work(21), name="a")
+        sim.spawn(work(4), name="b")
+        result = sim.run()
+        assert result.returns == {"a": 42, "b": 8}
+
+    def test_delay_does_not_count_as_compute(self):
+        sim = Simulation()
+
+        def work():
+            yield Delay(5.0)
+            yield Compute(1.0)
+
+        sim.spawn(work(), name="w")
+        result = sim.run()
+        assert result.makespan == 6.0
+        assert result.tasks["w"].compute_time == 1.0
+        assert result.tasks["w"].delay_time == 5.0
+
+    def test_spawn_requires_generator(self):
+        sim = Simulation()
+
+        def not_a_generator():
+            return 5
+
+        with pytest.raises(TypeError, match="generator"):
+            sim.spawn(not_a_generator)
+
+    def test_run_only_once(self):
+        sim = Simulation()
+        sim.run()
+        with pytest.raises(RuntimeError, match="once"):
+            sim.run()
+
+    def test_dynamic_spawn_from_running_task(self):
+        sim = Simulation()
+        log = []
+
+        def child():
+            yield Compute(2.0)
+            log.append(("child", sim.now))
+
+        def parent():
+            yield Compute(1.0)
+            sim.spawn(child(), name="child")
+            yield Compute(0.5)
+
+        sim.spawn(parent(), name="parent")
+        result = sim.run()
+        assert result.makespan == 3.0  # child starts at t=1, runs 2
+        assert log == [("child", 3.0)]
+
+    def test_yield_from_composition(self):
+        sim = Simulation()
+
+        def subroutine(d):
+            yield Compute(d)
+            return d * 10
+
+        def work():
+            a = yield from subroutine(1.0)
+            b = yield from subroutine(2.0)
+            return a + b
+
+        sim.spawn(work(), name="w")
+        assert sim.run().returns["w"] == 30.0
+
+    def test_invalid_yield_reported_as_task_error(self):
+        sim = Simulation()
+
+        def bad():
+            yield "not a syscall"
+
+        sim.spawn(bad())
+        with pytest.raises(SimTaskError):
+            sim.run()
+
+    def test_task_exception_aggregated(self):
+        sim = Simulation()
+
+        def boom():
+            yield Compute(1.0)
+            raise ValueError("boom")
+
+        def fine():
+            yield Compute(2.0)
+
+        sim.spawn(boom())
+        sim.spawn(fine())
+        with pytest.raises(SimTaskError) as excinfo:
+            sim.run()
+        assert {type(e) for e in excinfo.value.exceptions} == {ValueError}
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+        with pytest.raises(ValueError):
+            Delay(-0.1)
+
+
+class TestDeadlockDetection:
+    def test_counter_deadlock(self):
+        sim = Simulation()
+        c = sim.counter()
+
+        def stuck():
+            yield c.check(1)
+
+        sim.spawn(stuck(), name="stuck")
+        with pytest.raises(SimDeadlockError, match="stuck"):
+            sim.run()
+
+    def test_barrier_deadlock_missing_party(self):
+        sim = Simulation()
+        b = sim.barrier(2)
+
+        def lonely():
+            yield b.pass_()
+
+        sim.spawn(lonely())
+        with pytest.raises(SimDeadlockError):
+            sim.run()
+
+    def test_lock_deadlock_cycle(self):
+        sim = Simulation()
+        l1, l2 = sim.lock("l1"), sim.lock("l2")
+
+        def a():
+            yield l1.acquire()
+            yield Compute(1.0)
+            yield l2.acquire()
+
+        def b():
+            yield l2.acquire()
+            yield Compute(1.0)
+            yield l1.acquire()
+
+        sim.spawn(a())
+        sim.spawn(b())
+        with pytest.raises(SimDeadlockError):
+            sim.run()
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        def build():
+            sim = Simulation(policy="random", seed=7)
+            lock = sim.lock()
+            order = []
+
+            def worker(i):
+                yield Compute(1.0)
+                yield lock.acquire()
+                order.append(i)
+                yield lock.release()
+
+            for i in range(6):
+                sim.spawn(worker(i))
+            sim.run()
+            return tuple(order)
+
+        assert build() == build()
+
+    def test_different_seeds_can_reorder_contended_locks(self):
+        def build(seed):
+            sim = Simulation(policy="random", seed=seed)
+            lock = sim.lock()
+            order = []
+
+            def worker(i):
+                yield Compute(1.0)  # all contend at t=1
+                yield lock.acquire()
+                order.append(i)
+                yield lock.release()
+
+            for i in range(8):
+                sim.spawn(worker(i))
+            sim.run()
+            return tuple(order)
+
+        orders = {build(seed) for seed in range(10)}
+        assert len(orders) > 1, "random policy never varied the grant order"
+
+
+class TestBoundedProcessors:
+    def test_processor_pool_serializes_compute(self):
+        sim = Simulation(processors=1)
+
+        def work():
+            yield Compute(5.0)
+
+        sim.spawn_all([work() for _ in range(3)])
+        result = sim.run()
+        assert result.makespan == 15.0
+
+    def test_pool_of_two(self):
+        sim = Simulation(processors=2)
+
+        def work():
+            yield Compute(4.0)
+
+        sim.spawn_all([work() for _ in range(4)])
+        result = sim.run()
+        assert result.makespan == 8.0
+
+    def test_queueing_counts_as_wait(self):
+        sim = Simulation(processors=1)
+
+        def work():
+            yield Compute(2.0)
+
+        sim.spawn(work(), name="first")
+        sim.spawn(work(), name="second")
+        result = sim.run()
+        assert result.tasks["second"].wait_time == 2.0
+
+    def test_processor_validation(self):
+        with pytest.raises(ValueError):
+            Simulation(processors=0)
+        with pytest.raises(ValueError):
+            Simulation(policy="frob")

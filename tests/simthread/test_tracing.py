@@ -1,0 +1,118 @@
+"""Tests for simulator execution tracing and the Gantt renderer."""
+
+from __future__ import annotations
+
+from repro.simthread import Compute, Delay, Simulation, render_gantt
+
+
+def two_task_sim() -> Simulation:
+    sim = Simulation(trace=True)
+    c = sim.counter("c")
+
+    def producer():
+        yield Compute(2.0)
+        yield c.increment(1)
+
+    def consumer():
+        yield c.check(1)
+        yield Compute(1.0)
+
+    sim.spawn(producer(), name="p")
+    sim.spawn(consumer(), name="q")
+    return sim
+
+
+class TestTraceRecorder:
+    def test_tracing_off_by_default(self):
+        assert Simulation().trace is None
+
+    def test_events_recorded_in_time_order(self):
+        sim = two_task_sim()
+        sim.run()
+        times = [event.time for event in sim.trace.events]
+        assert times == sorted(times)
+        assert len(sim.trace) == 4  # Compute, Increment, Check, Compute
+
+    def test_event_contents(self):
+        sim = two_task_sim()
+        sim.run()
+        kinds = [(e.task, e.syscall.split("(")[0]) for e in sim.trace.events]
+        assert ("p", "Compute") in kinds
+        assert ("p", "Increment") in kinds
+        assert ("q", "Check") in kinds
+
+    def test_busy_segments(self):
+        sim = two_task_sim()
+        result = sim.run()
+        segments = sim.trace.segments()
+        by_task = {}
+        for segment in segments:
+            by_task.setdefault(segment.task, []).append((segment.start, segment.end))
+        assert by_task["p"] == [(0.0, 2.0)]
+        assert by_task["q"] == [(2.0, 3.0)]  # waited 2.0 on the counter
+        assert result.makespan == 3.0
+
+    def test_delay_segments_marked(self):
+        sim = Simulation(trace=True)
+
+        def task():
+            yield Delay(1.0)
+            yield Compute(1.0)
+
+        sim.spawn(task(), name="t")
+        sim.run()
+        whats = [segment.what for segment in sim.trace.segments()]
+        assert whats == ["delay", "compute"]
+
+    def test_tracing_does_not_change_results(self):
+        def build(trace):
+            sim = Simulation(trace=trace)
+            b = sim.barrier(2)
+
+            def w(costs):
+                for cost in costs:
+                    yield Compute(cost)
+                    yield b.pass_()
+
+            sim.spawn(w([1.0, 3.0]))
+            sim.spawn(w([2.0, 1.0]))
+            return sim.run()
+
+        traced, plain = build(True), build(False)
+        assert traced.makespan == plain.makespan
+        assert traced.total_wait == plain.total_wait
+
+
+class TestGanttRenderer:
+    def test_empty_trace(self):
+        from repro.simthread import TraceRecorder
+
+        assert "no busy segments" in render_gantt(TraceRecorder())
+
+    def test_rows_and_legend(self):
+        sim = two_task_sim()
+        result = sim.run()
+        chart = render_gantt(sim.trace, width=30, makespan=result.makespan)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # two task rows + legend
+        assert lines[0].startswith("p |")
+        assert lines[1].startswith("q |")
+        assert "virtual time" in lines[2]
+
+    def test_wait_appears_as_gap(self):
+        sim = two_task_sim()
+        result = sim.run()
+        chart = render_gantt(sim.trace, width=30, makespan=result.makespan)
+        q_row = chart.splitlines()[1]
+        body = q_row.split("|")[1]
+        # q waits 2/3 of the makespan, then computes: row starts blank.
+        assert body[:10].strip() == ""
+        assert "█" in body
+
+    def test_width_respected(self):
+        sim = two_task_sim()
+        sim.run()
+        chart = render_gantt(sim.trace, width=50)
+        for line in chart.splitlines()[:-1]:
+            body = line.split("|")[1]
+            assert len(body) == 50

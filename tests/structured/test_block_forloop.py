@@ -1,0 +1,206 @@
+"""Tests for the multithreaded block and for-loop constructs (§3)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.structured import (
+    ExecutionMode,
+    MultithreadedBlockError,
+    block_range,
+    current_mode,
+    execution_mode,
+    multithreaded,
+    multithreaded_for,
+    sequential_execution,
+)
+
+
+class TestMultithreadedBlock:
+    def test_returns_results_in_statement_order(self):
+        assert multithreaded(lambda: "a", lambda: "b", lambda: "c") == ["a", "b", "c"]
+
+    def test_empty_block(self):
+        assert multithreaded() == []
+
+    def test_statements_actually_run_as_threads(self):
+        main = threading.get_ident()
+        rendezvous = threading.Barrier(2)  # forces both threads alive at once
+
+        def ident():
+            rendezvous.wait(5)
+            return threading.get_ident()
+
+        idents = multithreaded(ident, ident)
+        assert all(i != main for i in idents)
+        assert idents[0] != idents[1]
+
+    def test_join_boundary(self):
+        """Execution does not continue past the block until all statements
+        have terminated."""
+        finished = []
+
+        def slow():
+            time.sleep(0.05)
+            finished.append("slow")
+
+        def fast():
+            finished.append("fast")
+
+        multithreaded(slow, fast)
+        assert sorted(finished) == ["fast", "slow"]
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError, match="callable"):
+            multithreaded(lambda: 1, "not callable")
+
+    def test_exceptions_aggregated(self):
+        def ok():
+            return 1
+
+        def boom():
+            raise ValueError("boom")
+
+        def bang():
+            raise KeyError("bang")
+
+        with pytest.raises(MultithreadedBlockError) as excinfo:
+            multithreaded(ok, boom, bang)
+        types = {type(e) for e in excinfo.value.exceptions}
+        assert types == {ValueError, KeyError}
+
+    def test_all_statements_run_despite_failure(self):
+        ran = []
+
+        def fail():
+            ran.append("fail")
+            raise RuntimeError
+
+        def ok():
+            ran.append("ok")
+
+        with pytest.raises(MultithreadedBlockError):
+            multithreaded(fail, ok)
+        assert sorted(ran) == ["fail", "ok"]
+
+    def test_nesting(self):
+        def outer():
+            return multithreaded(lambda: 1, lambda: 2)
+
+        assert multithreaded(outer, outer) == [[1, 2], [1, 2]]
+
+
+class TestMultithreadedFor:
+    def test_iteration_results_in_order(self):
+        assert multithreaded_for(lambda i: i * i, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_empty_range(self):
+        assert multithreaded_for(lambda i: i, range(0)) == []
+
+    def test_control_variable_is_per_thread_copy(self):
+        """The §3 requirement: each thread gets its own i (no late-binding)."""
+        seen = multithreaded_for(lambda i: i, range(20))
+        assert seen == list(range(20))
+
+    def test_arbitrary_iterables(self):
+        assert multithreaded_for(str.upper, ["a", "b"]) == ["A", "B"]
+
+    def test_step_ranges(self):
+        assert multithreaded_for(lambda i: i, range(1, 10, 3)) == [1, 4, 7]
+
+    def test_body_must_be_callable(self):
+        with pytest.raises(TypeError, match="callable"):
+            multithreaded_for("nope", range(2))
+
+    def test_exception_in_iteration(self):
+        def body(i):
+            if i == 2:
+                raise ValueError(f"iteration {i}")
+            return i
+
+        with pytest.raises(MultithreadedBlockError):
+            multithreaded_for(body, range(4))
+
+
+class TestBlockRange:
+    def test_partitions_cover_exactly(self):
+        for total in (0, 1, 7, 10, 100):
+            for parts in (1, 2, 3, 7):
+                covered = []
+                for part in range(parts):
+                    covered.extend(block_range(part, total, parts))
+                assert covered == list(range(total)), (total, parts)
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [len(block_range(t, 10, 3)) for t in range(3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_range(0, 10, 0)
+        with pytest.raises(ValueError):
+            block_range(3, 10, 3)
+        with pytest.raises(ValueError):
+            block_range(-1, 10, 3)
+        with pytest.raises(ValueError):
+            block_range(0, -1, 3)
+
+
+class TestExecutionModes:
+    def test_default_mode_is_threaded(self):
+        assert current_mode() is ExecutionMode.THREADED
+
+    def test_sequential_mode_runs_on_calling_thread(self):
+        main = threading.get_ident()
+        with sequential_execution():
+            idents = multithreaded(threading.get_ident, threading.get_ident)
+        assert idents == [main, main]
+
+    def test_sequential_mode_restored_on_exit(self):
+        with sequential_execution():
+            assert current_mode() is ExecutionMode.SEQUENTIAL
+        assert current_mode() is ExecutionMode.THREADED
+
+    def test_sequential_runs_in_textual_order(self):
+        order = []
+        with sequential_execution():
+            multithreaded(lambda: order.append(1), lambda: order.append(2))
+        assert order == [1, 2]
+
+    def test_sequential_for_loop_in_index_order(self):
+        order = []
+        with sequential_execution():
+            multithreaded_for(order.append, range(5))
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_mode_propagates_into_nested_constructs(self):
+        """A nested multithreaded block inside a sequential outer block
+        also runs sequentially (contextvar propagation)."""
+        main = threading.get_ident()
+
+        def outer():
+            return multithreaded(threading.get_ident)
+
+        with sequential_execution():
+            assert multithreaded(outer) == [[main]]
+
+    def test_explicit_mode_overrides_ambient(self):
+        main = threading.get_ident()
+        with sequential_execution():
+            idents = multithreaded(
+                threading.get_ident, mode=ExecutionMode.THREADED
+            )
+        assert idents[0] != main
+
+    def test_execution_mode_type_checked(self):
+        with pytest.raises(TypeError):
+            with execution_mode("sequential"):
+                pass
+
+    def test_sequential_failure_uses_same_error_type(self):
+        with sequential_execution():
+            with pytest.raises(MultithreadedBlockError):
+                multithreaded(lambda: 1 / 0)

@@ -1,0 +1,113 @@
+"""Tests for ThreadScope (imperative structured spawning)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.structured import (
+    MultithreadedBlockError,
+    ThreadScope,
+    sequential_execution,
+)
+
+
+class TestThreadScope:
+    def test_spawn_and_result(self):
+        with ThreadScope() as scope:
+            handle = scope.spawn(lambda: 21 * 2)
+        assert handle.result() == 42
+
+    def test_spawn_with_args_and_kwargs(self):
+        with ThreadScope() as scope:
+            handle = scope.spawn(divmod, 17, 5)
+        assert handle.result() == (3, 2)
+
+    def test_scope_joins_all_at_exit(self):
+        done = []
+
+        def work(i):
+            done.append(i)
+
+        with ThreadScope() as scope:
+            for i in range(8):
+                scope.spawn(work, i)
+        assert sorted(done) == list(range(8))
+
+    def test_result_before_completion_is_an_error(self):
+        gate = threading.Event()
+        with ThreadScope() as scope:
+            handle = scope.spawn(lambda: gate.wait(5) and 1)
+            with pytest.raises(RuntimeError, match="scope"):
+                handle.result()  # the statement is still blocked on the gate
+            gate.set()
+        assert handle.result() == 1
+
+    def test_spawn_after_exit_rejected(self):
+        with ThreadScope() as scope:
+            pass
+        with pytest.raises(RuntimeError, match="spawn"):
+            scope.spawn(lambda: 1)
+
+    def test_spawn_outside_with_rejected(self):
+        scope = ThreadScope()
+        with pytest.raises(RuntimeError, match="spawn"):
+            scope.spawn(lambda: 1)
+
+    def test_non_callable_rejected(self):
+        with ThreadScope() as scope:
+            with pytest.raises(TypeError):
+                scope.spawn("nope")
+
+    def test_exceptions_aggregate_at_exit(self):
+        with pytest.raises(MultithreadedBlockError) as excinfo:
+            with ThreadScope() as scope:
+                scope.spawn(lambda: 1 / 0)
+                scope.spawn(lambda: int("x"))
+        types = {type(e) for e in excinfo.value.exceptions}
+        assert types == {ZeroDivisionError, ValueError}
+
+    def test_failed_handle_reraises_its_exception(self):
+        with pytest.raises(MultithreadedBlockError):
+            with ThreadScope() as scope:
+                handle = scope.spawn(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            handle.result()
+
+    def test_body_exception_takes_precedence(self):
+        """An exception raised in the with-body propagates (after joining)
+        rather than being masked by statement failures."""
+        with pytest.raises(KeyError):
+            with ThreadScope() as scope:
+                scope.spawn(lambda: 1 / 0)
+                raise KeyError("body")
+
+    def test_not_reentrant(self):
+        scope = ThreadScope()
+        with scope:
+            with pytest.raises(RuntimeError, match="reentrant"):
+                with scope:
+                    pass
+
+    def test_sequential_mode_runs_inline(self):
+        main = threading.get_ident()
+        with sequential_execution():
+            with ThreadScope() as scope:
+                handle = scope.spawn(threading.get_ident)
+                # In sequential mode the spawn has already completed.
+                order_probe = handle
+        assert order_probe.result() == main
+
+    def test_sequential_mode_failure_aggregates(self):
+        with sequential_execution():
+            with pytest.raises(MultithreadedBlockError):
+                with ThreadScope() as scope:
+                    scope.spawn(lambda: 1 / 0)
+
+    def test_repr_states(self):
+        scope = ThreadScope(name="demo")
+        assert "new" in repr(scope)
+        with scope:
+            assert "open" in repr(scope)
+        assert "closed" in repr(scope)

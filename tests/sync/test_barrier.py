@@ -1,0 +1,168 @@
+"""Tests for CyclicBarrier (and its counter-built twin)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.sync import BrokenBarrierError, CounterBarrier, CyclicBarrier, SyncTimeout
+from tests.helpers import join_all, spawn
+
+
+@pytest.fixture(params=["cyclic", "counter"])
+def barrier_factory(request):
+    if request.param == "cyclic":
+        return CyclicBarrier
+    return CounterBarrier
+
+
+class TestBarrierCommon:
+    def test_parties_validated(self, barrier_factory):
+        with pytest.raises(ValueError):
+            barrier_factory(0)
+        with pytest.raises(ValueError):
+            barrier_factory(-3)
+        with pytest.raises(ValueError):
+            barrier_factory(True)
+
+    def test_single_party_barrier_never_blocks(self, barrier_factory):
+        b = barrier_factory(1)
+        for _ in range(5):
+            b.pass_()
+
+    def test_all_parties_required(self, barrier_factory):
+        b = barrier_factory(3)
+        arrived = []
+        lock = threading.Lock()
+
+        def party(i):
+            b.pass_()
+            with lock:
+                arrived.append(i)
+
+        t1 = spawn(party, 0)
+        t2 = spawn(party, 1)
+        t1.join(0.05)
+        assert not arrived, "barrier released before all parties arrived"
+        t3 = spawn(party, 2)
+        join_all([t1, t2, t3])
+        assert sorted(arrived) == [0, 1, 2]
+
+    def test_reusable_across_many_episodes(self, barrier_factory):
+        b = barrier_factory(4)
+        episodes = 25
+        counts = [0] * 4
+
+        def party(i):
+            for _ in range(episodes):
+                b.pass_()
+                counts[i] += 1
+
+        threads = [spawn(party, i) for i in range(4)]
+        join_all(threads)
+        assert counts == [episodes] * 4
+
+    def test_no_episode_overtaking(self, barrier_factory):
+        """A fast thread must not pass episode t+1 before every thread has
+        passed episode t — the fundamental barrier property."""
+        b = barrier_factory(3)
+        episode_of = [0, 0, 0]
+        violations = []
+        lock = threading.Lock()
+
+        def party(i):
+            for _ in range(20):
+                b.pass_()
+                with lock:
+                    episode_of[i] += 1
+                    spread = max(episode_of) - min(episode_of)
+                    if spread > 1:
+                        violations.append(tuple(episode_of))
+
+        threads = [spawn(party, i) for i in range(3)]
+        join_all(threads)
+        assert not violations
+
+
+class TestCyclicBarrierSpecifics:
+    def test_pass_returns_arrival_index(self):
+        b = CyclicBarrier(2)
+        results = []
+        lock = threading.Lock()
+
+        def party():
+            index = b.pass_()
+            with lock:
+                results.append(index)
+
+        threads = [spawn(party), spawn(party)]
+        join_all(threads)
+        assert sorted(results) == [0, 1]
+
+    def test_timeout_breaks_barrier(self):
+        b = CyclicBarrier(2)
+        with pytest.raises(SyncTimeout):
+            b.pass_(timeout=0.02)
+        assert b.broken
+        with pytest.raises(BrokenBarrierError):
+            b.pass_()
+
+    def test_abort_wakes_and_fails_waiters(self):
+        b = CyclicBarrier(3)
+        failures = threading.Semaphore(0)
+
+        def party():
+            try:
+                b.pass_()
+            except BrokenBarrierError:
+                failures.release()
+
+        threads = [spawn(party), spawn(party)]
+        b.abort()
+        assert failures.acquire(timeout=5) and failures.acquire(timeout=5)
+        join_all(threads)
+
+    def test_reset_returns_barrier_to_service(self):
+        b = CyclicBarrier(2)
+        b.abort()
+        b.reset()
+        assert not b.broken
+        threads = [spawn(b.pass_), spawn(b.pass_)]
+        join_all(threads)
+
+    def test_passes_counter(self):
+        b = CyclicBarrier(2)
+        for _ in range(3):
+            threads = [spawn(b.pass_), spawn(b.pass_)]
+            join_all(threads)
+        assert b.passes == 3
+
+
+class TestCounterBarrierSpecifics:
+    def test_built_on_one_counter(self):
+        b = CounterBarrier(3)
+        assert b.counter.value == 0
+        threads = [spawn(b.pass_) for _ in range(3)]
+        join_all(threads)
+        assert b.counter.value == 3  # one increment per arrival
+
+    def test_counter_value_tracks_episodes(self):
+        b = CounterBarrier(2)
+
+        def party():
+            for _ in range(5):
+                b.pass_()
+
+        threads = [spawn(party), spawn(party)]
+        join_all(threads)
+        assert b.counter.value == 10
+
+    def test_accepts_injected_counter(self):
+        from repro.core import MonotonicCounter
+
+        c = MonotonicCounter(name="shared")
+        b = CounterBarrier(2, counter=c)
+        threads = [spawn(b.pass_), spawn(b.pass_)]
+        join_all(threads)
+        assert c.value == 2

@@ -1,0 +1,147 @@
+"""Tests for the sticky set/check event (the paper's §4.4 'condition variable')."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import MonotonicCounter
+from repro.sync import Event, SyncTimeout
+from tests.helpers import join_all, spawn, wait_until
+
+
+class TestEventBasics:
+    def test_starts_unset(self):
+        assert not Event().is_set()
+
+    def test_set_then_check_returns_immediately(self):
+        e = Event()
+        e.set()
+        e.check()
+        assert e.is_set()
+
+    def test_set_is_idempotent(self):
+        e = Event()
+        e.set()
+        e.set()
+        assert e.is_set()
+
+    def test_check_blocks_until_set(self):
+        e = Event()
+        passed = threading.Event()
+
+        def waiter():
+            e.check()
+            passed.set()
+
+        thread = spawn(waiter)
+        assert not passed.wait(0.05)
+        e.set()
+        assert passed.wait(5)
+        join_all([thread])
+
+    def test_set_wakes_all_waiters(self):
+        e = Event()
+        done = threading.Semaphore(0)
+        threads = [spawn(lambda: (e.check(), done.release())) for _ in range(8)]
+        e.set()
+        for _ in range(8):
+            assert done.acquire(timeout=5)
+        join_all(threads)
+
+    def test_check_timeout(self):
+        e = Event()
+        with pytest.raises(SyncTimeout):
+            e.check(timeout=0.01)
+
+    def test_wait_alias(self):
+        e = Event()
+        e.set()
+        e.wait()
+
+    def test_repr_shows_state(self):
+        e = Event(name="kDone")
+        assert "kDone" in repr(e) and "unset" in repr(e)
+        e.set()
+        assert "set" in repr(e)
+
+
+class TestEventCounterEquivalence:
+    """§4.5: an event is exactly a counter restricted to {0, 1}."""
+
+    def test_set_check_maps_to_increment_check1(self):
+        e = Event()
+        c = MonotonicCounter()
+        # Both unset/zero: check would block on both (probe via timeout).
+        with pytest.raises(SyncTimeout):
+            e.check(timeout=0.01)
+        from repro.core import CheckTimeout
+
+        with pytest.raises(CheckTimeout):
+            c.check(1, timeout=0.01)
+        # Set == Increment(1): both now pass their checks immediately.
+        e.set()
+        c.increment(1)
+        e.check()
+        c.check(1)
+
+    def test_array_of_events_replaced_by_one_counter(self):
+        """The §4.4 -> §4.5 transformation: kDone[k].Set() == Increment(1)
+        when sets happen in index order."""
+        n = 10
+        events = [Event() for _ in range(n)]
+        counter = MonotonicCounter()
+        observed_by_events = []
+        observed_by_counter = []
+        done = threading.Semaphore(0)
+
+        def event_reader():
+            for k in range(n):
+                events[k].check()
+                observed_by_events.append(k)
+            done.release()
+
+        def counter_reader():
+            for k in range(n):
+                counter.check(k + 1)
+                observed_by_counter.append(k)
+            done.release()
+
+        threads = [spawn(event_reader), spawn(counter_reader)]
+        for k in range(n):
+            events[k].set()
+            counter.increment(1)
+        assert done.acquire(timeout=10) and done.acquire(timeout=10)
+        join_all(threads)
+        assert observed_by_events == observed_by_counter == list(range(n))
+
+
+class TestEventStress:
+    def test_many_set_check_rounds(self):
+        for _ in range(50):
+            e = Event()
+            waiters = [spawn(e.check) for _ in range(4)]
+            e.set()
+            join_all(waiters)
+
+    def test_check_after_timeout_still_works(self):
+        e = Event()
+        with pytest.raises(SyncTimeout):
+            e.check(timeout=0.01)
+        e.set()
+        e.check()
+
+    def test_concurrent_setters_single_transition(self):
+        e = Event()
+        results = []
+        lock = threading.Lock()
+
+        def setter():
+            e.set()
+            with lock:
+                results.append(e.is_set())
+
+        threads = [spawn(setter) for _ in range(8)]
+        join_all(threads)
+        assert results == [True] * 8

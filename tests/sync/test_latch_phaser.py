@@ -1,0 +1,146 @@
+"""Tests for CountDownLatch and Phaser (the related-work comparators)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import MonotonicCounter
+from repro.sync import CountDownLatch, Phaser, SyncError, SyncTimeout
+from tests.helpers import join_all, spawn
+
+
+class TestCountDownLatch:
+    def test_count_validation(self):
+        for bad in (-1, 0.5, True):
+            with pytest.raises(ValueError):
+                CountDownLatch(bad)
+
+    def test_zero_latch_is_open(self):
+        CountDownLatch(0).await_()
+
+    def test_await_blocks_until_zero(self):
+        latch = CountDownLatch(3)
+        passed = threading.Event()
+        thread = spawn(lambda: (latch.await_(), passed.set()))
+        latch.count_down()
+        latch.count_down()
+        assert not passed.wait(0.05)
+        latch.count_down()
+        assert passed.wait(5)
+        join_all([thread])
+
+    def test_count_down_floors_at_zero(self):
+        latch = CountDownLatch(1)
+        latch.count_down(5)
+        assert latch.count == 0
+        latch.count_down()  # further countdown is a no-op
+        assert latch.count == 0
+
+    def test_await_timeout(self):
+        with pytest.raises(SyncTimeout):
+            CountDownLatch(1).await_(timeout=0.01)
+
+    def test_count_down_n(self):
+        latch = CountDownLatch(10)
+        latch.count_down(7)
+        assert latch.count == 3
+
+    def test_single_shot_vs_counter(self):
+        """The latch is weaker than a counter: one target level only.
+        A counter expresses the same wait and arbitrarily many others."""
+        latch = CountDownLatch(3)
+        counter = MonotonicCounter()
+        done = threading.Semaphore(0)
+        threads = [
+            spawn(lambda: (latch.await_(), done.release())),
+            spawn(lambda: (counter.check(3), done.release())),
+            spawn(lambda: (counter.check(1), done.release())),  # extra level: latch can't
+        ]
+        for _ in range(3):
+            latch.count_down()
+            counter.increment(1)
+        for _ in range(3):
+            assert done.acquire(timeout=5)
+        join_all(threads)
+
+
+class TestPhaser:
+    def test_parties_validation(self):
+        with pytest.raises(ValueError):
+            Phaser(-1)
+
+    def test_register_returns_phase(self):
+        p = Phaser()
+        assert p.register(2) == 0
+        assert p.parties == 2
+
+    def test_arrive_with_no_parties_raises(self):
+        with pytest.raises(SyncError):
+            Phaser(0).arrive()
+
+    def test_phase_advances_when_all_arrive(self):
+        p = Phaser(2)
+        assert p.arrive() == 0
+        assert p.phase == 0
+        assert p.arrive() == 0
+        assert p.phase == 1
+
+    def test_arrive_and_await_advance(self):
+        p = Phaser(3)
+        reached = []
+        lock = threading.Lock()
+
+        def party(i):
+            for _ in range(4):
+                p.arrive_and_await_advance()
+            with lock:
+                reached.append(i)
+
+        threads = [spawn(party, i) for i in range(3)]
+        join_all(threads)
+        assert sorted(reached) == [0, 1, 2]
+        assert p.phase == 4
+
+    def test_await_advance_on_past_phase_returns(self):
+        p = Phaser(1)
+        p.arrive()  # phase -> 1
+        assert p.await_advance(0) == 1  # already advanced past 0
+
+    def test_await_advance_blocks_on_current_phase(self):
+        p = Phaser(2)
+        passed = threading.Event()
+        thread = spawn(lambda: (p.await_advance(0), passed.set()))
+        p.arrive()
+        assert not passed.wait(0.05)
+        p.arrive()
+        assert passed.wait(5)
+        join_all([thread])
+
+    def test_await_advance_timeout(self):
+        p = Phaser(1)
+        with pytest.raises(SyncTimeout):
+            p.await_advance(0, timeout=0.01)
+
+    def test_arrive_and_deregister(self):
+        p = Phaser(2)
+        p.arrive_and_deregister()
+        assert p.parties == 1
+        p.arrive()  # the lone remaining party now completes phases alone
+        assert p.phase >= 1
+
+    def test_await_advance_validation(self):
+        p = Phaser(1)
+        with pytest.raises(ValueError):
+            p.await_advance(-1)
+
+    def test_phase_is_monotone_like_a_counter(self):
+        """await_advance(phase) has the stable-condition property of
+        check(level): once the phase passes, it never un-passes."""
+        p = Phaser(1)
+        for expected in range(5):
+            assert p.phase == expected
+            p.arrive()
+            p.await_advance(expected)  # returns immediately, forever after
+            p.await_advance(expected)

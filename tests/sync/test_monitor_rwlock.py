@@ -1,0 +1,253 @@
+"""Tests for the Monitor and ReadWriteLock substrates."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.sync import Monitor, ReadWriteLock, SyncError, SyncTimeout, synchronized
+from tests.helpers import join_all, spawn, wait_until
+
+
+class BoundedCell(Monitor):
+    """Classic monitor example: a one-slot buffer."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._value = None
+        self._full = False
+
+    @synchronized
+    def put(self, value) -> None:
+        self.wait_for("empty", lambda: not self._full)
+        self._value = value
+        self._full = True
+        self.notify("full")
+
+    @synchronized
+    def take(self):
+        self.wait_for("full", lambda: self._full)
+        value = self._value
+        self._full = False
+        self.notify("empty")
+        return value
+
+
+class TestMonitor:
+    def test_put_take_roundtrip(self):
+        cell = BoundedCell()
+        cell.put(7)
+        assert cell.take() == 7
+
+    def test_take_blocks_until_put(self):
+        cell = BoundedCell()
+        got = []
+        thread = spawn(lambda: got.append(cell.take()))
+        thread.join(0.05)
+        assert not got
+        cell.put("x")
+        join_all([thread])
+        assert got == ["x"]
+
+    def test_put_blocks_when_full(self):
+        cell = BoundedCell()
+        cell.put(1)
+        done = threading.Event()
+        thread = spawn(lambda: (cell.put(2), done.set()))
+        assert not done.wait(0.05)
+        assert cell.take() == 1
+        assert done.wait(5)
+        join_all([thread])
+        assert cell.take() == 2
+
+    def test_producer_consumer_sequence(self):
+        cell = BoundedCell()
+        received = []
+
+        def producer():
+            for i in range(50):
+                cell.put(i)
+
+        def consumer():
+            for _ in range(50):
+                received.append(cell.take())
+
+        threads = [spawn(producer), spawn(consumer)]
+        join_all(threads)
+        assert received == list(range(50))  # one-slot buffer preserves order
+
+    def test_queue_names_are_static_once_used(self):
+        cell = BoundedCell()
+        cell.put(1)
+        cell.take()
+        assert cell.queue_names == ("empty", "full")
+
+    def test_wait_outside_monitor_rejected(self):
+        cell = BoundedCell()
+        with pytest.raises(SyncError, match="outside"):
+            cell.wait_for("full", lambda: True)
+        with pytest.raises(SyncError, match="outside"):
+            cell.notify("full")
+        with pytest.raises(SyncError, match="outside"):
+            cell.notify_all("full")
+
+    def test_wait_timeout(self):
+        cell = BoundedCell()
+        with cell.entered():
+            with pytest.raises(SyncTimeout):
+                cell.wait_for("full", lambda: False, timeout=0.02)
+
+    def test_synchronized_requires_monitor(self):
+        class NotAMonitor:
+            @synchronized
+            def method(self):
+                return 1
+
+        with pytest.raises(TypeError):
+            NotAMonitor().method()
+
+    def test_entered_is_reentrant(self):
+        cell = BoundedCell()
+        with cell.entered():
+            with cell.entered():
+                cell.notify("full")
+
+    def test_mutual_exclusion_of_synchronized_methods(self):
+        class CounterMonitor(Monitor):
+            def __init__(self):
+                super().__init__()
+                self.n = 0
+
+            @synchronized
+            def bump(self):
+                local = self.n
+                self.n = local + 1
+
+        monitor = CounterMonitor()
+        threads = [spawn(lambda: [monitor.bump() for _ in range(500)]) for _ in range(4)]
+        join_all(threads)
+        assert monitor.n == 2000
+
+
+class TestReadWriteLock:
+    def test_multiple_concurrent_readers(self):
+        rw = ReadWriteLock()
+        inside = []
+        barrier = threading.Barrier(3)
+
+        def reader():
+            with rw.reading():
+                barrier.wait(5)  # proves 3 readers are in simultaneously
+                inside.append(1)
+
+        threads = [spawn(reader) for _ in range(3)]
+        join_all(threads)
+        assert len(inside) == 3
+
+    def test_writer_excludes_readers(self):
+        rw = ReadWriteLock()
+        rw.acquire_write()
+        blocked = threading.Event()
+        entered = threading.Event()
+
+        def reader():
+            blocked.set()
+            with rw.reading():
+                entered.set()
+
+        thread = spawn(reader)
+        blocked.wait(5)
+        assert not entered.wait(0.05)
+        rw.release_write()
+        assert entered.wait(5)
+        join_all([thread])
+
+    def test_writer_excludes_writer(self):
+        rw = ReadWriteLock()
+        order = []
+
+        def writer(i):
+            with rw.writing():
+                order.append(("enter", i))
+                order.append(("exit", i))
+
+        threads = [spawn(writer, i) for i in range(4)]
+        join_all(threads)
+        # enters and exits must strictly alternate
+        for j in range(0, 8, 2):
+            assert order[j][0] == "enter" and order[j + 1][0] == "exit"
+            assert order[j][1] == order[j + 1][1]
+
+    def test_writer_preference_blocks_new_readers(self):
+        rw = ReadWriteLock()
+        rw.acquire_read()
+        writer_waiting = threading.Event()
+        writer_done = threading.Event()
+        reader_entered = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            with rw.writing():
+                pass
+            writer_done.set()
+
+        def late_reader():
+            with rw.reading():
+                reader_entered.set()
+
+        writer_thread = spawn(writer)
+        writer_waiting.wait(5)
+        wait_until(lambda: rw._waiting_writers == 1)
+        reader_thread = spawn(late_reader)
+        assert not reader_entered.wait(0.05), "late reader barged past waiting writer"
+        rw.release_read()
+        assert writer_done.wait(5)
+        assert reader_entered.wait(5)
+        join_all([writer_thread, reader_thread])
+
+    def test_release_without_acquire_rejected(self):
+        rw = ReadWriteLock()
+        with pytest.raises(SyncError):
+            rw.release_read()
+        with pytest.raises(SyncError):
+            rw.release_write()
+
+    def test_acquire_timeouts(self):
+        rw = ReadWriteLock()
+        rw.acquire_write()
+        with pytest.raises(SyncTimeout):
+            rw.acquire_read(timeout=0.02)
+        with pytest.raises(SyncTimeout):
+            rw.acquire_write(timeout=0.02)
+        rw.release_write()
+
+    def test_stress_invariant(self):
+        rw = ReadWriteLock()
+        state = {"readers": 0, "writers": 0}
+        violations = []
+        guard = threading.Lock()
+
+        def reader():
+            for _ in range(50):
+                with rw.reading():
+                    with guard:
+                        state["readers"] += 1
+                        if state["writers"]:
+                            violations.append("reader saw writer")
+                    with guard:
+                        state["readers"] -= 1
+
+        def writer():
+            for _ in range(20):
+                with rw.writing():
+                    with guard:
+                        state["writers"] += 1
+                        if state["writers"] > 1 or state["readers"]:
+                            violations.append("writer not exclusive")
+                    with guard:
+                        state["writers"] -= 1
+
+        threads = [spawn(reader) for _ in range(4)] + [spawn(writer) for _ in range(2)]
+        join_all(threads)
+        assert not violations

@@ -1,0 +1,141 @@
+"""Tests for the Ada-style rendezvous entry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.sync import Rendezvous, SyncTimeout
+from tests.helpers import join_all, spawn
+
+
+class TestRendezvousBasics:
+    def test_call_and_accept(self):
+        entry: Rendezvous[int, int] = Rendezvous()
+        server = spawn(lambda: entry.accept(lambda r: r * 2))
+        assert entry.call(21) == 42
+        join_all([server])
+
+    def test_accept_returns_the_reply(self):
+        entry: Rendezvous[int, int] = Rendezvous()
+        results = []
+        server = spawn(lambda: results.append(entry.accept(lambda r: r + 1)))
+        assert entry.call(4) == 5
+        join_all([server])
+        assert results == [5]
+
+    def test_none_reply_is_valid(self):
+        entry: Rendezvous[str, None] = Rendezvous()
+        server = spawn(lambda: entry.accept(lambda r: None))
+        assert entry.call("x") is None
+        join_all([server])
+
+    def test_multiple_calls_served_fifo(self):
+        entry: Rendezvous[int, int] = Rendezvous()
+        served = []
+
+        def server():
+            for _ in range(3):
+                entry.accept(lambda r: served.append(r) or r)
+
+        server_thread = spawn(server)
+        replies = []
+        callers = [spawn(lambda i=i: replies.append(entry.call(i))) for i in range(3)]
+        join_all(callers + [server_thread])
+        assert sorted(served) == [0, 1, 2]
+        assert sorted(replies) == [0, 1, 2]
+
+    def test_caller_blocks_for_whole_service(self):
+        """Extended rendezvous: the caller cannot proceed while the
+        service runs."""
+        entry: Rendezvous[int, int] = Rendezvous()
+        service_started = threading.Event()
+        service_release = threading.Event()
+        caller_done = threading.Event()
+
+        def service(request):
+            service_started.set()
+            assert service_release.wait(10)
+            return request
+
+        server = spawn(lambda: entry.accept(service))
+        caller = spawn(lambda: (entry.call(1), caller_done.set()))
+        assert service_started.wait(5)
+        assert not caller_done.wait(0.05), "caller proceeded before service finished"
+        service_release.set()
+        assert caller_done.wait(5)
+        join_all([server, caller])
+
+
+class TestRendezvousFailure:
+    def test_service_exception_reaches_both_sides(self):
+        entry: Rendezvous[int, int] = Rendezvous()
+        server_errors = []
+
+        def server():
+            try:
+                entry.accept(lambda r: 1 // r)
+            except ZeroDivisionError as exc:
+                server_errors.append(exc)
+
+        server_thread = spawn(server)
+        with pytest.raises(ZeroDivisionError):
+            entry.call(0)
+        join_all([server_thread])
+        assert len(server_errors) == 1
+
+    def test_call_timeout_withdraws_request(self):
+        entry: Rendezvous[int, int] = Rendezvous()
+        with pytest.raises(SyncTimeout):
+            entry.call(1, timeout=0.02)
+        assert entry.pending == 0
+
+    def test_accept_timeout(self):
+        entry: Rendezvous[int, int] = Rendezvous()
+        with pytest.raises(SyncTimeout):
+            entry.accept(lambda r: r, timeout=0.02)
+
+    def test_withdrawn_call_not_served_later(self):
+        entry: Rendezvous[int, int] = Rendezvous()
+        with pytest.raises(SyncTimeout):
+            entry.call(99, timeout=0.02)
+        served = []
+        server = spawn(lambda: served.append(entry.accept(lambda r: r)))
+        assert entry.call(1) == 1
+        join_all([server])
+        assert served == [1]  # the withdrawn 99 never reached a server
+
+
+class TestRendezvousConcurrency:
+    def test_many_clients_one_server(self):
+        entry: Rendezvous[int, int] = Rendezvous()
+        n = 16
+
+        def server():
+            for _ in range(n):
+                entry.accept(lambda r: r * r)
+
+        server_thread = spawn(server)
+        replies = {}
+        lock = threading.Lock()
+
+        def client(i):
+            reply = entry.call(i)
+            with lock:
+                replies[i] = reply
+
+        clients = [spawn(client, i) for i in range(n)]
+        join_all(clients + [server_thread])
+        assert replies == {i: i * i for i in range(n)}
+
+    def test_multiple_servers(self):
+        entry: Rendezvous[int, int] = Rendezvous()
+        n = 12
+        servers = [
+            spawn(lambda: [entry.accept(lambda r: -r) for _ in range(n // 3)])
+            for _ in range(3)
+        ]
+        replies = [entry.call(i) for i in range(n)]
+        join_all(servers)
+        assert replies == [-i for i in range(n)]

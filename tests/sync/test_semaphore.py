@@ -1,0 +1,121 @@
+"""Tests for the from-scratch counting semaphore."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.sync import CountingSemaphore, SyncTimeout
+from tests.helpers import join_all, spawn
+
+
+class TestSemaphoreBasics:
+    def test_initial_value(self):
+        assert CountingSemaphore(3).value == 3
+
+    def test_initial_validation(self):
+        for bad in (-1, 1.5, True, "2"):
+            with pytest.raises(ValueError):
+                CountingSemaphore(bad)
+
+    def test_acquire_decrements(self):
+        s = CountingSemaphore(2)
+        s.acquire()
+        assert s.value == 1
+
+    def test_release_increments(self):
+        s = CountingSemaphore(0)
+        s.release(3)
+        assert s.value == 3
+
+    def test_acquire_blocks_at_zero(self):
+        s = CountingSemaphore(0)
+        passed = threading.Event()
+        thread = spawn(lambda: (s.acquire(), passed.set()))
+        assert not passed.wait(0.05)
+        s.release()
+        assert passed.wait(5)
+        join_all([thread])
+
+    def test_acquire_timeout(self):
+        s = CountingSemaphore(0)
+        with pytest.raises(SyncTimeout):
+            s.acquire(timeout=0.01)
+
+    def test_operand_validation(self):
+        s = CountingSemaphore(1)
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ValueError):
+                s.acquire(bad)
+            with pytest.raises(ValueError):
+                s.release(bad)
+
+    def test_context_manager(self):
+        s = CountingSemaphore(1)
+        with s:
+            assert s.value == 0
+        assert s.value == 1
+
+
+class TestMultiUnit:
+    def test_acquire_n_waits_for_n_units(self):
+        s = CountingSemaphore(1)
+        passed = threading.Event()
+        thread = spawn(lambda: (s.acquire(3), passed.set()))
+        s.release(1)
+        assert not passed.wait(0.05), "acquire(3) returned with only 2 units"
+        s.release(1)
+        assert passed.wait(5)
+        join_all([thread])
+
+    def test_no_stranding_of_large_waiter(self):
+        """release wakes all waiters so a large request is not starved
+        behind the condition variable."""
+        s = CountingSemaphore(0)
+        big_done = threading.Event()
+        small_done = threading.Event()
+        big = spawn(lambda: (s.acquire(2), big_done.set()))
+        small = spawn(lambda: (s.acquire(1), small_done.set()))
+        s.release(3)
+        assert big_done.wait(5)
+        assert small_done.wait(5)
+        join_all([big, small])
+
+
+class TestSemaphoreStress:
+    def test_producer_consumer_conservation(self):
+        s = CountingSemaphore(0)
+        produced = 400
+        consumed = []
+        lock = threading.Lock()
+
+        def consumer():
+            for _ in range(produced // 4):
+                s.acquire()
+                with lock:
+                    consumed.append(1)
+
+        consumers = [spawn(consumer) for _ in range(4)]
+        for _ in range(produced):
+            s.release()
+        join_all(consumers)
+        assert len(consumed) == produced
+        assert s.value == 0
+
+    def test_mutex_discipline(self):
+        s = CountingSemaphore(1)
+        inside = [0]
+        max_inside = [0]
+
+        def worker():
+            for _ in range(100):
+                s.acquire()
+                inside[0] += 1
+                max_inside[0] = max(max_inside[0], inside[0])
+                inside[0] -= 1
+                s.release()
+
+        threads = [spawn(worker) for _ in range(4)]
+        join_all(threads)
+        assert max_inside[0] == 1

@@ -1,0 +1,181 @@
+"""Tests for SingleAssignment variables and the bounded Channel."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.sync import (
+    AlreadyAssignedError,
+    Channel,
+    ChannelClosedError,
+    CountingSemaphore,
+    SingleAssignment,
+    SyncTimeout,
+)
+from tests.helpers import join_all, spawn
+
+
+class TestSingleAssignment:
+    def test_read_after_assign(self):
+        cell = SingleAssignment()
+        cell.assign(42)
+        assert cell.read() == 42
+        assert cell.is_assigned()
+
+    def test_double_assign_raises(self):
+        cell = SingleAssignment()
+        cell.assign(1)
+        with pytest.raises(AlreadyAssignedError):
+            cell.assign(2)
+        assert cell.read() == 1
+
+    def test_read_blocks_until_assigned(self):
+        cell = SingleAssignment()
+        results = []
+        lock = threading.Lock()
+
+        def reader():
+            value = cell.read()
+            with lock:
+                results.append(value)
+
+        threads = [spawn(reader) for _ in range(4)]
+        cell.assign("ready")
+        join_all(threads)
+        assert results == ["ready"] * 4
+
+    def test_read_timeout(self):
+        with pytest.raises(SyncTimeout):
+            SingleAssignment().read(timeout=0.01)
+
+    def test_none_is_a_valid_value(self):
+        cell = SingleAssignment()
+        cell.assign(None)
+        assert cell.read() is None
+        assert cell.is_assigned()
+
+    def test_concurrent_assign_exactly_one_wins(self):
+        cell = SingleAssignment()
+        outcomes = []
+        lock = threading.Lock()
+
+        def assigner(i):
+            try:
+                cell.assign(i)
+                with lock:
+                    outcomes.append(("ok", i))
+            except AlreadyAssignedError:
+                with lock:
+                    outcomes.append(("dup", i))
+
+        threads = [spawn(assigner, i) for i in range(8)]
+        join_all(threads)
+        winners = [i for kind, i in outcomes if kind == "ok"]
+        assert len(winners) == 1
+        assert cell.read() == winners[0]
+
+
+class TestChannel:
+    def test_capacity_validation(self):
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ValueError):
+                Channel(bad)
+
+    def test_fifo_order(self):
+        ch = Channel(capacity=4)
+        for i in range(4):
+            ch.put(i)
+        assert [ch.get() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_put_blocks_when_full(self):
+        ch = Channel(capacity=1)
+        ch.put("a")
+        blocked = threading.Event()
+        passed = threading.Event()
+
+        def producer():
+            blocked.set()
+            ch.put("b")
+            passed.set()
+
+        thread = spawn(producer)
+        blocked.wait(5)
+        assert not passed.wait(0.05)
+        assert ch.get() == "a"
+        assert passed.wait(5)
+        join_all([thread])
+        assert ch.get() == "b"
+
+    def test_get_blocks_when_empty(self):
+        ch = Channel(capacity=1)
+        got = []
+        thread = spawn(lambda: got.append(ch.get()))
+        thread.join(0.05)
+        assert not got
+        ch.put(9)
+        join_all([thread])
+        assert got == [9]
+
+    def test_get_timeout(self):
+        with pytest.raises(SyncTimeout):
+            Channel(capacity=1).get(timeout=0.01)
+
+    def test_close_then_drain(self):
+        ch = Channel(capacity=4)
+        ch.put(1)
+        ch.put(2)
+        ch.close()
+        assert ch.get() == 1
+        assert ch.get() == 2
+        with pytest.raises(ChannelClosedError):
+            ch.get()
+
+    def test_put_after_close_raises(self):
+        ch = Channel(capacity=2)
+        ch.close()
+        with pytest.raises(ChannelClosedError):
+            ch.put(1)
+
+    def test_close_is_idempotent(self):
+        ch = Channel(capacity=1)
+        ch.close()
+        ch.close()
+
+    def test_iteration_stops_at_close(self):
+        ch = Channel(capacity=8)
+        for i in range(5):
+            ch.put(i)
+        ch.close()
+        assert list(ch) == [0, 1, 2, 3, 4]
+
+    def test_multi_producer_multi_consumer_each_item_once(self):
+        """The §5.3 contrast: channel items are consumed exactly once
+        (unlike a broadcast, where every reader sees every item)."""
+        ch = Channel(capacity=8)
+        n_items = 200
+        consumed: list[int] = []
+        lock = threading.Lock()
+
+        def producer(base):
+            for i in range(n_items // 2):
+                ch.put(base + i)
+
+        def consumer():
+            for item in ch:
+                with lock:
+                    consumed.append(item)
+
+        producers = [spawn(producer, 0), spawn(producer, 1000)]
+        consumers = [spawn(consumer) for _ in range(3)]
+        join_all(producers)
+        ch.close()
+        join_all(consumers)
+        assert len(consumed) == n_items
+        assert len(set(consumed)) == n_items  # no duplicates
+
+    def test_built_on_from_scratch_semaphores(self):
+        ch = Channel(capacity=2)
+        assert isinstance(ch._slots, CountingSemaphore)
+        assert isinstance(ch._filled, CountingSemaphore)

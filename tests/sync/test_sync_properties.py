@@ -1,0 +1,96 @@
+"""Property-based tests on the substrate primitives (hypothesis)."""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sync import Channel, CountDownLatch, CountingSemaphore, Phaser
+from tests.helpers import join_all, spawn
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
+def test_channel_preserves_fifo_single_consumer(items):
+    ch: Channel[int] = Channel(capacity=max(1, len(items) // 2))
+    received: list[int] = []
+
+    def consumer():
+        for _ in items:
+            received.append(ch.get(timeout=30))
+
+    thread = spawn(consumer)
+    for item in items:
+        ch.put(item, timeout=30)
+    join_all([thread])
+    assert received == items
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30),
+    st.integers(min_value=1, max_value=4),
+)
+def test_channel_conservation_multi_consumer(items, consumers):
+    """Every item consumed exactly once regardless of consumer count."""
+    ch: Channel[int] = Channel(capacity=4)
+    received: list[int] = []
+    lock = threading.Lock()
+
+    def consumer():
+        for item in ch:
+            with lock:
+                received.append(item)
+
+    threads = [spawn(consumer) for _ in range(consumers)]
+    for item in items:
+        ch.put(item, timeout=30)
+    ch.close()
+    join_all(threads)
+    assert sorted(received) == sorted(items)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.integers(min_value=1, max_value=30),  # latch count
+    st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=30),
+)
+def test_latch_opens_iff_countdowns_cover_count(count, downs):
+    latch = CountDownLatch(count)
+    for n in downs:
+        latch.count_down(n)
+    opened = latch.count == 0
+    assert opened == (sum(downs) >= count)
+    if opened:
+        latch.await_()  # must not block
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=20))
+def test_phaser_phase_counts_completions(parties, rounds):
+    phaser = Phaser(parties)
+    for _ in range(rounds):
+        for _ in range(parties):
+            phaser.arrive()
+    assert phaser.phase == rounds
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.integers(min_value=0, max_value=10),
+    st.lists(st.integers(min_value=1, max_value=5), min_size=0, max_size=20),
+)
+def test_semaphore_value_is_conserved(initial, transfers):
+    """Acquires and releases balance exactly (single-threaded algebra)."""
+    sem = CountingSemaphore(initial)
+    held = 0
+    for n in transfers:
+        if sem.value >= n:
+            sem.acquire(n)
+            held += n
+        else:
+            sem.release(n)
+            held -= n
+    assert sem.value == initial - held

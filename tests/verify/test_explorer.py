@@ -1,0 +1,229 @@
+"""Tests for the exhaustive schedule explorer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simthread import Compute, Delay, SimCounter, SimLock, SimSemaphore
+from repro.simthread.primitives import SimBarrier, SimEvent
+from repro.verify import ExplorerProgram, explore
+
+
+class TestBasicExploration:
+    def test_single_task_single_state(self):
+        def program():
+            x = [0]
+
+            def task():
+                x[0] = 1
+                yield Delay(0)
+                x[0] += 1
+
+            return ExplorerProgram(tasks=[task()], observe=lambda: x[0])
+
+        report = explore(program)
+        assert report.deterministic
+        assert report.states == {2}
+        assert report.executions == 1
+
+    def test_two_independent_tasks_still_one_state(self):
+        def program():
+            x = [0]
+            y = [0]
+
+            def a():
+                yield Delay(0)
+                x[0] = 1
+
+            def b():
+                yield Delay(0)
+                y[0] = 1
+
+            return ExplorerProgram(tasks=[a(), b()], observe=lambda: (x[0], y[0]))
+
+        report = explore(program)
+        assert report.deterministic
+        assert report.states == {(1, 1)}
+        assert report.executions > 1  # interleavings explored
+
+    def test_order_sensitive_tasks_multiple_states(self):
+        def program():
+            x = [0]
+
+            def add():
+                yield Delay(0)
+                x[0] += 1
+
+            def double():
+                yield Delay(0)
+                x[0] *= 2
+
+            return ExplorerProgram(tasks=[add(), double()], observe=lambda: x[0])
+
+        report = explore(program)
+        assert not report.deterministic
+        assert report.states == {1, 2}
+
+    def test_deadlock_counted(self):
+        def program():
+            c = SimCounter()
+
+            def stuck():
+                yield c.check(1)
+
+            return ExplorerProgram(tasks=[stuck()], observe=lambda: None)
+
+        report = explore(program)
+        assert report.deadlocks == report.executions == 1
+        assert not report.deterministic
+
+    def test_compute_costs_ignored(self):
+        def program():
+            x = [0]
+
+            def task():
+                yield Compute(1e9)
+                x[0] = 1
+
+            return ExplorerProgram(tasks=[task()], observe=lambda: x[0])
+
+        assert explore(program).states == {1}
+
+    def test_truncation_flag(self):
+        def program():
+            def chatty():
+                for _ in range(3):
+                    yield Delay(0)
+
+            return ExplorerProgram(
+                tasks=[chatty(), chatty(), chatty()], observe=lambda: 0
+            )
+
+        report = explore(program, max_executions=2)
+        assert report.truncated
+        assert not report.deterministic
+
+    def test_unbounded_task_detected(self):
+        def program():
+            def forever():
+                while True:
+                    yield Delay(0)
+
+            return ExplorerProgram(tasks=[forever()], observe=lambda: 0)
+
+        with pytest.raises(RuntimeError, match="max_steps"):
+            explore(program, max_steps=100)
+
+
+class TestPrimitiveSemantics:
+    def test_lock_grants_explored_in_both_orders(self):
+        def program():
+            lock = SimLock()
+            order = []
+
+            def worker(i):
+                yield lock.acquire()
+                order.append(i)
+                yield lock.release()
+
+            return ExplorerProgram(
+                tasks=[worker(0), worker(1)], observe=lambda: tuple(order)
+            )
+
+        report = explore(program)
+        assert report.states == {(0, 1), (1, 0)}
+
+    def test_semaphore_bounded(self):
+        def program():
+            sem = SimSemaphore(1)
+            max_inside = [0]
+            inside = [0]
+
+            def worker():
+                yield sem.acquire()
+                inside[0] += 1
+                max_inside[0] = max(max_inside[0], inside[0])
+                yield Delay(0)
+                inside[0] -= 1
+                yield sem.release()
+
+            return ExplorerProgram(
+                tasks=[worker(), worker()], observe=lambda: max_inside[0]
+            )
+
+        assert explore(program).states == {1}
+
+    def test_event_orders_across_tasks(self):
+        def program():
+            e = SimEvent()
+            x = [0]
+
+            def setter():
+                x[0] = 5
+                yield e.set()
+
+            def waiter():
+                yield e.check()
+                x[0] += 1
+
+            return ExplorerProgram(tasks=[setter(), waiter()], observe=lambda: x[0])
+
+        report = explore(program)
+        assert report.deterministic
+        assert report.states == {6}
+
+    def test_barrier_all_parties_released(self):
+        def program():
+            b = SimBarrier(2)
+            log = []
+
+            def worker(i):
+                yield b.pass_()
+                log.append(i)
+
+            return ExplorerProgram(
+                tasks=[worker(0), worker(1)], observe=lambda: frozenset(log)
+            )
+
+        report = explore(program)
+        assert report.states == {frozenset({0, 1})}
+        assert report.deadlocks == 0
+
+    def test_barrier_release_order_is_explored(self):
+        def program():
+            b = SimBarrier(2)
+            order = []
+
+            def worker(i):
+                yield b.pass_()
+                order.append(i)
+
+            return ExplorerProgram(
+                tasks=[worker(0), worker(1)], observe=lambda: tuple(order)
+            )
+
+        assert explore(program).states == {(0, 1), (1, 0)}
+
+    def test_counter_stable_condition_no_order_branching(self):
+        """Two waiters at the same satisfied level both proceed in all
+        interleavings — no lost wakeups anywhere in the state space."""
+
+        def program():
+            c = SimCounter()
+            done = []
+
+            def incrementer():
+                yield c.increment(5)
+
+            def waiter(i):
+                yield c.check(5)
+                done.append(i)
+
+            return ExplorerProgram(
+                tasks=[incrementer(), waiter(0), waiter(1)],
+                observe=lambda: frozenset(done),
+            )
+
+        report = explore(program)
+        assert report.states == {frozenset({0, 1})}
+        assert report.deadlocks == 0
