@@ -89,7 +89,7 @@ def test_e6_real_thread_throughput(benchmark, show):
     n = 20_000
 
     def run_broadcast(block: int) -> MonotonicCounter:
-        counter = MonotonicCounter()
+        counter = MonotonicCounter(stats=True)
         bc = SingleWriterBroadcast(n, counter=counter)
         with ThreadScope() as scope:
             for _ in range(3):

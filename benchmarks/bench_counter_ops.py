@@ -24,9 +24,9 @@ from repro.bench import Table, measure, spread_waiters
 from repro.core import BroadcastCounter, MonotonicCounter
 
 FACTORIES = {
-    "linked": lambda: MonotonicCounter(strategy="linked"),
-    "heap": lambda: MonotonicCounter(strategy="heap"),
-    "broadcast": BroadcastCounter,
+    "linked": lambda: MonotonicCounter(strategy="linked", stats=True),
+    "heap": lambda: MonotonicCounter(strategy="heap", stats=True),
+    "broadcast": lambda: BroadcastCounter(stats=True),
 }
 
 
@@ -37,7 +37,7 @@ def test_e8_storage_proportional_to_levels(benchmark, show):
         caption="storage tracks L, not W (§7)",
     )
     for waiters, levels in ((16, 1), (16, 4), (64, 4), (64, 16), (128, 8), (128, 64)):
-        counter = MonotonicCounter()
+        counter = MonotonicCounter(stats=True)
         result = spread_waiters(counter, waiters=waiters, levels=levels)
         table.add_row(waiters, levels, result.max_live_levels, result.max_live_waiters)
         assert result.max_live_levels <= levels
@@ -84,9 +84,9 @@ def test_e8_wakeups_linked_vs_broadcast(benchmark, show):
         caption="counted by the implementations' own stats; linked == waiters exactly",
     )
     for levels in (1, 8, 32):
-        linked = MonotonicCounter()
+        linked = MonotonicCounter(stats=True)
         spread_waiters(linked, waiters=32, levels=levels, increment_steps=levels)
-        naive = BroadcastCounter()
+        naive = BroadcastCounter(stats=True)
         spread_waiters(naive, waiters=32, levels=levels, increment_steps=levels)
         table.add_row(levels, linked.stats.threads_woken, naive.stats.threads_woken)
         assert linked.stats.threads_woken == 32

@@ -67,7 +67,7 @@ def test_e3_sync_object_count(benchmark, show):
         caption="'the number of these objects in existence at any given time is likely to be much less than N' (§4.5)",
     )
     for n in (32, 64, 128):
-        counter = MonotonicCounter(name="kCount")
+        counter = MonotonicCounter(name="kCount", stats=True)
         edge = random_dense_graph(n, seed=1)
         shortest_paths_counter(edge, 4, counter=counter)
         table.add_row(n, n, 1, counter.stats.max_live_levels)

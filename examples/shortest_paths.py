@@ -52,7 +52,7 @@ def one_counter_replaces_n_events() -> None:
     print("== §4.5: one counter instead of N condition variables ==")
     n = 64
     edge = random_dense_graph(n, seed=7)
-    counter = MonotonicCounter(name="kCount")
+    counter = MonotonicCounter(name="kCount", stats=True)
     result = shortest_paths_counter(edge, num_threads=4, counter=counter)
     reference = shortest_paths_sequential(edge)
     assert np.allclose(result, reference)

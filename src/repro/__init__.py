@@ -48,6 +48,7 @@ from repro.core import (
     CounterProtocol,
     CounterSnapshot,
     MonotonicCounter,
+    ShardedCounter,
 )
 from repro.structured import (
     ThreadScope,
@@ -62,6 +63,7 @@ __version__ = "1.0.0"
 __all__ = [
     "MonotonicCounter",
     "BroadcastCounter",
+    "ShardedCounter",
     "Counter",
     "CounterProtocol",
     "CounterSnapshot",

@@ -25,7 +25,7 @@ import asyncio
 
 from repro.core.errors import CheckTimeout, CounterOverflowError, ResetConcurrencyError
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
-from repro.core.stats import CounterStats
+from repro.core.stats import NOOP_STATS, CounterStats
 from repro.core.validation import validate_amount, validate_level, validate_timeout
 
 __all__ = ["AsyncCounter"]
@@ -57,16 +57,23 @@ class AsyncCounter:
     2
     """
 
-    __slots__ = ("_value", "_levels", "_max_value", "_name", "stats")
+    __slots__ = ("_value", "_levels", "_max_value", "_name", "_stats_on", "stats")
 
-    def __init__(self, *, max_value: int | None = None, name: str | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        max_value: int | None = None,
+        name: str | None = None,
+        stats: bool = False,
+    ) -> None:
         if max_value is not None and (not isinstance(max_value, int) or max_value < 0):
             raise ValueError(f"max_value must be a nonnegative int or None, got {max_value!r}")
         self._value = 0
         self._levels: dict[int, _Level] = {}
         self._max_value = max_value
         self._name = name
-        self.stats = CounterStats()
+        self._stats_on = bool(stats)
+        self.stats = CounterStats() if stats else NOOP_STATS
 
     @property
     def value(self) -> int:
@@ -86,13 +93,15 @@ class AsyncCounter:
                 f"{self!r}: increment({amount}) would exceed max_value={self._max_value}"
             )
         self._value = new_value
-        self.stats.increments += 1
+        if self._stats_on:
+            self.stats.increments += 1
         if amount and self._levels:
             released = [lv for lv in self._levels if lv <= new_value]
             for lv in released:
                 node = self._levels.pop(lv)
-                self.stats.nodes_released += 1
-                self.stats.threads_woken += node.count
+                if self._stats_on:
+                    self.stats.nodes_released += 1
+                    self.stats.threads_woken += node.count
                 node.event.set()
         return new_value
 
@@ -101,18 +110,21 @@ class AsyncCounter:
         level = validate_level(level)
         timeout = validate_timeout(timeout)
         if self._value >= level:
-            self.stats.immediate_checks += 1
+            if self._stats_on:
+                self.stats.immediate_checks += 1
             return
         node = self._levels.get(level)
         if node is None:
             node = _Level(level)
             self._levels[level] = node
-            self.stats.nodes_created += 1
+            if self._stats_on:
+                self.stats.nodes_created += 1
         node.count += 1
-        self.stats.suspended_checks += 1
-        self.stats.note_levels(
-            len(self._levels), sum(n.count for n in self._levels.values())
-        )
+        if self._stats_on:
+            self.stats.suspended_checks += 1
+            self.stats.note_levels(
+                len(self._levels), sum(n.count for n in self._levels.values())
+            )
         try:
             if timeout is None:
                 await node.event.wait()
@@ -121,7 +133,8 @@ class AsyncCounter:
                     await asyncio.wait_for(asyncio.shield(node.event.wait()), timeout)
                 except asyncio.TimeoutError:
                     if not node.event.is_set():
-                        self.stats.timeouts += 1
+                        if self._stats_on:
+                            self.stats.timeouts += 1
                         raise CheckTimeout(
                             f"{self!r}: check({level}) timed out after {timeout}s "
                             f"(value={self._value})"

@@ -1,0 +1,124 @@
+"""The asyncio twin of :class:`repro.core.sharded.ShardedCounter`.
+
+Under a single-threaded event loop there is no lock contention, so the
+lock-striping half of the sharded design is moot — the counter reduces to
+one shard.  What survives the translation is the *batching* half: an
+:class:`AsyncShardedCounter` accumulates increments in a pending tally and
+publishes into its inner :class:`~repro.aio.counter.AsyncCounter` only
+when the batch threshold is reached, so the per-increment release scan
+(and waiter bookkeeping) is paid once per ``batch`` increments.
+
+The reconciliation rules mirror the thread version exactly: ``check``
+drains before suspending, ``value``/``flush`` drain on demand, and while
+any waiter is suspended every increment publishes immediately.  Because
+the loop is cooperative there is no registration race to defend against —
+a waiter's level is recorded synchronously before it awaits, and every
+subsequent ``increment`` sees it.
+
+Keeping the two classes API-identical means code written against the
+sharded counter can move between the thread and coroutine runtimes
+unchanged — the same §8 portability claim the plain counters demonstrate.
+"""
+
+from __future__ import annotations
+
+from repro.aio.counter import AsyncCounter
+from repro.core.snapshot import CounterSnapshot
+from repro.core.validation import validate_amount, validate_level, validate_timeout
+
+__all__ = ["AsyncShardedCounter"]
+
+
+class AsyncShardedCounter:
+    """Batched-increment monotonic counter for coroutines.
+
+    >>> import asyncio
+    >>> async def demo():
+    ...     c = AsyncShardedCounter(batch=4)
+    ...     for _ in range(3):
+    ...         c.increment(1)       # below batch: stays pending
+    ...     return c.value           # reconciling read
+    >>> asyncio.run(demo())
+    3
+    """
+
+    __slots__ = ("_inner", "_pending", "_batch", "_name")
+
+    def __init__(self, *, batch: int = 64, name: str | None = None, stats: bool = False) -> None:
+        if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:
+            raise ValueError(f"batch must be a positive int, got {batch!r}")
+        self._inner = AsyncCounter(name=name, stats=stats)
+        self._pending = 0
+        self._batch = batch
+        self._name = name
+
+    @property
+    def value(self) -> int:
+        """The exact global value (reconciling: publishes pending first)."""
+        self._drain()
+        return self._inner.value
+
+    @property
+    def published(self) -> int:
+        """The inner counter's value — a lower bound on the total."""
+        return self._inner.value
+
+    @property
+    def pending(self) -> int:
+        """The unpublished tally."""
+        return self._pending
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount``; return a lower bound on the new global value.
+
+        Publishes into the inner counter when the batch threshold is
+        reached or any coroutine is suspended in ``check`` (so wakeups are
+        never delayed by batching); otherwise the amount stays pending and
+        the inner (stale, lower-bound) value is returned.
+        """
+        amount = validate_amount(amount)
+        self._pending += amount
+        if self._pending >= self._batch or self._inner._levels:
+            return self._drain()
+        return self._inner.value
+
+    async def check(self, level: int, timeout: float | None = None) -> None:
+        """Suspend the calling coroutine until the global value reaches ``level``."""
+        level = validate_level(level)
+        timeout = validate_timeout(timeout)
+        # Published value is a monotone lower bound: if it already
+        # satisfies the level, skip the reconciling drain.
+        if self._inner.value < level:
+            self._drain()
+        await self._inner.check(level, timeout=timeout)
+
+    def flush(self) -> int:
+        """Publish the pending tally; return the exact value."""
+        return self._drain()
+
+    def reset(self) -> None:
+        """Reset to zero; refuses while any coroutine is suspended."""
+        self._drain()
+        self._inner.reset()
+
+    @property
+    def stats(self):
+        """The inner counter's stats (``increments`` counts publications)."""
+        return self._inner.stats
+
+    def snapshot(self) -> CounterSnapshot:
+        """The inner counter's state (pending tally not included)."""
+        return self._inner.snapshot()
+
+    def _drain(self) -> int:
+        pending, self._pending = self._pending, 0
+        if pending:
+            return self._inner.increment(pending)
+        return self._inner.value
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"<AsyncShardedCounter{label} published={self._inner.value} "
+            f"pending={self._pending} batch={self._batch}>"
+        )

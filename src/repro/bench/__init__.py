@@ -1,7 +1,21 @@
-"""Benchmark harness utilities: tables, timing, counter stress workloads."""
+"""Benchmark harness utilities: tables, timing, counter stress workloads.
+
+``python -m repro.bench.counter_ops`` runs the counter-ops ops/sec series
+and records ``BENCH_counter_ops.json`` (see :mod:`repro.bench.counter_ops`).
+"""
 
 from repro.bench.tables import Table
 from repro.bench.timing import Timing, measure
 from repro.bench.workloads import SpreadResult, spread_waiters
 
-__all__ = ["Table", "Timing", "measure", "SpreadResult", "spread_waiters"]
+__all__ = ["Table", "Timing", "measure", "SpreadResult", "spread_waiters", "run_counter_ops"]
+
+
+def __getattr__(name):
+    # Lazy: an eager import here would make ``python -m repro.bench.counter_ops``
+    # warn about the module already being in sys.modules before runpy executes it.
+    if name == "run_counter_ops":
+        from repro.bench.counter_ops import run_counter_ops
+
+        return run_counter_ops
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

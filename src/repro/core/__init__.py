@@ -7,6 +7,8 @@ Public surface:
   variables).
 * :class:`~repro.core.counter.BroadcastCounter` — naive single-queue
   baseline for ablation.
+* :class:`~repro.core.sharded.ShardedCounter` — striped-increment variant
+  for increment-heavy many-producer workloads.
 * :class:`~repro.core.api.CounterProtocol` / ``AbstractCounter`` — the
   structural contract shared with the simulator and instrumented variants.
 * Snapshots (:class:`~repro.core.snapshot.CounterSnapshot`) and stats
@@ -24,14 +26,16 @@ from repro.core.errors import (
     ResetConcurrencyError,
 )
 from repro.core.multiwait import barrier_levels, check_all, checkpoint
+from repro.core.sharded import ShardedCounter
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
-from repro.core.stats import CounterStats
+from repro.core.stats import NOOP_STATS, CounterStats, NoopStats
 
 __all__ = [
     "AbstractCounter",
     "CounterProtocol",
     "MonotonicCounter",
     "BroadcastCounter",
+    "ShardedCounter",
     "Counter",
     "CounterError",
     "CounterValueError",
@@ -41,6 +45,8 @@ __all__ = [
     "CounterSnapshot",
     "WaitNodeSnapshot",
     "CounterStats",
+    "NoopStats",
+    "NOOP_STATS",
     "check_all",
     "checkpoint",
     "barrier_levels",

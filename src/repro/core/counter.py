@@ -9,9 +9,11 @@ This is the paper's §7 implementation, transliterated to
 * each node owning its own condition variable (sharing the counter lock),
   a waiter count, and a *set* flag.
 
-``check(level)`` with ``level <= value`` returns immediately; otherwise it
-finds-or-inserts the node for ``level``, bumps its count, and waits on the
-node's condition.  ``increment(amount)`` bumps the value, unlinks every
+``check(level)`` with ``level <= value`` returns immediately — by default
+from a lock-free read of the value, sound because the enabling condition
+is *stable* (the value never decreases, so a stale satisfied read can
+never be wrong later).  Otherwise it finds-or-inserts the node for
+``level``, bumps its count, and waits on the node's condition.  ``increment(amount)`` bumps the value, unlinks every
 node whose level the new value reaches, sets each node's flag and wakes all
 its waiters.  The last waiter to leave a node "deallocates" it (drops the
 final reference).  Storage and per-op time are O(L) in the number of
@@ -37,9 +39,9 @@ from typing import Literal
 from repro.core.api import AbstractCounter
 from repro.core.errors import CheckTimeout, CounterOverflowError, ResetConcurrencyError
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
-from repro.core.stats import CounterStats
+from repro.core.stats import NOOP_STATS, CounterStats
 from repro.core.validation import validate_amount, validate_level, validate_timeout
-from repro.core.waitlist import HeapWaitList, LinkedWaitList, WaitList
+from repro.core.waitlist import HeapWaitList, LinkedWaitList, WaitList, WaitNode
 
 __all__ = ["MonotonicCounter", "BroadcastCounter", "Counter"]
 
@@ -71,9 +73,33 @@ class MonotonicCounter(AbstractCounter):
         value unchanged.
     name:
         Optional label used in ``repr`` and error messages.
+    stats:
+        ``False`` (default) carries the shared
+        :data:`~repro.core.stats.NOOP_STATS` null object and pays zero
+        bookkeeping; ``True`` keeps full
+        :class:`~repro.core.stats.CounterStats` tallies (benchmarks,
+        tests).
+    fast_path:
+        ``True`` (default) lets an already-satisfied ``check`` return from
+        an unsynchronized read of the value without ever touching the
+        lock.  ``False`` forces every ``check`` through the lock — the
+        pre-optimization behavior, kept selectable so the benchmark
+        harness can measure what the fast path buys.
     """
 
-    __slots__ = ("_lock", "_value", "_waiters", "_draining", "_max_value", "_name", "stats")
+    __slots__ = (
+        "_lock",
+        "_value",
+        "_waiters",
+        "_draining",
+        "_max_value",
+        "_name",
+        "_stats_on",
+        "_fast_path",
+        "_live_levels",
+        "_live_waiters",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -81,14 +107,17 @@ class MonotonicCounter(AbstractCounter):
         strategy: WaitListStrategy = "linked",
         max_value: int | None = None,
         name: str | None = None,
+        stats: bool = False,
+        fast_path: bool = True,
     ) -> None:
         self._lock = threading.Lock()
         self._value = 0
         # Nodes released by an increment whose waiters have not all resumed
         # yet — the "set" nodes of Figure 2 (e)/(f).  Kept only so that
         # snapshots can reproduce the figure; the last waiter out drops the
-        # node (the paper's deallocation point).
-        self._draining: list = []
+        # node (the paper's deallocation point).  Keyed by node identity so
+        # removal is O(1) instead of an O(n) list scan.
+        self._draining: dict[int, WaitNode] = {}
         if strategy == "linked":
             self._waiters: WaitList = LinkedWaitList(self._lock)
         elif strategy == "heap":
@@ -99,8 +128,16 @@ class MonotonicCounter(AbstractCounter):
             raise ValueError(f"max_value must be a nonnegative int or None, got {max_value!r}")
         self._max_value = max_value
         self._name = name
-        #: Lifetime operation statistics (see :class:`repro.core.stats.CounterStats`).
-        self.stats = CounterStats()
+        self._fast_path = bool(fast_path)
+        # Live-level / live-waiter counts, maintained incrementally so the
+        # suspend path's high-water bookkeeping is O(1) instead of the
+        # former O(L) ``len(waiters)`` / ``sum(node.count ...)`` scans.
+        self._live_levels = 0
+        self._live_waiters = 0
+        self._stats_on = bool(stats)
+        #: Lifetime operation statistics (:class:`repro.core.stats.CounterStats`
+        #: when ``stats=True``, else the shared all-zero null object).
+        self.stats = CounterStats() if stats else NOOP_STATS
 
     # ------------------------------------------------------------------ API
 
@@ -120,32 +157,55 @@ class MonotonicCounter(AbstractCounter):
                     f"{self!r}: increment({amount}) would exceed max_value={self._max_value}"
                 )
             self._value = new_value
-            self.stats.increments += 1
-            if amount:
+            if self._stats_on:
+                self.stats.increments += 1
+            # Uncontended fast path: with no live waiting level the release
+            # scan cannot find anything, so skip it entirely.
+            if amount and self._live_levels:
                 for node in self._waiters.release_through(new_value):
-                    self.stats.nodes_released += 1
-                    self.stats.threads_woken += node.count
+                    self._live_levels -= 1
+                    self._live_waiters -= node.count
+                    if self._stats_on:
+                        self.stats.nodes_released += 1
+                        self.stats.threads_woken += node.count
                     node.signal()
                     if node.count:
-                        self._draining.append(node)
+                        self._draining[id(node)] = node
             return new_value
 
     def check(self, level: int, timeout: float | None = None) -> None:
         """Suspend the calling thread until ``value >= level``."""
         level = validate_level(level)
         timeout = validate_timeout(timeout)
+        # Lock-free fast path.  Soundness rests on stability (§6): the value
+        # only ever increases (there is no decrement, and reset() contractually
+        # requires quiescence), and every write happens before the lock is
+        # released.  So if this *unsynchronized, possibly stale* read already
+        # shows value >= level, the condition held at some earlier moment and
+        # — being stable — holds now and forever: returning without the lock
+        # is safe.  A stale read can only err in the other direction, sending
+        # us to the locked slow path, which re-tests under the lock.
+        if self._fast_path and self._value >= level:
+            if self._stats_on:
+                # Racy bump by design: losing an occasional immediate-check
+                # tally is preferable to re-serializing the fast path.
+                self.stats.immediate_checks += 1
+            return
         with self._lock:
             if self._value >= level:
-                self.stats.immediate_checks += 1
+                if self._stats_on:
+                    self.stats.immediate_checks += 1
                 return
             node = self._waiters.find_or_insert(level)
             if node.count == 0 and not node.signaled:
-                self.stats.nodes_created += 1
+                self._live_levels += 1
+                if self._stats_on:
+                    self.stats.nodes_created += 1
             node.count += 1
-            self.stats.suspended_checks += 1
-            self.stats.note_levels(
-                len(self._waiters), sum(n.count for n in self._waiters)
-            )
+            self._live_waiters += 1
+            if self._stats_on:
+                self.stats.suspended_checks += 1
+                self.stats.note_levels(self._live_levels, self._live_waiters)
             try:
                 if timeout is None:
                     while not node.signaled:
@@ -157,25 +217,28 @@ class MonotonicCounter(AbstractCounter):
                         if remaining <= 0 or not node.condition.wait(remaining):
                             if node.signaled:
                                 break
-                            self.stats.timeouts += 1
+                            if self._stats_on:
+                                self.stats.timeouts += 1
                             raise CheckTimeout(
                                 f"{self!r}: check({level}) timed out after {timeout}s "
                                 f"(value={self._value})"
                             )
             finally:
                 node.count -= 1
-                if node.count == 0:
-                    if node.signaled:
+                if node.signaled:
+                    # Released by an increment, which already removed the
+                    # node (and its waiters) from the live tallies.
+                    if node.count == 0:
                         # Last waiter out of a released node deallocates it
                         # (Figure 2 (f) -> (g)).
-                        try:
-                            self._draining.remove(node)
-                        except ValueError:  # pragma: no cover - defensive
-                            pass
-                    else:
-                        # Timed out as the level's last waiter: reclaim the
-                        # node so storage stays proportional to live levels.
-                        self._waiters.discard_if_empty(node)
+                        self._draining.pop(id(node), None)
+                else:
+                    # Timed out (or interrupted) while still parked.
+                    self._live_waiters -= 1
+                    if node.count == 0 and self._waiters.discard_if_empty(node):
+                        # Reclaimed the level's node so storage stays
+                        # proportional to live levels.
+                        self._live_levels -= 1
 
     def reset(self) -> None:
         """Reset the value to zero for reuse between algorithm phases.
@@ -203,7 +266,7 @@ class MonotonicCounter(AbstractCounter):
         list, which never overlaps them.
         """
         with self._lock:
-            draining = sorted(self._draining, key=lambda node: node.level)
+            draining = sorted(self._draining.values(), key=lambda node: node.level)
             return CounterSnapshot(
                 value=self._value,
                 nodes=tuple(node.snapshot() for node in draining)
@@ -230,15 +293,22 @@ class BroadcastCounter(AbstractCounter):
     reference implementation for differential testing.
     """
 
-    __slots__ = ("_cond", "_value", "_max_value", "_name", "_waiting", "stats")
+    __slots__ = ("_cond", "_value", "_max_value", "_name", "_waiting", "_stats_on", "stats")
 
-    def __init__(self, *, max_value: int | None = None, name: str | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        max_value: int | None = None,
+        name: str | None = None,
+        stats: bool = False,
+    ) -> None:
         self._cond = threading.Condition()
         self._value = 0
         self._max_value = max_value
         self._name = name
         self._waiting = 0
-        self.stats = CounterStats()
+        self._stats_on = bool(stats)
+        self.stats = CounterStats() if stats else NOOP_STATS
 
     @property
     def value(self) -> int:
@@ -254,9 +324,11 @@ class BroadcastCounter(AbstractCounter):
                     f"{self!r}: increment({amount}) would exceed max_value={self._max_value}"
                 )
             self._value = new_value
-            self.stats.increments += 1
+            if self._stats_on:
+                self.stats.increments += 1
             if amount and self._waiting:
-                self.stats.threads_woken += self._waiting
+                if self._stats_on:
+                    self.stats.threads_woken += self._waiting
                 self._cond.notify_all()
             return new_value
 
@@ -265,11 +337,13 @@ class BroadcastCounter(AbstractCounter):
         timeout = validate_timeout(timeout)
         with self._cond:
             if self._value >= level:
-                self.stats.immediate_checks += 1
+                if self._stats_on:
+                    self.stats.immediate_checks += 1
                 return
-            self.stats.suspended_checks += 1
             self._waiting += 1
-            self.stats.note_levels(1, self._waiting)
+            if self._stats_on:
+                self.stats.suspended_checks += 1
+                self.stats.note_levels(1, self._waiting)
             try:
                 if timeout is None:
                     while self._value < level:
@@ -281,7 +355,8 @@ class BroadcastCounter(AbstractCounter):
                         if remaining <= 0 or not self._cond.wait(remaining):
                             if self._value >= level:
                                 break
-                            self.stats.timeouts += 1
+                            if self._stats_on:
+                                self.stats.timeouts += 1
                             raise CheckTimeout(
                                 f"{self!r}: check({level}) timed out after {timeout}s "
                                 f"(value={self._value})"

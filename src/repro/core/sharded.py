@@ -1,0 +1,253 @@
+"""A sharded monotonic counter for increment-heavy many-producer workloads.
+
+:class:`~repro.core.counter.MonotonicCounter` serializes every operation on
+one lock.  That is the right trade for ``check``-heavy coordination, but in
+fan-in workloads — many producer threads each calling ``increment(1)`` at
+high rate, few consumers occasionally waiting on a level — the single lock
+becomes the bottleneck: every producer convoys through it even though no
+wakeup work is pending.
+
+:class:`ShardedCounter` splits the *increment* side across S shards, each
+with its own lock and a small pending tally, striped over threads by their
+id (the classic "sloppy"/striped-counter design: Linux per-CPU counters,
+JDK ``LongAdder``).  Increments touch only their shard and *batch*: the
+shard publishes its pending sum into a central
+:class:`~repro.core.counter.MonotonicCounter` only when it reaches the
+batch threshold — one lock acquisition and one release scan per ``batch``
+increments instead of per increment.
+
+``check``/``value`` reconcile: they drain every shard into the central
+counter first, then delegate, so the blocking semantics of §2 are
+preserved exactly.  Monotonicity is what makes the deferral sound — a
+pending amount can only *raise* the eventual value, so holding it back
+never wakes anyone early; it can only delay wakeups, and the
+waiter-presence flush below bounds that delay.
+
+No lost wakeups: a checker registers itself (``_checkers``) *before*
+draining, and a producer reads ``_checkers`` *after* adding to its shard,
+both under the shard lock that the drain also takes.  So for any pending
+amount, either the drain saw it, or the producer's critical section ran
+after the drain's — in which case the producer observed the checker's
+registration and flushed eagerly itself.  While any checker is present,
+every increment publishes immediately (batching switches off), so a
+suspended ``check`` is woken by the increment that reaches its level, just
+as with the plain counter.
+
+The price of the deferral: ``increment`` returns a *lower bound* on the
+new global value (the central published value) rather than the exact
+total, unless its own batch flushed (``batch=1`` restores exact,
+fully-synchronous semantics).  There is deliberately no ``max_value``:
+overflow policing needs the exact global value on every increment, which
+is precisely the serialization sharding exists to avoid.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.core.api import AbstractCounter
+from repro.core.counter import MonotonicCounter, WaitListStrategy
+from repro.core.snapshot import CounterSnapshot
+from repro.core.validation import validate_amount, validate_level, validate_timeout
+
+__all__ = ["ShardedCounter"]
+
+#: Knuth's multiplicative-hash constant; thread ids are pointer-aligned
+#: (low bits constant), so they are mixed before the shard modulus.
+_MIX = 0x9E3779B1
+
+
+class _Shard:
+    """One increment stripe: a private lock and an unpublished tally."""
+
+    __slots__ = ("lock", "pending")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.pending = 0
+
+
+class ShardedCounter(AbstractCounter):
+    """Striped-increment monotonic counter with a reconciling check path.
+
+    Example
+    -------
+    >>> from repro.core.sharded import ShardedCounter
+    >>> c = ShardedCounter(batch=4)
+    >>> for _ in range(3):
+    ...     _ = c.increment(1)     # below batch: stays in the shard
+    >>> c.value                    # reconciling read drains the shards
+    3
+    >>> c.check(2)                 # already satisfied: returns immediately
+
+    Parameters
+    ----------
+    shards:
+        Number of increment stripes; defaults to the CPU count, capped at
+        16 (more stripes than cores only adds reconcile work).
+    batch:
+        Pending threshold at which a shard publishes into the central
+        counter.  ``1`` publishes every increment (exact, synchronous
+        semantics); larger values amortize the central lock over more
+        increments at the cost of ``increment`` returning a stale lower
+        bound between flushes.
+    strategy / name / stats:
+        Forwarded to the central :class:`MonotonicCounter`.
+    """
+
+    __slots__ = (
+        "_central",
+        "_shards",
+        "_nshards",
+        "_batch",
+        "_checkers",
+        "_checkers_lock",
+        "_local",
+        "_name",
+    )
+
+    def __init__(
+        self,
+        *,
+        shards: int | None = None,
+        batch: int = 64,
+        strategy: WaitListStrategy = "linked",
+        name: str | None = None,
+        stats: bool = False,
+    ) -> None:
+        if shards is None:
+            shards = min(os.cpu_count() or 4, 16)
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise ValueError(f"shards must be a positive int, got {shards!r}")
+        if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:
+            raise ValueError(f"batch must be a positive int, got {batch!r}")
+        self._central = MonotonicCounter(strategy=strategy, name=name, stats=stats)
+        self._shards = tuple(_Shard() for _ in range(shards))
+        self._nshards = shards
+        self._batch = batch
+        self._checkers = 0
+        self._checkers_lock = threading.Lock()
+        # Per-thread shard cache: resolving the stripe once per thread is
+        # measurably cheaper than hashing get_ident() on every increment.
+        self._local = threading.local()
+        self._name = name
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def value(self) -> int:
+        """The exact global value (reconciling: drains every shard first)."""
+        self._drain()
+        return self._central.value
+
+    @property
+    def published(self) -> int:
+        """The central counter's value — a lock-free lower bound on the total."""
+        return self._central._value
+
+    @property
+    def pending(self) -> int:
+        """Racy sum of unpublished shard tallies (diagnostic only)."""
+        return sum(shard.pending for shard in self._shards)
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` via this thread's shard; return a lower bound.
+
+        The return value is the exact new global value whenever this call
+        flushed its shard (always true for ``batch=1``), otherwise the
+        central published value — a lower bound that later reconciliation
+        will only raise.
+        """
+        amount = validate_amount(amount)
+        try:
+            shard = self._local.shard
+        except AttributeError:
+            shard = self._local.shard = self._shards[
+                (threading.get_ident() * _MIX) % self._nshards
+            ]
+        flush = 0
+        with shard.lock:
+            shard.pending += amount
+            # Read _checkers inside the shard lock: the drain in check()
+            # takes this same lock, so either it already collected this
+            # pending amount, or we are ordered after its registration and
+            # see _checkers > 0 here — the no-lost-wakeup argument above.
+            if shard.pending >= self._batch or self._checkers:
+                flush, shard.pending = shard.pending, 0
+        if flush:
+            return self._central.increment(flush)
+        return self._central._value
+
+    def check(self, level: int, timeout: float | None = None) -> None:
+        """Suspend the calling thread until the global value reaches ``level``."""
+        level = validate_level(level)
+        timeout = validate_timeout(timeout)
+        # The published value is a monotone lower bound on the global
+        # total, so a stale read that already satisfies the level is
+        # conclusive — same soundness argument as the central counter's
+        # lock-free fast path, inlined to skip checker registration, the
+        # shard drain, and a second round of operand validation.
+        central = self._central
+        if central._value >= level:
+            if central._stats_on:
+                central.stats.immediate_checks += 1
+            return
+        with self._checkers_lock:
+            self._checkers += 1
+        try:
+            self._drain()
+            self._central.check(level, timeout)
+        finally:
+            with self._checkers_lock:
+                self._checkers -= 1
+
+    def flush(self) -> int:
+        """Publish every shard's pending tally; return the exact value."""
+        self._drain()
+        return self._central.value
+
+    def reset(self) -> None:
+        """Reset to zero for reuse between phases (quiescence required)."""
+        self._drain()
+        self._central.reset()
+
+    # -------------------------------------------------------- introspection
+
+    @property
+    def stats(self):
+        """The central counter's stats (shard-local activity is invisible
+        until flushed; ``increments`` counts *publications*, not calls)."""
+        return self._central.stats
+
+    def snapshot(self) -> CounterSnapshot:
+        """The central counter's state; unflushed shard tallies are not
+        included (use :meth:`flush` first for an exact picture)."""
+        return self._central.snapshot()
+
+    @property
+    def waiting_levels(self) -> tuple[int, ...]:
+        return self._central.waiting_levels
+
+    # ---------------------------------------------------------------- internals
+
+    def _drain(self) -> None:
+        """Collect every shard's pending tally and publish it centrally.
+
+        One central ``increment`` for the combined total: a single lock
+        acquisition and release scan regardless of shard count.
+        """
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                pending, shard.pending = shard.pending, 0
+            total += pending
+        if total:
+            self._central.increment(total)
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"<ShardedCounter{label} published={self._central._value} "
+            f"shards={self._nshards} batch={self._batch}>"
+        )

@@ -2,16 +2,23 @@
 
 The complexity claims of §7 (storage and per-operation time proportional to
 the number of *distinct waiting levels*, not to the number of waiting
-threads) are quantified by benchmark E8.  Counters therefore keep a few
-cheap integer tallies; collection costs one attribute bump per event and is
-always on.
+threads) are quantified by benchmark E8.  Counters can keep a few cheap
+integer tallies for that purpose — but the tallies are themselves a
+scalability tax on the hot paths (every ``increment``/``check`` pays
+attribute bumps, and a shared tally is a cache-line everyone contends on).
+
+Collection is therefore **opt-in**: counters are constructed with
+``stats=False`` by default and carry the shared :data:`NOOP_STATS`
+null object, whose every tally reads zero and whose recording hooks do
+nothing.  Benchmarks and tests that verify the §7 observables pass
+``stats=True`` to get a live :class:`CounterStats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CounterStats"]
+__all__ = ["CounterStats", "NoopStats", "NOOP_STATS"]
 
 
 @dataclass(slots=True)
@@ -23,6 +30,15 @@ class CounterStats:
     ``nodes_created`` counts wait-node allocations (one per *new* distinct
     waiting level), and ``max_live_levels`` is the high-water mark of
     simultaneously existing wait nodes — the L in the paper's O(L) bounds.
+
+    Counters bump these tallies only when constructed with ``stats=True``;
+    with the default ``stats=False`` they hold the :data:`NOOP_STATS`
+    null object instead, so production paths pay zero bookkeeping.
+
+    Note on accuracy: a counter's lock-free ``check`` fast path records
+    ``immediate_checks`` outside the lock, so under heavy contention the
+    tally may slightly undercount (lost read-modify-write races).  All
+    other tallies are updated under the counter lock and are exact.
     """
 
     increments: int = 0
@@ -34,6 +50,9 @@ class CounterStats:
     threads_woken: int = 0
     max_live_levels: int = 0
     max_live_waiters: int = 0
+
+    #: Distinguishes a live stats object from :data:`NOOP_STATS`.
+    enabled = True
 
     @property
     def checks(self) -> int:
@@ -60,3 +79,42 @@ class CounterStats:
             max_live_levels=self.max_live_levels,
             max_live_waiters=self.max_live_waiters,
         )
+
+
+class NoopStats:
+    """Null-object stats: every tally reads 0, every hook is a no-op.
+
+    Counters constructed with ``stats=False`` (the default) share the
+    single :data:`NOOP_STATS` instance, so code that only *reads*
+    ``counter.stats`` keeps working unchanged while the counter itself
+    skips all bookkeeping.  Instances are immutable by construction
+    (``__slots__ = ()`` and all tallies are class attributes).
+    """
+
+    __slots__ = ()
+
+    increments = 0
+    immediate_checks = 0
+    suspended_checks = 0
+    timeouts = 0
+    nodes_created = 0
+    nodes_released = 0
+    threads_woken = 0
+    max_live_levels = 0
+    max_live_waiters = 0
+    checks = 0
+    enabled = False
+
+    def note_levels(self, live_levels: int, live_waiters: int) -> None:
+        pass
+
+    def snapshot(self) -> CounterStats:
+        """An (all-zero) detached :class:`CounterStats` copy."""
+        return CounterStats()
+
+    def __repr__(self) -> str:
+        return "<NoopStats>"
+
+
+#: The shared null-stats instance carried by every ``stats=False`` counter.
+NOOP_STATS = NoopStats()

@@ -95,11 +95,14 @@ class LinkedWaitList:
     invariant by calling :meth:`release_through` inside every increment).
     """
 
-    __slots__ = ("_lock", "_head")
+    __slots__ = ("_lock", "_head", "_size")
 
     def __init__(self, lock: threading.Lock) -> None:
         self._lock = lock
         self._head: WaitNode | None = None
+        # Node count, maintained incrementally so ``len()`` is O(1) —
+        # ``reset()`` and the stats hot path call it on every operation.
+        self._size = 0
 
     def find_or_insert(self, level: int) -> WaitNode:
         prev: WaitNode | None = None
@@ -114,6 +117,7 @@ class LinkedWaitList:
             self._head = fresh
         else:
             prev.next = fresh
+        self._size += 1
         return fresh
 
     def release_through(self, value: int) -> list[WaitNode]:
@@ -125,6 +129,7 @@ class LinkedWaitList:
         if released:
             self._head = node
             released[-1].next = None
+            self._size -= len(released)
         return released
 
     def discard_if_empty(self, node: WaitNode) -> bool:
@@ -141,15 +146,11 @@ class LinkedWaitList:
         else:
             prev.next = cur.next
         cur.next = None
+        self._size -= 1
         return True
 
     def __len__(self) -> int:
-        n = 0
-        node = self._head
-        while node is not None:
-            n += 1
-            node = node.next
-        return n
+        return self._size
 
     def __iter__(self) -> Iterator[WaitNode]:
         node = self._head

@@ -103,7 +103,7 @@ class TestAsyncSuspension:
 
     def test_storage_proportional_to_levels(self):
         async def scenario():
-            c = AsyncCounter()
+            c = AsyncCounter(stats=True)
             tasks = [
                 asyncio.ensure_future(c.check((i % 3) + 1)) for i in range(12)
             ]

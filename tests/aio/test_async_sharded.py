@@ -1,0 +1,128 @@
+"""AsyncShardedCounter: batching under a cooperative event loop."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.aio import AsyncCounter, AsyncShardedCounter
+from repro.core import CheckTimeout, CounterValueError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBatching:
+    def test_increments_stay_pending_below_batch(self):
+        async def scenario():
+            c = AsyncShardedCounter(batch=8)
+            for _ in range(5):
+                c.increment(1)
+            assert c.published == 0
+            assert c.pending == 5
+            assert c.value == 5      # reconciling read
+            assert c.pending == 0
+
+        run(scenario())
+
+    def test_batch_threshold_publishes(self):
+        async def scenario():
+            c = AsyncShardedCounter(batch=4)
+            assert c.increment(3) == 0
+            assert c.increment(1) == 4
+            assert c.flush() == 4
+
+        run(scenario())
+
+    def test_constructor_validated(self):
+        with pytest.raises(ValueError):
+            AsyncShardedCounter(batch=0)
+
+    def test_operands_validated(self):
+        async def scenario():
+            c = AsyncShardedCounter()
+            with pytest.raises(CounterValueError):
+                c.increment(-1)
+            with pytest.raises(CounterValueError):
+                await c.check(-1)
+
+        run(scenario())
+
+
+class TestCheckSemantics:
+    def test_check_sees_unflushed_increments(self):
+        async def scenario():
+            c = AsyncShardedCounter(batch=1_000)
+            c.increment(5)
+            await c.check(5, timeout=1)   # reconciles instead of timing out
+
+        run(scenario())
+
+    def test_suspended_check_woken_despite_batching(self):
+        async def scenario():
+            c = AsyncShardedCounter(batch=1_000_000)
+            task = asyncio.ensure_future(c.check(10))
+            await asyncio.sleep(0)
+            for _ in range(10):
+                c.increment(1)            # waiter present: publishes eagerly
+            await asyncio.wait_for(task, timeout=5)
+            assert c.value == 10
+
+        run(scenario())
+
+    def test_check_timeout(self):
+        async def scenario():
+            c = AsyncShardedCounter(batch=1)
+            c.increment(1)
+            with pytest.raises(CheckTimeout):
+                await c.check(99, timeout=0.01)
+
+        run(scenario())
+
+    def test_reset_and_reuse(self):
+        async def scenario():
+            c = AsyncShardedCounter(batch=4)
+            c.increment(3)
+            c.reset()
+            assert c.value == 0
+            c.increment(2)
+            assert c.value == 2
+
+        run(scenario())
+
+
+class TestDifferentialWithPlainAsyncCounter:
+    def test_same_script_same_values(self):
+        async def scenario():
+            import random
+
+            rng = random.Random(7)
+            amounts = [rng.randrange(0, 4) for _ in range(200)]
+            total = sum(amounts)
+            plain = AsyncCounter()
+            batched = AsyncShardedCounter(batch=16)
+            running = 0
+            for amount in amounts:
+                plain.increment(amount)
+                batched.increment(amount)
+                running += amount
+                assert plain.value == running
+                assert batched.value == running   # reconciling
+            await plain.check(total)
+            await batched.check(total)
+            assert plain.value == batched.value == total
+
+        run(scenario())
+
+    def test_stats_delegation(self):
+        async def scenario():
+            c = AsyncShardedCounter(batch=1, stats=True)
+            c.increment(2)
+            await c.check(1)
+            assert c.stats.enabled
+            assert c.stats.increments == 1
+            assert AsyncShardedCounter().stats.enabled is False
+
+        run(scenario())

@@ -1,0 +1,52 @@
+"""Smoke tests for the counter-ops bench harness (quick sizes)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.counter_ops import FACTORIES, main, run_counter_ops
+
+
+@pytest.fixture(scope="module")
+def doc():
+    """One shared quick run (the harness itself is what's under test)."""
+    return run_counter_ops(quick=True)
+
+
+class TestRunCounterOps:
+    def test_quick_run_produces_all_series(self, doc):
+        assert doc["bench"] == "counter_ops"
+        assert doc["quick"] is True
+        assert set(doc["series"]) == {
+            "immediate_check",
+            "uncontended_increment",
+            "contended_increment",
+            "fan_in_wakeup",
+        }
+        for series in ("immediate_check", "uncontended_increment"):
+            assert set(doc["series"][series]) == set(FACTORIES)
+            for entry in doc["series"][series].values():
+                assert entry["ops_per_sec"] > 0
+                assert entry["mean_s"] > 0
+        assert doc["derived"]["immediate_check_fast_path_speedup"] > 0
+
+    def test_fan_in_covers_blocking_implementations(self, doc):
+        assert set(doc["series"]["fan_in_wakeup"]) == {
+            "linked",
+            "heap",
+            "broadcast",
+            "sharded",
+        }
+
+
+class TestMain:
+    def test_main_writes_json_log(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_counter_ops.json"
+        assert main(["--quick", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == 1
+        assert "immediate_check" in doc["series"]
+        printed = capsys.readouterr().out
+        assert "fast path vs locked seed path" in printed

@@ -12,7 +12,7 @@ import asyncio
 
 import pytest
 
-from repro.core import BroadcastCounter, CounterProtocol, MonotonicCounter
+from repro.core import BroadcastCounter, CounterProtocol, MonotonicCounter, ShardedCounter
 from repro.determinism import DeterminismChecker
 
 
@@ -42,8 +42,11 @@ def make_async_adapter():
 
 IMPLEMENTATIONS = {
     "linked": lambda: MonotonicCounter(strategy="linked"),
+    "linked-locked": lambda: MonotonicCounter(strategy="linked", fast_path=False),
     "heap": lambda: MonotonicCounter(strategy="heap"),
     "broadcast": BroadcastCounter,
+    # batch=1 publishes every increment: exact, fully synchronous semantics.
+    "sharded": lambda: ShardedCounter(batch=1),
     "traced": lambda: DeterminismChecker().counter("c"),
     "async-adapter": make_async_adapter,
 }

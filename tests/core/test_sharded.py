@@ -1,0 +1,194 @@
+"""ShardedCounter: batching semantics, reconciliation, and differentials.
+
+The sharded counter trades exact per-increment publication for striped,
+batched increments.  What must survive the trade:
+
+* ``check`` blocks and wakes exactly like the plain counter (reconciling
+  drain + eager flush while checkers are present — no lost wakeups);
+* ``value``/``flush`` always produce the exact global total;
+* randomized op sequences land every implementation on the same value.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import (
+    BroadcastCounter,
+    CheckTimeout,
+    CounterValueError,
+    MonotonicCounter,
+    ShardedCounter,
+)
+from tests.helpers import join_all, spawn, wait_until
+
+
+class TestBatching:
+    def test_increments_stay_pending_below_batch(self):
+        c = ShardedCounter(batch=8, shards=2)
+        for _ in range(5):
+            c.increment(1)
+        assert c.published == 0
+        assert c.pending == 5
+        assert c.value == 5          # reconciling read drains
+        assert c.pending == 0
+        assert c.published == 5
+
+    def test_batch_threshold_publishes(self):
+        c = ShardedCounter(batch=4, shards=1)
+        assert c.increment(3) == 0   # lower bound: still pending
+        assert c.increment(1) == 4   # batch reached: exact value back
+        assert c.published == 4
+
+    def test_batch_one_is_exact_and_synchronous(self):
+        c = ShardedCounter(batch=1, shards=4)
+        assert c.increment(2) == 2
+        assert c.increment() == 3
+        assert c.published == 3
+
+    def test_flush_returns_exact_total(self):
+        c = ShardedCounter(batch=100)
+        c.increment(7)
+        assert c.flush() == 7
+        assert c.flush() == 7        # idempotent when nothing is pending
+
+    def test_large_amount_flushes_immediately(self):
+        c = ShardedCounter(batch=16)
+        assert c.increment(50) == 50
+
+    def test_increment_zero_is_a_noop(self):
+        c = ShardedCounter(batch=1)
+        assert c.increment(0) == 0
+        assert c.value == 0
+
+
+class TestCheckSemantics:
+    def test_check_sees_unflushed_increments(self):
+        c = ShardedCounter(batch=1_000)
+        c.increment(5)
+        c.check(5, timeout=5)        # must reconcile, not time out
+        assert c.published == 5
+
+    def test_suspended_check_woken_despite_batching(self):
+        """The lost-wakeup scenario: a parked checker, producers whose
+        increments never reach the batch threshold."""
+        c = ShardedCounter(batch=1_000_000, shards=2)
+        done = threading.Semaphore(0)
+        t = spawn(lambda: (c.check(10, timeout=30), done.release()))
+        wait_until(lambda: c.snapshot().total_waiters == 1)
+        producers = [spawn(lambda: [c.increment(1) for _ in range(5)]) for _ in range(2)]
+        assert done.acquire(timeout=30)
+        join_all(producers + [t])
+        assert c.value == 10
+
+    def test_immediate_check_after_publication(self):
+        c = ShardedCounter(batch=1)
+        c.increment(3)
+        c.check(3)
+        c.check(0)
+
+    def test_check_timeout(self):
+        c = ShardedCounter(batch=1)
+        c.increment(1)
+        with pytest.raises(CheckTimeout):
+            c.check(99, timeout=0.01)
+
+    def test_reset_and_reuse(self):
+        c = ShardedCounter(batch=4)
+        c.increment(3)
+        c.reset()
+        assert c.value == 0
+        c.increment(2)
+        assert c.value == 2
+
+
+class TestValidation:
+    def test_operands_validated(self):
+        c = ShardedCounter()
+        with pytest.raises(CounterValueError):
+            c.increment(-1)
+        with pytest.raises(CounterValueError):
+            c.check(-1)
+        with pytest.raises(CounterValueError):
+            c.check(0, timeout="soon")
+
+    def test_constructor_validated(self):
+        with pytest.raises(ValueError):
+            ShardedCounter(shards=0)
+        with pytest.raises(ValueError):
+            ShardedCounter(batch=0)
+        with pytest.raises(ValueError):
+            ShardedCounter(shards=True)
+
+    def test_repr_shows_shape(self):
+        c = ShardedCounter(shards=3, batch=7, name="fanin")
+        assert "fanin" in repr(c)
+        assert "shards=3" in repr(c)
+        assert "batch=7" in repr(c)
+
+
+class TestDifferential:
+    """Randomized op sequences: every implementation, same final state."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sequential_op_sequences_agree(self, seed):
+        rng = random.Random(seed)
+        amounts = [rng.randrange(0, 5) for _ in range(300)]
+        total = sum(amounts)
+        check_levels = [rng.randrange(0, total + 1) for _ in range(40)]
+
+        implementations = {
+            "linked": MonotonicCounter(strategy="linked"),
+            "heap": MonotonicCounter(strategy="heap"),
+            "broadcast": BroadcastCounter(),
+            "sharded-1": ShardedCounter(batch=1),
+            "sharded-16": ShardedCounter(batch=16, shards=3),
+            "sharded-big": ShardedCounter(batch=10_000),
+        }
+        finals = {}
+        for name, impl in implementations.items():
+            running = 0
+            for amount in amounts:
+                impl.increment(amount)
+                running += amount
+                # Reconciling read must match the exact running total.
+                assert impl.value == running, name
+            for level in check_levels:
+                impl.check(level, timeout=5)  # all satisfied: no timeout
+            finals[name] = impl.value
+        assert set(finals.values()) == {total}
+
+    @pytest.mark.parametrize("batch", [1, 8, 1_000])
+    def test_threaded_producers_agree_with_plain_counter(self, batch):
+        """P producers × N increments, C checkers on the final total: the
+        sharded counter must land on the same value and wake everyone."""
+        producers, per_producer = 4, 250
+        total = producers * per_producer
+        reference = MonotonicCounter()
+        sharded = ShardedCounter(batch=batch, shards=4)
+        for impl in (reference, sharded):
+            done = threading.Semaphore(0)
+            checkers = [
+                spawn(lambda lv=lv: (impl.check(lv, timeout=30), done.release()))
+                for lv in (1, total // 2, total)
+            ]
+            threads = [
+                spawn(lambda: [impl.increment(1) for _ in range(per_producer)])
+                for _ in range(producers)
+            ]
+            for _ in range(3):
+                assert done.acquire(timeout=30)
+            join_all(threads + checkers)
+            assert impl.value == total
+
+    def test_stats_delegation(self):
+        c = ShardedCounter(batch=1, stats=True)
+        c.increment(2)
+        c.check(1)
+        assert c.stats.enabled
+        assert c.stats.increments == 1   # publications, not calls
+        assert c.stats.immediate_checks >= 1
+        assert ShardedCounter().stats.enabled is False

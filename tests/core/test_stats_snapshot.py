@@ -13,7 +13,7 @@ from tests.helpers import join_all, spawn, wait_until
 
 class TestCounterStats:
     def test_increment_and_immediate_check_tallies(self):
-        c = MonotonicCounter()
+        c = MonotonicCounter(stats=True)
         c.increment(5)
         c.increment(2)
         c.check(3)
@@ -24,7 +24,7 @@ class TestCounterStats:
         assert c.stats.checks == 2
 
     def test_suspended_check_and_node_tallies(self):
-        c = MonotonicCounter()
+        c = MonotonicCounter(stats=True)
         threads = [spawn(lambda: c.check(5)) for _ in range(3)]
         threads.append(spawn(lambda: c.check(9)))
         wait_until(lambda: c.snapshot().total_waiters == 4)
@@ -40,13 +40,13 @@ class TestCounterStats:
     def test_timeout_tally(self):
         from repro.core import CheckTimeout
 
-        c = MonotonicCounter()
+        c = MonotonicCounter(stats=True)
         with pytest.raises(CheckTimeout):
             c.check(1, timeout=0.01)
         assert c.stats.timeouts == 1
 
     def test_stats_snapshot_is_detached(self):
-        c = MonotonicCounter()
+        c = MonotonicCounter(stats=True)
         c.increment(1)
         frozen = c.stats.snapshot()
         c.increment(1)

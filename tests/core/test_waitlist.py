@@ -110,3 +110,43 @@ class TestDiscardIfEmpty:
         heap.discard_if_empty(node)  # leaves a lazy heap entry behind
         released = heap.release_through(10)
         assert [n.level for n in released] == [5]
+
+
+class TestLenIsMaintainedIncrementally:
+    """``len()`` is O(1) (a maintained count); it must stay consistent
+    with the walked structure through arbitrary churn."""
+
+    def test_len_consistent_through_churn(self, waitlist):
+        import random
+
+        rng = random.Random(42)
+        live = {}
+        for _ in range(500):
+            op = rng.randrange(3)
+            if op == 0:
+                level = rng.randrange(1, 40)
+                node = waitlist.find_or_insert(level)
+                live[level] = node
+            elif op == 1 and live:
+                value = rng.randrange(1, 40)
+                for node in waitlist.release_through(value):
+                    del live[node.level]
+            elif op == 2 and live:
+                level = rng.choice(sorted(live))
+                if waitlist.discard_if_empty(live[level]):
+                    del live[level]
+            assert len(waitlist) == len(live)
+            assert len(waitlist) == sum(1 for _ in waitlist)
+
+    def test_find_existing_does_not_grow_len(self, waitlist):
+        waitlist.find_or_insert(5)
+        waitlist.find_or_insert(5)
+        waitlist.find_or_insert(5)
+        assert len(waitlist) == 1
+
+    def test_failed_discard_does_not_shrink_len(self, waitlist):
+        node = waitlist.find_or_insert(5)
+        node.count = 1
+        waitlist.discard_if_empty(node)
+        waitlist.release_through(10)
+        assert len(waitlist) == 0

@@ -154,7 +154,7 @@ class TestEndToEndApplications:
         sim_result = sim_floyd_warshall(n, threads, "counter")
         sim_checks = sum(stats.sync_ops for stats in sim_result.tasks.values())
 
-        counter = MonotonicCounter()
+        counter = MonotonicCounter(stats=True)
         from repro.apps.floyd_warshall import shortest_paths_counter
         from repro.apps.graphs import random_dense_graph
 
