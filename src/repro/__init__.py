@@ -48,7 +48,9 @@ from repro.core import (
     CounterProtocol,
     CounterSnapshot,
     MonotonicCounter,
+    MultiWait,
     ShardedCounter,
+    WaitPolicy,
 )
 from repro.structured import (
     ThreadScope,
@@ -69,6 +71,8 @@ __all__ = [
     "CounterSnapshot",
     "CounterError",
     "CheckTimeout",
+    "MultiWait",
+    "WaitPolicy",
     "multithreaded",
     "multithreaded_for",
     "block_range",

@@ -8,7 +8,14 @@ so hybrid programs share one monotone value.
 """
 
 from repro.aio.bridge import CounterBridge
-from repro.aio.counter import AsyncCounter
+from repro.aio.counter import AsyncCounter, AsyncCounterSubscription
+from repro.aio.multiwait import AsyncMultiWait
 from repro.aio.sharded import AsyncShardedCounter
 
-__all__ = ["AsyncCounter", "AsyncShardedCounter", "CounterBridge"]
+__all__ = [
+    "AsyncCounter",
+    "AsyncCounterSubscription",
+    "AsyncMultiWait",
+    "AsyncShardedCounter",
+    "CounterBridge",
+]

@@ -22,24 +22,63 @@ cross-thread signalling into a loop, use
 from __future__ import annotations
 
 import asyncio
+from typing import Callable
 
 from repro.core.errors import CheckTimeout, CounterOverflowError, ResetConcurrencyError
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
 from repro.core.stats import NOOP_STATS, CounterStats
 from repro.core.validation import validate_amount, validate_level, validate_timeout
 
-__all__ = ["AsyncCounter"]
+__all__ = ["AsyncCounter", "AsyncCounterSubscription"]
 
 
 class _Level:
     """One distinct waiting level: count of waiters + its wakeup event."""
 
-    __slots__ = ("level", "count", "event")
+    __slots__ = ("level", "count", "event", "subscribers")
 
     def __init__(self, level: int) -> None:
         self.level = level
         self.count = 0
         self.event = asyncio.Event()
+        self.subscribers: list[Callable[[], None]] | None = None
+
+
+class AsyncCounterSubscription:
+    """Handle for one level-reached notification on an :class:`AsyncCounter`.
+
+    Same contract as :class:`repro.core.counter.CounterSubscription`, in
+    cooperative form (no locks needed — all mutation happens between
+    awaits on one event loop).
+    """
+
+    __slots__ = ("_counter", "_node", "_callback", "_cancelled")
+
+    def __init__(
+        self, counter: "AsyncCounter", node: _Level, callback: Callable[[], None]
+    ) -> None:
+        self._counter = counter
+        self._node = node
+        self._callback = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Deregister the callback (no-op if it already fired)."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        node = self._node
+        subscribers = node.subscribers
+        if node.event.is_set() or subscribers is None:
+            return
+        try:
+            subscribers.remove(self._callback)
+        except ValueError:
+            return
+        if node.count == 0 and not subscribers:
+            levels = self._counter._levels
+            if levels.get(node.level) is node:
+                del levels[node.level]
 
 
 class AsyncCounter:
@@ -103,6 +142,11 @@ class AsyncCounter:
                     self.stats.nodes_released += 1
                     self.stats.threads_woken += node.count
                 node.event.set()
+                subscribers = node.subscribers
+                if subscribers:
+                    node.subscribers = None
+                    for callback in subscribers:
+                        callback()
         return new_value
 
     async def check(self, level: int, timeout: float | None = None) -> None:
@@ -141,10 +185,38 @@ class AsyncCounter:
                         ) from None
         finally:
             node.count -= 1
-            if node.count == 0 and not node.event.is_set():
-                # Last waiter timed out/cancelled: reclaim the level so
-                # storage stays proportional to live waiting levels.
+            if node.count == 0 and not node.event.is_set() and not node.subscribers:
+                # Last waiter timed out/cancelled and no subscriptions are
+                # outstanding: reclaim the level so storage stays
+                # proportional to live waiting levels.
                 self._levels.pop(level, None)
+
+    def subscribe(
+        self, level: int, callback: Callable[[], None]
+    ) -> AsyncCounterSubscription | None:
+        """Register ``callback`` to fire once when ``value >= level``.
+
+        Returns ``None`` — without invoking the callback — when the level
+        is already satisfied, else an :class:`AsyncCounterSubscription`.
+        The callback runs synchronously inside the ``increment`` call that
+        reaches the level; it must be quick and must not raise.  This is
+        the hook :class:`repro.aio.multiwait.AsyncMultiWait` is built on.
+        """
+        level = validate_level(level)
+        if not callable(callback):
+            raise TypeError(f"callback must be callable, got {callback!r}")
+        if self._value >= level:
+            return None
+        node = self._levels.get(level)
+        if node is None:
+            node = _Level(level)
+            self._levels[level] = node
+            if self._stats_on:
+                self.stats.nodes_created += 1
+        if node.subscribers is None:
+            node.subscribers = []
+        node.subscribers.append(callback)
+        return AsyncCounterSubscription(self, node, callback)
 
     def reset(self) -> None:
         """Reset to zero; refuses while any coroutine is suspended."""

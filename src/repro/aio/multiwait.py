@@ -1,0 +1,143 @@
+"""Waiting on several async counters at once — the MultiWait twin.
+
+Cooperative counterpart of :class:`repro.core.multiwait.MultiWait`: one
+subscription per ``(counter, level)`` condition, one ``asyncio.Event``
+to park on, satisfactions delivered synchronously by the ``increment``
+calls that reach the levels.  The same stability argument makes it
+correct: a satisfied condition can never unsatisfy, so accumulating
+indices into a set and testing "all present" / "any present" needs no
+retry choreography.
+
+The ``wait_any`` determinism caveat from the thread-side module applies
+unchanged: observing *which* condition fired first is a scheduler
+choice; programs needing the paper's determinism guarantees should use
+``wait_all`` or a shared counter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable, Sequence
+
+from repro.aio.counter import AsyncCounter
+from repro.core.errors import CheckTimeout
+from repro.core.validation import validate_level, validate_timeout
+
+__all__ = ["AsyncMultiWait"]
+
+Condition = tuple[AsyncCounter, int]
+
+
+class AsyncMultiWait:
+    """Park a coroutine once for N async-counter conditions.
+
+    Conditions are indexed by their position in the constructor
+    argument.  Always :meth:`close` (or use as an ``with`` block — the
+    context manager is synchronous, registration and cancellation never
+    await) so unfired subscriptions are deregistered:
+
+    >>> import asyncio
+    >>> from repro.aio import AsyncCounter, AsyncMultiWait
+    >>> async def demo():
+    ...     a, b = AsyncCounter(), AsyncCounter()
+    ...     with AsyncMultiWait([(a, 1), (b, 1)]) as mw:
+    ...         a.increment(1)
+    ...         b.increment(1)
+    ...         await mw.wait_all()
+    ...     return sorted(mw.satisfied)
+    >>> asyncio.run(demo())
+    [0, 1]
+    """
+
+    __slots__ = ("_pairs", "_satisfied", "_subs", "_event", "_closed")
+
+    def __init__(self, conditions: Iterable[Condition]) -> None:
+        pairs: Sequence[Condition] = list(conditions)
+        for counter, level in pairs:
+            validate_level(level)
+            if not callable(getattr(counter, "subscribe", None)):
+                raise TypeError(f"{counter!r} does not support subscribe()")
+        self._pairs = pairs
+        self._satisfied: set[int] = set()
+        self._subs: list = []
+        self._event = asyncio.Event()
+        self._closed = False
+        for index, (counter, level) in enumerate(pairs):
+            subscription = counter.subscribe(level, self._make_callback(index))
+            if subscription is None:
+                self._satisfied.add(index)
+            else:
+                self._subs.append(subscription)
+
+    def _make_callback(self, index: int):
+        def fire() -> None:
+            self._satisfied.add(index)
+            self._event.set()
+
+        return fire
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def satisfied(self) -> frozenset[int]:
+        """Indices of the conditions known satisfied so far."""
+        return frozenset(self._satisfied)
+
+    async def wait_all(self, timeout: float | None = None) -> None:
+        """Suspend until every condition has been satisfied."""
+        await self._wait(lambda: len(self._satisfied) == len(self._pairs), timeout, "all")
+
+    async def wait_any(self, timeout: float | None = None) -> frozenset[int]:
+        """Suspend until at least one condition is satisfied; return the
+        frozenset of indices satisfied at wake time (see module docstring
+        for the determinism caveat)."""
+        await self._wait(lambda: bool(self._satisfied), timeout, "any")
+        return frozenset(self._satisfied)
+
+    async def _wait(self, done, timeout: float | None, mode: str) -> None:
+        timeout = validate_timeout(timeout)
+        if self._closed:
+            raise RuntimeError("AsyncMultiWait is closed")
+        if timeout is None:
+            while not done():
+                self._event.clear()
+                await self._event.wait()
+            return
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while not done():
+            self._event.clear()
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise CheckTimeout(
+                    f"AsyncMultiWait.wait_{mode}: timed out after {timeout}s "
+                    f"({len(self._satisfied)}/{len(self._pairs)} satisfied)"
+                )
+            try:
+                # Cancelling Event.wait() is side-effect free, so no shield
+                # is needed (and a shielded waiter would linger as a pending
+                # task after every expiry).
+                await asyncio.wait_for(self._event.wait(), remaining)
+            except asyncio.TimeoutError:
+                if done():
+                    return
+                raise CheckTimeout(
+                    f"AsyncMultiWait.wait_{mode}: timed out after {timeout}s "
+                    f"({len(self._satisfied)}/{len(self._pairs)} satisfied)"
+                ) from None
+
+    def close(self) -> None:
+        """Cancel unfired subscriptions; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        subs, self._subs = self._subs, []
+        for subscription in subs:
+            subscription.cancel()
+
+    def __enter__(self) -> "AsyncMultiWait":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

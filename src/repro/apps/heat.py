@@ -116,13 +116,20 @@ def heat_ragged(
     Thread ``p`` (1-based, with pseudo-threads 0 and P+1 preloaded for the
     constant boundary cells) runs, per step ``t``:
 
-    1. ``c[p-1].check(2t-2)``, read left edge; ``c[p+1].check(2t-2)``,
-       read right edge — neighbours have *written* step t-1;
+    1. wait for ``c[p-1] >= 2t-2`` AND ``c[p+1] >= 2t-2`` (one batched
+       :meth:`~repro.patterns.ragged.RaggedBarrier.wait_for_all`), then
+       read both edges — neighbours have *written* step t-1;
     2. ``c[p].increment(1)`` — "my reads are done" (value ``2t-1``);
     3. compute the new block locally;
-    4. ``c[p-1].check(2t-1)``, ``c[p+1].check(2t-1)`` — neighbours have
-       *read* my step t-1 edge values;
+    4. wait for ``c[p-1] >= 2t-1`` AND ``c[p+1] >= 2t-1`` (batched) —
+       neighbours have *read* my step t-1 edge values;
     5. write the block, ``c[p].increment(1)`` (value ``2t``).
+
+    Deferring the left-edge read until after both waits (the paper's
+    listing interleaves wait/read per neighbour) is safe: the left
+    neighbour cannot overwrite its step t-1 edge until it passes its own
+    step-4 wait on ``c[p] >= 2t-1``, which this thread has not announced
+    yet.
     """
     state, threads = _validate(initial, steps, num_threads)
     interior = state.shape[0] - 2
@@ -136,9 +143,8 @@ def heat_ragged(
         lo, hi = block.start + 1, block.stop + 1
         local = state[lo:hi].copy()
         for t in range(1, steps + 1):
-            ragged.wait_for(p - 1, 2 * t - 2)
+            ragged.wait_for_all([(p - 1, 2 * t - 2), (p + 1, 2 * t - 2)])
             left = state[lo - 1]
-            ragged.wait_for(p + 1, 2 * t - 2)
             right = state[hi]
             ragged.advance(p)
             new_local = update(
@@ -146,8 +152,7 @@ def heat_ragged(
                 local,
                 np.concatenate((local[1:], [right])),
             )
-            ragged.wait_for(p - 1, 2 * t - 1)
-            ragged.wait_for(p + 1, 2 * t - 1)
+            ragged.wait_for_all([(p - 1, 2 * t - 1), (p + 1, 2 * t - 1)])
             state[lo:hi] = new_local
             local = new_local
             ragged.advance(p)

@@ -33,13 +33,18 @@ def lcs_length_sequential(a: str, b: str) -> int:
     return int(lcs_table(a, b)[len(a), len(b)])
 
 
-def lcs_length_wavefront(a: str, b: str, *, num_threads: int = 4, col_block: int = 8) -> int:
+def lcs_length_wavefront(
+    a: str, b: str, *, num_threads: int = 4, col_block: int = 8, sync_tile: int = 1
+) -> int:
     """LCS length with the DP grid computed by a counter wavefront.
 
     Row ``i`` of the table is owned by one thread; the thread above must
     have finished a column block (announced on its counter) before the
     thread below computes the same columns — cell (i, j) then has all
-    three of its dependencies.
+    three of its dependencies.  ``sync_tile`` forwards to
+    :func:`~repro.patterns.wavefront.wavefront_run`: handle that many
+    column blocks per synchronization round (one coarser ``check`` plus
+    one batched ``increment`` each).
     """
     if not a or not b:
         return 0
@@ -54,6 +59,11 @@ def lcs_length_wavefront(a: str, b: str, *, num_threads: int = 4, col_block: int
             table[ti, tj] = max(table[ti - 1, tj], table[ti, tj - 1])
 
     wavefront_run(
-        len(a), len(b), cell, num_threads=num_threads, col_block=col_block
+        len(a),
+        len(b),
+        cell,
+        num_threads=num_threads,
+        col_block=col_block,
+        sync_tile=sync_tile,
     )
     return int(table[len(a), len(b)])

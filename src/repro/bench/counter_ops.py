@@ -14,11 +14,36 @@ repo root in CI) so successive PRs accumulate a recorded perf trajectory:
   where :class:`~repro.core.sharded.ShardedCounter`'s striped batching
   pays off.
 * ``fan_in_wakeup`` — park W threads over L levels, release with a stepped
-  sweep (the E8b shape), end to end.
+  sweep, re-park and release again for E episodes over one persistent
+  thread pool (the E8b shape with the thread-spawn cost amortized away,
+  so the number measures the park → release → wake path itself).
+* ``handoff_pingpong`` — two threads in strict alternation, each
+  incrementing its own counter and checking the other's, so every
+  roundtrip crosses the wakeup path twice and neither side can run
+  ahead.  ``linked`` is the build-dependent default policy (park-only
+  under the GIL); ``linked_spin`` forces the spin-then-park policy.  On
+  GIL builds the spin variant *loses* — a spinner holds the interpreter
+  away from the incrementer, while a parked thread is woken promptly by
+  the condvar signal — which is exactly why the default keys on the
+  build.
+* ``multiwait_join`` — one consumer joining N flow-controlled producers
+  every round: subscription-based
+  :class:`~repro.core.multiwait.MultiWait` versus the sequential check
+  loop.  Sequential wins this one-shot-join shape (stability satisfies
+  the remaining conditions while the consumer parks on the first, so it
+  parks ~once and pays no per-round subscription setup) — recorded to
+  keep the ``check_all`` strategy choice honest.
+
+Every run *appends* one line to ``BENCH_counter_ops.history.jsonl``
+(keyed by git SHA and timestamp) in addition to overwriting the latest
+snapshot, so speedups and regressions across PRs stay inspectable, and
+``--compare-to BASELINE.json`` turns the run into a regression gate.
 
 Usage::
 
     PYTHONPATH=src python -m repro.bench.counter_ops [--quick] [--out PATH]
+        [--history PATH | --no-history] [--label TEXT] [--timestamp TS]
+        [--compare-to BASELINE.json] [--tolerance 0.3]
 
 ``--quick`` shrinks every size so a CI smoke run finishes in seconds.
 """
@@ -29,6 +54,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import threading
 import time
@@ -37,18 +63,28 @@ from typing import Callable
 from repro.bench.tables import Table
 from repro.bench.timing import measure
 from repro.bench.workloads import spread_waiters
-from repro.core import BroadcastCounter, MonotonicCounter, ShardedCounter
+from repro.core import (
+    SPIN_THEN_PARK,
+    BroadcastCounter,
+    MonotonicCounter,
+    MultiWait,
+    ShardedCounter,
+)
 
-__all__ = ["run_counter_ops", "main"]
+__all__ = ["run_counter_ops", "compare", "main"]
 
-SCHEMA = 1
+SCHEMA = 2
 
 #: The counter configurations every series is run against.  ``linked`` is
-#: the optimized default; ``linked_locked`` reproduces the seed's behavior
+#: the optimized default (park-only under the GIL, spin-then-park on
+#: free-threaded builds); ``linked_spin`` forces the adaptive
+#: spin-then-park policy so both sides of the build-dependent default are
+#: always measured; ``linked_locked`` reproduces the seed's behavior
 #: (every check through the lock, stats bookkeeping always on) so the
 #: fast-path speedup is measured on the same machine in the same run.
 FACTORIES: dict[str, Callable[[], object]] = {
     "linked": lambda: MonotonicCounter(strategy="linked"),
+    "linked_spin": lambda: MonotonicCounter(strategy="linked", policy=SPIN_THEN_PARK),
     "linked_locked": lambda: MonotonicCounter(strategy="linked", fast_path=False, stats=True),
     "heap": lambda: MonotonicCounter(strategy="heap"),
     "broadcast": lambda: BroadcastCounter(),
@@ -56,7 +92,13 @@ FACTORIES: dict[str, Callable[[], object]] = {
 }
 
 #: Implementations that make sense for the blocking fan-in series.
-FAN_IN = ("linked", "heap", "broadcast", "sharded")
+FAN_IN = ("linked", "linked_spin", "heap", "broadcast", "sharded")
+
+#: Implementations raced in the ping-pong handoff series.
+HANDOFF = ("linked", "linked_spin", "broadcast")
+
+#: Series the --compare-to regression gate inspects.
+GATED_SERIES = ("fan_in_wakeup", "immediate_check")
 
 
 def _sizes(quick: bool) -> dict[str, int]:
@@ -68,6 +110,10 @@ def _sizes(quick: bool) -> dict[str, int]:
             "contended_ops_per_thread": 500,
             "fan_in_waiters": 8,
             "fan_in_levels": 4,
+            "fan_in_episodes": 3,
+            "handoff_roundtrips": 300,
+            "multiwait_counters": 4,
+            "multiwait_rounds": 50,
             "repeats": 2,
         }
     return {
@@ -77,6 +123,10 @@ def _sizes(quick: bool) -> dict[str, int]:
         "contended_ops_per_thread": 25_000,
         "fan_in_waiters": 64,
         "fan_in_levels": 16,
+        "fan_in_episodes": 8,
+        "handoff_roundtrips": 6_000,
+        "multiwait_counters": 8,
+        "multiwait_rounds": 500,
         "repeats": 5,
     }
 
@@ -139,15 +189,93 @@ def _bench_contended_increment(
 
 
 def _bench_fan_in(
-    factory: Callable[[], object], waiters: int, levels: int, repeats: int
+    factory: Callable[[], object], waiters: int, levels: int, episodes: int, repeats: int
 ) -> float:
     return measure(
         lambda: spread_waiters(
-            factory(), waiters=waiters, levels=levels, increment_steps=levels
+            factory(),
+            waiters=waiters,
+            levels=levels,
+            increment_steps=levels,
+            episodes=episodes,
         ),
         repeats=repeats,
         warmup=1,
     ).mean
+
+
+def _bench_handoff(factory: Callable[[], object], roundtrips: int, repeats: int) -> float:
+    """Strict ping-pong over two counters.
+
+    Each side increments its own counter and then checks the other's at
+    the same level, so neither side can run ahead: every roundtrip is
+    two genuine cross-thread handoffs through the wait path.  (An
+    earlier shape let the producer blast ahead of a chasing consumer —
+    that rewards park-batching, not handoff latency.)
+    """
+
+    def run() -> None:
+        ping, pong = factory(), factory()
+        start = threading.Barrier(2)
+
+        def partner() -> None:
+            start.wait()
+            for i in range(1, roundtrips + 1):
+                ping.check(i)
+                pong.increment(1)
+
+        thread = threading.Thread(target=partner, daemon=True)
+        thread.start()
+        start.wait()
+        for i in range(1, roundtrips + 1):
+            ping.increment(1)
+            pong.check(i)
+        thread.join()
+
+    return measure(run, repeats=repeats, warmup=1).mean
+
+
+def _bench_multiwait(
+    n_counters: int, rounds: int, repeats: int, *, subscription: bool
+) -> float:
+    """One consumer joining N producers every round.
+
+    Producers are flow-controlled by a ``done`` counter (each blocks
+    until the consumer finishes the round it just fed), so the join is
+    exercised every round instead of degenerating into N fast-path
+    checks against a producer that raced ahead.
+    """
+
+    def run() -> None:
+        counters = [MonotonicCounter() for _ in range(n_counters)]
+        done = MonotonicCounter()
+        start = threading.Barrier(n_counters + 1)
+
+        def producer(counter) -> None:
+            start.wait()
+            for round_ in range(1, rounds + 1):
+                counter.increment(1)
+                done.check(round_)
+
+        pool = [
+            threading.Thread(target=producer, args=(counter,), daemon=True)
+            for counter in counters
+        ]
+        for thread in pool:
+            thread.start()
+        start.wait()
+        for round_ in range(1, rounds + 1):
+            if subscription:
+                with MultiWait([(counter, round_) for counter in counters]) as multi:
+                    multi.wait_all()
+            else:
+                for counter in counters:
+                    counter.check(round_)
+            done.increment(1)
+        for thread in pool:
+            thread.join()
+
+    return measure(run, repeats=repeats, warmup=1).mean
 
 
 def run_counter_ops(*, quick: bool = False) -> dict:
@@ -183,18 +311,47 @@ def run_counter_ops(*, quick: bool = False) -> dict:
         )
         for name in ("linked", "heap", "broadcast", "sharded")
     }
+    fan_in_ops = sizes["fan_in_waiters"] * sizes["fan_in_episodes"]
     series["fan_in_wakeup"] = {
         name: _series_entry(
-            sizes["fan_in_waiters"],
+            fan_in_ops,
             _bench_fan_in(
-                FACTORIES[name], sizes["fan_in_waiters"], sizes["fan_in_levels"], repeats
+                FACTORIES[name],
+                sizes["fan_in_waiters"],
+                sizes["fan_in_levels"],
+                sizes["fan_in_episodes"],
+                repeats,
             ),
         )
         for name in FAN_IN
     }
+    series["handoff_pingpong"] = {
+        name: _series_entry(
+            sizes["handoff_roundtrips"],
+            _bench_handoff(FACTORIES[name], sizes["handoff_roundtrips"], repeats),
+        )
+        for name in HANDOFF
+    }
+    multiwait_ops = sizes["multiwait_counters"] * sizes["multiwait_rounds"]
+    series["multiwait_join"] = {
+        variant: _series_entry(
+            multiwait_ops,
+            _bench_multiwait(
+                sizes["multiwait_counters"],
+                sizes["multiwait_rounds"],
+                repeats,
+                subscription=(variant == "subscription"),
+            ),
+        )
+        for variant in ("subscription", "sequential")
+    }
 
     fast = series["immediate_check"]["linked"]["ops_per_sec"]
     locked = series["immediate_check"]["linked_locked"]["ops_per_sec"]
+    spin = series["handoff_pingpong"]["linked_spin"]["ops_per_sec"]
+    default = series["handoff_pingpong"]["linked"]["ops_per_sec"]
+    subscription = series["multiwait_join"]["subscription"]["ops_per_sec"]
+    sequential = series["multiwait_join"]["sequential"]["ops_per_sec"]
     return {
         "bench": "counter_ops",
         "schema": SCHEMA,
@@ -208,8 +365,89 @@ def run_counter_ops(*, quick: bool = False) -> dict:
         "series": series,
         "derived": {
             "immediate_check_fast_path_speedup": fast / locked if locked else float("inf"),
+            # < 1 on GIL builds (spinning starves the incrementer), > 1
+            # expected free-threaded — the reason DEFAULT_WAIT_POLICY
+            # keys on the build.
+            "handoff_spin_vs_default": spin / default if default else float("inf"),
+            # < 1 in this one-shot-join shape (see module docstring) —
+            # the reason check_all stays sequential.
+            "multiwait_subscription_vs_sequential": (
+                subscription / sequential if sequential else float("inf")
+            ),
         },
     }
+
+
+def git_describe() -> dict[str, object]:
+    """Current commit SHA (with a ``-dirty`` marker) for the history key.
+
+    Best-effort: outside a git checkout both fields degrade gracefully.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True, timeout=10,
+        ).stdout.strip()
+        dirty = bool(
+            subprocess.run(
+                ["git", "status", "--porcelain"],
+                capture_output=True, text=True, check=True, timeout=10,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.SubprocessError):
+        return {"sha": None, "dirty": None}
+    return {"sha": sha, "dirty": dirty}
+
+
+def append_history(doc: dict, path: str, *, label: str | None = None) -> dict:
+    """Append one trajectory point for ``doc`` to the JSONL file at ``path``.
+
+    The entry carries the full result document plus the git SHA it was
+    produced at, so ``grep sha BENCH_counter_ops.history.jsonl`` (or any
+    JSONL tooling) can reconstruct the per-PR perf trajectory.
+    """
+    entry = dict(git_describe())
+    if label:
+        entry["label"] = label
+    entry.update(doc)
+    with open(path, "a", encoding="utf-8") as fh:
+        json.dump(entry, fh, sort_keys=True)
+        fh.write("\n")
+    return entry
+
+
+def compare(doc: dict, baseline: dict, *, tolerance: float = 0.3) -> list[str]:
+    """Regression-gate ``doc`` against ``baseline``; return failure messages.
+
+    Checks every implementation of every series in :data:`GATED_SERIES`
+    that both documents carry: new ops/sec below ``(1 - tolerance)`` of
+    the baseline's is a regression.  Raises :class:`ValueError` when the
+    documents are not comparable (different sizes or quick flags — a
+    faster run with smaller sizes is not a speedup).
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    for key in ("bench", "quick", "config"):
+        if doc.get(key) != baseline.get(key):
+            raise ValueError(
+                f"result and baseline are not comparable: {key} differs "
+                f"({doc.get(key)!r} vs {baseline.get(key)!r})"
+            )
+    failures = []
+    for series_name in GATED_SERIES:
+        new_series = doc.get("series", {}).get(series_name, {})
+        old_series = baseline.get("series", {}).get(series_name, {})
+        for impl in sorted(set(new_series) & set(old_series)):
+            new_ops = new_series[impl]["ops_per_sec"]
+            old_ops = old_series[impl]["ops_per_sec"]
+            floor = old_ops * (1.0 - tolerance)
+            if new_ops < floor:
+                failures.append(
+                    f"{series_name}/{impl}: {new_ops:,.0f} ops/s is "
+                    f"{1 - new_ops / old_ops:.0%} below baseline "
+                    f"{old_ops:,.0f} (tolerance {tolerance:.0%})"
+                )
+    return failures
 
 
 def render(doc: dict) -> str:
@@ -225,6 +463,12 @@ def render(doc: dict) -> str:
         lines.append(table.render())
     speedup = doc["derived"]["immediate_check_fast_path_speedup"]
     lines.append(f"immediate-check fast path vs locked seed path: {speedup:.2f}x")
+    spin = doc["derived"].get("handoff_spin_vs_default")
+    if spin is not None:
+        lines.append(f"handoff spin-then-park vs default policy: {spin:.2f}x")
+    join = doc["derived"].get("multiwait_subscription_vs_sequential")
+    if join is not None:
+        lines.append(f"multiwait subscription vs sequential join: {join:.2f}x")
     return "\n\n".join(lines)
 
 
@@ -240,13 +484,56 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_counter_ops.json",
         help="where to write the JSON log (default: ./BENCH_counter_ops.json)",
     )
+    parser.add_argument(
+        "--history",
+        default="BENCH_counter_ops.history.jsonl",
+        help="JSONL trajectory to append to (default: ./BENCH_counter_ops.history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true", help="skip the trajectory append"
+    )
+    parser.add_argument(
+        "--label", default=None, help="free-form tag recorded in the history entry"
+    )
+    parser.add_argument(
+        "--timestamp",
+        default=None,
+        help="override the recorded timestamp (e.g. to key a re-run to its PR)",
+    )
+    parser.add_argument(
+        "--compare-to",
+        default=None,
+        metavar="BASELINE.json",
+        help="regression-gate the run against a committed baseline snapshot",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.3,
+        help="allowed fractional ops/sec drop for --compare-to (default 0.3)",
+    )
     args = parser.parse_args(argv)
     doc = run_counter_ops(quick=args.quick)
+    if args.timestamp is not None:
+        doc["timestamp"] = args.timestamp
     print(render(doc))
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"\nwrote {args.out}")
+    if not args.no_history:
+        append_history(doc, args.history, label=args.label)
+        print(f"appended trajectory point to {args.history}")
+    if args.compare_to is not None:
+        with open(args.compare_to, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = compare(doc, baseline, tolerance=args.tolerance)
+        if failures:
+            print(f"\nREGRESSION vs {args.compare_to}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.compare_to} (tolerance {args.tolerance:.0%})")
     return 0
 
 

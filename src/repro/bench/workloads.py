@@ -10,6 +10,7 @@ the counter's own high-water statistics for verification.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.core.api import CounterProtocol
@@ -23,6 +24,7 @@ class SpreadResult:
 
     waiters: int
     levels: int
+    episodes: int
     max_live_levels: int
     max_live_waiters: int
 
@@ -33,47 +35,63 @@ def spread_waiters(
     waiters: int,
     levels: int,
     increment_steps: int = 1,
+    episodes: int = 1,
     timeout: float = 30.0,
 ) -> SpreadResult:
-    """Park ``waiters`` threads across ``levels`` distinct levels, release all.
+    """Park ``waiters`` threads across ``levels`` distinct levels, release
+    all, ``episodes`` times over with one persistent thread pool.
 
-    Levels used are ``1..levels``; waiter ``w`` waits on level
-    ``(w % levels) + 1``.  The main thread waits until every waiter is
-    suspended, then raises the counter to ``levels`` in
-    ``increment_steps`` equal increments.  Returns the counter's
-    high-water level/waiter statistics when the implementation exposes
-    them (zeros otherwise).
+    In episode ``e`` (0-based), waiter ``w`` waits on level
+    ``e * levels + (w % levels) + 1``; the main thread waits until every
+    waiter is suspended, then raises the counter by ``levels`` in
+    ``increment_steps`` equal increments, releasing the whole cohort,
+    which immediately re-parks at the next episode's levels.  With
+    ``episodes > 1`` the thread-spawn cost (which dominates a single
+    park/release cycle wall-clock) is amortized, so the measurement
+    isolates the park → release → wake path itself.  Returns the
+    counter's high-water level/waiter statistics when the implementation
+    exposes them (zeros otherwise).
     """
     if waiters < 1 or levels < 1 or levels > waiters:
         raise ValueError(f"need waiters >= levels >= 1, got {waiters}, {levels}")
     if increment_steps < 1:
         raise ValueError(f"increment_steps must be >= 1, got {increment_steps}")
+    if episodes < 1:
+        raise ValueError(f"episodes must be >= 1, got {episodes}")
     parked = threading.Semaphore(0)
 
     def wait(w: int) -> None:
-        parked.release()
-        counter.check((w % levels) + 1, timeout=timeout)
+        for episode in range(episodes):
+            parked.release()
+            counter.check(episode * levels + (w % levels) + 1, timeout=timeout)
 
     threads = [threading.Thread(target=wait, args=(w,)) for w in range(waiters)]
     for thread in threads:
         thread.start()
-    for _ in range(waiters):
-        parked.acquire()
-    # Parked means "about to check"; give the checks a moment to suspend.
-    # Correctness does not depend on this (checks of already-passed levels
-    # return immediately); only the high-water stats do.
-    deadline_spins = 10_000
-    while deadline_spins and _suspended_below(counter) < waiters:
-        deadline_spins -= 1
-    base, remainder = divmod(levels, increment_steps)
-    for step in range(increment_steps):
-        counter.increment(base + (1 if step < remainder else 0))
+    for episode in range(episodes):
+        for _ in range(waiters):
+            parked.acquire()
+        # Parked means "about to check"; give the checks a moment to
+        # suspend.  Correctness does not depend on this (checks of
+        # already-passed levels return immediately); only the high-water
+        # stats — and the fairness of measuring the *wakeup* path rather
+        # than fast-path returns — do.
+        settle_deadline = time.monotonic() + min(timeout, 2.0)
+        while (
+            _suspended_below(counter) < waiters
+            and time.monotonic() < settle_deadline
+        ):
+            time.sleep(0)
+        base, remainder = divmod(levels, increment_steps)
+        for step in range(increment_steps):
+            counter.increment(base + (1 if step < remainder else 0))
     for thread in threads:
         thread.join()
     stats = getattr(counter, "stats", None)
     return SpreadResult(
         waiters=waiters,
         levels=levels,
+        episodes=episodes,
         max_live_levels=getattr(stats, "max_live_levels", 0),
         max_live_waiters=getattr(stats, "max_live_waiters", 0),
     )

@@ -17,7 +17,12 @@ Public surface:
 """
 
 from repro.core.api import AbstractCounter, CounterProtocol
-from repro.core.counter import BroadcastCounter, Counter, MonotonicCounter
+from repro.core.counter import (
+    BroadcastCounter,
+    Counter,
+    CounterSubscription,
+    MonotonicCounter,
+)
 from repro.core.errors import (
     CheckTimeout,
     CounterError,
@@ -25,10 +30,11 @@ from repro.core.errors import (
     CounterValueError,
     ResetConcurrencyError,
 )
-from repro.core.multiwait import barrier_levels, check_all, checkpoint
+from repro.core.multiwait import MultiWait, barrier_levels, check_all, checkpoint
 from repro.core.sharded import ShardedCounter
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
 from repro.core.stats import NOOP_STATS, CounterStats, NoopStats
+from repro.core.waitlist import DEFAULT_WAIT_POLICY, PARK_ONLY, SPIN_THEN_PARK, WaitPolicy
 
 __all__ = [
     "AbstractCounter",
@@ -47,6 +53,12 @@ __all__ = [
     "CounterStats",
     "NoopStats",
     "NOOP_STATS",
+    "MultiWait",
+    "CounterSubscription",
+    "WaitPolicy",
+    "DEFAULT_WAIT_POLICY",
+    "PARK_ONLY",
+    "SPIN_THEN_PARK",
     "check_all",
     "checkpoint",
     "barrier_levels",

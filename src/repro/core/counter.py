@@ -1,23 +1,32 @@
 """Monotonic counter implementations over locks and condition variables.
 
 This is the paper's §7 implementation, transliterated to
-``threading.Lock`` / ``threading.Condition``:
+``threading.Lock`` / ``threading.Condition`` and then rebuilt around a
+two-lock wakeup path:
 
-* one mutual-exclusion lock per counter,
+* one mutual-exclusion lock per counter protecting the value and the
+  wait-list structure,
 * a dynamically-varying ordered list of wait nodes, one node per distinct
   level on which at least one thread is suspended,
-* each node owning its own condition variable (sharing the counter lock),
-  a waiter count, and a *set* flag.
+* each node owning its own **private** condition variable, a waiter
+  count, and the *set* flag of Figure 2.
 
 ``check(level)`` with ``level <= value`` returns immediately — by default
 from a lock-free read of the value, sound because the enabling condition
 is *stable* (the value never decreases, so a stale satisfied read can
-never be wrong later).  Otherwise it finds-or-inserts the node for
-``level``, bumps its count, and waits on the node's condition.  ``increment(amount)`` bumps the value, unlinks every
-node whose level the new value reaches, sets each node's flag and wakes all
-its waiters.  The last waiter to leave a node "deallocates" it (drops the
-final reference).  Storage and per-op time are O(L) in the number of
-distinct waiting levels, never O(total waiters).
+never be wrong later).  A check that misses may then *spin* briefly on
+the same lock-free read (bounded, adaptive, free-threaded builds only by
+default — see :class:`~repro.core.waitlist.WaitPolicy`) before it
+finds-or-inserts the
+node for ``level``, bumps its count, and parks on the node's private
+condition.  ``increment(amount)`` bumps the value, unlinks every
+satisfied node **inside** the counter lock, then wakes them in one
+coalesced pass **outside** it: one ``notify_all`` per node, each woken
+thread handed its already-satisfied node so it never re-acquires the
+counter lock just to re-test.  The last waiter to leave a node
+"deallocates" it (drops the final reference).  Storage and per-op time
+are O(L) in the number of distinct waiting levels, never O(total
+waiters).
 
 Three classes are exported:
 
@@ -28,24 +37,77 @@ Three classes are exported:
   for everybody, ``notify_all`` on every increment.  Semantically
   equivalent but wakes O(total waiters) threads per increment; it exists so
   benchmark E8 can measure what §7's per-level queues actually buy.
+
+plus :class:`CounterSubscription`, the cancellation handle returned by the
+``subscribe`` hook that :class:`repro.core.multiwait.MultiWait` builds on.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Literal
+from typing import Callable, Literal
 
 from repro.core.api import AbstractCounter
 from repro.core.errors import CheckTimeout, CounterOverflowError, ResetConcurrencyError
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
 from repro.core.stats import NOOP_STATS, CounterStats
 from repro.core.validation import validate_amount, validate_level, validate_timeout
-from repro.core.waitlist import HeapWaitList, LinkedWaitList, WaitList, WaitNode
+from repro.core.waitlist import (
+    DEFAULT_WAIT_POLICY,
+    HeapWaitList,
+    LinkedWaitList,
+    WaitList,
+    WaitNode,
+    WaitPolicy,
+)
 
-__all__ = ["MonotonicCounter", "BroadcastCounter", "Counter"]
+__all__ = ["MonotonicCounter", "BroadcastCounter", "Counter", "CounterSubscription"]
 
 WaitListStrategy = Literal["linked", "heap"]
+
+
+class CounterSubscription:
+    """Handle for one level-reached notification registered on a counter.
+
+    Returned by ``subscribe``; :meth:`cancel` deregisters the callback if
+    it has not fired yet.  Idempotent.  Primarily consumed by
+    :class:`repro.core.multiwait.MultiWait`.
+    """
+
+    __slots__ = ("_counter", "_node", "_callback", "_cancelled")
+
+    def __init__(
+        self, counter: "MonotonicCounter", node: WaitNode, callback: Callable[[], None]
+    ) -> None:
+        self._counter = counter
+        self._node = node
+        self._callback = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Deregister the callback (no-op if it already fired)."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        counter = self._counter
+        node = self._node
+        with counter._lock:
+            if node.released:
+                return  # fired (or firing) — nothing left to remove
+            subscribers = node.subscribers
+            if subscribers is None:
+                return
+            try:
+                subscribers.remove(self._callback)
+            except ValueError:
+                return
+            if (
+                node.count == 0
+                and not subscribers
+                and counter._waiters.discard_if_empty(node)
+            ):
+                counter._live_levels -= 1
 
 
 class MonotonicCounter(AbstractCounter):
@@ -82,9 +144,17 @@ class MonotonicCounter(AbstractCounter):
     fast_path:
         ``True`` (default) lets an already-satisfied ``check`` return from
         an unsynchronized read of the value without ever touching the
-        lock.  ``False`` forces every ``check`` through the lock — the
-        pre-optimization behavior, kept selectable so the benchmark
-        harness can measure what the fast path buys.
+        lock, and enables the policy's spin phase.  ``False`` forces every
+        ``check`` through the lock — the pre-optimization behavior, kept
+        selectable so the benchmark harness can measure what the fast
+        path buys.
+    policy:
+        A :class:`~repro.core.waitlist.WaitPolicy` tuning the
+        spin-then-park wait loop; defaults to the build-dependent
+        :data:`~repro.core.waitlist.DEFAULT_WAIT_POLICY`
+        (:data:`~repro.core.waitlist.PARK_ONLY` under the GIL,
+        :data:`~repro.core.waitlist.SPIN_THEN_PARK` on free-threaded
+        builds).
     """
 
     __slots__ = (
@@ -92,10 +162,13 @@ class MonotonicCounter(AbstractCounter):
         "_value",
         "_waiters",
         "_draining",
+        "_drain_lock",
         "_max_value",
         "_name",
         "_stats_on",
         "_fast_path",
+        "_policy",
+        "_spin",
         "_live_levels",
         "_live_waiters",
         "stats",
@@ -109,19 +182,23 @@ class MonotonicCounter(AbstractCounter):
         name: str | None = None,
         stats: bool = False,
         fast_path: bool = True,
+        policy: WaitPolicy | None = None,
     ) -> None:
         self._lock = threading.Lock()
         self._value = 0
         # Nodes released by an increment whose waiters have not all resumed
         # yet — the "set" nodes of Figure 2 (e)/(f).  Kept only so that
         # snapshots can reproduce the figure; the last waiter out drops the
-        # node (the paper's deallocation point).  Keyed by node identity so
-        # removal is O(1) instead of an O(n) list scan.
+        # node (the paper's deallocation point).  Guarded by _drain_lock,
+        # never the counter lock, so leaving waiters stay off the counter's
+        # critical path; increment inserts while holding counter lock ->
+        # _drain_lock (that nesting order, never the reverse).
         self._draining: dict[int, WaitNode] = {}
+        self._drain_lock = threading.Lock()
         if strategy == "linked":
-            self._waiters: WaitList = LinkedWaitList(self._lock)
+            self._waiters: WaitList = LinkedWaitList()
         elif strategy == "heap":
-            self._waiters = HeapWaitList(self._lock)
+            self._waiters = HeapWaitList()
         else:
             raise ValueError(f"unknown waitlist strategy: {strategy!r}")
         if max_value is not None and (not isinstance(max_value, int) or max_value < 0):
@@ -129,6 +206,15 @@ class MonotonicCounter(AbstractCounter):
         self._max_value = max_value
         self._name = name
         self._fast_path = bool(fast_path)
+        if policy is None:
+            policy = DEFAULT_WAIT_POLICY
+        elif not isinstance(policy, WaitPolicy):
+            raise TypeError(f"policy must be a WaitPolicy, got {policy!r}")
+        self._policy = policy
+        # The adaptive spin budget.  Read and written without the lock by
+        # design: it is a heuristic, and losing a race on its update can
+        # only make a wait spin a little more or less than intended.
+        self._spin = policy.spin
         # Live-level / live-waiter counts, maintained incrementally so the
         # suspend path's high-water bookkeeping is O(1) instead of the
         # former O(L) ``len(waiters)`` / ``sum(node.count ...)`` scans.
@@ -147,9 +233,26 @@ class MonotonicCounter(AbstractCounter):
         with self._lock:
             return self._value
 
+    @property
+    def policy(self) -> WaitPolicy:
+        """The wait policy this counter suspends under."""
+        return self._policy
+
     def increment(self, amount: int = 1) -> int:
-        """Atomically add ``amount`` and wake all newly-satisfied waiters."""
+        """Atomically add ``amount`` and wake all newly-satisfied waiters.
+
+        The wakeups are *coalesced*: satisfied nodes are unlinked (and the
+        tallies settled) inside the counter lock, but every
+        ``notify_all`` — one per node — runs after the lock is dropped,
+        so woken threads and later increments never convoy behind the
+        wake sweep.  No wakeup can be lost to that split: a node is
+        marked ``released`` under the counter lock before the lock is
+        dropped, and parked threads re-test the node's ``signaled`` flag
+        under the node's own lock (see docs/api.md for the full
+        argument).
+        """
         amount = validate_amount(amount)
+        released: list[WaitNode] | None = None
         with self._lock:
             new_value = self._value + amount
             if self._max_value is not None and new_value > self._max_value:
@@ -162,21 +265,53 @@ class MonotonicCounter(AbstractCounter):
             # Uncontended fast path: with no live waiting level the release
             # scan cannot find anything, so skip it entirely.
             if amount and self._live_levels:
-                for node in self._waiters.release_through(new_value):
-                    self._live_levels -= 1
-                    self._live_waiters -= node.count
-                    if self._stats_on:
-                        self.stats.nodes_released += 1
-                        self.stats.threads_woken += node.count
-                    node.signal()
-                    if node.count:
-                        self._draining[id(node)] = node
-            return new_value
+                released = self._waiters.release_through(new_value)
+                if released:
+                    draining = None
+                    for node in released:
+                        node.released = True
+                        # Pre-set the paper's *set* flag here so release is
+                        # atomic as observed by snapshot(); signal() sets it
+                        # again under the node lock, which is what parked
+                        # threads synchronize on.
+                        node.signaled = True
+                        self._live_levels -= 1
+                        self._live_waiters -= node.count
+                        if self._stats_on:
+                            self.stats.nodes_released += 1
+                            self.stats.threads_woken += node.count
+                        if node.count:
+                            if draining is None:
+                                draining = []
+                            draining.append(node)
+                    if draining:
+                        # Must happen before any waiter can observe the
+                        # release (they are either parked until signal()
+                        # below, or serialized behind this critical
+                        # section), so the last-leaver pop cannot precede
+                        # the insert.
+                        with self._drain_lock:
+                            for node in draining:
+                                self._draining[id(node)] = node
+        if released:
+            # The coalesced wake pass: counter lock long gone, one
+            # notify_all per satisfied level, subscribers fired after.
+            for node in released:
+                node.signal()
+        return new_value
 
     def check(self, level: int, timeout: float | None = None) -> None:
-        """Suspend the calling thread until ``value >= level``."""
+        """Suspend the calling thread until ``value >= level``.
+
+        The wait is *spin-then-park*: after the lock-free fast path
+        misses, a bounded number of further lock-free re-reads (the
+        policy's spin budget — zero under the default GIL-build policy)
+        run before the thread registers a wait node and parks on the
+        level's private condition variable.
+        """
         level = validate_level(level)
         timeout = validate_timeout(timeout)
+        deadline: float | None = None
         # Lock-free fast path.  Soundness rests on stability (§6): the value
         # only ever increases (there is no decrement, and reset() contractually
         # requires quiescence), and every write happens before the lock is
@@ -184,20 +319,32 @@ class MonotonicCounter(AbstractCounter):
         # shows value >= level, the condition held at some earlier moment and
         # — being stable — holds now and forever: returning without the lock
         # is safe.  A stale read can only err in the other direction, sending
-        # us to the locked slow path, which re-tests under the lock.
-        if self._fast_path and self._value >= level:
-            if self._stats_on:
-                # Racy bump by design: losing an occasional immediate-check
-                # tally is preferable to re-serializing the fast path.
-                self.stats.immediate_checks += 1
-            return
+        # us to the spin phase and then the locked slow path, which re-tests
+        # under the lock.
+        if self._fast_path:
+            if self._value >= level:
+                if self._stats_on:
+                    # Racy bump by design: losing an occasional immediate-check
+                    # tally is preferable to re-serializing the fast path.
+                    self.stats.immediate_checks += 1
+                return
+            budget = self._spin
+            if budget and timeout != 0.0:
+                if timeout is not None:
+                    deadline = time.monotonic() + timeout
+                if self._spin_wait(level, budget):
+                    return
+                if deadline is not None:
+                    timeout = deadline - time.monotonic()
+                    if timeout < 0.0:
+                        timeout = 0.0
         with self._lock:
             if self._value >= level:
                 if self._stats_on:
                     self.stats.immediate_checks += 1
                 return
             node = self._waiters.find_or_insert(level)
-            if node.count == 0 and not node.signaled:
+            if node.count == 0 and not node.subscribers:
                 self._live_levels += 1
                 if self._stats_on:
                     self.stats.nodes_created += 1
@@ -206,52 +353,147 @@ class MonotonicCounter(AbstractCounter):
             if self._stats_on:
                 self.stats.suspended_checks += 1
                 self.stats.note_levels(self._live_levels, self._live_waiters)
-            try:
-                if timeout is None:
-                    while not node.signaled:
-                        node.condition.wait()
-                else:
+        # Counter lock dropped: park on the node's private condition.  The
+        # release that satisfies this level already knows the node (it is
+        # handed the whole node under the counter lock), so neither side
+        # touches the counter lock again on the normal wake path.
+        self._park(node, level, timeout, deadline)
+
+    def _spin_wait(self, level: int, budget: int) -> bool:
+        """Bounded lock-free re-reads of the value; True if satisfied."""
+        policy = self._policy
+        yield_every = policy.yield_every
+        countdown = yield_every
+        for _ in range(budget):
+            if self._value >= level:
+                if policy.adaptive:
+                    # Reward: the spin avoided a park — spend longer next time.
+                    grown = budget << 1
+                    self._spin = policy.spin_max if grown > policy.spin_max else grown
+                if self._stats_on:
+                    self.stats.spin_checks += 1
+                return True
+            if yield_every:
+                countdown -= 1
+                if countdown == 0:
+                    countdown = yield_every
+                    # Yield the GIL so the incrementer we are waiting on
+                    # can actually run.
+                    time.sleep(0)
+        if policy.adaptive:
+            shrunk = budget >> 1
+            self._spin = policy.spin_min if shrunk < policy.spin_min else shrunk
+        return False
+
+    def _park(
+        self, node: WaitNode, level: int, timeout: float | None, deadline: float | None
+    ) -> None:
+        """Wait on ``node``'s private condition until signaled or timed out."""
+        condition = node.condition
+        timed_out = False
+        last = False
+        with condition:
+            if timeout is None:
+                while not node.signaled:
+                    condition.wait()
+            else:
+                if deadline is None:
                     deadline = time.monotonic() + timeout
-                    while not node.signaled:
-                        remaining = deadline - time.monotonic()
-                        if remaining <= 0 or not node.condition.wait(remaining):
-                            if node.signaled:
-                                break
-                            if self._stats_on:
-                                self.stats.timeouts += 1
-                            raise CheckTimeout(
-                                f"{self!r}: check({level}) timed out after {timeout}s "
-                                f"(value={self._value})"
-                            )
-            finally:
+                while not node.signaled:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not condition.wait(remaining):
+                        if node.signaled:
+                            break
+                        timed_out = True
+                        break
+            if not timed_out:
                 node.count -= 1
-                if node.signaled:
-                    # Released by an increment, which already removed the
-                    # node (and its waiters) from the live tallies.
-                    if node.count == 0:
-                        # Last waiter out of a released node deallocates it
-                        # (Figure 2 (f) -> (g)).
-                        self._draining.pop(id(node), None)
-                else:
-                    # Timed out (or interrupted) while still parked.
-                    self._live_waiters -= 1
-                    if node.count == 0 and self._waiters.discard_if_empty(node):
-                        # Reclaimed the level's node so storage stays
-                        # proportional to live levels.
-                        self._live_levels -= 1
+                last = node.count == 0
+        if not timed_out:
+            if last:
+                with self._drain_lock:
+                    self._draining.pop(id(node), None)
+            return
+        # Timed out while still parked.  Adjudicate against a concurrent
+        # release under the counter lock: `released` is only ever set
+        # inside an increment's critical section, so holding the lock
+        # gives a definitive answer — either the increment that reaches
+        # this level has already run (the check succeeded; no timeout)
+        # or it has not (genuine timeout; deregister).  A wakeup can
+        # therefore never be lost *and* a satisfying increment can never
+        # be reported as a timeout.
+        with self._lock:
+            if not node.released:
+                node.count -= 1
+                self._live_waiters -= 1
+                if (
+                    node.count == 0
+                    and not node.subscribers
+                    and self._waiters.discard_if_empty(node)
+                ):
+                    # Reclaimed the level's node so storage stays
+                    # proportional to live levels.
+                    self._live_levels -= 1
+                if self._stats_on:
+                    self.stats.timeouts += 1
+                raise CheckTimeout(
+                    f"{self!r}: check({level}) timed out after {timeout}s "
+                    f"(value={self._value})"
+                )
+        # Released concurrently with the expiry: the check succeeded.
+        # After release, node.count is owned by the node lock.
+        with condition:
+            node.count -= 1
+            last = node.count == 0
+        if last:
+            with self._drain_lock:
+                self._draining.pop(id(node), None)
+
+    def subscribe(
+        self, level: int, callback: Callable[[], None]
+    ) -> CounterSubscription | None:
+        """Register ``callback`` to fire once when ``value >= level``.
+
+        Returns ``None`` — without invoking the callback — when the level
+        is already satisfied, else a :class:`CounterSubscription` whose
+        ``cancel()`` deregisters it.  The callback runs in the
+        incrementing thread, outside the counter lock; it must be quick,
+        must not raise, and must not call back into this counter.  This
+        is the hook :class:`repro.core.multiwait.MultiWait` is built on.
+        """
+        level = validate_level(level)
+        if not callable(callback):
+            raise TypeError(f"callback must be callable, got {callback!r}")
+        if self._fast_path and self._value >= level:
+            return None
+        with self._lock:
+            if self._value >= level:
+                return None
+            node = self._waiters.find_or_insert(level)
+            if node.count == 0 and not node.subscribers:
+                self._live_levels += 1
+                if self._stats_on:
+                    self.stats.nodes_created += 1
+            if node.subscribers is None:
+                node.subscribers = []
+            node.subscribers.append(callback)
+        return CounterSubscription(self, node, callback)
 
     def reset(self) -> None:
         """Reset the value to zero for reuse between algorithm phases.
 
         Per the paper's contract, ``reset`` must never run concurrently
         with other operations on the same counter; a reset while threads
-        are suspended in ``check`` is detected and refused.
+        are suspended in ``check`` (or subscriptions are outstanding) is
+        detected and refused.
         """
         with self._lock:
-            if len(self._waiters) != 0 or self._draining:
+            with self._drain_lock:
+                draining = len(self._draining)
+            if len(self._waiters) != 0 or draining:
                 raise ResetConcurrencyError(
                     f"{self!r}: reset() with {len(self._waiters)} waiting level(s) "
-                    f"and {len(self._draining)} draining node(s); reset must not "
+                    f"and {draining} draining node(s); reset must not "
                     "be concurrent with other counter operations"
                 )
             self._value = 0
@@ -266,7 +508,13 @@ class MonotonicCounter(AbstractCounter):
         list, which never overlaps them.
         """
         with self._lock:
-            draining = sorted(self._draining.values(), key=lambda node: node.level)
+            with self._drain_lock:
+                # A drained node whose last waiter already decremented but
+                # has not popped it yet is logically deallocated — hide it.
+                draining = sorted(
+                    (node for node in self._draining.values() if node.count),
+                    key=lambda node: node.level,
+                )
             return CounterSnapshot(
                 value=self._value,
                 nodes=tuple(node.snapshot() for node in draining)
@@ -283,6 +531,36 @@ class MonotonicCounter(AbstractCounter):
         return f"<MonotonicCounter{label} value={self._value}>"
 
 
+class _BroadcastSubscription:
+    """Cancellation handle for a :class:`BroadcastCounter` subscription."""
+
+    __slots__ = ("_counter", "_level", "_callback", "_cancelled")
+
+    def __init__(
+        self, counter: "BroadcastCounter", level: int, callback: Callable[[], None]
+    ) -> None:
+        self._counter = counter
+        self._level = level
+        self._callback = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        if self._cancelled:
+            return
+        self._cancelled = True
+        counter = self._counter
+        with counter._cond:
+            callbacks = counter._subs.get(self._level)
+            if not callbacks:
+                return
+            try:
+                callbacks.remove(self._callback)
+            except ValueError:
+                return
+            if not callbacks:
+                del counter._subs[self._level]
+
+
 class BroadcastCounter(AbstractCounter):
     """Naive counter: one shared condition variable, broadcast on increment.
 
@@ -290,10 +568,23 @@ class BroadcastCounter(AbstractCounter):
     waiting thread so each can re-test its own level — O(total waiters)
     wakeups against the paper implementation's O(released waiters).  Kept
     as the ablation baseline for benchmark E8 and as the simplest-possible
-    reference implementation for differential testing.
+    reference implementation for differential testing.  It does share the
+    lock-free satisfied-``check`` fast path (the stability argument is
+    implementation-independent) and supports ``subscribe`` so
+    :class:`~repro.core.multiwait.MultiWait` can span implementations.
     """
 
-    __slots__ = ("_cond", "_value", "_max_value", "_name", "_waiting", "_stats_on", "stats")
+    __slots__ = (
+        "_cond",
+        "_value",
+        "_max_value",
+        "_name",
+        "_waiting",
+        "_subs",
+        "_stats_on",
+        "_fast_path",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -301,13 +592,16 @@ class BroadcastCounter(AbstractCounter):
         max_value: int | None = None,
         name: str | None = None,
         stats: bool = False,
+        fast_path: bool = True,
     ) -> None:
         self._cond = threading.Condition()
         self._value = 0
         self._max_value = max_value
         self._name = name
         self._waiting = 0
+        self._subs: dict[int, list[Callable[[], None]]] = {}
         self._stats_on = bool(stats)
+        self._fast_path = bool(fast_path)
         self.stats = CounterStats() if stats else NOOP_STATS
 
     @property
@@ -317,6 +611,7 @@ class BroadcastCounter(AbstractCounter):
 
     def increment(self, amount: int = 1) -> int:
         amount = validate_amount(amount)
+        fired: list[Callable[[], None]] | None = None
         with self._cond:
             new_value = self._value + amount
             if self._max_value is not None and new_value > self._max_value:
@@ -326,15 +621,32 @@ class BroadcastCounter(AbstractCounter):
             self._value = new_value
             if self._stats_on:
                 self.stats.increments += 1
-            if amount and self._waiting:
-                if self._stats_on:
-                    self.stats.threads_woken += self._waiting
-                self._cond.notify_all()
-            return new_value
+            if amount:
+                if self._waiting:
+                    if self._stats_on:
+                        self.stats.threads_woken += self._waiting
+                    self._cond.notify_all()
+                if self._subs:
+                    satisfied = [lv for lv in self._subs if lv <= new_value]
+                    if satisfied:
+                        fired = []
+                        for lv in satisfied:
+                            fired.extend(self._subs.pop(lv))
+        if fired:
+            # Outside the lock, like the per-level counter's wake pass.
+            for callback in fired:
+                callback()
+        return new_value
 
     def check(self, level: int, timeout: float | None = None) -> None:
         level = validate_level(level)
         timeout = validate_timeout(timeout)
+        # Same lock-free satisfied fast path as MonotonicCounter, same
+        # stability-based soundness argument (docs/api.md).
+        if self._fast_path and self._value >= level:
+            if self._stats_on:
+                self.stats.immediate_checks += 1
+            return
         with self._cond:
             if self._value >= level:
                 if self._stats_on:
@@ -364,11 +676,30 @@ class BroadcastCounter(AbstractCounter):
             finally:
                 self._waiting -= 1
 
+    def subscribe(
+        self, level: int, callback: Callable[[], None]
+    ) -> _BroadcastSubscription | None:
+        """Register ``callback`` to fire once when ``value >= level``.
+
+        Same contract as :meth:`MonotonicCounter.subscribe`.
+        """
+        level = validate_level(level)
+        if not callable(callback):
+            raise TypeError(f"callback must be callable, got {callback!r}")
+        if self._fast_path and self._value >= level:
+            return None
+        with self._cond:
+            if self._value >= level:
+                return None
+            self._subs.setdefault(level, []).append(callback)
+        return _BroadcastSubscription(self, level, callback)
+
     def reset(self) -> None:
         with self._cond:
-            if self._waiting:
+            if self._waiting or self._subs:
                 raise ResetConcurrencyError(
-                    f"{self!r}: reset() with {self._waiting} waiting thread(s)"
+                    f"{self!r}: reset() with {self._waiting} waiting thread(s) "
+                    f"and {len(self._subs)} subscribed level(s)"
                 )
             self._value = 0
 

@@ -5,18 +5,48 @@ needs careful lock choreography: P may stop holding while you wait for
 Q.  Counter conditions are stable (§2/§6: once ``value >= level`` it
 stays true), so a conjunction of counter conditions can be awaited by
 simply checking each in any order — no retry loop, no race window.
-These helpers package that reasoning with validation and a shared
-deadline.
 
-There is deliberately **no** ``check_any``: "wait until at least one of
-these reaches a level" makes the *identity of the satisfier* observable,
-which reintroduces the nondeterministic choice the paper excludes along
-with ``Probe`` (§2).  A disjunction is expressible deterministically by
-giving both producers the same counter.
+Two strategies implement that reasoning:
+
+* :func:`check_all` / :func:`checkpoint` — the sequential strategy: check
+  each condition in turn.  Correct by stability, but a thread behind k
+  unsatisfied conditions parks and wakes up to k times.
+* :class:`MultiWait` — the subscription strategy: register one callback
+  per counter (riding the same per-level wait nodes ``check`` uses —
+  storage stays O(distinct levels)), then park **once** on a private
+  condition variable until all (or any) of the conditions have fired.
+  Wakeups come from the incrementing threads' coalesced release passes;
+  the waiter never touches any counter's lock after registration.
+
+:func:`check_all` always uses the sequential strategy.  That is a
+measured choice, not an oversight: stability means the *other*
+conditions keep getting satisfied while the thread is parked on the
+first unsatisfied one, so in practice a sequential conjunction parks
+about once and then fast-paths through the rest — while a
+:class:`MultiWait` pays N subscriptions, a condition variable, and a
+close per join (~3x slower on the join-throughput benchmark,
+``repro.bench.counter_ops`` series ``multiwait_join``).  Reach for
+:class:`MultiWait` when you need ``wait_any``, a reusable registration
+amortized over many waits, or a hard bound on parks (the sequential
+strategy can park up to k times under adversarially staggered
+producers).  It also keeps working for counters without ``subscribe``
+(e.g. the traced/simulated counters of the determinism harness, which
+record each ``check`` as an event).
+
+On ``wait_any``: the paper deliberately omits ``Probe`` (§2) because
+observing *which* condition is satisfied first is a nondeterministic
+choice.  :meth:`MultiWait.wait_any` makes exactly that choice observable
+— it exists for latency-sensitive disjunctions (first-of-N completion)
+and returns the full frozenset of currently-satisfied indices rather
+than an arbitrary single winner, but programs that need the paper's
+determinism guarantees must stick to ``wait_all``/``check_all`` (or give
+the producers a shared counter, which expresses the disjunction
+deterministically).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterable, Sequence
 
@@ -24,9 +54,152 @@ from repro.core.api import CounterProtocol
 from repro.core.errors import CheckTimeout
 from repro.core.validation import validate_level, validate_timeout
 
-__all__ = ["check_all", "Condition"]
+__all__ = ["MultiWait", "check_all", "Condition", "barrier_levels", "checkpoint"]
 
 Condition = tuple[CounterProtocol, int]
+
+
+def _validated(conditions: Iterable[Condition]) -> list[Condition]:
+    pairs = list(conditions)
+    for counter, level in pairs:
+        validate_level(level)
+        if not isinstance(counter, CounterProtocol):
+            raise TypeError(f"expected a counter-like object, got {counter!r}")
+    return pairs
+
+
+class MultiWait:
+    """Park once for N counter conditions via per-counter subscriptions.
+
+    Registration happens in the constructor: each ``(counter, level)``
+    gets one subscription (already-satisfied conditions are recorded
+    immediately).  The waiting thread then parks on this object's own
+    condition variable; incrementing threads deliver satisfactions
+    through the subscription callbacks, outside every counter lock.
+
+    Conditions are indexed by their position in the constructor
+    argument.  Satisfaction is stable and cumulative: indices are only
+    ever added to the satisfied set.
+
+    Always :meth:`close` (or use as a context manager) so unfired
+    subscriptions are deregistered and their wait nodes reclaimed:
+
+    >>> from repro.core import MonotonicCounter
+    >>> a, b = MonotonicCounter(), MonotonicCounter()
+    >>> _ = a.increment(2)
+    >>> with MultiWait([(a, 1), (b, 1)]) as mw:
+    ...     _ = b.increment(1)
+    ...     mw.wait_all()
+    """
+
+    __slots__ = ("_cond", "_pairs", "_satisfied", "_subs", "_closed")
+
+    def __init__(self, conditions: Iterable[Condition]) -> None:
+        pairs = _validated(conditions)
+        for counter, _ in pairs:
+            if not callable(getattr(counter, "subscribe", None)):
+                raise TypeError(
+                    f"{counter!r} does not support subscribe(); "
+                    "use check_all() for subscription-free counters"
+                )
+        self._cond = threading.Condition()
+        self._pairs: Sequence[Condition] = pairs
+        self._satisfied: set[int] = set()
+        self._subs: list = []
+        self._closed = False
+        # Register after all fields exist: a callback may fire from an
+        # incrementing thread before the constructor returns.
+        for index, (counter, level) in enumerate(pairs):
+            subscription = counter.subscribe(level, self._make_callback(index))
+            if subscription is None:
+                with self._cond:
+                    self._satisfied.add(index)
+            else:
+                self._subs.append(subscription)
+
+    def _make_callback(self, index: int):
+        def fire() -> None:
+            cond = self._cond
+            with cond:
+                self._satisfied.add(index)
+                cond.notify_all()
+
+        return fire
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def satisfied(self) -> frozenset[int]:
+        """Indices of the conditions known satisfied so far."""
+        with self._cond:
+            return frozenset(self._satisfied)
+
+    def wait_all(self, timeout: float | None = None) -> None:
+        """Park until every condition has been satisfied.
+
+        Raises :class:`~repro.core.errors.CheckTimeout` if ``timeout``
+        (a shared budget across all conditions) expires first.  Stability
+        makes a late return impossible to invalidate: conditions cannot
+        unsatisfy while waiting.
+        """
+        self._wait(lambda: len(self._satisfied) == len(self._pairs), timeout, "all")
+
+    def wait_any(self, timeout: float | None = None) -> frozenset[int]:
+        """Park until at least one condition is satisfied; return the
+        frozenset of indices satisfied at wake time.
+
+        Which condition fires first is a scheduler choice — this is the
+        nondeterminism the paper's ``Probe`` exclusion warns about (see
+        module docstring).  The full satisfied set is returned so callers
+        at least observe every satisfaction delivered so far, not an
+        arbitrary single winner.
+        """
+        self._wait(lambda: bool(self._satisfied), timeout, "any")
+        with self._cond:
+            return frozenset(self._satisfied)
+
+    def _wait(self, done, timeout: float | None, mode: str) -> None:
+        timeout = validate_timeout(timeout)
+        cond = self._cond
+        with cond:
+            if self._closed:
+                raise RuntimeError("MultiWait is closed")
+            if timeout is None:
+                while not done():
+                    cond.wait()
+                return
+            deadline = time.monotonic() + timeout
+            while not done():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not cond.wait(remaining):
+                    if done():
+                        return
+                    raise CheckTimeout(
+                        f"MultiWait.wait_{mode}: timed out after {timeout}s "
+                        f"({len(self._satisfied)}/{len(self._pairs)} satisfied)"
+                    )
+
+    def close(self) -> None:
+        """Cancel unfired subscriptions and mark the object unusable.
+
+        Idempotent.  Cancellation runs outside this object's lock (a
+        callback arriving concurrently just lands in the satisfied set of
+        a closed object, harmlessly).
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            subs, self._subs = self._subs, []
+        for subscription in subs:
+            subscription.cancel()
+
+    def __enter__(self) -> "MultiWait":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def check_all(
@@ -35,10 +208,13 @@ def check_all(
 ) -> None:
     """Suspend until EVERY ``(counter, level)`` condition holds.
 
-    Equivalent to checking each in sequence — that this naive strategy
-    is correct (each condition, once passed, cannot unpass) is the point
-    of the helper.  With a ``timeout``, the budget is shared across all
-    conditions and expiry raises :class:`~repro.core.errors.CheckTimeout`.
+    Checks each condition in sequence — that this naive strategy is
+    correct (each condition, once passed, cannot unpass) is the point of
+    the helper, and measurement says it is also the fast strategy for
+    one-shot conjunctions (see the module docstring for when
+    :class:`MultiWait` is the better tool).  With a ``timeout``, the
+    budget is shared across all conditions and expiry raises
+    :class:`~repro.core.errors.CheckTimeout`.
 
     >>> from repro.core import MonotonicCounter
     >>> a, b = MonotonicCounter(), MonotonicCounter()
@@ -47,11 +223,7 @@ def check_all(
     1
     >>> check_all([(a, 2), (b, 1)])   # returns immediately
     """
-    pairs: Sequence[Condition] = list(conditions)
-    for counter, level in pairs:
-        validate_level(level)
-        if not isinstance(counter, CounterProtocol):
-            raise TypeError(f"expected a counter-like object, got {counter!r}")
+    pairs = _validated(conditions)
     timeout = validate_timeout(timeout)
     if timeout is None:
         for counter, level in pairs:
@@ -80,9 +252,6 @@ def barrier_levels(episode: int, parties: int) -> int:
     return (episode + 1) * parties
 
 
-__all__.append("barrier_levels")
-
-
 def checkpoint(counters: Iterable[CounterProtocol], level: int, timeout: float | None = None) -> None:
     """Wait until every counter in a collection reaches one common level.
 
@@ -91,6 +260,3 @@ def checkpoint(counters: Iterable[CounterProtocol], level: int, timeout: float |
     step ``level``.  Sugar over :func:`check_all`.
     """
     check_all([(counter, level) for counter in counters], timeout=timeout)
-
-
-__all__.append("checkpoint")

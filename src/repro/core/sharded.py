@@ -46,8 +46,10 @@ from __future__ import annotations
 import os
 import threading
 
+from typing import Callable
+
 from repro.core.api import AbstractCounter
-from repro.core.counter import MonotonicCounter, WaitListStrategy
+from repro.core.counter import CounterSubscription, MonotonicCounter, WaitListStrategy
 from repro.core.snapshot import CounterSnapshot
 from repro.core.validation import validate_amount, validate_level, validate_timeout
 
@@ -66,6 +68,44 @@ class _Shard:
     def __init__(self) -> None:
         self.lock = threading.Lock()
         self.pending = 0
+
+
+class _ShardedSubscription:
+    """Subscription handle that holds a checker slot until fire/cancel.
+
+    The slot keeps the counter in eager-flush mode (every increment
+    publishes immediately) for the subscription's lifetime, so the
+    callback is delivered by the increment that reaches the level rather
+    than stalling in a shard.  Retirement is idempotent: whichever of
+    fire and cancel runs first releases the slot, the other is a no-op.
+    """
+
+    __slots__ = ("_counter", "_callback", "_inner", "_retired")
+
+    def __init__(self, counter: "ShardedCounter", callback: Callable[[], None]) -> None:
+        self._counter = counter
+        self._callback = callback
+        self._inner: CounterSubscription | None = None
+        self._retired = False
+
+    def _fire(self) -> None:
+        self._retire()
+        self._callback()
+
+    def _retire(self) -> None:
+        counter = self._counter
+        with counter._checkers_lock:
+            if self._retired:
+                return
+            self._retired = True
+            counter._checkers -= 1
+
+    def cancel(self) -> None:
+        """Deregister the callback (no-op if it already fired)."""
+        inner = self._inner
+        if inner is not None:
+            inner.cancel()
+        self._retire()
 
 
 class ShardedCounter(AbstractCounter):
@@ -201,6 +241,39 @@ class ShardedCounter(AbstractCounter):
         finally:
             with self._checkers_lock:
                 self._checkers -= 1
+
+    def subscribe(
+        self, level: int, callback: Callable[[], None]
+    ) -> "_ShardedSubscription | None":
+        """Register ``callback`` to fire once when the global value reaches
+        ``level``.
+
+        Same contract as :meth:`MonotonicCounter.subscribe`.  A live
+        subscription counts as a checker: while it is outstanding every
+        increment flushes eagerly, so the notification is delivered by the
+        increment that reaches the level, never deferred by batching.
+        """
+        level = validate_level(level)
+        if not callable(callback):
+            raise TypeError(f"callback must be callable, got {callback!r}")
+        if self._central._value >= level:
+            return None
+        with self._checkers_lock:
+            self._checkers += 1
+        sub = _ShardedSubscription(self, callback)
+        try:
+            self._drain()
+            inner = self._central.subscribe(level, sub._fire)
+        except BaseException:
+            sub._retire()
+            raise
+        if inner is None:
+            # Draining satisfied the level before registration: same
+            # already-satisfied outcome as the fast path above.
+            sub._retire()
+            return None
+        sub._inner = inner
+        return sub
 
     def flush(self) -> int:
         """Publish every shard's pending tally; return the exact value."""

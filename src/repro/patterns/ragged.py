@@ -17,10 +17,11 @@ past every level anyone will ever check — the exact
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.api import CounterProtocol
 from repro.core.counter import MonotonicCounter
+from repro.core.multiwait import check_all
 
 __all__ = ["RaggedBarrier"]
 
@@ -67,6 +68,24 @@ class RaggedBarrier:
     def wait_for(self, j: int, ticks: int, timeout: float | None = None) -> None:
         """Suspend until participant ``j`` has made at least ``ticks`` progress."""
         self._counters[j].check(ticks, timeout=timeout)
+
+    def wait_for_all(
+        self, needs: Iterable[tuple[int, int]], timeout: float | None = None
+    ) -> None:
+        """Suspend until EVERY ``(participant, ticks)`` need is satisfied.
+
+        The batched form of :meth:`wait_for` for steps that depend on
+        several neighbours (e.g. both stencil edges): the waits are
+        delegated to :func:`repro.core.multiwait.check_all`.  Correct for
+        the same stability reason sequential waits are — a neighbour's
+        progress cannot regress, so while the thread is parked on the
+        first lagging neighbour the others keep satisfying their
+        conditions — and with a ``timeout`` the budget is shared across
+        all needs.
+        """
+        check_all(
+            [(self._counters[j], ticks) for j, ticks in needs], timeout=timeout
+        )
 
     def preload(self, i: int, ticks: int) -> None:
         """Mark participant ``i`` as pre-completed through ``ticks`` progress.

@@ -30,6 +30,7 @@ def wavefront_run(
     *,
     num_threads: int,
     col_block: int = 1,
+    sync_tile: int = 1,
     counter_factory: Callable[[str], CounterProtocol] | None = None,
 ) -> None:
     """Execute ``cell_fn(i, j)`` for every grid cell, respecting
@@ -41,6 +42,19 @@ def wavefront_run(
     each column block.  ``cell_fn`` must only read cells above/left of the
     one it computes (the usual DP contract); within one thread's block the
     row-major order satisfies that automatically.
+
+    ``sync_tile`` coarsens the *synchronization* granularity on top of the
+    compute granularity: a thread handles ``sync_tile`` column blocks per
+    synchronization round, issuing one ``check`` for the **highest** level
+    the tile needs and one batched ``increment(tile)`` when it completes —
+    2 counter operations per tile instead of per block.  Checking ahead is
+    sound because dependencies only flow from thread ``t-1`` to ``t``
+    (the predecessor finishes its blocks regardless of its successors, so
+    waiting for more of its progress can only delay, never deadlock) —
+    the monotone level ordering makes the coarser wait equivalent to the
+    conjunction of the per-block waits it replaces.  The price is
+    pipeline slack: thread ``t`` cannot start a tile until ``t-1``
+    finished *all* of it, so very large tiles serialize the wavefront.
     """
     if rows < 1 or cols < 1:
         raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
@@ -48,23 +62,29 @@ def wavefront_run(
         raise ValueError(f"num_threads must be >= 1, got {num_threads}")
     if col_block < 1:
         raise ValueError(f"col_block must be >= 1, got {col_block}")
+    if sync_tile < 1:
+        raise ValueError(f"sync_tile must be >= 1, got {sync_tile}")
     factory = counter_factory or (lambda name: MonotonicCounter(name=name))
     num_threads = min(num_threads, rows)
     done = [factory(f"wavefront[{t}]") for t in range(num_threads)]
+    blocks = [
+        (j_start, min(j_start + col_block, cols))
+        for j_start in range(0, cols, col_block)
+    ]
 
     def worker(t: int) -> None:
         my_rows = block_range(t, rows, num_threads)
-        blocks = 0
-        for j_start in range(0, cols, col_block):
-            j_end = min(j_start + col_block, cols)
-            blocks += 1
+        for tile_start in range(0, len(blocks), sync_tile):
+            tile = blocks[tile_start : tile_start + sync_tile]
             if t > 0:
-                # Wait until the thread above has finished these columns
-                # for ALL of its rows (its counter counts column blocks).
-                done[t - 1].check(blocks)
-            for i in my_rows:
-                for j in range(j_start, j_end):
-                    cell_fn(i, j)
-            done[t].increment(1)
+                # One wait for the whole tile: the thread above must have
+                # finished ALL these column blocks for all of its rows
+                # (its counter counts column blocks).
+                done[t - 1].check(tile_start + len(tile))
+            for j_start, j_end in tile:
+                for i in my_rows:
+                    for j in range(j_start, j_end):
+                        cell_fn(i, j)
+            done[t].increment(len(tile))
 
     multithreaded_for(worker, range(num_threads), name="wavefront")

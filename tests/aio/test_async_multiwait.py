@@ -1,0 +1,164 @@
+"""Tests for AsyncMultiWait and AsyncCounter subscriptions."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.aio import AsyncCounter, AsyncMultiWait
+from repro.core import CheckTimeout, CounterValueError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncSubscribe:
+    def test_satisfied_level_returns_none_without_firing(self):
+        async def scenario():
+            counter = AsyncCounter()
+            counter.increment(2)
+            fired = []
+            assert counter.subscribe(2, lambda: fired.append(True)) is None
+            return fired
+
+        assert run(scenario()) == []
+
+    def test_callback_fires_on_satisfying_increment(self):
+        async def scenario():
+            counter = AsyncCounter()
+            fired = []
+            subscription = counter.subscribe(3, lambda: fired.append(True))
+            assert subscription is not None
+            counter.increment(2)
+            assert fired == []
+            counter.increment(1)
+            return fired, counter._levels
+
+        fired, levels = run(scenario())
+        assert fired == [True]
+        assert levels == {}  # node reclaimed with the release
+
+    def test_cancel_reclaims_subscription_only_level(self):
+        async def scenario():
+            counter = AsyncCounter()
+            fired = []
+            subscription = counter.subscribe(5, lambda: fired.append(True))
+            assert 5 in counter._levels
+            subscription.cancel()
+            assert counter._levels == {}
+            subscription.cancel()  # idempotent
+            counter.increment(5)
+            return fired
+
+        assert run(scenario()) == []
+
+    def test_cancel_keeps_level_with_parked_checker(self):
+        async def scenario():
+            counter = AsyncCounter()
+            checker = asyncio.ensure_future(counter.check(1))
+            await asyncio.sleep(0)  # let the checker park
+            subscription = counter.subscribe(1, lambda: None)
+            subscription.cancel()
+            assert 1 in counter._levels  # the checker still needs the node
+            counter.increment(1)
+            await checker
+            return counter._levels
+
+        assert run(scenario()) == {}
+
+    def test_validation(self):
+        counter = AsyncCounter()
+        with pytest.raises(CounterValueError):
+            counter.subscribe(-1, lambda: None)
+        with pytest.raises(TypeError):
+            counter.subscribe(1, "not callable")
+
+
+class TestAsyncMultiWait:
+    def test_wait_all_blocks_until_every_condition(self):
+        async def scenario():
+            a, b = AsyncCounter(), AsyncCounter()
+            order = []
+            with AsyncMultiWait([(a, 1), (b, 2)]) as mw:
+                async def waiter():
+                    await mw.wait_all()
+                    order.append("woke")
+
+                task = asyncio.ensure_future(waiter())
+                a.increment(1)
+                b.increment(1)
+                await asyncio.sleep(0)
+                order.append("partial")
+                b.increment(1)
+                await task
+            return order
+
+        assert run(scenario()) == ["partial", "woke"]
+
+    def test_already_satisfied_recorded_at_construction(self):
+        async def scenario():
+            a, b = AsyncCounter(), AsyncCounter()
+            a.increment(4)
+            with AsyncMultiWait([(a, 4), (b, 1), (a, 5)]) as mw:
+                assert mw.satisfied == {0}
+                assert len(mw) == 3
+                b.increment(1)
+                a.increment(1)
+                await mw.wait_all(timeout=5)
+                return mw.satisfied
+
+        assert run(scenario()) == {0, 1, 2}
+
+    def test_wait_any_returns_satisfied_indices(self):
+        async def scenario():
+            a, b = AsyncCounter(), AsyncCounter()
+            with AsyncMultiWait([(a, 1), (b, 1)]) as mw:
+                loop = asyncio.get_running_loop()
+                loop.call_soon(b.increment, 1)
+                return await mw.wait_any(timeout=5)
+
+        assert run(scenario()) == {1}
+
+    def test_timeout_raises_check_timeout(self):
+        async def scenario():
+            counter = AsyncCounter()
+            with AsyncMultiWait([(counter, 1)]) as mw:
+                with pytest.raises(CheckTimeout):
+                    await mw.wait_all(timeout=0.01)
+            return counter._levels
+
+        assert run(scenario()) == {}  # close() reclaimed the node
+
+    def test_close_reclaims_nodes_and_refuses_waits(self):
+        async def scenario():
+            a, b = AsyncCounter(), AsyncCounter()
+            mw = AsyncMultiWait([(a, 1), (b, 1)])
+            assert 1 in a._levels and 1 in b._levels
+            mw.close()
+            mw.close()  # idempotent
+            assert a._levels == {} and b._levels == {}
+            with pytest.raises(RuntimeError):
+                await mw.wait_all()
+
+        run(scenario())
+
+    def test_rejects_non_subscribable(self):
+        with pytest.raises(TypeError, match="subscribe"):
+            AsyncMultiWait([(object(), 1)])
+        with pytest.raises(CounterValueError):
+            AsyncMultiWait([(AsyncCounter(), -1)])
+
+    def test_fan_in_of_many_counters(self):
+        async def scenario():
+            counters = [AsyncCounter() for _ in range(6)]
+            with AsyncMultiWait([(c, 2) for c in counters]) as mw:
+                for c in counters:
+                    c.increment(1)
+                for c in counters:
+                    c.increment(1)
+                await mw.wait_all(timeout=5)
+            return [c._levels for c in counters]
+
+        assert run(scenario()) == [{}] * 6

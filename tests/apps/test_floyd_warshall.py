@@ -153,3 +153,40 @@ class TestDeterminacyIntegration:
         edge = random_dense_graph(24, seed=9)
         results = {shortest_paths_counter(edge, 4).tobytes() for _ in range(5)}
         assert len(results) == 1
+
+
+class TestLevelTiled:
+    """§4.5 + monotonicity: snapshot-elided checks must not change results."""
+
+    @pytest.mark.parametrize("num_threads", [1, 2, 4])
+    def test_matches_reference(self, num_threads):
+        edge = random_dense_graph(32, seed=21)
+        expected = shortest_paths_reference(edge)
+        got = shortest_paths_counter(edge, num_threads, level_tiled=True)
+        assert np.allclose(got, expected)
+
+    def test_negative_edges(self):
+        edge = random_negative_graph(20, seed=9)
+        expected = shortest_paths_reference(edge)
+        assert np.allclose(shortest_paths_counter(edge, 4, level_tiled=True), expected)
+
+    def test_elides_counter_checks(self):
+        """The whole point: strictly fewer check calls than iterations
+        whenever the snapshot covers future levels."""
+        from repro.core import MonotonicCounter
+
+        calls = {}
+        for level_tiled in (False, True):
+            counter = MonotonicCounter(stats=True)
+            shortest_paths_counter(
+                random_dense_graph(24, seed=5),
+                2,
+                counter=counter,
+                level_tiled=level_tiled,
+            )
+            calls[level_tiled] = counter.stats.checks
+        assert calls[True] < calls[False]
+
+    def test_figure1(self):
+        got = shortest_paths_counter(figure1_edge(), 3, level_tiled=True)
+        assert np.allclose(got, figure1_path())

@@ -108,3 +108,14 @@ class TestLCS:
         a, b = "XMJYAUZ" * 3, "MZJAWXU" * 3
         results = {lcs_length_wavefront(a, b, num_threads=4) for _ in range(5)}
         assert len(results) == 1
+
+
+class TestLCSSyncTile:
+    @pytest.mark.parametrize("sync_tile", [1, 2, 5, 100])
+    def test_tiled_synchronization_matches_oracle(self, sync_tile):
+        a, b = "ABCBDABAD" * 2, "BDCABAZZQ" * 2
+        expected = lcs_length_sequential(a, b)
+        got = lcs_length_wavefront(
+            a, b, num_threads=3, col_block=2, sync_tile=sync_tile
+        )
+        assert got == expected

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import copy
 import json
 
 import pytest
 
-from repro.bench.counter_ops import FACTORIES, main, run_counter_ops
+from repro.bench.counter_ops import (
+    FACTORIES,
+    FAN_IN,
+    HANDOFF,
+    append_history,
+    compare,
+    main,
+    run_counter_ops,
+)
 
 
 @pytest.fixture(scope="module")
@@ -24,6 +33,8 @@ class TestRunCounterOps:
             "uncontended_increment",
             "contended_increment",
             "fan_in_wakeup",
+            "handoff_pingpong",
+            "multiwait_join",
         }
         for series in ("immediate_check", "uncontended_increment"):
             assert set(doc["series"][series]) == set(FACTORIES)
@@ -31,22 +42,123 @@ class TestRunCounterOps:
                 assert entry["ops_per_sec"] > 0
                 assert entry["mean_s"] > 0
         assert doc["derived"]["immediate_check_fast_path_speedup"] > 0
+        assert doc["derived"]["handoff_spin_vs_default"] > 0
+        assert doc["derived"]["multiwait_subscription_vs_sequential"] > 0
 
     def test_fan_in_covers_blocking_implementations(self, doc):
-        assert set(doc["series"]["fan_in_wakeup"]) == {
-            "linked",
-            "heap",
-            "broadcast",
-            "sharded",
-        }
+        assert set(doc["series"]["fan_in_wakeup"]) == set(FAN_IN)
+        assert "linked_spin" in FAN_IN  # default vs forced-spin is comparable
+
+    def test_handoff_compares_wait_policies(self, doc):
+        assert set(doc["series"]["handoff_pingpong"]) == set(HANDOFF)
+
+    def test_multiwait_compares_strategies(self, doc):
+        assert set(doc["series"]["multiwait_join"]) == {"subscription", "sequential"}
+        for entry in doc["series"]["multiwait_join"].values():
+            assert entry["ops_per_sec"] > 0
+
+
+class TestHistory:
+    def test_append_history_accumulates_jsonl(self, doc, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(doc, str(path), label="first")
+        append_history(doc, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["label"] == "first"
+        assert "label" not in second
+        for entry in (first, second):
+            assert "sha" in entry and "dirty" in entry
+            assert entry["series"]["fan_in_wakeup"]["linked"]["ops_per_sec"] > 0
+
+
+class TestCompare:
+    def test_identical_docs_pass(self, doc):
+        assert compare(doc, copy.deepcopy(doc)) == []
+
+    def test_regression_detected(self, doc):
+        baseline = copy.deepcopy(doc)
+        entry = baseline["series"]["fan_in_wakeup"]["linked"]
+        entry["ops_per_sec"] = entry["ops_per_sec"] * 10
+        failures = compare(doc, baseline, tolerance=0.3)
+        assert len(failures) == 1
+        assert "fan_in_wakeup/linked" in failures[0]
+
+    def test_improvement_and_small_noise_pass(self, doc):
+        baseline = copy.deepcopy(doc)
+        for series in ("fan_in_wakeup", "immediate_check"):
+            for entry in baseline["series"][series].values():
+                entry["ops_per_sec"] *= 1.2  # new run is ~17% slower: within 30%
+        assert compare(doc, baseline, tolerance=0.3) == []
+
+    def test_mismatched_configs_refused(self, doc):
+        baseline = copy.deepcopy(doc)
+        baseline["config"] = dict(baseline["config"], fan_in_waiters=9999)
+        with pytest.raises(ValueError, match="not comparable"):
+            compare(doc, baseline)
+
+    def test_bad_tolerance_rejected(self, doc):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare(doc, copy.deepcopy(doc), tolerance=1.5)
 
 
 class TestMain:
-    def test_main_writes_json_log(self, tmp_path, capsys):
+    def test_main_writes_json_log_and_history(self, tmp_path, capsys):
         out = tmp_path / "BENCH_counter_ops.json"
-        assert main(["--quick", "--out", str(out)]) == 0
+        history = tmp_path / "history.jsonl"
+        assert (
+            main(
+                [
+                    "--quick",
+                    "--out",
+                    str(out),
+                    "--history",
+                    str(history),
+                    "--timestamp",
+                    "2026-01-01T00:00:00+0000",
+                ]
+            )
+            == 0
+        )
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
+        assert doc["timestamp"] == "2026-01-01T00:00:00+0000"
         assert "immediate_check" in doc["series"]
+        entry = json.loads(history.read_text().strip())
+        assert entry["timestamp"] == "2026-01-01T00:00:00+0000"
         printed = capsys.readouterr().out
         assert "fast path vs locked seed path" in printed
+
+    def test_main_compare_gate(self, tmp_path, capsys):
+        out = tmp_path / "out.json"
+        assert main(["--quick", "--out", str(out), "--no-history"]) == 0
+        capsys.readouterr()
+        baseline = json.loads(out.read_text())
+        # A deflated baseline passes deterministically; an inflated one
+        # fails deterministically (quick-run noise cannot span 1000x).
+        for factor, name, expected in ((0.001, "deflated", 0), (1000, "inflated", 1)):
+            doctored = json.loads(out.read_text())
+            for series in ("fan_in_wakeup", "immediate_check"):
+                for entry in doctored["series"][series].values():
+                    entry["ops_per_sec"] = (
+                        baseline["series"][series]["linked"]["ops_per_sec"] * factor
+                    )
+            path = tmp_path / f"{name}.json"
+            path.write_text(json.dumps(doctored))
+            assert (
+                main(
+                    [
+                        "--quick",
+                        "--out",
+                        str(out),
+                        "--no-history",
+                        "--compare-to",
+                        str(path),
+                    ]
+                )
+                == expected
+            )
+            captured = capsys.readouterr()
+            if expected:
+                assert "REGRESSION" in captured.err

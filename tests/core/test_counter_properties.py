@@ -19,7 +19,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import BroadcastCounter, MonotonicCounter
-from tests.helpers import join_all, spawn
+from tests.helpers import join_all, spawn, wait_until
 
 amounts = st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=30)
 
@@ -115,14 +115,12 @@ def test_snapshot_levels_sorted_and_above_value(levels):
     c = MonotonicCounter()
     threads = [spawn(lambda lv=level: c.check(lv, timeout=30)) for level in levels]
     expected_distinct = len(set(levels))
-    deadline_snapshot = None
-    for _ in range(10_000):
-        deadline_snapshot = c.snapshot()
-        if deadline_snapshot.total_waiters == len(levels):
-            break
-    assert deadline_snapshot is not None
-    assert deadline_snapshot.total_waiters == len(levels)
-    observed_levels = deadline_snapshot.waiting_levels
+    # Time-based, not iteration-based: spin-then-park means a waiter may
+    # take a few scheduler quanta to appear in the wait list.
+    wait_until(lambda: c.snapshot().total_waiters == len(levels))
+    snapshot = c.snapshot()
+    assert snapshot.total_waiters == len(levels)
+    observed_levels = snapshot.waiting_levels
     assert list(observed_levels) == sorted(set(levels))
     assert len(observed_levels) == expected_distinct
     assert all(level > c.value for level in observed_levels)

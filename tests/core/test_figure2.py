@@ -19,8 +19,6 @@ and T3 is the scheduler's choice, but both orders pass through the same
 
 from __future__ import annotations
 
-import threading
-
 from repro.core import CounterSnapshot, MonotonicCounter, WaitNodeSnapshot
 from repro.core.waitlist import LinkedWaitList
 from tests.helpers import join_all, spawn, wait_until
@@ -46,8 +44,7 @@ class TestFigure2WhiteBox:
     """Deterministic node-for-node trace over the §7 data structure."""
 
     def test_full_trace(self):
-        lock = threading.Lock()
-        waitlist = LinkedWaitList(lock)
+        waitlist = LinkedWaitList()
         value = 0
 
         def snap() -> CounterSnapshot:
@@ -71,8 +68,8 @@ class TestFigure2WhiteBox:
         value += 7
         released = waitlist.release_through(value)
         assert released == [node5]
-        with lock:  # notify_all requires the counter lock, as in increment()
-            node5.signal()
+        node5.released = True  # set under the counter lock in increment()
+        node5.signal()  # the coalesced wake pass, outside the counter lock
         observed = CounterSnapshot(
             value=value, nodes=(node5.snapshot(),) + tuple(n.snapshot() for n in waitlist)
         )

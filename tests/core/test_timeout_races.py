@@ -1,0 +1,262 @@
+"""The timeout-vs-increment race, pinned down three ways.
+
+The satellite requirement: a ``check(level, timeout=...)`` whose timeout
+expires *concurrently* with the increment that satisfies it must never
+lose the wakeup (report a timeout for a satisfied condition) and must
+never leak its wait node.  The two-lock protocol makes the adjudication
+explicit — ``released`` under the counter lock, ``signaled`` under the
+node's private lock — and these tests drive every ordering of that
+window:
+
+* **Scripted interleavings** — a stand-in condition variable whose
+  ``wait`` returns a scripted verdict lets each ordering of {condvar
+  timeout, release, adjudication} be forced deterministically, one test
+  per ordering, no sleeps, no luck.
+* **Hammer** — many real threads with tiny real timeouts racing real
+  increments; every generously-budgeted waiter must succeed and the
+  counter must come back quiescent every round.
+* **Model** — the schedule explorer exhaustively interleaves the §7
+  semantics of a coalesced multi-level release, certifying that *no*
+  schedule strands a checker.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import CheckTimeout, MonotonicCounter, PARK_ONLY, WaitPolicy
+from repro.simthread import SimCounter
+from repro.verify import ExplorerProgram, explore
+from tests.helpers import join_all, spawn
+
+
+class ScriptedCondition:
+    """Stands in for a wait node's private condition variable.
+
+    The tests choreograph exactly which thread runs when, so no real
+    mutual exclusion is needed: ``wait`` delegates to a script (its
+    return value is the condvar verdict — ``False`` means "timed out"),
+    and leaving the ``with`` block runs a one-shot hook, which is the
+    only way to inject work into the gap *between* the condvar verdict
+    and the counter-lock adjudication in ``_park``.
+    """
+
+    def __init__(self, on_wait=None, on_exit=None):
+        self.on_wait = on_wait
+        self.on_exit = on_exit
+        self.wait_calls = 0
+        self._exit_fired = False
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        if self.on_exit is not None and not self._exit_fired:
+            self._exit_fired = True
+            self.on_exit()
+        return False
+
+    def wait(self, timeout=None):
+        self.wait_calls += 1
+        return self.on_wait() if self.on_wait is not None else False
+
+    def notify_all(self):
+        pass
+
+
+class ScriptedParkCounter(MonotonicCounter):
+    """A counter whose parked waiters use scripted condition variables.
+
+    ``condition_factory(node)`` picks the condition for each park; return
+    ``node.condition`` to keep the real one.  ``PARK_ONLY`` keeps the
+    spin phase out of the way so the scripted park is reached directly.
+    """
+
+    def __init__(self, condition_factory, **kwargs):
+        super().__init__(policy=PARK_ONLY, stats=True, **kwargs)
+        self._condition_factory = condition_factory
+
+    def _park(self, node, level, timeout, deadline):
+        node.condition = self._condition_factory(node)
+        return super()._park(node, level, timeout, deadline)
+
+
+def _quiescent(counter) -> None:
+    """The counter must be fully reclaimed: no nodes, no draining set."""
+    assert counter.snapshot().waiting_levels == ()
+    assert not counter._draining
+    counter.reset()  # refuses (raises) if any waiter or drainer leaked
+    assert counter.value == 0
+
+
+class TestScriptedInterleavings:
+    def test_release_lands_during_condvar_wait(self):
+        """Order A: the satisfying increment runs while the waiter is in
+        ``Condition.wait`` and the wait *still* reports a timeout (the
+        classic spurious-timeout window).  The re-test of ``signaled``
+        right after the verdict must turn it into a success."""
+        counter = ScriptedParkCounter(
+            lambda node: ScriptedCondition(on_wait=lambda: (counter.increment(1), False)[1])
+        )
+        counter.check(1, timeout=5.0)  # must NOT raise
+        assert counter.value == 1
+        assert counter.stats.suspended_checks == 1
+        assert counter.stats.timeouts == 0
+        _quiescent(counter)
+
+    def test_release_lands_between_verdict_and_adjudication(self):
+        """Order B: the condvar verdict is a genuine timeout (``signaled``
+        still unset), but the increment sneaks in before the waiter
+        reaches the counter lock.  Adjudication must see ``released``
+        and report success — this is the no-lost-wakeup window."""
+        scripted = []
+
+        def factory(node):
+            cond = ScriptedCondition(on_exit=lambda: counter.increment(1))
+            scripted.append(cond)
+            return cond
+
+        counter = ScriptedParkCounter(factory)
+        counter.check(1, timeout=5.0)  # must NOT raise
+        assert counter.value == 1
+        assert counter.stats.timeouts == 0
+        assert scripted[0].wait_calls == 1
+        _quiescent(counter)
+
+    def test_genuine_timeout_deregisters_cleanly(self):
+        """Order C: no increment anywhere.  The timeout must be reported,
+        the node reclaimed, and the counter left fully usable."""
+        counter = ScriptedParkCounter(lambda node: ScriptedCondition())
+        with pytest.raises(CheckTimeout):
+            counter.check(3, timeout=5.0)
+        assert counter.stats.timeouts == 1
+        _quiescent(counter)
+        # The counter is not poisoned: normal operation still works.
+        counter.increment(3)
+        counter.check(3, timeout=0)
+
+    def test_coalesced_release_with_concurrent_timeout_at_one_level(self):
+        """One increment releases levels 1 and 2 in a single pass while
+        the level-2 waiter is concurrently timing out.  Both waiters must
+        succeed and the whole batch must drain."""
+        b_parked = threading.Event()
+        go = threading.Event()
+
+        def scripted_wait():
+            b_parked.set()
+            assert go.wait(10)
+            return False  # condvar says "timed out" — after the release
+
+        def factory(node):
+            if node.level == 2:
+                return ScriptedCondition(on_wait=scripted_wait)
+            return node.condition  # level 1 keeps its real condition
+
+        counter = ScriptedParkCounter(factory)
+        outcomes = []
+        a = spawn(lambda: (counter.check(1, timeout=10), outcomes.append("a")))
+        b = spawn(lambda: (counter.check(2, timeout=10), outcomes.append("b")))
+        assert b_parked.wait(10)
+        counter.increment(2)  # one coalesced release pass for both nodes
+        go.set()
+        join_all([a, b])
+        assert sorted(outcomes) == ["a", "b"]
+        assert counter.stats.nodes_released == 2
+        assert counter.stats.threads_woken == 2
+        assert counter.stats.timeouts == 0
+        _quiescent(counter)
+
+
+class TestTimeoutHammer:
+    """Real threads, real (tiny) timeouts, real increments, many rounds."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            pytest.param(None, id="default-spin"),
+            pytest.param(PARK_ONLY, id="park-only"),
+            pytest.param(WaitPolicy(spin=8, spin_min=1, spin_max=8), id="tiny-spin"),
+        ],
+    )
+    @pytest.mark.parametrize("strategy", ["linked", "heap"])
+    def test_no_lost_wakeups_and_no_leaks(self, strategy, policy):
+        rng = random.Random(0xC0FFEE)
+        rounds, waiters = 25, 8
+        for _ in range(rounds):
+            counter = MonotonicCounter(strategy=strategy, policy=policy, stats=True)
+            outcomes = [None] * waiters
+
+            def wait(w):
+                # Even waiters have a generous budget and MUST succeed;
+                # odd waiters race a ~1ms timeout against the increments.
+                timeout = 30.0 if w % 2 == 0 else rng.random() * 0.002
+                try:
+                    counter.check((w % 4) + 1, timeout=timeout)
+                    outcomes[w] = "ok"
+                except CheckTimeout:
+                    outcomes[w] = "timeout"
+
+            threads = [spawn(wait, w) for w in range(waiters)]
+            incrementers = [spawn(counter.increment, 2) for _ in range(2)]
+            join_all(threads + incrementers)
+
+            assert counter.value == 4
+            for w in range(0, waiters, 2):
+                assert outcomes[w] == "ok", f"lost wakeup for waiter {w}: {outcomes}"
+            assert all(outcome in ("ok", "timeout") for outcome in outcomes)
+            assert counter.stats.timeouts == outcomes.count("timeout")
+            # Quiescence: every node reclaimed, nothing stuck draining.
+            assert counter.snapshot().waiting_levels == ()
+            assert not counter._draining
+            counter.reset()
+
+
+class TestModelNoLostWakeups:
+    """The schedule explorer certifies the §7 semantics: over *every*
+    interleaving, a release covering several levels wakes all of them."""
+
+    def test_coalesced_release_wakes_every_level_in_all_schedules(self):
+        def program():
+            counter = SimCounter()
+            woken = []
+
+            def checker(level):
+                yield counter.check(level)
+                woken.append(level)
+
+            def incrementer():
+                yield counter.increment(3)
+
+            return ExplorerProgram(
+                tasks=[checker(1), checker(2), checker(3), incrementer()],
+                observe=lambda: tuple(sorted(woken)),
+            )
+
+        report = explore(program)
+        assert report.deadlocks == 0
+        assert report.states == {(1, 2, 3)}
+        assert report.deterministic
+
+    def test_split_increments_release_across_schedules(self):
+        def program():
+            counter = SimCounter()
+            woken = []
+
+            def checker(level):
+                yield counter.check(level)
+                woken.append(level)
+
+            def incrementer(amount):
+                yield counter.increment(amount)
+
+            return ExplorerProgram(
+                tasks=[checker(1), checker(3), incrementer(2), incrementer(1)],
+                observe=lambda: tuple(sorted(woken)),
+            )
+
+        report = explore(program)
+        assert report.deadlocks == 0
+        assert report.states == {(1, 3)}

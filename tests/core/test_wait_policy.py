@@ -1,0 +1,180 @@
+"""Tests for the tunable spin-then-park wait policy."""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+
+import pytest
+
+from repro.core import (
+    CheckTimeout,
+    DEFAULT_WAIT_POLICY,
+    MonotonicCounter,
+    PARK_ONLY,
+    SPIN_THEN_PARK,
+    WaitPolicy,
+)
+from tests.helpers import join_all, spawn, wait_until
+
+
+class TestWaitPolicyDataclass:
+    def test_default_matches_the_build(self):
+        """Spin only pays when the incrementer can run concurrently, so
+        the default is park-only under the GIL."""
+        gil = getattr(sys, "_is_gil_enabled", lambda: True)()
+        assert DEFAULT_WAIT_POLICY is (PARK_ONLY if gil else SPIN_THEN_PARK)
+
+    def test_spin_then_park_is_consistent(self):
+        policy = SPIN_THEN_PARK
+        assert policy.spin_min <= policy.spin <= policy.spin_max
+        assert policy.spin > 0
+        assert policy.adaptive
+        assert policy.yield_every > 0
+
+    def test_park_only_never_spins(self):
+        assert PARK_ONLY.spin == PARK_ONLY.spin_min == PARK_ONLY.spin_max == 0
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SPIN_THEN_PARK.spin = 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"spin": -1},
+            {"spin_min": -1},
+            {"yield_every": -1},
+            {"spin": True},
+            {"spin": 1.5},
+            {"spin_min": 10, "spin_max": 5, "spin": 10},
+            {"spin": 2000},  # above the default spin_max
+            {"spin": 1, "spin_min": 2},  # below spin_min
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WaitPolicy(**kwargs)
+
+    def test_counter_rejects_non_policy(self):
+        with pytest.raises(TypeError, match="WaitPolicy"):
+            MonotonicCounter(policy=42)
+
+    def test_counter_exposes_policy(self):
+        policy = WaitPolicy(spin=8, spin_min=2, spin_max=16)
+        assert MonotonicCounter(policy=policy).policy is policy
+        assert MonotonicCounter().policy is DEFAULT_WAIT_POLICY
+
+
+class TestAdaptiveBudget:
+    """The budget doubles on a spin hit and halves on a futile spin,
+    clamped to [spin_min, spin_max].  Driven through ``_spin_wait``
+    directly so each outcome is deterministic."""
+
+    def _counter(self, **overrides):
+        kwargs = dict(spin=8, spin_min=2, spin_max=16)
+        kwargs.update(overrides)
+        return MonotonicCounter(policy=WaitPolicy(**kwargs), stats=True)
+
+    def test_hit_doubles_budget_up_to_cap(self):
+        counter = self._counter()
+        counter.increment(1)
+        assert counter._spin_wait(1, counter._spin) is True
+        assert counter._spin == 16
+        assert counter._spin_wait(1, counter._spin) is True
+        assert counter._spin == 16  # capped at spin_max
+        assert counter.stats.spin_checks == 2
+
+    def test_miss_halves_budget_down_to_floor(self):
+        counter = self._counter()
+        assert counter._spin_wait(1, counter._spin) is False
+        assert counter._spin == 4
+        counter._spin_wait(1, counter._spin)
+        counter._spin_wait(1, counter._spin)
+        assert counter._spin == 2  # floored at spin_min
+        assert counter.stats.spin_checks == 0
+
+    def test_non_adaptive_budget_is_pinned(self):
+        counter = self._counter(adaptive=False)
+        counter._spin_wait(1, counter._spin)
+        assert counter._spin == 8
+        counter.increment(1)
+        counter._spin_wait(1, counter._spin)
+        assert counter._spin == 8
+
+    def test_spin_satisfaction_leaves_no_wait_node(self):
+        """A check satisfied during the spin phase never touches the wait
+        list — forced deterministically by satisfying the level between
+        the missed fast path and the spin (a satisfied first re-read)."""
+
+        class SpinProbeCounter(MonotonicCounter):
+            def _spin_wait(self, level, budget):
+                self.increment(1)  # the "concurrent" producer
+                return super()._spin_wait(level, budget)
+
+            def _park(self, node, level, timeout, deadline):  # pragma: no cover
+                raise AssertionError("parked despite satisfied spin")
+
+        counter = SpinProbeCounter(
+            policy=WaitPolicy(spin=8, spin_min=2, spin_max=16), stats=True
+        )
+        counter.check(1)
+        assert counter.stats.spin_checks == 1
+        assert counter.stats.suspended_checks == 0
+        assert counter.snapshot().waiting_levels == ()
+
+
+class TestPolicyIntegration:
+    def test_park_only_always_suspends(self):
+        counter = MonotonicCounter(policy=PARK_ONLY, stats=True)
+        waiter = spawn(counter.check, 1)
+        wait_until(lambda: counter.snapshot().total_waiters == 1)
+        counter.increment(1)
+        join_all([waiter])
+        assert counter.stats.suspended_checks == 1
+        assert counter.stats.spin_checks == 0
+
+    def test_timeout_zero_skips_the_spin_phase(self):
+        """check(level, timeout=0) is an instant probe: no spinning, no
+        budget mutation, straight to the locked re-test."""
+        counter = MonotonicCounter(
+            policy=WaitPolicy(spin=1024, spin_min=1024, spin_max=1024), stats=True
+        )
+        with pytest.raises(CheckTimeout):
+            counter.check(1, timeout=0)
+        assert counter._spin == 1024  # an attempted spin would have shrunk it
+        assert counter.stats.spin_checks == 0
+
+    def test_no_fast_path_means_no_spin(self):
+        """fast_path=False opts out of unsynchronized reads wholesale;
+        the spin phase is one, so it must be disabled too."""
+        counter = MonotonicCounter(fast_path=False, policy=SPIN_THEN_PARK, stats=True)
+        waiter = spawn(counter.check, 1)
+        wait_until(lambda: counter.snapshot().total_waiters == 1)
+        counter.increment(1)
+        join_all([waiter])
+        assert counter.stats.spin_checks == 0
+        assert counter.stats.suspended_checks == 1
+
+    def test_spinning_chase_completes_and_tallies_consistently(self):
+        """A consumer chasing a producer level-by-level: every check is
+        satisfied somewhere (fast path, spin, or park) and the stats
+        decomposition must account for all of them."""
+        counter = MonotonicCounter(policy=SPIN_THEN_PARK, stats=True)
+        levels = 400
+
+        def producer():
+            for _ in range(levels):
+                counter.increment(1)
+
+        def consumer():
+            for level in range(1, levels + 1):
+                counter.check(level, timeout=30)
+
+        threads = [spawn(consumer), spawn(producer)]
+        join_all(threads)
+        stats = counter.stats
+        assert stats.checks >= levels  # racy immediate tallies may undercount
+        assert stats.checks == (
+            stats.immediate_checks + stats.spin_checks + stats.suspended_checks
+        )

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import threading
-
 import pytest
 
 from repro.core.waitlist import HeapWaitList, LinkedWaitList
@@ -11,7 +9,7 @@ from repro.core.waitlist import HeapWaitList, LinkedWaitList
 
 @pytest.fixture(params=[LinkedWaitList, HeapWaitList])
 def waitlist(request):
-    return request.param(threading.Lock())
+    return request.param()
 
 
 class TestFindOrInsert:
@@ -104,7 +102,7 @@ class TestDiscardIfEmpty:
         assert not waitlist.discard_if_empty(node)
 
     def test_heap_release_skips_discarded_levels(self):
-        heap = HeapWaitList(threading.Lock())
+        heap = HeapWaitList()
         node = heap.find_or_insert(3)
         heap.find_or_insert(5)
         heap.discard_if_empty(node)  # leaves a lazy heap entry behind

@@ -159,3 +159,42 @@ class TestOrderedRegion:
         threads = [spawn(worker, i) for i in (2, 0, 1)]
         join_all(threads)
         assert order == [0, 1, 2]
+
+
+class TestRaggedWaitForAll:
+    def test_satisfied_needs_return_immediately(self):
+        rb = RaggedBarrier(3)
+        rb.advance(0, 2)
+        rb.advance(2, 2)
+        rb.wait_for_all([(0, 2), (2, 1)])
+
+    def test_blocks_until_every_neighbour_catches_up(self):
+        rb = RaggedBarrier(3)
+        woke = []
+        thread = spawn(lambda: (rb.wait_for_all([(0, 1), (2, 1)]), woke.append(True)))
+        rb.advance(0)
+        thread.join(0.05)
+        assert not woke, "wait_for_all returned with participant 2 behind"
+        rb.advance(2)
+        join_all([thread])
+        assert woke == [True]
+
+    def test_many_lagging_neighbours_with_staggered_advances(self):
+        """The batched wait survives every neighbour being behind and
+        advancing one at a time, in an order unrelated to the needs."""
+        rb = RaggedBarrier(4)
+        woke = []
+        thread = spawn(
+            lambda: (rb.wait_for_all([(0, 2), (1, 1), (2, 1), (3, 2)]), woke.append(True))
+        )
+        for i in (2, 0, 3, 1, 0, 3):
+            rb.advance(i)
+        join_all([thread])
+        assert woke == [True]
+        assert [rb.progress(i) for i in range(4)] == [2, 1, 1, 2]
+
+    def test_timeout_budget_is_shared(self):
+        rb = RaggedBarrier(2)
+        rb.advance(0)
+        with pytest.raises(CheckTimeout):
+            rb.wait_for_all([(0, 1), (1, 1)], timeout=0.02)

@@ -110,3 +110,68 @@ class TestDependencyOrder:
         wavefront_run(rows, cols, cell, num_threads=3, col_block=4)
         expected = values.cumsum(axis=0).cumsum(axis=1)
         assert np.array_equal(table, expected)
+
+
+class TestSyncTile:
+    @pytest.mark.parametrize("sync_tile", [1, 2, 3, 100])
+    @pytest.mark.parametrize("num_threads", [1, 3, 5])
+    def test_every_cell_visited_exactly_once(self, num_threads, sync_tile):
+        rows, cols = 7, 13
+        visits = np.zeros((rows, cols), dtype=int)
+        lock = threading.Lock()
+
+        def cell(i, j):
+            with lock:
+                visits[i, j] += 1
+
+        wavefront_run(
+            rows, cols, cell, num_threads=num_threads, col_block=2, sync_tile=sync_tile
+        )
+        assert (visits == 1).all()
+
+    @pytest.mark.parametrize("sync_tile", [2, 4])
+    def test_dependencies_still_respected(self, sync_tile):
+        """Tiled synchronization coarsens the schedule but must never
+        reorder it: up/left neighbours still complete first."""
+        rows, cols = 8, 12
+        done = np.zeros((rows, cols), dtype=bool)
+
+        def cell(i, j):
+            if i > 0:
+                assert done[i - 1, j], f"({i},{j}) ran before ({i-1},{j})"
+            if j > 0:
+                assert done[i, j - 1], f"({i},{j}) ran before ({i},{j-1})"
+            done[i, j] = True
+
+        wavefront_run(rows, cols, cell, num_threads=4, col_block=1, sync_tile=sync_tile)
+        assert done.all()
+
+    def test_tiling_reduces_counter_traffic(self):
+        """sync_tile=k must cut checks and increments by ~k: that is the
+        batching the monotone levels make sound."""
+        from repro.core import MonotonicCounter
+
+        counts = {}
+        for sync_tile in (1, 4):
+            counters = []
+
+            def factory(name, counters=counters):
+                counter = MonotonicCounter(name=name, stats=True)
+                counters.append(counter)
+                return counter
+
+            wavefront_run(
+                8,
+                16,
+                lambda i, j: None,
+                num_threads=4,
+                col_block=1,
+                sync_tile=sync_tile,
+                counter_factory=factory,
+            )
+            counts[sync_tile] = sum(c.stats.increments for c in counters)
+        assert counts[4] <= counts[1] / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wavefront_run(3, 3, lambda i, j: None, num_threads=1, sync_tile=0)
