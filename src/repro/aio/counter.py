@@ -174,7 +174,12 @@ class AsyncCounter:
                 await node.event.wait()
             else:
                 try:
-                    await asyncio.wait_for(asyncio.shield(node.event.wait()), timeout)
+                    # No shield: cancelling Event.wait() is side-effect
+                    # free, and a shielded inner task would linger pending
+                    # forever after a timeout (the finally block may pop
+                    # the level, so its event is never set) — one leaked
+                    # task per timed-out check.
+                    await asyncio.wait_for(node.event.wait(), timeout)
                 except asyncio.TimeoutError:
                     if not node.event.is_set():
                         if self._stats_on:

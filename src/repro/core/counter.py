@@ -269,12 +269,17 @@ class MonotonicCounter(AbstractCounter):
                 if released:
                     draining = None
                     for node in released:
+                        # `released` is the linearization point as seen
+                        # under the counter lock (timeout adjudication,
+                        # snapshot).  The paper's *set* flag, `signaled`,
+                        # is set ONLY by signal() below, under the node's
+                        # own lock, after this critical section: parked
+                        # threads read it under just the node lock, so
+                        # setting it here would let a waiter observe the
+                        # release — and decrement node.count, even run the
+                        # last-leaver _draining.pop — before the tallies
+                        # and the _draining insert below have settled.
                         node.released = True
-                        # Pre-set the paper's *set* flag here so release is
-                        # atomic as observed by snapshot(); signal() sets it
-                        # again under the node lock, which is what parked
-                        # threads synchronize on.
-                        node.signaled = True
                         self._live_levels -= 1
                         self._live_waiters -= node.count
                         if self._stats_on:
@@ -286,10 +291,11 @@ class MonotonicCounter(AbstractCounter):
                             draining.append(node)
                     if draining:
                         # Must happen before any waiter can observe the
-                        # release (they are either parked until signal()
-                        # below, or serialized behind this critical
-                        # section), so the last-leaver pop cannot precede
-                        # the insert.
+                        # release — guaranteed because waiters observe it
+                        # either via signal() (which runs only after this
+                        # critical section) or via `released` under the
+                        # counter lock — so the last-leaver pop can never
+                        # precede the insert.
                         with self._drain_lock:
                             for node in draining:
                                 self._draining[id(node)] = node

@@ -195,7 +195,13 @@ class WaitNode:
                 callback()
 
     def snapshot(self) -> WaitNodeSnapshot:
-        return WaitNodeSnapshot(level=self.level, count=self.count, signaled=self.signaled)
+        # The *set* flag is derived from ``released``, not ``signaled``:
+        # snapshot() holds the counter lock, under which ``released`` is
+        # the release's linearization point, whereas ``signaled`` trails
+        # it (set by the out-of-lock signal pass) and may still be False
+        # for a node that is already drained.  ``signaled`` is never set
+        # without ``released``, so this loses nothing.
+        return WaitNodeSnapshot(level=self.level, count=self.count, signaled=self.released)
 
 
 class WaitList(Protocol):

@@ -143,6 +143,25 @@ class TestAsyncSuspension:
 
         run(scenario())
 
+    def test_timeout_leaves_no_pending_task(self):
+        """A timed-out check must not strand a pending task on the loop.
+
+        A shield around ``event.wait()`` would protect the inner task
+        from ``wait_for``'s cancellation; with the level popped by the
+        timed-out last waiter its event is never set, so that task would
+        pend forever — one leak per timeout, surfacing as "Task was
+        destroyed but it is pending!" at loop shutdown."""
+
+        async def scenario():
+            c = AsyncCounter()
+            with pytest.raises(CheckTimeout):
+                await c.check(1, timeout=0.01)
+            await asyncio.sleep(0)
+            leftovers = [t for t in asyncio.all_tasks() if t is not asyncio.current_task()]
+            assert leftovers == []
+
+        run(scenario())
+
     def test_cancelled_waiter_reclaims_level(self):
         async def scenario():
             c = AsyncCounter()

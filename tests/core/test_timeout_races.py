@@ -30,7 +30,7 @@ import pytest
 from repro.core import CheckTimeout, MonotonicCounter, PARK_ONLY, WaitPolicy
 from repro.simthread import SimCounter
 from repro.verify import ExplorerProgram, explore
-from tests.helpers import join_all, spawn
+from tests.helpers import join_all, spawn, wait_until
 
 
 class ScriptedCondition:
@@ -166,6 +166,74 @@ class TestScriptedInterleavings:
         assert sorted(outcomes) == ["a", "b"]
         assert counter.stats.nodes_released == 2
         assert counter.stats.threads_woken == 2
+        assert counter.stats.timeouts == 0
+        _quiescent(counter)
+
+
+class _TrapDrainLock:
+    """Drop-in for the counter's ``_drain_lock`` trapping its first taker.
+
+    ``increment`` acquires ``_drain_lock`` exactly once, *inside* its
+    critical section, to insert the drained nodes — so trapping the
+    first acquisition suspends the increment at the most delicate point
+    of the release: node unlinked and ``released`` marked, but the
+    draining insert (and everything after it) not yet performed.  Later
+    acquisitions (the last-leaver pop, snapshot, reset) pass through.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.arrived = threading.Event()
+        self.proceed = threading.Event()
+        self._trapped = False
+
+    def __enter__(self):
+        if not self._trapped:
+            self._trapped = True
+            self.arrived.set()
+            assert self.proceed.wait(10)
+        return self._lock.__enter__()
+
+    def __exit__(self, *exc_info):
+        return self._lock.__exit__(*exc_info)
+
+
+class TestIncrementPreemptedMidCriticalSection:
+    """Preempt ``increment`` *inside* its critical section.
+
+    A parked waiter reads the node's ``signaled`` flag under only the
+    node's private lock, so nothing the increment publishes before its
+    critical section is finished may be observable through that flag.
+    If ``signaled`` were set early (as it once was), a waiter could wake,
+    decrement the node's count to zero, and run the last-leaver
+    ``_draining.pop`` *before* the increment's insert — leaking the
+    entry forever (``reset()`` poisoned) and leaving ``_live_waiters``
+    permanently inflated.  The scripted tests above never preempt
+    ``increment`` mid-section; this one does, deterministically.
+    """
+
+    def test_release_is_unobservable_until_the_critical_section_ends(self):
+        counter = MonotonicCounter(policy=PARK_ONLY, stats=True)
+        outcomes = []
+        waiter = spawn(lambda: (counter.check(1, timeout=30), outcomes.append("ok")))
+        wait_until(lambda: counter.snapshot().waiting_levels == (1,))
+        node = next(iter(counter._waiters))
+        trap = _TrapDrainLock()
+        counter._drain_lock = trap
+        incrementer = spawn(counter.increment, 1)
+        assert trap.arrived.wait(10)
+        # The increment is now suspended mid-critical-section: the node is
+        # unlinked and marked released, the draining insert still pending.
+        assert node.released
+        # The set flag must NOT be observable yet — it is what parked
+        # threads synchronize on, under only the node lock.
+        assert not node.signaled
+        # And indeed no waiter has resumed through the half-done release.
+        assert outcomes == []
+        assert waiter.is_alive()
+        trap.proceed.set()
+        join_all([waiter, incrementer])
+        assert outcomes == ["ok"]
         assert counter.stats.timeouts == 0
         _quiescent(counter)
 
