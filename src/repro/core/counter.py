@@ -48,6 +48,7 @@ import threading
 import time
 from typing import Callable, Literal
 
+from repro.core import syncpoints as _sp
 from repro.core.api import AbstractCounter
 from repro.core.errors import CheckTimeout, CounterOverflowError, ResetConcurrencyError
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
@@ -92,6 +93,8 @@ class CounterSubscription:
         self._cancelled = True
         counter = self._counter
         node = self._node
+        if _sp.enabled:
+            _sp.fire("subscribe.cancel", counter)
         with counter._lock:
             if node.released:
                 return  # fired (or firing) — nothing left to remove
@@ -253,6 +256,8 @@ class MonotonicCounter(AbstractCounter):
         """
         amount = validate_amount(amount)
         released: list[WaitNode] | None = None
+        if _sp.enabled:
+            _sp.fire("increment.lock", self)
         with self._lock:
             new_value = self._value + amount
             if self._max_value is not None and new_value > self._max_value:
@@ -267,6 +272,8 @@ class MonotonicCounter(AbstractCounter):
             if amount and self._live_levels:
                 released = self._waiters.release_through(new_value)
                 if released:
+                    if _sp.enabled:
+                        _sp.fire("increment.release", self)
                     draining = None
                     for node in released:
                         # `released` is the linearization point as seen
@@ -296,13 +303,19 @@ class MonotonicCounter(AbstractCounter):
                         # critical section) or via `released` under the
                         # counter lock — so the last-leaver pop can never
                         # precede the insert.
+                        if _sp.enabled:
+                            _sp.fire("increment.drain", self)
                         with self._drain_lock:
                             for node in draining:
                                 self._draining[id(node)] = node
         if released:
+            if _sp.enabled:
+                _sp.fire("increment.unlock", self)
             # The coalesced wake pass: counter lock long gone, one
             # notify_all per satisfied level, subscribers fired after.
             for node in released:
+                if _sp.enabled:
+                    _sp.fire("increment.signal", self)
                 node.signal()
         return new_value
 
@@ -344,6 +357,8 @@ class MonotonicCounter(AbstractCounter):
                     timeout = deadline - time.monotonic()
                     if timeout < 0.0:
                         timeout = 0.0
+        if _sp.enabled:
+            _sp.fire("check.lock", self)
         with self._lock:
             if self._value >= level:
                 if self._stats_on:
@@ -398,6 +413,8 @@ class MonotonicCounter(AbstractCounter):
         condition = node.condition
         timed_out = False
         last = False
+        if _sp.enabled:
+            _sp.fire("park.enter", self)
         with condition:
             if timeout is None:
                 while not node.signaled:
@@ -408,6 +425,8 @@ class MonotonicCounter(AbstractCounter):
                 while not node.signaled:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or not condition.wait(remaining):
+                        if _sp.enabled:
+                            _sp.fire("park.verdict", self)
                         if node.signaled:
                             break
                         timed_out = True
@@ -417,6 +436,8 @@ class MonotonicCounter(AbstractCounter):
                 last = node.count == 0
         if not timed_out:
             if last:
+                if _sp.enabled:
+                    _sp.fire("park.drain", self)
                 with self._drain_lock:
                     self._draining.pop(id(node), None)
             return
@@ -428,6 +449,8 @@ class MonotonicCounter(AbstractCounter):
         # or it has not (genuine timeout; deregister).  A wakeup can
         # therefore never be lost *and* a satisfying increment can never
         # be reported as a timeout.
+        if _sp.enabled:
+            _sp.fire("park.adjudicate", self)
         with self._lock:
             if not node.released:
                 node.count -= 1
@@ -452,6 +475,8 @@ class MonotonicCounter(AbstractCounter):
             node.count -= 1
             last = node.count == 0
         if last:
+            if _sp.enabled:
+                _sp.fire("park.drain", self)
             with self._drain_lock:
                 self._draining.pop(id(node), None)
 
@@ -472,6 +497,8 @@ class MonotonicCounter(AbstractCounter):
             raise TypeError(f"callback must be callable, got {callback!r}")
         if self._fast_path and self._value >= level:
             return None
+        if _sp.enabled:
+            _sp.fire("subscribe.lock", self)
         with self._lock:
             if self._value >= level:
                 return None
@@ -517,13 +544,21 @@ class MonotonicCounter(AbstractCounter):
             with self._drain_lock:
                 # A drained node whose last waiter already decremented but
                 # has not popped it yet is logically deallocated — hide it.
+                # Capture and filter in one pass: the waiter's decrement
+                # happens under the NODE lock, which we do not hold, so a
+                # node that passes an `if node.count` pre-filter could
+                # still be captured at count == 0 a moment later.
                 draining = sorted(
-                    (node for node in self._draining.values() if node.count),
-                    key=lambda node: node.level,
+                    (
+                        snap
+                        for node in self._draining.values()
+                        if (snap := node.snapshot()).count
+                    ),
+                    key=lambda snap: snap.level,
                 )
             return CounterSnapshot(
                 value=self._value,
-                nodes=tuple(node.snapshot() for node in draining)
+                nodes=tuple(draining)
                 + tuple(node.snapshot() for node in self._waiters),
             )
 

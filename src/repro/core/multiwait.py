@@ -50,6 +50,7 @@ import threading
 import time
 from typing import Iterable, Sequence
 
+from repro.core import syncpoints as _sp
 from repro.core.api import CounterProtocol
 from repro.core.errors import CheckTimeout
 from repro.core.validation import validate_level, validate_timeout
@@ -120,6 +121,8 @@ class MultiWait:
     def _make_callback(self, index: int):
         def fire() -> None:
             cond = self._cond
+            if _sp.enabled:
+                _sp.fire("multiwait.fire", self)
             with cond:
                 self._satisfied.add(index)
                 cond.notify_all()
@@ -162,6 +165,8 @@ class MultiWait:
     def _wait(self, done, timeout: float | None, mode: str) -> None:
         timeout = validate_timeout(timeout)
         cond = self._cond
+        if _sp.enabled:
+            _sp.fire("multiwait.park", self)
         with cond:
             if self._closed:
                 raise RuntimeError("MultiWait is closed")
@@ -187,6 +192,8 @@ class MultiWait:
         callback arriving concurrently just lands in the satisfied set of
         a closed object, harmlessly).
         """
+        if _sp.enabled:
+            _sp.fire("multiwait.close", self)
         with self._cond:
             if self._closed:
                 return

@@ -48,6 +48,7 @@ import threading
 
 from typing import Callable
 
+from repro.core import syncpoints as _sp
 from repro.core.api import AbstractCounter
 from repro.core.counter import CounterSubscription, MonotonicCounter, WaitListStrategy
 from repro.core.snapshot import CounterSnapshot
@@ -207,6 +208,8 @@ class ShardedCounter(AbstractCounter):
                 (threading.get_ident() * _MIX) % self._nshards
             ]
         flush = 0
+        if _sp.enabled:
+            _sp.fire("shard.lock", self)
         with shard.lock:
             shard.pending += amount
             # Read _checkers inside the shard lock: the drain in check()
@@ -216,6 +219,8 @@ class ShardedCounter(AbstractCounter):
             if shard.pending >= self._batch or self._checkers:
                 flush, shard.pending = shard.pending, 0
         if flush:
+            if _sp.enabled:
+                _sp.fire("shard.flush", self)
             return self._central.increment(flush)
         return self._central._value
 
@@ -233,6 +238,8 @@ class ShardedCounter(AbstractCounter):
             if central._stats_on:
                 central.stats.immediate_checks += 1
             return
+        if _sp.enabled:
+            _sp.fire("sharded.register", self)
         with self._checkers_lock:
             self._checkers += 1
         try:
@@ -258,6 +265,8 @@ class ShardedCounter(AbstractCounter):
             raise TypeError(f"callback must be callable, got {callback!r}")
         if self._central._value >= level:
             return None
+        if _sp.enabled:
+            _sp.fire("sharded.register", self)
         with self._checkers_lock:
             self._checkers += 1
         sub = _ShardedSubscription(self, callback)
@@ -310,6 +319,8 @@ class ShardedCounter(AbstractCounter):
         One central ``increment`` for the combined total: a single lock
         acquisition and release scan regardless of shard count.
         """
+        if _sp.enabled:
+            _sp.fire("sharded.drain", self)
         total = 0
         for shard in self._shards:
             with shard.lock:

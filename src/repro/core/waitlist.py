@@ -47,6 +47,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator, Protocol
 
+from repro.core import syncpoints as _sp
 from repro.core.snapshot import WaitNodeSnapshot
 
 __all__ = [
@@ -182,11 +183,15 @@ class WaitNode:
         they must be quick and must not raise.
         """
         condition = self.condition
+        if _sp.enabled:
+            _sp.fire("node.signal", self)
         with condition:
             self.signaled = True
             condition.notify_all()
         subscribers = self.subscribers
         if subscribers:
+            if _sp.enabled:
+                _sp.fire("node.subscribers", self)
             # Safe without a lock: subscribe/unsubscribe mutate this list
             # only under the counter lock and only while the node is
             # unreleased; `released` was set before this call.

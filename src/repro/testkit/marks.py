@@ -1,0 +1,193 @@
+"""Pytest integration: the ``@interleave`` decorator.
+
+``@interleave(schedules=N)`` turns a test body into N adversarially
+scheduled runs.  The body receives a fresh :class:`ScheduleRun` each
+time, spawns its workers on it, calls :meth:`ScheduleRun.run`, and then
+asserts whatever it likes (typically the quiescence checkers from
+:mod:`repro.testkit.invariants`)::
+
+    @interleave(schedules=25, scheduler="pct")
+    def test_fan_in(sched):
+        counter = MonotonicCounter()
+        for i in range(sched.threads):
+            sched.spawn(f"inc{i}", counter.increment, 1)
+        sched.spawn("waiter", counter.check, sched.threads)
+        sched.run()
+        assert_counter_quiescent(counter, expect_value=sched.threads)
+
+Any failure — a worker exception, a deadlock, a failed probe or
+assertion — is re-raised as :class:`ScheduleFailure` carrying the seed
+and the compact grant trace, plus a ready-to-paste
+:func:`repro.testkit.replay` call.  Decorated tests also carry the
+``interleave`` pytest marker (registered in ``tests/conftest.py``) so CI
+can select or deselect them with ``-m interleave``.
+
+Environment knobs (all optional; defaults are fully deterministic):
+
+``TESTKIT_SEED``
+    Overrides every test's base seed — CI's nightly job sets this to the
+    run id so each night explores different schedules, while PR runs
+    leave it unset for reproducible fixed-seed schedules.
+``TESTKIT_SCHEDULES_SCALE``
+    Float multiplier on every ``schedules=N`` count (nightly depth).
+``TESTKIT_TRACE_DIR``
+    If set, failing schedules also write their trace to
+    ``<dir>/<test>-seed<seed>.trace`` for artifact upload.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import zlib
+from typing import Any, Callable
+
+from repro.testkit.harness import Controller, ScheduleFailure
+from repro.testkit.schedulers import make_scheduler
+
+try:  # pragma: no cover - exercised implicitly by every pytest run
+    import pytest as _pytest
+except ImportError:  # pragma: no cover - testkit works without pytest
+    _pytest = None
+
+__all__ = ["interleave", "ScheduleRun", "ScheduleFailure"]
+
+
+class ScheduleRun:
+    """One scheduled execution handed to an ``@interleave`` test body."""
+
+    def __init__(
+        self,
+        *,
+        index: int,
+        seed: int,
+        scheduler: str,
+        pct_depth: int,
+        threads: int,
+        stall_timeout: float,
+    ) -> None:
+        self.index = index
+        self.seed = seed
+        self.scheduler_kind = scheduler
+        #: Suggested worker-pool size (the decorator's ``threads=`` knob);
+        #: purely advisory — bodies spawn what they want.
+        self.threads = threads
+        self.controller = Controller(stall_timeout=stall_timeout)
+        self._scheduler = make_scheduler(scheduler, seed, pct_depth=pct_depth)
+        self._ran = False
+
+    def spawn(self, name: str, fn: Callable[..., Any], *args: Any) -> None:
+        self.controller.spawn(name, fn, *args)
+
+    def invariant_at(self, point: str, fn: Callable[[object], None]) -> None:
+        self.controller.invariant_at(point, fn)
+
+    def run(self) -> None:
+        """Drive every spawned worker to completion under the scheduler,
+        then re-raise any worker exception."""
+        if self._ran:
+            raise RuntimeError("ScheduleRun.run() called twice")
+        self._ran = True
+        with self.controller:
+            self.controller.run_scheduler(self._scheduler)
+            self.controller.finish()
+            self.controller.raise_worker_errors()
+
+    @property
+    def trace(self):
+        return self.controller.trace
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScheduleRun #{self.index} {self.scheduler_kind} seed={self.seed} "
+            f"{len(self.trace)} grants>"
+        )
+
+
+def _base_seed(fn: Callable, explicit: int | None) -> int:
+    env = os.environ.get("TESTKIT_SEED")
+    if env:  # empty string (e.g. a blank CI variable) means unset
+        return int(env)
+    if explicit is not None:
+        return explicit
+    # Deterministic per-test default: different tests explore different
+    # schedule neighbourhoods, every run of one test explores the same.
+    return zlib.crc32(fn.__qualname__.encode())
+
+
+def _scaled(schedules: int) -> int:
+    scale = float(os.environ.get("TESTKIT_SCHEDULES_SCALE") or "1")
+    return max(1, round(schedules * scale))
+
+
+def _dump_trace(fn: Callable, run: ScheduleRun) -> str | None:
+    directory = os.environ.get("TESTKIT_TRACE_DIR")
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{fn.__name__}-seed{run.seed}.trace")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(str(run.trace) + "\n")
+    return path
+
+
+def interleave(
+    schedules: int = 20,
+    *,
+    scheduler: str = "random",
+    seed: int | None = None,
+    pct_depth: int = 3,
+    threads: int = 3,
+    stall_timeout: float = 0.02,
+):
+    """Run the decorated test body under ``schedules`` adversarial
+    schedules (see module docstring for the body protocol)."""
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        signature = inspect.signature(fn)
+        parameters = list(signature.parameters.values())
+        if not parameters:
+            raise TypeError(
+                f"@interleave test {fn.__qualname__} must take the "
+                "ScheduleRun as its first parameter"
+            )
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> None:
+            base = _base_seed(fn, seed)
+            for index in range(_scaled(schedules)):
+                run = ScheduleRun(
+                    index=index,
+                    seed=base + index,
+                    scheduler=scheduler,
+                    pct_depth=pct_depth,
+                    threads=threads,
+                    stall_timeout=stall_timeout,
+                )
+                try:
+                    fn(run, *args, **kwargs)
+                except ScheduleFailure:
+                    raise
+                except BaseException as exc:
+                    path = _dump_trace(fn, run)
+                    where = f" (trace written to {path})" if path else ""
+                    raise ScheduleFailure(
+                        f"{fn.__qualname__} failed on schedule #{run.index} "
+                        f"(scheduler={scheduler!r}, seed={run.seed}): {exc!r}\n"
+                        f"  trace: {run.trace}{where}\n"
+                        f"  replay: repro.testkit.replay({str(run.trace)!r}, "
+                        f"threads={{...}})  # same worker names/fns as the test",
+                        trace=run.trace,
+                        seed=run.seed,
+                    ) from exc
+
+        # Hide the ScheduleRun parameter from pytest's fixture resolution:
+        # the wrapper injects it, so the collected signature must not
+        # advertise it.
+        wrapper.__signature__ = signature.replace(parameters=parameters[1:])  # type: ignore[attr-defined]
+        if _pytest is not None:
+            wrapper = _pytest.mark.interleave(wrapper)
+        return wrapper
+
+    return decorate

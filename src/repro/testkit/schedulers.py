@@ -1,0 +1,107 @@
+"""Scheduling policies for the interleaving controller.
+
+A scheduler answers one question, repeatedly: *of the workers currently
+parked at a sync-point gate, which one runs next?*  The controller
+(:mod:`repro.testkit.harness`) guarantees the candidate list is sorted
+by worker name, so a scheduler seeded identically makes the same choice
+whenever it faces the same candidates — schedules are reproducible up to
+the real-time nondeterminism of threads parked in actual condition
+variables (exact reruns go through :func:`repro.testkit.replay`).
+
+Two adversarial policies are provided:
+
+* :class:`RandomScheduler` — uniform seeded choice.  Simple, and with
+  enough schedules surprisingly effective at shaking out ordering bugs.
+* :class:`PCTScheduler` — probabilistic concurrency testing (Burckhardt
+  et al., ASPLOS 2010): workers get random priorities, the
+  highest-priority gated worker always runs, and at ``depth`` randomly
+  pre-chosen schedule steps the current leader is demoted below
+  everyone.  For a bug that needs ``d`` ordered preemptions, a PCT
+  schedule with depth ``d`` finds it with probability ≥ 1/(n·k^(d-1))
+  — far better than uniform random over long schedules.
+
+Scripted schedules are not a scheduler: they drive the controller's
+positioning primitives directly (see :mod:`repro.testkit.script`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+__all__ = ["Scheduler", "RandomScheduler", "PCTScheduler", "make_scheduler"]
+
+
+class Scheduler(Protocol):
+    """Strategy interface consumed by ``Controller.run_scheduler``."""
+
+    def choose(self, waiting: Sequence["object"], step: int) -> "object":
+        """Pick the next worker to grant.
+
+        ``waiting`` is a non-empty list of workers (objects with a
+        ``.name`` and ``.point``) sorted by name; ``step`` is the number
+        of grants issued so far.
+        """
+        ...
+
+
+class RandomScheduler:
+    """Uniform seeded choice among the gated workers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, waiting, step):
+        return self._rng.choice(waiting)
+
+    def __repr__(self) -> str:
+        return f"RandomScheduler(seed={self.seed})"
+
+
+class PCTScheduler:
+    """PCT-style randomized priority scheduling with ``depth`` demotions.
+
+    Priorities are assigned lazily (first time a worker is seen) from the
+    seeded stream; ``depth`` priority-change points are pre-sampled from
+    ``range(1, horizon)``.  When the global grant count hits a change
+    point, the currently highest-priority *gated* worker is demoted below
+    every priority handed out so far, forcing the preemption the bug
+    depth asks for.
+    """
+
+    def __init__(self, seed: int = 0, depth: int = 3, horizon: int = 64) -> None:
+        if depth < 0 or horizon < 2:
+            raise ValueError(f"need depth >= 0 and horizon >= 2, got {depth}, {horizon}")
+        self.seed = seed
+        self.depth = depth
+        self.horizon = horizon
+        self._rng = random.Random(seed)
+        self._priority: dict[str, float] = {}
+        self._floor = 0.0  # demoted workers stack below this, in demotion order
+        self._change_points = set(
+            self._rng.sample(range(1, horizon), min(depth, horizon - 1))
+        )
+
+    def choose(self, waiting, step):
+        for worker in waiting:
+            if worker.name not in self._priority:
+                self._priority[worker.name] = self._rng.random()
+        leader = max(waiting, key=lambda w: self._priority[w.name])
+        if step in self._change_points:
+            self._floor -= 1.0
+            self._priority[leader.name] = self._floor
+            leader = max(waiting, key=lambda w: self._priority[w.name])
+        return leader
+
+    def __repr__(self) -> str:
+        return f"PCTScheduler(seed={self.seed}, depth={self.depth})"
+
+
+def make_scheduler(kind: str, seed: int, *, pct_depth: int = 3) -> Scheduler:
+    """Build a scheduler from the ``@interleave`` spelling (``"random"``/``"pct"``)."""
+    if kind == "random":
+        return RandomScheduler(seed)
+    if kind == "pct":
+        return PCTScheduler(seed, depth=pct_depth)
+    raise ValueError(f"unknown scheduler kind {kind!r} (expected 'random' or 'pct')")

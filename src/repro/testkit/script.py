@@ -1,0 +1,212 @@
+"""Scripted schedules and trace replay.
+
+A *script* pins one exact interleaving as a list of small ops executed
+by the test thread against a :class:`~repro.testkit.harness.Controller`:
+
+* :func:`until` — advance a worker gate-by-gate until it parks at a
+  named sync point (it then *stays there*, holding whatever real locks
+  it holds, while other ops run);
+* :func:`grant` — release a worker from its current gate, optionally
+  asserting which point it was gated at;
+* :func:`run_thread` — let one worker run gate-to-gate until it either
+  finishes or blocks in a real primitive;
+* :func:`probe` — run an assertion callback in the test thread while the
+  workers stand still.
+
+Scripts are written against the *protocol* (the sequence of sync points
+a code path fires), so one script can drive both a buggy and a fixed
+implementation of the same protocol and let probes tell them apart —
+that is how the PR-2 draining-set leak is reproduced in
+``tests/testkit/test_scripted_regressions.py``.
+
+:func:`replay` is the other direction: take the printed
+:class:`~repro.testkit.trace.Trace` of a failed scheduler run and
+re-impose its grant order.  Replay is *lenient* — real condition
+variables may surface threads in a slightly different gate order on
+re-execution — so mismatched steps are skipped and counted rather than
+failing the replay; the divergence count tells you how faithful the
+rerun was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.testkit.harness import Controller, ScheduleError
+from repro.testkit.trace import Trace
+
+__all__ = [
+    "Until",
+    "Grant",
+    "RunThread",
+    "Probe",
+    "until",
+    "grant",
+    "run_thread",
+    "probe",
+    "run_script",
+    "replay",
+    "ReplayResult",
+]
+
+
+# ------------------------------------------------------------- script ops
+
+
+@dataclass(frozen=True)
+class Until:
+    """Advance ``thread`` through gates until it waits at ``point``."""
+
+    thread: str
+    point: str
+    timeout: float = 10.0
+
+
+@dataclass(frozen=True)
+class Grant:
+    """Release ``thread`` from its gate (asserting ``point`` if given)."""
+
+    thread: str
+    point: str | None = None
+    timeout: float = 10.0
+
+
+@dataclass(frozen=True)
+class RunThread:
+    """Run ``thread`` to completion or until it blocks in a real
+    primitive; ``expect`` (``"done"``/``"blocked"``) asserts which."""
+
+    thread: str
+    expect: str | None = None
+    timeout: float = 10.0
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Run ``fn(controller)`` in the test thread between grants."""
+
+    fn: Callable[[Controller], None]
+    label: str = ""
+
+
+def until(thread: str, point: str, timeout: float = 10.0) -> Until:
+    return Until(thread, point, timeout)
+
+
+def grant(thread: str, point: str | None = None, timeout: float = 10.0) -> Grant:
+    return Grant(thread, point, timeout)
+
+
+def run_thread(thread: str, expect: str | None = None, timeout: float = 10.0) -> RunThread:
+    return RunThread(thread, expect, timeout)
+
+
+def probe(fn: Callable[[Controller], None], label: str = "") -> Probe:
+    return Probe(fn, label)
+
+
+# --------------------------------------------------------------- drivers
+
+
+def _spawn_all(controller: Controller, threads: Mapping[str, Any]) -> None:
+    for name, spec in threads.items():
+        if callable(spec):
+            controller.spawn(name, spec)
+        else:
+            fn, *args = spec
+            controller.spawn(name, fn, *args)
+
+
+def run_script(
+    script: Sequence[Until | Grant | RunThread | Probe],
+    threads: Mapping[str, Any],
+    *,
+    stall_timeout: float = 0.02,
+    finish: bool = True,
+) -> Controller:
+    """Execute ``script`` over ``threads`` (name → callable or
+    ``(callable, *args)`` tuple) and return the finished controller.
+
+    After the last op (with ``finish=True``, the default) every worker
+    is free-run to completion and worker exceptions are re-raised — a
+    script only has to choreograph the interesting prefix.
+    """
+    controller = Controller(stall_timeout=stall_timeout)
+    _spawn_all(controller, threads)
+    with controller:
+        for index, op in enumerate(script):
+            try:
+                if isinstance(op, Until):
+                    controller.until(op.thread, op.point, timeout=op.timeout)
+                elif isinstance(op, Grant):
+                    controller.grant(op.thread, op.point, timeout=op.timeout)
+                elif isinstance(op, RunThread):
+                    outcome = controller.run_thread(op.thread, timeout=op.timeout)
+                    if op.expect is not None and outcome != op.expect:
+                        raise ScheduleError(
+                            f"run_thread({op.thread!r}) ended {outcome!r}, "
+                            f"script expected {op.expect!r} (trace: {controller.trace})"
+                        )
+                elif isinstance(op, Probe):
+                    op.fn(controller)
+                else:
+                    raise TypeError(f"not a script op: {op!r}")
+            except ScheduleError as exc:
+                raise ScheduleError(f"script step {index} ({op!r}): {exc}") from exc
+        if finish:
+            controller.finish()
+            controller.raise_worker_errors()
+    return controller
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a :func:`replay`: the controller (trace, errors) plus
+    how many recorded steps could not be re-imposed exactly."""
+
+    controller: Controller
+    divergences: int = 0
+    skipped: list[str] = field(default_factory=list)
+
+
+def replay(
+    trace: Trace | str,
+    threads: Mapping[str, Any],
+    *,
+    stall_timeout: float = 0.02,
+    step_timeout: float = 2.0,
+) -> ReplayResult:
+    """Re-impose a recorded grant order on a fresh run of ``threads``.
+
+    Leniently: a step whose worker is already done, or whose worker
+    never surfaces at a gate in time (it is blocked in a real primitive
+    awaiting a peer the original schedule had already run), is skipped
+    and counted in :attr:`ReplayResult.divergences`.  A gate-point
+    mismatch is granted anyway and counted.  Workers are free-run to
+    completion afterwards and their exceptions re-raised — so a replay
+    of a crashing schedule crashes the same way.
+    """
+    if isinstance(trace, str):
+        trace = Trace.parse(trace)
+    result = ReplayResult(Controller(stall_timeout=stall_timeout))
+    controller = result.controller
+    _spawn_all(controller, threads)
+    with controller:
+        for step in trace:
+            if step.thread not in controller._workers:
+                raise ScheduleError(
+                    f"trace names worker {step.thread!r} but threads= "
+                    f"only defines {sorted(controller._workers)}"
+                )
+            try:
+                at = controller.grant(step.thread, timeout=step_timeout)
+            except ScheduleError:
+                result.divergences += 1
+                result.skipped.append(str(step))
+                continue
+            if at != step.point:
+                result.divergences += 1
+        controller.finish()
+        controller.raise_worker_errors()
+    return result

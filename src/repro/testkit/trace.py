@@ -1,0 +1,74 @@
+"""Compact, replayable schedule traces.
+
+A schedule is fully described by the sequence of *grants* the controller
+issued: which worker was allowed to proceed, and at which sync point it
+was gated when the grant arrived.  :class:`Trace` is that sequence, with
+a one-line textual form — ``"w0:start w0:check.lock inc:increment.lock"``
+— that failing tests print and :func:`repro.testkit.replay` parses back.
+
+Thread names therefore must not contain whitespace or ``":"`` (the
+harness enforces this at ``spawn``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["TraceStep", "Trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStep:
+    """One grant: ``thread`` was released from its gate at ``point``."""
+
+    thread: str
+    point: str
+
+    def __str__(self) -> str:
+        return f"{self.thread}:{self.point}"
+
+
+class Trace:
+    """An ordered record of grants, printable and parseable.
+
+    >>> t = Trace([TraceStep("w", "start"), TraceStep("w", "park.enter")])
+    >>> str(t)
+    'w:start w:park.enter'
+    >>> Trace.parse(str(t)) == t
+    True
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Iterable[TraceStep] = ()) -> None:
+        self.steps: list[TraceStep] = list(steps)
+
+    @classmethod
+    def parse(cls, text: str) -> "Trace":
+        """Parse the one-line ``thread:point`` format back into a trace."""
+        steps = []
+        for token in text.split():
+            thread, sep, point = token.partition(":")
+            if not sep or not thread or not point:
+                raise ValueError(f"malformed trace token {token!r}")
+            steps.append(TraceStep(thread, point))
+        return cls(steps)
+
+    def append(self, thread: str, point: str) -> None:
+        self.steps.append(TraceStep(thread, point))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[TraceStep]:
+        return iter(self.steps)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Trace) and self.steps == other.steps
+
+    def __str__(self) -> str:
+        return " ".join(str(step) for step in self.steps)
+
+    def __repr__(self) -> str:
+        return f"Trace({str(self)!r})"

@@ -1,0 +1,187 @@
+"""Cancellation semantics of the asyncio counter family.
+
+The async implementations deliberately run unshielded (see the comments
+in ``repro/aio/counter.py``): cancelling an ``Event.wait`` is
+side-effect free, and a shield would leave one pending task lingering
+per timed-out or cancelled check.  These tests pin the contract that
+motivates that choice:
+
+* cancelling a suspended ``check``/``wait_all``/``wait_any`` mid-wait
+  raises ``CancelledError`` in the waiter and nothing else;
+* the waiter's ``finally`` reclaims its level bookkeeping — no node
+  residue, tallies consistent, ``reset()`` not poisoned;
+* no orphaned task remains on the loop afterwards (the PR-2 review
+  class of bug: a leaked inner task per expired wait).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.aio import AsyncCounter
+from repro.aio.multiwait import AsyncMultiWait
+from repro.core.errors import CheckTimeout
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _settle(task):
+    """Cancel ``task``, await its unwinding, and assert it ended in
+    cancellation (not some other exception, not a silent success)."""
+    task.cancel()
+    with contextlib.suppress(asyncio.CancelledError):
+        await task
+    assert task.cancelled()
+
+
+def _stragglers():
+    """Tasks still pending on the loop besides the caller's own."""
+    current = asyncio.current_task()
+    return [t for t in asyncio.all_tasks() if t is not current and not t.done()]
+
+
+class TestCancelCheck:
+    def test_cancel_untimed_check_reclaims_level(self):
+        async def scenario():
+            counter = AsyncCounter()
+            task = asyncio.ensure_future(counter.check(1))
+            await asyncio.sleep(0)  # let it suspend
+            assert counter.snapshot().waiting_levels == (1,)
+            await _settle(task)
+            # The finally block ran: level reclaimed, no waiter residue.
+            assert counter._levels == {}
+            assert _stragglers() == []
+            counter.reset()  # not poisoned
+            counter.increment(1)
+            await counter.check(1)  # counter fully usable
+
+        run(scenario())
+
+    def test_cancel_timed_check_leaves_no_pending_tasks(self):
+        """The wait_for plumbing must unwind completely on cancellation —
+        no inner waiter left pending on the loop."""
+
+        async def scenario():
+            counter = AsyncCounter()
+            task = asyncio.ensure_future(counter.check(1, timeout=30))
+            await asyncio.sleep(0)
+            await _settle(task)
+            assert counter._levels == {}
+            assert _stragglers() == []
+
+        run(scenario())
+
+    def test_timeout_expiry_leaves_no_pending_tasks(self):
+        """The leak class the no-shield comment documents: a check whose
+        timeout *expires* must also leave a clean loop and no node."""
+
+        async def scenario():
+            counter = AsyncCounter()
+            with pytest.raises(CheckTimeout):
+                await counter.check(1, timeout=0.01)
+            assert counter._levels == {}
+            assert _stragglers() == []
+            counter.reset()
+
+        run(scenario())
+
+    def test_cancel_one_waiter_spares_the_others(self):
+        async def scenario():
+            counter = AsyncCounter()
+            doomed = asyncio.ensure_future(counter.check(1))
+            survivor = asyncio.ensure_future(counter.check(1))
+            await asyncio.sleep(0)
+            node = counter._levels[1]
+            assert node.count == 2
+            await _settle(doomed)
+            # Same level node, one waiter fewer — not reclaimed early.
+            assert counter._levels[1] is node and node.count == 1
+            counter.increment(1)
+            await survivor
+            assert counter._levels == {}
+            assert _stragglers() == []
+
+        run(scenario())
+
+    def test_cancelled_waiter_spares_a_subscription_on_its_level(self):
+        """A cancelled waiter sharing its level with a live subscription
+        must not reclaim the node out from under the subscriber."""
+
+        async def scenario():
+            counter = AsyncCounter()
+            fired = []
+            subscription = counter.subscribe(1, lambda: fired.append(True))
+            assert subscription is not None
+            task = asyncio.ensure_future(counter.check(1))
+            await asyncio.sleep(0)
+            await _settle(task)
+            assert 1 in counter._levels  # kept alive for the subscriber
+            counter.increment(1)
+            assert fired == [True]
+            assert counter._levels == {}
+
+        run(scenario())
+
+
+class TestCancelMultiWait:
+    def test_cancel_wait_all_midwait(self):
+        async def scenario():
+            a, b = AsyncCounter(), AsyncCounter()
+            mw = AsyncMultiWait([(a, 1), (b, 1)])
+            task = asyncio.ensure_future(mw.wait_all())
+            await asyncio.sleep(0)
+            a.increment(1)  # partial satisfaction, still waiting
+            await asyncio.sleep(0)
+            await _settle(task)
+            assert mw.satisfied == frozenset({0})  # delivery survived
+            assert _stragglers() == []
+            # Close cancels the unfired subscription: both counters end
+            # with no registered levels and a working reset().
+            mw.close()
+            assert a._levels == {} and b._levels == {}
+            a.reset()
+            b.reset()
+
+        run(scenario())
+
+    def test_cancel_timed_wait_any_then_reuse(self):
+        """Cancellation must not wedge the object: a later delivery still
+        lands and a fresh wait observes it."""
+
+        async def scenario():
+            a, b = AsyncCounter(), AsyncCounter()
+            mw = AsyncMultiWait([(a, 1), (b, 1)])
+            task = asyncio.ensure_future(mw.wait_any(timeout=30))
+            await asyncio.sleep(0)
+            await _settle(task)
+            assert _stragglers() == []
+            b.increment(1)
+            assert await mw.wait_any(timeout=1) == frozenset({1})
+            mw.close()
+            assert a._levels == {} and b._levels == {}
+
+        run(scenario())
+
+    def test_cancelled_wait_does_not_close_the_multiwait(self):
+        """Cancellation of one waiting coroutine is not close(): other
+        waiters of the same object keep working."""
+
+        async def scenario():
+            a = AsyncCounter()
+            mw = AsyncMultiWait([(a, 1)])
+            doomed = asyncio.ensure_future(mw.wait_all())
+            survivor = asyncio.ensure_future(mw.wait_all())
+            await asyncio.sleep(0)
+            await _settle(doomed)
+            a.increment(1)
+            await asyncio.wait_for(survivor, 1)
+            assert mw.satisfied == frozenset({0})
+            mw.close()
+            assert _stragglers() == []
+
+        run(scenario())

@@ -1,0 +1,107 @@
+"""Hypothesis properties: MultiWait agrees with the sequential strategy.
+
+``MultiWait`` (subscriptions + one park) and ``check_all`` (sequential
+checks, correct by stability) implement the same predicate: *all of
+these ``(counter, level)`` conditions hold*.  For any levels and any
+counter values, the two strategies — and the raw per-condition
+comparison — must agree exactly on which conditions are satisfied and
+on whether the conjunction/disjunction holds.  Deliveries here are
+synchronous (callbacks run in the incrementing thread), so the
+properties are deterministic; the raciness of deliveries is the
+province of ``tests/testkit/test_multiwait_interleave.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import MonotonicCounter
+from repro.core.errors import CheckTimeout
+from repro.core.multiwait import MultiWait, check_all
+
+# A scenario: n counters with target values, m conditions referencing them.
+scenarios = st.integers(1, 4).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 8), min_size=n, max_size=n),  # final values
+        st.lists(  # conditions: (counter index, level)
+            st.tuples(st.integers(0, n - 1), st.integers(0, 10)),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+)
+
+
+def _expected(values, conditions):
+    return frozenset(
+        index
+        for index, (counter_index, level) in enumerate(conditions)
+        if values[counter_index] >= level
+    )
+
+
+@given(scenario=scenarios)
+def test_satisfied_set_matches_direct_comparison(scenario):
+    """Counters already at their final values: registration alone must
+    classify every condition exactly."""
+    values, conditions = scenario
+    counters = [MonotonicCounter() for _ in values]
+    for counter, value in zip(counters, values):
+        counter.increment(value)
+    pairs = [(counters[ci], level) for ci, level in conditions]
+    expected = _expected(values, conditions)
+
+    with MultiWait(pairs) as mw:
+        assert mw.satisfied == expected
+        # wait_all succeeds instantly iff the conjunction holds.
+        if len(expected) == len(conditions):
+            mw.wait_all(timeout=0)
+        else:
+            with pytest.raises(CheckTimeout):
+                mw.wait_all(timeout=0)
+        # wait_any succeeds instantly iff the disjunction holds, and
+        # reports the full satisfied set, not an arbitrary winner.
+        if expected:
+            assert mw.wait_any(timeout=0) == expected
+        else:
+            with pytest.raises(CheckTimeout):
+                mw.wait_any(timeout=0)
+
+    # The sequential strategy must reach the same verdict on the
+    # conjunction.
+    if len(expected) == len(conditions):
+        check_all(pairs, timeout=0)
+    else:
+        with pytest.raises(CheckTimeout):
+            check_all(pairs, timeout=0)
+
+
+@given(scenario=scenarios)
+def test_incremental_deliveries_accumulate_to_the_same_set(scenario):
+    """Register first, increment after: synchronous callback delivery
+    must grow the satisfied set to exactly the direct comparison, one
+    increment at a time, and never shrink it (stability)."""
+    values, conditions = scenario
+    counters = [MonotonicCounter() for _ in values]
+    pairs = [(counters[ci], level) for ci, level in conditions]
+
+    with MultiWait(pairs) as mw:
+        reached = [0] * len(values)
+        previous = mw.satisfied
+        for counter_index, value in enumerate(values):
+            for _ in range(value):
+                counters[counter_index].increment(1)
+                reached[counter_index] += 1
+                now = mw.satisfied
+                assert now >= previous  # stability: only ever grows
+                assert now == _expected(reached, conditions)
+                previous = now
+        assert mw.satisfied == _expected(values, conditions)
+        if len(mw.satisfied) == len(conditions):
+            mw.wait_all(timeout=0)
+
+    # Close cancelled the unfired subscriptions: every counter is left
+    # reusable with no waiter residue.
+    for counter in counters:
+        counter.reset()

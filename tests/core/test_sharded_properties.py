@@ -1,0 +1,119 @@
+"""Hypothesis properties for the sharded counter's deferral contract.
+
+The sharded counter's one semantic liberty is *deferral*: an increment
+may park its amount in a shard instead of publishing it.  Everything
+else is contractual and property-testable:
+
+* **no under-reporting** — ``increment``'s return and ``published`` are
+  lower bounds on the true total; ``value``/``flush`` (the reconciling
+  reads) report it exactly, for every shard/batch geometry;
+* **eager flush** — while any checker or live subscription is
+  registered, deferral switches off: nothing stays pending;
+* **batch=1** — restores exact synchronous semantics increment by
+  increment.
+
+Single-threaded on purpose: Hypothesis shrinks deterministic sequences
+beautifully and these invariants don't need real contention to bind —
+the adversarial-interleaving side lives in
+``tests/testkit/test_sharded_interleave.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sharded import ShardedCounter
+
+amounts_lists = st.lists(st.integers(min_value=0, max_value=20), max_size=30)
+geometries = st.tuples(st.integers(1, 4), st.integers(1, 8))  # (shards, batch)
+
+
+@given(geometry=geometries, amounts=amounts_lists)
+def test_reconciling_reads_never_under_report(geometry, amounts):
+    shards, batch = geometry
+    counter = ShardedCounter(shards=shards, batch=batch)
+    total = 0
+    for amount in amounts:
+        returned = counter.increment(amount)
+        total += amount
+        # The return and the lock-free published view are lower bounds...
+        assert 0 <= returned <= total
+        assert counter.published <= total
+        # ...and deferral is bounded by the batch: a shard never keeps a
+        # tally at or above the threshold past an increment.
+        assert counter.pending <= (batch - 1) * shards
+    # The reconciling read is exact, and reconciling is idempotent.
+    assert counter.value == total
+    assert counter.value == total
+    assert counter.pending == 0
+    assert counter.flush() == total
+
+
+@given(geometry=geometries, amounts=amounts_lists)
+def test_batch_one_is_exact_every_step(geometry, amounts):
+    shards, _ = geometry
+    counter = ShardedCounter(shards=shards, batch=1)
+    total = 0
+    for amount in amounts:
+        total += amount
+        assert counter.increment(amount) == total
+        assert counter.published == total
+        assert counter.pending == 0
+
+
+@given(geometry=geometries, amounts=amounts_lists)
+def test_live_subscription_forces_eager_flush(geometry, amounts):
+    """With a checker registered, batching must switch off: every single
+    increment publishes, so nothing is ever pending and the subscription
+    fires on exactly the increment that reaches its level."""
+    shards, batch = geometry
+    counter = ShardedCounter(shards=shards, batch=batch)
+    target = sum(amounts) + 1  # unreachable: subscription stays live
+    fired = []
+    subscription = counter.subscribe(target, lambda: fired.append(True))
+    assert subscription is not None
+    try:
+        total = 0
+        for amount in amounts:
+            total += amount
+            # Eager mode: the return value is exact, nothing parked.
+            assert counter.increment(amount) == total
+            assert counter.pending == 0
+        assert not fired
+    finally:
+        subscription.cancel()
+    with counter._checkers_lock:
+        assert counter._checkers == 0
+    # With the last checker gone, deferral is allowed again.
+    counter.increment(1)
+    assert counter.value == sum(amounts) + 1
+
+
+@given(
+    geometry=geometries,
+    per_thread=st.lists(
+        st.lists(st.integers(0, 10), max_size=10), min_size=1, max_size=4
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_threaded_totals_are_exact_after_reconcile(geometry, per_thread):
+    """Real threads, arbitrary amount splits: the reconciling read equals
+    the grand total regardless of which shard each thread landed on."""
+    shards, batch = geometry
+    counter = ShardedCounter(shards=shards, batch=batch)
+
+    def worker(mine):
+        for amount in mine:
+            counter.increment(amount)
+
+    threads = [
+        threading.Thread(target=worker, args=(mine,)) for mine in per_thread
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == sum(sum(mine) for mine in per_thread)
+    assert counter.pending == 0

@@ -18,6 +18,14 @@ window:
 * **Model** — the schedule explorer exhaustively interleaves the §7
   semantics of a coalesced multi-level release, certifying that *no*
   schedule strands a checker.
+
+Since the test kit landed there is a fourth way: schedule injection over
+the real primitives' sync points.  ``tests/testkit/test_scripted_regressions.py``
+re-expresses the trapping-``_drain_lock`` preemption below as a pure
+schedule (no monkeypatched attributes) and additionally replays it
+against a re-introduced pre-fix ``increment`` to show the leak it guards
+against.  This file's versions are kept: they test the same windows with
+zero harness machinery in the loop.
 """
 
 from __future__ import annotations

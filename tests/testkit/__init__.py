@@ -1,0 +1,1 @@
+"""Tests for the schedule-injection test kit itself."""

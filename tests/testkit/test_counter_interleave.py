@@ -1,0 +1,148 @@
+"""The plain counter under adversarial schedules.
+
+These are the schedule-injection ports of the classic hammer scenarios
+(fan-in, multi-level release, timeout races, subscription churn): same
+workloads, but the interleavings are *chosen* by a seeded scheduler
+instead of left to the OS, every run's schedule is printable, and each
+ends with full quiescence checks over the counter's private state.
+"""
+
+from __future__ import annotations
+
+from repro.core import MonotonicCounter
+from repro.core.errors import CheckTimeout
+from repro.testkit import (
+    assert_counter_quiescent,
+    interleave,
+    tallies_consistent,
+)
+
+
+@interleave(schedules=12)
+def test_fan_in_release(sched):
+    """N incrementers, one waiter for the total: the waiter always gets
+    out and nothing leaks, wherever the increments land in the schedule."""
+    counter = MonotonicCounter()
+    for i in range(sched.threads):
+        sched.spawn(f"inc{i}", counter.increment, 1)
+    sched.spawn("w", counter.check, sched.threads)
+    sched.invariant_at("park.enter", lambda obj: tallies_consistent(counter))
+    sched.invariant_at("increment.signal", lambda obj: tallies_consistent(counter))
+    sched.run()
+    assert_counter_quiescent(counter, expect_value=sched.threads)
+
+
+@interleave(schedules=12, scheduler="pct")
+def test_fan_in_release_pct(sched):
+    """Same fan-in workload under PCT priorities: different adversary,
+    same guarantees."""
+    counter = MonotonicCounter()
+    for i in range(sched.threads):
+        sched.spawn(f"inc{i}", counter.increment, 1)
+    sched.spawn("w", counter.check, sched.threads)
+    sched.run()
+    assert_counter_quiescent(counter, expect_value=sched.threads)
+
+
+@interleave(schedules=10)
+def test_multi_level_waiters(sched):
+    """Waiters at staggered levels, increments that release them in
+    batches — exercises the coalesced release scan and per-level nodes."""
+    counter = MonotonicCounter()
+    sched.spawn("w1", counter.check, 1)
+    sched.spawn("w3", counter.check, 3)
+    sched.spawn("w4", counter.check, 4)
+    sched.spawn("incA", counter.increment, 2)
+    sched.spawn("incB", counter.increment, 2)
+    sched.run()
+    assert_counter_quiescent(counter, expect_value=4)
+
+
+@interleave(schedules=10)
+def test_same_level_pileup(sched):
+    """Several waiters share one level (one wait node, count > 1): a
+    single release must wake them all and reclaim the shared node."""
+    counter = MonotonicCounter()
+    for i in range(3):
+        sched.spawn(f"w{i}", counter.check, 2)
+    sched.spawn("inc", counter.increment, 2)
+    sched.run()
+    assert_counter_quiescent(counter, expect_value=2)
+
+
+@interleave(schedules=14)
+def test_timeout_vs_release_race(sched):
+    """A waiter with a short timeout racing the increment that satisfies
+    it: both outcomes are legal, neither may corrupt state.  This is the
+    schedule-injected version of the timeout-adjudication races that
+    previously needed hand-built trapping locks."""
+    counter = MonotonicCounter()
+    outcome = []
+
+    def impatient():
+        try:
+            counter.check(2, timeout=0.05)
+            outcome.append("released")
+        except CheckTimeout:
+            outcome.append("timeout")
+
+    sched.spawn("w", impatient)
+    sched.spawn("inc1", counter.increment, 1)
+    sched.spawn("inc2", counter.increment, 1)
+    sched.run()
+    assert outcome in (["released"], ["timeout"])
+    assert_counter_quiescent(counter, expect_value=2)
+
+
+@interleave(schedules=10)
+def test_subscription_fires_once_under_any_schedule(sched):
+    """A subscription racing the increment that satisfies it fires
+    exactly once, and its node is reclaimed."""
+    counter = MonotonicCounter()
+    fired = []
+
+    def subscriber():
+        sub = counter.subscribe(2, lambda: fired.append("hit"))
+        if sub is None:  # already satisfied at registration
+            fired.append("hit")
+
+    sched.spawn("sub", subscriber)
+    sched.spawn("inc", counter.increment, 2)
+    sched.run()
+    assert fired == ["hit"]
+    assert_counter_quiescent(counter, expect_value=2)
+
+
+@interleave(schedules=10)
+def test_subscription_cancel_races_release(sched):
+    """Cancelling a subscription while the releasing increment is in
+    flight: the callback fires at most once and nothing leaks either way."""
+    counter = MonotonicCounter()
+    fired = []
+
+    def churn():
+        sub = counter.subscribe(1, lambda: fired.append("hit"))
+        if sub is not None:
+            sub.cancel()
+
+    sched.spawn("sub", churn)
+    sched.spawn("inc", counter.increment, 1)
+    sched.run()
+    assert len(fired) <= 1
+    assert_counter_quiescent(counter, expect_value=1)
+
+
+@interleave(schedules=8)
+def test_reset_reuse_after_quiescence(sched):
+    """A full wait/release round leaves the counter reusable: reset()
+    succeeds and a second round on the same object behaves identically.
+    Guards the PR-2 regression where a leaked draining node poisoned
+    reset() forever."""
+    counter = MonotonicCounter()
+    sched.spawn("w", counter.check, 2)
+    sched.spawn("inc", counter.increment, 2)
+    sched.run()
+    assert_counter_quiescent(counter, expect_value=2)  # also resets
+    counter.increment(1)
+    counter.check(1)
+    assert counter.value == 1

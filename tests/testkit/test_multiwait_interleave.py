@@ -1,0 +1,121 @@
+"""MultiWait under adversarial schedules.
+
+The subscription strategy has three racy seams: callbacks firing while
+the waiter is still registering, ``close()`` racing a late callback, and
+``wait_any`` waking between two satisfactions.  Each gets schedules here,
+plus a scripted pin of the close-vs-fire race.
+"""
+
+from __future__ import annotations
+
+from repro.core import MonotonicCounter
+from repro.core.multiwait import MultiWait
+from repro.testkit import (
+    assert_counter_quiescent,
+    assert_multiwait_closed,
+    grant,
+    interleave,
+    run_script,
+    run_thread,
+    until,
+)
+
+
+@interleave(schedules=12)
+def test_wait_all_joins_under_any_schedule(sched):
+    """Producers on two counters, a joiner over both: wherever the
+    registration lands relative to the increments, wait_all returns and
+    every subscription is reclaimed."""
+    a, b = MonotonicCounter(), MonotonicCounter()
+    seen = []
+
+    def joiner():
+        with MultiWait([(a, 1), (b, 1)]) as mw:
+            mw.wait_all()
+            seen.append(mw.satisfied)
+            closed = mw
+        assert_multiwait_closed(closed)
+
+    sched.spawn("join", joiner)
+    sched.spawn("incA", a.increment, 1)
+    sched.spawn("incB", b.increment, 1)
+    sched.run()
+    assert seen == [frozenset({0, 1})]
+    assert_counter_quiescent(a, expect_value=1)
+    assert_counter_quiescent(b, expect_value=1)
+
+
+@interleave(schedules=12, scheduler="pct")
+def test_wait_any_reclaims_the_loser(sched):
+    """Only one of two watched counters is ever incremented: wait_any
+    returns with the winner satisfied, and closing must cancel the other
+    subscription so the loser counter holds no residue."""
+    a, b = MonotonicCounter(), MonotonicCounter()
+    seen = []
+
+    def racer():
+        with MultiWait([(a, 1), (b, 1)]) as mw:
+            seen.append(mw.wait_any())
+
+    sched.spawn("race", racer)
+    sched.spawn("incA", a.increment, 1)
+    sched.run()
+    assert len(seen) == 1 and 0 in seen[0]
+    assert_counter_quiescent(a, expect_value=1)
+    # The loser's subscription node must have been reclaimed by close().
+    assert_counter_quiescent(b, expect_value=0)
+
+
+@interleave(schedules=10)
+def test_sequential_check_all_agrees(sched):
+    """check_all (the sequential strategy) under the same schedules: the
+    stability argument says it joins wherever the increments land."""
+    from repro.core.multiwait import check_all
+
+    a, b = MonotonicCounter(), MonotonicCounter()
+    sched.spawn("join", check_all, [(a, 1), (b, 2)])
+    sched.spawn("incA", a.increment, 1)
+    sched.spawn("incB1", b.increment, 1)
+    sched.spawn("incB2", b.increment, 1)
+    sched.run()
+    assert_counter_quiescent(a, expect_value=1)
+    assert_counter_quiescent(b, expect_value=2)
+
+
+def test_scripted_close_races_late_callback():
+    """Pin the close-vs-fire race: the producer is paused at the node's
+    subscriber-callback pass (after the satisfaction is decided, before
+    the callback runs), the waiter times out and closes the MultiWait,
+    and only then is the callback delivered — into a closed object, which
+    must absorb it harmlessly and leak nothing."""
+    from repro.core.errors import CheckTimeout
+
+    a = MonotonicCounter()
+    holder: list[MultiWait] = []
+
+    def waiter():
+        mw = MultiWait([(a, 1)])
+        holder.append(mw)
+        try:
+            mw.wait_all(timeout=0.05)
+        except CheckTimeout:
+            pass
+        mw.close()
+
+    controller = run_script(
+        [
+            until("w", "multiwait.park"),
+            grant("w"),                          # parks with a short timeout
+            until("inc", "node.subscribers"),    # satisfaction decided...
+            until("w", "multiwait.close"),       # ...but w times out first
+            run_thread("w", expect="done"),      # close() cancels + returns
+            run_thread("inc", expect="done"),    # late callback hits closed mw
+        ],
+        {"w": waiter, "inc": (a.increment, 1)},
+    )
+    assert not controller.errors
+    mw = holder[0]
+    assert_multiwait_closed(mw)
+    # The late delivery landed in the satisfied set of the closed object.
+    assert mw.satisfied == frozenset({0})
+    assert_counter_quiescent(a, expect_value=1)

@@ -1,0 +1,122 @@
+"""Scheduling policies: determinism, PCT demotion, construction errors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import MonotonicCounter
+from repro.testkit import (
+    Controller,
+    PCTScheduler,
+    RandomScheduler,
+    make_scheduler,
+)
+
+
+@dataclass
+class FakeWorker:
+    name: str
+    point: str = "start"
+
+
+def choices(scheduler, rounds):
+    """Feed a fixed 3-worker candidate list and record the picks."""
+    workers = [FakeWorker("a"), FakeWorker("b"), FakeWorker("c")]
+    return [scheduler.choose(workers, step).name for step in range(rounds)]
+
+
+class TestRandomScheduler:
+    def test_same_seed_same_choices(self):
+        assert choices(RandomScheduler(7), 20) == choices(RandomScheduler(7), 20)
+
+    def test_different_seed_different_choices(self):
+        runs = {tuple(choices(RandomScheduler(seed), 20)) for seed in range(5)}
+        assert len(runs) > 1
+
+    def test_eventually_picks_everyone(self):
+        assert set(choices(RandomScheduler(0), 50)) == {"a", "b", "c"}
+
+
+class TestPCTScheduler:
+    def test_deterministic(self):
+        a = choices(PCTScheduler(3, depth=2, horizon=16), 15)
+        b = choices(PCTScheduler(3, depth=2, horizon=16), 15)
+        assert a == b
+
+    def test_depth_zero_is_strict_priority(self):
+        """With no change points the same leader wins every round it is
+        available."""
+        picks = choices(PCTScheduler(1, depth=0), 10)
+        assert len(set(picks)) == 1
+
+    def test_demotion_changes_the_leader(self):
+        """With change points covering every step, the leader is demoted
+        whenever the horizon says so — over enough rounds with 3 workers
+        at least two distinct workers must get picked."""
+        picks = choices(PCTScheduler(2, depth=10, horizon=12), 11)
+        assert len(set(picks)) >= 2
+
+    def test_priorities_assigned_lazily(self):
+        scheduler = PCTScheduler(0, depth=0)
+        scheduler.choose([FakeWorker("a")], 0)
+        assert set(scheduler._priority) == {"a"}
+        scheduler.choose([FakeWorker("a"), FakeWorker("b")], 1)
+        assert set(scheduler._priority) == {"a", "b"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCTScheduler(0, depth=-1)
+        with pytest.raises(ValueError):
+            PCTScheduler(0, horizon=1)
+
+
+class TestMakeScheduler:
+    def test_kinds(self):
+        assert isinstance(make_scheduler("random", 1), RandomScheduler)
+        pct = make_scheduler("pct", 1, pct_depth=5)
+        assert isinstance(pct, PCTScheduler)
+        assert pct.depth == 5
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("fair", 0)
+
+
+class TestSchedulerDrivesController:
+    def test_identical_seeds_produce_identical_traces(self):
+        """End to end: a gate-driven body (no real condvar parking, so no
+        real-time nondeterminism) scheduled twice with the same seed
+        yields the same grant trace."""
+
+        def one_run(seed):
+            counter = MonotonicCounter()
+            # Generous stall window: misclassifying a slow-but-running
+            # worker as blocked is the one residual timing dependence.
+            controller = Controller(stall_timeout=0.25)
+            for i in range(3):
+                controller.spawn(f"inc{i}", counter.increment, 1)
+            with controller:
+                controller.run_scheduler(RandomScheduler(seed))
+                controller.finish()
+            controller.raise_worker_errors()
+            assert counter.value == 3
+            return str(controller.trace)
+
+        assert one_run(5) == one_run(5)
+
+    def test_scheduler_rejecting_candidates_is_an_error(self):
+        class Rogue:
+            def choose(self, waiting, step):
+                return FakeWorker("ghost")
+
+        counter = MonotonicCounter()
+        controller = Controller()
+        controller.spawn("w", counter.increment, 1)
+        from repro.testkit import ScheduleError
+
+        with controller:
+            with pytest.raises(ScheduleError, match="non-waiting worker"):
+                controller.run_scheduler(Rogue())
+            controller.finish()

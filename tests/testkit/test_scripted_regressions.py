@@ -1,0 +1,222 @@
+"""PR-2 review bugs, pinned as scripted testkit schedules.
+
+The drain-leak bug: ``increment`` once set the node's ``signaled`` flag
+*inside* its critical section.  Parked waiters re-test ``signaled`` under
+only the node's private lock, so a waiter whose condvar wait expired at
+just the wrong moment could observe the release, decrement the node's
+count to zero, and run the last-leaver ``_draining.pop`` — all before
+the increment performed the ``_draining`` *insert*.  The entry then
+leaked forever and poisoned every future ``reset()``.
+
+The original reproduction (kept in
+``tests/core/test_timeout_races.py::TestIncrementPreemptedMidCriticalSection``)
+swaps in a hand-built trapping ``_drain_lock``.  Here the same
+preemption is expressed as a *schedule* over the primitives' built-in
+sync points — no monkeypatched attributes, no Frankenstein objects.
+One schedule, two codebases:
+
+* on a test-local subclass reproducing the pre-fix ``increment``, the
+  schedule deterministically produces the leak;
+* on current code, the *same positioning script* shows the fix working:
+  the waiter's timeout adjudication blocks on the counter lock until the
+  increment's critical section (insert included) completes.
+"""
+
+from __future__ import annotations
+
+from repro.core import MonotonicCounter
+from repro.core import syncpoints as _sp
+from repro.core.errors import CheckTimeout, ResetConcurrencyError
+from repro.core.validation import validate_amount
+from repro.testkit import Controller, assert_counter_quiescent
+
+import pytest
+
+
+class _PreFixCounter(MonotonicCounter):
+    """``MonotonicCounter`` with PR 2's increment bug re-introduced:
+    ``signaled`` set inside the critical section (at the release
+    linearization point) instead of by the out-of-lock ``signal()`` pass.
+    Sync points are preserved so the same schedule drives both variants.
+    """
+
+    def increment(self, amount: int = 1) -> int:
+        amount = validate_amount(amount)
+        released = None
+        if _sp.enabled:
+            _sp.fire("increment.lock", self)
+        with self._lock:
+            new_value = self._value + amount
+            self._value = new_value
+            if amount and self._live_levels:
+                released = self._waiters.release_through(new_value)
+                if released:
+                    if _sp.enabled:
+                        _sp.fire("increment.release", self)
+                    draining = []
+                    for node in released:
+                        node.released = True
+                        node.signaled = True  # THE BUG: observable early
+                        self._live_levels -= 1
+                        self._live_waiters -= node.count
+                        if node.count:
+                            draining.append(node)
+                    if draining:
+                        if _sp.enabled:
+                            _sp.fire("increment.drain", self)
+                        with self._drain_lock:
+                            for node in draining:
+                                self._draining[id(node)] = node
+        if released:
+            if _sp.enabled:
+                _sp.fire("increment.unlock", self)
+            for node in released:
+                if _sp.enabled:
+                    _sp.fire("increment.signal", self)
+                node.signal()
+        return new_value
+
+
+def _drive_drain_race(counter):
+    """The schedule, shared verbatim by both variants.
+
+    1. Park a waiter (``check(1, timeout=0.25)``).
+    2. Walk the increment to the ``increment.drain`` gate: release
+       decided, tallies settled, ``_draining`` insert NOT yet performed,
+       counter lock held.
+    3. Let the waiter's condvar timeout expire and run it as far as it
+       can get.  Pre-fix: it observes ``signaled``, pops the (absent)
+       draining entry, and finishes — the leak interleaving.  Fixed: the
+       verdict is a genuine timeout, so it goes to lock adjudication and
+       *blocks* on the counter lock the increment still holds.
+    4. Release the increment; free-run everything.
+
+    Returns ``(controller, result, waiter_outcome)``.
+    """
+    result = {}
+
+    def waiter():
+        try:
+            counter.check(1, timeout=0.25)
+            result["check"] = "released"
+        except CheckTimeout:
+            result["check"] = "timeout"
+
+    controller = Controller()
+    controller.spawn("w", waiter)
+    controller.spawn("inc", counter.increment, 1)
+    with controller:
+        controller.until("w", "park.enter")
+        controller.grant("w")                      # parks, 0.25s deadline
+        controller.until("inc", "increment.drain")  # mid-critical-section
+        controller.until("w", "park.verdict", timeout=5.0)
+        outcome = controller.run_thread("w")
+        controller.run_thread("inc", timeout=5.0)
+        controller.finish()
+    controller.raise_worker_errors()
+    return controller, result, outcome
+
+
+def test_drain_leak_reproduces_on_prefix_increment():
+    """On the pre-fix increment the schedule leaks deterministically:
+    the waiter returns *before* the insert, the entry stays in
+    ``_draining`` forever, and ``reset()`` is poisoned."""
+    counter = _PreFixCounter()
+    controller, result, outcome = _drive_drain_race(counter)
+
+    # The waiter observed the early `signaled` and got out mid-release...
+    assert outcome == "done"
+    assert result["check"] == "released"
+    # ...so the increment's later insert leaked:
+    assert len(counter._draining) == 1, str(controller.trace)
+    with pytest.raises(ResetConcurrencyError):
+        counter.reset()
+
+
+def test_same_schedule_clean_on_current_increment():
+    """The identical schedule on current code: the early observation is
+    impossible (``signaled`` only set after the critical section), the
+    waiter's adjudication blocks until the insert has happened, and
+    nothing leaks."""
+    counter = MonotonicCounter()
+    controller, result, outcome = _drive_drain_race(counter)
+
+    # The waiter could NOT get past adjudication mid-release: it blocked
+    # on the counter lock until the increment finished.
+    assert outcome == "blocked", str(controller.trace)
+    # Adjudication then found `released` set: success, not a timeout.
+    assert result["check"] == "released"
+    assert_counter_quiescent(counter, expect_value=1)
+
+
+def test_release_unobservable_mid_critical_section():
+    """Schedule-injected port of the trapping-``_drain_lock`` test: with
+    the increment paused at the drain gate, nothing it has published may
+    be observable through the node's ``signaled`` flag, and the waiter
+    must still be parked."""
+    counter = MonotonicCounter()
+    outcomes = []
+    captured = {}
+
+    def waiter():
+        counter.check(1, timeout=30)
+        outcomes.append("ok")
+
+    controller = Controller()
+    controller.spawn("w", waiter)
+    controller.spawn("inc", counter.increment, 1)
+    with controller:
+        controller.until("w", "park.enter")
+        captured["node"] = next(iter(counter._waiters))
+        controller.grant("w")  # parks for up to 30s
+        controller.until("inc", "increment.drain")
+        node = captured["node"]
+        # Mid-critical-section: the release is decided under the counter
+        # lock but must be invisible to the parked waiter.
+        assert node.released
+        assert not node.signaled
+        assert outcomes == []
+        controller.run_thread("inc", timeout=5.0)  # insert + signal pass
+        controller.finish()
+    controller.raise_worker_errors()
+    assert outcomes == ["ok"]
+    assert_counter_quiescent(counter, expect_value=1)
+
+
+def test_adjudication_beats_late_increment():
+    """The other side of the adjudication window: the timeout's lock
+    acquisition is scheduled *before* the increment's critical section.
+    Adjudication must then report a genuine timeout and deregister the
+    node completely, so the late increment releases nobody and nothing
+    leaks.  (The release-wins side of the window is
+    ``test_same_schedule_clean_on_current_increment``.)"""
+    counter = MonotonicCounter()
+    result = {}
+
+    def waiter():
+        try:
+            counter.check(2, timeout=0.25)
+            result["check"] = "released"
+        except CheckTimeout:
+            result["check"] = "timeout"
+
+    controller = Controller()
+    controller.spawn("w", waiter)
+    controller.spawn("inc", counter.increment, 2)
+    with controller:
+        controller.until("w", "park.enter")
+        controller.grant("w")
+        # Park the increment at its lock gate: poised, but its critical
+        # section is entirely in the waiter's future.
+        controller.until("inc", "increment.lock")
+        controller.until("w", "park.verdict", timeout=5.0)
+        # Verdict (genuine timeout) → adjudication → uncontended counter
+        # lock → CheckTimeout + node deregistration, all the way out.
+        outcome = controller.run_thread("w", timeout=5.0)
+        assert outcome == "done", str(controller.trace)
+        controller.run_thread("inc", timeout=5.0)
+        controller.finish()
+    controller.raise_worker_errors()
+    assert result["check"] == "timeout"
+    # The late increment found no waiters; the node was fully reclaimed.
+    assert_counter_quiescent(counter, expect_value=2)

@@ -1,0 +1,90 @@
+"""The sharded counter under adversarial schedules.
+
+The interesting surface is the no-lost-wakeup protocol between a shard's
+``increment`` (add pending → read ``_checkers`` under the shard lock)
+and a checker's registration + drain.  Batching means a pending amount
+can lawfully sit unpublished — but never while a checker is registered.
+"""
+
+from __future__ import annotations
+
+from repro.core.sharded import ShardedCounter
+from repro.testkit import (
+    assert_sharded_quiescent,
+    grant,
+    interleave,
+    probe,
+    run_script,
+    run_thread,
+    until,
+)
+
+
+@interleave(schedules=12)
+def test_batched_fan_in_releases_checker(sched):
+    """Producers whose amounts sit below the batch threshold, one checker
+    for the total: the checker's presence must force eager flushes, so it
+    is always released regardless of where registration lands."""
+    counter = ShardedCounter(shards=2, batch=100)  # batching alone never flushes
+    for i in range(sched.threads):
+        sched.spawn(f"inc{i}", counter.increment, 1)
+    sched.spawn("w", counter.check, sched.threads)
+    sched.run()
+    assert_sharded_quiescent(counter, expect_value=sched.threads)
+
+
+@interleave(schedules=10, scheduler="pct")
+def test_batched_fan_in_pct(sched):
+    counter = ShardedCounter(shards=2, batch=100)
+    for i in range(sched.threads):
+        sched.spawn(f"inc{i}", counter.increment, 1)
+    sched.spawn("w", counter.check, sched.threads)
+    sched.run()
+    assert_sharded_quiescent(counter, expect_value=sched.threads)
+
+
+@interleave(schedules=10)
+def test_subscription_keeps_eager_flush(sched):
+    """A live subscription counts as a checker: the increment reaching
+    the level delivers the callback even with batching configured."""
+    counter = ShardedCounter(shards=2, batch=100)
+    fired = []
+
+    def subscriber():
+        sub = counter.subscribe(2, lambda: fired.append("hit"))
+        if sub is None:
+            fired.append("hit")
+
+    sched.spawn("sub", subscriber)
+    sched.spawn("incA", counter.increment, 1)
+    sched.spawn("incB", counter.increment, 1)
+    sched.run()
+    assert fired == ["hit"]
+    assert_sharded_quiescent(counter, expect_value=2)
+
+
+def test_scripted_no_lost_wakeup_handoff():
+    """The documented ordering argument, pinned as a script: a producer
+    paused *before* its shard-lock critical section, a checker that
+    registers and drains (seeing nothing) and parks — when the producer
+    resumes, it must observe the registration and flush eagerly, waking
+    the checker.  The batch threshold is unreachable, so only the
+    checker-presence read can save this schedule from a lost wakeup."""
+    counter = ShardedCounter(shards=1, batch=100)
+
+    controller = run_script(
+        [
+            until("inc", "shard.lock"),       # poised to add, hasn't yet
+            run_thread("w", expect="blocked"),  # registers, drains 0, parks
+            probe(lambda c: _assert_registered(counter)),
+            run_thread("inc", expect="done"),  # add + see checker → flush
+        ],
+        {"inc": (counter.increment, 3), "w": (counter.check, 3)},
+    )
+    assert "shard.flush" in {step.point for step in controller.trace}
+    assert_sharded_quiescent(counter, expect_value=3)
+
+
+def _assert_registered(counter):
+    assert counter._checkers == 1, "checker parked without registering"
+    assert counter.pending == 0, "producer published before being granted"
