@@ -28,6 +28,8 @@ from repro.core.errors import CheckTimeout, CounterOverflowError, ResetConcurren
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
 from repro.core.stats import NOOP_STATS, CounterStats
 from repro.core.validation import validate_amount, validate_level, validate_timeout
+from repro.obs import hooks as _obs
+from repro.obs import registry as _obs_registry
 
 __all__ = ["AsyncCounter", "AsyncCounterSubscription"]
 
@@ -35,12 +37,15 @@ __all__ = ["AsyncCounter", "AsyncCounterSubscription"]
 class _Level:
     """One distinct waiting level: count of waiters + its wakeup event."""
 
-    __slots__ = ("level", "count", "event", "subscribers")
+    __slots__ = ("level", "count", "event", "released_ts", "subscribers")
 
     def __init__(self, level: int) -> None:
         self.level = level
         self.count = 0
         self.event = asyncio.Event()
+        # Stamped by the observability release hook so resuming waiters
+        # can report release-to-unpark latency; None when obs is off.
+        self.released_ts: float | None = None
         self.subscribers: list[Callable[[], None]] | None = None
 
 
@@ -96,7 +101,7 @@ class AsyncCounter:
     2
     """
 
-    __slots__ = ("_value", "_levels", "_max_value", "_name", "_stats_on", "stats")
+    __slots__ = ("_value", "_levels", "_max_value", "_name", "_stats_on", "stats", "__weakref__")
 
     def __init__(
         self,
@@ -113,6 +118,7 @@ class AsyncCounter:
         self._name = name
         self._stats_on = bool(stats)
         self.stats = CounterStats() if stats else NOOP_STATS
+        _obs_registry.register(self)
 
     @property
     def value(self) -> int:
@@ -134,19 +140,29 @@ class AsyncCounter:
         self._value = new_value
         if self._stats_on:
             self.stats.increments += 1
+        if _obs.enabled:
+            _obs.on_increment(self, amount, new_value)
         if amount and self._levels:
             released = [lv for lv in self._levels if lv <= new_value]
-            for lv in released:
-                node = self._levels.pop(lv)
+            if released:
+                nodes = [self._levels.pop(lv) for lv in released]
                 if self._stats_on:
-                    self.stats.nodes_released += 1
-                    self.stats.threads_woken += node.count
-                node.event.set()
-                subscribers = node.subscribers
-                if subscribers:
-                    node.subscribers = None
-                    for callback in subscribers:
-                        callback()
+                    for node in nodes:
+                        self.stats.nodes_released += 1
+                        self.stats.threads_woken += node.count
+                if _obs.enabled:
+                    # Stamps released_ts before any event is set, so woken
+                    # coroutines can report release-to-resume latency.
+                    _obs.on_release(self, new_value, nodes)
+                for node in nodes:
+                    node.event.set()
+                    subscribers = node.subscribers
+                    if subscribers:
+                        if _obs.enabled:
+                            _obs.on_sub_fire(self, node.level, len(subscribers))
+                        node.subscribers = None
+                        for callback in subscribers:
+                            callback()
         return new_value
 
     async def check(self, level: int, timeout: float | None = None) -> None:
@@ -169,6 +185,13 @@ class AsyncCounter:
             self.stats.note_levels(
                 len(self._levels), sum(n.count for n in self._levels.values())
             )
+        t_parked: float | None = None
+        if _obs.enabled:
+            _obs.on_park(
+                self, level, self._value, len(self._levels),
+                sum(n.count for n in self._levels.values()),
+            )
+            t_parked = _obs.clock()
         try:
             if timeout is None:
                 await node.event.wait()
@@ -184,10 +207,19 @@ class AsyncCounter:
                     if not node.event.is_set():
                         if self._stats_on:
                             self.stats.timeouts += 1
+                        if _obs.enabled:
+                            waited = None if t_parked is None else _obs.clock() - t_parked
+                            _obs.on_timeout(self, level, self._value, waited)
                         raise CheckTimeout(
                             f"{self!r}: check({level}) timed out after {timeout}s "
                             f"(value={self._value})"
                         ) from None
+            if _obs.enabled:
+                now = _obs.clock()
+                wait_s = None if t_parked is None else now - t_parked
+                released_ts = node.released_ts
+                wakeup_s = None if released_ts is None else now - released_ts
+                _obs.on_unpark(self, level, wait_s, wakeup_s)
         finally:
             node.count -= 1
             if node.count == 0 and not node.event.is_set() and not node.subscribers:

@@ -22,6 +22,7 @@ from typing import Iterable, Sequence
 from repro.aio.counter import AsyncCounter
 from repro.core.errors import CheckTimeout
 from repro.core.validation import validate_level, validate_timeout
+from repro.obs import hooks as _obs
 
 __all__ = ["AsyncMultiWait"]
 
@@ -99,10 +100,17 @@ class AsyncMultiWait:
         timeout = validate_timeout(timeout)
         if self._closed:
             raise RuntimeError("AsyncMultiWait is closed")
+        t_parked: float | None = None
+        if _obs.enabled:
+            _obs.on_mw_park(self, len(self._pairs), len(self._satisfied))
+            t_parked = _obs.clock()
         if timeout is None:
             while not done():
                 self._event.clear()
                 await self._event.wait()
+            if _obs.enabled:
+                wait_s = None if t_parked is None else _obs.clock() - t_parked
+                _obs.on_mw_wake(self, len(self._satisfied), wait_s)
             return
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
@@ -110,6 +118,8 @@ class AsyncMultiWait:
             self._event.clear()
             remaining = deadline - loop.time()
             if remaining <= 0:
+                if _obs.enabled:
+                    _obs.on_mw_timeout(self, len(self._pairs), len(self._satisfied))
                 raise CheckTimeout(
                     f"AsyncMultiWait.wait_{mode}: timed out after {timeout}s "
                     f"({len(self._satisfied)}/{len(self._pairs)} satisfied)"
@@ -121,11 +131,16 @@ class AsyncMultiWait:
                 await asyncio.wait_for(self._event.wait(), remaining)
             except asyncio.TimeoutError:
                 if done():
-                    return
+                    break
+                if _obs.enabled:
+                    _obs.on_mw_timeout(self, len(self._pairs), len(self._satisfied))
                 raise CheckTimeout(
                     f"AsyncMultiWait.wait_{mode}: timed out after {timeout}s "
                     f"({len(self._satisfied)}/{len(self._pairs)} satisfied)"
                 ) from None
+        if _obs.enabled:
+            wait_s = None if t_parked is None else _obs.clock() - t_parked
+            _obs.on_mw_wake(self, len(self._satisfied), wait_s)
 
     def close(self) -> None:
         """Cancel unfired subscriptions; idempotent."""

@@ -23,8 +23,11 @@ unchanged — the same §8 portability claim the plain counters demonstrate.
 from __future__ import annotations
 
 from repro.aio.counter import AsyncCounter
+from repro.core.sharded import ShardSnapshot
 from repro.core.snapshot import CounterSnapshot
 from repro.core.validation import validate_amount, validate_level, validate_timeout
+from repro.obs import hooks as _obs
+from repro.obs import registry as _obs_registry
 
 __all__ = ["AsyncShardedCounter"]
 
@@ -42,7 +45,7 @@ class AsyncShardedCounter:
     3
     """
 
-    __slots__ = ("_inner", "_pending", "_batch", "_name")
+    __slots__ = ("_inner", "_pending", "_batch", "_name", "__weakref__")
 
     def __init__(self, *, batch: int = 64, name: str | None = None, stats: bool = False) -> None:
         if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:
@@ -51,6 +54,9 @@ class AsyncShardedCounter:
         self._pending = 0
         self._batch = batch
         self._name = name
+        # One logical counter, one registry entry (see the thread twin).
+        _obs_registry.deregister(self._inner)
+        _obs_registry.register(self)
 
     @property
     def value(self) -> int:
@@ -110,9 +116,20 @@ class AsyncShardedCounter:
         """The inner counter's state (pending tally not included)."""
         return self._inner.snapshot()
 
+    def shard_snapshot(self) -> ShardSnapshot:
+        """Published + pending without draining (single logical shard).
+
+        Cooperative, so the capture is exact here — but it keeps the
+        published-before-pending order and the lower-bound contract of
+        the thread twin so introspection code treats both identically.
+        """
+        return ShardSnapshot(published=self._inner.value, pending=(self._pending,))
+
     def _drain(self) -> int:
         pending, self._pending = self._pending, 0
         if pending:
+            if _obs.enabled:
+                _obs.on_flush(self, pending)
             return self._inner.increment(pending)
         return self._inner.value
 

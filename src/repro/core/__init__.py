@@ -31,7 +31,7 @@ from repro.core.errors import (
     ResetConcurrencyError,
 )
 from repro.core.multiwait import MultiWait, barrier_levels, check_all, checkpoint
-from repro.core.sharded import ShardedCounter
+from repro.core.sharded import ShardedCounter, ShardSnapshot
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
 from repro.core.stats import NOOP_STATS, CounterStats, NoopStats
 from repro.core.waitlist import DEFAULT_WAIT_POLICY, PARK_ONLY, SPIN_THEN_PARK, WaitPolicy
@@ -42,6 +42,7 @@ __all__ = [
     "MonotonicCounter",
     "BroadcastCounter",
     "ShardedCounter",
+    "ShardSnapshot",
     "Counter",
     "CounterError",
     "CounterValueError",

@@ -50,6 +50,8 @@ from typing import Callable, Literal
 
 from repro.core import syncpoints as _sp
 from repro.core.api import AbstractCounter
+from repro.obs import hooks as _obs
+from repro.obs import registry as _obs_registry
 from repro.core.errors import CheckTimeout, CounterOverflowError, ResetConcurrencyError
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
 from repro.core.stats import NOOP_STATS, CounterStats
@@ -175,6 +177,9 @@ class MonotonicCounter(AbstractCounter):
         "_live_levels",
         "_live_waiters",
         "stats",
+        # Weakly referenceable so the observability registry (watchdog,
+        # dump_state) can track live counters without extending lifetimes.
+        "__weakref__",
     )
 
     def __init__(
@@ -227,6 +232,7 @@ class MonotonicCounter(AbstractCounter):
         #: Lifetime operation statistics (:class:`repro.core.stats.CounterStats`
         #: when ``stats=True``, else the shared all-zero null object).
         self.stats = CounterStats() if stats else NOOP_STATS
+        _obs_registry.register(self)
 
     # ------------------------------------------------------------------ API
 
@@ -308,14 +314,22 @@ class MonotonicCounter(AbstractCounter):
                         with self._drain_lock:
                             for node in draining:
                                 self._draining[id(node)] = node
+        if _obs.enabled:
+            _obs.on_increment(self, amount, new_value)
         if released:
             if _sp.enabled:
                 _sp.fire("increment.unlock", self)
+            if _obs.enabled:
+                # Stamps each node's released_ts before any signal, so the
+                # wakeup-latency clock brackets the whole wake pass.
+                _obs.on_release(self, new_value, released)
             # The coalesced wake pass: counter lock long gone, one
             # notify_all per satisfied level, subscribers fired after.
             for node in released:
                 if _sp.enabled:
                     _sp.fire("increment.signal", self)
+                if _obs.enabled and node.subscribers:
+                    _obs.on_sub_fire(self, node.level, len(node.subscribers))
                 node.signal()
         return new_value
 
@@ -353,6 +367,10 @@ class MonotonicCounter(AbstractCounter):
                     deadline = time.monotonic() + timeout
                 if self._spin_wait(level, budget):
                     return
+                if _obs.enabled:
+                    # Off the spin loop itself — only the fall-through to
+                    # the slow path pays the (branch-only) emission.
+                    _obs.on_spin_exhausted(self, level, budget)
                 if deadline is not None:
                     timeout = deadline - time.monotonic()
                     if timeout < 0.0:
@@ -378,7 +396,12 @@ class MonotonicCounter(AbstractCounter):
         # release that satisfies this level already knows the node (it is
         # handed the whole node under the counter lock), so neither side
         # touches the counter lock again on the normal wake path.
-        self._park(node, level, timeout, deadline)
+        t_parked: float | None = None
+        if _obs.enabled:
+            # Racy reads of value/levels/waiters: diagnostic payload only.
+            _obs.on_park(self, level, self._value, self._live_levels, self._live_waiters)
+            t_parked = _obs.clock()
+        self._park(node, level, timeout, deadline, t_parked)
 
     def _spin_wait(self, level: int, budget: int) -> bool:
         """Bounded lock-free re-reads of the value; True if satisfied."""
@@ -407,7 +430,12 @@ class MonotonicCounter(AbstractCounter):
         return False
 
     def _park(
-        self, node: WaitNode, level: int, timeout: float | None, deadline: float | None
+        self,
+        node: WaitNode,
+        level: int,
+        timeout: float | None,
+        deadline: float | None,
+        t_parked: float | None = None,
     ) -> None:
         """Wait on ``node``'s private condition until signaled or timed out."""
         condition = node.condition
@@ -435,6 +463,8 @@ class MonotonicCounter(AbstractCounter):
                 node.count -= 1
                 last = node.count == 0
         if not timed_out:
+            if _obs.enabled:
+                self._note_unpark(node, level, t_parked)
             if last:
                 if _sp.enabled:
                     _sp.fire("park.drain", self)
@@ -451,6 +481,7 @@ class MonotonicCounter(AbstractCounter):
         # be reported as a timeout.
         if _sp.enabled:
             _sp.fire("park.adjudicate", self)
+        expired_value: int | None = None
         with self._lock:
             if not node.released:
                 node.count -= 1
@@ -465,20 +496,37 @@ class MonotonicCounter(AbstractCounter):
                     self._live_levels -= 1
                 if self._stats_on:
                     self.stats.timeouts += 1
-                raise CheckTimeout(
-                    f"{self!r}: check({level}) timed out after {timeout}s "
-                    f"(value={self._value})"
-                )
+                expired_value = self._value
+        if expired_value is not None:
+            # Genuine timeout, fully deregistered above; the emission and
+            # the raise both happen with no lock held.
+            if _obs.enabled:
+                waited = None if t_parked is None else _obs.clock() - t_parked
+                _obs.on_timeout(self, level, expired_value, waited)
+            raise CheckTimeout(
+                f"{self!r}: check({level}) timed out after {timeout}s "
+                f"(value={expired_value})"
+            )
         # Released concurrently with the expiry: the check succeeded.
         # After release, node.count is owned by the node lock.
         with condition:
             node.count -= 1
             last = node.count == 0
+        if _obs.enabled:
+            self._note_unpark(node, level, t_parked)
         if last:
             if _sp.enabled:
                 _sp.fire("park.drain", self)
             with self._drain_lock:
                 self._draining.pop(id(node), None)
+
+    def _note_unpark(self, node: WaitNode, level: int, t_parked: float | None) -> None:
+        """Emit the unpark event with wait + wakeup latency (obs enabled)."""
+        now = _obs.clock()
+        wait_s = None if t_parked is None else now - t_parked
+        released_ts = node.released_ts
+        wakeup_s = None if released_ts is None else now - released_ts
+        _obs.on_unpark(self, level, wait_s, wakeup_s)
 
     def subscribe(
         self, level: int, callback: Callable[[], None]
@@ -625,6 +673,7 @@ class BroadcastCounter(AbstractCounter):
         "_stats_on",
         "_fast_path",
         "stats",
+        "__weakref__",
     )
 
     def __init__(
@@ -644,6 +693,7 @@ class BroadcastCounter(AbstractCounter):
         self._stats_on = bool(stats)
         self._fast_path = bool(fast_path)
         self.stats = CounterStats() if stats else NOOP_STATS
+        _obs_registry.register(self)
 
     @property
     def value(self) -> int:
@@ -673,6 +723,8 @@ class BroadcastCounter(AbstractCounter):
                         fired = []
                         for lv in satisfied:
                             fired.extend(self._subs.pop(lv))
+        if _obs.enabled:
+            _obs.on_increment(self, amount, new_value)
         if fired:
             # Outside the lock, like the per-level counter's wake pass.
             for callback in fired:
@@ -697,6 +749,13 @@ class BroadcastCounter(AbstractCounter):
             if self._stats_on:
                 self.stats.suspended_checks += 1
                 self.stats.note_levels(1, self._waiting)
+            # Obs emissions here run under the single shared condition's
+            # lock — unavoidable for this baseline (its whole wait lives
+            # inside the lock), and part of why it is the *baseline*.
+            t_parked: float | None = None
+            if _obs.enabled:
+                _obs.on_park(self, level, self._value, 1, self._waiting)
+                t_parked = _obs.clock()
             try:
                 if timeout is None:
                     while self._value < level:
@@ -710,10 +769,18 @@ class BroadcastCounter(AbstractCounter):
                                 break
                             if self._stats_on:
                                 self.stats.timeouts += 1
+                            if _obs.enabled:
+                                waited = (
+                                    None if t_parked is None else _obs.clock() - t_parked
+                                )
+                                _obs.on_timeout(self, level, self._value, waited)
                             raise CheckTimeout(
                                 f"{self!r}: check({level}) timed out after {timeout}s "
                                 f"(value={self._value})"
                             )
+                if _obs.enabled:
+                    wait_s = None if t_parked is None else _obs.clock() - t_parked
+                    _obs.on_unpark(self, level, wait_s, None)
             finally:
                 self._waiting -= 1
 

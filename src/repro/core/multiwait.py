@@ -54,6 +54,7 @@ from repro.core import syncpoints as _sp
 from repro.core.api import CounterProtocol
 from repro.core.errors import CheckTimeout
 from repro.core.validation import validate_level, validate_timeout
+from repro.obs import hooks as _obs
 
 __all__ = ["MultiWait", "check_all", "Condition", "barrier_levels", "checkpoint"]
 
@@ -167,23 +168,38 @@ class MultiWait:
         cond = self._cond
         if _sp.enabled:
             _sp.fire("multiwait.park", self)
+        t_parked: float | None = None
+        if _obs.enabled:
+            # Racy len() reads: diagnostic payload only.
+            _obs.on_mw_park(self, len(self._pairs), len(self._satisfied))
+            t_parked = _obs.clock()
+        expired_satisfied: int | None = None
         with cond:
             if self._closed:
                 raise RuntimeError("MultiWait is closed")
             if timeout is None:
                 while not done():
                     cond.wait()
-                return
-            deadline = time.monotonic() + timeout
-            while not done():
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or not cond.wait(remaining):
-                    if done():
-                        return
-                    raise CheckTimeout(
-                        f"MultiWait.wait_{mode}: timed out after {timeout}s "
-                        f"({len(self._satisfied)}/{len(self._pairs)} satisfied)"
-                    )
+            else:
+                deadline = time.monotonic() + timeout
+                while not done():
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not cond.wait(remaining):
+                        if done():
+                            break
+                        expired_satisfied = len(self._satisfied)
+                        break
+        if expired_satisfied is not None:
+            # Emission and raise both outside the condition's lock.
+            if _obs.enabled:
+                _obs.on_mw_timeout(self, len(self._pairs), expired_satisfied)
+            raise CheckTimeout(
+                f"MultiWait.wait_{mode}: timed out after {timeout}s "
+                f"({expired_satisfied}/{len(self._pairs)} satisfied)"
+            )
+        if _obs.enabled:
+            wait_s = None if t_parked is None else _obs.clock() - t_parked
+            _obs.on_mw_wake(self, len(self._satisfied), wait_s)
 
     def close(self) -> None:
         """Cancel unfired subscriptions and mark the object unusable.

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import os
 import threading
+from dataclasses import dataclass
 
 from typing import Callable
 
@@ -53,12 +54,39 @@ from repro.core.api import AbstractCounter
 from repro.core.counter import CounterSubscription, MonotonicCounter, WaitListStrategy
 from repro.core.snapshot import CounterSnapshot
 from repro.core.validation import validate_amount, validate_level, validate_timeout
+from repro.obs import hooks as _obs
+from repro.obs import registry as _obs_registry
 
-__all__ = ["ShardedCounter"]
+__all__ = ["ShardedCounter", "ShardSnapshot"]
 
 #: Knuth's multiplicative-hash constant; thread ids are pointer-aligned
 #: (low bits constant), so they are mixed before the shard modulus.
 _MIX = 0x9E3779B1
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSnapshot:
+    """One consistent-enough capture of a sharded counter's tallies.
+
+    ``published`` is read from the central counter **before** the
+    per-shard ``pending`` tallies are collected (each under its shard
+    lock).  Units only ever move shard → central, so a unit in flight
+    during the capture can be *missed* (flushed after the published read,
+    collected before its shard read) but never counted twice — ``total``
+    is therefore always a lower bound on the true global value, and by
+    monotonicity a lower bound is a sound answer.  The reverse order
+    would let one unit appear in both reads and over-report, which for a
+    monotonic counter is the one unforgivable error (a reader could
+    conclude a level was reached that never was).
+    """
+
+    published: int
+    pending: tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        """Reconciled lower bound on the global value."""
+        return self.published + sum(self.pending)
 
 
 class _Shard:
@@ -146,6 +174,7 @@ class ShardedCounter(AbstractCounter):
         "_checkers_lock",
         "_local",
         "_name",
+        "__weakref__",
     )
 
     def __init__(
@@ -173,6 +202,12 @@ class ShardedCounter(AbstractCounter):
         # measurably cheaper than hashing get_ident() on every increment.
         self._local = threading.local()
         self._name = name
+        # One logical counter, one registry entry: the wrapper replaces
+        # its inner central counter in the observability registry so a
+        # dump or watchdog scan sees the sharded view (published +
+        # pending), not a bare central missing the shard tallies.
+        _obs_registry.deregister(self._central)
+        _obs_registry.register(self)
 
     # ------------------------------------------------------------------ API
 
@@ -221,6 +256,8 @@ class ShardedCounter(AbstractCounter):
         if flush:
             if _sp.enabled:
                 _sp.fire("shard.flush", self)
+            if _obs.enabled:
+                _obs.on_flush(self, flush)
             return self._central.increment(flush)
         return self._central._value
 
@@ -304,8 +341,26 @@ class ShardedCounter(AbstractCounter):
 
     def snapshot(self) -> CounterSnapshot:
         """The central counter's state; unflushed shard tallies are not
-        included (use :meth:`flush` first for an exact picture)."""
+        included (use :meth:`flush` first for an exact picture, or
+        :meth:`shard_snapshot` for a non-draining lower bound that *does*
+        account for them)."""
         return self._central.snapshot()
+
+    def shard_snapshot(self) -> ShardSnapshot:
+        """Capture published + per-shard pending without draining anything.
+
+        Observability-safe: takes only the shard locks (briefly, one at a
+        time — never the central lock) and publishes nothing, so a dump
+        of a wedged system does not perturb it.  The published value is
+        read *first*; see :class:`ShardSnapshot` for why that order makes
+        ``total`` a guaranteed lower bound.
+        """
+        published = self._central._value
+        pending = []
+        for shard in self._shards:
+            with shard.lock:
+                pending.append(shard.pending)
+        return ShardSnapshot(published=published, pending=tuple(pending))
 
     @property
     def waiting_levels(self) -> tuple[int, ...]:
@@ -327,6 +382,8 @@ class ShardedCounter(AbstractCounter):
                 pending, shard.pending = shard.pending, 0
             total += pending
         if total:
+            if _obs.enabled:
+                _obs.on_drain(self, total)
             self._central.increment(total)
 
     def __repr__(self) -> str:

@@ -16,7 +16,7 @@ nothing.  Benchmarks and tests that verify the §7 observables pass
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 __all__ = ["CounterStats", "NoopStats", "NOOP_STATS"]
 
@@ -69,6 +69,19 @@ class CounterStats:
         if live_waiters > self.max_live_waiters:
             self.max_live_waiters = live_waiters
 
+    def as_dict(self) -> dict[str, int]:
+        """All tallies (plus derived ``checks``) as a plain mapping.
+
+        This is the export surface the unified metrics registry
+        (:meth:`repro.obs.metrics.MetricsRegistry.snapshot` and its
+        Prometheus twin) folds into its output for every live counter
+        carrying opt-in stats.  The fast-path accuracy caveat above
+        applies to ``immediate_checks``/``spin_checks`` here too.
+        """
+        doc = asdict(self)
+        doc["checks"] = self.checks
+        return doc
+
     def snapshot(self) -> "CounterStats":
         """A detached copy (the live object keeps mutating)."""
         return CounterStats(
@@ -112,6 +125,10 @@ class NoopStats:
 
     def note_levels(self, live_levels: int, live_waiters: int) -> None:
         pass
+
+    def as_dict(self) -> dict[str, int]:
+        """An all-zero mapping with the same keys as the live stats."""
+        return CounterStats().as_dict()
 
     def snapshot(self) -> CounterStats:
         """An (all-zero) detached :class:`CounterStats` copy."""

@@ -162,7 +162,16 @@ class WaitNode:
     the counter's draining set simply drop their references).
     """
 
-    __slots__ = ("level", "count", "condition", "signaled", "released", "subscribers", "next")
+    __slots__ = (
+        "level",
+        "count",
+        "condition",
+        "signaled",
+        "released",
+        "released_ts",
+        "subscribers",
+        "next",
+    )
 
     def __init__(self, level: int) -> None:
         self.level = level
@@ -170,6 +179,11 @@ class WaitNode:
         self.condition = threading.Condition()
         self.signaled = False
         self.released = False
+        # Stamped by the observability layer's release hook (between the
+        # increment's critical section and the signal pass) so woken
+        # threads can report release-to-unpark latency; None whenever
+        # observability is off.
+        self.released_ts: float | None = None
         self.subscribers: list[Callable[[], None]] | None = None
         self.next: WaitNode | None = None
 

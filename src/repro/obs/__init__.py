@@ -1,0 +1,211 @@
+"""repro.obs — the zero-cost-when-off observability layer.
+
+Everything here is off by default.  Until :func:`enable` is called, the
+instrumented sites in :mod:`repro.core` and :mod:`repro.aio` compile to
+one module-attribute read and an untaken branch — the same trick (and
+the same measured cost: none) as the testkit's sync points — and the
+lock-free fast paths carry **no** instrumentation at all, so their cost
+is unchanged by construction whether observability is on or off.
+
+Quick start::
+
+    import repro.obs as obs
+
+    handle = obs.enable()              # tracing + metrics on
+    ... run the workload ...
+    print(obs.dump_state())            # who waits on what, right now
+    print(handle.metrics.prometheus()) # scrape-ready text
+    for event in handle.trace:         # the event ring, oldest first
+        print(event)
+    obs.disable()
+
+or scoped::
+
+    with obs.observe() as handle:
+        ... workload ...
+    report = handle.metrics.snapshot()
+
+The stall watchdog is independent of enable/disable (it reads counter
+snapshots, not the event stream) but emits ``stall`` trace events when
+tracing is on::
+
+    obs.start_watchdog(threshold=5.0)   # daemon thread
+    ... later ...
+    obs.stop_watchdog()
+
+See ``docs/observability.md`` for the event schema, histogram
+semantics, watchdog tuning, and a Prometheus scrape example.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator
+
+from repro.obs import hooks as _hooks
+from repro.obs.dump import dump_counter, dump_state
+from repro.obs.events import KINDS, Event, TraceBuffer
+from repro.obs.metrics import CounterMetrics, Histogram, MetricsRegistry
+from repro.obs.watchdog import StallReport, StallWatchdog, WaitingLevel
+
+__all__ = [
+    "enable",
+    "disable",
+    "observe",
+    "current",
+    "dump_state",
+    "dump_counter",
+    "start_watchdog",
+    "stop_watchdog",
+    "watchdog",
+    "Event",
+    "TraceBuffer",
+    "KINDS",
+    "Histogram",
+    "CounterMetrics",
+    "MetricsRegistry",
+    "StallWatchdog",
+    "StallReport",
+    "WaitingLevel",
+    "ObsHandle",
+    "iter_trace",
+]
+
+_state_lock = threading.Lock()
+_handle: "ObsHandle | None" = None
+_watchdog: StallWatchdog | None = None
+
+
+class ObsHandle:
+    """What :func:`enable` returns: the live trace ring and metrics registry.
+
+    ``trace`` or ``metrics`` is ``None`` when that half was not enabled.
+    The handle stays valid (readable) after :func:`disable` — disabling
+    stops *emission*, it does not destroy the collected data.
+    """
+
+    __slots__ = ("trace", "metrics")
+
+    def __init__(self, trace: TraceBuffer | None, metrics: MetricsRegistry | None) -> None:
+        self.trace = trace
+        self.metrics = metrics
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.trace is not None:
+            parts.append(f"trace={self.trace!r}")
+        if self.metrics is not None:
+            parts.append(f"metrics[{len(self.metrics.labels())} series]")
+        return f"<ObsHandle {' '.join(parts) or 'empty'}>"
+
+
+def enable(
+    *,
+    trace: bool = True,
+    metrics: bool = True,
+    capacity: int = 65536,
+    sink: Callable[[Event], None] | None = None,
+    max_series: int = 1024,
+) -> ObsHandle:
+    """Turn observability on; idempotent per configuration boundary.
+
+    Re-enabling while already enabled replaces the trace ring and the
+    metrics registry (the previous handle keeps the old data).  Enabling
+    is safe mid-workload: operations already past an instrumented site
+    simply don't emit, and latency measurements that would straddle the
+    boundary are skipped rather than fabricated (their ``wait_s`` /
+    ``wakeup_s`` is ``None``).
+    """
+    if not trace and not metrics:
+        raise ValueError("enable() with trace=False and metrics=False is a no-op; "
+                         "call disable() instead")
+    global _handle
+    with _state_lock:
+        trace_buf = TraceBuffer(capacity=capacity, sink=sink) if trace else None
+        registry = MetricsRegistry(max_series=max_series) if metrics else None
+        _hooks._trace = trace_buf
+        _hooks._metrics = registry
+        _hooks.enabled = True
+        _handle = ObsHandle(trace_buf, registry)
+        return _handle
+
+
+def disable() -> ObsHandle | None:
+    """Turn emission off; returns the final handle (data stays readable).
+
+    The flag is lowered first, then the sinks are detached — a thread
+    mid-emission may land one last event (the hooks snapshot their
+    references), which is harmless; nothing can NoneType-crash.
+    """
+    global _handle
+    with _state_lock:
+        _hooks.enabled = False
+        _hooks._trace = None
+        _hooks._metrics = None
+        handle, _handle = _handle, None
+        return handle
+
+
+def current() -> ObsHandle | None:
+    """The active handle, or None when observability is off."""
+    return _handle
+
+
+class observe:
+    """Context manager: ``with obs.observe() as handle: ...``.
+
+    Accepts the same keyword arguments as :func:`enable`; disables on
+    exit.  The handle remains readable after the block.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self._kwargs = kwargs
+        self.handle: ObsHandle | None = None
+
+    def __enter__(self) -> ObsHandle:
+        self.handle = enable(**self._kwargs)
+        return self.handle
+
+    def __exit__(self, *exc_info) -> None:
+        disable()
+
+
+def start_watchdog(
+    *,
+    threshold: float = 5.0,
+    interval: float = 1.0,
+    on_stall: Callable[[StallReport], None] | None = None,
+    rearm: float | None = None,
+) -> StallWatchdog:
+    """Start (or return the already-running) background stall watchdog."""
+    global _watchdog
+    with _state_lock:
+        if _watchdog is not None and _watchdog.running:
+            return _watchdog
+        _watchdog = StallWatchdog(
+            threshold=threshold, interval=interval, on_stall=on_stall, rearm=rearm
+        )
+        _watchdog.start()
+        return _watchdog
+
+
+def stop_watchdog() -> None:
+    """Stop the background watchdog if one is running (idempotent)."""
+    global _watchdog
+    with _state_lock:
+        dog, _watchdog = _watchdog, None
+    if dog is not None:
+        dog.stop()
+
+
+def watchdog() -> StallWatchdog | None:
+    """The running background watchdog, or None."""
+    return _watchdog
+
+
+def iter_trace() -> Iterator[Event]:
+    """Convenience: iterate the active trace ring (empty if off)."""
+    handle = _handle
+    if handle is None or handle.trace is None:
+        return iter(())
+    return iter(handle.trace)

@@ -1,0 +1,130 @@
+"""CLI for the observability layer.
+
+::
+
+    python -m repro.obs dump [--demo]        # live counter state as JSON
+    python -m repro.obs metrics [--demo]     # Prometheus text exposition
+    python -m repro.obs sample --out DIR     # run the demo workload and
+                                             # write trace.jsonl,
+                                             # metrics.prom, dump.json
+
+``--demo`` runs a short canned workload (a fan-in counter, a sharded
+counter, a timed-out check) with observability enabled so there is
+something to show; without it the commands render whatever the current
+process has live — which, for a fresh CLI process, is nothing.  The
+``sample`` subcommand is what CI uploads as its observability artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import repro.obs as obs
+
+
+def _demo_workload() -> None:
+    """A few milliseconds of representative traffic: parks, wakeups,
+    a spin exhaustion or two, a genuine timeout, and shard flushes."""
+    import threading
+
+    from repro.core import CheckTimeout, MonotonicCounter, ShardedCounter
+
+    counter = MonotonicCounter(name="demo-fanin", stats=True)
+    sharded = ShardedCounter(shards=4, batch=8, name="demo-sharded")
+
+    def checker(level: int) -> None:
+        counter.check(level)
+
+    threads = [threading.Thread(target=checker, args=(lvl,)) for lvl in (3, 3, 5)]
+    for t in threads:
+        t.start()
+    for _ in range(5):
+        counter.increment()
+    for t in threads:
+        t.join()
+
+    try:
+        counter.check(100, timeout=0.01)
+    except CheckTimeout:
+        pass
+
+    for _ in range(40):
+        sharded.increment()
+    sharded.check(32)
+
+    # Keep the demo counters alive for the dump that follows.
+    _demo_workload.keep = (counter, sharded)  # type: ignore[attr-defined]
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    if args.demo:
+        obs.enable()
+        _demo_workload()
+    print(json.dumps(obs.dump_state(), indent=2))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.demo:
+        obs.enable()
+        _demo_workload()
+    handle = obs.current()
+    if handle is None or handle.metrics is None:
+        print("observability is not enabled in this process "
+              "(try --demo for a canned workload)", file=sys.stderr)
+        return 1
+    sys.stdout.write(handle.metrics.prometheus())
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    handle = obs.enable()
+    _demo_workload()
+    state = obs.dump_state()
+    obs.disable()
+
+    trace_path = out / "trace.jsonl"
+    with trace_path.open("w", encoding="utf-8") as fh:
+        for event in handle.trace.snapshot():
+            fh.write(json.dumps(event.as_dict()) + "\n")
+    (out / "metrics.prom").write_text(handle.metrics.prometheus(), encoding="utf-8")
+    (out / "dump.json").write_text(json.dumps(state, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {len(handle.trace)} events, "
+          f"{len(handle.metrics.labels())} metric series -> {out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect live monotonic-counter state, metrics, and traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dump = sub.add_parser("dump", help="live counter state as JSON")
+    p_dump.add_argument("--demo", action="store_true",
+                        help="run a canned workload first so there is state to show")
+    p_dump.set_defaults(fn=_cmd_dump)
+
+    p_metrics = sub.add_parser("metrics", help="Prometheus text exposition")
+    p_metrics.add_argument("--demo", action="store_true",
+                           help="run a canned workload first")
+    p_metrics.set_defaults(fn=_cmd_metrics)
+
+    p_sample = sub.add_parser(
+        "sample", help="run the demo workload; write trace.jsonl/metrics.prom/dump.json"
+    )
+    p_sample.add_argument("--out", required=True, help="output directory")
+    p_sample.set_defaults(fn=_cmd_sample)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

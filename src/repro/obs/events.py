@@ -1,0 +1,153 @@
+"""Typed trace events and the bounded ring buffer they land in.
+
+One :class:`Event` is recorded per observable protocol action — an
+increment, a release, a park/unpark pair, a spin exhaustion, a timeout, a
+subscription fire, a shard flush, a stall report — when tracing is
+enabled via :func:`repro.obs.enable`.  Events are plain frozen
+dataclasses so they serialize trivially (``as_dict`` drops unused
+fields) and so a sink can pattern-match on ``kind`` without string
+parsing beyond the kind itself.
+
+The :class:`TraceBuffer` is a fixed-capacity ring: appends never block
+and never grow memory, the oldest events fall off the far end, and
+``emitted`` keeps the lifetime total so a reader can tell how much
+history the ring no longer holds.  Appends rely on ``deque.append``
+being atomic under the GIL (and internally locked on free-threaded
+builds); the tallies around it are racy by design — observability must
+never add a lock to the paths it observes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["Event", "TraceBuffer", "KINDS"]
+
+#: Every event kind the instrumented paths can emit.  Kept as data so the
+#: docs and the self-tests can enumerate them; the strings at the emit
+#: sites are the source of truth and are asserted against this registry.
+KINDS = frozenset(
+    {
+        "increment",       # a counter's value advanced (amount, new value)
+        "release",         # one wait node unlinked by an increment (level, waiters)
+        "park",            # a check registered and is about to suspend
+        "unpark",          # a suspended check resumed (wait + wakeup latency)
+        "spin_exhausted",  # the spin phase burned its budget and fell to park
+        "timeout",         # a check's wait expired (genuine timeout)
+        "sub_fire",        # a level's subscription callbacks are about to run
+        "flush",           # a shard published its pending batch centrally
+        "drain",           # a reconciling sweep published pending tallies
+        "mw_park",         # a MultiWait is about to suspend
+        "mw_wake",         # a MultiWait wait completed
+        "mw_timeout",      # a MultiWait wait expired
+        "stall",           # the watchdog flagged a blocked check
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One observed protocol action.
+
+    ``ts`` is :func:`time.monotonic` at emit time; ``source`` is the
+    emitting primitive's label (its ``name`` if given, else
+    ``ClassName@0x...``); ``thread`` is the emitting thread's ident.
+    The remaining fields are kind-specific and ``None`` when not
+    applicable: ``level``/``value``/``count``/``amount`` carry the
+    counter-shaped payload, ``wait_s`` is park-to-unpark latency and
+    ``wakeup_s`` is release-to-unpark latency (the wakeup path itself).
+    """
+
+    ts: float
+    kind: str
+    source: str
+    thread: int
+    level: int | None = None
+    value: int | None = None
+    count: int | None = None
+    amount: int | None = None
+    wait_s: float | None = None
+    wakeup_s: float | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping with the unused optional fields dropped."""
+        doc = {"ts": self.ts, "kind": self.kind, "source": self.source, "thread": self.thread}
+        for field in ("level", "value", "count", "amount", "wait_s", "wakeup_s"):
+            val = getattr(self, field)
+            if val is not None:
+                doc[field] = val
+        return doc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extras = " ".join(
+            f"{k}={v}" for k, v in self.as_dict().items() if k not in ("ts", "kind", "source")
+        )
+        return f"[{self.ts:.6f}] {self.kind} {self.source} {extras}"
+
+
+class TraceBuffer:
+    """Fixed-capacity event ring with an optional per-event sink.
+
+    The sink (if given) is called with every event, in the emitting
+    thread, possibly at delicate points of the synchronization protocol:
+    it must be fast, must not raise, and must never call back into the
+    primitives being traced.  A raising sink is dropped after the first
+    failure (recorded in ``sink_errors``) rather than poisoning the hot
+    path.
+    """
+
+    __slots__ = ("_events", "_sink", "capacity", "emitted", "sink_errors")
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        sink: Callable[[Event], None] | None = None,
+    ) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+            raise ValueError(f"capacity must be a positive int, got {capacity!r}")
+        if sink is not None and not callable(sink):
+            raise TypeError(f"sink must be callable, got {sink!r}")
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._sink = sink
+        self.capacity = capacity
+        #: Lifetime events appended (racy tally; >= len() once the ring wraps).
+        self.emitted = 0
+        #: Sink invocations that raised (the sink is dropped on the first).
+        self.sink_errors = 0
+
+    def append(self, event: Event) -> None:
+        self.emitted += 1
+        self._events.append(event)
+        sink = self._sink
+        if sink is not None:
+            try:
+                sink(event)
+            except BaseException:
+                self.sink_errors += 1
+                self._sink = None
+
+    @property
+    def dropped(self) -> int:
+        """Events that have fallen off the far end of the ring."""
+        return max(0, self.emitted - len(self._events))
+
+    def snapshot(self) -> list[Event]:
+        """The buffered events, oldest first (detached copy)."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(list(self._events))
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceBuffer {len(self._events)}/{self.capacity} buffered, "
+            f"{self.emitted} emitted>"
+        )

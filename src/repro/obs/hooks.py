@@ -1,0 +1,217 @@
+"""The zero-cost-when-off observability seam.
+
+This module is the production twin of :mod:`repro.core.syncpoints` and
+reuses its trick verbatim: every instrumented site in the counter code
+compiles to
+
+.. code-block:: python
+
+    if _obs.enabled:
+        _obs.on_park(self, level, value, live_levels, live_waiters)
+
+so the disabled cost is one module-attribute read and an untaken branch
+— and, exactly as with the sync points, **no site lies on the lock-free
+fast paths** (`MonotonicCounter.check`'s immediate return, the sharded
+counter's published-value return, the spin loop's inner iterations): an
+already-satisfied ``check`` never touches this module at all, so its
+cost is unchanged *by construction*, enabled or not.  The quick bench's
+``obs_overhead`` series records the measurement.
+
+``enabled`` is flipped only by :func:`repro.obs.enable` /
+:func:`repro.obs.disable`, which install the active
+:class:`~repro.obs.events.TraceBuffer` and
+:class:`~repro.obs.metrics.MetricsRegistry` here.  The ``on_*``
+functions below are the only writers; each snapshots the tracer/metrics
+reference before use so a concurrent ``disable`` can never produce a
+``None`` call — late emissions from threads mid-operation simply fall
+through.
+
+Emission sites are chosen to run **outside** the primitives' locks
+wherever the protocol allows (the coalesced release pass, the unpark
+path); the exceptions — :class:`~repro.core.counter.BroadcastCounter`'s
+park and the MultiWait timeout — are noted at the call sites.  Sink
+callbacks therefore must be quick, must not raise, and must never call
+back into the primitives being traced.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.events import Event, TraceBuffer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.registry import label
+
+__all__ = ["enabled", "clock"]
+
+#: Read by every instrumented site; True only while obs is enabled.
+enabled = False
+
+#: The timestamp source for every event and latency measurement.
+clock = time.monotonic
+
+_trace: TraceBuffer | None = None
+_metrics: MetricsRegistry | None = None
+
+_get_ident = threading.get_ident
+
+
+def _emit(event: Event) -> None:
+    trace = _trace
+    if trace is not None:
+        trace.append(event)
+
+
+# --------------------------------------------------------------- increment
+
+def on_increment(counter: object, amount: int, value: int) -> None:
+    """An increment's critical section completed (emitted outside the lock)."""
+    src = label(counter)
+    metrics = _metrics
+    if metrics is not None:
+        metrics.series(src).increments += 1
+    if _trace is not None:
+        _emit(Event(clock(), "increment", src, _get_ident(), amount=amount, value=value))
+
+
+def on_release(counter: object, value: int, released: list) -> None:
+    """Satisfied nodes were unlinked; stamps each node's release time.
+
+    Runs after the increment's critical section, before the coalesced
+    signal pass, so the release timestamp brackets the whole wakeup path
+    the ``wakeup_latency`` histogram measures.
+    """
+    now = clock()
+    src = label(counter)
+    metrics = _metrics
+    if metrics is not None:
+        metrics.series(src).releases += len(released)
+    trace = _trace
+    for node in released:
+        node.released_ts = now
+        if trace is not None:
+            trace.append(
+                Event(now, "release", src, _get_ident(), level=node.level,
+                      value=value, count=node.count)
+            )
+
+
+def on_sub_fire(counter: object, level: int, count: int) -> None:
+    """A released level's subscription callbacks are about to run."""
+    if _trace is not None:
+        _emit(Event(clock(), "sub_fire", label(counter), _get_ident(),
+                    level=level, count=count))
+
+
+# -------------------------------------------------------------------- check
+
+def on_park(
+    counter: object, level: int, value: int, live_levels: int, live_waiters: int
+) -> None:
+    """A check registered its wait node and is about to suspend."""
+    src = label(counter)
+    metrics = _metrics
+    if metrics is not None:
+        series = metrics.series(src)
+        series.parks += 1
+        series.note_levels(live_levels, live_waiters)
+    if _trace is not None:
+        _emit(Event(clock(), "park", src, _get_ident(), level=level, value=value,
+                    count=live_waiters))
+
+
+def on_unpark(
+    counter: object, level: int, wait_s: float | None, wakeup_s: float | None
+) -> None:
+    """A suspended check resumed (normal wakeup or adjudicated success).
+
+    ``wait_s`` is park-to-unpark (None when obs was enabled mid-wait);
+    ``wakeup_s`` is release-to-unpark (None when the releasing increment
+    predates enablement, or on the adjudicated path where the release
+    timestamp may not have been stamped yet).
+    """
+    src = label(counter)
+    metrics = _metrics
+    if metrics is not None:
+        series = metrics.series(src)
+        series.unparks += 1
+        if wait_s is not None:
+            series.wait_latency.observe(wait_s)
+        if wakeup_s is not None and wakeup_s >= 0.0:
+            series.wakeup_latency.observe(wakeup_s)
+    if _trace is not None:
+        _emit(Event(clock(), "unpark", src, _get_ident(), level=level,
+                    wait_s=wait_s, wakeup_s=wakeup_s))
+
+
+def on_spin_exhausted(counter: object, level: int, budget: int) -> None:
+    """The spin phase burned ``budget`` re-reads and fell through to park."""
+    src = label(counter)
+    metrics = _metrics
+    if metrics is not None:
+        metrics.series(src).spin_exhausted.observe(float(budget))
+    if _trace is not None:
+        _emit(Event(clock(), "spin_exhausted", src, _get_ident(), level=level,
+                    count=budget))
+
+
+def on_timeout(counter: object, level: int, value: int, waited_s: float | None) -> None:
+    """A check's wait genuinely expired (adjudicated under the counter lock)."""
+    src = label(counter)
+    metrics = _metrics
+    if metrics is not None:
+        series = metrics.series(src)
+        series.timeouts += 1
+        if waited_s is not None:
+            series.wait_latency.observe(waited_s)
+    if _trace is not None:
+        _emit(Event(clock(), "timeout", src, _get_ident(), level=level, value=value,
+                    wait_s=waited_s))
+
+
+# ------------------------------------------------------------------ sharded
+
+def on_flush(counter: object, amount: int) -> None:
+    """A shard published its pending batch into the central counter."""
+    src = label(counter)
+    metrics = _metrics
+    if metrics is not None:
+        metrics.series(src).flushes += 1
+    if _trace is not None:
+        _emit(Event(clock(), "flush", src, _get_ident(), amount=amount))
+
+
+def on_drain(counter: object, amount: int) -> None:
+    """A reconciling sweep published ``amount`` of pending tallies."""
+    if _trace is not None:
+        _emit(Event(clock(), "drain", label(counter), _get_ident(), amount=amount))
+
+
+# ---------------------------------------------------------------- multiwait
+
+def on_mw_park(mw: object, conditions: int, satisfied: int) -> None:
+    if _trace is not None:
+        _emit(Event(clock(), "mw_park", label(mw), _get_ident(), count=conditions,
+                    value=satisfied))
+
+
+def on_mw_wake(mw: object, satisfied: int, wait_s: float | None) -> None:
+    if _trace is not None:
+        _emit(Event(clock(), "mw_wake", label(mw), _get_ident(), value=satisfied,
+                    wait_s=wait_s))
+
+
+def on_mw_timeout(mw: object, conditions: int, satisfied: int) -> None:
+    if _trace is not None:
+        _emit(Event(clock(), "mw_timeout", label(mw), _get_ident(), count=conditions,
+                    value=satisfied))
+
+
+# ----------------------------------------------------------------- watchdog
+
+def on_stall(source: str, level: int, waiters: int, value: int, stalled_s: float) -> None:
+    """The stall watchdog flagged a check blocked beyond its threshold."""
+    if _trace is not None:
+        _emit(Event(clock(), "stall", source, _get_ident(), level=level,
+                    count=waiters, value=value, wait_s=stalled_s))

@@ -1,0 +1,294 @@
+"""Per-counter latency/shape metrics with a Prometheus-able export.
+
+The §4/§5 performance-shape claims are about *where threads wait and for
+how long*; these metrics quantify exactly that on a live system:
+
+* ``wait_latency`` — park to unpark, per suspended ``check`` (how long
+  waits actually are);
+* ``wakeup_latency`` — release decision to unpark (the wakeup path PR-2
+  optimized, measured end to end in production rather than only on the
+  bench);
+* ``spin_exhausted`` — spin budgets that were burned without satisfying
+  the level (how often the spin phase pays for nothing);
+* ``live_levels`` / ``live_waiters`` high-water marks — the L of the
+  paper's O(L) bounds, observed rather than asserted.
+
+Histograms are exponential-bucket and **lock-free-ish**: ``observe`` is
+a few plain int/float bumps with no lock, so concurrent observations can
+occasionally lose a race and undercount — the same documented trade the
+fast path's ``immediate_checks`` tally makes.  Observability must never
+serialize the paths it observes; bounds, not bookkeeping, are exact.
+
+The registry also *unifies* the older opt-in
+:class:`repro.core.stats.CounterStats` tallies: a metrics snapshot (and
+the Prometheus text export) folds in the stats of every live registered
+counter that carries them, so there is one export surface for both
+generations of bookkeeping.  ``stats=False`` counters keep their
+``NOOP_STATS`` null object and contribute nothing, exactly as before.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Histogram",
+    "CounterMetrics",
+    "MetricsRegistry",
+    "LATENCY_BOUNDS",
+    "SPIN_BOUNDS",
+]
+
+#: Exponential latency buckets: 1µs .. ~8s, doubling.  The +Inf bucket is
+#: implicit (the final slot of ``Histogram.buckets``).
+LATENCY_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2**k for k in range(24))
+
+#: Spin-iteration buckets: 1 .. 2**20, doubling.
+SPIN_BOUNDS: tuple[float, ...] = tuple(float(1 << k) for k in range(21))
+
+
+class Histogram:
+    """Fixed-bound histogram with racy (lock-free) observation.
+
+    ``buckets[i]`` counts observations ``<= bounds[i]``; the final slot
+    counts the overflow (+Inf bucket).  Cumulative counts — the
+    Prometheus ``le`` convention — are computed at export time so the
+    hot-path write is a single indexed increment.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "sum")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        # Racy by design: a lost increment under contention is preferable
+        # to a lock on the wait path.  See the module docstring.
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (upper bucket bound); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                **{str(b): n for b, n in zip(self.bounds, self.buckets)},
+                "+Inf": self.buckets[-1],
+            },
+        }
+
+
+class CounterMetrics:
+    """One counter's (or one label's) metric series."""
+
+    __slots__ = (
+        "wait_latency",
+        "wakeup_latency",
+        "spin_exhausted",
+        "live_levels_hw",
+        "live_waiters_hw",
+        "increments",
+        "releases",
+        "parks",
+        "unparks",
+        "timeouts",
+        "flushes",
+    )
+
+    def __init__(self) -> None:
+        self.wait_latency = Histogram(LATENCY_BOUNDS)
+        self.wakeup_latency = Histogram(LATENCY_BOUNDS)
+        self.spin_exhausted = Histogram(SPIN_BOUNDS)
+        self.live_levels_hw = 0
+        self.live_waiters_hw = 0
+        self.increments = 0
+        self.releases = 0
+        self.parks = 0
+        self.unparks = 0
+        self.timeouts = 0
+        self.flushes = 0
+
+    def note_levels(self, live_levels: int, live_waiters: int) -> None:
+        # High-water updates lose races harmlessly: a stale maximum is
+        # corrected by the next observation at or above it.
+        if live_levels > self.live_levels_hw:
+            self.live_levels_hw = live_levels
+        if live_waiters > self.live_waiters_hw:
+            self.live_waiters_hw = live_waiters
+
+    def snapshot(self) -> dict:
+        return {
+            "increments": self.increments,
+            "releases": self.releases,
+            "parks": self.parks,
+            "unparks": self.unparks,
+            "timeouts": self.timeouts,
+            "flushes": self.flushes,
+            "live_levels_hw": self.live_levels_hw,
+            "live_waiters_hw": self.live_waiters_hw,
+            "wait_latency": self.wait_latency.snapshot(),
+            "wakeup_latency": self.wakeup_latency.snapshot(),
+            "spin_exhausted": self.spin_exhausted.snapshot(),
+        }
+
+
+class MetricsRegistry:
+    """Label-keyed :class:`CounterMetrics` with dict and Prometheus export.
+
+    Series creation takes a small lock (rare); every subsequent
+    observation is a plain dict hit plus the histogram's lock-free bump.
+    Labels come from the counter's ``name`` when given, else a
+    per-instance ``ClassName@0x...`` — name your long-lived counters so
+    their series are stable across restarts.  ``max_series`` bounds the
+    registry against label churn from short-lived unnamed counters;
+    overflowed observations are tallied in ``dropped_series`` and folded
+    into a shared ``"(overflow)"`` series rather than silently vanishing.
+    """
+
+    OVERFLOW_LABEL = "(overflow)"
+
+    __slots__ = ("_series", "_lock", "max_series", "dropped_series")
+
+    def __init__(self, max_series: int = 1024) -> None:
+        if not isinstance(max_series, int) or isinstance(max_series, bool) or max_series < 1:
+            raise ValueError(f"max_series must be a positive int, got {max_series!r}")
+        self._series: dict[str, CounterMetrics] = {}
+        self._lock = threading.Lock()
+        self.max_series = max_series
+        self.dropped_series = 0
+
+    def series(self, label: str) -> CounterMetrics:
+        metrics = self._series.get(label)
+        if metrics is not None:
+            return metrics
+        with self._lock:
+            metrics = self._series.get(label)
+            if metrics is None:
+                if len(self._series) >= self.max_series and label != self.OVERFLOW_LABEL:
+                    self.dropped_series += 1
+                    label = self.OVERFLOW_LABEL
+                    metrics = self._series.get(label)
+                if metrics is None:
+                    metrics = self._series[label] = CounterMetrics()
+        return metrics
+
+    def labels(self) -> list[str]:
+        return sorted(self._series)
+
+    def snapshot(self) -> dict:
+        """Dict export: per-label series plus the unified live counter stats."""
+        return {
+            "series": {label: m.snapshot() for label, m in sorted(self._series.items())},
+            "stats": self._live_stats(),
+            "dropped_series": self.dropped_series,
+        }
+
+    @staticmethod
+    def _live_stats() -> dict[str, dict]:
+        """CounterStats of live registered counters, unified into the export.
+
+        Only counters constructed with ``stats=True`` contribute (the
+        ``NOOP_STATS`` null object identifies itself via ``enabled``);
+        the per-tally caveats — ``immediate_checks``/``spin_checks`` may
+        undercount under contention, everything else is exact — carry
+        over unchanged and are quantified by
+        ``tests/obs/test_stats_undercount.py``.
+        """
+        from repro.obs import registry
+
+        out: dict[str, dict] = {}
+        for counter in registry.live_counters():
+            stats = getattr(counter, "stats", None)
+            if stats is None or not getattr(stats, "enabled", False):
+                continue
+            out[registry.label(counter)] = stats.as_dict()
+        return out
+
+    # ----------------------------------------------------------- Prometheus
+
+    def prometheus(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Histograms follow the cumulative-``le`` convention; the unified
+        ``CounterStats`` tallies export as
+        ``repro_counter_stats_total{counter=...,tally=...}``.
+        """
+        lines: list[str] = []
+        counters = (
+            ("increments", "repro_counter_increments_total", "Increment operations observed"),
+            ("releases", "repro_counter_releases_total", "Wait nodes released by increments"),
+            ("parks", "repro_counter_parks_total", "Checks that suspended"),
+            ("unparks", "repro_counter_unparks_total", "Suspended checks that resumed"),
+            ("timeouts", "repro_counter_timeouts_total", "Checks whose wait expired"),
+            ("flushes", "repro_counter_flushes_total", "Shard batch publications"),
+        )
+        gauges = (
+            ("live_levels_hw", "repro_counter_live_levels_high_water", "Max simultaneous distinct waiting levels (the paper's L)"),
+            ("live_waiters_hw", "repro_counter_live_waiters_high_water", "Max simultaneous suspended threads"),
+        )
+        histograms = (
+            ("wait_latency", "repro_counter_wait_latency_seconds", "Park-to-unpark latency of suspended checks"),
+            ("wakeup_latency", "repro_counter_wakeup_latency_seconds", "Release-to-unpark latency (the wakeup path)"),
+            ("spin_exhausted", "repro_counter_spin_exhausted_iterations", "Spin budgets burned without satisfaction"),
+        )
+        series = sorted(self._series.items())
+        for attr, metric, help_text in counters:
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            for label, m in series:
+                lines.append(f'{metric}{{counter="{_escape(label)}"}} {getattr(m, attr)}')
+        for attr, metric, help_text in gauges:
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} gauge")
+            for label, m in series:
+                lines.append(f'{metric}{{counter="{_escape(label)}"}} {getattr(m, attr)}')
+        for attr, metric, help_text in histograms:
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} histogram")
+            for label, m in series:
+                hist: Histogram = getattr(m, attr)
+                esc = _escape(label)
+                cumulative = 0
+                for bound, n in zip(hist.bounds, hist.buckets):
+                    cumulative += n
+                    lines.append(f'{metric}_bucket{{counter="{esc}",le="{bound:g}"}} {cumulative}')
+                cumulative += hist.buckets[-1]
+                lines.append(f'{metric}_bucket{{counter="{esc}",le="+Inf"}} {cumulative}')
+                lines.append(f'{metric}_sum{{counter="{esc}"}} {hist.sum:g}')
+                lines.append(f'{metric}_count{{counter="{esc}"}} {cumulative}')
+        stats = self._live_stats()
+        if stats:
+            lines.append("# HELP repro_counter_stats_total Unified opt-in CounterStats tallies")
+            lines.append("# TYPE repro_counter_stats_total counter")
+            for label, tallies in sorted(stats.items()):
+                esc = _escape(label)
+                for tally, value in tallies.items():
+                    lines.append(
+                        f'repro_counter_stats_total{{counter="{esc}",tally="{tally}"}} {value}'
+                    )
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _escape(label: str) -> str:
+    return label.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")

@@ -1,0 +1,47 @@
+"""Weakref registry of live counters — who can be observed right now.
+
+Every concrete counter registers itself at construction (one
+``WeakSet.add``, off every hot path); the set holds only weak
+references, so a counter that the program drops disappears from the
+registry with it — observation never extends a counter's lifetime.
+
+The registry is what makes ambient introspection possible at all: the
+stall watchdog scans it, ``repro.obs.dump_state()`` renders it, and the
+metrics registry folds the live counters' opt-in ``CounterStats`` into
+its export.  Wrapper counters (:class:`~repro.core.sharded.ShardedCounter`
+and its asyncio twin) deregister their inner central counter so each
+logical counter appears exactly once.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+__all__ = ["register", "deregister", "live_counters", "label"]
+
+_counters: "weakref.WeakSet[object]" = weakref.WeakSet()
+
+
+def register(counter: object) -> None:
+    """Add ``counter`` to the live registry (constructor-time, weakly)."""
+    _counters.add(counter)
+
+
+def deregister(counter: object) -> None:
+    """Drop ``counter`` from the registry (used by wrapping counters)."""
+    _counters.discard(counter)
+
+
+def live_counters() -> list[object]:
+    """A snapshot list of every registered counter still alive."""
+    return list(_counters)
+
+
+def label(obj: object) -> str:
+    """Stable display label: the primitive's ``name`` if given, else
+    ``ClassName@0xADDR``.  Name long-lived counters — unnamed ones get
+    per-instance labels, which fragment metric series."""
+    name = getattr(obj, "_name", None)
+    if name:
+        return str(name)
+    return f"{type(obj).__name__}@{id(obj):#x}"

@@ -35,6 +35,7 @@ class TestRunCounterOps:
             "fan_in_wakeup",
             "handoff_pingpong",
             "multiwait_join",
+            "obs_overhead",
         }
         for series in ("immediate_check", "uncontended_increment"):
             assert set(doc["series"][series]) == set(FACTORIES)
@@ -56,6 +57,23 @@ class TestRunCounterOps:
         assert set(doc["series"]["multiwait_join"]) == {"subscription", "sequential"}
         for entry in doc["series"]["multiwait_join"].values():
             assert entry["ops_per_sec"] > 0
+
+    def test_obs_overhead_measures_both_states(self, doc):
+        assert set(doc["series"]["obs_overhead"]) == {
+            "immediate_disabled",
+            "immediate_enabled",
+            "handoff_disabled",
+            "handoff_enabled",
+        }
+        for entry in doc["series"]["obs_overhead"].values():
+            assert entry["ops_per_sec"] > 0
+        assert doc["derived"]["obs_immediate_enabled_vs_disabled"] > 0
+        assert doc["derived"]["obs_handoff_enabled_vs_disabled"] > 0
+
+    def test_obs_overhead_run_leaves_observability_off(self, doc):
+        import repro.obs as obs
+
+        assert obs.current() is None
 
 
 class TestHistory:

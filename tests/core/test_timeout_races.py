@@ -87,9 +87,9 @@ class ScriptedParkCounter(MonotonicCounter):
         super().__init__(policy=PARK_ONLY, stats=True, **kwargs)
         self._condition_factory = condition_factory
 
-    def _park(self, node, level, timeout, deadline):
+    def _park(self, node, level, timeout, deadline, t_parked=None):
         node.condition = self._condition_factory(node)
-        return super()._park(node, level, timeout, deadline)
+        return super()._park(node, level, timeout, deadline, t_parked)
 
 
 def _quiescent(counter) -> None:

@@ -112,7 +112,7 @@ class TestAdaptiveBudget:
                 self.increment(1)  # the "concurrent" producer
                 return super()._spin_wait(level, budget)
 
-            def _park(self, node, level, timeout, deadline):  # pragma: no cover
+            def _park(self, node, level, timeout, deadline, t_parked=None):  # pragma: no cover
                 raise AssertionError("parked despite satisfied spin")
 
         counter = SpinProbeCounter(

@@ -1,0 +1,24 @@
+"""Shared hygiene for the observability tests.
+
+Observability is process-global (the hooks module's ``enabled`` flag,
+the active trace/metrics handle, the background watchdog singleton), so
+every test must leave it exactly as it found it: off.  The autouse
+fixture below makes that unconditional — a test that enables tracing,
+starts a watchdog, and then fails mid-assert cannot leak its
+instrumentation into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean_slate():
+    obs.disable()
+    obs.stop_watchdog()
+    yield
+    obs.disable()
+    obs.stop_watchdog()

@@ -1,0 +1,222 @@
+"""State introspection: ``dump_counter``/``dump_state`` and the sharded
+never-over-report guarantee.
+
+The acceptance bar: a dump taken while threads are parked shows *every*
+waiting level with its waiter count, and a sharded counter's reported
+total is a lower bound on the true global value under concurrent
+increments — always, not just on average (the hammer below samples the
+capture thousands of times against a ground-truth issued tally).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import repro.obs as obs
+from repro.aio import AsyncCounter
+from repro.core import MonotonicCounter, ShardedCounter
+from repro.obs import dump_counter, dump_state
+from tests.helpers import join_all, spawn, wait_until
+
+
+def _by_name(state, name):
+    docs = [d for d in state["counters"] if d["name"] == name]
+    assert len(docs) == 1, state["counters"]
+    return docs[0]
+
+
+class TestDumpCounter:
+    def test_idle_counter(self):
+        counter = MonotonicCounter(name="idle-dump")
+        counter.increment(3)
+        doc = dump_counter(counter)
+        assert doc == {
+            "name": "idle-dump",
+            "type": "MonotonicCounter",
+            "value": 3,
+            "waiting": [],
+            "waiting_levels": 0,
+            "total_waiters": 0,
+        }
+
+    def test_unnamed_counter_gets_an_instance_label(self):
+        counter = MonotonicCounter()
+        doc = dump_counter(counter)
+        assert doc["name"].startswith("MonotonicCounter@0x")
+
+    def test_every_parked_level_appears_with_its_waiter_count(self):
+        counter = MonotonicCounter(name="parked-dump")
+        waiters = [
+            spawn(counter.check, 3),
+            spawn(counter.check, 3),
+            spawn(counter.check, 7),
+        ]
+        wait_until(lambda: counter.snapshot().total_waiters == 3)
+
+        doc = dump_counter(counter)
+        assert doc["value"] == 0
+        waiting = {w["level"]: w for w in doc["waiting"]}
+        assert set(waiting) == {3, 7}
+        assert waiting[3]["waiters"] == 2
+        assert waiting[7]["waiters"] == 1
+        assert not waiting[3]["signaled"] and not waiting[7]["signaled"]
+        assert doc["waiting_levels"] == 2
+        assert doc["total_waiters"] == 3
+
+        counter.increment(7)
+        join_all(waiters)
+        after = dump_counter(counter)
+        assert after["waiting"] == [] and after["total_waiters"] == 0
+
+    def test_stats_are_folded_in_when_enabled(self):
+        counter = MonotonicCounter(name="stats-dump", stats=True)
+        counter.increment(2)
+        doc = dump_counter(counter)
+        assert doc["stats"]["increments"] == 1
+        plain = dump_counter(MonotonicCounter(name="nostats-dump"))
+        assert "stats" not in plain
+
+    def test_capture_failure_is_reported_not_raised(self):
+        class Broken:
+            _name = "broken-dump"
+
+            def snapshot(self):
+                raise ZeroDivisionError("boom")
+
+        doc = dump_counter(Broken())
+        assert doc["name"] == "broken-dump"
+        assert "ZeroDivisionError" in doc["error"]
+
+    def test_persistent_race_is_skipped_with_a_note(self):
+        class Racing:
+            _name = "racing-dump"
+
+            def snapshot(self):
+                raise RuntimeError("dict changed size during iteration")
+
+        doc = dump_counter(Racing())
+        assert "skipped" in doc["error"]
+
+
+class TestDumpState:
+    def test_totals_aggregate_and_order_is_stable(self):
+        a = MonotonicCounter(name="agg-a")
+        b = MonotonicCounter(name="agg-b")
+        waiters = [spawn(a.check, 1), spawn(b.check, 2), spawn(b.check, 5)]
+        wait_until(
+            lambda: a.snapshot().total_waiters + b.snapshot().total_waiters == 3
+        )
+
+        state = dump_state()
+        doc_a, doc_b = _by_name(state, "agg-a"), _by_name(state, "agg-b")
+        assert doc_a["total_waiters"] == 1
+        assert doc_b["total_waiters"] == 2 and doc_b["waiting_levels"] == 2
+        names = [d["name"] for d in state["counters"]]
+        assert names == sorted(names)
+        assert state["totals"]["counters"] == len(state["counters"])
+        assert state["totals"]["waiters"] >= 3
+        assert state["totals"]["waiting_levels"] >= 3
+
+        a.increment(1)
+        b.increment(5)
+        join_all(waiters)
+
+    def test_dead_counters_vanish_from_the_dump(self):
+        counter = MonotonicCounter(name="ephemeral-dump")
+        assert any(
+            d["name"] == "ephemeral-dump" for d in dump_state()["counters"]
+        )
+        del counter
+        assert not any(
+            d["name"] == "ephemeral-dump" for d in dump_state()["counters"]
+        )
+
+    def test_async_counter_is_dumpable(self):
+        async def scenario():
+            counter = AsyncCounter(name="aio-dump")
+            counter.increment(2)
+            task = asyncio.ensure_future(counter.check(5))
+            for _ in range(50):  # let the checker register and park
+                await asyncio.sleep(0)
+                if counter.snapshot().total_waiters:
+                    break
+            doc = dump_counter(counter)
+            counter.increment(3)
+            await task
+            return doc
+
+        doc = asyncio.run(scenario())
+        assert doc["name"] == "aio-dump"
+        assert doc["value"] == 2
+        assert [w["level"] for w in doc["waiting"]] == [5]
+        assert doc["total_waiters"] == 1
+
+
+class TestShardedDump:
+    def test_pending_and_published_with_reconciled_lower_bound(self):
+        sharded = ShardedCounter(shards=2, batch=1000, name="sharded-dump")
+        for _ in range(5):
+            sharded.increment(1)  # stays pending: batch never reached
+
+        snap = sharded.shard_snapshot()
+        assert snap.published == 0
+        assert sum(snap.pending) == 5
+        assert len(snap.pending) == 2
+        assert snap.total == 5
+
+        doc = dump_counter(sharded)
+        assert doc["published"] == 0
+        assert sum(doc["pending"]) == 5
+        assert doc["value"] == 5  # the reconciled lower bound IS the value
+
+        assert sharded.flush() == 5
+        doc = dump_counter(sharded)
+        assert doc["published"] == 5 and sum(doc["pending"]) == 0
+
+    def test_snapshot_total_never_exceeds_the_true_total(self):
+        """The capture-order invariant, hammered: concurrent producers
+        drive the counter while the main thread samples
+        ``shard_snapshot`` and bounds it against a ground-truth issued
+        tally.  Each producer bumps its issued slot BEFORE incrementing,
+        so at any capture the units inside the counter are a subset of
+        the issued tally read afterwards — any over-reporting capture
+        would break the assertion deterministically."""
+        sharded = ShardedCounter(shards=4, batch=8, name="hammer-sharded")
+        producers, per_producer = 4, 3000
+        issued = [0] * producers
+        start = threading.Barrier(producers + 1)
+
+        def produce(slot):
+            start.wait()
+            for _ in range(per_producer):
+                issued[slot] += 1
+                sharded.increment(1)
+
+        threads = [spawn(produce, slot) for slot in range(producers)]
+        start.wait()
+        last_published = 0
+        done = False
+        while not done:
+            done = all(not t.is_alive() for t in threads)
+            snap = sharded.shard_snapshot()
+            true_total = sum(issued)  # read AFTER the capture completed
+            assert snap.total <= true_total, (snap, true_total)
+            assert all(p >= 0 for p in snap.pending)
+            # The published value is monotone across samples.
+            assert snap.published >= last_published
+            last_published = snap.published
+
+        join_all(threads)
+        assert sharded.value == producers * per_producer
+        assert sharded.shard_snapshot().total == producers * per_producer
+
+
+class TestObsStateIsOrthogonal:
+    def test_dump_works_with_observability_disabled(self):
+        """dump_state is registry-powered, not event-powered: it must
+        work without enable() ever having been called."""
+        assert obs.current() is None
+        counter = MonotonicCounter(name="cold-dump")
+        counter.increment(1)
+        assert _by_name(dump_state(), "cold-dump")["value"] == 1
