@@ -30,6 +30,7 @@ from repro.core.stats import NOOP_STATS, CounterStats
 from repro.core.validation import validate_amount, validate_level, validate_timeout
 from repro.obs import hooks as _obs
 from repro.obs import registry as _obs_registry
+from repro.obs.events import next_token as _next_token
 
 __all__ = ["AsyncCounter", "AsyncCounterSubscription"]
 
@@ -37,7 +38,7 @@ __all__ = ["AsyncCounter", "AsyncCounterSubscription"]
 class _Level:
     """One distinct waiting level: count of waiters + its wakeup event."""
 
-    __slots__ = ("level", "count", "event", "released_ts", "subscribers")
+    __slots__ = ("level", "count", "event", "released_ts", "token", "subscribers")
 
     def __init__(self, level: int) -> None:
         self.level = level
@@ -46,6 +47,10 @@ class _Level:
         # Stamped by the observability release hook so resuming waiters
         # can report release-to-unpark latency; None when obs is off.
         self.released_ts: float | None = None
+        # Schema-v2 correlation id (same token space as the threaded
+        # counter's wait nodes): release/park/unpark/timeout/sub_fire
+        # events on this level share it.
+        self.token = _next_token()
         self.subscribers: list[Callable[[], None]] | None = None
 
 
@@ -101,7 +106,8 @@ class AsyncCounter:
     2
     """
 
-    __slots__ = ("_value", "_levels", "_max_value", "_name", "_stats_on", "stats", "__weakref__")
+    __slots__ = ("_value", "_levels", "_max_value", "_name", "_stats_on",
+                 "_obs_label", "stats", "__weakref__")
 
     def __init__(
         self,
@@ -140,8 +146,9 @@ class AsyncCounter:
         self._value = new_value
         if self._stats_on:
             self.stats.increments += 1
+        inc_seq: int | None = None
         if _obs.enabled:
-            _obs.on_increment(self, amount, new_value)
+            inc_seq = _obs.on_increment(self, amount, new_value)
         if amount and self._levels:
             released = [lv for lv in self._levels if lv <= new_value]
             if released:
@@ -153,13 +160,16 @@ class AsyncCounter:
                 if _obs.enabled:
                     # Stamps released_ts before any event is set, so woken
                     # coroutines can report release-to-resume latency.
-                    _obs.on_release(self, new_value, nodes)
+                    # (No deferred construction here: the event loop is
+                    # single-threaded, so nothing races the set() loop.)
+                    _obs.on_release(self, new_value, nodes, cause_seq=inc_seq)
                 for node in nodes:
                     node.event.set()
                     subscribers = node.subscribers
                     if subscribers:
                         if _obs.enabled:
-                            _obs.on_sub_fire(self, node.level, len(subscribers))
+                            _obs.on_sub_fire(self, node.level, len(subscribers),
+                                             token=node.token)
                         node.subscribers = None
                         for callback in subscribers:
                             callback()
@@ -187,11 +197,11 @@ class AsyncCounter:
             )
         t_parked: float | None = None
         if _obs.enabled:
-            _obs.on_park(
+            t_parked = _obs.on_park(
                 self, level, self._value, len(self._levels),
                 sum(n.count for n in self._levels.values()),
+                token=node.token,
             )
-            t_parked = _obs.clock()
         try:
             if timeout is None:
                 await node.event.wait()
@@ -209,7 +219,8 @@ class AsyncCounter:
                             self.stats.timeouts += 1
                         if _obs.enabled:
                             waited = None if t_parked is None else _obs.clock() - t_parked
-                            _obs.on_timeout(self, level, self._value, waited)
+                            _obs.on_timeout(self, level, self._value, waited,
+                                            token=node.token)
                         raise CheckTimeout(
                             f"{self!r}: check({level}) timed out after {timeout}s "
                             f"(value={self._value})"
@@ -219,7 +230,7 @@ class AsyncCounter:
                 wait_s = None if t_parked is None else now - t_parked
                 released_ts = node.released_ts
                 wakeup_s = None if released_ts is None else now - released_ts
-                _obs.on_unpark(self, level, wait_s, wakeup_s)
+                _obs.on_unpark(self, level, wait_s, wakeup_s, token=node.token, ts=now)
         finally:
             node.count -= 1
             if node.count == 0 and not node.event.is_set() and not node.subscribers:

@@ -23,6 +23,7 @@ from repro.aio.counter import AsyncCounter
 from repro.core.errors import CheckTimeout
 from repro.core.validation import validate_level, validate_timeout
 from repro.obs import hooks as _obs
+from repro.obs.events import next_token as _next_token
 
 __all__ = ["AsyncMultiWait"]
 
@@ -50,7 +51,8 @@ class AsyncMultiWait:
     [0, 1]
     """
 
-    __slots__ = ("_pairs", "_satisfied", "_subs", "_event", "_closed")
+    __slots__ = ("_pairs", "_satisfied", "_subs", "_event", "_closed", "_token",
+                 "_obs_label")
 
     def __init__(self, conditions: Iterable[Condition]) -> None:
         pairs: Sequence[Condition] = list(conditions)
@@ -63,6 +65,8 @@ class AsyncMultiWait:
         self._subs: list = []
         self._event = asyncio.Event()
         self._closed = False
+        # Schema-v2 correlation id shared by this instance's mw_* events.
+        self._token = _next_token()
         for index, (counter, level) in enumerate(pairs):
             subscription = counter.subscribe(level, self._make_callback(index))
             if subscription is None:
@@ -102,7 +106,8 @@ class AsyncMultiWait:
             raise RuntimeError("AsyncMultiWait is closed")
         t_parked: float | None = None
         if _obs.enabled:
-            _obs.on_mw_park(self, len(self._pairs), len(self._satisfied))
+            _obs.on_mw_park(self, len(self._pairs), len(self._satisfied),
+                            token=self._token)
             t_parked = _obs.clock()
         if timeout is None:
             while not done():
@@ -110,7 +115,7 @@ class AsyncMultiWait:
                 await self._event.wait()
             if _obs.enabled:
                 wait_s = None if t_parked is None else _obs.clock() - t_parked
-                _obs.on_mw_wake(self, len(self._satisfied), wait_s)
+                _obs.on_mw_wake(self, len(self._satisfied), wait_s, token=self._token)
             return
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
@@ -119,7 +124,8 @@ class AsyncMultiWait:
             remaining = deadline - loop.time()
             if remaining <= 0:
                 if _obs.enabled:
-                    _obs.on_mw_timeout(self, len(self._pairs), len(self._satisfied))
+                    _obs.on_mw_timeout(self, len(self._pairs), len(self._satisfied),
+                                       token=self._token)
                 raise CheckTimeout(
                     f"AsyncMultiWait.wait_{mode}: timed out after {timeout}s "
                     f"({len(self._satisfied)}/{len(self._pairs)} satisfied)"
@@ -133,14 +139,15 @@ class AsyncMultiWait:
                 if done():
                     break
                 if _obs.enabled:
-                    _obs.on_mw_timeout(self, len(self._pairs), len(self._satisfied))
+                    _obs.on_mw_timeout(self, len(self._pairs), len(self._satisfied),
+                                       token=self._token)
                 raise CheckTimeout(
                     f"AsyncMultiWait.wait_{mode}: timed out after {timeout}s "
                     f"({len(self._satisfied)}/{len(self._pairs)} satisfied)"
                 ) from None
         if _obs.enabled:
             wait_s = None if t_parked is None else _obs.clock() - t_parked
-            _obs.on_mw_wake(self, len(self._satisfied), wait_s)
+            _obs.on_mw_wake(self, len(self._satisfied), wait_s, token=self._token)
 
     def close(self) -> None:
         """Cancel unfired subscriptions; idempotent."""

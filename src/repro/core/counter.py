@@ -176,6 +176,9 @@ class MonotonicCounter(AbstractCounter):
         "_spin",
         "_live_levels",
         "_live_waiters",
+        # Memoized observability label (repro.obs.registry.label writes it
+        # on first use) so enabled-mode emission skips the string format.
+        "_obs_label",
         "stats",
         # Weakly referenceable so the observability registry (watchdog,
         # dump_state) can track live counters without extending lifetimes.
@@ -314,23 +317,31 @@ class MonotonicCounter(AbstractCounter):
                         with self._drain_lock:
                             for node in draining:
                                 self._draining[id(node)] = node
-        if _obs.enabled:
-            _obs.on_increment(self, amount, new_value)
         if released:
             if _sp.enabled:
                 _sp.fire("increment.unlock", self)
+            obs_ctx = None
             if _obs.enabled:
-                # Stamps each node's released_ts before any signal, so the
-                # wakeup-latency clock brackets the whole wake pass.
-                _obs.on_release(self, new_value, released)
+                # Pre-signal half: one clock() read stamps every node's
+                # released_ts (so woken threads can measure the wakeup
+                # path) and pre-allocates the event seqs.  Constructing
+                # the increment/release Events is deferred past the
+                # signal pass below — the handoff window between release
+                # decision and notify stays as short as disabled mode's.
+                obs_ctx = _obs.on_release_stamp(released)
             # The coalesced wake pass: counter lock long gone, one
             # notify_all per satisfied level, subscribers fired after.
             for node in released:
                 if _sp.enabled:
                     _sp.fire("increment.signal", self)
                 if _obs.enabled and node.subscribers:
-                    _obs.on_sub_fire(self, node.level, len(node.subscribers))
+                    _obs.on_sub_fire(self, node.level, len(node.subscribers),
+                                     token=node.token)
                 node.signal()
+            if obs_ctx is not None:
+                _obs.on_increment_released(self, amount, new_value, obs_ctx)
+        elif _obs.enabled:
+            _obs.on_increment(self, amount, new_value)
         return new_value
 
     def check(self, level: int, timeout: float | None = None) -> None:
@@ -399,8 +410,10 @@ class MonotonicCounter(AbstractCounter):
         t_parked: float | None = None
         if _obs.enabled:
             # Racy reads of value/levels/waiters: diagnostic payload only.
-            _obs.on_park(self, level, self._value, self._live_levels, self._live_waiters)
-            t_parked = _obs.clock()
+            # on_park returns the timestamp it stamped on the event, reused
+            # as the park time so the slow path reads the clock once here.
+            t_parked = _obs.on_park(self, level, self._value, self._live_levels,
+                                    self._live_waiters, token=node.token)
         self._park(node, level, timeout, deadline, t_parked)
 
     def _spin_wait(self, level: int, budget: int) -> bool:
@@ -502,7 +515,7 @@ class MonotonicCounter(AbstractCounter):
             # the raise both happen with no lock held.
             if _obs.enabled:
                 waited = None if t_parked is None else _obs.clock() - t_parked
-                _obs.on_timeout(self, level, expired_value, waited)
+                _obs.on_timeout(self, level, expired_value, waited, token=node.token)
             raise CheckTimeout(
                 f"{self!r}: check({level}) timed out after {timeout}s "
                 f"(value={expired_value})"
@@ -526,7 +539,7 @@ class MonotonicCounter(AbstractCounter):
         wait_s = None if t_parked is None else now - t_parked
         released_ts = node.released_ts
         wakeup_s = None if released_ts is None else now - released_ts
-        _obs.on_unpark(self, level, wait_s, wakeup_s)
+        _obs.on_unpark(self, level, wait_s, wakeup_s, token=node.token, ts=now)
 
     def subscribe(
         self, level: int, callback: Callable[[], None]
@@ -672,6 +685,7 @@ class BroadcastCounter(AbstractCounter):
         "_subs",
         "_stats_on",
         "_fast_path",
+        "_obs_label",
         "stats",
         "__weakref__",
     )
@@ -754,8 +768,7 @@ class BroadcastCounter(AbstractCounter):
             # inside the lock), and part of why it is the *baseline*.
             t_parked: float | None = None
             if _obs.enabled:
-                _obs.on_park(self, level, self._value, 1, self._waiting)
-                t_parked = _obs.clock()
+                t_parked = _obs.on_park(self, level, self._value, 1, self._waiting)
             try:
                 if timeout is None:
                     while self._value < level:
@@ -779,8 +792,9 @@ class BroadcastCounter(AbstractCounter):
                                 f"(value={self._value})"
                             )
                 if _obs.enabled:
-                    wait_s = None if t_parked is None else _obs.clock() - t_parked
-                    _obs.on_unpark(self, level, wait_s, None)
+                    now = _obs.clock()
+                    wait_s = None if t_parked is None else now - t_parked
+                    _obs.on_unpark(self, level, wait_s, None, ts=now)
             finally:
                 self._waiting -= 1
 

@@ -55,6 +55,7 @@ from repro.core.api import CounterProtocol
 from repro.core.errors import CheckTimeout
 from repro.core.validation import validate_level, validate_timeout
 from repro.obs import hooks as _obs
+from repro.obs.events import next_token as _next_token
 
 __all__ = ["MultiWait", "check_all", "Condition", "barrier_levels", "checkpoint"]
 
@@ -94,7 +95,8 @@ class MultiWait:
     ...     mw.wait_all()
     """
 
-    __slots__ = ("_cond", "_pairs", "_satisfied", "_subs", "_closed")
+    __slots__ = ("_cond", "_pairs", "_satisfied", "_subs", "_closed", "_token",
+                 "_obs_label")
 
     def __init__(self, conditions: Iterable[Condition]) -> None:
         pairs = _validated(conditions)
@@ -109,6 +111,8 @@ class MultiWait:
         self._satisfied: set[int] = set()
         self._subs: list = []
         self._closed = False
+        # Schema-v2 correlation id shared by this instance's mw_* events.
+        self._token = _next_token()
         # Register after all fields exist: a callback may fire from an
         # incrementing thread before the constructor returns.
         for index, (counter, level) in enumerate(pairs):
@@ -171,7 +175,8 @@ class MultiWait:
         t_parked: float | None = None
         if _obs.enabled:
             # Racy len() reads: diagnostic payload only.
-            _obs.on_mw_park(self, len(self._pairs), len(self._satisfied))
+            _obs.on_mw_park(self, len(self._pairs), len(self._satisfied),
+                            token=self._token)
             t_parked = _obs.clock()
         expired_satisfied: int | None = None
         with cond:
@@ -192,14 +197,15 @@ class MultiWait:
         if expired_satisfied is not None:
             # Emission and raise both outside the condition's lock.
             if _obs.enabled:
-                _obs.on_mw_timeout(self, len(self._pairs), expired_satisfied)
+                _obs.on_mw_timeout(self, len(self._pairs), expired_satisfied,
+                                   token=self._token)
             raise CheckTimeout(
                 f"MultiWait.wait_{mode}: timed out after {timeout}s "
                 f"({expired_satisfied}/{len(self._pairs)} satisfied)"
             )
         if _obs.enabled:
             wait_s = None if t_parked is None else _obs.clock() - t_parked
-            _obs.on_mw_wake(self, len(self._satisfied), wait_s)
+            _obs.on_mw_wake(self, len(self._satisfied), wait_s, token=self._token)
 
     def close(self) -> None:
         """Cancel unfired subscriptions and mark the object unusable.

@@ -174,6 +174,7 @@ class ShardedCounter(AbstractCounter):
         "_checkers_lock",
         "_local",
         "_name",
+        "_obs_label",
         "__weakref__",
     )
 

@@ -49,6 +49,7 @@ from typing import Callable, Iterator, Protocol
 
 from repro.core import syncpoints as _sp
 from repro.core.snapshot import WaitNodeSnapshot
+from repro.obs.events import next_token as _next_token
 
 __all__ = [
     "WaitPolicy",
@@ -169,6 +170,7 @@ class WaitNode:
         "signaled",
         "released",
         "released_ts",
+        "token",
         "subscribers",
         "next",
     )
@@ -184,6 +186,12 @@ class WaitNode:
         # threads can report release-to-unpark latency; None whenever
         # observability is off.
         self.released_ts: float | None = None
+        # Schema-v2 correlation id: the node's release event and every
+        # park/unpark/timeout/sub_fire on it carry this token.  Allocated
+        # unconditionally — node construction is the park slow path
+        # (a Condition allocation dwarfs one C-level count() call), never
+        # a lock-free fast path.
+        self.token = _next_token()
         self.subscribers: list[Callable[[], None]] | None = None
         self.next: WaitNode | None = None
 

@@ -5,14 +5,24 @@
     python -m repro.obs dump [--demo]        # live counter state as JSON
     python -m repro.obs metrics [--demo]     # Prometheus text exposition
     python -m repro.obs sample --out DIR     # run the demo workload and
-                                             # write trace.jsonl,
-                                             # metrics.prom, dump.json
+                                             # write trace.jsonl, metrics.prom,
+                                             # dump.json, trace.perfetto.json,
+                                             # analyze.txt
+
+    python -m repro.obs analyze --in trace.jsonl          # causal report
+    python -m repro.obs analyze --fw ragged               # §4 workload, live
+    python -m repro.obs critical-path --in trace.jsonl    # just the path
+    python -m repro.obs export --in trace.jsonl \\
+        --format perfetto --out trace.perfetto.json       # or --format otel
 
 ``--demo`` runs a short canned workload (a fan-in counter, a sharded
 counter, a timed-out check) with observability enabled so there is
 something to show; without it the commands render whatever the current
 process has live — which, for a fresh CLI process, is nothing.  The
-``sample`` subcommand is what CI uploads as its observability artifact.
+causal subcommands accept ``--in`` (a ``trace.jsonl`` replay), ``--fw
+barrier|ragged`` (run the §4 imbalanced workload on live threads and
+analyze its trace), or ``--demo``.  The ``sample`` subcommand is what
+CI uploads as its observability artifact.
 """
 
 from __future__ import annotations
@@ -81,6 +91,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
+    from repro.obs.causal import CausalGraph, analyze, render_report, to_perfetto, validate_perfetto
+
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     handle = obs.enable()
@@ -88,14 +100,122 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     state = obs.dump_state()
     obs.disable()
 
+    events = handle.trace.snapshot()
     trace_path = out / "trace.jsonl"
     with trace_path.open("w", encoding="utf-8") as fh:
-        for event in handle.trace.snapshot():
+        for event in events:
             fh.write(json.dumps(event.as_dict()) + "\n")
     (out / "metrics.prom").write_text(handle.metrics.prometheus(), encoding="utf-8")
     (out / "dump.json").write_text(json.dumps(state, indent=2) + "\n", encoding="utf-8")
+    graph = CausalGraph.from_events(events)
+    perfetto = to_perfetto(graph)
+    problems = validate_perfetto(perfetto)
+    if problems:
+        print("perfetto export failed validation:", *problems[:5], sep="\n  ", file=sys.stderr)
+        return 1
+    (out / "trace.perfetto.json").write_text(
+        json.dumps(perfetto, indent=2) + "\n", encoding="utf-8"
+    )
+    (out / "analyze.txt").write_text(
+        render_report(analyze(graph), graph) + "\n", encoding="utf-8"
+    )
     print(f"wrote {len(handle.trace)} events, "
-          f"{len(handle.metrics.labels())} metric series -> {out}")
+          f"{len(handle.metrics.labels())} metric series, "
+          f"{len(graph.edges)} release edges -> {out}")
+    return 0
+
+
+# ------------------------------------------------------------------- causal
+
+def _load_graph(args: argparse.Namespace):
+    """The trace for a causal subcommand: --in JSONL, --fw live run, or --demo."""
+    from repro.obs.causal import CausalGraph
+    from repro.obs.causal.workloads import run_imbalanced_fw
+
+    if getattr(args, "infile", None):
+        return CausalGraph.from_jsonl(args.infile)
+    if getattr(args, "fw", None):
+        run = run_imbalanced_fw(args.fw, threads=args.threads, rounds=args.rounds,
+                                seed=args.seed)
+        print(f"ran fw mode={run['mode']} threads={run['threads']} "
+              f"rounds={run['rounds']} wall={run['wall_s'] * 1e3:.1f}ms",
+              file=sys.stderr)
+        return CausalGraph.from_events(run["events"])
+    if getattr(args, "demo", False):
+        handle = obs.enable()
+        _demo_workload()
+        obs.disable()
+        return CausalGraph.from_events(handle.trace.snapshot())
+    print("no trace: pass --in TRACE.jsonl, --fw barrier|ragged, or --demo",
+          file=sys.stderr)
+    return None
+
+
+def _add_trace_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--in", dest="infile", metavar="TRACE.jsonl",
+                        help="replay a JSONL trace (from sample or a sink)")
+    parser.add_argument("--fw", choices=("barrier", "ragged"),
+                        help="run the §4 imbalanced workload live and trace it")
+    parser.add_argument("--demo", action="store_true",
+                        help="trace the canned demo workload")
+    parser.add_argument("--threads", type=int, default=4, help="--fw gang size")
+    parser.add_argument("--rounds", type=int, default=8, help="--fw round count")
+    parser.add_argument("--seed", type=int, default=7, help="--fw cost seed")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.obs.causal import analyze, render_report
+
+    graph = _load_graph(args)
+    if graph is None:
+        return 1
+    report = analyze(graph)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report, graph))
+    return 0
+
+
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    from repro.obs.causal import analyze
+
+    graph = _load_graph(args)
+    if graph is None:
+        return 1
+    cp = analyze(graph)["critical_path"]
+    if args.json:
+        print(json.dumps(cp, indent=2))
+        return 0
+    print(f"critical path: {cp['duration_s'] * 1e3:.2f} ms, {len(cp['steps'])} segments")
+    for step in cp["steps"]:
+        what = step["kind"] if not step["detail"] else f"{step['kind']} ({step['detail']})"
+        print(f"  {step['name']}  {step['start_s'] * 1e3:8.2f} -> "
+              f"{step['end_s'] * 1e3:8.2f} ms  {what}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.obs.causal import to_otel, to_perfetto, validate_perfetto
+
+    graph = _load_graph(args)
+    if graph is None:
+        return 1
+    if args.format == "perfetto":
+        doc = to_perfetto(graph)
+        problems = validate_perfetto(doc)
+        if problems:
+            print("export failed validation:", *problems[:10], sep="\n  ", file=sys.stderr)
+            return 1
+    else:
+        doc = to_otel(graph)
+    text = json.dumps(doc, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.format} export of {len(graph.events)} events "
+              f"({len(graph.edges)} release edges) -> {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -117,10 +237,31 @@ def main(argv: list[str] | None = None) -> int:
     p_metrics.set_defaults(fn=_cmd_metrics)
 
     p_sample = sub.add_parser(
-        "sample", help="run the demo workload; write trace.jsonl/metrics.prom/dump.json"
+        "sample", help="run the demo workload; write trace.jsonl/metrics.prom/"
+                       "dump.json/trace.perfetto.json/analyze.txt"
     )
     p_sample.add_argument("--out", required=True, help="output directory")
     p_sample.set_defaults(fn=_cmd_sample)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="causal report: blame, critical path, Gantt"
+    )
+    _add_trace_source(p_analyze)
+    p_analyze.add_argument("--json", action="store_true", help="JSON instead of text")
+    p_analyze.set_defaults(fn=_cmd_analyze)
+
+    p_cp = sub.add_parser("critical-path", help="just the critical path")
+    _add_trace_source(p_cp)
+    p_cp.add_argument("--json", action="store_true", help="JSON instead of text")
+    p_cp.set_defaults(fn=_cmd_critical_path)
+
+    p_export = sub.add_parser(
+        "export", help="convert a trace to Perfetto trace_event JSON or OTel spans"
+    )
+    _add_trace_source(p_export)
+    p_export.add_argument("--format", choices=("perfetto", "otel"), default="perfetto")
+    p_export.add_argument("--out", help="output file (stdout when omitted)")
+    p_export.set_defaults(fn=_cmd_export)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,47 @@
+"""repro.obs.causal — causal analysis of observability traces.
+
+Schema-v2 traces carry enough correlation structure (``seq``, ``token``,
+``cause_seq`` — see :mod:`repro.obs.events`) to reconstruct *why* each
+thread ran when it did: which increment released which wait, where the
+critical path through the run actually went, and which counter each
+thread spent its blocked time on.  This package turns a trace — a live
+ring snapshot or a JSONL replay — into that structure and renders it:
+
+* :class:`~repro.obs.causal.graph.CausalGraph` — per-thread run/wait
+  segments plus cross-thread release→unpark edges;
+* :func:`~repro.obs.causal.analyze.analyze` — critical path, per-thread
+  blocked-time blame, barrier-vs-ragged imbalance report;
+* :func:`~repro.obs.causal.perfetto.to_perfetto` — Chrome/Perfetto
+  ``trace_event`` JSON with flow arrows on every release edge;
+* :func:`~repro.obs.causal.otel.to_otel` — OTel-shaped span dicts (no
+  opentelemetry dependency);
+* :func:`~repro.obs.causal.diff.canonical_trace` /
+  :func:`~repro.obs.causal.diff.trace_diff` — schedule-invariant trace
+  canonicalization for determinacy checking;
+* :mod:`~repro.obs.causal.workloads` — the §4 imbalanced
+  Floyd-Warshall-shaped workload on real threads, barrier vs ragged.
+
+``python -m repro.obs analyze|critical-path|export`` is the CLI face.
+"""
+
+from __future__ import annotations
+
+from repro.obs.causal.analyze import analyze, render_gantt, render_report
+from repro.obs.causal.diff import canonical_trace, trace_diff
+from repro.obs.causal.graph import CausalGraph, Edge, WaitInterval
+from repro.obs.causal.otel import to_otel
+from repro.obs.causal.perfetto import to_perfetto, validate_perfetto
+
+__all__ = [
+    "CausalGraph",
+    "Edge",
+    "WaitInterval",
+    "analyze",
+    "render_report",
+    "render_gantt",
+    "to_perfetto",
+    "validate_perfetto",
+    "to_otel",
+    "canonical_trace",
+    "trace_diff",
+]

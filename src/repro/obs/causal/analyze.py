@@ -1,0 +1,151 @@
+"""Reports over a :class:`~repro.obs.causal.graph.CausalGraph`.
+
+:func:`analyze` distills a graph into one JSON-able report — per-thread
+utilization and blocked-time blame, the critical path, per-source
+release counts — and :func:`render_report` / :func:`render_gantt` turn
+it into text.  The Gantt is the live-trace form of the §4 argument that
+``examples/gantt_chart.py`` makes in virtual time: under load imbalance
+the barrier schedule shows every thread convoying behind the slowest
+(columns of ``.``), while the ragged counter schedule overlaps the
+stalls and finishes sooner.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.obs.causal.graph import CausalGraph
+
+__all__ = ["analyze", "render_report", "render_gantt"]
+
+
+def analyze(graph: CausalGraph) -> dict:
+    """One JSON-able report: span, threads, blame, critical path, sources."""
+    t0, t1 = graph.span()
+    span = t1 - t0
+    blame = graph.blame()
+    threads = []
+    for ident in graph.threads:
+        first, last = graph.thread_span(ident)
+        wait_s = sum(w.duration for w in graph.waits if w.thread == ident)
+        thread_span = max(last - first, 0.0)
+        threads.append(
+            {
+                "thread": ident,
+                "name": graph.thread_name(ident),
+                "span_s": thread_span,
+                "wait_s": wait_s,
+                "run_s": max(thread_span - wait_s, 0.0),
+                "wait_pct": (100.0 * wait_s / thread_span) if thread_span > 0 else 0.0,
+                "blame": blame.get(ident, []),
+            }
+        )
+    path = graph.critical_path()
+    sources: dict[str, dict] = defaultdict(lambda: {"increments": 0, "releases": 0, "waits": 0})
+    for event in graph.events:
+        if event.kind == "increment":
+            sources[event.source]["increments"] += 1
+        elif event.kind == "release":
+            sources[event.source]["releases"] += 1
+    for wait in graph.waits:
+        sources[wait.source]["waits"] += 1
+    return {
+        "span_s": span,
+        "events": len(graph.events),
+        "threads": threads,
+        "waits": len(graph.waits),
+        "edges": len(graph.edges),
+        "critical_path": {
+            "duration_s": (path[-1].end - path[0].start) if path else 0.0,
+            "steps": [
+                {
+                    "thread": step.thread,
+                    "name": graph.thread_name(step.thread),
+                    "kind": step.kind,
+                    "start_s": step.start - t0,
+                    "end_s": step.end - t0,
+                    "duration_s": step.duration,
+                    "detail": step.detail,
+                }
+                for step in path
+            ],
+        },
+        "sources": dict(sources),
+    }
+
+
+def render_report(report: dict, graph: CausalGraph | None = None) -> str:
+    """The analyze report as readable text (blame sentences included)."""
+    lines: list[str] = []
+    lines.append(
+        f"trace: {report['events']} events over {report['span_s'] * 1e3:.2f} ms, "
+        f"{len(report['threads'])} threads, {report['waits']} waits, "
+        f"{report['edges']} release edges"
+    )
+    cp = report["critical_path"]
+    lines.append(
+        f"critical path: {cp['duration_s'] * 1e3:.2f} ms across {len(cp['steps'])} segments"
+    )
+    for step in cp["steps"]:
+        what = step["kind"] if not step["detail"] else f"{step['kind']} ({step['detail']})"
+        lines.append(
+            f"  {step['name']}  {step['start_s'] * 1e3:8.2f} -> {step['end_s'] * 1e3:8.2f} ms  {what}"
+        )
+    name_of = {t["thread"]: t["name"] for t in report["threads"]}
+    lines.append("blocked-time blame:")
+    for thread in report["threads"]:
+        lines.append(
+            f"  {thread['name']}: {thread['wait_pct']:.0f}% of its {thread['span_s'] * 1e3:.2f} ms "
+            f"span waiting ({thread['wait_s'] * 1e3:.2f} ms over "
+            f"{sum(b['count'] for b in thread['blame'])} waits)"
+        )
+        for entry in thread["blame"][:3]:
+            releaser = (
+                f"released by {name_of.get(entry['released_by'], entry['released_by'])}"
+                if entry["released_by"] is not None
+                else "never released (timeout/untraced)"
+            )
+            level = f" level {entry['level']}" if entry["level"] is not None else ""
+            lines.append(
+                f"    {entry['pct']:.0f}% waiting on counter {entry['source']!r}{level}, "
+                f"{releaser} ({entry['count']}x, {entry['wait_s'] * 1e3:.2f} ms)"
+            )
+    lines.append("per-source activity:")
+    for source, stats in sorted(report["sources"].items()):
+        lines.append(
+            f"  {source}: {stats['increments']} increments, "
+            f"{stats['releases']} releases, {stats['waits']} waits"
+        )
+    if graph is not None:
+        lines.append("")
+        lines.append(render_gantt(graph))
+    return "\n".join(lines)
+
+
+def render_gantt(graph: CausalGraph, width: int = 80) -> str:
+    """ASCII Gantt: one row per thread, ``#`` running, ``.`` waiting.
+
+    Rendered from the *live-thread* trace — the real-time counterpart of
+    the virtual-time chart in ``examples/gantt_chart.py``.  Columns of
+    ``.`` across all rows are the barrier convoy; a ragged staircase of
+    ``.`` is the counter schedule doing only the waiting it must.
+    """
+    t0, t1 = graph.span()
+    span = t1 - t0
+    if span <= 0 or not graph.threads:
+        return "(empty trace)"
+    scale = width / span
+    rows = []
+    for ident in graph.threads:
+        cells = [" "] * width
+        for kind, start, end, _wait in graph.segments(ident):
+            lo = min(int((start - t0) * scale), width - 1)
+            hi = min(int((end - t0) * scale), width - 1)
+            mark = "#" if kind == "run" else "."
+            for i in range(lo, hi + 1):
+                # Waits overwrite run marks on shared cells so short
+                # stalls stay visible at coarse resolution.
+                if mark == "." or cells[i] == " ":
+                    cells[i] = mark
+        rows.append(f"{graph.thread_name(ident):>4} |{''.join(cells)}|")
+    return "\n".join([f"(#=running  .=waiting  span={span * 1e3:.2f}ms)"] + rows)

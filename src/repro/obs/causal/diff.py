@@ -1,0 +1,98 @@
+"""Determinacy trace diff: canonicalize away the schedule, compare the rest.
+
+Section 6's claim is that programs synchronizing only through counters
+are *determinate*: every schedule computes the same thing.  The causal
+trace gives that claim an observable form — canonicalize two traces of
+the same program down to what the program semantics determine and they
+must compare equal, schedule be damned.
+
+What survives canonicalization is deliberately minimal, because it must
+be exactly the schedule-*invariant* part of a trace:
+
+* per counter (sources canonicalized — the ``@0x...`` of unnamed
+  counters differs between runs): the **multiset of increment amounts**
+  and the **final value**.  For a §6-disciplined program both are fixed
+  by the program text; for a program whose behavior leaks schedule
+  order into its counter operations (the lock-rank variant in
+  :mod:`~repro.obs.causal.workloads`) the amounts differ run to run,
+  and the diff says exactly where.
+
+What does *not* survive — and must not: intermediate values (two
+concurrent increments of 2 and 3 pass through 2-then-5 or 3-then-5
+depending on order, while both orders are §6-legal), park/release
+counts (whether a ``check`` suspends at all is pure timing), thread
+idents, timestamps, and seqs.  Putting any of those in the canonical
+form would make determinate programs compare unequal.
+
+This is the trace-level complement of
+:mod:`repro.determinism.vectorclock`: the vector-clock checker proves
+determinacy from one run's happens-before; the trace diff *observes* it
+across many runs.  The tests cross-validate the two.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.obs.events import Event
+
+__all__ = ["canonical_source", "canonical_trace", "trace_diff"]
+
+_ANON = re.compile(r"@0x[0-9a-f]+$")
+
+
+def canonical_source(source: str) -> str:
+    """Strip the per-run ``@0x...`` suffix of unnamed primitives."""
+    return _ANON.sub("", source)
+
+
+def canonical_trace(events: Iterable[Event | dict]) -> dict:
+    """The schedule-invariant skeleton of a trace.
+
+    ``{canonical source: {"amounts": sorted tuple, "final": int,
+    "increments": int}}``, covering every source that incremented.
+    """
+    out: dict[str, dict] = {}
+    for raw in events:
+        event = raw if isinstance(raw, Event) else Event.from_dict(raw)
+        if event.kind != "increment":
+            continue
+        entry = out.setdefault(
+            canonical_source(event.source),
+            {"amounts": [], "final": 0, "increments": 0},
+        )
+        entry["amounts"].append(event.amount if event.amount is not None else 0)
+        entry["increments"] += 1
+        if event.value is not None and event.value > entry["final"]:
+            entry["final"] = event.value
+    for entry in out.values():
+        entry["amounts"] = tuple(sorted(entry["amounts"]))
+    return out
+
+
+def trace_diff(a: dict, b: dict) -> dict:
+    """Compare two canonical traces; ``{"equal": bool, "diffs": [...]}``.
+
+    Each diff line names the source and the facet that diverged, so a
+    failing determinacy comparison reads as a localized bug report, not
+    a bare inequality.
+    """
+    diffs: list[str] = []
+    for source in sorted(set(a) | set(b)):
+        ea, eb = a.get(source), b.get(source)
+        if ea is None or eb is None:
+            present = "first" if eb is None else "second"
+            diffs.append(f"{source}: only present in {present} trace")
+            continue
+        if ea["increments"] != eb["increments"]:
+            diffs.append(
+                f"{source}: increment count {ea['increments']} != {eb['increments']}"
+            )
+        if ea["amounts"] != eb["amounts"]:
+            diffs.append(
+                f"{source}: increment amounts {ea['amounts']} != {eb['amounts']}"
+            )
+        if ea["final"] != eb["final"]:
+            diffs.append(f"{source}: final value {ea['final']} != {eb['final']}")
+    return {"equal": not diffs, "diffs": diffs}

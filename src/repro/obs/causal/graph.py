@@ -1,0 +1,336 @@
+"""The causal graph: who released whom, reconstructed from a trace.
+
+A schema-v2 trace is a flat event stream; this module rebuilds the two
+structures the analyses need:
+
+* **Wait intervals** — for every suspended ``check`` (and MultiWait
+  wait), the ``park`` event and the ``unpark``/``timeout`` that ended
+  it, matched per thread by correlation ``token`` (FIFO per
+  ``(thread, source, level)`` for token-less pre-v2 / baseline events).
+* **Release edges** — for every interval that ended in a wakeup, the
+  ``release`` event that unlinked its wait node (same ``token``) and,
+  through the release's ``cause_seq``, the increment whose advance did
+  it.  An edge is the trace-level form of the paper's synchronization
+  arrow: *thread R's increment happened-before thread W's resumption*.
+
+Events are ordered by ``seq`` (the process-global emission counter),
+not buffer position or timestamp: the deferred release emission means
+physical append order can interleave, but seq order is causal order by
+construction (:mod:`repro.obs.hooks` pre-allocates the seqs).  Traces
+without seqs (pre-v2 JSONL) fall back to timestamp order.
+
+Everything here is read-side analysis over a detached snapshot — it
+never touches the live primitives and is free to take its time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.events import Event
+
+__all__ = ["CausalGraph", "Edge", "WaitInterval", "PathStep"]
+
+#: Event kinds that open a wait interval, mapped to the kinds that close it.
+_PARK_KINDS = {
+    "park": ("unpark", "timeout"),
+    "mw_park": ("mw_wake", "mw_timeout"),
+}
+_END_KINDS = {"unpark", "timeout", "mw_wake", "mw_timeout"}
+
+
+@dataclass(frozen=True)
+class WaitInterval:
+    """One thread's suspension: ``park`` event through its ending event."""
+
+    thread: int
+    source: str
+    level: int | None
+    token: int | None
+    park: Event
+    end: Event
+
+    @property
+    def timed_out(self) -> bool:
+        return self.end.kind in ("timeout", "mw_timeout")
+
+    @property
+    def duration(self) -> float:
+        return self.end.ts - self.park.ts
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A cross-thread wakeup: ``release`` (and its increment) → a wait's end."""
+
+    release: Event
+    increment: Event | None
+    wait: WaitInterval
+
+    @property
+    def from_thread(self) -> int:
+        return self.release.thread
+
+    @property
+    def to_thread(self) -> int:
+        return self.wait.thread
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One segment of the critical path, on one thread."""
+
+    thread: int
+    kind: str  # "run" | "wakeup" | "wait"
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CausalGraph:
+    """The analyzed trace: events, wait intervals, release edges.
+
+    Build with :meth:`from_events` (any iterable of :class:`Event` or
+    ``as_dict``-shaped mappings) or :meth:`from_jsonl`.
+    """
+
+    events: list[Event]
+    waits: list[WaitInterval] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    #: Release edge lookup by the wait interval's ending event.
+    edge_by_end: dict[int, Edge] = field(default_factory=dict)
+    #: Thread idents in order of first appearance, mapped to display index.
+    thread_index: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event | dict]) -> "CausalGraph":
+        evs = [e if isinstance(e, Event) else Event.from_dict(e) for e in events]
+        if evs and all(e.seq is not None for e in evs):
+            evs.sort(key=lambda e: e.seq)
+        else:
+            evs.sort(key=lambda e: e.ts)
+        graph = cls(events=evs)
+        graph._build()
+        return graph
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "CausalGraph":
+        with open(path, "r", encoding="utf-8") as fh:
+            docs = [json.loads(line) for line in fh if line.strip()]
+        return cls.from_events(docs)
+
+    def _build(self) -> None:
+        for event in self.events:
+            if event.thread not in self.thread_index:
+                self.thread_index[event.thread] = len(self.thread_index)
+        # Pass 1: match each park with the event that ended it.  Tokened
+        # parks match exactly (a thread has at most one live wait per
+        # token); token-less ones (BroadcastCounter, pre-v2 traces) match
+        # FIFO per (thread, source, level) — sound because one thread's
+        # waits on one level cannot overlap.
+        pending_token: dict[tuple[int, int], Event] = {}
+        pending_fifo: dict[tuple[int, str, int | None], deque[Event]] = defaultdict(deque)
+        releases_by_token: dict[int, list[Event]] = defaultdict(list)
+        increments: dict[int, Event] = {}
+        for event in self.events:
+            kind = event.kind
+            if kind == "increment" and event.seq is not None:
+                increments[event.seq] = event
+            elif kind == "release" and event.token is not None:
+                releases_by_token[event.token].append(event)
+            elif kind in _PARK_KINDS:
+                if event.token is not None:
+                    pending_token[(event.thread, event.token)] = event
+                else:
+                    pending_fifo[(event.thread, event.source, event.level)].append(event)
+            elif kind in _END_KINDS:
+                park = None
+                if event.token is not None:
+                    park = pending_token.pop((event.thread, event.token), None)
+                if park is None:
+                    queue = pending_fifo.get((event.thread, event.source, event.level))
+                    if queue:
+                        park = queue.popleft()
+                if park is None:
+                    continue  # truncated trace: the park fell off the ring
+                self.waits.append(
+                    WaitInterval(
+                        thread=event.thread, source=event.source,
+                        level=park.level, token=park.token, park=park, end=event,
+                    )
+                )
+        # Pass 2: tie each woken wait to the release that caused it — the
+        # release sharing its token with the greatest seq not after the
+        # wakeup (tokens are per wait node, so normally exactly one).
+        for wait in self.waits:
+            if wait.timed_out or wait.token is None:
+                continue
+            candidates = releases_by_token.get(wait.token)
+            if not candidates:
+                continue
+            release = None
+            end_seq = wait.end.seq
+            for cand in candidates:
+                if end_seq is None or cand.seq is None or cand.seq < end_seq:
+                    release = cand
+            if release is None:
+                continue
+            increment = (
+                increments.get(release.cause_seq)
+                if release.cause_seq is not None else None
+            )
+            edge = Edge(release=release, increment=increment, wait=wait)
+            self.edges.append(edge)
+            if wait.end.seq is not None:
+                self.edge_by_end[wait.end.seq] = edge
+
+    # -------------------------------------------------------------- structure
+
+    @property
+    def threads(self) -> list[int]:
+        """Thread idents, in order of first appearance in the trace."""
+        return list(self.thread_index)
+
+    def thread_name(self, ident: int) -> str:
+        return f"T{self.thread_index.get(ident, '?')}"
+
+    def span(self) -> tuple[float, float]:
+        """(first, last) timestamp in the trace; (0, 0) when empty."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (min(e.ts for e in self.events), max(e.ts for e in self.events))
+
+    def thread_span(self, ident: int) -> tuple[float, float]:
+        ts = [e.ts for e in self.events if e.thread == ident]
+        if not ts:
+            return (0.0, 0.0)
+        return (min(ts), max(ts))
+
+    def segments(self, ident: int) -> list[tuple[str, float, float, WaitInterval | None]]:
+        """The thread's timeline as ``(kind, start, end, wait)`` tuples.
+
+        ``kind`` is ``"run"`` or ``"wait"``; consecutive segments tile the
+        thread's span.  Run time here means "not suspended in a traced
+        wait" — compute and untraced blocking are indistinguishable.
+        """
+        first, last = self.thread_span(ident)
+        waits = sorted(
+            (w for w in self.waits if w.thread == ident), key=lambda w: w.park.ts
+        )
+        out: list[tuple[str, float, float, WaitInterval | None]] = []
+        cursor = first
+        for wait in waits:
+            if wait.park.ts > cursor:
+                out.append(("run", cursor, wait.park.ts, None))
+            out.append(("wait", wait.park.ts, wait.end.ts, wait))
+            cursor = wait.end.ts
+        if last > cursor or not out:
+            out.append(("run", cursor, last, None))
+        return out
+
+    # ---------------------------------------------------------- critical path
+
+    def critical_path(self) -> list[PathStep]:
+        """The dependency chain ending at the trace's last event.
+
+        Walks backward from the final event: across a thread's run
+        segment, then — at a traced wait — jumps along the release edge
+        to the thread whose increment ended it, and continues there.  A
+        wait with no edge (timeout, truncated trace) is attributed to the
+        waiting thread itself.  Returned oldest-first.
+        """
+        if not self.events:
+            return []
+        last = max(self.events, key=lambda e: e.ts)
+        steps: list[PathStep] = []
+        cur_thread, cur_ts = last.thread, last.ts
+        waits_by_thread: dict[int, list[WaitInterval]] = defaultdict(list)
+        for wait in self.waits:
+            waits_by_thread[wait.thread].append(wait)
+        for waits in waits_by_thread.values():
+            waits.sort(key=lambda w: w.end.ts)
+        fuel = 2 * len(self.waits) + 2 * len(self.thread_index) + 4
+        while fuel > 0:
+            fuel -= 1
+            prior = [w for w in waits_by_thread.get(cur_thread, ()) if w.end.ts <= cur_ts]
+            if not prior:
+                first, _ = self.thread_span(cur_thread)
+                if cur_ts > first:
+                    steps.append(PathStep(cur_thread, "run", first, cur_ts))
+                break
+            wait = prior[-1]
+            if cur_ts > wait.end.ts:
+                steps.append(PathStep(cur_thread, "run", wait.end.ts, cur_ts))
+            edge = self.edge_by_end.get(wait.end.seq) if wait.end.seq is not None else None
+            detail = f"{wait.source}>= {wait.level}" if wait.level is not None else wait.source
+            if edge is not None and edge.release.ts < wait.end.ts:
+                steps.append(
+                    PathStep(cur_thread, "wakeup", edge.release.ts, wait.end.ts,
+                             detail=f"{detail} released by {self.thread_name(edge.from_thread)}")
+                )
+                if edge.from_thread == cur_thread and edge.release.ts >= cur_ts:
+                    break  # no progress possible; malformed trace
+                cur_thread, cur_ts = edge.from_thread, edge.release.ts
+            else:
+                steps.append(PathStep(cur_thread, "wait", wait.park.ts, wait.end.ts,
+                                      detail=detail))
+                cur_ts = wait.park.ts
+        steps.reverse()
+        return steps
+
+    def critical_path_duration(self) -> float:
+        """End-to-end duration of the critical path (0.0 when trivial)."""
+        path = self.critical_path()
+        if not path:
+            return 0.0
+        return path[-1].end - path[0].start
+
+    # ------------------------------------------------------------------ blame
+
+    def blame(self) -> dict[int, list[dict]]:
+        """Per-thread blocked time, attributed to what it waited on.
+
+        For each thread, entries ``{source, level, released_by, wait_s,
+        count, pct}`` sorted by descending total wait; ``released_by`` is
+        the releasing thread's ident (None for timeouts / unmatched) and
+        ``pct`` is the share of the thread's own span spent in that wait.
+        """
+        buckets: dict[int, dict[tuple, list[float]]] = defaultdict(lambda: defaultdict(list))
+        for wait in self.waits:
+            edge = self.edge_by_end.get(wait.end.seq) if wait.end.seq is not None else None
+            releaser = edge.from_thread if edge is not None else None
+            buckets[wait.thread][(wait.source, wait.level, releaser)].append(wait.duration)
+        out: dict[int, list[dict]] = {}
+        for ident, groups in buckets.items():
+            first, last = self.thread_span(ident)
+            span = max(last - first, 1e-12)
+            entries = [
+                {
+                    "source": source,
+                    "level": level,
+                    "released_by": releaser,
+                    "wait_s": sum(durations),
+                    "count": len(durations),
+                    "pct": 100.0 * sum(durations) / span,
+                }
+                for (source, level, releaser), durations in groups.items()
+            ]
+            entries.sort(key=lambda e: e["wait_s"], reverse=True)
+            out[ident] = entries
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<CausalGraph {len(self.events)} events, {len(self.thread_index)} threads, "
+            f"{len(self.waits)} waits, {len(self.edges)} edges>"
+        )

@@ -1,0 +1,134 @@
+"""OpenTelemetry-shaped span export — plain dicts, no otel dependency.
+
+Emits the OTLP/JSON resource-spans shape (the one ``otlp-json`` file
+exporters and collectors ingest): one root span per thread, one child
+span per wait interval, one zero-length span per increment, and a span
+*link* from each woken wait to the increment that released it — the
+release edge again, in OTel's vocabulary.
+
+Ids are deterministic hex derived from the trace's own seqs, so two
+exports of the same trace are byte-identical.  The source clock is
+``time.monotonic``; span times are therefore nanoseconds relative to an
+arbitrary epoch, which is fine for the consumers that matter here
+(duration and structure, not wall-clock alignment).
+"""
+
+from __future__ import annotations
+
+from repro.obs.causal.graph import CausalGraph
+
+__all__ = ["to_otel"]
+
+
+def _trace_id(graph: CausalGraph) -> str:
+    first = graph.events[0].seq or 0 if graph.events else 0
+    return f"{(len(graph.events) << 32) | (first & 0xFFFFFFFF):032x}"
+
+
+def _span_id(kind: int, n: int) -> str:
+    return f"{(kind << 48) | (n & 0xFFFFFFFFFFFF):016x}"
+
+
+def _nanos(ts: float) -> int:
+    return int(ts * 1e9)
+
+
+def _attr(key: str, value) -> dict:
+    if isinstance(value, bool):
+        val = {"boolValue": value}
+    elif isinstance(value, int):
+        val = {"intValue": str(value)}  # OTLP/JSON encodes int64 as string
+    elif isinstance(value, float):
+        val = {"doubleValue": value}
+    else:
+        val = {"stringValue": str(value)}
+    return {"key": key, "value": val}
+
+
+def to_otel(graph: CausalGraph) -> dict:
+    """The graph as an OTLP/JSON ``resourceSpans`` document."""
+    trace_id = _trace_id(graph)
+    spans: list[dict] = []
+    thread_roots: dict[int, str] = {}
+    for ident in graph.threads:
+        first, last = graph.thread_span(ident)
+        span_id = _span_id(1, graph.thread_index[ident])
+        thread_roots[ident] = span_id
+        spans.append(
+            {
+                "traceId": trace_id,
+                "spanId": span_id,
+                "name": f"thread {graph.thread_name(ident)}",
+                "kind": "SPAN_KIND_INTERNAL",
+                "startTimeUnixNano": str(_nanos(first)),
+                "endTimeUnixNano": str(_nanos(last)),
+                "attributes": [_attr("repro.thread.ident", ident)],
+            }
+        )
+    increment_spans: dict[int, str] = {}
+    for n, event in enumerate(graph.events):
+        if event.kind != "increment":
+            continue
+        span_id = _span_id(2, event.seq if event.seq is not None else n)
+        if event.seq is not None:
+            increment_spans[event.seq] = span_id
+        spans.append(
+            {
+                "traceId": trace_id,
+                "spanId": span_id,
+                "parentSpanId": thread_roots.get(event.thread, ""),
+                "name": f"increment {event.source}",
+                "kind": "SPAN_KIND_PRODUCER",
+                "startTimeUnixNano": str(_nanos(event.ts)),
+                "endTimeUnixNano": str(_nanos(event.ts)),
+                "attributes": [
+                    _attr("repro.counter", event.source),
+                    _attr("repro.amount", event.amount or 0),
+                    _attr("repro.value", event.value or 0),
+                ],
+            }
+        )
+    for n, wait in enumerate(graph.waits):
+        span_id = _span_id(3, wait.end.seq if wait.end.seq is not None else n)
+        attributes = [_attr("repro.counter", wait.source)]
+        if wait.level is not None:
+            attributes.append(_attr("repro.level", wait.level))
+        attributes.append(_attr("repro.timed_out", wait.timed_out))
+        span = {
+            "traceId": trace_id,
+            "spanId": span_id,
+            "parentSpanId": thread_roots.get(wait.thread, ""),
+            "name": f"wait {wait.source}"
+                    + (f" >= {wait.level}" if wait.level is not None else ""),
+            "kind": "SPAN_KIND_CONSUMER",
+            "startTimeUnixNano": str(_nanos(wait.park.ts)),
+            "endTimeUnixNano": str(_nanos(wait.end.ts)),
+            "attributes": attributes,
+        }
+        edge = graph.edge_by_end.get(wait.end.seq) if wait.end.seq is not None else None
+        if edge is not None and edge.increment is not None and edge.increment.seq is not None:
+            cause = increment_spans.get(edge.increment.seq)
+            if cause is not None:
+                span["links"] = [
+                    {
+                        "traceId": trace_id,
+                        "spanId": cause,
+                        "attributes": [_attr("repro.link", "released_by")],
+                    }
+                ]
+        spans.append(span)
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [_attr("service.name", "repro.obs")],
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.obs.causal"},
+                        "spans": spans,
+                    }
+                ],
+            }
+        ]
+    }

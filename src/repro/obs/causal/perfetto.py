@@ -1,0 +1,152 @@
+"""Chrome/Perfetto ``trace_event`` export of a causal graph.
+
+The output is the legacy JSON trace-event format, which both
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* one ``M`` (metadata) event naming each thread track,
+* one complete ``X`` slice per run/wait segment of every thread,
+* one ``i`` instant per increment,
+* one ``s``/``f`` flow-event pair per release edge — the arrow from the
+  releasing increment's thread to the woken thread, which is the whole
+  point: open the trace and the §4 wakeup structure is drawn for you.
+
+No Perfetto/Chrome dependency: the format is plain JSON and the shape
+is pinned by :func:`validate_perfetto`, which the tests (and the CLI
+after every export) run so an emitted trace is schema-valid by
+construction.  Timestamps are microseconds relative to the trace start
+(the source clock is ``time.monotonic``, so absolute values would be
+meaningless anyway).
+"""
+
+from __future__ import annotations
+
+from repro.obs.causal.graph import CausalGraph
+
+__all__ = ["to_perfetto", "validate_perfetto"]
+
+_PID = 1  # one traced process; Perfetto requires some pid on every event
+
+
+def _us(ts: float, t0: float) -> float:
+    return round((ts - t0) * 1e6, 3)
+
+
+def to_perfetto(graph: CausalGraph) -> dict:
+    """The graph as a ``{"traceEvents": [...]}`` trace-event document."""
+    t0, _ = graph.span()
+    out: list[dict] = []
+    for ident in graph.threads:
+        out.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": _PID, "tid": ident,
+                "args": {"name": f"{graph.thread_name(ident)} ({ident})"},
+            }
+        )
+    for ident in graph.threads:
+        for kind, start, end, wait in graph.segments(ident):
+            if end <= start:
+                continue
+            if kind == "wait" and wait is not None:
+                level = f" >= {wait.level}" if wait.level is not None else ""
+                name = f"wait {wait.source}{level}"
+                args: dict = {"source": wait.source}
+                if wait.level is not None:
+                    args["level"] = wait.level
+                if wait.token is not None:
+                    args["token"] = wait.token
+                if wait.timed_out:
+                    args["timed_out"] = True
+                cat = "wait"
+            else:
+                name, args, cat = "run", {}, "run"
+            out.append(
+                {
+                    "ph": "X", "name": name, "cat": cat, "pid": _PID, "tid": ident,
+                    "ts": _us(start, t0), "dur": max(_us(end, t0) - _us(start, t0), 0.001),
+                    "args": args,
+                }
+            )
+    for event in graph.events:
+        if event.kind == "increment":
+            out.append(
+                {
+                    "ph": "i", "s": "t",
+                    "name": f"increment {event.source} +{event.amount} -> {event.value}",
+                    "cat": "increment", "pid": _PID, "tid": event.thread,
+                    "ts": _us(event.ts, t0),
+                    "args": {"source": event.source, "amount": event.amount,
+                             "value": event.value},
+                }
+            )
+    for n, edge in enumerate(graph.edges):
+        # One flow per release edge; ids only need to be unique per pair,
+        # and the wait's ending seq is (n as fallback for seq-less ends).
+        flow_id = edge.wait.end.seq if edge.wait.end.seq is not None else -(n + 1)
+        name = f"release {edge.release.source}"
+        common = {"name": name, "cat": "release", "pid": _PID, "id": flow_id}
+        out.append(
+            {**common, "ph": "s", "tid": edge.from_thread, "ts": _us(edge.release.ts, t0)}
+        )
+        out.append(
+            {**common, "ph": "f", "bp": "e", "tid": edge.to_thread,
+             "ts": _us(edge.wait.end.ts, t0)}
+        )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def validate_perfetto(doc: dict) -> list[str]:
+    """Schema check; returns problems (empty list == valid).
+
+    Pins what the Perfetto UI actually requires: the ``traceEvents``
+    array, per-phase required keys, numeric non-negative timestamps, and
+    — for the flow arrows — that every ``s`` has a matching ``f`` (same
+    id) at an equal-or-later timestamp.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    starts: dict[object, float] = {}
+    finishes: dict[object, float] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "i", "s", "f"):
+            problems.append(f"event {i}: unknown ph {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"event {i} ({ph}): {key} missing or not an int")
+        if ph == "M":
+            if ev.get("name") != "thread_name" or "name" not in ev.get("args", {}):
+                problems.append(f"event {i}: metadata without args.name")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i} ({ph}): ts missing, non-numeric, or negative")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"event {i} ({ph}): name missing or empty")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur <= 0:
+                problems.append(f"event {i} (X): dur missing or not positive")
+        elif ph == "s":
+            starts[ev.get("id")] = ts
+        elif ph == "f":
+            finishes[ev.get("id")] = ts
+            if ev.get("bp") != "e":
+                problems.append(f"event {i} (f): missing bp=e (arrow endpoint binding)")
+    for flow_id, ts in starts.items():
+        if flow_id is None:
+            problems.append("flow start without id")
+        elif flow_id not in finishes:
+            problems.append(f"flow {flow_id}: start without finish")
+        elif finishes[flow_id] < ts:
+            problems.append(f"flow {flow_id}: finish precedes start")
+    for flow_id in finishes:
+        if flow_id not in starts:
+            problems.append(f"flow {flow_id}: finish without start")
+    return problems

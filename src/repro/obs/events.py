@@ -3,10 +3,13 @@
 One :class:`Event` is recorded per observable protocol action — an
 increment, a release, a park/unpark pair, a spin exhaustion, a timeout, a
 subscription fire, a shard flush, a stall report — when tracing is
-enabled via :func:`repro.obs.enable`.  Events are plain frozen
-dataclasses so they serialize trivially (``as_dict`` drops unused
-fields) and so a sink can pattern-match on ``kind`` without string
-parsing beyond the kind itself.
+enabled via :func:`repro.obs.enable`.  Events are immutable named
+tuples so they serialize trivially (``as_dict`` drops unused fields),
+a sink can pattern-match on ``kind`` without string parsing beyond the
+kind itself, and — the reason they are tuples rather than the frozen
+dataclasses they once were — construction is a single tuple allocation
+instead of one guarded ``__setattr__`` per field, which is most of what
+the enabled-mode wait-path tax used to be.
 
 The :class:`TraceBuffer` is a fixed-capacity ring: appends never block
 and never grow memory, the oldest events fall off the far end, and
@@ -19,11 +22,28 @@ never add a lock to the paths it observes.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Iterator, NamedTuple
 
-__all__ = ["Event", "TraceBuffer", "KINDS"]
+__all__ = ["Event", "TraceBuffer", "KINDS", "next_seq", "next_token"]
+
+#: Process-global monotonic event sequence (schema v2).  ``itertools.count``
+#: advances in C, so allocation is a single atomic-under-the-GIL call; two
+#: events allocated by racing threads get distinct, ordered seqs.  Seqs are
+#: allocated at the emit site (or pre-allocated by the deferred release
+#: emission) so *causal* order — increment before its releases before the
+#: unparks they cause — is preserved even when the ring's physical append
+#: order interleaves.  Consumers should sort by ``seq``, not buffer order.
+next_seq = itertools.count(1).__next__
+
+#: Correlation-token space for wait nodes (schema v2): one token per
+#: ``WaitNode`` / asyncio ``_Level`` / ``MultiWait``, allocated at
+#: construction (the park slow path — never a lock-free fast path).  The
+#: ``release`` event for a node and every ``park``/``unpark``/``timeout``/
+#: ``sub_fire`` on it carry the same token, which is what lets the causal
+#: analyzer tie a release to exactly the unparks it caused.
+next_token = itertools.count(1).__next__
 
 #: Every event kind the instrumented paths can emit.  Kept as data so the
 #: docs and the self-tests can enumerate them; the strings at the emit
@@ -47,8 +67,7 @@ KINDS = frozenset(
 )
 
 
-@dataclass(frozen=True, slots=True)
-class Event:
+class Event(NamedTuple):
     """One observed protocol action.
 
     ``ts`` is :func:`time.monotonic` at emit time; ``source`` is the
@@ -58,6 +77,19 @@ class Event:
     applicable: ``level``/``value``/``count``/``amount`` carry the
     counter-shaped payload, ``wait_s`` is park-to-unpark latency and
     ``wakeup_s`` is release-to-unpark latency (the wakeup path itself).
+
+    Schema v2 adds three correlation fields (``None`` on events emitted
+    by pre-v2 writers, so old JSONL replays still load):
+
+    * ``seq`` — position in the process-global emission order
+      (:data:`next_seq`); the causal sort key.
+    * ``token`` — the wait node's correlation token: a ``release`` and
+      the ``park``/``unpark``/``timeout``/``sub_fire`` events on the
+      same node share it (``mw_*`` events share their MultiWait's own
+      token; ``sub_fire`` carries the *node* token so a MultiWait wake
+      is still traceable to the releasing increment).
+    * ``cause_seq`` — on ``release`` events, the ``seq`` of the
+      increment whose advance unlinked the node.
     """
 
     ts: float
@@ -70,15 +102,37 @@ class Event:
     amount: int | None = None
     wait_s: float | None = None
     wakeup_s: float | None = None
+    seq: int | None = None
+    token: int | None = None
+    cause_seq: int | None = None
+
+    _OPTIONAL = ("level", "value", "count", "amount", "wait_s", "wakeup_s",
+                 "seq", "token", "cause_seq")
 
     def as_dict(self) -> dict:
-        """JSON-ready mapping with the unused optional fields dropped."""
+        """JSON-ready mapping with the unused optional fields dropped.
+
+        Backward-compatible with v1 consumers: the v2 fields appear only
+        when set, so a pre-v2 event round-trips to exactly its old form.
+        """
         doc = {"ts": self.ts, "kind": self.kind, "source": self.source, "thread": self.thread}
-        for field in ("level", "value", "count", "amount", "wait_s", "wakeup_s"):
+        for field in self._OPTIONAL:
             val = getattr(self, field)
             if val is not None:
                 doc[field] = val
         return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Event":
+        """Rebuild an event from an :meth:`as_dict`/JSONL mapping.
+
+        Unknown keys are ignored (forward compatibility with later
+        schema revisions); missing optional fields stay ``None``.
+        """
+        return cls(
+            ts=doc["ts"], kind=doc["kind"], source=doc["source"], thread=doc["thread"],
+            **{f: doc[f] for f in cls._OPTIONAL if f in doc},
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         extras = " ".join(

@@ -39,7 +39,7 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.obs.events import Event, TraceBuffer
+from repro.obs.events import Event, TraceBuffer, next_seq
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.registry import label
 
@@ -65,22 +65,38 @@ def _emit(event: Event) -> None:
 
 # --------------------------------------------------------------- increment
 
-def on_increment(counter: object, amount: int, value: int) -> None:
-    """An increment's critical section completed (emitted outside the lock)."""
+def on_increment(counter: object, amount: int, value: int) -> int | None:
+    """An increment's critical section completed (emitted outside the lock).
+
+    Returns the increment event's ``seq`` when tracing is on (the caller
+    threads it into the ``cause_seq`` of the releases this increment
+    performs), else ``None``.
+    """
     src = label(counter)
     metrics = _metrics
     if metrics is not None:
         metrics.series(src).increments += 1
-    if _trace is not None:
-        _emit(Event(clock(), "increment", src, _get_ident(), amount=amount, value=value))
+    trace = _trace
+    if trace is not None:
+        seq = next_seq()
+        trace.append(Event(clock(), "increment", src, _get_ident(),
+                           amount=amount, value=value, seq=seq))
+        return seq
+    return None
 
 
-def on_release(counter: object, value: int, released: list) -> None:
+def on_release(
+    counter: object, value: int, released: list, cause_seq: int | None = None
+) -> None:
     """Satisfied nodes were unlinked; stamps each node's release time.
 
     Runs after the increment's critical section, before the coalesced
     signal pass, so the release timestamp brackets the whole wakeup path
-    the ``wakeup_latency`` histogram measures.
+    the ``wakeup_latency`` histogram measures.  Used by the asyncio
+    counter, whose signal pass is a synchronous ``Event.set`` loop; the
+    threaded counter uses the split :func:`on_release_stamp` /
+    :func:`on_increment_released` pair instead so event construction
+    stays out of the release→signal handoff window.
     """
     now = clock()
     src = label(counter)
@@ -93,23 +109,84 @@ def on_release(counter: object, value: int, released: list) -> None:
         if trace is not None:
             trace.append(
                 Event(now, "release", src, _get_ident(), level=node.level,
-                      value=value, count=node.count)
+                      value=value, count=node.count, seq=next_seq(),
+                      token=node.token, cause_seq=cause_seq)
             )
 
 
-def on_sub_fire(counter: object, level: int, count: int) -> None:
+def on_release_stamp(released: list) -> tuple:
+    """Pre-signal half of a threaded release: stamp, don't construct.
+
+    Runs between the increment's critical section and the coalesced
+    signal pass.  Deliberately minimal — one ``clock()`` read, the
+    per-node ``released_ts`` stores, and (when tracing) seq
+    pre-allocation plus a small capture of each node's payload — because
+    everything here sits inside the release→signal handoff window the
+    ping-pong benchmark measures.  The increment/release *events* are
+    constructed by :func:`on_increment_released` after the signals are
+    out.  Pre-allocating the seqs here keeps causal order sound:
+    ``increment.seq < release.seq < unpark.seq`` even though the woken
+    thread may physically append its ``unpark`` first.
+
+    Node payloads (``count`` especially) are captured now because woken
+    waiters start decrementing ``count`` the moment they are signaled.
+    """
+    now = clock()
+    if _trace is None:
+        for node in released:
+            node.released_ts = now
+        return (now, None, len(released))
+    inc_seq = next_seq()
+    captured = []
+    for node in released:
+        node.released_ts = now
+        captured.append((next_seq(), node.token, node.level, node.count))
+    return (now, inc_seq, captured)
+
+
+def on_increment_released(counter: object, amount: int, value: int, ctx: tuple) -> None:
+    """Post-signal half: construct and append the deferred events.
+
+    ``ctx`` is :func:`on_release_stamp`'s return.  Metrics tallies land
+    here too — nothing in this function delays a wakeup.
+    """
+    now, inc_seq, captured = ctx
+    src = label(counter)
+    metrics = _metrics
+    if metrics is not None:
+        series = metrics.series(src)
+        series.increments += 1
+        series.releases += captured if type(captured) is int else len(captured)
+    trace = _trace
+    if trace is not None and inc_seq is not None:
+        ident = _get_ident()
+        trace.append(Event(now, "increment", src, ident,
+                           amount=amount, value=value, seq=inc_seq))
+        for seq, token, lvl, cnt in captured:
+            trace.append(Event(now, "release", src, ident, level=lvl, value=value,
+                               count=cnt, seq=seq, token=token, cause_seq=inc_seq))
+
+
+def on_sub_fire(counter: object, level: int, count: int, token: int | None = None) -> None:
     """A released level's subscription callbacks are about to run."""
     if _trace is not None:
         _emit(Event(clock(), "sub_fire", label(counter), _get_ident(),
-                    level=level, count=count))
+                    level=level, count=count, seq=next_seq(), token=token))
 
 
 # -------------------------------------------------------------------- check
 
 def on_park(
-    counter: object, level: int, value: int, live_levels: int, live_waiters: int
-) -> None:
-    """A check registered its wait node and is about to suspend."""
+    counter: object, level: int, value: int, live_levels: int, live_waiters: int,
+    token: int | None = None,
+) -> float:
+    """A check registered its wait node and is about to suspend.
+
+    Returns the timestamp it stamped on the event so the caller can
+    reuse it as the park time for the ``wait_s`` measurement — one
+    ``clock()`` read per park, not two.
+    """
+    now = clock()
     src = label(counter)
     metrics = _metrics
     if metrics is not None:
@@ -117,19 +194,23 @@ def on_park(
         series.parks += 1
         series.note_levels(live_levels, live_waiters)
     if _trace is not None:
-        _emit(Event(clock(), "park", src, _get_ident(), level=level, value=value,
-                    count=live_waiters))
+        _emit(Event(now, "park", src, _get_ident(), level=level, value=value,
+                    count=live_waiters, seq=next_seq(), token=token))
+    return now
 
 
 def on_unpark(
-    counter: object, level: int, wait_s: float | None, wakeup_s: float | None
+    counter: object, level: int, wait_s: float | None, wakeup_s: float | None,
+    token: int | None = None, ts: float | None = None,
 ) -> None:
     """A suspended check resumed (normal wakeup or adjudicated success).
 
     ``wait_s`` is park-to-unpark (None when obs was enabled mid-wait);
     ``wakeup_s`` is release-to-unpark (None when the releasing increment
     predates enablement, or on the adjudicated path where the release
-    timestamp may not have been stamped yet).
+    timestamp may not have been stamped yet).  ``ts`` lets a caller that
+    already read the clock (to compute those latencies) stamp the event
+    without a second read.
     """
     src = label(counter)
     metrics = _metrics
@@ -141,8 +222,9 @@ def on_unpark(
         if wakeup_s is not None and wakeup_s >= 0.0:
             series.wakeup_latency.observe(wakeup_s)
     if _trace is not None:
-        _emit(Event(clock(), "unpark", src, _get_ident(), level=level,
-                    wait_s=wait_s, wakeup_s=wakeup_s))
+        _emit(Event(ts if ts is not None else clock(), "unpark", src, _get_ident(),
+                    level=level, wait_s=wait_s, wakeup_s=wakeup_s,
+                    seq=next_seq(), token=token))
 
 
 def on_spin_exhausted(counter: object, level: int, budget: int) -> None:
@@ -153,10 +235,13 @@ def on_spin_exhausted(counter: object, level: int, budget: int) -> None:
         metrics.series(src).spin_exhausted.observe(float(budget))
     if _trace is not None:
         _emit(Event(clock(), "spin_exhausted", src, _get_ident(), level=level,
-                    count=budget))
+                    count=budget, seq=next_seq()))
 
 
-def on_timeout(counter: object, level: int, value: int, waited_s: float | None) -> None:
+def on_timeout(
+    counter: object, level: int, value: int, waited_s: float | None,
+    token: int | None = None,
+) -> None:
     """A check's wait genuinely expired (adjudicated under the counter lock)."""
     src = label(counter)
     metrics = _metrics
@@ -167,7 +252,7 @@ def on_timeout(counter: object, level: int, value: int, waited_s: float | None) 
             series.wait_latency.observe(waited_s)
     if _trace is not None:
         _emit(Event(clock(), "timeout", src, _get_ident(), level=level, value=value,
-                    wait_s=waited_s))
+                    wait_s=waited_s, seq=next_seq(), token=token))
 
 
 # ------------------------------------------------------------------ sharded
@@ -179,33 +264,41 @@ def on_flush(counter: object, amount: int) -> None:
     if metrics is not None:
         metrics.series(src).flushes += 1
     if _trace is not None:
-        _emit(Event(clock(), "flush", src, _get_ident(), amount=amount))
+        _emit(Event(clock(), "flush", src, _get_ident(), amount=amount, seq=next_seq()))
 
 
 def on_drain(counter: object, amount: int) -> None:
     """A reconciling sweep published ``amount`` of pending tallies."""
     if _trace is not None:
-        _emit(Event(clock(), "drain", label(counter), _get_ident(), amount=amount))
+        _emit(Event(clock(), "drain", label(counter), _get_ident(), amount=amount,
+                    seq=next_seq()))
 
 
 # ---------------------------------------------------------------- multiwait
+#
+# mw_* events carry the MultiWait's own token (one per instance), tying a
+# park to its wake/timeout; the node-token → increment correlation for a
+# MultiWait wake runs through the sub_fire events its subscriptions emit.
 
-def on_mw_park(mw: object, conditions: int, satisfied: int) -> None:
+def on_mw_park(mw: object, conditions: int, satisfied: int,
+               token: int | None = None) -> None:
     if _trace is not None:
         _emit(Event(clock(), "mw_park", label(mw), _get_ident(), count=conditions,
-                    value=satisfied))
+                    value=satisfied, seq=next_seq(), token=token))
 
 
-def on_mw_wake(mw: object, satisfied: int, wait_s: float | None) -> None:
+def on_mw_wake(mw: object, satisfied: int, wait_s: float | None,
+               token: int | None = None) -> None:
     if _trace is not None:
         _emit(Event(clock(), "mw_wake", label(mw), _get_ident(), value=satisfied,
-                    wait_s=wait_s))
+                    wait_s=wait_s, seq=next_seq(), token=token))
 
 
-def on_mw_timeout(mw: object, conditions: int, satisfied: int) -> None:
+def on_mw_timeout(mw: object, conditions: int, satisfied: int,
+                  token: int | None = None) -> None:
     if _trace is not None:
         _emit(Event(clock(), "mw_timeout", label(mw), _get_ident(), count=conditions,
-                    value=satisfied))
+                    value=satisfied, seq=next_seq(), token=token))
 
 
 # ----------------------------------------------------------------- watchdog
@@ -214,4 +307,4 @@ def on_stall(source: str, level: int, waiters: int, value: int, stalled_s: float
     """The stall watchdog flagged a check blocked beyond its threshold."""
     if _trace is not None:
         _emit(Event(clock(), "stall", source, _get_ident(), level=level,
-                    count=waiters, value=value, wait_s=stalled_s))
+                    count=waiters, value=value, wait_s=stalled_s, seq=next_seq()))

@@ -196,11 +196,33 @@ class MetricsRegistry:
         return sorted(self._series)
 
     def snapshot(self) -> dict:
-        """Dict export: per-label series plus the unified live counter stats."""
+        """Dict export: per-label series plus the unified live counter stats.
+
+        Includes a ``trace`` section with the *active* trace ring's
+        health (``None`` when tracing is off): a scrape that sees
+        ``dropped`` climbing knows its JSONL sink is losing history.
+        """
         return {
             "series": {label: m.snapshot() for label, m in sorted(self._series.items())},
             "stats": self._live_stats(),
+            "trace": self._trace_health(),
             "dropped_series": self.dropped_series,
+        }
+
+    @staticmethod
+    def _trace_health() -> dict | None:
+        """The live trace ring's counters (lazy import, like _live_stats)."""
+        from repro.obs import hooks
+
+        trace = hooks._trace
+        if trace is None:
+            return None
+        return {
+            "emitted": trace.emitted,
+            "dropped": trace.dropped,
+            "sink_errors": trace.sink_errors,
+            "buffered": len(trace),
+            "capacity": trace.capacity,
         }
 
     @staticmethod
@@ -276,6 +298,19 @@ class MetricsRegistry:
                 lines.append(f'{metric}_bucket{{counter="{esc}",le="+Inf"}} {cumulative}')
                 lines.append(f'{metric}_sum{{counter="{esc}"}} {hist.sum:g}')
                 lines.append(f'{metric}_count{{counter="{esc}"}} {cumulative}')
+        trace_health = self._trace_health()
+        if trace_health is not None:
+            trace_gauges = (
+                ("emitted", "repro_trace_emitted_total", "Events appended to the trace ring (lifetime)"),
+                ("dropped", "repro_trace_dropped_total", "Events that fell off the ring's far end"),
+                ("sink_errors", "repro_trace_sink_errors_total", "Sink invocations that raised (sink detached on first)"),
+                ("buffered", "repro_trace_buffered", "Events currently held in the ring"),
+                ("capacity", "repro_trace_capacity", "Ring capacity"),
+            )
+            for key, metric, help_text in trace_gauges:
+                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {trace_health[key]}")
         stats = self._live_stats()
         if stats:
             lines.append("# HELP repro_counter_stats_total Unified opt-in CounterStats tallies")

@@ -40,8 +40,21 @@ def live_counters() -> list[object]:
 def label(obj: object) -> str:
     """Stable display label: the primitive's ``name`` if given, else
     ``ClassName@0xADDR``.  Name long-lived counters — unnamed ones get
-    per-instance labels, which fragment metric series."""
+    per-instance labels, which fragment metric series.
+
+    The computed label is memoized on the instance (the ``_obs_label``
+    slot the instrumented primitives carry) so the per-event cost is one
+    attribute read instead of a string format; objects without the slot
+    just recompute.  Sound to cache: ``_name`` is set once at
+    construction and never mutated.
+    """
+    cached = getattr(obj, "_obs_label", None)
+    if cached is not None:
+        return cached
     name = getattr(obj, "_name", None)
-    if name:
-        return str(name)
-    return f"{type(obj).__name__}@{id(obj):#x}"
+    text = str(name) if name else f"{type(obj).__name__}@{id(obj):#x}"
+    try:
+        obj._obs_label = text  # type: ignore[attr-defined]
+    except AttributeError:
+        pass  # no slot / frozen object: skip the memo
+    return text

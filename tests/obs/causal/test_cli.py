@@ -1,0 +1,131 @@
+"""The causal CLI subcommands (`analyze`, `critical-path`, `export`) and
+the extended `sample` artifact set, exercised as real subprocesses —
+the same invocations CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.causal import validate_perfetto
+from repro.obs.events import Event
+
+REPO = Path(__file__).resolve().parents[3]
+
+
+def _run(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.obs", *args],
+        capture_output=True, text=True, timeout=120, env=env, cwd=REPO,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_jsonl(tmp_path_factory):
+    """A small hand-built v2 trace on disk, so the read-from-file paths
+    are tested without paying for a live workload per test."""
+    events = [
+        Event(ts=0.10, kind="park", source="c", thread=101, level=2,
+              value=0, seq=1, token=7),
+        Event(ts=0.20, kind="increment", source="c", thread=102, amount=2,
+              value=2, seq=2),
+        Event(ts=0.20, kind="release", source="c", thread=102, level=2,
+              value=2, seq=3, token=7, cause_seq=2),
+        Event(ts=0.25, kind="unpark", source="c", thread=101, level=2,
+              wait_s=0.15, wakeup_s=0.05, seq=4, token=7),
+    ]
+    path = tmp_path_factory.mktemp("trace") / "trace.jsonl"
+    path.write_text("\n".join(json.dumps(e.as_dict()) for e in events) + "\n")
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_text_report_from_jsonl(self, trace_jsonl):
+        proc = _run("analyze", "--in", trace_jsonl)
+        assert proc.returncode == 0, proc.stderr
+        assert "critical path:" in proc.stdout
+        assert "waiting on counter 'c'" in proc.stdout
+
+    def test_json_report_from_jsonl(self, trace_jsonl):
+        proc = _run("analyze", "--in", trace_jsonl, "--json")
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["events"] == 4
+        assert report["edges"] == 1
+        assert report["critical_path"]["duration_s"] > 0
+
+    def test_demo_workload_analyzes(self):
+        proc = _run("analyze", "--demo", "--json")
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["events"] > 0
+
+    def test_without_a_source_fails_with_guidance(self):
+        proc = _run("analyze")
+        assert proc.returncode == 1
+        assert "--in" in proc.stderr and "--fw" in proc.stderr
+
+
+class TestCriticalPathCommand:
+    def test_json_path_steps(self, trace_jsonl):
+        proc = _run("critical-path", "--in", trace_jsonl, "--json")
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["duration_s"] > 0
+        kinds = [s["kind"] for s in payload["steps"]]
+        assert "wakeup" in kinds
+
+    def test_text_output(self, trace_jsonl):
+        proc = _run("critical-path", "--in", trace_jsonl)
+        assert proc.returncode == 0, proc.stderr
+        assert "critical path" in proc.stdout
+
+
+class TestExportCommand:
+    def test_perfetto_export_is_schema_valid(self, trace_jsonl, tmp_path):
+        out = tmp_path / "trace.perfetto.json"
+        proc = _run("export", "--format", "perfetto", "--in", trace_jsonl,
+                    "--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+        doc = json.loads(out.read_text())
+        assert validate_perfetto(doc) == []
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+        assert len(flows) == 2  # one release edge -> one s/f pair
+
+    def test_otel_export_to_stdout(self, trace_jsonl):
+        proc = _run("export", "--format", "otel", "--in", trace_jsonl)
+        assert proc.returncode == 0, proc.stderr
+        doc = json.loads(proc.stdout)
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert any(s["kind"] == "SPAN_KIND_CONSUMER" for s in spans)
+
+    def test_fw_workload_round_trips_through_perfetto(self, tmp_path):
+        out = tmp_path / "fw.perfetto.json"
+        proc = _run("export", "--format", "perfetto", "--fw", "ragged",
+                    "--threads", "3", "--rounds", "3", "--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+        doc = json.loads(out.read_text())
+        assert validate_perfetto(doc) == []
+        assert any(e["ph"] == "s" for e in doc["traceEvents"])
+
+
+class TestSampleGainsCausalArtifacts:
+    def test_sample_writes_perfetto_and_analysis(self, tmp_path):
+        out = tmp_path / "obs-sample"
+        proc = _run("sample", "--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+
+        doc = json.loads((out / "trace.perfetto.json").read_text())
+        assert validate_perfetto(doc) == []
+
+        analysis = (out / "analyze.txt").read_text()
+        assert "critical path:" in analysis
+        assert "release edges" in proc.stdout

@@ -1,0 +1,134 @@
+"""Perfetto and OTel exports: schema validity, flow arrows, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.causal import CausalGraph, to_otel, to_perfetto, validate_perfetto
+from repro.obs.events import Event
+
+
+def _ev(seq, ts, kind, thread, **kw):
+    return Event(ts=ts, kind=kind, source=kw.pop("source", "c"), thread=thread,
+                 seq=seq, **kw)
+
+
+@pytest.fixture()
+def graph():
+    # Two waiters at different levels, both released by one incrementer.
+    return CausalGraph.from_events([
+        _ev(1, 0.10, "park", 101, level=2, value=0, token=7),
+        _ev(2, 0.12, "park", 102, level=3, value=0, token=8),
+        _ev(3, 0.20, "increment", 103, amount=3, value=3),
+        _ev(4, 0.20, "release", 103, level=2, value=3, token=7, cause_seq=3),
+        _ev(5, 0.20, "release", 103, level=3, value=3, token=8, cause_seq=3),
+        _ev(6, 0.25, "unpark", 101, level=2, token=7),
+        _ev(7, 0.26, "unpark", 102, level=3, token=8),
+        _ev(8, 0.30, "increment", 101, amount=1, value=4),
+    ])
+
+
+class TestPerfetto:
+    def test_export_is_schema_valid(self, graph):
+        doc = to_perfetto(graph)
+        assert validate_perfetto(doc) == []
+        assert doc["traceEvents"], "non-empty trace exports events"
+
+    def test_one_flow_arrow_per_release_edge(self, graph):
+        doc = to_perfetto(graph)
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(graph.edges) == 2
+        assert len(finishes) == len(graph.edges)
+        # Arrows go from the releasing thread to each woken thread.
+        assert {e["tid"] for e in starts} == {103}
+        assert {e["tid"] for e in finishes} == {101, 102}
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+
+    def test_thread_metadata_and_wait_slices(self, graph):
+        doc = to_perfetto(graph)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["tid"] for e in meta} == {101, 102, 103}
+        waits = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e["cat"] == "wait"]
+        assert len(waits) == 2
+        assert all(e["dur"] > 0 and e["ts"] >= 0 for e in waits)
+        assert any("c >= 2" in e["name"] for e in waits)
+
+    def test_increments_become_instants(self, graph):
+        doc = to_perfetto(graph)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 2
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_export_round_trips_through_json(self, graph):
+        doc = to_perfetto(graph)
+        assert validate_perfetto(json.loads(json.dumps(doc))) == []
+
+
+class TestPerfettoValidator:
+    """The validator must actually reject malformed documents."""
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_perfetto({}) == ["traceEvents missing or not a list"]
+
+    def test_rejects_slice_without_duration(self, graph):
+        doc = to_perfetto(graph)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        del slices[0]["dur"]
+        assert any("dur" in p for p in validate_perfetto(doc))
+
+    def test_rejects_orphan_flow_start(self, graph):
+        doc = to_perfetto(graph)
+        doc["traceEvents"] = [e for e in doc["traceEvents"] if e["ph"] != "f"]
+        problems = validate_perfetto(doc)
+        assert any("start without finish" in p for p in problems)
+
+    def test_rejects_negative_timestamp(self, graph):
+        doc = to_perfetto(graph)
+        next(e for e in doc["traceEvents"] if e["ph"] == "X")["ts"] = -1.0
+        assert any("negative" in p for p in validate_perfetto(doc))
+
+    def test_rejects_unknown_phase(self, graph):
+        doc = to_perfetto(graph)
+        doc["traceEvents"].append({"ph": "Z", "pid": 1, "tid": 1})
+        assert any("unknown ph" in p for p in validate_perfetto(doc))
+
+
+class TestOtel:
+    def test_otlp_shape_and_span_kinds(self, graph):
+        doc = to_otel(graph)
+        scope = doc["resourceSpans"][0]["scopeSpans"][0]
+        assert scope["scope"]["name"] == "repro.obs.causal"
+        spans = scope["spans"]
+        kinds = {s["kind"] for s in spans}
+        assert kinds == {"SPAN_KIND_INTERNAL", "SPAN_KIND_PRODUCER", "SPAN_KIND_CONSUMER"}
+        for span in spans:
+            assert len(span["traceId"]) == 32
+            assert len(span["spanId"]) == 16
+            int(span["traceId"], 16), int(span["spanId"], 16)
+            assert int(span["endTimeUnixNano"]) >= int(span["startTimeUnixNano"])
+
+    def test_wait_spans_link_to_their_releasing_increment(self, graph):
+        doc = to_otel(graph)
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        by_id = {s["spanId"]: s for s in spans}
+        waits = [s for s in spans if s["kind"] == "SPAN_KIND_CONSUMER"]
+        assert len(waits) == 2
+        for span in waits:
+            (link,) = span["links"]
+            target = by_id[link["spanId"]]
+            assert target["name"].startswith("increment")
+
+    def test_wait_spans_are_children_of_their_thread_root(self, graph):
+        doc = to_otel(graph)
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        roots = {s["spanId"] for s in spans if s["kind"] == "SPAN_KIND_INTERNAL"}
+        for span in spans:
+            if span["kind"] != "SPAN_KIND_INTERNAL":
+                assert span["parentSpanId"] in roots
+
+    def test_export_is_deterministic(self, graph):
+        assert json.dumps(to_otel(graph)) == json.dumps(to_otel(graph))

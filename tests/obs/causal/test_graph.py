@@ -1,0 +1,161 @@
+"""CausalGraph construction on synthetic traces (no threads needed).
+
+Hand-built event lists pin the matching rules exactly: tokened waits
+match release→unpark by token, token-less (BroadcastCounter-shaped)
+waits match FIFO per (thread, source, level), timeouts get no edge, and
+a truncated ring (park fell off the far end) degrades to fewer waits
+rather than crashing or mismatching.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.causal import CausalGraph
+from repro.obs.events import Event
+
+
+def _ev(seq, ts, kind, thread, **kw):
+    return Event(ts=ts, kind=kind, source=kw.pop("source", "c"), thread=thread,
+                 seq=seq, **kw)
+
+
+def _fan_out_trace():
+    """T1 parks at level 2 (token 7), T2 increments to 2, releasing it."""
+    return [
+        _ev(1, 0.10, "park", 101, level=2, value=0, token=7),
+        _ev(2, 0.20, "increment", 102, amount=2, value=2),
+        _ev(3, 0.20, "release", 102, level=2, value=2, token=7, cause_seq=2),
+        _ev(4, 0.25, "unpark", 101, level=2, wait_s=0.15, wakeup_s=0.05, token=7),
+    ]
+
+
+class TestMatching:
+    def test_tokened_wait_matches_and_edge_carries_the_increment(self):
+        graph = CausalGraph.from_events(_fan_out_trace())
+        assert len(graph.waits) == 1
+        wait = graph.waits[0]
+        assert (wait.thread, wait.level, wait.token) == (101, 2, 7)
+        assert not wait.timed_out
+        assert abs(wait.duration - 0.15) < 1e-9
+        assert len(graph.edges) == 1
+        edge = graph.edges[0]
+        assert edge.from_thread == 102 and edge.to_thread == 101
+        assert edge.increment is not None and edge.increment.seq == 2
+        assert graph.edge_by_end[4] is edge
+
+    def test_shared_node_one_release_wakes_two_waiters(self):
+        # Two threads share level 3's node (same token): one release event
+        # per node, but each waiter's unpark gets its own edge.
+        trace = [
+            _ev(1, 0.1, "park", 101, level=3, value=0, token=9),
+            _ev(2, 0.1, "park", 102, level=3, value=0, token=9),
+            _ev(3, 0.2, "increment", 103, amount=3, value=3),
+            _ev(4, 0.2, "release", 103, level=3, value=3, count=2, token=9, cause_seq=3),
+            _ev(5, 0.3, "unpark", 101, level=3, token=9),
+            _ev(6, 0.3, "unpark", 102, level=3, token=9),
+        ]
+        graph = CausalGraph.from_events(trace)
+        assert len(graph.waits) == 2
+        assert len(graph.edges) == 2
+        assert {e.to_thread for e in graph.edges} == {101, 102}
+        assert all(e.from_thread == 103 for e in graph.edges)
+
+    def test_tokenless_waits_match_fifo_per_thread_source_level(self):
+        trace = [
+            _ev(1, 0.1, "park", 101, level=1, value=0),
+            _ev(2, 0.2, "unpark", 101, level=1),
+            _ev(3, 0.3, "park", 101, level=1, value=1),
+            _ev(4, 0.4, "unpark", 101, level=1),
+        ]
+        graph = CausalGraph.from_events(trace)
+        assert len(graph.waits) == 2
+        assert [w.park.seq for w in graph.waits] == [1, 3]
+        assert graph.edges == []  # no tokens, no release correlation
+
+    def test_timeout_closes_the_wait_but_gets_no_edge(self):
+        trace = [
+            _ev(1, 0.1, "park", 101, level=5, value=0, token=4),
+            _ev(2, 0.2, "timeout", 101, level=5, value=0, wait_s=0.1, token=4),
+        ]
+        graph = CausalGraph.from_events(trace)
+        assert len(graph.waits) == 1
+        assert graph.waits[0].timed_out
+        assert graph.edges == []
+
+    def test_truncated_trace_drops_the_orphan_end_event(self):
+        # The park fell off the ring: the unpark cannot be matched and the
+        # graph simply has no wait for it.
+        trace = [
+            _ev(10, 1.0, "unpark", 101, level=2, token=7),
+            _ev(11, 1.1, "increment", 102, amount=1, value=3),
+        ]
+        graph = CausalGraph.from_events(trace)
+        assert graph.waits == [] and graph.edges == []
+        assert len(graph.events) == 2
+
+    def test_events_ordered_by_seq_not_buffer_position(self):
+        # Deferred release emission appends the unpark physically first;
+        # seq order must win.
+        trace = list(reversed(_fan_out_trace()))
+        graph = CausalGraph.from_events(trace)
+        assert [e.seq for e in graph.events] == [1, 2, 3, 4]
+        assert len(graph.edges) == 1
+
+    def test_from_dicts_and_jsonl_round_trip(self, tmp_path):
+        events = _fan_out_trace()
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(json.dumps(e.as_dict()) for e in events) + "\n")
+        graph = CausalGraph.from_jsonl(str(path))
+        assert len(graph.events) == 4
+        assert len(graph.edges) == 1
+        assert graph.events[0] == events[0]
+
+
+class TestStructure:
+    def test_segments_tile_the_thread_span(self):
+        graph = CausalGraph.from_events(_fan_out_trace())
+        segments = graph.segments(101)
+        kinds = [s[0] for s in segments]
+        assert kinds == ["wait"] or kinds == ["wait", "run"]
+        wait = segments[0]
+        assert (wait[1], wait[2]) == (0.10, 0.25)
+
+    def test_thread_names_follow_first_appearance(self):
+        graph = CausalGraph.from_events(_fan_out_trace())
+        assert graph.thread_name(101) == "T0"
+        assert graph.thread_name(102) == "T1"
+
+    def test_critical_path_jumps_through_the_release_edge(self):
+        trace = [
+            _ev(0, 0.05, "increment", 102, amount=0, value=0),
+        ] + _fan_out_trace() + [
+            _ev(5, 0.40, "increment", 101, amount=1, value=3),
+        ]
+        graph = CausalGraph.from_events(trace)
+        path = graph.critical_path()
+        assert path, "non-empty trace must yield a path"
+        # Oldest-first: starts with the releasing thread's run up to the
+        # release, jumps to the woken thread's wakeup + run.
+        assert path[0].thread == 102 and path[0].kind == "run"
+        assert any(s.kind == "wakeup" and s.thread == 101 for s in path)
+        assert path[-1].end == 0.40
+        assert abs(graph.critical_path_duration() - (0.40 - 0.05)) < 1e-9
+
+    def test_blame_attributes_wait_to_source_level_and_releaser(self):
+        graph = CausalGraph.from_events(_fan_out_trace())
+        blame = graph.blame()
+        assert set(blame) == {101}
+        (entry,) = blame[101]
+        assert entry["source"] == "c"
+        assert entry["level"] == 2
+        assert entry["released_by"] == 102
+        assert entry["count"] == 1
+        assert abs(entry["wait_s"] - 0.15) < 1e-9
+
+    def test_empty_trace_is_harmless(self):
+        graph = CausalGraph.from_events([])
+        assert graph.critical_path() == []
+        assert graph.critical_path_duration() == 0.0
+        assert graph.span() == (0.0, 0.0)
+        assert graph.blame() == {}

@@ -3,7 +3,8 @@
 These are the same invocations CI runs (the ``sample`` subcommand is
 its uploaded artifact), so the tests pin the exit codes, the output
 formats (JSON for ``dump``, Prometheus text for ``metrics``, the
-three-file layout for ``sample``), and the demo workload's footprint.
+artifact layout for ``sample`` — its causal additions are pinned in
+``tests/obs/causal/test_cli.py``), and the demo workload's footprint.
 """
 
 from __future__ import annotations
