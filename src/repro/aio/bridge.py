@@ -11,6 +11,16 @@ reorder *notifications* freely because the mirrored value only ever
 grows and every ``check`` condition is stable — the exact property the
 paper exploits for race-freedom, reused here for cross-runtime
 signalling.
+
+Awaiting through the mirror is *double-parking*, though: the release
+first runs the thread counter's full wake pass, then a mirrored
+increment re-runs the loop counter's release machinery before the
+coroutine resumes.  :meth:`CounterBridge.check` is the engine-era
+direct path: the coroutine subscribes on the *thread* counter and the
+releasing thread completes its loop future with one
+``call_soon_threadsafe`` — a single handoff, no loop-side counter in
+the loop-critical path.  The mirror stays for code that holds an
+:class:`AsyncCounter` reference or mixes loop-side increments in.
 """
 
 from __future__ import annotations
@@ -19,6 +29,8 @@ import asyncio
 
 from repro.aio.counter import AsyncCounter
 from repro.core.counter import MonotonicCounter
+from repro.core.errors import CheckTimeout
+from repro.core.validation import validate_level, validate_timeout
 
 __all__ = ["CounterBridge"]
 
@@ -55,6 +67,55 @@ class CounterBridge:
         gap = target - self.async_counter.value
         if gap > 0:
             self.async_counter.increment(gap)
+
+    async def check(self, level: int, timeout: float | None = None) -> None:
+        """Await ``thread_counter.value >= level`` — the direct handoff.
+
+        One subscription on the thread counter, one loop future, one
+        ``call_soon_threadsafe`` from the releasing thread: the await
+        never parks on the mirrored :class:`AsyncCounter` (whose value
+        may lag the thread counter by in-flight mirror callbacks).
+        Raises :class:`~repro.core.errors.CheckTimeout` on expiry;
+        stability means a satisfaction racing the expiry is still
+        reported as success, never as a timeout.
+        """
+        level = validate_level(level)
+        timeout = validate_timeout(timeout)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+
+        def deliver() -> None:  # runs on the loop
+            if not future.done():
+                future.set_result(None)
+
+        def on_reach() -> None:  # runs in the incrementing thread
+            loop.call_soon_threadsafe(deliver)
+
+        subscription = self.thread_counter.subscribe(level, on_reach)
+        if subscription is None:
+            return  # already satisfied: no park at all
+        try:
+            if timeout is None:
+                await future
+                return
+            try:
+                await asyncio.wait_for(future, timeout)
+            except asyncio.TimeoutError:
+                # The satisfying increment may have fired concurrently
+                # with the expiry (its deliver still in flight); the
+                # condition is stable, so a direct re-read adjudicates.
+                value = self.thread_counter.value
+                if value >= level:
+                    return
+                raise CheckTimeout(
+                    f"{self!r}: check({level}) timed out after {timeout}s "
+                    f"(value={value})"
+                ) from None
+        finally:
+            # Idempotent, and a no-op once the callback has fired; after
+            # a timeout or cancellation it deregisters so the wait node
+            # (or its subscriber list) is reclaimed.
+            subscription.cancel()
 
     def __repr__(self) -> str:
         return (

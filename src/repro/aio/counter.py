@@ -12,11 +12,18 @@ varying ordered collection of per-level wakeup objects
 (``asyncio.Event`` per distinct level), so storage and wake cost stay
 proportional to the number of distinct waiting levels.  No lock is
 needed for state transitions: asyncio is cooperative, and every mutation
-completes synchronously between awaits.
+completes synchronously between awaits.  The loop plays the role the
+wakeup engine (:mod:`repro.core.engine`) plays thread-side: an
+``asyncio.Event`` *is* a list of per-waiter futures — the loop's
+parking slots — and timed waits ride the loop's own timer heap via
+``asyncio.wait_for``, its timer wheel.
 
 Thread-safety: an ``AsyncCounter`` belongs to one event loop.  For
 cross-thread signalling into a loop, use
-:func:`repro.aio.bridge.thread_to_async_counter`.
+:class:`repro.aio.bridge.CounterBridge` — and prefer its direct
+``await bridge.check(level)`` handoff, which parks once on a loop
+future completed straight from the releasing thread instead of
+double-parking through the mirrored counter.
 """
 
 from __future__ import annotations
@@ -107,7 +114,7 @@ class AsyncCounter:
     """
 
     __slots__ = ("_value", "_levels", "_max_value", "_name", "_stats_on",
-                 "_obs_label", "stats", "__weakref__")
+                 "_obs_label", "_obs_chan", "stats", "__weakref__")
 
     def __init__(
         self,

@@ -1,12 +1,16 @@
 """Waiting on several async counters at once — the MultiWait twin.
 
 Cooperative counterpart of :class:`repro.core.multiwait.MultiWait`: one
-subscription per ``(counter, level)`` condition, one ``asyncio.Event``
-to park on, satisfactions delivered synchronously by the ``increment``
-calls that reach the levels.  The same stability argument makes it
-correct: a satisfied condition can never unsatisfy, so accumulating
-indices into a set and testing "all present" / "any present" needs no
-retry choreography.
+subscription per ``(counter, level)`` condition, one loop future per
+parked waiter, satisfactions delivered synchronously by the
+``increment`` calls that reach the levels.  Like the thread-side engine
+port, the wakeup is *single-wake*: each waiter registers the count of
+satisfactions it needs, and only the one callback that meets that need
+completes its future — earlier satisfactions just land in the set, with
+no wake/clear/re-wait churn per condition.  The same stability argument
+makes it correct: a satisfied condition can never unsatisfy, so
+accumulating indices into a set and testing "all present" / "any
+present" needs no retry choreography.
 
 The ``wait_any`` determinism caveat from the thread-side module applies
 unchanged: observing *which* condition fired first is a scheduler
@@ -51,8 +55,8 @@ class AsyncMultiWait:
     [0, 1]
     """
 
-    __slots__ = ("_pairs", "_satisfied", "_subs", "_event", "_closed", "_token",
-                 "_obs_label")
+    __slots__ = ("_pairs", "_satisfied", "_subs", "_waiters", "_closed", "_token",
+                 "_obs_label", "_obs_chan")
 
     def __init__(self, conditions: Iterable[Condition]) -> None:
         pairs: Sequence[Condition] = list(conditions)
@@ -63,7 +67,11 @@ class AsyncMultiWait:
         self._pairs = pairs
         self._satisfied: set[int] = set()
         self._subs: list = []
-        self._event = asyncio.Event()
+        # Parked waiters as (need, future) records, mirroring the
+        # thread-side engine port: the wait completes once
+        # `len(satisfied) >= need` (all = N, any = 1).  No lock — all
+        # mutation happens synchronously on one event loop.
+        self._waiters: list = []
         self._closed = False
         # Schema-v2 correlation id shared by this instance's mw_* events.
         self._token = _next_token()
@@ -77,7 +85,16 @@ class AsyncMultiWait:
     def _make_callback(self, index: int):
         def fire() -> None:
             self._satisfied.add(index)
-            self._event.set()
+            n = len(self._satisfied)
+            if self._waiters:
+                ready = [record for record in self._waiters if record[0] <= n]
+                if ready:
+                    self._waiters = [r for r in self._waiters if r[0] > n]
+                    for _, future in ready:
+                        # A future cancelled by wait_for may still hold a
+                        # record for one scheduling beat; skip it.
+                        if not future.done():
+                            future.set_result(None)
 
         return fire
 
@@ -91,16 +108,16 @@ class AsyncMultiWait:
 
     async def wait_all(self, timeout: float | None = None) -> None:
         """Suspend until every condition has been satisfied."""
-        await self._wait(lambda: len(self._satisfied) == len(self._pairs), timeout, "all")
+        await self._wait(len(self._pairs), timeout, "all")
 
     async def wait_any(self, timeout: float | None = None) -> frozenset[int]:
         """Suspend until at least one condition is satisfied; return the
         frozenset of indices satisfied at wake time (see module docstring
         for the determinism caveat)."""
-        await self._wait(lambda: bool(self._satisfied), timeout, "any")
+        await self._wait(1, timeout, "any")
         return frozenset(self._satisfied)
 
-    async def _wait(self, done, timeout: float | None, mode: str) -> None:
+    async def _wait(self, need: int, timeout: float | None, mode: str) -> None:
         timeout = validate_timeout(timeout)
         if self._closed:
             raise RuntimeError("AsyncMultiWait is closed")
@@ -109,42 +126,39 @@ class AsyncMultiWait:
             _obs.on_mw_park(self, len(self._pairs), len(self._satisfied),
                             token=self._token)
             t_parked = _obs.clock()
-        if timeout is None:
-            while not done():
-                self._event.clear()
-                await self._event.wait()
-            if _obs.enabled:
-                wait_s = None if t_parked is None else _obs.clock() - t_parked
-                _obs.on_mw_wake(self, len(self._satisfied), wait_s, token=self._token)
-            return
-        loop = asyncio.get_running_loop()
-        deadline = loop.time() + timeout
-        while not done():
-            self._event.clear()
-            remaining = deadline - loop.time()
-            if remaining <= 0:
-                if _obs.enabled:
-                    _obs.on_mw_timeout(self, len(self._pairs), len(self._satisfied),
-                                       token=self._token)
-                raise CheckTimeout(
-                    f"AsyncMultiWait.wait_{mode}: timed out after {timeout}s "
-                    f"({len(self._satisfied)}/{len(self._pairs)} satisfied)"
-                )
+        if len(self._satisfied) < need:
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            record = (need, future)
+            self._waiters.append(record)
             try:
-                # Cancelling Event.wait() is side-effect free, so no shield
-                # is needed (and a shielded waiter would linger as a pending
-                # task after every expiry).
-                await asyncio.wait_for(self._event.wait(), remaining)
-            except asyncio.TimeoutError:
-                if done():
-                    break
-                if _obs.enabled:
-                    _obs.on_mw_timeout(self, len(self._pairs), len(self._satisfied),
-                                       token=self._token)
-                raise CheckTimeout(
-                    f"AsyncMultiWait.wait_{mode}: timed out after {timeout}s "
-                    f"({len(self._satisfied)}/{len(self._pairs)} satisfied)"
-                ) from None
+                if timeout is None:
+                    await future
+                else:
+                    try:
+                        # Cancelling the future is side-effect free (the
+                        # record is dropped below), so no shield is needed.
+                        await asyncio.wait_for(future, timeout)
+                    except asyncio.TimeoutError:
+                        # The expiry beat may have delivered the final
+                        # satisfaction; stability makes the re-check safe.
+                        if len(self._satisfied) < need:
+                            if _obs.enabled:
+                                _obs.on_mw_timeout(
+                                    self, len(self._pairs), len(self._satisfied),
+                                    token=self._token)
+                            raise CheckTimeout(
+                                f"AsyncMultiWait.wait_{mode}: timed out after "
+                                f"{timeout}s ({len(self._satisfied)}/"
+                                f"{len(self._pairs)} satisfied)"
+                            ) from None
+            finally:
+                # Completed waiters were deregistered by the callback;
+                # timed-out or cancelled ones deregister here.
+                try:
+                    self._waiters.remove(record)
+                except ValueError:
+                    pass
         if _obs.enabled:
             wait_s = None if t_parked is None else _obs.clock() - t_parked
             _obs.on_mw_wake(self, len(self._satisfied), wait_s, token=self._token)

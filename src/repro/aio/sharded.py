@@ -45,7 +45,7 @@ class AsyncShardedCounter:
     3
     """
 
-    __slots__ = ("_inner", "_pending", "_batch", "_name", "_obs_label", "__weakref__")
+    __slots__ = ("_inner", "_pending", "_batch", "_name", "_obs_label", "_obs_chan", "__weakref__")
 
     def __init__(self, *, batch: int = 64, name: str | None = None, stats: bool = False) -> None:
         if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:

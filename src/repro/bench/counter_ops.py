@@ -22,10 +22,12 @@ repo root in CI) so successive PRs accumulate a recorded perf trajectory:
   roundtrip crosses the wakeup path twice and neither side can run
   ahead.  ``linked`` is the build-dependent default policy (park-only
   under the GIL); ``linked_spin`` forces the spin-then-park policy.  On
-  GIL builds the spin variant *loses* — a spinner holds the interpreter
-  away from the incrementer, while a parked thread is woken promptly by
-  the condvar signal — which is exactly why the default keys on the
-  build.
+  serial hosts (GIL build or one CPU) a spinner holds the interpreter
+  away from the incrementer while a parked thread is woken promptly by
+  the slot set, so ``SPIN_THEN_PARK`` *degrades its spin budget to
+  zero* there (``park_on_serial_hosts``) and the two variants should
+  measure the same; genuinely parallel hosts keep the spin and are
+  expected to win with it.
 * ``multiwait_join`` — one consumer joining N flow-controlled producers
   every round: subscription-based
   :class:`~repro.core.multiwait.MultiWait` versus the sequential check
@@ -98,7 +100,13 @@ FAN_IN = ("linked", "linked_spin", "heap", "broadcast", "sharded")
 HANDOFF = ("linked", "linked_spin", "broadcast")
 
 #: Series the --compare-to regression gate inspects.
-GATED_SERIES = ("fan_in_wakeup", "immediate_check", "obs_overhead")
+GATED_SERIES = (
+    "fan_in_wakeup",
+    "immediate_check",
+    "obs_overhead",
+    "handoff_pingpong",
+    "multiwait_join",
+)
 
 
 def _sizes(quick: bool) -> dict[str, int]:
@@ -403,9 +411,9 @@ def run_counter_ops(*, quick: bool = False) -> dict:
         "series": series,
         "derived": {
             "immediate_check_fast_path_speedup": fast / locked if locked else float("inf"),
-            # < 1 on GIL builds (spinning starves the incrementer), > 1
-            # expected free-threaded — the reason DEFAULT_WAIT_POLICY
-            # keys on the build.
+            # ≈ 1 on serial hosts (SPIN_THEN_PARK's budget degrades to
+            # zero there — see WaitPolicy.park_on_serial_hosts), > 1
+            # expected on free-threaded multi-CPU hosts.
             "handoff_spin_vs_default": spin / default if default else float("inf"),
             # < 1 in this one-shot-join shape (see module docstring) —
             # the reason check_all stays sequential.

@@ -76,7 +76,8 @@ def spread_waiters(
         # already-passed levels return immediately); only the high-water
         # stats — and the fairness of measuring the *wakeup* path rather
         # than fast-path returns — do.
-        settle_deadline = time.monotonic() + min(timeout, 2.0)
+        settle = 2.0 if timeout is None else min(timeout, 2.0)
+        settle_deadline = time.monotonic() + settle
         while (
             _suspended_below(counter) < waiters
             and time.monotonic() < settle_deadline

@@ -1,32 +1,33 @@
-"""Monotonic counter implementations over locks and condition variables.
+"""Monotonic counter implementations over locks and engine parking slots.
 
 This is the paper's §7 implementation, transliterated to
-``threading.Lock`` / ``threading.Condition`` and then rebuilt around a
-two-lock wakeup path:
+``threading.Lock`` and the unified wakeup engine
+(:mod:`repro.core.engine`):
 
 * one mutual-exclusion lock per counter protecting the value and the
   wait-list structure,
 * a dynamically-varying ordered list of wait nodes, one node per distinct
   level on which at least one thread is suspended,
-* each node owning its own **private** condition variable, a waiter
-  count, and the *set* flag of Figure 2.
+* each node holding the parked threads' **per-thread parking slots**
+  (futex-style reusable binary semaphores), a waiter count, and the
+  *set* flag of Figure 2.
 
 ``check(level)`` with ``level <= value`` returns immediately — by default
 from a lock-free read of the value, sound because the enabling condition
 is *stable* (the value never decreases, so a stale satisfied read can
 never be wrong later).  A check that misses may then *spin* briefly on
-the same lock-free read (bounded, adaptive, free-threaded builds only by
-default — see :class:`~repro.core.waitlist.WaitPolicy`) before it
-finds-or-inserts the
-node for ``level``, bumps its count, and parks on the node's private
-condition.  ``increment(amount)`` bumps the value, unlinks every
-satisfied node **inside** the counter lock, then wakes them in one
-coalesced pass **outside** it: one ``notify_all`` per node, each woken
-thread handed its already-satisfied node so it never re-acquires the
-counter lock just to re-test.  The last waiter to leave a node
-"deallocates" it (drops the final reference).  Storage and per-op time
-are O(L) in the number of distinct waiting levels, never O(total
-waiters).
+the same lock-free read (bounded, adaptive, free-threaded multi-CPU
+hosts only by default — see :class:`~repro.core.waitlist.WaitPolicy`)
+before it finds-or-inserts the node for ``level``, bumps its count, and
+parks on its thread's engine slot (timed waits additionally arm one
+entry on the shared timer wheel).  ``increment(amount)`` bumps the
+value, unlinks every satisfied node **inside** the counter lock, then
+wakes them in one coalesced pass **outside** it: one slot set per
+waiter, each woken thread handed its already-satisfied node so it never
+re-acquires the counter lock just to re-test.  The last waiter to leave
+a node "deallocates" it (drops the final reference).  Storage and
+per-op time are O(L) in the number of distinct waiting levels, never
+O(total waiters).
 
 Three classes are exported:
 
@@ -50,6 +51,12 @@ from typing import Callable, Literal
 
 from repro.core import syncpoints as _sp
 from repro.core.api import AbstractCounter
+from repro.core.engine import (
+    WheelEntry,
+    _thread_slots,
+    current_slot,
+    wheel as _shared_wheel,
+)
 from repro.obs import hooks as _obs
 from repro.obs import registry as _obs_registry
 from repro.core.errors import CheckTimeout, CounterOverflowError, ResetConcurrencyError
@@ -58,12 +65,30 @@ from repro.core.stats import NOOP_STATS, CounterStats
 from repro.core.validation import validate_amount, validate_level, validate_timeout
 from repro.core.waitlist import (
     DEFAULT_WAIT_POLICY,
+    SERIAL_HOST,
     HeapWaitList,
     LinkedWaitList,
     WaitList,
     WaitNode,
     WaitPolicy,
 )
+
+#: Every timed park arms the process-wide timer wheel (one sweeper for
+#: all counters); the wheel — and its two hot methods — are bound once
+#: so a timed park pays module-global loads, no attribute walks.
+_WHEEL = _shared_wheel()
+_wheel_add = _WHEEL.add
+_wheel_cancel = _WHEEL.cancel
+
+#: Staged parking: a timed ``check`` first parks on its raw slot for at
+#: most this many seconds (one C-level timed acquire — the same cost as
+#: an untimed park) and only *escalates* onto the wheel if it is still
+#: waiting when the grace lapses.  Short-lived timed waits — the common
+#: case in handoff-shaped workloads — therefore never pay the wheel's
+#: entry allocation, arm, and cancel; lingering waits still get vectored
+#: onto the single sweeper so k long timeouts cost one sleeping thread,
+#: not k.  Tests shrink this to force the escalation path.
+_TIMER_GRACE = 0.02
 
 __all__ = ["MonotonicCounter", "BroadcastCounter", "Counter", "CounterSubscription"]
 
@@ -164,6 +189,8 @@ class MonotonicCounter(AbstractCounter):
 
     __slots__ = (
         "_lock",
+        "_lock_acquire",
+        "_lock_release",
         "_value",
         "_waiters",
         "_draining",
@@ -178,7 +205,7 @@ class MonotonicCounter(AbstractCounter):
         "_live_waiters",
         # Memoized observability label (repro.obs.registry.label writes it
         # on first use) so enabled-mode emission skips the string format.
-        "_obs_label",
+        "_obs_label", "_obs_chan",
         "stats",
         # Weakly referenceable so the observability registry (watchdog,
         # dump_state) can track live counters without extending lifetimes.
@@ -196,6 +223,13 @@ class MonotonicCounter(AbstractCounter):
         policy: WaitPolicy | None = None,
     ) -> None:
         self._lock = threading.Lock()
+        # Bound methods of the raw lock for the two hot critical
+        # sections (increment, parked check): a direct acquire/release
+        # pair costs about a quarter of a ``with`` block, and those two
+        # sections run once per operation.  Cold paths keep ``with
+        # self._lock:`` for readability.
+        self._lock_acquire = self._lock.acquire
+        self._lock_release = self._lock.release
         self._value = 0
         # Nodes released by an increment whose waiters have not all resumed
         # yet — the "set" nodes of Figure 2 (e)/(f).  Kept only so that
@@ -225,7 +259,13 @@ class MonotonicCounter(AbstractCounter):
         # The adaptive spin budget.  Read and written without the lock by
         # design: it is a heuristic, and losing a race on its update can
         # only make a wait spin a little more or less than intended.
-        self._spin = policy.spin
+        # Policies that opt in (SPIN_THEN_PARK) degrade to park-only on
+        # serial hosts, where a spinner can only ever delay the
+        # incrementer it is waiting for.
+        if policy.park_on_serial_hosts and SERIAL_HOST:
+            self._spin = 0
+        else:
+            self._spin = policy.spin
         # Live-level / live-waiter counts, maintained incrementally so the
         # suspend path's high-water bookkeeping is O(1) instead of the
         # former O(L) ``len(waiters)`` / ``sum(node.count ...)`` scans.
@@ -254,20 +294,32 @@ class MonotonicCounter(AbstractCounter):
         """Atomically add ``amount`` and wake all newly-satisfied waiters.
 
         The wakeups are *coalesced*: satisfied nodes are unlinked (and the
-        tallies settled) inside the counter lock, but every
-        ``notify_all`` — one per node — runs after the lock is dropped,
-        so woken threads and later increments never convoy behind the
-        wake sweep.  No wakeup can be lost to that split: a node is
+        tallies settled) inside the counter lock, but the wake sweep —
+        one engine-slot set per waiter — runs after the lock is
+        dropped, so woken threads and later increments never convoy
+        behind it.  No wakeup can be lost to that split: a node is
         marked ``released`` under the counter lock before the lock is
-        dropped, and parked threads re-test the node's ``signaled`` flag
-        under the node's own lock (see docs/api.md for the full
-        argument).
+        dropped, and a slot set delivered before the waiter parks is
+        consumed by the park itself (semaphore semantics; see
+        docs/api.md and docs/engine.md for the full argument).
         """
-        amount = validate_amount(amount)
+        # Inline the validator's accept case (an exact nonnegative int,
+        # excluding bool) so the overwhelmingly common call pays a type
+        # check instead of a function call; anything else goes through
+        # the full validator for the real diagnostic.
+        if type(amount) is not int or amount < 0:
+            amount = validate_amount(amount)
         released: list[WaitNode] | None = None
-        if _sp.enabled:
+        # Snapshot the two seam flags once: each read is a module-dict +
+        # attribute lookup, and this function consults them up to seven
+        # times.  Both flags only flip between operations (test setup,
+        # obs enable/disable), never meaningfully mid-call.
+        sp_on = _sp.enabled
+        obs_on = _obs.enabled
+        if sp_on:
             _sp.fire("increment.lock", self)
-        with self._lock:
+        self._lock_acquire()
+        try:
             new_value = self._value + amount
             if self._max_value is not None and new_value > self._max_value:
                 raise CounterOverflowError(
@@ -281,30 +333,41 @@ class MonotonicCounter(AbstractCounter):
             if amount and self._live_levels:
                 released = self._waiters.release_through(new_value)
                 if released:
-                    if _sp.enabled:
+                    if sp_on:
                         _sp.fire("increment.release", self)
                     draining = None
+                    stats_on = self._stats_on
                     for node in released:
                         # `released` is the linearization point as seen
                         # under the counter lock (timeout adjudication,
                         # snapshot).  The paper's *set* flag, `signaled`,
-                        # is set ONLY by signal() below, under the node's
-                        # own lock, after this critical section: parked
-                        # threads read it under just the node lock, so
-                        # setting it here would let a waiter observe the
-                        # release — and decrement node.count, even run the
+                        # and the waiters' slot sets are published ONLY
+                        # by signal() below, after this critical section:
+                        # a parked thread resumes the moment its slot is
+                        # set, so waking it here would let it observe the
+                        # release — pop the drain countdown, even run the
                         # last-leaver _draining.pop — before the tallies
                         # and the _draining insert below have settled.
                         node.released = True
                         self._live_levels -= 1
                         self._live_waiters -= node.count
-                        if self._stats_on:
+                        if stats_on:
                             self.stats.nodes_released += 1
                             self.stats.threads_woken += node.count
                         if node.count:
+                            # Freeze the drain countdown *inside* the
+                            # critical section: a timed waiter whose
+                            # adjudication sees `released` under this
+                            # lock may resume before the out-of-lock
+                            # signal pass runs, and it pops from this
+                            # list.  After this point node.waiters is
+                            # immutable (no registration on a released
+                            # node), so the copy is exact.
+                            node.countdown = node.waiters[:]
                             if draining is None:
-                                draining = []
-                            draining.append(node)
+                                draining = [node]
+                            else:
+                                draining.append(node)
                     if draining:
                         # Must happen before any waiter can observe the
                         # release — guaranteed because waiters observe it
@@ -312,16 +375,18 @@ class MonotonicCounter(AbstractCounter):
                         # critical section) or via `released` under the
                         # counter lock — so the last-leaver pop can never
                         # precede the insert.
-                        if _sp.enabled:
+                        if sp_on:
                             _sp.fire("increment.drain", self)
                         with self._drain_lock:
                             for node in draining:
                                 self._draining[id(node)] = node
+        finally:
+            self._lock_release()
         if released:
-            if _sp.enabled:
+            if sp_on:
                 _sp.fire("increment.unlock", self)
             obs_ctx = None
-            if _obs.enabled:
+            if obs_on:
                 # Pre-signal half: one clock() read stamps every node's
                 # released_ts (so woken threads can measure the wakeup
                 # path) and pre-allocates the event seqs.  Constructing
@@ -329,18 +394,18 @@ class MonotonicCounter(AbstractCounter):
                 # signal pass below — the handoff window between release
                 # decision and notify stays as short as disabled mode's.
                 obs_ctx = _obs.on_release_stamp(released)
-            # The coalesced wake pass: counter lock long gone, one
-            # notify_all per satisfied level, subscribers fired after.
+            # The coalesced wake pass: counter lock long gone, one slot
+            # set per waiter ("set N slots"), subscribers fired after.
             for node in released:
-                if _sp.enabled:
+                if sp_on:
                     _sp.fire("increment.signal", self)
-                if _obs.enabled and node.subscribers:
+                if obs_on and node.subscribers:
                     _obs.on_sub_fire(self, node.level, len(node.subscribers),
                                      token=node.token)
                 node.signal()
             if obs_ctx is not None:
                 _obs.on_increment_released(self, amount, new_value, obs_ctx)
-        elif _obs.enabled:
+        elif obs_on:
             _obs.on_increment(self, amount, new_value)
         return new_value
 
@@ -349,12 +414,17 @@ class MonotonicCounter(AbstractCounter):
 
         The wait is *spin-then-park*: after the lock-free fast path
         misses, a bounded number of further lock-free re-reads (the
-        policy's spin budget — zero under the default GIL-build policy)
-        run before the thread registers a wait node and parks on the
-        level's private condition variable.
+        policy's spin budget — zero under the default GIL-build policy
+        and on serial hosts) run before the thread registers a wait
+        node and parks on its per-thread engine slot.
         """
-        level = validate_level(level)
-        timeout = validate_timeout(timeout)
+        # Same inline-accept trick as increment(): the fast path below is
+        # the hottest statement in the package and must not pay two
+        # validator calls to reach it.
+        if type(level) is not int or level < 0:
+            level = validate_level(level)
+        if timeout is not None and (type(timeout) is not float or timeout < 0.0):
+            timeout = validate_timeout(timeout)
         deadline: float | None = None
         # Lock-free fast path.  Soundness rests on stability (§6): the value
         # only ever increases (there is no decrement, and reset() contractually
@@ -386,9 +456,20 @@ class MonotonicCounter(AbstractCounter):
                     timeout = deadline - time.monotonic()
                     if timeout < 0.0:
                         timeout = 0.0
+        # The engine handle this wait parks on: always the thread's
+        # reusable slot — timed waits park on it too (staged parking;
+        # see _park), swapping in a claim-guarded WheelEntry only if
+        # they outlive the grace.  The thread-local read is inlined
+        # (current_slot()'s own fast path); the function is only called
+        # to allocate on first use.
+        try:
+            waiter = _thread_slots.slot
+        except AttributeError:
+            waiter = current_slot()
         if _sp.enabled:
             _sp.fire("check.lock", self)
-        with self._lock:
+        self._lock_acquire()
+        try:
             if self._value >= level:
                 if self._stats_on:
                     self.stats.immediate_checks += 1
@@ -399,22 +480,25 @@ class MonotonicCounter(AbstractCounter):
                 if self._stats_on:
                     self.stats.nodes_created += 1
             node.count += 1
+            node.waiters.append(waiter)
             self._live_waiters += 1
             if self._stats_on:
                 self.stats.suspended_checks += 1
                 self.stats.note_levels(self._live_levels, self._live_waiters)
-        # Counter lock dropped: park on the node's private condition.  The
-        # release that satisfies this level already knows the node (it is
-        # handed the whole node under the counter lock), so neither side
-        # touches the counter lock again on the normal wake path.
+        finally:
+            self._lock_release()
+        # Counter lock dropped: park on the engine slot.  The release
+        # that satisfies this level already holds the waiter handle (it
+        # was handed the whole node under the counter lock), so neither
+        # side touches the counter lock again on the normal wake path.
         t_parked: float | None = None
         if _obs.enabled:
             # Racy reads of value/levels/waiters: diagnostic payload only.
             # on_park returns the timestamp it stamped on the event, reused
             # as the park time so the slow path reads the clock once here.
             t_parked = _obs.on_park(self, level, self._value, self._live_levels,
-                                    self._live_waiters, token=node.token)
-        self._park(node, level, timeout, deadline, t_parked)
+                                    self._live_waiters, node.token)
+        self._park(node, waiter, level, timeout, deadline, t_parked)
 
     def _spin_wait(self, level: int, budget: int) -> bool:
         """Bounded lock-free re-reads of the value; True if satisfied."""
@@ -445,53 +529,158 @@ class MonotonicCounter(AbstractCounter):
     def _park(
         self,
         node: WaitNode,
+        waiter,
         level: int,
         timeout: float | None,
         deadline: float | None,
         t_parked: float | None = None,
     ) -> None:
-        """Wait on ``node``'s private condition until signaled or timed out."""
-        condition = node.condition
-        timed_out = False
-        last = False
+        """Park on the engine until the release sets our slot or a
+        timeout verdict is reached.
+
+        ``waiter`` is the handle registered in ``node.waiters`` under
+        the counter lock — always the thread's :class:`ParkingSlot`.
+        Timed waits park in two stages: first a bounded *grace* wait on
+        the slot itself (a single C timed acquire, the same cost as the
+        untimed park), during which the release pass is the only
+        possible setter; only a wait still parked when the grace lapses
+        escalates, swapping its registered handle for a claim-guarded
+        :class:`WheelEntry` under the counter lock and arming the
+        process-wide wheel for the remainder.  The swap is atomic with
+        respect to the release (``release_through`` unlinks nodes under
+        the same lock), so at every instant the node holds exactly one
+        handle for this waiter and exactly one set is ever delivered to
+        the slot per park round (see ``docs/engine.md``).
+        """
         if _sp.enabled:
             _sp.fire("park.enter", self)
-        with condition:
-            if timeout is None:
-                while not node.signaled:
-                    condition.wait()
-            else:
-                if deadline is None:
-                    deadline = time.monotonic() + timeout
-                while not node.signaled:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0 or not condition.wait(remaining):
-                        if _sp.enabled:
-                            _sp.fire("park.verdict", self)
-                        if node.signaled:
-                            break
-                        timed_out = True
-                        break
-            if not timed_out:
-                node.count -= 1
-                last = node.count == 0
-        if not timed_out:
+        if timeout is None:
+            slot = waiter
+            slot.block()
+            # In normal operation the only possible set is the release
+            # pass's; the re-check guards against a stray set (e.g. a
+            # wait round abandoned to an async exception) being
+            # mistaken for it.  signaled is written before the slot
+            # set, so the genuine wakeup always passes.
+            while not node.signaled:
+                slot.block()
+            # _finish_wake, inlined: the untimed resume is the hottest
+            # wake path in the package and every frame on it is serial
+            # handoff latency.  Keep in lockstep with _finish_wake.
             if _obs.enabled:
-                self._note_unpark(node, level, t_parked)
-            if last:
+                _obs.on_wake(self, node, level, t_parked)
+            countdown = node.countdown
+            countdown.pop()
+            if not countdown:
                 if _sp.enabled:
                     _sp.fire("park.drain", self)
-                with self._drain_lock:
-                    self._draining.pop(id(node), None)
+                self._draining.pop(id(node), None)
             return
-        # Timed out while still parked.  Adjudicate against a concurrent
-        # release under the counter lock: `released` is only ever set
-        # inside an increment's critical section, so holding the lock
-        # gives a definitive answer — either the increment that reaches
-        # this level has already run (the check succeeded; no timeout)
-        # or it has not (genuine timeout; deregister).  A wakeup can
-        # therefore never be lost *and* a satisfying increment can never
-        # be reported as a timeout.
+        slot = waiter
+        if timeout != 0.0:
+            # Stage one: park on the raw slot for min(timeout, grace).
+            # slot.block is the lock's bound acquire, so this is the
+            # untimed park plus a timeout argument — no wheel traffic.
+            grace = _TIMER_GRACE
+            if slot.block(True, timeout if timeout < grace else grace):
+                while not node.signaled:  # stray set; see above
+                    slot.block()
+                # _finish_wake, inlined — same rationale as the untimed
+                # branch: a released timed wait is a hot resume too.
+                if _obs.enabled:
+                    _obs.on_wake(self, node, level, t_parked)
+                countdown = node.countdown
+                countdown.pop()
+                if not countdown:
+                    if _sp.enabled:
+                        _sp.fire("park.drain", self)
+                    self._draining.pop(id(node), None)
+                return
+            if timeout >= grace:
+                # Stage two: the wait outlived the grace — vector the
+                # remainder onto the wheel.  Under the counter lock the
+                # release either already happened (fall through to
+                # adjudication, which consumes its pending set) or has
+                # not started its signal pass for this node, in which
+                # case swapping the registered handle for a WheelEntry
+                # funnels both future wakers through the entry's claim.
+                entry = None
+                self._lock_acquire()
+                try:
+                    if not node.released:
+                        now = time.monotonic()
+                        if deadline is None:
+                            # Anchored at grace expiry rather than at
+                            # check() entry: the armed deadline can only
+                            # be *later* than the true one, so timeouts
+                            # may land late (like any OS timed wait) but
+                            # never early.  Spares the hot timed path a
+                            # clock read it usually never needs.
+                            deadline = now + (timeout - grace)
+                        if deadline > now:
+                            entry = WheelEntry(slot, deadline)
+                            handles = node.waiters
+                            handles[handles.index(slot)] = entry
+                finally:
+                    self._lock_release()
+                if entry is not None:
+                    _wheel_add(entry)
+                    slot.block()
+                    while entry.why is None:  # stray set; see above
+                        slot.block()
+                    if entry.why == "release":
+                        _wheel_cancel(entry)
+                        # _finish_wake, inlined — as above.
+                        if _obs.enabled:
+                            _obs.on_wake(self, node, level, t_parked)
+                        countdown = node.countdown
+                        countdown.pop()
+                        if not countdown:
+                            if _sp.enabled:
+                                _sp.fire("park.drain", self)
+                            self._draining.pop(id(node), None)
+                        return
+                    # The timer won the claim: provisional verdict only.
+                    if _sp.enabled:
+                        _sp.fire("park.verdict", self)
+                    self._adjudicate_timeout(node, entry, level, timeout, t_parked)
+                    return
+        # Timeout verdict in slot mode: the grace wait expired with the
+        # whole budget spent (timeout < grace), the deadline had already
+        # lapsed at escalation, an instant probe (timeout == 0.0, also
+        # a spin phase that burned the whole budget — the spin
+        # fall-through clamps the remainder to exactly 0.0), or the
+        # release landed during the grace (adjudication sees it and
+        # consumes the pending set).  Never arms the wheel; the verdict
+        # is provisional until adjudicated under the counter lock.
+        if _sp.enabled:
+            _sp.fire("park.verdict", self)
+        self._adjudicate_timeout(node, slot, level, timeout, t_parked)
+
+    def _adjudicate_timeout(
+        self,
+        node: WaitNode,
+        entry,
+        level: int,
+        timeout: float | None,
+        t_parked: float | None = None,
+    ) -> None:
+        """Decide a timeout verdict: genuine timeout or concurrent release.
+
+        ``entry`` is the waiter's registered handle — its raw
+        :class:`ParkingSlot` when the verdict came from a slot-mode
+        grace wait (or instant probe), its :class:`WheelEntry` when the
+        wheel sweeper won the claim.  ``released`` is only ever set
+        inside an increment's critical section, so holding the counter
+        lock gives a definitive answer — either the increment that
+        reaches this level has already run (the check succeeded; no
+        timeout) or it has not (genuine timeout; deregister).  A wakeup
+        can therefore never be lost *and* a satisfying increment can
+        never be reported as a timeout.  Factored out of :meth:`_park`
+        as the deterministic seam the scripted race tests drive (they
+        inject an increment between the timeout verdict and this
+        adjudication).
+        """
         if _sp.enabled:
             _sp.fire("park.adjudicate", self)
         expired_value: int | None = None
@@ -499,6 +688,15 @@ class MonotonicCounter(AbstractCounter):
             if not node.released:
                 node.count -= 1
                 self._live_waiters -= 1
+                try:
+                    # Deregister the handle too (slot or spent entry):
+                    # with the node still unreleased under this lock, no
+                    # release can have set our slot, and after removal
+                    # none ever will — but leaving the handle would grow
+                    # the node's waiter list.
+                    node.waiters.remove(entry)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
                 if (
                     node.count == 0
                     and not node.subscribers
@@ -521,25 +719,36 @@ class MonotonicCounter(AbstractCounter):
                 f"(value={expired_value})"
             )
         # Released concurrently with the expiry: the check succeeded.
-        # After release, node.count is owned by the node lock.
-        with condition:
-            node.count -= 1
-            last = node.count == 0
+        if type(entry) is not WheelEntry:
+            # Slot-mode: no claim stands between us and the release, so
+            # its set is banked (or in flight) on our slot — consume it
+            # so the slot stays armed for the thread's next park.
+            entry.block()
+            while not node.signaled:  # stray set; see _park
+                entry.block()
+        # Wheel-mode needs no consuming: the release lost the entry's
+        # claim, so our slot was never set.
+        self._finish_wake(node, level, t_parked)
+
+    def _finish_wake(self, node: WaitNode, level: int, t_parked: float | None) -> None:
+        """Success-path bookkeeping after a wake (or adjudicated release).
+
+        Lock-free: the countdown list was frozen inside the releasing
+        increment's critical section, every resuming waiter pops exactly
+        one token (``list.pop`` is atomic), and the popper that empties
+        it drops the draining entry (atomic ``dict.pop``; the insert
+        happened inside the same critical section, so it can never be
+        outrun).  The old path's per-node lock handoff and last-leaver
+        ``_drain_lock`` acquisition are both gone.
+        """
         if _obs.enabled:
-            self._note_unpark(node, level, t_parked)
-        if last:
+            _obs.on_wake(self, node, level, t_parked)
+        countdown = node.countdown
+        countdown.pop()
+        if not countdown:
             if _sp.enabled:
                 _sp.fire("park.drain", self)
-            with self._drain_lock:
-                self._draining.pop(id(node), None)
-
-    def _note_unpark(self, node: WaitNode, level: int, t_parked: float | None) -> None:
-        """Emit the unpark event with wait + wakeup latency (obs enabled)."""
-        now = _obs.clock()
-        wait_s = None if t_parked is None else now - t_parked
-        released_ts = node.released_ts
-        wakeup_s = None if released_ts is None else now - released_ts
-        _obs.on_unpark(self, level, wait_s, wakeup_s, token=node.token, ts=now)
+            self._draining.pop(id(node), None)
 
     def subscribe(
         self, level: int, callback: Callable[[], None]
@@ -603,20 +812,20 @@ class MonotonicCounter(AbstractCounter):
         """
         with self._lock:
             with self._drain_lock:
-                # A drained node whose last waiter already decremented but
-                # has not popped it yet is logically deallocated — hide it.
-                # Capture and filter in one pass: the waiter's decrement
-                # happens under the NODE lock, which we do not hold, so a
-                # node that passes an `if node.count` pre-filter could
-                # still be captured at count == 0 a moment later.
-                draining = sorted(
-                    (
-                        snap
-                        for node in self._draining.values()
-                        if (snap := node.snapshot()).count
-                    ),
-                    key=lambda snap: snap.level,
-                )
+                # Materialize the node list inside the drain lock (which
+                # orders us after any in-flight increment's insert), but
+                # NOT the snapshots: resuming waiters pop the draining
+                # dict lock-free, so iteration must run over a detached
+                # list.  A drained node whose last waiter already popped
+                # its countdown token is logically deallocated — hide
+                # it.  Capture and filter in one pass: the countdown
+                # shrinks concurrently, so a node passing an `if` could
+                # still be captured empty a moment later.
+                nodes = list(self._draining.values())
+            draining = sorted(
+                (snap for node in nodes if (snap := node.snapshot()).count),
+                key=lambda snap: snap.level,
+            )
             return CounterSnapshot(
                 value=self._value,
                 nodes=tuple(draining)
@@ -685,7 +894,7 @@ class BroadcastCounter(AbstractCounter):
         "_subs",
         "_stats_on",
         "_fast_path",
-        "_obs_label",
+        "_obs_label", "_obs_chan",
         "stats",
         "__weakref__",
     )

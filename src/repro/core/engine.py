@@ -1,0 +1,462 @@
+"""The unified wakeup engine: parking slots, a timer wheel, one contract.
+
+Before this module existed the repo had three divergent wakeup paths:
+the counter's per-node ``threading.Condition`` release, MultiWait's
+private condition variable, and the asyncio bridge's mirrored-counter
+double park.  Each paid its own machinery per wait — a fresh
+``Condition`` (an allocation plus a lock handoff) per wait node, a
+per-instance condvar per MultiWait, a second counter per bridge.  This
+module replaces all of them with two primitives:
+
+:class:`ParkingSlot`
+    A futex-style reusable binary semaphore, **one per thread**
+    (:func:`current_slot`, thread-local, allocated once).  Parking is
+    ``slot.wait()`` — an acquire of a raw lock the slot keeps *armed*
+    (held) between waits; waking is ``slot.set()`` — a release of that
+    lock.  A set that lands before the wait is never lost (semaphore
+    semantics), which is exactly the property the old protocol bought
+    with the node's private condvar and the ``signaled`` re-test.  A
+    coalesced release becomes "set N slots": no per-level lock is taken
+    on the wakeup path at all.
+
+:class:`TimerWheel`
+    A hashed wheel of absolute deadlines shared by **every** timed wait
+    in the process (``check(timeout=)``, ``MultiWait.wait_*``), swept by
+    a single lazily-spawned daemon thread that parks on its own slot
+    until the earliest deadline and exits after a short idle linger.
+    Each timed wait contributes one :class:`WheelEntry`.
+
+The invariant that makes slot reuse sound is **exactly-one-set-per-
+park**: for every round a thread parks, at most one ``set`` is ever
+delivered to its slot, and the round consumes it.  Untimed waits get
+this for free (only the release pass may set).  Timed waits have two
+potential wakers — the release pass and the sweeper — so the entry
+carries a one-shot **claim** (a raw lock acquired non-blockingly):
+whichever side wins the claim performs the set and records ``why``; the
+loser does nothing.  The waiter branches on ``why`` after waking, and on
+a timer verdict still adjudicates against ``node.released`` under the
+counter lock, so the no-lost-wakeup guarantee is unchanged (see
+``docs/engine.md`` for the full mapping of the two-flag protocol onto
+slots).
+
+Asyncio waiters do not park on slots: the aio side's "slot" is a loop
+future completed via ``loop.call_soon_threadsafe`` (see
+``repro.aio.bridge.CounterBridge.check``), the engine's third leg.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from heapq import heappop, heappush
+from typing import Iterator
+
+__all__ = [
+    "ParkingSlot",
+    "WheelEntry",
+    "TimerWheel",
+    "current_slot",
+    "wheel",
+]
+
+_allocate_lock = threading.Lock
+_clock = time.monotonic
+
+
+class ParkingSlot:
+    """A reusable one-thread parking spot: an *armed* raw lock.
+
+    The lock is held ("armed") whenever the owner is not being woken:
+    ``wait()`` blocks acquiring it and — because a successful acquire
+    leaves the lock held again — re-arms the slot on the way out, so one
+    slot serves every wait its thread ever performs.  ``set()`` releases
+    the lock, unblocking the waiter (or, if it has not called ``wait()``
+    yet, pre-paying the wait: the semaphore shape is what makes a
+    set-before-wait impossible to lose).
+
+    Setting an unarmed slot raises ``RuntimeError`` (release of an
+    unlocked lock) — a double set is a *loud* protocol violation, never
+    a silent lost or spurious wakeup.  The engine's claim discipline
+    guarantees at most one set per park round; the hammer in
+    ``tests/core/test_engine.py`` leans on slots crashing to prove it.
+
+    The mutating operations are *bound C methods*, not Python wrappers:
+
+    ``set()``
+        Wake the parked (or about-to-park) owner; one per park round.
+    ``release_wake()``
+        The same operation under the name the release pass uses —
+        polymorphic with :class:`WheelEntry`, so an untimed waiter can
+        sit directly in ``node.waiters`` and the coalesced wake sweep
+        ("set N slots") pays one C call per waiter, no frame.
+    ``block()``
+        ``wait()`` with no timeout, minus the wrapper frame — the
+        spelling the hot untimed park paths use.
+
+    All three are assigned in ``__init__`` (they are the raw lock's own
+    ``release``/``acquire``), which is why they live in ``__slots__``
+    rather than as ``def``s.
+    """
+
+    __slots__ = ("_lock", "set", "release_wake", "block")
+
+    def __init__(self) -> None:
+        lock = _allocate_lock()
+        lock.acquire()  # born armed
+        self._lock = lock
+        self.set = self.release_wake = lock.release
+        self.block = lock.acquire
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Park until ``set()`` (or ``timeout``); True if set arrived.
+
+        Returning re-arms the slot either way: on a wakeup the acquire
+        itself re-arms; on a timeout the lock was never released.
+        """
+        if timeout is None:
+            self._lock.acquire()
+            return True
+        return self._lock.acquire(True, timeout)
+
+    @property
+    def armed(self) -> bool:
+        """True while no set is pending (diagnostic; racy by nature)."""
+        return self._lock.locked()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ParkingSlot {'armed' if self.armed else 'set-pending'}>"
+
+
+_thread_slots = threading.local()
+
+
+def current_slot() -> ParkingSlot:
+    """The calling thread's parking slot, allocated on first use.
+
+    One slot per thread for the life of the thread — this is the
+    allocation the old per-wait ``Condition`` paid on *every* parked
+    check, performed exactly once here.
+    """
+    try:
+        return _thread_slots.slot
+    except AttributeError:
+        slot = _thread_slots.slot = ParkingSlot()
+        return slot
+
+
+class WheelEntry:
+    """One timed wait: a slot, an absolute deadline, and the claim.
+
+    ``claim(why)`` is the arbitration point between the two possible
+    wakers — the release pass (via :meth:`release_wake`) and the wheel's
+    sweeper (via :meth:`fire_timeout`).  The claim is a one-element
+    token list popped non-blockingly: ``list.pop`` is a single C call
+    that exactly one caller can win (atomic under the GIL, and under the
+    per-object lock on free-threaded builds), so one side records
+    ``why`` (``"release"`` or ``"timeout"``) and delivers the slot's
+    single set.  The loser's wake is dropped *before* touching the slot,
+    which is what keeps the slot's one-set-per-park invariant intact
+    across reuse.  A token list costs a quarter of the raw lock this
+    used as its first shape — and an entry is born and claimed on every
+    single timed park, so the allocation is squarely on the hot path.
+
+    ``why`` is written by the claim winner before the set and read by
+    the waiter after its wait returns; the set's release/acquire pairing
+    orders the two, so the waiter always observes its verdict.
+    """
+
+    __slots__ = ("slot", "deadline", "why", "_token", "_bucket")
+
+    def __init__(self, slot: ParkingSlot, deadline: float) -> None:
+        self.slot = slot
+        self.deadline = deadline
+        self.why: str | None = None
+        self._token = [None]
+        self._bucket: int | None = None
+
+    def claim(self, why: str) -> bool:
+        """Try to become the entry's single waker; True on the win."""
+        try:
+            self._token.pop()
+        except IndexError:
+            return False
+        self.why = why
+        return True
+
+    def release_wake(self) -> None:
+        """Release-pass side: wake the waiter unless the timer beat us.
+
+        The claim is open-coded (here and in :meth:`fire_timeout`)
+        rather than delegated to :meth:`claim`: the release pass calls
+        this once per timed waiter inside the coalesced wake sweep, and
+        the nested frame was measurable there.
+        """
+        try:
+            self._token.pop()
+        except IndexError:
+            return
+        self.why = "release"
+        self.slot.set()
+
+    def fire_timeout(self) -> None:
+        """Sweeper side: deliver the timeout unless a release beat us."""
+        try:
+            self._token.pop()
+        except IndexError:
+            return
+        self.why = "timeout"
+        self.slot.set()
+
+    @property
+    def claimed(self) -> bool:
+        """True once either side has won the claim (diagnostic)."""
+        return not self._token
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<WheelEntry deadline={self.deadline:.6f} why={self.why!r}>"
+
+
+class TimerWheel:
+    """Hashed timer wheel: every timed wait, one deadline structure.
+
+    Entries hash into ``buckets`` by deadline tick (``deadline // span``
+    modulo the bucket count), so ``add`` and ``cancel`` are O(1) under
+    the wheel lock and a sweep touches only the buckets whose tick range
+    has come due (far-future entries colliding into a swept bucket are
+    skipped by their per-entry deadline).  An auxiliary min-heap of raw
+    deadlines tells the sweeper how long to sleep; cancelled deadlines
+    are left in the heap and discarded lazily when they surface (a
+    phantom head costs one spurious sweep, never a missed one).
+
+    The sweeper is a single daemon thread, spawned on the first ``add``
+    and re-spawned on demand after it exits: once the wheel has been
+    empty for ``IDLE_LINGER`` seconds the thread returns rather than
+    sleeping forever, so test processes do not accumulate parked
+    sweepers.  It parks on its own :class:`ParkingSlot`; ``add`` with an
+    earlier-than-known deadline sets that slot (idempotent-notify under
+    the wheel lock) so a long sleep is cut short.
+
+    ``fire_timeout`` on due entries runs *outside* the wheel lock — the
+    sweeper must never hold the lock while delivering sets, or a burst
+    of timeouts would convoy adds behind it.
+    """
+
+    SPAN = 0.002
+    BUCKETS = 128
+    IDLE_LINGER = 0.25
+
+    __slots__ = (
+        "_lock",
+        "_acquire",
+        "_release",
+        "_span",
+        "_inv_span",
+        "_buckets",
+        "_nbuckets",
+        "_count",
+        "_deadlines",
+        "_sweeper",
+        "_sleeping",
+        "_slot",
+        "_last_tick",
+    )
+
+    def __init__(self, span: float = SPAN, buckets: int = BUCKETS) -> None:
+        if span <= 0.0:
+            raise ValueError(f"span must be positive, got {span!r}")
+        if not isinstance(buckets, int) or isinstance(buckets, bool) or buckets < 1:
+            raise ValueError(f"buckets must be a positive int, got {buckets!r}")
+        self._lock = threading.Lock()
+        # add/cancel run once per timed park each; calling the bound
+        # acquire/release directly costs about a quarter of a ``with``
+        # block on the raw lock, so the two hot entry points use these.
+        self._acquire = self._lock.acquire
+        self._release = self._lock.release
+        self._span = span
+        self._inv_span = 1.0 / span
+        self._buckets: list[set[WheelEntry]] = [set() for _ in range(buckets)]
+        self._nbuckets = buckets
+        self._count = 0
+        self._deadlines: list[float] = []
+        self._sweeper: threading.Thread | None = None
+        self._sleeping = False
+        self._slot = ParkingSlot()
+        self._last_tick = int(_clock() / span)
+
+    def add(self, entry: WheelEntry) -> None:
+        """Arm ``entry``; wakes (or spawns) the sweeper as needed."""
+        deadline = entry.deadline
+        index = int(deadline * self._inv_span) % self._nbuckets
+        entry._bucket = index
+        self._acquire()
+        try:
+            self._buckets[index].add(entry)
+            self._count += 1
+            heap = self._deadlines
+            heappush(heap, deadline)
+            if self._sweeper is None:
+                sweeper = threading.Thread(
+                    target=self._sweep, name="repro-timer-wheel", daemon=True
+                )
+                self._sweeper = sweeper
+                sweeper.start()
+            elif self._sleeping and deadline <= heap[0]:
+                # The sweeper may be sleeping toward a later deadline;
+                # cut the sleep short.  Set under the wheel lock so the
+                # sweeper's post-wait bookkeeping (which re-takes the
+                # lock) always finds the set already delivered.
+                self._sleeping = False
+                self._slot.set()
+        finally:
+            self._release()
+
+    def cancel(self, entry: WheelEntry) -> None:
+        """Disarm ``entry`` (release won); idempotent, O(1).
+
+        The heap keeps the stale deadline — discarded lazily by the
+        sweeper — but the *entry* is gone: after ``cancel`` returns, no
+        sweep can ever observe it, so a satisfied wait leaves no armed
+        deadline behind.
+        """
+        index = entry._bucket
+        if index is None:
+            return
+        entry._bucket = None
+        self._acquire()
+        try:
+            bucket = self._buckets[index]
+            if entry in bucket:
+                bucket.discard(entry)
+                self._count -= 1
+        finally:
+            self._release()
+
+    def armed_count(self) -> int:
+        """Entries currently armed (for tests and introspection)."""
+        with self._lock:
+            return self._count
+
+    def entries(self) -> Iterator[WheelEntry]:
+        """Snapshot of the armed entries (introspection only)."""
+        with self._lock:
+            snapshot = [entry for bucket in self._buckets for entry in bucket]
+        return iter(snapshot)
+
+    @property
+    def sweeping(self) -> bool:
+        """True while a sweeper thread is alive (diagnostic)."""
+        return self._sweeper is not None
+
+    # ----------------------------------------------------------- sweeper
+
+    def _take_due(self, now: float) -> list[WheelEntry] | None:
+        """Remove and return entries due at ``now`` (wheel lock held).
+
+        Walks the tick range since the previous sweep — at most one full
+        lap — and pulls due entries from exactly those buckets.  Entries
+        sharing a bucket with a later tick (hash collisions) stay put.
+        """
+        span = self._span
+        now_tick = int(now / span)
+        last_tick = self._last_tick
+        self._last_tick = now_tick
+        if not self._count:
+            return None
+        # Scan [last_tick, now_tick] inclusive: the current tick's bucket
+        # is re-scanned every sweep so a sub-span timeout (deadline in
+        # the tick it was added in) fires promptly instead of waiting a
+        # full wheel lap.  Per-entry deadline checks make re-scans safe.
+        ticks = now_tick - last_tick
+        nbuckets = self._nbuckets
+        if ticks + 1 >= nbuckets:
+            indices = range(nbuckets)
+        else:
+            indices = ((last_tick + i) % nbuckets for i in range(ticks + 1))
+        due: list[WheelEntry] | None = None
+        for index in indices:
+            bucket = self._buckets[index]
+            if not bucket:
+                continue
+            expired = [entry for entry in bucket if entry.deadline <= now]
+            if expired:
+                bucket.difference_update(expired)
+                self._count -= len(expired)
+                if due is None:
+                    due = expired
+                else:
+                    due.extend(expired)
+        return due
+
+    def _next_deadline(self, now: float) -> float | None:
+        """Earliest plausible deadline > now, or None when empty.
+
+        Pops heap heads that have already passed: after ``_take_due``
+        every live entry due by ``now`` is gone, so a stale head is a
+        cancelled or already-fired deadline.
+        """
+        heap = self._deadlines
+        while heap and heap[0] <= now:
+            heappop(heap)
+        if not self._count:
+            # All remaining heap entries are cancellation ghosts; drop
+            # them so an idle wheel holds no memory.
+            heap.clear()
+            return None
+        return heap[0] if heap else now + self._span
+
+    def _sweep(self) -> None:
+        lock, slot = self._lock, self._slot
+        idle_deadline: float | None = None
+        while True:
+            with lock:
+                now = _clock()
+                due = self._take_due(now)
+                if due:
+                    timeout = None
+                else:
+                    next_deadline = self._next_deadline(now)
+                    if next_deadline is None:
+                        if idle_deadline is None:
+                            idle_deadline = now + self.IDLE_LINGER
+                        elif now >= idle_deadline:
+                            # Idle long enough: exit; the next add()
+                            # spawns a fresh sweeper.
+                            self._sweeper = None
+                            return
+                        timeout = idle_deadline - now
+                    else:
+                        idle_deadline = None
+                        timeout = max(next_deadline - now, 0.0)
+                    self._sleeping = True
+            if due:
+                idle_deadline = None
+                # Outside the wheel lock: each fire is a claim attempt
+                # plus (on the win) one slot set; losers were released
+                # concurrently and their cancel already ran or will
+                # no-op.
+                for entry in due:
+                    entry.fire_timeout()
+                continue
+            woke = slot.wait(timeout)
+            with lock:
+                if self._sleeping:
+                    self._sleeping = False
+                elif not woke:
+                    # An add() flipped the flag and delivered a set
+                    # while our own timeout was landing; the set
+                    # happened under the wheel lock, so it is already
+                    # here — consume it to re-arm the slot.
+                    slot.wait()
+            if woke:
+                idle_deadline = None
+
+
+#: The process-wide wheel every timed wait arms by default.  Tests can
+#: build private wheels; production code shares this one so there is a
+#: single sweeper no matter how many counters exist.
+_WHEEL = TimerWheel()
+
+
+def wheel() -> TimerWheel:
+    """The shared process-wide :class:`TimerWheel`."""
+    return _WHEEL

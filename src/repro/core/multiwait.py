@@ -13,18 +13,21 @@ Two strategies implement that reasoning:
   unsatisfied conditions parks and wakes up to k times.
 * :class:`MultiWait` — the subscription strategy: register one callback
   per counter (riding the same per-level wait nodes ``check`` uses —
-  storage stays O(distinct levels)), then park **once** on a private
-  condition variable until all (or any) of the conditions have fired.
-  Wakeups come from the incrementing threads' coalesced release passes;
-  the waiter never touches any counter's lock after registration.
+  storage stays O(distinct levels)), then park **once** on the calling
+  thread's engine slot (:mod:`repro.core.engine`) until all (or any) of
+  the conditions have fired.  Wakeups come from the incrementing
+  threads' coalesced release passes; the waiter never touches any
+  counter's lock after registration, and only the *one* callback that
+  completes the wait delivers a wakeup (earlier satisfactions just
+  land in the set — no spurious wake per condition).
 
 :func:`check_all` always uses the sequential strategy.  That is a
 measured choice, not an oversight: stability means the *other*
 conditions keep getting satisfied while the thread is parked on the
 first unsatisfied one, so in practice a sequential conjunction parks
 about once and then fast-paths through the rest — while a
-:class:`MultiWait` pays N subscriptions, a condition variable, and a
-close per join (~3x slower on the join-throughput benchmark,
+:class:`MultiWait` pays N subscriptions, an engine park, and a
+close per join (slower on the join-throughput benchmark,
 ``repro.bench.counter_ops`` series ``multiwait_join``).  Reach for
 :class:`MultiWait` when you need ``wait_any``, a reusable registration
 amortized over many waits, or a hard bound on parks (the sequential
@@ -52,22 +55,39 @@ from typing import Iterable, Sequence
 
 from repro.core import syncpoints as _sp
 from repro.core.api import CounterProtocol
+from repro.core.engine import WheelEntry, current_slot, wheel as _shared_wheel
 from repro.core.errors import CheckTimeout
 from repro.core.validation import validate_level, validate_timeout
 from repro.obs import hooks as _obs
 from repro.obs.events import next_token as _next_token
+
+_WHEEL = _shared_wheel()
 
 __all__ = ["MultiWait", "check_all", "Condition", "barrier_levels", "checkpoint"]
 
 Condition = tuple[CounterProtocol, int]
 
 
+# Types that have passed the CounterProtocol structural check.  A
+# runtime-checkable Protocol isinstance walks the protocol's attributes
+# through typing machinery on EVERY call — measured at more than half of
+# a MultiWait construction on the join benchmark.  Conformance is a
+# property of the class (its methods), so one verdict per type is
+# cached here; the set only ever grows and holds a handful of counter
+# classes for the life of the process.
+_conforming_types: set[type] = set()
+
+
 def _validated(conditions: Iterable[Condition]) -> list[Condition]:
     pairs = list(conditions)
+    conforming = _conforming_types
     for counter, level in pairs:
-        validate_level(level)
-        if not isinstance(counter, CounterProtocol):
-            raise TypeError(f"expected a counter-like object, got {counter!r}")
+        if type(level) is not int or level < 0:
+            validate_level(level)
+        if type(counter) not in conforming:
+            if not isinstance(counter, CounterProtocol):
+                raise TypeError(f"expected a counter-like object, got {counter!r}")
+            conforming.add(type(counter))
     return pairs
 
 
@@ -76,9 +96,10 @@ class MultiWait:
 
     Registration happens in the constructor: each ``(counter, level)``
     gets one subscription (already-satisfied conditions are recorded
-    immediately).  The waiting thread then parks on this object's own
-    condition variable; incrementing threads deliver satisfactions
-    through the subscription callbacks, outside every counter lock.
+    immediately).  The waiting thread then parks on its per-thread
+    engine slot; incrementing threads deliver satisfactions through the
+    subscription callbacks, outside every counter lock, and the one
+    callback that completes a waiter's predicate sets its slot.
 
     Conditions are indexed by their position in the constructor
     argument.  Satisfaction is stable and cumulative: indices are only
@@ -95,8 +116,8 @@ class MultiWait:
     ...     mw.wait_all()
     """
 
-    __slots__ = ("_cond", "_pairs", "_satisfied", "_subs", "_closed", "_token",
-                 "_obs_label")
+    __slots__ = ("_lock", "_pairs", "_satisfied", "_subs", "_waiters",
+                 "_closed", "_token", "_obs_label", "_obs_chan")
 
     def __init__(self, conditions: Iterable[Condition]) -> None:
         pairs = _validated(conditions)
@@ -106,10 +127,14 @@ class MultiWait:
                     f"{counter!r} does not support subscribe(); "
                     "use check_all() for subscription-free counters"
                 )
-        self._cond = threading.Condition()
+        self._lock = threading.Lock()
         self._pairs: Sequence[Condition] = pairs
         self._satisfied: set[int] = set()
         self._subs: list = []
+        # Parked waiters as (need, target) records: the wait completes
+        # once `len(satisfied) >= need` (all = N, any = 1); target is
+        # the waiter's engine handle (slot, or wheel entry when timed).
+        self._waiters: list = []
         self._closed = False
         # Schema-v2 correlation id shared by this instance's mw_* events.
         self._token = _next_token()
@@ -118,19 +143,31 @@ class MultiWait:
         for index, (counter, level) in enumerate(pairs):
             subscription = counter.subscribe(level, self._make_callback(index))
             if subscription is None:
-                with self._cond:
+                with self._lock:
                     self._satisfied.add(index)
             else:
                 self._subs.append(subscription)
 
     def _make_callback(self, index: int):
         def fire() -> None:
-            cond = self._cond
             if _sp.enabled:
                 _sp.fire("multiwait.fire", self)
-            with cond:
+            ready = None
+            with self._lock:
                 self._satisfied.add(index)
-                cond.notify_all()
+                n = len(self._satisfied)
+                if self._waiters:
+                    ready = [record for record in self._waiters if record[0] <= n]
+                    if ready:
+                        self._waiters = [r for r in self._waiters if r[0] > n]
+            if ready:
+                # Wakeups outside the lock, exactly one per completed
+                # waiter: the record was removed above, so no other
+                # callback can reach this target again.  (For a timed
+                # target the entry's claim additionally arbitrates
+                # against a concurrent timer fire.)
+                for _, target in ready:
+                    target.release_wake()
 
         return fire
 
@@ -140,7 +177,7 @@ class MultiWait:
     @property
     def satisfied(self) -> frozenset[int]:
         """Indices of the conditions known satisfied so far."""
-        with self._cond:
+        with self._lock:
             return frozenset(self._satisfied)
 
     def wait_all(self, timeout: float | None = None) -> None:
@@ -151,7 +188,7 @@ class MultiWait:
         makes a late return impossible to invalidate: conditions cannot
         unsatisfy while waiting.
         """
-        self._wait(lambda: len(self._satisfied) == len(self._pairs), timeout, "all")
+        self._wait(len(self._pairs), timeout, "all")
 
     def wait_any(self, timeout: float | None = None) -> frozenset[int]:
         """Park until at least one condition is satisfied; return the
@@ -163,13 +200,13 @@ class MultiWait:
         at least observe every satisfaction delivered so far, not an
         arbitrary single winner.
         """
-        self._wait(lambda: bool(self._satisfied), timeout, "any")
-        with self._cond:
+        self._wait(1, timeout, "any")
+        with self._lock:
             return frozenset(self._satisfied)
 
-    def _wait(self, done, timeout: float | None, mode: str) -> None:
-        timeout = validate_timeout(timeout)
-        cond = self._cond
+    def _wait(self, need: int, timeout: float | None, mode: str) -> None:
+        if timeout is not None:
+            timeout = validate_timeout(timeout)
         if _sp.enabled:
             _sp.fire("multiwait.park", self)
         t_parked: float | None = None
@@ -178,24 +215,68 @@ class MultiWait:
             _obs.on_mw_park(self, len(self._pairs), len(self._satisfied),
                             token=self._token)
             t_parked = _obs.clock()
-        expired_satisfied: int | None = None
-        with cond:
+        slot = current_slot()
+        entry: WheelEntry | None = None
+        deadline = 0.0
+        with self._lock:
             if self._closed:
                 raise RuntimeError("MultiWait is closed")
+            if len(self._satisfied) >= need:
+                if _obs.enabled:
+                    self._note_wake(t_parked)
+                return
             if timeout is None:
-                while not done():
-                    cond.wait()
+                target = slot
             else:
                 deadline = time.monotonic() + timeout
-                while not done():
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0 or not cond.wait(remaining):
-                        if done():
-                            break
-                        expired_satisfied = len(self._satisfied)
-                        break
+                target = entry = WheelEntry(slot, deadline)
+            # Registered under the lock: from here on exactly one
+            # callback (the one whose satisfaction meets `need`) owns
+            # the record and will deliver the wakeup.
+            self._waiters.append((need, target))
+        if entry is None:
+            slot.block()
+            # Defensive re-check against a stray set (the satisfied set
+            # only grows, so a racy length read can never err the wrong
+            # way).  The genuine wakeup always passes: the callback
+            # updates the set before setting the slot.
+            while len(self._satisfied) < need:
+                slot.block()
+        else:
+            if timeout == 0.0:
+                # Instant probe: never arms the wheel (see counter._park).
+                if not entry.claim("timeout"):
+                    slot.block()
+            else:
+                _WHEEL.add(entry)
+                slot.block()
+                while entry.why is None:  # stray set; see above
+                    slot.block()
+            if entry.why == "timeout":
+                self._adjudicate_timeout(need, entry, timeout, mode)
+                # Fell through: satisfied concurrently — success.
+            else:
+                _WHEEL.cancel(entry)
+        if _obs.enabled:
+            self._note_wake(t_parked)
+
+    def _adjudicate_timeout(
+        self, need: int, entry: WheelEntry, timeout: float | None, mode: str
+    ) -> None:
+        """Decide a timer verdict: genuine timeout or concurrent fire.
+
+        The callback that completes a waiter removes its record and
+        updates the satisfied set under the same lock, so holding it
+        gives a definitive answer.  On a genuine timeout the record is
+        removed here, guaranteeing no callback can set the slot later.
+        """
+        expired_satisfied: int | None = None
+        with self._lock:
+            if len(self._satisfied) < need:
+                self._waiters.remove((need, entry))
+                expired_satisfied = len(self._satisfied)
         if expired_satisfied is not None:
-            # Emission and raise both outside the condition's lock.
+            # Emission and raise both outside the lock.
             if _obs.enabled:
                 _obs.on_mw_timeout(self, len(self._pairs), expired_satisfied,
                                    token=self._token)
@@ -203,9 +284,12 @@ class MultiWait:
                 f"MultiWait.wait_{mode}: timed out after {timeout}s "
                 f"({expired_satisfied}/{len(self._pairs)} satisfied)"
             )
-        if _obs.enabled:
-            wait_s = None if t_parked is None else _obs.clock() - t_parked
-            _obs.on_mw_wake(self, len(self._satisfied), wait_s, token=self._token)
+        # Satisfied concurrently with the expiry: the callback removed
+        # our record but lost the claim, so no pending set to consume.
+
+    def _note_wake(self, t_parked: float | None) -> None:
+        wait_s = None if t_parked is None else _obs.clock() - t_parked
+        _obs.on_mw_wake(self, len(self._satisfied), wait_s, token=self._token)
 
     def close(self) -> None:
         """Cancel unfired subscriptions and mark the object unusable.
@@ -216,7 +300,7 @@ class MultiWait:
         """
         if _sp.enabled:
             _sp.fire("multiwait.close", self)
-        with self._cond:
+        with self._lock:
             if self._closed:
                 return
             self._closed = True

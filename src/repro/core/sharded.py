@@ -174,7 +174,7 @@ class ShardedCounter(AbstractCounter):
         "_checkers_lock",
         "_local",
         "_name",
-        "_obs_label",
+        "_obs_label", "_obs_chan",
         "__weakref__",
     )
 

@@ -51,20 +51,20 @@ POINTS = frozenset(
         # MonotonicCounter.increment
         "increment.lock",      # before acquiring the counter lock
         "increment.release",   # inside the lock, before marking nodes released
-        "increment.drain",     # inside the lock, before the _drain_lock insert
+        "increment.drain",     # inside the lock, before the _draining insert
         "increment.unlock",    # after the critical section, before the signal pass
         "increment.signal",    # before each node.signal() of the coalesced pass
         # MonotonicCounter.check / _park
         "check.lock",          # slow path, before acquiring the counter lock
-        "park.enter",          # registered, before parking on the node condition
-        "park.verdict",        # under the node lock, after a condvar timeout verdict
+        "park.enter",          # registered, before parking on the engine slot
+        "park.verdict",        # no lock held, after the timer wheel won the claim
         "park.adjudicate",     # timeout path, before acquiring the counter lock
-        "park.drain",          # last leaver, before the _drain_lock pop
+        "park.drain",          # last leaver, before the _draining pop
         # MonotonicCounter.subscribe / CounterSubscription.cancel
         "subscribe.lock",      # before acquiring the counter lock to register
         "subscribe.cancel",    # before acquiring the counter lock to deregister
         # WaitNode.signal (fired with the node, not the counter)
-        "node.signal",         # before acquiring the node's private lock
+        "node.signal",         # before publishing signaled + the slot sets
         "node.subscribers",    # outside both locks, before firing callbacks
         # ShardedCounter
         "shard.lock",          # increment, before acquiring the shard lock
@@ -79,9 +79,9 @@ POINTS = frozenset(
 )
 
 #: Points after which the firing thread is expected to block in a real
-#: primitive (a condition-variable wait).  Schedulers treat a thread
-#: granted through one of these as immediately off-schedule instead of
-#: waiting out a stall timeout.
+#: primitive (a parking-slot wait).  Schedulers treat a thread granted
+#: through one of these as immediately off-schedule instead of waiting
+#: out a stall timeout.
 BLOCKING_POINTS = frozenset({"park.enter", "multiwait.park"})
 
 

@@ -15,35 +15,43 @@ implements that data structure twice:
   matters.
 
 Both structures assume the **caller holds the counter's lock** for every
-call; they contain no locking of their own.  Each node, however, owns a
-**private** condition variable (its own lock, *not* the counter lock):
-waiting threads park on their level's private queue, and a release only
-has to take that level's small lock — never the counter lock — to wake
-everyone at the level.  That split is what lets ``increment`` hand a
-whole batch of satisfied levels their wakeups *outside* the counter
-lock, so woken threads resume without re-convoying through it (see the
-no-lost-wakeup argument in ``docs/api.md``).
+call; they contain no locking of their own.  Waiters park on the unified
+wakeup engine's per-thread :class:`~repro.core.engine.ParkingSlot`\\ s:
+each node carries the list of slots (or, for timed waits that have
+outlived their grace phase and escalated onto the timer wheel,
+claim-guarded :class:`~repro.core.engine.WheelEntry` handles) of the
+threads suspended
+at its level, and a release wakes the whole level by setting each slot —
+no per-level lock, no lock handoff, outside the counter lock.  That
+split is what lets ``increment`` hand a whole batch of satisfied levels
+their wakeups *outside* the counter lock, so woken threads resume
+without re-convoying through it (see the no-lost-wakeup argument in
+``docs/api.md`` and the slot mapping in ``docs/engine.md``).
 
 :class:`WaitPolicy` tunes the suspend side: a ``check`` that misses the
 fast path may first *spin* on the monotone value (bounded, lock-free,
-sound by stability) before paying for the condvar park.  The spin budget
+sound by stability) before paying for the slot park.  The spin budget
 adapts per counter: satisfied-while-spinning grows it, a futile spin
 shrinks it.  Whether spinning is worth anything depends on the runtime:
-on free-threaded builds the incrementer runs in parallel with the
-spinner, so short handoffs complete without a park; under the GIL the
-value *cannot* advance while the spinner holds the interpreter, and a
-parked thread is woken far sooner (the condvar signal forces the
-handoff) than a spinner regains a satisfied read — measured at several
-times slower on the ping-pong benchmark.  The default policy therefore
-keys on the build: :data:`PARK_ONLY` when the GIL is enabled,
-:data:`SPIN_THEN_PARK` when it is not.
+on free-threaded multi-CPU hosts the incrementer runs in parallel with
+the spinner, so short handoffs complete without a park; under the GIL —
+or on a single-CPU host, whatever the build — the value *cannot*
+advance while the spinner runs, and a parked thread is woken far sooner
+(the slot set forces the handoff) than a spinner regains a satisfied
+read — measured at ~5x slower on the ping-pong benchmark.  The default
+policy keys on the build (:data:`PARK_ONLY` when the GIL is enabled,
+:data:`SPIN_THEN_PARK` when it is not), and :data:`SPIN_THEN_PARK`
+additionally carries ``park_on_serial_hosts=True`` so a counter
+constructed with it on a serial host (GIL build or ``os.cpu_count() <=
+1``) zeroes its effective spin budget instead of pessimizing every
+handoff.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import sys
-import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator, Protocol
 
@@ -56,6 +64,7 @@ __all__ = [
     "DEFAULT_WAIT_POLICY",
     "PARK_ONLY",
     "SPIN_THEN_PARK",
+    "SERIAL_HOST",
     "WaitNode",
     "WaitList",
     "LinkedWaitList",
@@ -91,6 +100,17 @@ class WaitPolicy:
         yields — only safe on free-threaded builds).
     adaptive:
         ``False`` pins the budget at ``spin`` forever.
+    park_on_serial_hosts:
+        ``True`` lets a counter zero its *effective* spin budget when
+        the host cannot run the incrementer concurrently with the
+        spinner (GIL-enabled build, or a single-CPU machine even
+        free-threaded).  On such hosts every spin iteration only delays
+        the thread that would satisfy it — measured at ~5x slower on
+        the 1-CPU ping-pong bench — so :data:`SPIN_THEN_PARK` sets this
+        flag and degrades gracefully instead of pessimizing.  The
+        policy's declared ``spin`` values are untouched (this is a
+        per-counter effective-budget decision, so explicitly-tuned
+        custom policies keep exactly what they asked for).
     """
 
     spin: int = 96
@@ -98,6 +118,7 @@ class WaitPolicy:
     spin_max: int = 1024
     yield_every: int = 8
     adaptive: bool = True
+    park_on_serial_hosts: bool = False
 
     def __post_init__(self) -> None:
         for field_name in ("spin", "spin_min", "spin_max", "yield_every"):
@@ -116,11 +137,11 @@ class WaitPolicy:
 
 
 #: The adaptive spin-then-park policy.  Worth it only when the
-#: incrementer can actually run while the checker spins — i.e. on
-#: free-threaded builds.
-SPIN_THEN_PARK = WaitPolicy()
+#: incrementer can actually run while the checker spins, so it opts in
+#: to the serial-host park-only degradation (see ``park_on_serial_hosts``).
+SPIN_THEN_PARK = WaitPolicy(park_on_serial_hosts=True)
 
-#: Never spin: park on the condition variable immediately.
+#: Never spin: park on the engine slot immediately.
 PARK_ONLY = WaitPolicy(spin=0, spin_min=0, spin_max=0)
 
 
@@ -128,6 +149,14 @@ def _gil_enabled() -> bool:
     # Python 3.13+ free-threaded builds expose sys._is_gil_enabled();
     # its absence means a GIL build.
     return bool(getattr(sys, "_is_gil_enabled", lambda: True)())
+
+
+#: True when the incrementer cannot make progress while a checker spins:
+#: a GIL-enabled build (one thread holds the interpreter), or a host
+#: with a single CPU (nowhere for the incrementer to run) even
+#: free-threaded.  Computed once at import; counters consult it when
+#: their policy carries ``park_on_serial_hosts=True``.
+SERIAL_HOST = _gil_enabled() or (os.cpu_count() or 1) <= 1
 
 
 #: Build-dependent default.  Under the GIL a spinner holds the
@@ -142,31 +171,48 @@ class WaitNode:
 
     ``level``       the counter value the waiters need,
     ``count``       number of threads currently waiting at that level,
-    ``condition``   the per-level suspension queue (private lock),
+    ``waiters``     the per-waiter engine handles parked at the level —
+                    a :class:`~repro.core.engine.ParkingSlot` per waiter,
+                    swapped (under the counter lock) for a
+                    :class:`~repro.core.engine.WheelEntry` once a timed
+                    wait escalates past its grace phase onto the timer
+                    wheel (both expose ``release_wake()``),
     ``next``        the link used by :class:`LinkedWaitList`.
 
-    Two flags track a release, which is split across the two locks:
+    Two flags track a release, split across the protocol's two sides:
 
     ``released`` is set **under the counter lock** when an increment
     unlinks the node from the wait list; it is what the timeout path
     (which holds the counter lock) consults to distinguish "my wait
     genuinely expired" from "I was released concurrently".
-    ``signaled`` — the paper's *set* flag — is set **under the node's own
-    lock** by :meth:`signal`, outside the counter lock; it is what parked
-    threads re-test, so a wakeup can never be lost to the handoff window
-    between the two locks.
+    ``signaled`` — the paper's *set* flag — is set by :meth:`signal`,
+    outside the counter lock, immediately before the slot wake sweep.
+    Under the engine the slot set itself is what a parked thread
+    synchronizes on (a set-before-wait is never lost by semaphore
+    semantics, so the old condvar re-test window does not exist);
+    ``signaled`` remains the observable set flag for snapshots,
+    introspection, and the stray-set re-check loop.
+
+    ``waiters`` is mutated only under the counter lock and only while
+    the node is unreleased (registration appends, timeout adjudication
+    removes); once ``released`` is set no waiter can register or
+    deregister, so the signal pass iterates it without a lock.
+    ``countdown`` is the drain bookkeeping: a copy of ``waiters`` frozen
+    inside the releasing increment's critical section, from which each
+    resuming waiter atomically pops one token — the waiter that empties
+    it drops the node from the counter's draining set (the paper's
+    deallocation point) with no lock at all.
 
     ``subscribers`` holds callbacks registered by
     :class:`repro.core.multiwait.MultiWait`; they fire exactly once, from
-    :meth:`signal`, after the node's own waiters have been notified.
-    The last woken thread deallocates the node (here: the wait list and
-    the counter's draining set simply drop their references).
+    :meth:`signal`, after the node's own waiters have been woken.
     """
 
     __slots__ = (
         "level",
         "count",
-        "condition",
+        "waiters",
+        "countdown",
         "signaled",
         "released",
         "released_ts",
@@ -178,7 +224,8 @@ class WaitNode:
     def __init__(self, level: int) -> None:
         self.level = level
         self.count = 0
-        self.condition = threading.Condition()
+        self.waiters: list = []
+        self.countdown: list | None = None
         self.signaled = False
         self.released = False
         # Stamped by the observability layer's release hook (between the
@@ -187,10 +234,12 @@ class WaitNode:
         # observability is off.
         self.released_ts: float | None = None
         # Schema-v2 correlation id: the node's release event and every
-        # park/unpark/timeout/sub_fire on it carry this token.  Allocated
-        # unconditionally — node construction is the park slow path
-        # (a Condition allocation dwarfs one C-level count() call), never
-        # a lock-free fast path.
+        # park/unpark/timeout/sub_fire on it carry this token.  (The
+        # engine's parking slots are anonymous by design — the causal
+        # layer correlates release->unpark through the *node*, which
+        # both sides share.)  Allocated unconditionally — node
+        # construction is the park slow path, never a lock-free fast
+        # path.
         self.token = _next_token()
         self.subscribers: list[Callable[[], None]] | None = None
         self.next: WaitNode | None = None
@@ -198,18 +247,18 @@ class WaitNode:
     def signal(self) -> None:
         """Mark the node set, wake its waiters, fire its subscribers.
 
-        Called *without* the counter lock (the coalesced release pass):
-        only the node's private lock is taken, so woken threads resume
-        without contending on the counter.  Subscriber callbacks run in
-        the incrementing thread, after the notify, outside both locks —
-        they must be quick and must not raise.
+        Called *without* the counter lock (the coalesced release pass).
+        The wake sweep is "set N slots": one ``release_wake()`` per
+        waiter, each a claim check (timed waits) plus a raw lock release
+        — no per-level lock, no condvar handoff.  Subscriber callbacks
+        run in the incrementing thread, after the wakes, outside every
+        lock — they must be quick and must not raise.
         """
-        condition = self.condition
         if _sp.enabled:
             _sp.fire("node.signal", self)
-        with condition:
-            self.signaled = True
-            condition.notify_all()
+        self.signaled = True
+        for waiter in self.waiters:
+            waiter.release_wake()
         subscribers = self.subscribers
         if subscribers:
             if _sp.enabled:
@@ -227,8 +276,13 @@ class WaitNode:
         # the release's linearization point, whereas ``signaled`` trails
         # it (set by the out-of-lock signal pass) and may still be False
         # for a node that is already drained.  ``signaled`` is never set
-        # without ``released``, so this loses nothing.
-        return WaitNodeSnapshot(level=self.level, count=self.count, signaled=self.released)
+        # without ``released``, so this loses nothing.  For a released
+        # node the live waiter count is the countdown's length (waiters
+        # pop as they resume); before release it is ``count``, which the
+        # counter lock protects.
+        countdown = self.countdown
+        remaining = len(countdown) if countdown is not None else self.count
+        return WaitNodeSnapshot(level=self.level, count=remaining, signaled=self.released)
 
 
 class WaitList(Protocol):
@@ -260,22 +314,40 @@ class LinkedWaitList:
     The list is kept sorted ascending by level and never contains a level
     less than or equal to the counter value (the counter maintains that
     invariant by calling :meth:`release_through` inside every increment).
+
+    ``find_or_insert`` keeps a *start hint* — the node the previous call
+    returned.  Registrations arriving in ascending level order (the
+    common shape: a cohort of threads fanning in over a ladder of
+    levels) resume the walk from the hint instead of the head, making
+    the run amortized O(1) while arbitrary orders stay plain O(L).  The
+    hint is dropped whenever the node it names leaves the list
+    (released by an increment or discarded by timeout cleanup): walking
+    from an unlinked node would splice new waiters into a dead suffix
+    and lose them.
     """
 
-    __slots__ = ("_head", "_size")
+    __slots__ = ("_head", "_size", "_hint")
 
     def __init__(self) -> None:
         self._head: WaitNode | None = None
         # Node count, maintained incrementally so ``len()`` is O(1) —
         # ``reset()`` and the stats hot path call it on every operation.
         self._size = 0
+        self._hint: WaitNode | None = None
 
     def find_or_insert(self, level: int) -> WaitNode:
         prev: WaitNode | None = None
-        node = self._head
+        hint = self._hint
+        if hint is not None and hint.level <= level:
+            if hint.level == level:
+                return hint
+            prev, node = hint, hint.next
+        else:
+            node = self._head
         while node is not None and node.level < level:
             prev, node = node, node.next
         if node is not None and node.level == level:
+            self._hint = node
             return node
         fresh = WaitNode(level)
         fresh.next = node
@@ -284,6 +356,7 @@ class LinkedWaitList:
         else:
             prev.next = fresh
         self._size += 1
+        self._hint = fresh
         return fresh
 
     def release_through(self, value: int) -> list[WaitNode]:
@@ -293,6 +366,9 @@ class LinkedWaitList:
             released.append(node)
             node = node.next
         if released:
+            hint = self._hint
+            if hint is not None and hint.level <= value:
+                self._hint = None
             self._head = node
             released[-1].next = None
             self._size -= len(released)
@@ -307,6 +383,8 @@ class LinkedWaitList:
             prev, cur = cur, cur.next
         if cur is None:
             return False  # already released by an increment
+        if self._hint is cur:
+            self._hint = None
         if prev is None:
             self._head = cur.next
         else:

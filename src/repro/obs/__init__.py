@@ -121,10 +121,15 @@ def enable(
                          "call disable() instead")
     global _handle
     with _state_lock:
+        if _handle is not None and _handle.trace is not None:
+            _handle.trace.seal()  # the old ring stops tracking the seq counter
         trace_buf = TraceBuffer(capacity=capacity, sink=sink) if trace else None
         registry = MetricsRegistry(max_series=max_series) if metrics else None
         _hooks._trace = trace_buf
         _hooks._metrics = registry
+        _hooks._emit = None if trace_buf is None else trace_buf.emitter()
+        # New configuration boundary: invalidate every cached _obs_chan.
+        _hooks._gen += 1
         _hooks.enabled = True
         _handle = ObsHandle(trace_buf, registry)
         return _handle
@@ -142,7 +147,11 @@ def disable() -> ObsHandle | None:
         _hooks.enabled = False
         _hooks._trace = None
         _hooks._metrics = None
+        _hooks._emit = None
+        _hooks._gen += 1
         handle, _handle = _handle, None
+        if handle is not None and handle.trace is not None:
+            handle.trace.seal()  # freeze `emitted` now that emission stopped
         return handle
 
 

@@ -18,6 +18,19 @@ history the ring no longer holds.  Appends rely on ``deque.append``
 being atomic under the GIL (and internally locked on free-threaded
 builds); the tallies around it are racy by design — observability must
 never add a lock to the paths it observes.
+
+Internally the ring stores *payload tuples* in :class:`Event` field
+order, not ``Event`` instances: the hot emit path (what
+:meth:`TraceBuffer.emitter` hands the hooks — with no sink installed,
+the deque's bound C ``append`` itself) lands the raw 13-tuple and the
+``Event`` objects are materialized lazily by
+:meth:`TraceBuffer.snapshot` — readers pay the namedtuple wrap once per
+read instead of every park/unpark paying it per emit, and the per-event
+lifetime tally is recovered from the seq counter's watermark instead of
+being paid per emit (see :meth:`TraceBuffer.emitted`).  ``append``
+still takes a full ``Event`` (an ``Event`` is itself a valid payload,
+so the two populations coexist in the ring), and a sink always receives
+constructed ``Event`` objects.
 """
 
 from __future__ import annotations
@@ -25,6 +38,8 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from typing import Callable, Iterator, NamedTuple
+
+_tuple_new = tuple.__new__
 
 __all__ = ["Event", "TraceBuffer", "KINDS", "next_seq", "next_token"]
 
@@ -35,7 +50,20 @@ __all__ = ["Event", "TraceBuffer", "KINDS", "next_seq", "next_token"]
 #: emission) so *causal* order — increment before its releases before the
 #: unparks they cause — is preserved even when the ring's physical append
 #: order interleaves.  Consumers should sort by ``seq``, not buffer order.
-next_seq = itertools.count(1).__next__
+_seq_counter = itertools.count(1)
+next_seq = _seq_counter.__next__
+
+
+def seq_watermark() -> int:
+    """The seq :data:`next_seq` would hand out next, without consuming it.
+
+    ``itertools.count`` exposes its current position through its pickle
+    protocol (``count(n).__reduce__() == (count, (n,))``), which lets the
+    trace ring account for hook-emitted events by *differencing
+    watermarks* instead of paying a per-event tally on the hot emit path
+    — see :meth:`TraceBuffer.emitted`.
+    """
+    return _seq_counter.__reduce__()[1][0]
 
 #: Correlation-token space for wait nodes (schema v2): one token per
 #: ``WaitNode`` / asyncio ``_Level`` / ``MultiWait``, allocated at
@@ -152,7 +180,8 @@ class TraceBuffer:
     path.
     """
 
-    __slots__ = ("_events", "_sink", "capacity", "emitted", "sink_errors")
+    __slots__ = ("_events", "_sink", "capacity", "_appended", "_seq_base",
+                 "_seq_final", "sink_errors")
 
     def __init__(
         self,
@@ -166,13 +195,17 @@ class TraceBuffer:
         self._events: deque[Event] = deque(maxlen=capacity)
         self._sink = sink
         self.capacity = capacity
-        #: Lifetime events appended (racy tally; >= len() once the ring wraps).
-        self.emitted = 0
+        #: Events that arrived through :meth:`append` (racy tally).
+        self._appended = 0
+        #: Seq watermarks bracketing this ring's hot-emit window; see
+        #: :meth:`emitted`.
+        self._seq_base: int | None = None
+        self._seq_final: int | None = None
         #: Sink invocations that raised (the sink is dropped on the first).
         self.sink_errors = 0
 
     def append(self, event: Event) -> None:
-        self.emitted += 1
+        self._appended += 1
         self._events.append(event)
         sink = self._sink
         if sink is not None:
@@ -182,14 +215,67 @@ class TraceBuffer:
                 self.sink_errors += 1
                 self._sink = None
 
+    def emitter(self):
+        """The hot-path emit callable handed to the hooks at enable time.
+
+        Takes one raw payload tuple in :class:`Event` field order.  With
+        no sink installed this is the deque's bound C ``append`` itself —
+        no Python frame per event; the lifetime tally is recovered by
+        differencing seq watermarks (every hook emission allocates
+        exactly one seq, so seqs-consumed-while-active ≈ events-emitted;
+        :func:`repro.obs.disable` seals the window).  With a sink, it
+        falls back to :meth:`append` so the sink contract (constructed
+        ``Event``, in the emitting thread, dropped on first raise) is
+        unchanged.
+        """
+        if self._sink is not None:
+            append = self.append
+            return lambda payload: append(_tuple_new(Event, payload))
+        if self._seq_base is None:
+            self._seq_base = seq_watermark()
+        return self._events.append
+
+    def seal(self) -> None:
+        """Freeze the hot-emit accounting window (idempotent).
+
+        Called by :func:`repro.obs.disable` (and by a re-``enable`` that
+        replaces this ring) after emission stops, so :attr:`emitted`
+        stops tracking the process-global seq counter on behalf of a
+        ring that is no longer the active one.
+        """
+        if self._seq_base is not None and self._seq_final is None:
+            self._seq_final = seq_watermark()
+
+    @property
+    def emitted(self) -> int:
+        """Lifetime events recorded (approximate while hot-emitting).
+
+        Direct :meth:`append` calls are tallied exactly; events from the
+        hooks' hot emit path are counted as seqs allocated during the
+        active window (exact once sealed, transiently high by the few
+        seqs the deferred release emission pre-allocates before its
+        events land — the same "racy by design" precision as every other
+        tally here).
+        """
+        base = self._seq_base
+        if base is None:
+            return self._appended
+        final = self._seq_final
+        return self._appended + (seq_watermark() if final is None else final) - base
+
     @property
     def dropped(self) -> int:
         """Events that have fallen off the far end of the ring."""
         return max(0, self.emitted - len(self._events))
 
     def snapshot(self) -> list[Event]:
-        """The buffered events, oldest first (detached copy)."""
-        return list(self._events)
+        """The buffered events, oldest first (detached copy).
+
+        Materializes the lazily-stored payload tuples; wrapping an
+        already-constructed ``Event`` yields an equal ``Event``, so the
+        mixed ring needs no type branch.
+        """
+        return [_tuple_new(Event, payload) for payload in list(self._events)]
 
     def clear(self) -> None:
         self._events.clear()
@@ -198,7 +284,7 @@ class TraceBuffer:
         return len(self._events)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(list(self._events))
+        return iter(self.snapshot())
 
     def __repr__(self) -> str:
         return (

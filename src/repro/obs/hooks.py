@@ -32,6 +32,32 @@ path); the exceptions — :class:`~repro.core.counter.BroadcastCounter`'s
 park and the MultiWait timeout — are noted at the call sites.  Sink
 callbacks therefore must be quick, must not raise, and must never call
 back into the primitives being traced.
+
+Enabled-mode cost: the unified engine (PR 6) cut the *disabled* wait
+path roughly in half, which turned the per-event emission cost into the
+dominant share of the enabled-mode handoff tax — so the hot sites here
+are tuned to the same standard as the paths they observe:
+
+* Events are emitted as raw *payload tuples* in declaration order —
+  ``(ts, kind, source, thread, level, value, count, amount, wait_s,
+  wakeup_s, seq, token, cause_seq)`` — through ``_emit``, the callable
+  :meth:`~repro.obs.events.TraceBuffer.emitter` hands over at enable
+  time (the ring deque's bound C ``append`` when no sink is installed);
+  the ``Event`` objects are materialized lazily at snapshot time, and
+  the ring's lifetime tally is recovered from the seq watermark rather
+  than paid per emit — which is why **every** ``next_seq()`` call here
+  is paired with exactly one emit.  Unused fields are spelled ``None``
+  explicitly; keep the order in lockstep with
+  :class:`~repro.obs.events.Event` if the schema grows.
+* The label → metrics-series resolution is memoized per primitive in
+  its ``_obs_chan`` slot as ``(generation, label, series, wait_append,
+  wakeup_append)`` — the last two are the latency histograms' bound
+  staging-deque appends, so the unpark sites record a latency sample
+  with one C call; :func:`enable`/:func:`disable` bump the generation,
+  invalidating every cache at once (see :func:`_chan`).
+* The hottest sites (:func:`on_park`, :func:`on_wake`) inline the
+  high-water update — keep them in lockstep with
+  ``CounterMetrics.note_levels``.
 """
 
 from __future__ import annotations
@@ -39,7 +65,7 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.obs.events import Event, TraceBuffer, next_seq
+from repro.obs.events import TraceBuffer, next_seq
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.registry import label
 
@@ -54,13 +80,46 @@ clock = time.monotonic
 _trace: TraceBuffer | None = None
 _metrics: MetricsRegistry | None = None
 
+#: The active trace ring's fast emit closure (None while tracing is
+#: off); takes one raw payload tuple in Event field order.
+_emit = None
+
+#: Enable/disable generation.  Bumped by repro.obs.enable()/disable();
+#: stale ``_obs_chan`` caches are detected by comparing against it.
+_gen = 0
+
 _get_ident = threading.get_ident
 
 
-def _emit(event: Event) -> None:
-    trace = _trace
-    if trace is not None:
-        trace.append(event)
+def _chan(obj: object) -> tuple:
+    """The per-primitive emission channel:
+    ``(generation, label, series, wait_append, wakeup_append)``.
+
+    Memoized on the instance's ``_obs_chan`` slot so a hot emit site
+    pays one attribute read and an int compare instead of the label
+    lookup plus the registry's dict hit; a new :func:`repro.obs.enable`
+    (or disable) bumps ``_gen``, invalidating every cached channel.
+    ``series`` (and with it the two bound histogram staging appends) is
+    ``None`` when metrics are off.  Objects without the slot just
+    rebuild the channel per call.
+    """
+    ch = getattr(obj, "_obs_chan", None)
+    if ch is not None and ch[0] == _gen:
+        return ch
+    metrics = _metrics
+    src = label(obj)
+    if metrics is None:
+        ch = (_gen, src, None, None, None)
+    else:
+        series = metrics.series(src)
+        ch = (_gen, src, series,
+              series.wait_latency._pending.append,
+              series.wakeup_latency._pending.append)
+    try:
+        obj._obs_chan = ch  # type: ignore[attr-defined]
+    except AttributeError:
+        pass  # no slot / frozen object: skip the memo
+    return ch
 
 
 # --------------------------------------------------------------- increment
@@ -72,15 +131,16 @@ def on_increment(counter: object, amount: int, value: int) -> int | None:
     threads it into the ``cause_seq`` of the releases this increment
     performs), else ``None``.
     """
-    src = label(counter)
-    metrics = _metrics
-    if metrics is not None:
-        metrics.series(src).increments += 1
-    trace = _trace
-    if trace is not None:
+    ch = _chan(counter)
+    series = ch[2]
+    if series is not None:
+        series.increments += 1
+    emit = _emit
+    if emit is not None:
         seq = next_seq()
-        trace.append(Event(clock(), "increment", src, _get_ident(),
-                           amount=amount, value=value, seq=seq))
+        emit((clock(), "increment", ch[1], _get_ident(),
+              None, value, None, amount,
+              None, None, seq, None, None))
         return seq
     return None
 
@@ -99,19 +159,18 @@ def on_release(
     stays out of the release→signal handoff window.
     """
     now = clock()
-    src = label(counter)
-    metrics = _metrics
-    if metrics is not None:
-        metrics.series(src).releases += len(released)
-    trace = _trace
+    ch = _chan(counter)
+    series = ch[2]
+    if series is not None:
+        series.releases += len(released)
+    emit = _emit
+    ident = _get_ident() if emit is not None else 0
     for node in released:
         node.released_ts = now
-        if trace is not None:
-            trace.append(
-                Event(now, "release", src, _get_ident(), level=node.level,
-                      value=value, count=node.count, seq=next_seq(),
-                      token=node.token, cause_seq=cause_seq)
-            )
+        if emit is not None:
+            emit((now, "release", ch[1], ident,
+                  node.level, value, node.count, None,
+                  None, None, next_seq(), node.token, cause_seq))
 
 
 def on_release_stamp(released: list) -> tuple:
@@ -132,11 +191,16 @@ def on_release_stamp(released: list) -> tuple:
     waiters start decrementing ``count`` the moment they are signaled.
     """
     now = clock()
-    if _trace is None:
+    if _emit is None:
         for node in released:
             node.released_ts = now
         return (now, None, len(released))
     inc_seq = next_seq()
+    if len(released) == 1:
+        # The ping-pong-shaped common case: one node, no list growth.
+        node = released[0]
+        node.released_ts = now
+        return (now, inc_seq, ((next_seq(), node.token, node.level, node.count),))
     captured = []
     for node in released:
         node.released_ts = now
@@ -151,27 +215,31 @@ def on_increment_released(counter: object, amount: int, value: int, ctx: tuple) 
     here too — nothing in this function delays a wakeup.
     """
     now, inc_seq, captured = ctx
-    src = label(counter)
-    metrics = _metrics
-    if metrics is not None:
-        series = metrics.series(src)
+    ch = _chan(counter)
+    series = ch[2]
+    if series is not None:
         series.increments += 1
         series.releases += captured if type(captured) is int else len(captured)
-    trace = _trace
-    if trace is not None and inc_seq is not None:
+    emit = _emit
+    if emit is not None and inc_seq is not None:
+        src = ch[1]
         ident = _get_ident()
-        trace.append(Event(now, "increment", src, ident,
-                           amount=amount, value=value, seq=inc_seq))
+        emit((now, "increment", src, ident,
+              None, value, None, amount,
+              None, None, inc_seq, None, None))
         for seq, token, lvl, cnt in captured:
-            trace.append(Event(now, "release", src, ident, level=lvl, value=value,
-                               count=cnt, seq=seq, token=token, cause_seq=inc_seq))
+            emit((now, "release", src, ident,
+                  lvl, value, cnt, None,
+                  None, None, seq, token, inc_seq))
 
 
 def on_sub_fire(counter: object, level: int, count: int, token: int | None = None) -> None:
     """A released level's subscription callbacks are about to run."""
-    if _trace is not None:
-        _emit(Event(clock(), "sub_fire", label(counter), _get_ident(),
-                    level=level, count=count, seq=next_seq(), token=token))
+    emit = _emit
+    if emit is not None:
+        emit((clock(), "sub_fire", label(counter), _get_ident(),
+              level, None, count, None,
+              None, None, next_seq(), token, None))
 
 
 # -------------------------------------------------------------------- check
@@ -187,15 +255,20 @@ def on_park(
     ``clock()`` read per park, not two.
     """
     now = clock()
-    src = label(counter)
-    metrics = _metrics
-    if metrics is not None:
-        series = metrics.series(src)
+    ch = _chan(counter)
+    series = ch[2]
+    if series is not None:
         series.parks += 1
-        series.note_levels(live_levels, live_waiters)
-    if _trace is not None:
-        _emit(Event(now, "park", src, _get_ident(), level=level, value=value,
-                    count=live_waiters, seq=next_seq(), token=token))
+        # note_levels, inlined (racy high-water updates; see metrics.py).
+        if live_levels > series.live_levels_hw:
+            series.live_levels_hw = live_levels
+        if live_waiters > series.live_waiters_hw:
+            series.live_waiters_hw = live_waiters
+    emit = _emit
+    if emit is not None:
+        emit((now, "park", ch[1], _get_ident(),
+              level, value, live_waiters, None,
+              None, None, next_seq(), token, None))
     return now
 
 
@@ -212,19 +285,48 @@ def on_unpark(
     already read the clock (to compute those latencies) stamp the event
     without a second read.
     """
-    src = label(counter)
-    metrics = _metrics
-    if metrics is not None:
-        series = metrics.series(src)
-        series.unparks += 1
+    ch = _chan(counter)
+    if ch[2] is not None:
+        ch[2].unparks += 1
         if wait_s is not None:
-            series.wait_latency.observe(wait_s)
+            ch[3](wait_s)
         if wakeup_s is not None and wakeup_s >= 0.0:
-            series.wakeup_latency.observe(wakeup_s)
-    if _trace is not None:
-        _emit(Event(ts if ts is not None else clock(), "unpark", src, _get_ident(),
-                    level=level, wait_s=wait_s, wakeup_s=wakeup_s,
-                    seq=next_seq(), token=token))
+            ch[4](wakeup_s)
+    emit = _emit
+    if emit is not None:
+        emit((ts if ts is not None else clock(), "unpark",
+              ch[1], _get_ident(),
+              level, None, None, None,
+              wait_s, wakeup_s, next_seq(), token, None))
+
+
+def on_wake(counter: object, node: object, level: int,
+            t_parked: float | None) -> None:
+    """A suspended counter check resumed: the fused unpark emission.
+
+    Semantically ``on_unpark`` with the latency math pulled in — the
+    caller passes its wait node and park timestamp and this one call
+    reads the clock, derives ``wait_s``/``wakeup_s`` (``None`` when obs
+    was enabled mid-wait / mid-release), and emits.  Exists because the
+    unpark site sits on the serial wakeup path the handoff bench
+    measures; keep the body in lockstep with :func:`on_unpark`.
+    """
+    now = clock()
+    wait_s = None if t_parked is None else now - t_parked
+    released_ts = node.released_ts
+    wakeup_s = None if released_ts is None else now - released_ts
+    ch = _chan(counter)
+    if ch[2] is not None:
+        ch[2].unparks += 1
+        if wait_s is not None:
+            ch[3](wait_s)
+        if wakeup_s is not None and wakeup_s >= 0.0:
+            ch[4](wakeup_s)
+    emit = _emit
+    if emit is not None:
+        emit((now, "unpark", ch[1], _get_ident(),
+              level, None, None, None,
+              wait_s, wakeup_s, next_seq(), node.token, None))
 
 
 def on_spin_exhausted(counter: object, level: int, budget: int) -> None:
@@ -233,9 +335,11 @@ def on_spin_exhausted(counter: object, level: int, budget: int) -> None:
     metrics = _metrics
     if metrics is not None:
         metrics.series(src).spin_exhausted.observe(float(budget))
-    if _trace is not None:
-        _emit(Event(clock(), "spin_exhausted", src, _get_ident(), level=level,
-                    count=budget, seq=next_seq()))
+    emit = _emit
+    if emit is not None:
+        emit((clock(), "spin_exhausted", src, _get_ident(),
+              level, None, budget, None,
+              None, None, next_seq(), None, None))
 
 
 def on_timeout(
@@ -250,9 +354,11 @@ def on_timeout(
         series.timeouts += 1
         if waited_s is not None:
             series.wait_latency.observe(waited_s)
-    if _trace is not None:
-        _emit(Event(clock(), "timeout", src, _get_ident(), level=level, value=value,
-                    wait_s=waited_s, seq=next_seq(), token=token))
+    emit = _emit
+    if emit is not None:
+        emit((clock(), "timeout", src, _get_ident(),
+              level, value, None, None,
+              waited_s, None, next_seq(), token, None))
 
 
 # ------------------------------------------------------------------ sharded
@@ -263,15 +369,20 @@ def on_flush(counter: object, amount: int) -> None:
     metrics = _metrics
     if metrics is not None:
         metrics.series(src).flushes += 1
-    if _trace is not None:
-        _emit(Event(clock(), "flush", src, _get_ident(), amount=amount, seq=next_seq()))
+    emit = _emit
+    if emit is not None:
+        emit((clock(), "flush", src, _get_ident(),
+              None, None, None, amount,
+              None, None, next_seq(), None, None))
 
 
 def on_drain(counter: object, amount: int) -> None:
     """A reconciling sweep published ``amount`` of pending tallies."""
-    if _trace is not None:
-        _emit(Event(clock(), "drain", label(counter), _get_ident(), amount=amount,
-                    seq=next_seq()))
+    emit = _emit
+    if emit is not None:
+        emit((clock(), "drain", label(counter), _get_ident(),
+              None, None, None, amount,
+              None, None, next_seq(), None, None))
 
 
 # ---------------------------------------------------------------- multiwait
@@ -282,29 +393,37 @@ def on_drain(counter: object, amount: int) -> None:
 
 def on_mw_park(mw: object, conditions: int, satisfied: int,
                token: int | None = None) -> None:
-    if _trace is not None:
-        _emit(Event(clock(), "mw_park", label(mw), _get_ident(), count=conditions,
-                    value=satisfied, seq=next_seq(), token=token))
+    emit = _emit
+    if emit is not None:
+        emit((clock(), "mw_park", label(mw), _get_ident(),
+              None, satisfied, conditions, None,
+              None, None, next_seq(), token, None))
 
 
 def on_mw_wake(mw: object, satisfied: int, wait_s: float | None,
                token: int | None = None) -> None:
-    if _trace is not None:
-        _emit(Event(clock(), "mw_wake", label(mw), _get_ident(), value=satisfied,
-                    wait_s=wait_s, seq=next_seq(), token=token))
+    emit = _emit
+    if emit is not None:
+        emit((clock(), "mw_wake", label(mw), _get_ident(),
+              None, satisfied, None, None,
+              wait_s, None, next_seq(), token, None))
 
 
 def on_mw_timeout(mw: object, conditions: int, satisfied: int,
                   token: int | None = None) -> None:
-    if _trace is not None:
-        _emit(Event(clock(), "mw_timeout", label(mw), _get_ident(), count=conditions,
-                    value=satisfied, seq=next_seq(), token=token))
+    emit = _emit
+    if emit is not None:
+        emit((clock(), "mw_timeout", label(mw), _get_ident(),
+              None, satisfied, conditions, None,
+              None, None, next_seq(), token, None))
 
 
 # ----------------------------------------------------------------- watchdog
 
 def on_stall(source: str, level: int, waiters: int, value: int, stalled_s: float) -> None:
     """The stall watchdog flagged a check blocked beyond its threshold."""
-    if _trace is not None:
-        _emit(Event(clock(), "stall", source, _get_ident(), level=level,
-                    count=waiters, value=value, wait_s=stalled_s, seq=next_seq()))
+    emit = _emit
+    if emit is not None:
+        emit((clock(), "stall", source, _get_ident(),
+              level, value, waiters, None,
+              stalled_s, None, next_seq(), None, None))

@@ -13,11 +13,16 @@ how long*; these metrics quantify exactly that on a live system:
 * ``live_levels`` / ``live_waiters`` high-water marks — the L of the
   paper's O(L) bounds, observed rather than asserted.
 
-Histograms are exponential-bucket and **lock-free-ish**: ``observe`` is
-a few plain int/float bumps with no lock, so concurrent observations can
-occasionally lose a race and undercount — the same documented trade the
-fast path's ``immediate_checks`` tally makes.  Observability must never
-serialize the paths it observes; bounds, not bookkeeping, are exact.
+Histograms are exponential-bucket and **lock-free-ish**: ``observe``
+stages the raw sample in a bounded deque (one C ``append``, the
+cheapest thing the hot path can do) and the bucket/count/sum rollup
+happens lazily when a reader looks — so concurrent observations can
+occasionally lose a race and undercount, the same documented trade the
+fast path's ``immediate_checks`` tally makes, and a reader that never
+scrapes loses the oldest staged samples once the staging deque wraps
+(64Ki per histogram — scrape more often than that per series for exact
+tallies).  Observability must never serialize the paths it observes;
+bounds, not bookkeeping, are exact.
 
 The registry also *unifies* the older opt-in
 :class:`repro.core.stats.CounterStats` tallies: a metrics snapshot (and
@@ -31,6 +36,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
+from collections import deque
 
 __all__ = [
     "Histogram",
@@ -52,48 +58,100 @@ class Histogram:
     """Fixed-bound histogram with racy (lock-free) observation.
 
     ``buckets[i]`` counts observations ``<= bounds[i]``; the final slot
-    counts the overflow (+Inf bucket).  Cumulative counts — the
-    Prometheus ``le`` convention — are computed at export time so the
-    hot-path write is a single indexed increment.
+    counts the overflow (+Inf bucket).  Observation is **write-cheap,
+    read-deferred**: ``observe`` stages the raw sample in a bounded
+    deque and the bucketization (one ``bisect`` plus the count/sum
+    bumps per sample) runs when ``buckets``/``count``/``sum`` is next
+    read — off the wait paths being measured.  The obs hooks' hottest
+    sites bypass ``observe`` and append to the staging deque's bound C
+    ``append`` directly (cached in their emission channel), so keep the
+    staging contract in mind when refactoring.  Cumulative counts — the
+    Prometheus ``le`` convention — are computed at export time.
     """
 
-    __slots__ = ("bounds", "buckets", "count", "sum")
+    #: Staging capacity per histogram; oldest samples drop if a reader
+    #: never drains (see the module docstring).
+    STAGING = 65536
+
+    __slots__ = ("bounds", "_buckets", "_count", "_sum", "_pending")
 
     def __init__(self, bounds: tuple[float, ...]) -> None:
         self.bounds = bounds
-        self.buckets = [0] * (len(bounds) + 1)
-        self.count = 0
-        self.sum = 0.0
+        self._buckets = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._pending: deque[float] = deque(maxlen=self.STAGING)
 
     def observe(self, value: float) -> None:
-        # Racy by design: a lost increment under contention is preferable
+        # Racy by design: a lost sample under contention is preferable
         # to a lock on the wait path.  See the module docstring.
-        self.buckets[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
+        self._pending.append(value)
+
+    def _drain(self) -> None:
+        """Roll staged samples into the buckets (reader-side, racy-safe).
+
+        ``popleft`` until empty: samples appended concurrently either
+        make this sweep or the next one; two concurrent drains can lose
+        a bucket-increment race, which is the histogram's documented
+        precision anyway.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        buckets = self._buckets
+        bounds = self.bounds
+        n = 0
+        total = 0.0
+        while True:
+            try:
+                value = pending.popleft()
+            except IndexError:
+                break
+            buckets[bisect_left(bounds, value)] += 1
+            n += 1
+            total += value
+        self._count += n
+        self._sum += total
+
+    @property
+    def buckets(self) -> list:
+        self._drain()
+        return self._buckets
+
+    @property
+    def count(self) -> int:
+        self._drain()
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        self._drain()
+        return self._sum
 
     def quantile(self, q: float) -> float:
         """Approximate quantile (upper bucket bound); 0.0 when empty."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
-        total = self.count
+        self._drain()
+        total = self._count
         if total == 0:
             return 0.0
         rank = q * total
         seen = 0
-        for i, n in enumerate(self.buckets):
+        for i, n in enumerate(self._buckets):
             seen += n
             if seen >= rank:
                 return self.bounds[i] if i < len(self.bounds) else float("inf")
         return float("inf")
 
     def snapshot(self) -> dict:
+        self._drain()
         return {
-            "count": self.count,
-            "sum": self.sum,
+            "count": self._count,
+            "sum": self._sum,
             "buckets": {
-                **{str(b): n for b, n in zip(self.bounds, self.buckets)},
-                "+Inf": self.buckets[-1],
+                **{str(b): n for b, n in zip(self.bounds, self._buckets)},
+                "+Inf": self._buckets[-1],
             },
         }
 
@@ -290,11 +348,14 @@ class MetricsRegistry:
             for label, m in series:
                 hist: Histogram = getattr(m, attr)
                 esc = _escape(label)
+                # One drain per histogram: read buckets once so the le
+                # lines and the +Inf/count totals describe one sweep.
+                buckets = hist.buckets
                 cumulative = 0
-                for bound, n in zip(hist.bounds, hist.buckets):
+                for bound, n in zip(hist.bounds, buckets):
                     cumulative += n
                     lines.append(f'{metric}_bucket{{counter="{esc}",le="{bound:g}"}} {cumulative}')
-                cumulative += hist.buckets[-1]
+                cumulative += buckets[-1]
                 lines.append(f'{metric}_bucket{{counter="{esc}",le="+Inf"}} {cumulative}')
                 lines.append(f'{metric}_sum{{counter="{esc}"}} {hist.sum:g}')
                 lines.append(f'{metric}_count{{counter="{esc}"}} {cumulative}')

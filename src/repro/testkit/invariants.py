@@ -77,9 +77,10 @@ def assert_multiwait_closed(mw) -> None:
     left the counters it watched quiescent-compatible (no wait-node or
     checker residue is asserted here — pass the counters to the
     quiescence checks for that)."""
-    with mw._cond:
+    with mw._lock:
         assert mw._closed, "MultiWait not closed"
         assert not mw._subs, f"{len(mw._subs)} subscription handle(s) retained after close"
+        assert not mw._waiters, f"{len(mw._waiters)} waiter record(s) retained after close"
 
 
 def tallies_consistent(counter) -> None:

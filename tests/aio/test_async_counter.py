@@ -277,6 +277,76 @@ class TestCounterBridge:
 
         assert run(scenario()) == [3]
 
+    def test_direct_check_wakes_from_thread_increment(self):
+        """The engine-era handoff: ``await bridge.check(level)`` parks on
+        a loop future the releasing thread completes directly — no
+        mirrored AsyncCounter in the wait path."""
+        async def scenario():
+            bridge = CounterBridge(asyncio.get_running_loop())
+
+            def worker():
+                for _ in range(5):
+                    bridge.increment(1)
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            await asyncio.wait_for(bridge.check(5), timeout=10)
+            thread.join()
+            return bridge.thread_counter.value
+
+        assert run(scenario()) == 5
+
+    def test_direct_check_already_satisfied_never_parks(self):
+        async def scenario():
+            bridge = CounterBridge(asyncio.get_running_loop())
+            bridge.increment(2)
+            await bridge.check(2)  # immediate: no subscription left behind
+            await bridge.check(1)
+            return bridge.thread_counter.snapshot().waiting_levels
+
+        assert run(scenario()) == ()
+
+    def test_direct_check_timeout_deregisters(self):
+        async def scenario():
+            bridge = CounterBridge(asyncio.get_running_loop())
+            with pytest.raises(CheckTimeout):
+                await bridge.check(3, timeout=0.02)
+            # The subscription was cancelled: the wait node is reclaimed
+            # and a later increment fires nothing stale.
+            levels = bridge.thread_counter.snapshot().waiting_levels
+            bridge.thread_counter.increment(3)
+            return levels
+
+        assert run(scenario()) == ()
+
+    def test_direct_check_satisfaction_racing_expiry_is_success(self):
+        """Stability adjudication: if the level is reached by the time the
+        expiry fires, the check reports success even when the future's
+        completion callback lost the race."""
+        async def scenario():
+            bridge = CounterBridge(asyncio.get_running_loop())
+            # Satisfy on the thread counter *behind the bridge's back* so
+            # no deliver callback is ever scheduled, then let an
+            # effectively-instant timeout expire: the re-read must win.
+            bridge.thread_counter.increment(4)
+            task = asyncio.ensure_future(bridge.check(4, timeout=5))
+            await task
+            return bridge.thread_counter.value
+
+        assert run(scenario()) == 4
+
+    def test_direct_check_cancellation_deregisters(self):
+        async def scenario():
+            bridge = CounterBridge(asyncio.get_running_loop())
+            task = asyncio.ensure_future(bridge.check(7))
+            await asyncio.sleep(0)  # let it subscribe and park
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return bridge.thread_counter.snapshot().waiting_levels
+
+        assert run(scenario()) == ()
+
     def test_mirror_is_idempotent_under_batching(self):
         async def scenario():
             bridge = CounterBridge(asyncio.get_running_loop())

@@ -3,15 +3,19 @@
 The satellite requirement: a ``check(level, timeout=...)`` whose timeout
 expires *concurrently* with the increment that satisfies it must never
 lose the wakeup (report a timeout for a satisfied condition) and must
-never leak its wait node.  The two-lock protocol makes the adjudication
-explicit — ``released`` under the counter lock, ``signaled`` under the
-node's private lock — and these tests drive every ordering of that
-window:
+never leak its wait node.  The engine makes the arbitration explicit —
+a timed wait first parks on its raw slot for a bounded grace (where the
+release pass is the only possible setter), escalates onto the wheel if
+it lingers, and there the entry's one-shot *claim* decides which waker
+(release pass or timer sweeper) delivers the slot set; every timeout
+verdict, grace expiry or timer claim alike, is only *provisional* until
+adjudicated against ``released`` under the counter lock — and these
+tests drive every ordering of that window:
 
-* **Scripted interleavings** — a stand-in condition variable whose
-  ``wait`` returns a scripted verdict lets each ordering of {condvar
-  timeout, release, adjudication} be forced deterministically, one test
-  per ordering, no sleeps, no luck.
+* **Scripted interleavings** — deterministic hooks on the counter's
+  park seams (after registration / after the timer's provisional
+  verdict) let each ordering of {timer claim, release, adjudication}
+  be forced, one test per ordering, no luck.
 * **Hammer** — many real threads with tiny real timeouts racing real
   increments; every generously-budgeted waiter must succeed and the
   counter must come back quiescent every round.
@@ -32,64 +36,45 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 
 import pytest
 
 from repro.core import CheckTimeout, MonotonicCounter, PARK_ONLY, WaitPolicy
+from repro.core import counter as counter_mod
+from repro.core.engine import WheelEntry
 from repro.simthread import SimCounter
 from repro.verify import ExplorerProgram, explore
 from tests.helpers import join_all, spawn, wait_until
 
 
-class ScriptedCondition:
-    """Stands in for a wait node's private condition variable.
-
-    The tests choreograph exactly which thread runs when, so no real
-    mutual exclusion is needed: ``wait`` delegates to a script (its
-    return value is the condvar verdict — ``False`` means "timed out"),
-    and leaving the ``with`` block runs a one-shot hook, which is the
-    only way to inject work into the gap *between* the condvar verdict
-    and the counter-lock adjudication in ``_park``.
-    """
-
-    def __init__(self, on_wait=None, on_exit=None):
-        self.on_wait = on_wait
-        self.on_exit = on_exit
-        self.wait_calls = 0
-        self._exit_fired = False
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc_info):
-        if self.on_exit is not None and not self._exit_fired:
-            self._exit_fired = True
-            self.on_exit()
-        return False
-
-    def wait(self, timeout=None):
-        self.wait_calls += 1
-        return self.on_wait() if self.on_wait is not None else False
-
-    def notify_all(self):
-        pass
-
-
 class ScriptedParkCounter(MonotonicCounter):
-    """A counter whose parked waiters use scripted condition variables.
+    """A counter with deterministic hooks on the engine's park seams.
 
-    ``condition_factory(node)`` picks the condition for each park; return
-    ``node.condition`` to keep the real one.  ``PARK_ONLY`` keeps the
-    spin phase out of the way so the scripted park is reached directly.
+    ``on_park(level)`` runs after the wait node (and its engine handle)
+    is registered under the counter lock but *before* the thread parks —
+    the window where a release can deliver a slot set that the park must
+    consume rather than lose.  ``on_verdict(level)`` runs after the
+    timer wheel has claimed the entry (the provisional timeout verdict)
+    but *before* the counter-lock adjudication — the no-lost-wakeup
+    window.  ``PARK_ONLY`` keeps the spin phase out of the way so the
+    park is reached directly.
     """
 
-    def __init__(self, condition_factory, **kwargs):
+    def __init__(self, on_park=None, on_verdict=None, **kwargs):
         super().__init__(policy=PARK_ONLY, stats=True, **kwargs)
-        self._condition_factory = condition_factory
+        self._on_park = on_park
+        self._on_verdict = on_verdict
 
-    def _park(self, node, level, timeout, deadline, t_parked=None):
-        node.condition = self._condition_factory(node)
-        return super()._park(node, level, timeout, deadline, t_parked)
+    def _park(self, node, waiter, level, timeout, deadline, t_parked=None):
+        if self._on_park is not None:
+            self._on_park(level)
+        return super()._park(node, waiter, level, timeout, deadline, t_parked)
+
+    def _adjudicate_timeout(self, node, entry, level, timeout, t_parked=None):
+        if self._on_verdict is not None:
+            self._on_verdict(level)
+        return super()._adjudicate_timeout(node, entry, level, timeout, t_parked)
 
 
 def _quiescent(counter) -> None:
@@ -101,45 +86,50 @@ def _quiescent(counter) -> None:
 
 
 class TestScriptedInterleavings:
-    def test_release_lands_during_condvar_wait(self):
-        """Order A: the satisfying increment runs while the waiter is in
-        ``Condition.wait`` and the wait *still* reports a timeout (the
-        classic spurious-timeout window).  The re-test of ``signaled``
-        right after the verdict must turn it into a success."""
-        counter = ScriptedParkCounter(
-            lambda node: ScriptedCondition(on_wait=lambda: (counter.increment(1), False)[1])
-        )
-        counter.check(1, timeout=5.0)  # must NOT raise
+    def test_release_lands_between_verdict_and_adjudication(self):
+        """Order A: the timer wheel genuinely fires first and claims the
+        entry (provisional timeout verdict), but the increment sneaks in
+        before the waiter reaches the counter lock.  Adjudication must
+        see ``released`` and report success — this is the no-lost-wakeup
+        window.  The release pass meanwhile loses the claim and must
+        no-op (nobody double-sets the slot)."""
+        counter = ScriptedParkCounter(on_verdict=lambda level: counter.increment(1))
+        counter.check(1, timeout=0.005)  # must NOT raise
         assert counter.value == 1
         assert counter.stats.suspended_checks == 1
         assert counter.stats.timeouts == 0
         _quiescent(counter)
 
-    def test_release_lands_between_verdict_and_adjudication(self):
-        """Order B: the condvar verdict is a genuine timeout (``signaled``
-        still unset), but the increment sneaks in before the waiter
-        reaches the counter lock.  Adjudication must see ``released``
-        and report success — this is the no-lost-wakeup window."""
-        scripted = []
-
-        def factory(node):
-            cond = ScriptedCondition(on_exit=lambda: counter.increment(1))
-            scripted.append(cond)
-            return cond
-
-        counter = ScriptedParkCounter(factory)
-        counter.check(1, timeout=5.0)  # must NOT raise
+    def test_release_lands_before_the_park_consumes_the_pending_set(self):
+        """Order B: the increment runs in the registration→park gap, so
+        the slot set is delivered *before* ``slot.wait()`` begins.
+        Semaphore semantics must bank it: the park consumes the pending
+        set and returns success immediately."""
+        counter = ScriptedParkCounter(on_park=lambda level: counter.increment(1))
+        counter.check(1, timeout=10.0)  # must NOT raise, and not wait 10s
         assert counter.value == 1
         assert counter.stats.timeouts == 0
-        assert scripted[0].wait_calls == 1
+        _quiescent(counter)
+
+    def test_release_beats_the_instant_probe_claim(self):
+        """Order B', instant-probe variant: ``timeout=0`` never arms the
+        wheel — the parker goes straight to adjudication under the
+        counter lock.  A release that already landed in the registration
+        gap means our slot's set is banked (or in flight); the probe
+        must consume it (keeping the slot armed for the thread's next
+        park) and report success."""
+        counter = ScriptedParkCounter(on_park=lambda level: counter.increment(1))
+        counter.check(1, timeout=0)  # must NOT raise
+        assert counter.value == 1
+        assert counter.stats.timeouts == 0
         _quiescent(counter)
 
     def test_genuine_timeout_deregisters_cleanly(self):
         """Order C: no increment anywhere.  The timeout must be reported,
         the node reclaimed, and the counter left fully usable."""
-        counter = ScriptedParkCounter(lambda node: ScriptedCondition())
+        counter = ScriptedParkCounter()
         with pytest.raises(CheckTimeout):
-            counter.check(3, timeout=5.0)
+            counter.check(3, timeout=0.005)
         assert counter.stats.timeouts == 1
         _quiescent(counter)
         # The counter is not poisoned: normal operation still works.
@@ -148,26 +138,23 @@ class TestScriptedInterleavings:
 
     def test_coalesced_release_with_concurrent_timeout_at_one_level(self):
         """One increment releases levels 1 and 2 in a single pass while
-        the level-2 waiter is concurrently timing out.  Both waiters must
+        the level-2 waiter's timer has already claimed its entry (it is
+        gated between verdict and adjudication).  Both waiters must
         succeed and the whole batch must drain."""
-        b_parked = threading.Event()
+        verdict_reached = threading.Event()
         go = threading.Event()
 
-        def scripted_wait():
-            b_parked.set()
+        def on_verdict(level):
+            assert level == 2
+            verdict_reached.set()
             assert go.wait(10)
-            return False  # condvar says "timed out" — after the release
 
-        def factory(node):
-            if node.level == 2:
-                return ScriptedCondition(on_wait=scripted_wait)
-            return node.condition  # level 1 keeps its real condition
-
-        counter = ScriptedParkCounter(factory)
+        counter = ScriptedParkCounter(on_verdict=on_verdict)
         outcomes = []
         a = spawn(lambda: (counter.check(1, timeout=10), outcomes.append("a")))
-        b = spawn(lambda: (counter.check(2, timeout=10), outcomes.append("b")))
-        assert b_parked.wait(10)
+        b = spawn(lambda: (counter.check(2, timeout=0.005), outcomes.append("b")))
+        assert verdict_reached.wait(10)
+        wait_until(lambda: 1 in counter.snapshot().waiting_levels)
         counter.increment(2)  # one coalesced release pass for both nodes
         go.set()
         join_all([a, b])
@@ -176,6 +163,59 @@ class TestScriptedInterleavings:
         assert counter.stats.threads_woken == 2
         assert counter.stats.timeouts == 0
         _quiescent(counter)
+
+
+def _registered_handles(counter):
+    """Every engine handle currently registered on the counter's nodes."""
+    handles = []
+    node = counter._waiters._head
+    while node is not None:
+        handles.extend(node.waiters)
+        node = node.next
+    return handles
+
+
+class TestWheelEscalation:
+    """Staged parking's stage two: a timed wait that outlives the
+    slot-mode grace must swap its registered slot for a claim-guarded
+    wheel entry and behave exactly like the pre-grace design from there
+    — release wins via the claim, timeouts fire no earlier than the
+    requested deadline."""
+
+    def test_lingering_wait_escalates_and_release_wakes_through_the_claim(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(counter_mod, "_TIMER_GRACE", 0.001)
+        counter = MonotonicCounter(policy=PARK_ONLY, stats=True)
+        done = []
+        worker = spawn(lambda: (counter.check(1, timeout=30.0), done.append(True)))
+        # The handle swap under the counter lock is the observable
+        # escalation: the registered ParkingSlot becomes a WheelEntry.
+        wait_until(
+            lambda: any(
+                type(h) is WheelEntry for h in _registered_handles(counter)
+            )
+        )
+        counter.increment(1)
+        join_all([worker])
+        assert done == [True]
+        assert counter.stats.timeouts == 0
+        assert counter.stats.threads_woken == 1
+        _quiescent(counter)
+
+    def test_lingering_wait_escalates_then_times_out(self, monkeypatch):
+        monkeypatch.setattr(counter_mod, "_TIMER_GRACE", 0.001)
+        counter = MonotonicCounter(policy=PARK_ONLY, stats=True)
+        start = time.monotonic()
+        with pytest.raises(CheckTimeout):
+            counter.check(1, timeout=0.01)
+        # Escalation re-anchors the deadline at grace expiry, so the
+        # timeout may land late but never early.
+        assert time.monotonic() - start >= 0.009
+        assert counter.stats.timeouts == 1
+        _quiescent(counter)
+        counter.increment(1)
+        counter.check(1, timeout=0)
 
 
 class _TrapDrainLock:
@@ -209,15 +249,16 @@ class _TrapDrainLock:
 class TestIncrementPreemptedMidCriticalSection:
     """Preempt ``increment`` *inside* its critical section.
 
-    A parked waiter reads the node's ``signaled`` flag under only the
-    node's private lock, so nothing the increment publishes before its
-    critical section is finished may be observable through that flag.
-    If ``signaled`` were set early (as it once was), a waiter could wake,
-    decrement the node's count to zero, and run the last-leaver
-    ``_draining.pop`` *before* the increment's insert — leaking the
-    entry forever (``reset()`` poisoned) and leaving ``_live_waiters``
-    permanently inflated.  The scripted tests above never preempt
-    ``increment`` mid-section; this one does, deterministically.
+    A parked waiter wakes only through its engine slot, set by the
+    out-of-lock signal pass, so nothing the increment publishes before
+    its critical section is finished may be observable to it.  If the
+    wakeup were delivered early (as ``signaled`` once was), a waiter
+    could resume, pop the node's countdown to zero, and run the
+    last-leaver ``_draining.pop`` *before* the increment's insert —
+    leaking the entry forever (``reset()`` poisoned) and leaving
+    ``_live_waiters`` permanently inflated.  The scripted tests above
+    never preempt ``increment`` mid-section; this one does,
+    deterministically.
     """
 
     def test_release_is_unobservable_until_the_critical_section_ends(self):

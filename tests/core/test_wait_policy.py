@@ -112,7 +112,7 @@ class TestAdaptiveBudget:
                 self.increment(1)  # the "concurrent" producer
                 return super()._spin_wait(level, budget)
 
-            def _park(self, node, level, timeout, deadline, t_parked=None):  # pragma: no cover
+            def _park(self, node, waiter, level, timeout, deadline, t_parked=None):  # pragma: no cover
                 raise AssertionError("parked despite satisfied spin")
 
         counter = SpinProbeCounter(
@@ -122,6 +122,48 @@ class TestAdaptiveBudget:
         assert counter.stats.spin_checks == 1
         assert counter.stats.suspended_checks == 0
         assert counter.snapshot().waiting_levels == ()
+
+
+class TestSerialHostDegradation:
+    """Policies that opt in (``park_on_serial_hosts``) zero a counter's
+    *effective* spin budget on hosts where the incrementer cannot run
+    concurrently with the spinner — the declared policy values are never
+    mutated."""
+
+    def test_serial_host_matches_build_and_cpu_count(self):
+        import os
+
+        from repro.core.waitlist import SERIAL_HOST, _gil_enabled
+
+        assert SERIAL_HOST == (_gil_enabled() or (os.cpu_count() or 1) <= 1)
+
+    def test_spin_then_park_degrades_to_park_only_on_serial_hosts(self, monkeypatch):
+        import repro.core.counter as counter_mod
+
+        monkeypatch.setattr(counter_mod, "SERIAL_HOST", True)
+        counter = MonotonicCounter(policy=SPIN_THEN_PARK)
+        assert counter._spin == 0
+        # The shared policy object is untouched — only this counter's
+        # effective budget degraded.
+        assert SPIN_THEN_PARK.spin > 0
+        assert counter.policy is SPIN_THEN_PARK
+
+    def test_spin_survives_on_parallel_hosts(self, monkeypatch):
+        import repro.core.counter as counter_mod
+
+        monkeypatch.setattr(counter_mod, "SERIAL_HOST", False)
+        counter = MonotonicCounter(policy=SPIN_THEN_PARK)
+        assert counter._spin == SPIN_THEN_PARK.spin
+
+    def test_policies_without_the_opt_in_keep_their_budget(self, monkeypatch):
+        """Explicit spin values are an operator's choice: only policies
+        carrying ``park_on_serial_hosts=True`` degrade."""
+        import repro.core.counter as counter_mod
+
+        monkeypatch.setattr(counter_mod, "SERIAL_HOST", True)
+        policy = WaitPolicy(spin=8, spin_min=2, spin_max=16)
+        counter = MonotonicCounter(policy=policy)
+        assert counter._spin == 8
 
 
 class TestPolicyIntegration:

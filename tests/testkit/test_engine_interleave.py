@@ -1,0 +1,146 @@
+"""The timer wheel under adversarial schedules.
+
+PR 6 moved every timed wait — counter ``check(timeout=)`` and MultiWait
+— onto one shared :class:`~repro.core.engine.TimerWheel`, with a
+per-entry *claim* arbitrating between the releasing thread and the
+wheel's sweeper.  These suites drive the real primitives through chosen
+interleavings and pin the wheel's two obligations:
+
+* whichever side wins the claim, exactly one wakeup is delivered and
+  the protocol adjudicates correctly (no lost wakeup, no false timeout
+  after a satisfying release);
+* a satisfied timed wait *cancels* its deadline — the wheel ends every
+  schedule with ``armed_count() == 0``, so no ghost timeout can fire
+  into a recycled parking slot later.
+
+Unit-level wheel mechanics (bucket hashing, sweeper lifecycle) live in
+``tests/core/test_engine.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import MonotonicCounter
+from repro.core.engine import wheel
+from repro.core.errors import CheckTimeout
+from repro.core.multiwait import MultiWait
+from repro.testkit import (
+    assert_counter_quiescent,
+    assert_multiwait_closed,
+    interleave,
+)
+
+
+@interleave(schedules=14)
+def test_timeout_fires_vs_release_race(sched):
+    """A short-fuse waiter racing the increments that satisfy it: the
+    sweeper's fire_timeout and the release pass race for the entry's
+    claim.  Both outcomes are legal; either way the deadline is disarmed
+    and the counter drains clean."""
+    counter = MonotonicCounter()
+    outcome = []
+
+    def impatient():
+        try:
+            counter.check(2, timeout=0.05)
+            outcome.append("released")
+        except CheckTimeout:
+            outcome.append("timeout")
+
+    sched.spawn("w", impatient)
+    sched.spawn("inc1", counter.increment, 1)
+    sched.spawn("inc2", counter.increment, 1)
+    sched.run()
+    assert outcome in (["released"], ["timeout"])
+    assert_counter_quiescent(counter, expect_value=2)
+    assert wheel().armed_count() == 0
+
+
+@interleave(schedules=12)
+def test_cancel_on_satisfy_leaves_no_armed_deadline(sched):
+    """A far-deadline waiter satisfied by a release must *cancel* its
+    wheel entry on the way out — a leaked deadline would keep the
+    sweeper armed for 30s and fire a ghost set into whatever park the
+    thread's recycled slot is in by then."""
+    counter = MonotonicCounter()
+    sched.spawn("w1", counter.check, 2, 30.0)
+    sched.spawn("w2", counter.check, 2, 30.0)
+    sched.spawn("inc", counter.increment, 2)
+    sched.run()
+    assert_counter_quiescent(counter, expect_value=2)
+    assert wheel().armed_count() == 0
+
+
+@interleave(schedules=12, scheduler="pct")
+def test_mass_timeout_sweep_pct(sched):
+    """Several waiters at distinct levels, none ever satisfied: the
+    sweeper fires them all in one-or-more sweeps while the PCT adversary
+    perturbs who adjudicates first.  Every waiter reports a genuine
+    timeout and the wheel ends empty."""
+    counter = MonotonicCounter()
+    outcomes = []
+
+    def impatient(level):
+        try:
+            counter.check(level, timeout=0.03)
+            outcomes.append("released")
+        except CheckTimeout:
+            outcomes.append("timeout")
+
+    for i in range(3):
+        sched.spawn(f"w{i}", impatient, i + 1)
+    sched.run()
+    assert outcomes == ["timeout"] * 3
+    assert_counter_quiescent(counter, expect_value=0)
+    assert wheel().armed_count() == 0
+
+
+@interleave(schedules=12, scheduler="pct")
+def test_mixed_release_and_timeout_pct(sched):
+    """Half the waiters get released, half can only time out, all on the
+    same wheel: each entry's claim goes to exactly one side and neither
+    population corrupts the other's adjudication."""
+    counter = MonotonicCounter()
+    outcomes = {}
+
+    def waiter(name, level):
+        try:
+            counter.check(level, timeout=0.05)
+            outcomes[name] = "released"
+        except CheckTimeout:
+            outcomes[name] = "timeout"
+
+    sched.spawn("low", waiter, "low", 1)
+    sched.spawn("high", waiter, "high", 50)
+    sched.spawn("inc", counter.increment, 1)
+    sched.run()
+    assert outcomes["high"] == "timeout"
+    assert outcomes["low"] in ("released", "timeout")
+    assert_counter_quiescent(counter, expect_value=1)
+    assert wheel().armed_count() == 0
+
+
+@interleave(schedules=10)
+def test_multiwait_timed_wait_rides_the_same_wheel(sched):
+    """MultiWait's timed parks share the wheel: a wait_any satisfied by
+    a racing increment cancels its entry; a genuine expiry removes the
+    waiter record.  Either way close() finds nothing retained and the
+    wheel ends empty."""
+    a = MonotonicCounter(name="a")
+    b = MonotonicCounter(name="b")
+    mw = MultiWait([(a, 1), (b, 1)])
+    outcome = []
+
+    def joiner():
+        try:
+            mw.wait_any(timeout=0.05)
+            outcome.append("woke")
+        except CheckTimeout:
+            outcome.append("timeout")
+
+    sched.spawn("w", joiner)
+    sched.spawn("inc", a.increment, 1)
+    sched.run()
+    assert outcome in (["woke"], ["timeout"])
+    mw.close()
+    assert_multiwait_closed(mw)
+    assert wheel().armed_count() == 0

@@ -1,12 +1,14 @@
 """PR-2 review bugs, pinned as scripted testkit schedules.
 
-The drain-leak bug: ``increment`` once set the node's ``signaled`` flag
-*inside* its critical section.  Parked waiters re-test ``signaled`` under
-only the node's private lock, so a waiter whose condvar wait expired at
-just the wrong moment could observe the release, decrement the node's
-count to zero, and run the last-leaver ``_draining.pop`` — all before
-the increment performed the ``_draining`` *insert*.  The entry then
-leaked forever and poisoned every future ``reset()``.
+The drain-leak bug: ``increment`` once made the release observable
+*inside* its critical section.  A parked waiter resumes the moment its
+wakeup is delivered, so a waiter woken at just the wrong moment could
+observe the release, pop the node's drain countdown to zero, and run
+the last-leaver ``_draining.pop`` — all before the increment performed
+the ``_draining`` *insert*.  The entry then leaked forever and poisoned
+every future ``reset()``.  (In the condvar era the early publication
+was ``signaled``; on the engine the equivalent bug is delivering the
+slot sets inside the critical section.)
 
 The original reproduction (kept in
 ``tests/core/test_timeout_races.py::TestIncrementPreemptedMidCriticalSection``)
@@ -18,7 +20,8 @@ One schedule, two codebases:
 * on a test-local subclass reproducing the pre-fix ``increment``, the
   schedule deterministically produces the leak;
 * on current code, the *same positioning script* shows the fix working:
-  the waiter's timeout adjudication blocks on the counter lock until the
+  the waiter stays parked through the whole critical section, its
+  timer's adjudication blocking on the counter lock until the
   increment's critical section (insert included) completes.
 """
 
@@ -34,10 +37,13 @@ import pytest
 
 
 class _PreFixCounter(MonotonicCounter):
-    """``MonotonicCounter`` with PR 2's increment bug re-introduced:
-    ``signaled`` set inside the critical section (at the release
-    linearization point) instead of by the out-of-lock ``signal()`` pass.
-    Sync points are preserved so the same schedule drives both variants.
+    """``MonotonicCounter`` with PR 2's increment bug re-introduced,
+    transliterated to the engine: the wake pass (set flag + slot sets)
+    runs inside the critical section, before the ``_draining`` insert,
+    instead of in the out-of-lock ``signal()`` pass.  Sync points are
+    preserved so the same schedule drives both variants.  (The later
+    ``signal()`` is harmless double delivery: each wheel entry's claim
+    is already spent, so the second ``release_wake`` no-ops.)
     """
 
     def increment(self, amount: int = 1) -> int:
@@ -56,11 +62,14 @@ class _PreFixCounter(MonotonicCounter):
                     draining = []
                     for node in released:
                         node.released = True
-                        node.signaled = True  # THE BUG: observable early
                         self._live_levels -= 1
                         self._live_waiters -= node.count
                         if node.count:
+                            node.countdown = node.waiters[:]
                             draining.append(node)
+                        node.signaled = True           # THE BUG: the wake
+                        for waiter in node.waiters:    # is observable while
+                            waiter.release_wake()      # the insert is pending
                     if draining:
                         if _sp.enabled:
                             _sp.fire("increment.drain", self)
@@ -84,11 +93,12 @@ def _drive_drain_race(counter):
     2. Walk the increment to the ``increment.drain`` gate: release
        decided, tallies settled, ``_draining`` insert NOT yet performed,
        counter lock held.
-    3. Let the waiter's condvar timeout expire and run it as far as it
-       can get.  Pre-fix: it observes ``signaled``, pops the (absent)
-       draining entry, and finishes — the leak interleaving.  Fixed: the
-       verdict is a genuine timeout, so it goes to lock adjudication and
-       *blocks* on the counter lock the increment still holds.
+    3. Run the waiter as far as it can get.  Pre-fix: its slot was set
+       inside the critical section, so it is already awake — it pops
+       the (absent) draining entry and finishes, the leak interleaving.
+       Fixed: nothing has woken it; its 0.25s timer fires, claims the
+       entry, and the provisional timeout goes to lock adjudication,
+       which *blocks* on the counter lock the increment still holds.
     4. Release the increment; free-run everything.
 
     Returns ``(controller, result, waiter_outcome)``.
@@ -109,7 +119,6 @@ def _drive_drain_race(counter):
         controller.until("w", "park.enter")
         controller.grant("w")                      # parks, 0.25s deadline
         controller.until("inc", "increment.drain")  # mid-critical-section
-        controller.until("w", "park.verdict", timeout=5.0)
         outcome = controller.run_thread("w")
         controller.run_thread("inc", timeout=5.0)
         controller.finish()
@@ -135,9 +144,9 @@ def test_drain_leak_reproduces_on_prefix_increment():
 
 def test_same_schedule_clean_on_current_increment():
     """The identical schedule on current code: the early observation is
-    impossible (``signaled`` only set after the critical section), the
-    waiter's adjudication blocks until the insert has happened, and
-    nothing leaks."""
+    impossible (slot sets only delivered after the critical section),
+    the waiter's timer adjudication blocks until the insert has
+    happened, and nothing leaks."""
     counter = MonotonicCounter()
     controller, result, outcome = _drive_drain_race(counter)
 
