@@ -26,13 +26,69 @@ the loop-critical path.  The mirror stays for code that holds an
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 
 from repro.aio.counter import AsyncCounter
 from repro.core.counter import MonotonicCounter
+from repro.core.engine import current_slot
 from repro.core.errors import CheckTimeout
 from repro.core.validation import validate_level, validate_timeout
 
-__all__ = ["CounterBridge"]
+__all__ = ["CounterBridge", "raise_to", "wait_threadside"]
+
+
+def raise_to(counter, target: int) -> None:
+    """Idempotently raise ``counter`` to the absolute floor ``target``.
+
+    The mirroring primitive every cross-runtime (and cross-process /
+    cross-host) forwarder in this repo reduces to: notifications may
+    coalesce, lag, or arrive out of order, but setting an absolute floor
+    is idempotent and order-insensitive under monotonicity — applying
+    {5, 3, 9} in any order leaves the counter at 9.  Works on any
+    object with ``value`` and ``increment`` (thread counters take their
+    lock per call; asyncio counters mutate between awaits).  A stale
+    ``value`` read only under-raises, and the next notification closes
+    the gap — the same lower-bound contract the obs dumps carry.
+    """
+    gap = target - counter.value
+    if gap > 0:
+        counter.increment(gap)
+
+
+def wait_threadside(loop: asyncio.AbstractEventLoop, coro, timeout: float | None = None):
+    """Run ``coro`` on ``loop`` from a non-loop thread, parking the
+    caller on its engine :class:`~repro.core.engine.ParkingSlot`.
+
+    The inverse leg of :meth:`CounterBridge.check`: there a thread wakes
+    a coroutine with one ``call_soon_threadsafe``; here a coroutine's
+    completion wakes a parked thread with one slot set (the future's
+    done callback, which asyncio invokes exactly once — including on
+    cancellation).  Used by the dist service's thread-side shim so a
+    synchronous ``check`` against a remote counter parks on the same
+    engine primitive as a local one.
+
+    The one-set-per-park discipline is preserved on the timeout path by
+    *consuming before returning*: after an expiry the future is
+    cancelled and the thread re-parks until the done callback's set
+    arrives, so no stray set can leak into the thread's next counter
+    park.  Raises :class:`TimeoutError` on expiry; a completion racing
+    the expiry is returned as success (the caller's conditions are
+    stable, so late success is still success).
+    """
+    future = asyncio.run_coroutine_threadsafe(coro, loop)
+    slot = current_slot()
+    future.add_done_callback(lambda _f: slot.set())
+    if not slot.wait(timeout):
+        # Expired: request cancellation, then consume the set the done
+        # callback is guaranteed to deliver (cancelled futures complete
+        # too) so the slot is re-armed for the thread's next park.
+        future.cancel()
+        slot.block()
+        try:
+            return future.result(0)  # completed concurrently with expiry
+        except concurrent.futures.CancelledError:
+            raise TimeoutError(f"loop call did not complete within {timeout}s") from None
+    return future.result(0)
 
 
 class CounterBridge:
@@ -64,9 +120,7 @@ class CounterBridge:
         return new_value
 
     def _raise_to(self, target: int) -> None:
-        gap = target - self.async_counter.value
-        if gap > 0:
-            self.async_counter.increment(gap)
+        raise_to(self.async_counter, target)
 
     async def check(self, level: int, timeout: float | None = None) -> None:
         """Await ``thread_counter.value >= level`` — the direct handoff.

@@ -54,14 +54,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import subprocess
 import sys
 import threading
 import time
 from typing import Callable
 
+from repro.bench.hostmeta import host_metadata
 from repro.bench.tables import Table
 from repro.bench.timing import measure
 from repro.bench.workloads import spread_waiters
@@ -403,10 +402,7 @@ def run_counter_ops(*, quick: bool = False) -> dict:
         "schema": SCHEMA,
         "quick": quick,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "python": sys.version.split()[0],
-        "implementation": platform.python_implementation(),
-        "platform": platform.platform(),
-        "cpu_count": os.cpu_count(),
+        **host_metadata(),
         "config": sizes,
         "series": series,
         "derived": {

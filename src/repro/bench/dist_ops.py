@@ -1,0 +1,406 @@
+"""Benchmark the counter fabric: shm scans, process scaling, pipelining.
+
+The distributed layer's perf claims are ratios, and this harness
+measures both sides of each in the same run on the same host:
+
+``shm_readonly_check``
+    A cross-process ``check`` of an already-true condition on a
+    :class:`~repro.dist.ShmCounter` is a read-only memoryview scan — no
+    lock, no syscall.  The baseline is the conventional way to share a
+    value between Python processes: a ``multiprocessing.Manager``
+    proxy, where every read is a pickled round trip to the manager
+    process.  Expected: the scan wins by well over an order of
+    magnitude (the acceptance floor is 10x).
+
+``shm_increment_scaling``
+    Total increment throughput as 1, 2, 4 processes hammer one
+    segment.  Each process writes only its own slot, so there is no
+    write contention by construction — the series documents how close
+    the fabric gets to linear (cache-line sharing between neighbor
+    slots is the expected limiter).
+
+``service_pipeline``
+    The asyncio counter service driven two ways by one client: the
+    pipelined path (plain ``increment()`` pooling into one
+    absolute-value frame per flush window, default 1ms) against the
+    per-increment-RPC path (one frame, one awaited ack, per call).
+    Expected: pipelining wins by the ratio of window to round trip
+    (the acceptance floor is 5x at a >=1ms window).
+
+Results land in ``BENCH_dist_ops.json`` (latest) and
+``BENCH_dist_ops.history.jsonl`` (per-SHA trajectory), same layout and
+CLI as :mod:`repro.bench.counter_ops`; ``--quick`` shrinks sizes for
+the CI smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import multiprocessing
+import sys
+import time
+
+from repro.bench.counter_ops import append_history, git_describe
+from repro.bench.hostmeta import host_metadata
+from repro.bench.tables import Table
+from repro.bench.timing import Timing, measure
+from repro.dist.client import AsyncCounterClient
+from repro.dist.service import CounterService
+from repro.dist.shm import ShmCounter
+
+__all__ = ["run_dist_ops", "compare", "main"]
+
+SCHEMA = 1
+
+#: Series whose ops/sec are regression-gated by :func:`compare`.
+GATED_SERIES = ("shm_readonly_check", "service_pipeline")
+
+_SIZES = {
+    "check_ops": 20_000,       # shm scans per sample
+    "manager_ops": 1_000,      # proxy reads per sample (each is an RPC)
+    "increments_per_proc": 10_000,
+    "process_counts": (1, 2, 4),
+    "pipelined_ops": 20_000,   # client increments per sample
+    "rpc_ops": 500,            # awaited acks per sample
+    "repeats": 5,
+    "flush_interval": 0.001,   # the >=1ms window of the acceptance bar
+}
+
+_QUICK_SIZES = {
+    "check_ops": 2_000,
+    "manager_ops": 100,
+    "increments_per_proc": 1_000,
+    "process_counts": (1, 2),
+    "pipelined_ops": 2_000,
+    "rpc_ops": 50,
+    "repeats": 2,
+    "flush_interval": 0.001,
+}
+
+
+def _entry(timing: Timing, ops: int) -> dict:
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / timing.mean if timing.mean else float("inf"),
+        "mean_s": timing.mean,
+        "min_s": timing.minimum,
+        "stdev_s": timing.stdev,
+        "samples": list(timing.samples),
+    }
+
+
+# --------------------------------------------------------- shm read-only scan
+
+
+def _bench_shm_check(sizes: dict) -> dict:
+    ops = sizes["check_ops"]
+    repeats = sizes["repeats"]
+    with ShmCounter.publish(slots=16) as counter:
+        counter.increment(1000)
+
+        def scan() -> None:
+            check = counter.check
+            for _ in range(ops):
+                check(1000)  # already satisfied: pure read-only scan
+
+        shm_timing = measure(scan, repeats=repeats)
+
+    manager_ops = sizes["manager_ops"]
+    with multiprocessing.get_context("fork").Manager() as manager:
+        shared = manager.Value("l", 1000)
+
+        def proxy_reads() -> None:
+            for _ in range(manager_ops):
+                if shared.value < 1000:  # pragma: no cover - never true
+                    raise AssertionError("proxy value regressed")
+
+        manager_timing = measure(proxy_reads, repeats=repeats)
+
+    return {
+        "shm": _entry(shm_timing, ops),
+        "manager_proxy": _entry(manager_timing, manager_ops),
+    }
+
+
+# ------------------------------------------------------- increment scaling
+
+
+def _scaling_worker(name: str, count: int, barrier) -> None:
+    with ShmCounter.attach(name) as counter:
+        barrier.wait()
+        increment = counter.increment
+        for _ in range(count):
+            increment()
+
+
+def _bench_shm_scaling(sizes: dict) -> dict:
+    per_proc = sizes["increments_per_proc"]
+    ctx = multiprocessing.get_context("fork")
+    series = {}
+    for nprocs in sizes["process_counts"]:
+        samples = []
+        for _ in range(max(2, sizes["repeats"] - 2)):
+            with ShmCounter.publish(slots=nprocs + 1) as counter:
+                barrier = ctx.Barrier(nprocs + 1)
+                workers = [
+                    ctx.Process(
+                        target=_scaling_worker,
+                        args=(counter.name, per_proc, barrier),
+                    )
+                    for _ in range(nprocs)
+                ]
+                for worker in workers:
+                    worker.start()
+                barrier.wait()  # all attached and ready: time only the work
+                start = time.perf_counter()
+                counter.check(nprocs * per_proc, timeout=120)
+                samples.append(time.perf_counter() - start)
+                for worker in workers:
+                    worker.join(30)
+                    if worker.exitcode != 0:
+                        raise RuntimeError(
+                            f"scaling worker exited {worker.exitcode}"
+                        )
+        series[f"{nprocs}proc"] = _entry(
+            Timing(samples=tuple(samples)), nprocs * per_proc
+        )
+    return series
+
+
+# ------------------------------------------------------- service pipelining
+
+
+async def _service_samples(sizes: dict) -> tuple[list[float], list[float]]:
+    pipelined_ops = sizes["pipelined_ops"]
+    rpc_ops = sizes["rpc_ops"]
+    repeats = sizes["repeats"]
+    pipelined, rpc = [], []
+    async with CounterService(node_id="bench") as service:
+        client = await AsyncCounterClient.connect(
+            *service.address,
+            source="bench",
+            flush_interval=sizes["flush_interval"],
+        )
+        try:
+            for rep in range(repeats + 1):  # +1 warmup
+                start = time.perf_counter()
+                for _ in range(pipelined_ops):
+                    client.increment("pipelined")
+                await client.flush()
+                elapsed = time.perf_counter() - start
+                if rep:
+                    pipelined.append(elapsed)
+            for rep in range(repeats + 1):
+                start = time.perf_counter()
+                for _ in range(rpc_ops):
+                    await client.increment_rpc("rpc")
+                elapsed = time.perf_counter() - start
+                if rep:
+                    rpc.append(elapsed)
+        finally:
+            await client.close()
+    return pipelined, rpc
+
+
+def _bench_service(sizes: dict) -> dict:
+    pipelined, rpc = asyncio.run(_service_samples(sizes))
+    return {
+        "pipelined": _entry(Timing(samples=tuple(pipelined)), sizes["pipelined_ops"]),
+        "per_increment_rpc": _entry(Timing(samples=tuple(rpc)), sizes["rpc_ops"]),
+    }
+
+
+# ----------------------------------------------------------------- harness
+
+
+def run_dist_ops(*, quick: bool = False) -> dict:
+    """Run every series; returns the result document."""
+    sizes = dict(_QUICK_SIZES if quick else _SIZES)
+    series = {
+        "shm_readonly_check": _bench_shm_check(sizes),
+        "shm_increment_scaling": _bench_shm_scaling(sizes),
+        "service_pipeline": _bench_service(sizes),
+    }
+    check = series["shm_readonly_check"]
+    pipeline = series["service_pipeline"]
+    scaling = series["shm_increment_scaling"]
+    one_proc = scaling.get("1proc", {}).get("ops_per_sec", 0.0)
+    sizes["process_counts"] = list(sizes["process_counts"])  # JSON-friendly
+    return {
+        "bench": "dist_ops",
+        "schema": SCHEMA,
+        "quick": quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        **host_metadata(),
+        "config": sizes,
+        "series": series,
+        "derived": {
+            # The acceptance bars of ROADMAP item 1: >=10x and >=5x.
+            "shm_check_vs_manager_proxy": (
+                check["shm"]["ops_per_sec"] / check["manager_proxy"]["ops_per_sec"]
+                if check["manager_proxy"]["ops_per_sec"] else float("inf")
+            ),
+            "pipelined_vs_rpc": (
+                pipeline["pipelined"]["ops_per_sec"]
+                / pipeline["per_increment_rpc"]["ops_per_sec"]
+                if pipeline["per_increment_rpc"]["ops_per_sec"] else float("inf")
+            ),
+            "scaling_efficiency": {
+                name: (entry["ops_per_sec"] / one_proc if one_proc else float("inf"))
+                for name, entry in scaling.items()
+            },
+        },
+    }
+
+
+def compare(
+    doc: dict,
+    baseline: dict,
+    *,
+    tolerance: float = 0.3,
+    overrides: dict[str, float] | None = None,
+) -> list[str]:
+    """Regression-gate ``doc`` against ``baseline``; return failure messages.
+
+    Same contract as :func:`repro.bench.counter_ops.compare`, gating
+    :data:`GATED_SERIES`.  The scaling series is reported but not gated
+    (multi-process wall time on shared CI runners is too noisy to pin).
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    overrides = overrides or {}
+    for series_name, value in overrides.items():
+        if not 0 <= value < 1:
+            raise ValueError(f"tolerance for {series_name} must be in [0, 1), got {value}")
+    for key in ("bench", "quick", "config"):
+        if doc.get(key) != baseline.get(key):
+            raise ValueError(
+                f"result and baseline are not comparable: {key} differs "
+                f"({doc.get(key)!r} vs {baseline.get(key)!r})"
+            )
+    failures = []
+    for series_name in GATED_SERIES:
+        new_series = doc.get("series", {}).get(series_name, {})
+        old_series = baseline.get("series", {}).get(series_name, {})
+        series_tolerance = overrides.get(series_name, tolerance)
+        for impl in sorted(set(new_series) & set(old_series)):
+            new_ops = new_series[impl]["ops_per_sec"]
+            old_ops = old_series[impl]["ops_per_sec"]
+            floor = old_ops * (1.0 - series_tolerance)
+            if new_ops < floor:
+                failures.append(
+                    f"{series_name}/{impl}: {new_ops:,.0f} ops/s is "
+                    f"{1 - new_ops / old_ops:.0%} below baseline "
+                    f"{old_ops:,.0f} (tolerance {series_tolerance:.0%})"
+                )
+    return failures
+
+
+def render(doc: dict) -> str:
+    """A human-readable summary of one result document."""
+    lines = []
+    for series_name, entries in doc["series"].items():
+        table = Table(
+            f"dist_ops/{series_name} (ops/sec)",
+            ["implementation", "ops/sec", "mean s"],
+        )
+        for impl, entry in entries.items():
+            table.add_row(impl, entry["ops_per_sec"], entry["mean_s"])
+        lines.append(table.render())
+    derived = doc["derived"]
+    lines.append(
+        f"shm read-only check vs Manager proxy: "
+        f"{derived['shm_check_vs_manager_proxy']:.1f}x (acceptance floor 10x)"
+    )
+    lines.append(
+        f"pipelined vs per-increment RPC: "
+        f"{derived['pipelined_vs_rpc']:.1f}x (acceptance floor 5x)"
+    )
+    efficiency = ", ".join(
+        f"{name}={ratio:.2f}x"
+        for name, ratio in sorted(derived["scaling_efficiency"].items())
+    )
+    lines.append(f"increment scaling vs 1 process: {efficiency}")
+    return "\n\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.dist_ops", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny sizes for a CI smoke run"
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_dist_ops.json",
+        help="where to write the JSON log (default: ./BENCH_dist_ops.json)",
+    )
+    parser.add_argument(
+        "--history",
+        default="BENCH_dist_ops.history.jsonl",
+        help="JSONL trajectory to append to (default: ./BENCH_dist_ops.history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true", help="skip the trajectory append"
+    )
+    parser.add_argument(
+        "--label", default=None, help="free-form tag recorded in the history entry"
+    )
+    parser.add_argument(
+        "--compare-to",
+        default=None,
+        metavar="BASELINE.json",
+        help="regression-gate the run against a committed baseline snapshot",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.3,
+        help="allowed fractional ops/sec drop before --compare-to fails",
+    )
+    parser.add_argument(
+        "--gate",
+        action="append",
+        default=[],
+        metavar="SERIES=TOL",
+        help="per-series tolerance override for --compare-to (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_dist_ops(quick=args.quick)
+    print(render(doc))
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    if args.history and not args.no_history:
+        append_history(doc, args.history, label=args.label)
+        print(f"appended history entry ({git_describe()['sha']}) to {args.history}")
+
+    if args.compare_to:
+        overrides = {}
+        for item in args.gate:
+            series_name, _, tol = item.partition("=")
+            overrides[series_name] = float(tol)
+        with open(args.compare_to, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        try:
+            failures = compare(
+                doc, baseline, tolerance=args.tolerance, overrides=overrides
+            )
+        except ValueError as exc:
+            print(f"regression gate skipped: {exc}", file=sys.stderr)
+            return 0
+        if failures:
+            print(f"\nREGRESSION vs {args.compare_to}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

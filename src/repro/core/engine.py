@@ -55,6 +55,7 @@ __all__ = [
     "ParkingSlot",
     "WheelEntry",
     "TimerWheel",
+    "Doorbell",
     "current_slot",
     "wheel",
 ]
@@ -142,6 +143,68 @@ def current_slot() -> ParkingSlot:
     except AttributeError:
         slot = _thread_slots.slot = ParkingSlot()
         return slot
+
+
+class Doorbell:
+    """Idempotent many-ringer, one-waiter notification over a slot.
+
+    A :class:`ParkingSlot` enforces *exactly one set per park round* and
+    crashes loudly on a double set — the right contract for the counter
+    protocol, where the claim discipline guarantees a single waker, but
+    the wrong one for ambient "something changed" notifications where
+    any number of producers may ring concurrently (the shared-memory
+    counter fabric's per-process watcher, :mod:`repro.dist.shm`).  A
+    doorbell wraps a dedicated slot (never the thread's
+    :func:`current_slot` — stray sets must not leak into counter parks)
+    behind a one-shot pending token so that any number of ``ring()``
+    calls collapse into at most one outstanding set:
+
+    * ``ring()`` pops the token (atomic ``list.pop``, the same
+      arbitration :class:`WheelEntry` uses) and only the winner sets the
+      slot; later rings are no-ops until the waiter consumes the set.
+    * ``wait()`` re-arms the token only after consuming a set, so the
+      state machine is exactly {armed, set-outstanding} and a second
+      outstanding set is impossible.  A ring that lands between a
+      timeout and the next wait is *banked* by the slot and consumed
+      immediately — a spurious wake, which poll loops re-check away.
+
+    Rings are therefore level-triggered edges, not counted events:
+    callers must re-examine their condition after every wake.
+    """
+
+    __slots__ = ("_slot", "_pending")
+
+    def __init__(self) -> None:
+        self._slot = ParkingSlot()
+        self._pending = [None]  # armed: the next ring may claim it
+
+    def ring(self) -> bool:
+        """Wake the waiter (at most one set outstanding); True if this
+        call delivered the set, False if one was already pending."""
+        try:
+            self._pending.pop()
+        except IndexError:
+            return False
+        self._slot.set()
+        return True
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Park until rung (or ``timeout``); True if a ring arrived.
+
+        Only ever call from the single owning waiter thread.  On a
+        timeout the token is deliberately *not* re-armed: a concurrent
+        ring may have claimed it with its set still in flight, and that
+        set must be consumed (it will be, banked, by the next wait)
+        before a new ring is allowed to deliver another.
+        """
+        if self._slot.wait(timeout):
+            self._pending.append(None)  # consumed the one set; re-arm
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "armed" if self._pending else "set-pending"
+        return f"<Doorbell {state}>"
 
 
 class WheelEntry:

@@ -75,6 +75,10 @@ POINTS = frozenset(
         "multiwait.fire",      # subscription callback, before taking the MultiWait lock
         "multiwait.park",      # wait_all/wait_any, before taking the MultiWait lock
         "multiwait.close",     # close, before taking the MultiWait lock
+        # repro.dist.GCounter (replication state of the counter fabric)
+        "gcounter.lock",       # bump/merge, before acquiring the contributions lock
+        "gcounter.merge",      # inside the lock, before applying a digest's maxes
+        "gcounter.publish",    # after the lock, before raising the wait mirror
     }
 )
 

@@ -1,0 +1,39 @@
+"""``repro.dist`` — the counter fabric beyond one process.
+
+The paper's determinacy argument (§6) rests on stability: once a
+``check(level)`` condition becomes true it stays true, because counters
+only grow.  Stability is also exactly what makes a counter *cheap to
+distribute* — a stale replica under-reports but never lies, so a
+satisfied read needs no coordination at all.  This package cashes that
+in on two axes:
+
+* **Shared memory** (:class:`ShmCounter`): processes on one host share a
+  fixed-slot segment; each writer owns one 8-byte slot, readers sum the
+  slots with a plain scan.  A cross-process ``check`` of an
+  already-true condition is a read-only scan — no lock, no syscall.
+* **Network** (:class:`CounterService` / :class:`AsyncCounterClient` /
+  :class:`ServiceCounter`): an asyncio TCP service holding one
+  :class:`GCounter` per name, with client-side increment pipelining
+  (one absolute-value frame per flush window), subscription push for
+  waiting, and anti-entropy max-merge between peers.
+
+Both are views of the same replication state: a grow-only counter of
+per-source maxes (:class:`GCounter`), merged with pointwise max.  See
+``docs/dist.md`` for layouts, wire format, and the soundness argument.
+"""
+
+from repro.dist.client import AsyncCounterClient, ServiceCounter, open_threadside
+from repro.dist.gcounter import GCounter, digests_equal, merge_digests
+from repro.dist.service import CounterService
+from repro.dist.shm import ShmCounter
+
+__all__ = [
+    "AsyncCounterClient",
+    "CounterService",
+    "GCounter",
+    "ServiceCounter",
+    "ShmCounter",
+    "digests_equal",
+    "merge_digests",
+    "open_threadside",
+]

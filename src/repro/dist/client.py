@@ -1,0 +1,468 @@
+"""Clients of the counter service: pipelined asyncio core, thread shim.
+
+:class:`AsyncCounterClient` is the coroutine-side client and the
+service's performance story.  ``increment()`` is an ordinary (non-async)
+method that only touches process-local state: it grows this source's
+absolute contribution and marks the counter dirty.  A flusher task wakes
+once per flush window (default 1ms) and ships **one** ``inc`` frame per
+dirty counter carrying the absolute contribution — a window's worth of
+increments collapses into a single frame, and because the server merges
+with max-per-source, coalescing, retransmission, and reordering are all
+semantics-preserving.  Compare :meth:`AsyncCounterClient.increment_rpc`,
+the one-frame-one-ack baseline the benchmark measures the pipeline
+against.
+
+``check()`` rides the service's subscription push (one ``sub`` frame,
+one ``reached`` frame when the level is crossed) instead of polling; a
+timeout is adjudicated against an authoritative ``get`` before raising
+:class:`~repro.core.errors.CheckTimeout`, mirroring the in-process
+counter's adjudication discipline — a waiter that raced the push still
+returns satisfied.
+
+:class:`ServiceCounter` wraps one named counter for *threads*: it owns a
+background event loop (via :func:`open_threadside`), forwards increments
+with ``call_soon_threadsafe``, and parks the calling thread through
+:func:`repro.aio.bridge.wait_threadside` — the PR-6 engine slot is the
+only thread-blocking primitive in the stack.  It registers with the
+observability registry, so ``python -m repro.obs dump`` shows
+service-backed waiters alongside in-process ones; its reported value is
+the last server-acknowledged total, a guaranteed lower bound (stability:
+the true total can only be higher).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from typing import Any
+
+from repro.aio.bridge import wait_threadside
+from repro.core.errors import CheckTimeout
+from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
+from repro.core.validation import validate_amount, validate_level
+from repro.dist import wire
+from repro.obs import registry as _obs_registry
+
+__all__ = ["AsyncCounterClient", "ServiceCounter", "open_threadside"]
+
+#: Default flush window: how long increments pool before one frame ships.
+FLUSH_INTERVAL = 0.001
+
+#: Grace added to a thread-side wait deadline so the server-side timeout
+#: adjudication (a ``get`` round-trip) can finish before the thread gives
+#: up on the loop entirely.
+_THREADSIDE_GRACE = 5.0
+
+
+class AsyncCounterClient:
+    """One connection to a :class:`~repro.dist.service.CounterService`.
+
+    Create with ``await AsyncCounterClient.connect(host, port)``.  All
+    methods must run on the connection's event loop (thread-side callers
+    go through :class:`ServiceCounter`).
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, *, source: str,
+                 flush_interval: float = FLUSH_INTERVAL) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.source = source
+        self.flush_interval = flush_interval
+        self._contrib: dict[str, int] = {}   # our absolute contribution
+        self._known: dict[str, int] = {}     # last server-reported total
+        self._dirty: set[str] = set()
+        self._dirty_event = asyncio.Event()
+        self._ids = itertools.count(1)
+        self._replies: dict[Any, asyncio.Future] = {}
+        self._subs: dict[Any, asyncio.Future] = {}
+        self._closed = False
+        self.frames_out = 0
+        self._reader_task: asyncio.Task | None = None
+        self._flusher_task: asyncio.Task | None = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int, *, source: str | None = None,
+                      flush_interval: float = FLUSH_INTERVAL,
+                      ) -> "AsyncCounterClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        if source is None:
+            sock = writer.get_extra_info("sockname")
+            source = f"{sock[0]}:{sock[1]}"
+        client = cls(reader, writer, source=source, flush_interval=flush_interval)
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        client._flusher_task = asyncio.ensure_future(client._flush_loop())
+        return client
+
+    # ----------------------------------------------------------- increments
+
+    def increment(self, counter: str, amount: int = 1) -> int:
+        """Pool ``amount`` into the next flush; returns our contribution.
+
+        Not a coroutine and never blocks: the cost is two dict writes.
+        The wire cost is amortized to at most one frame per counter per
+        flush window regardless of call rate — that is the pipelining
+        the benchmark quantifies.
+        """
+        if self._closed:
+            raise RuntimeError("client is closed")
+        amount = validate_amount(amount)
+        total = self._contrib.get(counter, 0) + amount
+        self._contrib[counter] = total
+        self._dirty.add(counter)
+        self._dirty_event.set()
+        return total
+
+    async def flush(self) -> None:
+        """Ship every pending contribution and wait for the server's ack."""
+        await self._flush_now(acked=True)
+
+    async def increment_rpc(self, counter: str, amount: int = 1) -> int:
+        """Unpipelined baseline: one frame, one awaited ack, per call.
+
+        Same merge semantics as :meth:`increment` (ships the absolute
+        contribution), so mixing the two is safe; exists so the
+        benchmark can measure what the flush window buys.
+        """
+        amount = validate_amount(amount)
+        total = self._contrib.get(counter, 0) + amount
+        self._contrib[counter] = total
+        self._dirty.discard(counter)  # this frame carries the new floor
+        reply = await self._request(
+            {"op": "inc", "c": counter, "s": self.source, "v": total}
+        )
+        self._note_value(counter, reply["v"])
+        return reply["v"]
+
+    async def _flush_loop(self) -> None:
+        while True:
+            await self._dirty_event.wait()
+            # The window: everything pooled while we sleep rides one frame.
+            await asyncio.sleep(self.flush_interval)
+            await self._flush_now(acked=False)
+
+    async def _flush_now(self, *, acked: bool) -> None:
+        self._dirty_event.clear()
+        dirty, self._dirty = self._dirty, set()
+        frames = []
+        last = None
+        for counter in dirty:
+            frame = {"op": "inc", "c": counter, "s": self.source,
+                     "v": self._contrib[counter]}
+            frames.append(frame)
+            last = frame
+        if acked and last is None:
+            # Nothing pooled, but earlier unacked frames may be in flight:
+            # TCP ordering + sequential dispatch make any round trip a
+            # barrier, and a `get` creates nothing server-side.
+            await self._request({"op": "get", "c": ""})
+            return
+        if acked:
+            last["id"] = next(self._ids)
+            future = asyncio.get_running_loop().create_future()
+            self._replies[last["id"]] = future
+        if not frames:
+            return
+        self._writer.write(b"".join(wire.encode(f) for f in frames))
+        self.frames_out += len(frames)
+        await self._writer.drain()
+        if acked:
+            reply = await future
+            self._note_value(last["c"], reply["v"])
+
+    # -------------------------------------------------------------- waiting
+
+    async def value(self, counter: str) -> int:
+        """The server's current total for ``counter`` (authoritative)."""
+        reply = await self._request({"op": "get", "c": counter})
+        self._note_value(counter, reply["v"])
+        return reply["v"]
+
+    async def check(self, counter: str, level: int,
+                    timeout: float | None = None) -> None:
+        """Suspend this coroutine until ``counter`` reaches ``level``.
+
+        Flushes our own pending contribution first (a waiter must not
+        deadlock on increments it already made), then waits for the
+        service's ``reached`` push.  On timeout the verdict is
+        adjudicated against an authoritative ``get``: only a confirmed
+        shortfall raises :class:`CheckTimeout`.
+        """
+        level = validate_level(level)
+        if counter in self._dirty:
+            await self._flush_now(acked=False)
+        sub_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._subs[sub_id] = future
+        self._writer.write(
+            wire.encode({"op": "sub", "c": counter, "l": level, "id": sub_id})
+        )
+        self.frames_out += 1
+        await self._writer.drain()
+        try:
+            reached = await asyncio.wait_for(
+                asyncio.shield(future), timeout
+            )
+        except asyncio.TimeoutError:
+            if self._subs.pop(sub_id, None) is not None:
+                future.cancel()  # nothing will await it now
+            self._writer.write(wire.encode({"op": "unsub", "id": sub_id}))
+            self.frames_out += 1
+            # Adjudicate: the push may have lost the race to the deadline.
+            current = await self.value(counter)
+            if current >= level:
+                return
+            raise CheckTimeout(
+                f"check(level={level}) on {counter!r} unsatisfied after "
+                f"{timeout}s (value={current})"
+            ) from None
+        else:
+            self._note_value(counter, reached["v"])
+
+    # ------------------------------------------------------------- plumbing
+
+    def known_value(self, counter: str) -> int:
+        """Last server-reported total — a stable lower bound."""
+        return self._known.get(counter, 0)
+
+    def contribution(self, counter: str) -> int:
+        """Our own absolute contribution (includes unflushed pooling)."""
+        return self._contrib.get(counter, 0)
+
+    def _note_value(self, counter: str, value: int) -> None:
+        if self._known.get(counter, 0) < value:
+            self._known[counter] = value
+
+    async def _request(self, frame: dict) -> dict:
+        frame["id"] = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._replies[frame["id"]] = future
+        self._writer.write(wire.encode(frame))
+        self.frames_out += 1
+        await self._writer.drain()
+        return await future
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionResetError("server closed the connection")
+                frame = wire.decode(line)
+                op = frame["op"]
+                if op in ("ack", "value"):
+                    future = self._replies.pop(frame["id"], None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+                elif op == "reached":
+                    self._note_value(frame["c"], frame["v"])
+                    future = self._subs.pop(frame["id"], None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+                elif op == "error":
+                    future = self._replies.pop(frame.get("id"), None)
+                    if future is not None and not future.done():
+                        future.set_exception(RuntimeError(frame["msg"]))
+        except (ConnectionError, asyncio.CancelledError, ValueError) as exc:
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        for future in (*self._replies.values(), *self._subs.values()):
+            if not future.done():
+                future.set_exception(ConnectionError(f"connection lost: {exc!r}"))
+        self._replies.clear()
+        self._subs.clear()
+
+    async def close(self) -> None:
+        """Flush pending increments, then tear the connection down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._dirty:
+            try:
+                await self._flush_now(acked=True)
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+        for task in (self._flusher_task, self._reader_task):
+            if task is not None:
+                task.cancel()
+        self._fail_pending(ConnectionError("client closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - peer raced the close
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"<AsyncCounterClient source={self.source!r} {state} "
+                f"frames_out={self.frames_out}>")
+
+
+class ServiceCounter:
+    """Thread-side handle on one service-hosted counter.
+
+    Obtained from :meth:`open_threadside`'s endpoint; every method is
+    safe to call from any thread.  Waiting parks the calling thread on
+    its PR-6 engine slot via :func:`wait_threadside`; increments are
+    fire-and-forget hops onto the connection's loop (pooled into the
+    client's flush window like any loop-side increment).
+
+    The handle registers in the observability registry: ``snapshot()``
+    reports the last server-acknowledged total (a stable lower bound on
+    the true fabric total) and one wait node per thread currently parked
+    in :meth:`check`, so dumps and the stall watchdog see cross-process
+    waiters exactly like local ones.
+    """
+
+    def __init__(self, client: AsyncCounterClient,
+                 loop: asyncio.AbstractEventLoop, counter: str) -> None:
+        self._client = client
+        self._loop = loop
+        self._counter = counter
+        self._name = f"service:{counter}"
+        self._waiting: dict[int, int] = {}   # level -> parked thread count
+        self._waiting_lock = threading.Lock()
+        self._closed = False
+        _obs_registry.register(self)
+
+    # Mirrors the MonotonicCounter surface so callers can swap backends.
+
+    def increment(self, amount: int = 1) -> None:
+        amount = validate_amount(amount)
+        self._loop.call_soon_threadsafe(
+            self._client.increment, self._counter, amount
+        )
+
+    def check(self, level: int, timeout: float | None = None) -> None:
+        level = validate_level(level)
+        with self._waiting_lock:
+            self._waiting[level] = self._waiting.get(level, 0) + 1
+        try:
+            wait_threadside(
+                self._loop,
+                self._client.check(self._counter, level, timeout),
+                None if timeout is None else timeout + _THREADSIDE_GRACE,
+            )
+        finally:
+            with self._waiting_lock:
+                remaining = self._waiting[level] - 1
+                if remaining:
+                    self._waiting[level] = remaining
+                else:
+                    del self._waiting[level]
+
+    def flush(self) -> None:
+        """Block until the server has acked every pooled increment."""
+        wait_threadside(self._loop, self._client.flush(), _THREADSIDE_GRACE)
+
+    def value_rpc(self) -> int:
+        """Authoritative server total (one round trip)."""
+        return wait_threadside(
+            self._loop, self._client.value(self._counter), _THREADSIDE_GRACE
+        )
+
+    @property
+    def value(self) -> int:
+        """Last server-acknowledged total: a guaranteed lower bound,
+        readable without a round trip (stability makes stale safe)."""
+        return self._client.known_value(self._counter)
+
+    # ------------------------------------------------------- observability
+
+    def snapshot(self) -> CounterSnapshot:
+        with self._waiting_lock:
+            nodes = tuple(
+                WaitNodeSnapshot(level=level, count=count)
+                for level, count in sorted(self._waiting.items())
+            )
+        return CounterSnapshot(value=self.value, nodes=nodes)
+
+    def dist_snapshot(self) -> dict:
+        """Fabric-level view for ``repro.obs`` dumps."""
+        return {
+            "backend": "service",
+            "counter": self._counter,
+            "source": self._client.source,
+            "published": self.value,
+            "contribution": self._client.contribution(self._counter),
+        }
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            _obs_registry.deregister(self)
+
+    def __repr__(self) -> str:
+        return f"<ServiceCounter {self._counter!r} value>={self.value}>"
+
+
+class _ThreadsideEndpoint:
+    """A connection plus the daemon loop thread that drives it."""
+
+    def __init__(self, client: AsyncCounterClient,
+                 loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self._client = client
+        self._loop = loop
+        self._thread = thread
+        self._handles: list[ServiceCounter] = []
+
+    @property
+    def client(self) -> AsyncCounterClient:
+        return self._client
+
+    def counter(self, name: str) -> ServiceCounter:
+        handle = ServiceCounter(self._client, self._loop, name)
+        self._handles.append(handle)
+        return handle
+
+    def close(self) -> None:
+        for handle in self._handles:
+            handle.close()
+        try:
+            wait_threadside(self._loop, self._client.close(), _THREADSIDE_GRACE)
+        except (ConnectionError, TimeoutError):
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=_THREADSIDE_GRACE)
+
+    def __enter__(self) -> "_ThreadsideEndpoint":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def open_threadside(host: str, port: int, *, source: str | None = None,
+                    flush_interval: float = FLUSH_INTERVAL,
+                    ) -> _ThreadsideEndpoint:
+    """Connect a background event loop to a counter service.
+
+    Spawns one daemon thread running a private loop, connects an
+    :class:`AsyncCounterClient` on it, and returns an endpoint whose
+    ``counter(name)`` hands out thread-safe :class:`ServiceCounter`
+    handles.  The thread exists because the caller has none of its own
+    loop — purely synchronous programs get service counters this way.
+    """
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        started.set()
+        loop.run_forever()
+        loop.close()
+
+    thread = threading.Thread(target=run, name="repro-dist-client", daemon=True)
+    thread.start()
+    started.wait()
+    client = wait_threadside(
+        loop,
+        AsyncCounterClient.connect(
+            host, port, source=source, flush_interval=flush_interval
+        ),
+        _THREADSIDE_GRACE,
+    )
+    return _ThreadsideEndpoint(client, loop, thread)

@@ -1,0 +1,300 @@
+"""The asyncio TCP counter service: pipelined merges, subscription push.
+
+The network half of the counter fabric (ROADMAP item 1, axis 2).  A
+:class:`CounterService` holds one :class:`~repro.dist.gcounter.GCounter`
+per published counter name and speaks the newline-JSON protocol of
+:mod:`repro.dist.wire`:
+
+* ``inc`` frames are *merges*, not additions: the client ships its
+  source's absolute contribution and the server applies max.  That is
+  what makes client-side pipelining free — a 1ms flush window worth of
+  increments is one frame — and what makes the protocol safe under
+  retransmission and reordering.
+* ``sub`` frames register a level subscription, served by the PR-2
+  ``subscribe()`` hook on the counter's wait mirror: when an increment
+  (from any connection, or an anti-entropy merge) first reaches the
+  level, the subscription callback fires in the releasing context and
+  the ``reached`` push is scheduled onto the loop with one
+  ``call_soon`` — the same single-handoff shape as the PR-6 aio bridge,
+  with the TCP connection standing in for the parked thread's slot.
+* ``sync`` frames are the anti-entropy exchange: the initiator ships
+  its full per-source digests, the responder merges and replies with
+  its own (post-merge) digests, the initiator merges those.  After one
+  round both replicas' digests are identical — max-merge is
+  commutative, associative, and idempotent, so crossed or repeated
+  rounds only ever converge harder.
+
+Stability is why none of this needs coordination: a replica's value is
+a lower bound on the fabric-wide total, every ``check(level)`` is a
+stable condition, so a subscription served from a lagging replica fires
+late, never wrongly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+from typing import Mapping
+
+from repro.dist import wire
+from repro.dist.gcounter import GCounter
+
+__all__ = ["CounterService"]
+
+log = logging.getLogger("repro.dist.service")
+
+
+def _configure_file_log() -> None:
+    """Route service logs to ``$REPRO_DIST_LOG`` if set (CI artifact)."""
+    path = os.environ.get("REPRO_DIST_LOG")
+    if not path or any(
+        isinstance(h, logging.FileHandler) and h.baseFilename == os.path.abspath(path)
+        for h in log.handlers
+    ):
+        return
+    handler = logging.FileHandler(path)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+    )
+    log.addHandler(handler)
+    log.setLevel(logging.DEBUG)
+
+
+class _Subscription:
+    """One live ``sub``: its reply id, connection writer, and cancel."""
+
+    __slots__ = ("sub_id", "writer", "counter_name", "level", "handle")
+
+    def __init__(self, sub_id, writer, counter_name, level) -> None:
+        self.sub_id = sub_id
+        self.writer = writer
+        self.counter_name = counter_name
+        self.level = level
+        self.handle = None  # CounterSubscription once registered
+
+
+class CounterService:
+    """One counter-service node: TCP endpoint + named G-counters.
+
+    ``await start()`` binds (port 0 picks a free port; read it back from
+    :attr:`port`); ``await stop()`` closes every connection.  Counters
+    are created on first touch.  :meth:`anti_entropy` runs one merge
+    round against a peer node.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 node_id: str | None = None) -> None:
+        self._host = host
+        self._port = port
+        self.node_id = node_id or f"node-{os.getpid()}"
+        self.counters: dict[str, GCounter] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._subs: dict[tuple[int, object], _Subscription] = {}
+        self._writers: set[asyncio.StreamWriter] = set()
+        self.frames_in = 0
+        _configure_file_log()
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "service not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self._host, self.port)
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(self._serve, self._host, self._port)
+        log.info("%s listening on %s:%d", self.node_id, self._host, self.port)
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        self._subs.clear()
+        log.info("%s stopped", self.node_id)
+
+    async def __aenter__(self) -> "CounterService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------- state
+
+    def counter(self, name: str) -> GCounter:
+        """The named G-counter, created on first touch."""
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = GCounter(name=f"{self.node_id}/{name}")
+        return counter
+
+    def digests(self) -> dict[str, dict[str, int]]:
+        """Every counter's per-source digest (the ``sync`` payload)."""
+        return {name: counter.digest() for name, counter in self.counters.items()}
+
+    def merge_digests(self, counters: Mapping[str, Mapping[str, int]]) -> None:
+        """Apply a peer's digests (max-per-source; creates counters)."""
+        for name, digest in counters.items():
+            self.counter(name).merge(digest)
+
+    # ------------------------------------------------------------ protocol
+
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        log.debug("%s: connection from %s", self.node_id, peer)
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if len(line) > wire.MAX_FRAME:
+                    raise ValueError(f"frame exceeds {wire.MAX_FRAME} bytes")
+                self.frames_in += 1
+                try:
+                    frame = wire.decode(line)
+                    self._dispatch(frame, writer)
+                except ValueError as exc:
+                    log.warning("%s: bad frame from %s: %s", self.node_id, peer, exc)
+                    writer.write(wire.encode({"op": "error", "msg": str(exc)}))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError) as exc:
+            log.debug("%s: connection %s dropped: %s", self.node_id, peer, exc)
+        except asyncio.CancelledError:
+            # Loop teardown with the handler parked in readline(); exiting
+            # quietly here keeps streams' connection_made callback from
+            # re-raising the cancellation as a loop error.
+            log.debug("%s: connection %s cancelled at shutdown", self.node_id, peer)
+        finally:
+            self._drop_connection(writer)
+
+    def _dispatch(self, frame: dict, writer: asyncio.StreamWriter) -> None:
+        op = frame["op"]
+        if op == "inc":
+            total = self.counter(frame["c"]).raise_source(
+                str(frame["s"]), int(frame["v"])
+            )
+            if frame.get("id") is not None:
+                writer.write(wire.encode({"op": "ack", "id": frame["id"], "v": total}))
+        elif op == "sub":
+            self._subscribe(frame, writer)
+        elif op == "unsub":
+            sub = self._subs.pop((id(writer), frame["id"]), None)
+            if sub is not None and sub.handle is not None:
+                sub.handle.cancel()
+        elif op == "get":
+            counter = self.counters.get(frame["c"])
+            writer.write(
+                wire.encode(
+                    {
+                        "op": "value",
+                        "id": frame["id"],
+                        "c": frame["c"],
+                        "v": counter.value if counter is not None else 0,
+                    }
+                )
+            )
+        elif op == "sync":
+            self.merge_digests(frame.get("counters", {}))
+            if frame.get("id") is not None:
+                writer.write(
+                    wire.encode(
+                        {"op": "sync_reply", "id": frame["id"],
+                         "counters": self.digests()}
+                    )
+                )
+            log.debug("%s: anti-entropy merge applied", self.node_id)
+        else:
+            raise ValueError(f"unknown op {op!r}")
+
+    def _subscribe(self, frame: dict, writer: asyncio.StreamWriter) -> None:
+        counter = self.counter(frame["c"])
+        sub = _Subscription(frame["id"], writer, frame["c"], int(frame["l"]))
+        key = (id(writer), sub.sub_id)
+        loop = asyncio.get_running_loop()
+
+        def on_reach() -> None:
+            # Fires in whatever context performed the satisfying raise
+            # (a handler coroutine, or an anti-entropy merge).  One
+            # call_soon hands the push to the loop — the bridge's
+            # single-handoff discipline, with a socket for a slot.
+            loop.call_soon(self._push_reached, key)
+
+        handle = counter.subscribe(sub.level, on_reach)
+        if handle is None:  # already satisfied: push immediately
+            writer.write(
+                wire.encode(
+                    {"op": "reached", "id": sub.sub_id, "c": sub.counter_name,
+                     "l": sub.level, "v": counter.value}
+                )
+            )
+            return
+        sub.handle = handle
+        self._subs[key] = sub
+
+    def _push_reached(self, key: tuple[int, object]) -> None:
+        sub = self._subs.pop(key, None)
+        if sub is None or sub.writer.is_closing():
+            return
+        counter = self.counters[sub.counter_name]
+        sub.writer.write(
+            wire.encode(
+                {"op": "reached", "id": sub.sub_id, "c": sub.counter_name,
+                 "l": sub.level, "v": counter.value}
+            )
+        )
+
+    def _drop_connection(self, writer: asyncio.StreamWriter) -> None:
+        self._writers.discard(writer)
+        dead = [key for key, sub in self._subs.items() if sub.writer is writer]
+        for key in dead:
+            sub = self._subs.pop(key)
+            if sub.handle is not None:
+                sub.handle.cancel()
+        writer.close()
+
+    # --------------------------------------------------------- anti-entropy
+
+    async def anti_entropy(self, host: str, port: int, *, timeout: float = 5.0) -> None:
+        """One gossip round with the peer at ``(host, port)``.
+
+        Ships our digests, merges the peer's post-merge reply.  After
+        the round both nodes hold identical digests for every counter
+        either side had ever seen (the peer merged ours before
+        replying).  Idempotent and crash-safe at any point: a lost
+        reply just leaves the initiator one round behind.
+        """
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                wire.encode({"op": "sync", "id": "ae", "counters": self.digests()})
+            )
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            reply = wire.decode(line)
+            if reply["op"] != "sync_reply":
+                raise ValueError(f"expected sync_reply, got {reply['op']!r}")
+            self.merge_digests(reply.get("counters", {}))
+            log.info("%s: anti-entropy round with %s:%d complete",
+                     self.node_id, host, port)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer raced the close
+                pass
+
+    def __repr__(self) -> str:
+        bound = f"{self._host}:{self.port}" if self._server else "unbound"
+        return f"<CounterService {self.node_id} {bound} counters={len(self.counters)}>"

@@ -1,0 +1,541 @@
+"""Shared-memory multiprocess monotonic counters: one writer slot per process.
+
+The cross-process half of the counter fabric (ROADMAP item 1, axis 1).
+A :class:`ShmCounter` lives in a ``multiprocessing.shared_memory``
+segment laid out as a tiny header plus three fixed arrays of 8-byte
+little-endian unsigned integers, one entry per *slot*:
+
+======== ======================================================
+values   each attached process's monotone contribution
+pids     slot ownership (0 = free; a dead pid = reclaimable)
+bells    per-process doorbell: 1 + the lowest level the owning
+         process currently waits for (0 = not waiting)
+======== ======================================================
+
+**Why no lock, no seqlock, no syscall on the read path.**  A writer
+only ever stores an *increasing* value into its *own* slot — an aligned
+8-byte store, which CPython performs as a single C-level copy (atomic
+on every platform CPython supports; there is no partial-word tearing to
+guard against, hence no seqlock).  A reader sums the values array with
+a plain ``memoryview`` scan.  Each slot read is some value the slot
+truly held at the instant it was read, and slots only grow, so the
+scanned sum is bracketed by the true totals at scan start and scan end.
+A ``check(level)`` that observes ``sum >= level`` is therefore sound by
+the paper's stability argument (§6) verbatim: the condition held at
+some real moment during the scan and can never be un-held.  The sum
+can lag the true total — it is a *guaranteed lower bound*, the same
+contract the sharded dumps carry — so the only possible error is a
+wait that parks a little longer, never a wakeup that fires early and
+never an observed decrease.
+
+**Waiting.**  Pure shared memory offers no portable cross-process wake
+primitive, so waits are hybrid: in-process waiters park through the
+PR-6 engine on a local :class:`~repro.core.counter.MonotonicCounter`
+mirror, and a single per-attachment *watcher* thread closes the
+cross-process gap — it publishes the process's lowest awaited level in
+the shm doorbell slot, then alternates cheap read-only scans with
+parks on an engine :class:`~repro.core.engine.Doorbell` using an
+adaptive poll interval.  Local increments ring the doorbell directly
+(same-process handoff never waits out a poll), and remote writers that
+satisfy a published doorbell level bump the header's ring generation,
+which the watcher's scan picks up at the next poll boundary.  An
+already-true ``check`` never involves any of this: it is one read-only
+scan, no lock, no syscall, no watcher.
+
+**Lifecycle.**  ``ShmCounter.publish(name)`` creates the segment;
+``ShmCounter.attach(name)`` maps it and claims a writer slot.  Claims
+are serialized by an ``flock`` on a sidecar lock file (the kernel
+releases the lock on process death, so a crash mid-claim can never
+wedge the segment).  A slot whose owner pid is dead is *reclaimed* by
+the next attach: ownership transfers but the slot's value is kept —
+contributions are per-slot, values only grow, and folding or zeroing a
+dead slot would momentarily bend the monotone sum.  A process killed
+mid-increment therefore leaves the counter at either the old or the
+new slot value, both valid states; readers never observe a decrease
+(``tests/dist/test_crash_recovery.py`` kills writers to prove it).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import time
+from multiprocessing import shared_memory
+
+from repro.core import syncpoints as _sp
+from repro.core.counter import MonotonicCounter
+from repro.core.engine import Doorbell
+from repro.core.errors import CheckTimeout
+from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
+from repro.core.validation import validate_amount, validate_level, validate_timeout
+from repro.obs import registry as _obs_registry
+
+__all__ = ["ShmCounter", "ShmSlotSnapshot"]
+
+_MAGIC = 0x4D43_5348_4D31  # "SHMCM1"-ish tag so attach fails loudly on junk
+_HEADER_WORDS = 8          # magic, version, nslots, ring, 4 reserved
+_WORD = 8
+_VERSION = 1
+
+#: Watcher poll interval bounds (seconds).  The watcher starts at the
+#: floor after any progress and doubles toward the ceiling while scans
+#: come back empty — cross-process wakeup latency is bounded by the
+#: current interval, remote rings pull the next poll back to the floor,
+#: and local increments bypass polling entirely via the doorbell.
+_POLL_MIN = 0.0002
+_POLL_MAX = 0.004
+
+#: Serializes the resource-tracker patch in :meth:`ShmCounter.attach`
+#: (the patch is process-global for the constructor's duration).
+_attach_lock = threading.Lock()
+
+
+class ShmSlotSnapshot:
+    """Frozen per-slot view: (index, value, pid, awaited level or None)."""
+
+    __slots__ = ("index", "value", "pid", "awaited")
+
+    def __init__(self, index: int, value: int, pid: int, awaited: int | None) -> None:
+        self.index = index
+        self.value = value
+        self.pid = pid
+        self.awaited = awaited
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        wait = f" awaiting {self.awaited}" if self.awaited is not None else ""
+        return f"<slot {self.index} value={self.value} pid={self.pid}{wait}>"
+
+
+def _lock_path(name: str) -> str:
+    import tempfile
+
+    return os.path.join(tempfile.gettempdir(), f"repro-shm-{name}.lock")
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+class ShmCounter:
+    """A monotonic counter shared across processes through one segment.
+
+    Create with :meth:`publish`, join with :meth:`attach`; both return a
+    handle that owns one writer slot.  ``increment`` stores to that slot
+    only; ``check``/``value`` scan all slots.  The handle is also a
+    perfectly ordinary in-process counter: local waiters park on the
+    engine via the internal mirror, and the watcher thread (spawned
+    lazily, parked while nobody waits) keeps the mirror trailing the
+    cross-process sum.
+
+    Not a :class:`~repro.core.api.AbstractCounter` subclass on purpose:
+    ``reset`` has no safe cross-process meaning for a grow-only
+    structure.  Everything else of the counter contract is provided.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        slot: int,
+        *,
+        name: str,
+        owner: bool,
+    ) -> None:
+        self._shm = segment
+        self._slot = slot
+        self._name = name
+        self._owner = owner
+        self._closed = False
+        nslots = self._read_word(2)
+        self._nslots = nslots
+        buf = segment.buf
+        base = _HEADER_WORDS * _WORD
+        #: The whole point: the read path is one cast memoryview, summed.
+        self._values = buf[base:base + nslots * _WORD].cast("Q")
+        self._pids = buf[base + nslots * _WORD:base + 2 * nslots * _WORD].cast("Q")
+        self._bells = buf[base + 2 * nslots * _WORD:base + 3 * nslots * _WORD].cast("Q")
+        self._ring = buf[3 * _WORD:4 * _WORD].cast("Q")
+        # In-process serialization of our slot's read-modify-write (the
+        # slot has one writer *process*, but that process may have many
+        # threads) and of watcher lifecycle.
+        self._local_lock = threading.Lock()
+        self._mirror = MonotonicCounter(name=f"{name}[slot{slot}]" if name else None)
+        _obs_registry.deregister(self._mirror)  # surfaced via self instead
+        self._published = 0          # cumulative floor handed to the mirror
+        self._publish_lock = threading.Lock()
+        self._waiting: dict[int, int] = {}  # level -> local waiter count
+        self._doorbell = Doorbell()
+        self._watcher: threading.Thread | None = None
+        _obs_registry.register(self)
+
+    # ------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def publish(cls, name: str | None = None, *, slots: int = 16) -> "ShmCounter":
+        """Create the segment (and claim slot 0).  ``name=None`` lets the
+        OS pick a unique segment name (read it back from ``.name``)."""
+        if not isinstance(slots, int) or isinstance(slots, bool) or not 1 <= slots <= 4096:
+            raise ValueError(f"slots must be an int in [1, 4096], got {slots!r}")
+        size = (_HEADER_WORDS + 3 * slots) * _WORD
+        segment = shared_memory.SharedMemory(name=name, create=True, size=size)
+        buf = segment.buf
+        struct.pack_into("<QQQQ", buf, 0, _MAGIC, _VERSION, slots, 0)
+        counter = cls(segment, 0, name=segment.name, owner=True)
+        counter._pids[0] = os.getpid()
+        return counter
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmCounter":
+        """Map an existing segment and claim a free (or orphaned) slot."""
+        # CPython < 3.13 registers *attached* segments with the resource
+        # tracker too, which would unlink the segment when this process
+        # exits before the publisher is done with it (bpo-39959).  The
+        # publisher's registration is the one that guarantees cleanup, so
+        # suppress registration for the attach — suppression (rather than
+        # register-then-unregister) matters under fork, where children
+        # share the parent's tracker and an unregister would erase the
+        # publisher's entry from the shared cache.
+        with _attach_lock:
+            try:  # pragma: no cover - depends on interpreter internals
+                from multiprocessing import resource_tracker
+
+                saved = resource_tracker.register
+                resource_tracker.register = lambda *a, **k: None
+            except Exception:
+                saved = None
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            finally:
+                if saved is not None:
+                    resource_tracker.register = saved
+        magic, version, slots = struct.unpack_from("<QQQ", segment.buf, 0)
+        if magic != _MAGIC or version != _VERSION:
+            segment.close()
+            raise ValueError(f"segment {name!r} is not a ShmCounter (v{_VERSION}) segment")
+        slot = cls._claim_slot(segment, name, int(slots))
+        return cls(segment, slot, name=name, owner=False)
+
+    @staticmethod
+    def _claim_slot(segment: shared_memory.SharedMemory, name: str, nslots: int) -> int:
+        """Claim a writer slot under the sidecar file lock.
+
+        ``flock`` serializes claimants across processes and is released
+        by the kernel if the claimant dies, so the claim protocol needs
+        no shared-memory atomics.  A slot is takeable when its pid is 0
+        (never owned, or released by ``close``) or its owner is dead
+        (crash-orphan reclamation: ownership moves, the value stays —
+        monotonicity forbids zeroing it).
+        """
+        import fcntl
+
+        base = _HEADER_WORDS * _WORD
+        pids = segment.buf[base + nslots * _WORD:base + 2 * nslots * _WORD].cast("Q")
+        with open(_lock_path(name), "a+b") as lock_file:
+            fcntl.flock(lock_file, fcntl.LOCK_EX)
+            try:
+                for index in range(nslots):
+                    pid = pids[index]
+                    if pid == 0 or not _pid_alive(int(pid)):
+                        pids[index] = os.getpid()
+                        return index
+            finally:
+                fcntl.flock(lock_file, fcntl.LOCK_UN)
+        raise RuntimeError(
+            f"no free writer slot in segment {name!r} ({nslots} slots, all owned "
+            "by live processes)"
+        )
+
+    @property
+    def name(self) -> str:
+        """The segment name — what other processes pass to :meth:`attach`."""
+        return self._name
+
+    @property
+    def slot(self) -> int:
+        """This process's writer slot index."""
+        return self._slot
+
+    @property
+    def slots(self) -> int:
+        return self._nslots
+
+    def close(self) -> None:
+        """Release the slot (ownership only; the value stays) and unmap."""
+        with self._local_lock:
+            if self._closed:
+                return
+            self._closed = True
+        _obs_registry.deregister(self)
+        self._stop_watcher()
+        try:
+            self._pids[self._slot] = 0
+        except (ValueError, TypeError):  # pragma: no cover - already unmapped
+            pass
+        # memoryview slices pin the exported buffer; drop them before close.
+        self._values.release()
+        self._pids.release()
+        self._bells.release()
+        self._ring.release()
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (publisher's responsibility, after close).
+
+        Name-based, so it works on a closed handle; idempotent."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            os.unlink(_lock_path(self._name))
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ShmCounter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+    # ------------------------------------------------------------ hot paths
+
+    def _read_word(self, index: int) -> int:
+        return struct.unpack_from("<Q", self._shm.buf, index * _WORD)[0]
+
+    @property
+    def value(self) -> int:
+        """The summed contributions — one read-only memoryview scan.
+
+        A guaranteed lower bound on the true total (each slot read is
+        exact at its own read instant; slots only grow), and exact
+        whenever no increment is concurrent with the scan.
+        """
+        return sum(self._values)
+
+    def increment(self, amount: int = 1) -> int:
+        """Grow this process's slot; wake local waiters; ring remote bells.
+
+        The store is the only cross-process write: a single increasing
+        8-byte value into our own slot.  Everything after it is wakeup
+        plumbing — raising the local mirror (which runs the engine's
+        coalesced wake pass for in-process waiters) and, only when some
+        *other* process has published a doorbell level the new sum
+        satisfies, bumping the header ring generation so its watcher's
+        next poll rescans.
+        """
+        if type(amount) is not int or amount < 0:
+            amount = validate_amount(amount)
+        if amount == 0:
+            return self.value
+        values = self._values
+        slot = self._slot
+        with self._local_lock:
+            if self._closed:
+                raise ValueError(f"{self!r}: increment on a closed handle")
+            values[slot] = values[slot] + amount
+        total = sum(values)
+        # Local wakeups: raise the mirror floor (engine wake pass) and
+        # ring our own watcher so an in-flight poll re-scans immediately.
+        if self._waiting:
+            self._publish_floor(total)
+            self._doorbell.ring()
+        # Remote wakeups: scan the doorbells (one cache-line-ish read per
+        # slot, only on the increment path) and bump the ring generation
+        # when any published level is now satisfied.  The bump is a
+        # read-modify-write that may race another writer's — losing one
+        # of two concurrent bumps is harmless because the value can only
+        # move away from what any watcher last saw.
+        bells = self._bells
+        ring = self._ring
+        for index in range(self._nslots):
+            bell = bells[index]
+            if bell and index != slot and bell - 1 <= total:
+                ring[0] = ring[0] + 1
+                break
+        return total
+
+    def check(self, level: int, timeout: float | None = None) -> None:
+        """Suspend until the cross-process sum reaches ``level``.
+
+        Already-satisfied checks return from the read-only scan — no
+        lock, no syscall, no watcher.  A waiting check registers with
+        the watcher (publishing the process's lowest awaited level in
+        the shm doorbell) and parks on the engine through the mirror.
+        """
+        if type(level) is not int or level < 0:
+            level = validate_level(level)
+        if timeout is not None and (type(timeout) is not float or timeout < 0.0):
+            timeout = validate_timeout(timeout)
+        if sum(self._values) >= level:
+            return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self._register_wait(level)
+        try:
+            while True:
+                # Re-scan after registration: an increment that landed
+                # between the fast scan and the doorbell publish might
+                # never ring (its bell read preceded our write).
+                total = sum(self._values)
+                if total >= level:
+                    self._publish_floor(total)
+                    return
+                remaining: float | None = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        raise CheckTimeout(
+                            f"{self!r}: check({level}) timed out after {timeout}s "
+                            f"(value={total})"
+                        )
+                try:
+                    self._mirror.check(level, remaining)
+                    return
+                except CheckTimeout:
+                    # The mirror trails the shm sum; adjudicate against
+                    # the authoritative scan before reporting (stability:
+                    # a concurrent remote increment must not be reported
+                    # as a timeout).  The loop re-raises if truly unmet.
+                    continue
+        finally:
+            self._deregister_wait(level)
+
+    # ------------------------------------------------- waiting infrastructure
+
+    def _publish_floor(self, total: int) -> None:
+        # Same race-safe absolute-floor publish as GCounter._publish.
+        with self._publish_lock:
+            gap = total - self._published
+            if gap <= 0:
+                return
+            self._published = total
+        self._mirror.increment(gap)
+
+    def _register_wait(self, level: int) -> None:
+        with self._local_lock:
+            self._waiting[level] = self._waiting.get(level, 0) + 1
+            self._bells[self._slot] = 1 + min(self._waiting)
+            watcher = self._watcher
+            if watcher is None:
+                watcher = threading.Thread(
+                    target=self._watch, name=f"repro-shm-watch-{self._slot}", daemon=True
+                )
+                self._watcher = watcher
+                watcher.start()
+        self._doorbell.ring()  # wake the watcher to pick up the new level
+
+    def _deregister_wait(self, level: int) -> None:
+        with self._local_lock:
+            count = self._waiting.get(level, 0) - 1
+            if count > 0:
+                self._waiting[level] = count
+            else:
+                self._waiting.pop(level, None)
+            self._bells[self._slot] = 1 + min(self._waiting) if self._waiting else 0
+
+    def _watch(self) -> None:
+        """The per-attachment watcher: poll the scan, raise the mirror.
+
+        Runs while the handle is open; parks indefinitely on the
+        doorbell when nobody waits (a new waiter rings), polls with an
+        adaptive interval while someone does.  The interval resets to
+        the floor whenever the scan shows progress or the remote ring
+        generation moved, and doubles toward the ceiling across idle
+        scans, so a hot fabric is tracked at sub-millisecond lag and an
+        idle one costs a few scans per second.
+        """
+        poll = _POLL_MIN
+        last_ring = self._ring[0]
+        last_total = -1
+        while True:
+            with self._local_lock:
+                if self._closed:
+                    return
+                waiting = bool(self._waiting)
+            if not waiting:
+                self._doorbell.wait(None)
+                poll = _POLL_MIN
+                continue
+            total = sum(self._values)
+            if total > last_total:
+                last_total = total
+                self._publish_floor(total)
+                poll = _POLL_MIN
+            ring = self._ring[0]
+            if ring != last_ring:
+                last_ring = ring
+                poll = _POLL_MIN
+            if self._doorbell.wait(poll):
+                poll = _POLL_MIN  # rung: re-scan immediately
+            elif poll < _POLL_MAX:
+                poll = min(poll * 2.0, _POLL_MAX)
+
+    def _stop_watcher(self) -> None:
+        watcher = self._watcher
+        if watcher is None:
+            return
+        self._doorbell.ring()
+        watcher.join(timeout=2.0)
+        self._watcher = None
+
+    # ---------------------------------------------------------- introspection
+
+    def slot_snapshot(self) -> list[ShmSlotSnapshot]:
+        """Per-slot values/owners/doorbells (read-only scan; diagnostic)."""
+        snaps = []
+        for index in range(self._nslots):
+            bell = self._bells[index]
+            snaps.append(
+                ShmSlotSnapshot(
+                    index,
+                    int(self._values[index]),
+                    int(self._pids[index]),
+                    int(bell - 1) if bell else None,
+                )
+            )
+        return snaps
+
+    def dist_snapshot(self) -> dict:
+        """The obs dump payload: published-slot sums as the guaranteed
+        lower bound, per-slot detail, and remote doorbell levels."""
+        slots = self.slot_snapshot()
+        return {
+            "backend": "shm",
+            "segment": self._name,
+            "slot": self._slot,
+            "published": sum(s.value for s in slots),
+            "slots": [
+                {"index": s.index, "value": s.value, "pid": s.pid, "awaited": s.awaited}
+                for s in slots
+                if s.value or s.pid or s.awaited is not None
+            ],
+        }
+
+    def snapshot(self) -> CounterSnapshot:
+        """Counter-shaped view: local mirror waiters plus one node per
+        *remote* process doorbell (count 1 each — at least one waiter,
+        the same lower-bound contract as the sharded dumps)."""
+        local = self._mirror.snapshot()
+        remote = tuple(
+            WaitNodeSnapshot(level=s.awaited, count=1)
+            for s in self.slot_snapshot()
+            if s.awaited is not None and s.index != self._slot
+        )
+        return CounterSnapshot(value=self.value, nodes=local.nodes + remote)
+
+    @property
+    def waiting_levels(self) -> tuple[int, ...]:
+        return self.snapshot().waiting_levels
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"slot={self._slot}/{self._nslots}"
+        return f"<ShmCounter {self._name!r} {state} value={sum(self._values) if not self._closed else '?'}>"

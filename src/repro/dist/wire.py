@@ -1,0 +1,57 @@
+"""Wire format of the counter service: newline-delimited JSON frames.
+
+One frame per line, UTF-8 JSON with compact separators and short keys
+(``op``/``c``/``s``/``v``/``l``/``id``).  Chosen over a binary framing
+deliberately: the service's throughput story is *pipelining* — a flush
+window coalesces any number of increments per (counter, source) into
+one absolute-value frame, because merge is max-per-source and absolute
+floors are idempotent — so frames are rare relative to operations and
+debuggability wins.  Every frame type is monotone-safe to duplicate,
+reorder, or drop-and-resend:
+
+========== ======================================== ==================
+op          fields                                   direction
+========== ======================================== ==================
+inc         c, s, v (absolute contribution), id?     client -> server
+sub         c, l, id                                 client -> server
+unsub       id                                       client -> server
+get         c, id                                    client -> server
+sync        counters={c: {s: v}}, id?                peer -> peer
+ack         id, v (new total)                        server -> client
+value       id, c, v                                 server -> client
+reached     id, c, l, v                              server -> client
+sync_reply  id, counters                             peer -> peer
+error       id?, msg                                 server -> client
+========== ======================================== ==================
+
+``inc`` carries the source's *absolute* contribution, never a delta:
+the server applies ``max(current, v)``, so retransmits and reordered
+flushes cannot double-count.  ``sync`` carries full per-source digests;
+a two-leg exchange (sync -> sync_reply, each side merging) makes both
+replicas' digests identical — the anti-entropy round.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["encode", "decode", "MAX_FRAME"]
+
+#: Upper bound on one encoded frame (a digest of thousands of sources
+#: stays far below this; anything larger is a protocol error, not data).
+MAX_FRAME = 1 << 20
+
+_dumps = json.JSONEncoder(separators=(",", ":"), ensure_ascii=False).encode
+
+
+def encode(frame: dict) -> bytes:
+    """One frame -> one line (caller owns transport-level batching)."""
+    return _dumps(frame).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """One line -> one frame; raises ``ValueError`` on junk."""
+    frame = json.loads(line)
+    if not isinstance(frame, dict) or "op" not in frame:
+        raise ValueError(f"not a frame: {line[:80]!r}")
+    return frame

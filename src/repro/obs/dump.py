@@ -65,6 +65,15 @@ def _render(counter: object) -> dict[str, Any]:
         doc["published"] = shards.published
         doc["pending"] = list(shards.pending)
         doc["value"] = shards.total
+    dist_snapshot = getattr(counter, "dist_snapshot", None)
+    if dist_snapshot is not None:
+        # Fabric-backed counters (repro.dist): the published sum is read
+        # with the same lower-bound discipline — a shm scan brackets
+        # between the true totals at scan start and end, a service
+        # handle reports the last server-acknowledged total.  Stale can
+        # only under-report; monotonicity keeps the bound sound.
+        doc["dist"] = dist_snapshot()
+        doc.setdefault("published", doc["dist"]["published"])
     snap = counter.snapshot()
     doc.setdefault("value", snap.value)
     doc["waiting"] = [

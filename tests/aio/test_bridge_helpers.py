@@ -1,0 +1,130 @@
+"""The bridge's module-level helpers: absolute floors and thread-side calls.
+
+``raise_to`` is the idiom that mirrors a replicated total into a local
+counter: idempotent and order-insensitive *because* counters are
+monotone.  ``wait_threadside`` is the inverse of the PR-6 aio handoff —
+a thread parking on its engine slot until a coroutine on some loop
+completes — and is what the dist layer's thread shim is built on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.aio.bridge import raise_to, wait_threadside
+from repro.core import MonotonicCounter
+from tests.helpers import join_all, spawn
+
+
+class TestRaiseTo:
+    def test_raises_to_target(self):
+        counter = MonotonicCounter()
+        raise_to(counter, 5)
+        assert counter.value == 5
+
+    def test_idempotent_and_order_insensitive(self):
+        counter = MonotonicCounter()
+        for target in (3, 7, 7, 2, 9, 1):
+            raise_to(counter, target)
+        assert counter.value == 9  # max of the targets, not their sum
+
+    def test_zero_and_negative_gap_are_noops(self):
+        counter = MonotonicCounter()
+        counter.increment(4)
+        raise_to(counter, 4)
+        raise_to(counter, 0)
+        assert counter.value == 4
+
+
+class _LoopThread:
+    """A private running loop on a daemon thread, for thread-side tests."""
+
+    def __init__(self):
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            started.set()
+            self.loop.run_forever()
+            self.loop.close()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        started.wait()
+
+    def stop(self):
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+
+
+@pytest.fixture()
+def loop_thread():
+    lt = _LoopThread()
+    yield lt
+    lt.stop()
+
+
+class TestWaitThreadside:
+    def test_returns_coroutine_result(self, loop_thread):
+        async def answer():
+            return 42
+
+        assert wait_threadside(loop_thread.loop, answer()) == 42
+
+    def test_propagates_coroutine_exception(self, loop_thread):
+        async def boom():
+            raise ValueError("from the loop")
+
+        with pytest.raises(ValueError, match="from the loop"):
+            wait_threadside(loop_thread.loop, boom())
+
+    def test_timeout_raises_and_cancels(self, loop_thread):
+        cancelled = []
+
+        async def stuck():
+            try:
+                await asyncio.sleep(60)
+            except asyncio.CancelledError:
+                cancelled.append(True)
+                raise
+
+        with pytest.raises(TimeoutError):
+            wait_threadside(loop_thread.loop, stuck(), timeout=0.1)
+        # The in-flight coroutine was cancelled, not leaked.
+        deadline = asyncio.run_coroutine_threadsafe(
+            asyncio.sleep(0), loop_thread.loop
+        )
+        deadline.result(5)
+        assert cancelled == [True]
+
+    def test_slot_rearmed_after_timeout(self, loop_thread):
+        """The guaranteed done-callback set is consumed on the timeout
+        path, so the caller's slot is clean for its next park."""
+        async def stuck():
+            await asyncio.sleep(60)
+
+        async def quick():
+            return "ok"
+
+        with pytest.raises(TimeoutError):
+            wait_threadside(loop_thread.loop, stuck(), timeout=0.05)
+        # Same thread, same slot: a second call must work flawlessly.
+        assert wait_threadside(loop_thread.loop, quick()) == "ok"
+
+    def test_many_threads_share_one_loop(self, loop_thread):
+        async def double(x):
+            await asyncio.sleep(0.01)
+            return x * 2
+
+        results = {}
+
+        def caller(i):
+            results[i] = wait_threadside(loop_thread.loop, double(i), timeout=10)
+
+        threads = [spawn(caller, i) for i in range(8)]
+        join_all(threads)
+        assert results == {i: i * 2 for i in range(8)}

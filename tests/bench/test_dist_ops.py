@@ -1,0 +1,109 @@
+"""Smoke tests for the dist-ops bench harness (quick sizes)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.dist_ops import GATED_SERIES, compare, main, run_dist_ops
+
+
+@pytest.fixture(scope="module")
+def doc():
+    """One shared quick run (the harness itself is what's under test)."""
+    return run_dist_ops(quick=True)
+
+
+class TestRunDistOps:
+    def test_quick_run_produces_all_series(self, doc):
+        assert doc["bench"] == "dist_ops"
+        assert doc["quick"] is True
+        assert set(doc["series"]) == {
+            "shm_readonly_check",
+            "shm_increment_scaling",
+            "service_pipeline",
+        }
+        for entries in doc["series"].values():
+            for entry in entries.values():
+                assert entry["ops_per_sec"] > 0
+                assert entry["mean_s"] > 0
+
+    def test_host_metadata_carries_effective_policy(self, doc):
+        policy = doc["effective_policy"]
+        assert policy["default"] in ("PARK_ONLY", "SPIN_THEN_PARK")
+        assert isinstance(policy["serial_degraded_to_park"], bool)
+        assert policy["effective_spin"] >= 0
+        assert doc["cpu_count"] >= 1
+        assert isinstance(doc["serial_host"], bool)
+
+    def test_derived_ratios_present(self, doc):
+        derived = doc["derived"]
+        assert derived["shm_check_vs_manager_proxy"] > 0
+        assert derived["pipelined_vs_rpc"] > 0
+        assert set(derived["scaling_efficiency"]) == set(
+            doc["series"]["shm_increment_scaling"]
+        )
+
+    def test_acceptance_ratios_hold_even_quick(self, doc):
+        """The ROADMAP acceptance bars (10x / 5x) are same-run ratios
+        and hold with margin even at smoke sizes."""
+        assert doc["derived"]["shm_check_vs_manager_proxy"] >= 10
+        assert doc["derived"]["pipelined_vs_rpc"] >= 5
+
+    def test_document_is_json_serializable(self, doc):
+        json.dumps(doc)
+
+
+class TestCompare:
+    def test_identical_documents_pass(self, doc):
+        assert compare(doc, copy.deepcopy(doc)) == []
+
+    def test_regression_detected_in_gated_series(self, doc):
+        slower = copy.deepcopy(doc)
+        series = GATED_SERIES[0]
+        impl = next(iter(slower["series"][series]))
+        slower["series"][series][impl]["ops_per_sec"] *= 0.5
+        failures = compare(slower, doc, tolerance=0.3)
+        assert len(failures) == 1
+        assert series in failures[0]
+
+    def test_scaling_series_not_gated(self, doc):
+        slower = copy.deepcopy(doc)
+        for entry in slower["series"]["shm_increment_scaling"].values():
+            entry["ops_per_sec"] *= 0.01
+        assert compare(slower, doc) == []
+
+    def test_incomparable_documents_rejected(self, doc):
+        other = copy.deepcopy(doc)
+        other["quick"] = False
+        with pytest.raises(ValueError, match="not comparable"):
+            compare(doc, other)
+
+    def test_override_tightens_one_series(self, doc):
+        slower = copy.deepcopy(doc)
+        series = GATED_SERIES[0]
+        for entry in slower["series"][series].values():
+            entry["ops_per_sec"] *= 0.9
+        assert compare(slower, doc, tolerance=0.3) == []
+        failures = compare(
+            slower, doc, tolerance=0.3, overrides={series: 0.02}
+        )
+        assert failures
+
+
+class TestMain:
+    def test_cli_quick_writes_doc(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        history = tmp_path / "bench.history.jsonl"
+        assert main([
+            "--quick", "--out", str(out), "--history", str(history),
+            "--label", "smoke",
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["bench"] == "dist_ops"
+        entry = json.loads(history.read_text().splitlines()[0])
+        assert entry["label"] == "smoke"
+        assert "sha" in entry
+        assert "acceptance floor" in capsys.readouterr().out

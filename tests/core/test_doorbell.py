@@ -1,0 +1,94 @@
+"""Unit tests for the engine's Doorbell: idempotent many-ringer wakeup.
+
+A :class:`~repro.core.engine.Doorbell` is the one-waiter/many-ringer
+primitive the shared-memory fabric parks its watcher on.  Its contract
+refines the ParkingSlot's: any number of concurrent ``ring()`` calls
+collapse to exactly one outstanding set (the slot's loud double-set
+crash can never fire), a ring is never lost, and a timed-out wait may
+observe a banked ring on its *next* wait as a harmless spurious wake —
+never as a crash, never as a hang.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.engine import Doorbell
+from tests.helpers import join_all, spawn, wait_until
+
+
+class TestDoorbell:
+    def test_ring_then_wait_consumes(self):
+        bell = Doorbell()
+        assert bell.ring() is True
+        assert bell.wait(timeout=0.0) is True
+
+    def test_duplicate_rings_collapse(self):
+        bell = Doorbell()
+        assert bell.ring() is True
+        for _ in range(100):
+            assert bell.ring() is False  # token already claimed
+        assert bell.wait(timeout=0.0) is True   # exactly one set delivered
+        assert bell.wait(timeout=0.0) is False  # and no more
+
+    def test_rearm_after_consume(self):
+        bell = Doorbell()
+        for _ in range(5):  # ring/wait cycles keep working
+            assert bell.ring() is True
+            assert bell.wait(timeout=0.0) is True
+
+    def test_wait_blocks_until_rung(self):
+        bell = Doorbell()
+        woke = []
+        waiter = spawn(lambda: woke.append(bell.wait(timeout=10.0)))
+        wait_until(lambda: waiter.is_alive())
+        assert not woke
+        bell.ring()
+        join_all([waiter])
+        assert woke == [True]
+
+    def test_timeout_banks_late_ring_for_next_wait(self):
+        bell = Doorbell()
+        assert bell.wait(timeout=0.0) is False  # timed out, token NOT re-armed
+        assert bell.ring() is True              # the "late" ring still lands
+        assert bell.ring() is False
+        assert bell.wait(timeout=0.0) is True   # consumed as a spurious wake
+        assert bell.ring() is True              # and the protocol continues
+
+    def test_concurrent_ringers_exactly_one_set(self):
+        """The double-set hazard: N threads ringing an armed bell must
+        produce exactly one claimed token and exactly one slot set (a
+        second set would crash the ParkingSlot loudly)."""
+        for _ in range(50):
+            bell = Doorbell()
+            start = threading.Barrier(8)
+            claims = []
+
+            def ringer():
+                start.wait()
+                claims.append(bell.ring())
+
+            threads = [spawn(ringer) for _ in range(8)]
+            join_all(threads)
+            assert claims.count(True) == 1
+            assert bell.wait(timeout=1.0) is True
+            assert bell.wait(timeout=0.0) is False
+
+    def test_ring_wait_pingpong_across_threads(self):
+        bell = Doorbell()
+        rounds = 200
+        seen = []
+
+        def waiter():
+            for _ in range(rounds):
+                if not bell.wait(timeout=10.0):
+                    return
+                seen.append(True)
+
+        thread = spawn(waiter)
+        for _ in range(rounds):
+            while not bell.ring():  # previous ring not yet consumed
+                if not thread.is_alive():
+                    raise AssertionError("waiter died early")
+        join_all([thread])
+        assert len(seen) == rounds

@@ -1,0 +1,154 @@
+"""GCounter unit semantics and schedule-driven anti-entropy convergence.
+
+The replication state's contract: per-source contributions only grow,
+merge is pointwise max (commutative, associative, idempotent), and the
+local wait mirror converges on the replicated total from below — never
+past it, under any interleaving of bumps and merges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import CheckTimeout, CounterValueError
+from repro.dist import GCounter, digests_equal, merge_digests
+from repro.testkit import interleave
+from tests.helpers import join_all, spawn
+
+
+class TestGCounterBasics:
+    def test_bump_accumulates_per_source(self):
+        g = GCounter()
+        assert g.bump("a", 2) == 2
+        assert g.bump("a") == 3
+        assert g.bump("b", 4) == 7
+        assert g.digest() == {"a": 3, "b": 4}
+        assert g.value == 7
+
+    def test_raise_source_is_max_merge(self):
+        g = GCounter()
+        g.raise_source("a", 5)
+        assert g.raise_source("a", 3) == 5  # stale floor: no-op
+        assert g.raise_source("a", 5) == 5  # duplicate: no-op
+        assert g.raise_source("a", 9) == 9
+        assert g.digest() == {"a": 9}
+
+    def test_merge_is_idempotent_and_commutative(self):
+        digest_one = {"a": 3, "b": 1}
+        digest_two = {"b": 5, "c": 2}
+        left = GCounter()
+        left.merge(digest_one)
+        left.merge(digest_two)
+        left.merge(digest_one)  # replay changes nothing
+        right = GCounter()
+        right.merge(digest_two)
+        right.merge(digest_one)
+        assert digests_equal(left.digest(), right.digest())
+        assert left.value == right.value == 3 + 5 + 2
+
+    def test_merge_never_lowers_a_local_contribution(self):
+        g = GCounter()
+        g.bump("a", 10)
+        g.merge({"a": 4})  # a lagging peer's view of us
+        assert g.digest()["a"] == 10
+        assert g.value == 10
+
+    def test_validation(self):
+        g = GCounter()
+        with pytest.raises(CounterValueError):
+            g.bump("a", -1)
+        with pytest.raises(CounterValueError):
+            g.raise_source("a", True)
+        with pytest.raises(CounterValueError):
+            g.merge({"a": -3})
+
+    def test_merge_digests_helper(self):
+        merged = merge_digests({"a": 1, "b": 7}, {"a": 4}, {"c": 2})
+        assert merged == {"a": 4, "b": 7, "c": 2}
+        assert digests_equal({}, {"s": 0})
+        assert not digests_equal({"s": 1}, {})
+
+
+class TestWaitMirror:
+    def test_check_rides_the_replicated_total(self):
+        g = GCounter()
+        waiter = spawn(g.check, 10)
+        g.bump("a", 4)
+        g.merge({"b": 6})
+        join_all([waiter])
+        assert g.mirror.value == 10
+
+    def test_mirror_never_overshoots_under_concurrent_publish(self):
+        g = GCounter()
+        threads = [
+            spawn(g.bump, f"s{i % 4}", 1) for i in range(32)
+        ]
+        join_all(threads)
+        assert g.value == 32
+        assert g.mirror.value == 32  # exact, not just >=
+
+    def test_check_timeout_propagates(self):
+        g = GCounter()
+        g.bump("a", 1)
+        with pytest.raises(CheckTimeout):
+            g.check(5, timeout=0.05)
+
+    def test_subscribe_delegates(self):
+        g = GCounter()
+        fired = []
+        handle = g.subscribe(3, lambda: fired.append(True))
+        assert handle is not None
+        g.merge({"peer": 3})
+        assert fired == [True]
+        assert g.subscribe(1, lambda: None) is None  # already satisfied
+
+
+@interleave(schedules=12)
+def test_anti_entropy_two_replicas_converge(sched):
+    """Two replicas take partitioned increments, then exchange digests
+    both ways.  Wherever the scheduler places the bumps relative to the
+    merges, the post-exchange digests are identical and both mirrors
+    reach the converged total — the §6 stability argument surviving
+    replication."""
+    left = GCounter(name="left")
+    right = GCounter(name="right")
+
+    # Partitioned writes: each replica only hears about its own sources.
+    sched.spawn("bumpL1", left.bump, "l1", 2)
+    sched.spawn("bumpL2", left.bump, "l2", 3)
+    sched.spawn("bumpR1", right.bump, "r1", 4)
+
+    # The two-leg exchange, racing the bumps: each leg may catch any
+    # prefix of the other side's writes — max-merge absorbs them all.
+    sched.spawn("syncLR", lambda: right.merge(left.digest()))
+    sched.spawn("syncRL", lambda: left.merge(right.digest()))
+    sched.run()
+
+    # One quiescent round closes whatever the racing legs missed.
+    right.merge(left.digest())
+    left.merge(right.digest())
+
+    assert digests_equal(left.digest(), right.digest())
+    assert left.value == right.value == 2 + 3 + 4
+    left.check(9, timeout=5)
+    right.check(9, timeout=5)
+    assert left.mirror.value == right.mirror.value == 9
+
+
+@interleave(schedules=10)
+def test_merge_replay_storm_is_idempotent(sched):
+    """Replayed and reordered merge traffic (dropped-ack retransmits)
+    cannot move a replica anywhere but monotonically up to the join."""
+    replica = GCounter(name="replica")
+    digest_one = {"a": 3, "b": 1}
+    digest_two = {"a": 1, "b": 5}
+
+    sched.spawn("m1", replica.merge, digest_one)
+    sched.spawn("m2", replica.merge, digest_two)
+    sched.spawn("m1r", replica.merge, digest_one)  # the retransmit
+    sched.spawn("bump", replica.bump, "local", 2)
+    sched.run()
+
+    assert replica.digest() == {"a": 3, "b": 5, "local": 2}
+    assert replica.value == 10
+    assert replica.mirror.value == 10

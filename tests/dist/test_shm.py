@@ -1,0 +1,314 @@
+"""ShmCounter: the shared-memory fabric across real processes.
+
+Covers the lifecycle (publish/attach/close/unlink), single- and
+multi-process increment/check, the doorbell and watcher wakeup paths,
+crash-orphan slot reclamation (a SIGKILLed writer's slot is reclaimed
+with its value intact — readers never observe a decrease), and the
+observability surface.
+
+Workers are module-level functions under the ``fork`` start method
+(children inherit ``sys.path``); every child interaction is bounded by
+timeouts so a fabric bug fails the test instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.errors import CheckTimeout, CounterValueError
+from repro.dist import ShmCounter
+from tests.helpers import join_all, spawn, wait_until
+
+ctx = multiprocessing.get_context("fork")
+
+
+# ------------------------------------------------------- child entry points
+
+
+def _incrementer(name: str, count: int, started) -> None:
+    with ShmCounter.attach(name) as counter:
+        started.set()
+        for _ in range(count):
+            counter.increment()
+
+
+def _inc_then_wait(name: str, count: int, level: int) -> None:
+    with ShmCounter.attach(name) as counter:
+        for _ in range(count):
+            counter.increment()
+        counter.check(level, timeout=30)
+
+
+def _crash_loop(name: str, started) -> None:  # pragma: no cover - SIGKILLed
+    counter = ShmCounter.attach(name)
+    started.set()
+    while True:
+        counter.increment()
+
+
+def _monotone_reader(name: str, stop_at: int, violations) -> None:
+    with ShmCounter.attach(name) as counter:
+        last = 0
+        while last < stop_at:
+            value = counter.value
+            if value < last:
+                violations.put((last, value))
+                return
+            last = value
+
+
+class TestLifecycle:
+    def test_publish_attach_roundtrip(self):
+        with ShmCounter.publish(slots=4) as owner:
+            other = ShmCounter.attach(owner.name)
+            try:
+                assert other.slot != owner.slot
+                owner.increment(3)
+                other.increment(2)
+                assert owner.value == other.value == 5
+            finally:
+                other.close()
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            with pytest.raises(ValueError, match="not a ShmCounter"):
+                ShmCounter.attach(segment.name)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_slot_exhaustion_is_loud(self):
+        with ShmCounter.publish(slots=1):
+            pass  # owner holds the only slot; nothing to attach
+        with ShmCounter.publish(slots=2) as owner:
+            second = ShmCounter.attach(owner.name)
+            try:
+                with pytest.raises(RuntimeError, match="no free writer slot"):
+                    ShmCounter.attach(owner.name)
+            finally:
+                second.close()
+
+    def test_close_releases_the_slot(self):
+        with ShmCounter.publish(slots=2) as owner:
+            first = ShmCounter.attach(owner.name)
+            taken = first.slot
+            first.close()
+            second = ShmCounter.attach(owner.name)
+            try:
+                assert second.slot == taken  # recycled, not leaked
+            finally:
+                second.close()
+
+    def test_operations_after_close_raise(self):
+        owner = ShmCounter.publish(slots=2)
+        owner.close()
+        with pytest.raises(ValueError, match="closed"):
+            owner.increment()
+        owner.unlink()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShmCounter.publish(slots=0)
+        with ShmCounter.publish(slots=2) as owner:
+            with pytest.raises(CounterValueError):
+                owner.increment(-1)
+            with pytest.raises(CounterValueError):
+                owner.check(-1)
+
+
+class TestSingleProcess:
+    def test_immediate_check_is_read_only(self):
+        with ShmCounter.publish(slots=2) as counter:
+            counter.increment(10)
+            counter.check(10)          # satisfied: returns without waiting
+            counter.check(10, timeout=0.0)
+            assert counter.waiting_levels == ()
+
+    def test_local_waiter_woken_by_local_increment(self):
+        with ShmCounter.publish(slots=2) as counter:
+            waiter = spawn(counter.check, 5)
+            wait_until(lambda: counter.waiting_levels == (5,))
+            counter.increment(5)
+            join_all([waiter])
+
+    def test_timeout_adjudicates_against_the_scan(self):
+        with ShmCounter.publish(slots=2) as counter:
+            counter.increment(2)
+            start = time.monotonic()
+            with pytest.raises(CheckTimeout):
+                counter.check(5, timeout=0.1)
+            assert time.monotonic() - start < 5.0
+            assert counter.waiting_levels == ()
+
+
+class TestMultiProcess:
+    def test_cross_process_increments_sum(self):
+        with ShmCounter.publish(slots=4) as owner:
+            started = ctx.Event()
+            child = ctx.Process(target=_incrementer, args=(owner.name, 500, started))
+            child.start()
+            assert started.wait(10)
+            for _ in range(500):
+                owner.increment()
+            owner.check(1000, timeout=30)
+            child.join(10)
+            assert child.exitcode == 0
+            assert owner.value == 1000
+
+    def test_cross_process_rendezvous_both_ways(self):
+        """Parent and child each produce half and wait for the whole —
+        the paper's barrier idiom, across a process boundary."""
+        with ShmCounter.publish(slots=4) as owner:
+            child = ctx.Process(target=_inc_then_wait, args=(owner.name, 250, 500))
+            child.start()
+            for _ in range(250):
+                owner.increment()
+            owner.check(500, timeout=30)
+            child.join(30)
+            assert child.exitcode == 0
+
+    def test_many_children_one_barrier(self):
+        workers = 3
+        per_worker = 200
+        with ShmCounter.publish(slots=workers + 1) as owner:
+            children = [
+                ctx.Process(
+                    target=_inc_then_wait,
+                    args=(owner.name, per_worker, workers * per_worker),
+                )
+                for _ in range(workers)
+            ]
+            for child in children:
+                child.start()
+            owner.check(workers * per_worker, timeout=30)
+            for child in children:
+                child.join(30)
+                assert child.exitcode == 0
+
+    def test_readers_never_observe_a_decrease(self):
+        """A reader process polling the scanned sum while a writer is
+        SIGKILLed mid-loop must never see the value go down — the
+        crash leaves the dead slot's contribution in place."""
+        with ShmCounter.publish(slots=4) as owner:
+            violations = ctx.Queue()
+            started = ctx.Event()
+            crasher = ctx.Process(target=_crash_loop, args=(owner.name, started))
+            crasher.start()
+            assert started.wait(10)
+            wait_until(lambda: owner.value > 100, timeout=10)
+            target = owner.value + 5000
+            reader = ctx.Process(
+                target=_monotone_reader, args=(owner.name, target, violations)
+            )
+            reader.start()
+            time.sleep(0.05)
+            os.kill(crasher.pid, signal.SIGKILL)
+            crasher.join(10)
+            # The crasher is gone; the parent closes the gap so the
+            # reader terminates, watching monotonicity the whole way.
+            owner.increment(target)
+            reader.join(30)
+            assert reader.exitcode == 0
+            assert violations.empty(), f"monotonicity violated: {violations.get()}"
+
+
+class TestCrashRecovery:
+    def test_orphan_slot_reclaimed_with_value_intact(self):
+        with ShmCounter.publish(slots=2) as owner:
+            started = ctx.Event()
+            crasher = ctx.Process(target=_crash_loop, args=(owner.name, started))
+            crasher.start()
+            assert started.wait(10)
+            wait_until(lambda: owner.value > 0, timeout=10)
+            os.kill(crasher.pid, signal.SIGKILL)
+            crasher.join(10)
+            before = owner.value
+
+            # The dead pid's slot is the only free one; a new attach must
+            # reclaim it without folding or zeroing its contribution.
+            successor = ShmCounter.attach(owner.name)
+            try:
+                assert owner.value >= before  # nothing was lost
+                successor.increment(7)
+                assert owner.value == before + 7
+                snapshot = successor.dist_snapshot()
+                assert snapshot["slot"] == 1
+                assert snapshot["published"] == before + 7
+            finally:
+                successor.close()
+
+    def test_waiter_survives_writer_crash(self):
+        """A parked waiter whose remote incrementer dies is not lost:
+        another writer closing the gap still wakes it."""
+        with ShmCounter.publish(slots=4) as owner:
+            started = ctx.Event()
+            crasher = ctx.Process(target=_crash_loop, args=(owner.name, started))
+            crasher.start()
+            assert started.wait(10)
+            wait_until(lambda: owner.value > 0, timeout=10)
+            os.kill(crasher.pid, signal.SIGKILL)
+            crasher.join(10)
+            target = owner.value + 10
+            waiter = spawn(owner.check, target)
+            wait_until(lambda: owner.waiting_levels == (target,))
+            owner.increment(10)
+            join_all([waiter])
+
+
+class TestObservability:
+    def test_snapshot_shows_local_waiters_and_remote_slots(self):
+        with ShmCounter.publish(slots=4) as owner:
+            other = ShmCounter.attach(owner.name)
+            try:
+                owner.increment(3)
+                other.increment(4)
+                waiter = spawn(owner.check, 99, None)
+                wait_until(lambda: owner.waiting_levels == (99,))
+                snap = owner.snapshot()
+                assert snap.value == 7
+                assert any(n.level == 99 and n.count >= 1 for n in snap.nodes)
+                dist = owner.dist_snapshot()
+                assert dist["backend"] == "shm"
+                assert dist["published"] == 7
+                assert len(dist["slots"]) == 2  # only active slots listed
+                owner.increment(92)
+                join_all([waiter])
+            finally:
+                other.close()
+
+    def test_registered_in_obs_dump(self):
+        from repro.obs.dump import dump_state
+
+        with ShmCounter.publish(slots=2) as counter:
+            counter.increment(5)
+            docs = [
+                d for d in dump_state()["counters"]
+                if d.get("dist", {}).get("segment") == counter.name
+            ]
+            assert len(docs) == 1
+            assert docs[0]["value"] == 5
+            assert docs[0]["dist"]["backend"] == "shm"
+
+    def test_remote_waiting_levels_visible(self):
+        with ShmCounter.publish(slots=4) as owner:
+            child = ctx.Process(target=_inc_then_wait, args=(owner.name, 1, 50))
+            child.start()
+            wait_until(
+                lambda: any(
+                    s.awaited is not None for s in owner.slot_snapshot()
+                ),
+                timeout=10,
+            )
+            snap = owner.snapshot()
+            assert any(n.level == 50 for n in snap.nodes)
+            owner.increment(49)
+            child.join(30)
+            assert child.exitcode == 0
