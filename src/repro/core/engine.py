@@ -51,6 +51,8 @@ import time
 from heapq import heappop, heappush
 from typing import Iterator
 
+from repro.core import syncpoints as _sp
+
 __all__ = [
     "ParkingSlot",
     "WheelEntry",
@@ -181,10 +183,14 @@ class Doorbell:
     def ring(self) -> bool:
         """Wake the waiter (at most one set outstanding); True if this
         call delivered the set, False if one was already pending."""
+        if _sp.enabled:
+            _sp.fire("doorbell.ring", self)
         try:
             self._pending.pop()
         except IndexError:
             return False
+        if _sp.enabled:
+            _sp.fire("doorbell.deliver", self)
         self._slot.set()
         return True
 
@@ -197,6 +203,8 @@ class Doorbell:
         set must be consumed (it will be, banked, by the next wait)
         before a new ring is allowed to deliver another.
         """
+        if _sp.enabled:
+            _sp.fire("doorbell.wait", self)
         if self._slot.wait(timeout):
             self._pending.append(None)  # consumed the one set; re-arm
             return True
@@ -254,6 +262,8 @@ class WheelEntry:
         this once per timed waiter inside the coalesced wake sweep, and
         the nested frame was measurable there.
         """
+        if _sp.enabled:
+            _sp.fire("wheel.release", self)
         try:
             self._token.pop()
         except IndexError:
@@ -262,7 +272,14 @@ class WheelEntry:
         self.slot.set()
 
     def fire_timeout(self) -> None:
-        """Sweeper side: deliver the timeout unless a release beat us."""
+        """Sweeper side: deliver the timeout unless a release beat us.
+
+        Usually called from the wheel's sweeper daemon (which no test
+        harness owns, so its sync point passes through); tests drive
+        the claim race by calling it from a gated worker directly.
+        """
+        if _sp.enabled:
+            _sp.fire("wheel.timeout", self)
         try:
             self._token.pop()
         except IndexError:

@@ -22,7 +22,9 @@ schedules through :func:`install`/:func:`uninstall`).  The hook receives
 ``(point, obj)`` where ``obj`` is the primitive firing the point — a
 counter for ``increment.*``/``check.*``/``park.*``/``shard*.*`` points, a
 :class:`~repro.core.waitlist.WaitNode` for ``node.*`` points, a
-:class:`~repro.core.multiwait.MultiWait` for ``multiwait.*`` points.  The
+:class:`~repro.core.multiwait.MultiWait` for ``multiwait.*`` points, a
+:class:`~repro.core.engine.Doorbell` for ``doorbell.*`` points, a
+:class:`~repro.core.engine.WheelEntry` for ``wheel.*`` points.  The
 hook runs in the thread executing the operation, possibly while that
 thread holds the primitive's internal locks (each point's docstring entry
 in ``docs/testing.md`` says which); it may block the thread (that is the
@@ -34,7 +36,15 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
-__all__ = ["enabled", "install", "uninstall", "fire", "POINTS"]
+__all__ = [
+    "enabled",
+    "install",
+    "uninstall",
+    "fire",
+    "POINTS",
+    "BLOCKING_POINTS",
+    "ENGINE_PARK_POINTS",
+]
 
 #: Read by every instrumented site; True only between install/uninstall.
 enabled = False
@@ -79,6 +89,12 @@ POINTS = frozenset(
         "gcounter.lock",       # bump/merge, before acquiring the contributions lock
         "gcounter.merge",      # inside the lock, before applying a digest's maxes
         "gcounter.publish",    # after the lock, before raising the wait mirror
+        # Engine claim races (fired with the Doorbell / WheelEntry)
+        "doorbell.ring",       # ring, before the pending-token pop
+        "doorbell.deliver",    # ring, token won, before setting the slot
+        "doorbell.wait",       # wait, before parking on the doorbell slot
+        "wheel.release",       # release pass, before the entry's claim pop
+        "wheel.timeout",       # sweeper/timeout side, before the claim pop
     }
 )
 
@@ -86,7 +102,16 @@ POINTS = frozenset(
 #: primitive (a parking-slot wait).  Schedulers treat a thread granted
 #: through one of these as immediately off-schedule instead of waiting
 #: out a stall timeout.
-BLOCKING_POINTS = frozenset({"park.enter", "multiwait.park"})
+BLOCKING_POINTS = frozenset({"park.enter", "multiwait.park", "doorbell.wait"})
+
+#: The subset of BLOCKING_POINTS where a pending *timed* wake is always
+#: visible to the harness: counter and MultiWait parks stage their
+#: timeouts through the shared timer wheel (after a ~20ms grace wait),
+#: so "every unfinished worker parked here + wheel empty + short
+#: silence" proves a deadlock instantly.  ``doorbell.wait`` is excluded
+#: — its optional timeout lives in the slot wait itself, invisible from
+#: outside.
+ENGINE_PARK_POINTS = frozenset({"park.enter", "multiwait.park"})
 
 
 def install(hook: Callable[[str, object], None]) -> None:

@@ -36,7 +36,7 @@ from typing import Callable
 from repro.obs import hooks as _obs
 from repro.obs import registry
 
-__all__ = ["StallWatchdog", "StallReport", "WaitingLevel"]
+__all__ = ["StallWatchdog", "StallReport", "WaitingLevel", "capture_waiting"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,13 +73,15 @@ class StallReport:
         )
 
 
-def _capture(counter: object) -> tuple[int, list[tuple[int, int]]] | None:
+def capture_waiting(counter: object) -> tuple[int, list[tuple[int, int]]] | None:
     """(value lower bound, [(level, waiters), ...]) for one counter.
 
     Sharded counters report published + pending (the never-over-reporting
     capture of ``shard_snapshot``); asyncio counters may be mutated by
     their loop mid-read, so a racing capture is retried once and then
-    skipped — the watchdog must never crash on a live system.
+    skipped — the watchdog must never crash on a live system.  Also the
+    who-waits-on-what source for the testkit's instant deadlock reports
+    (:class:`repro.testkit.harness.DeadlockReport`).
     """
     for _ in range(2):
         try:
@@ -103,6 +105,10 @@ def _capture(counter: object) -> tuple[int, list[tuple[int, int]]] | None:
         except Exception:
             return None
     return None
+
+
+#: Backwards-compatible private alias (pre-testkit-reuse name).
+_capture = capture_waiting
 
 
 class StallWatchdog:

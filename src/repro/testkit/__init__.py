@@ -23,6 +23,11 @@ Pieces:
 * :func:`interleave` (:mod:`.marks`) — the pytest decorator that runs a
   test body under N schedules and reports failures with a replayable
   trace.
+* :func:`explore_model` (:mod:`.explore`) — exhaustive DPOR enumeration
+  of every inequivalent schedule of a small model, with a certificate
+  (:mod:`.por` holds the dependence/happens-before machinery).
+* :func:`shrink_trace` / :func:`replay_fails` (:mod:`.shrink`) —
+  delta-debug a failing grant trace down to the steps that matter.
 
 The hooks this rides on are compiled into the core but disabled by
 default: a module-bool read on the slow paths only, and *no* hook on the
@@ -30,9 +35,16 @@ lock-free fast paths (see ``docs/testing.md`` for the measured
 non-impact).
 """
 
+from repro.testkit.explore import (
+    DeadlockWitness,
+    ExploreReport,
+    FailureWitness,
+    explore_model,
+)
 from repro.testkit.harness import (
     WORKER_START,
     Controller,
+    DeadlockReport,
     ScheduleDeadlock,
     ScheduleError,
     ScheduleFailure,
@@ -44,12 +56,19 @@ from repro.testkit.invariants import (
     tallies_consistent,
 )
 from repro.testkit.marks import ScheduleRun, interleave
-from repro.testkit.schedulers import PCTScheduler, RandomScheduler, make_scheduler
+from repro.testkit.schedulers import (
+    DirectedScheduler,
+    PCTScheduler,
+    PrefixDivergence,
+    RandomScheduler,
+    make_scheduler,
+)
 from repro.testkit.script import (
     Grant,
     Probe,
     ReplayResult,
     RunThread,
+    StaleTraceError,
     Until,
     grant,
     probe,
@@ -58,17 +77,29 @@ from repro.testkit.script import (
     run_thread,
     until,
 )
+from repro.testkit.shrink import ShrinkResult, replay_fails, shrink_trace
 from repro.testkit.trace import Trace, TraceStep
 
 __all__ = [
     "Controller",
+    "DeadlockReport",
     "ScheduleError",
     "ScheduleDeadlock",
     "ScheduleFailure",
     "WORKER_START",
     "RandomScheduler",
     "PCTScheduler",
+    "DirectedScheduler",
+    "PrefixDivergence",
     "make_scheduler",
+    "explore_model",
+    "ExploreReport",
+    "DeadlockWitness",
+    "FailureWitness",
+    "shrink_trace",
+    "replay_fails",
+    "ShrinkResult",
+    "StaleTraceError",
     "Trace",
     "TraceStep",
     "interleave",

@@ -1,0 +1,440 @@
+"""Systematic schedule exploration: DPOR over the gate-based controller.
+
+Sampling (``@interleave``) answers "did N random schedules agree?".
+This module answers the stronger question for *small* models: **every
+inequivalent schedule** of a handful of workers over the real
+primitives, enumerated and checked, with an exhaustiveness certificate.
+
+The exploration is dynamic partial-order reduction in the classic
+replay style (generators of real threads cannot be snapshotted, so each
+branch re-executes the model from scratch):
+
+1. Run the model once under a :class:`~repro.testkit.schedulers.
+   DirectedScheduler` — follow the branch's forced *prefix* of worker
+   names, then a deterministic fallback — recording every decision
+   (candidates offered, choice made) and the per-step *sleep set*.
+2. From the decision log, enumerate backtrack points: at each depth,
+   every candidate not yet explored and not in the sleep set becomes a
+   new branch (the prefix up to that depth plus the sibling).  Sleep
+   sets (Godefroid) carry the already-explored siblings that are
+   *independent* of the new choice, so commuting permutations of
+   independent grants are never re-run.
+3. Completed runs are canonicalized by the Foata normal form of their
+   dependence DAG (:func:`repro.testkit.por.canonical_key`); the number
+   of distinct keys is the number of inequivalent schedules covered.
+
+Dependence between grants comes from the gate labels alone (a worker
+stops at every sync point, so a grant's footprint is its gate's
+``(point, obj)`` — see :mod:`repro.testkit.por`), which keeps the
+relation sound without instrumenting memory accesses.
+
+Real threads bring real nondeterminism: a wake delivered by the last
+grant may surface its sleeper a moment later.  The explorer therefore
+runs the controller with a *settle* window before every decision,
+retries a branch whose prefix diverges, repairs the frontier when a
+candidate surfaces late (re-branching with an empty sleep set, which is
+always sound), and counts whatever it could not reconcile in
+:attr:`ExploreReport.divergences` — the certificate claims completeness
+only when that counter is zero and no budget was hit.
+
+Models must use **untimed** waits: a ``check(timeout=...)`` arms a real
+timer on the shared wheel, and a sweeper firing mid-schedule is
+scheduling noise the explorer cannot control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping, Sequence
+
+from repro.testkit.harness import Controller, DeadlockReport, ScheduleDeadlock, ScheduleError
+from repro.testkit.por import ObjLabeler, GrantEvent, canonical_key, family_of, footprints_conflict
+from repro.testkit.schedulers import Decision, DirectedScheduler, PrefixDivergence
+from repro.testkit.script import _spawn_all
+from repro.testkit.trace import Trace
+
+__all__ = [
+    "explore_model",
+    "ExploreReport",
+    "DeadlockWitness",
+    "FailureWitness",
+]
+
+#: A model factory: builds fresh primitives and returns either a worker
+#: mapping (name -> callable or (fn, *args) tuple), or a (mapping,
+#: oracle) pair.  The oracle runs in the test thread after a completed
+#: schedule; it may assert, and whatever hashable value it returns is
+#: collected into :attr:`ExploreReport.states`.
+ModelFactory = Callable[[], Any]
+
+_Footprint = tuple[str, "str | None"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeadlockWitness:
+    """One deadlocking schedule found during exploration."""
+
+    prefix: tuple[str, ...]
+    trace: str
+    report: DeadlockReport | None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"deadlock after prefix {list(self.prefix)}: {self.trace}"
+
+
+@dataclass(frozen=True, slots=True)
+class FailureWitness:
+    """One schedule that crashed a worker or failed the oracle."""
+
+    prefix: tuple[str, ...]
+    trace: str
+    error: BaseException
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"failure after prefix {list(self.prefix)}: {self.error!r} ({self.trace})"
+
+
+@dataclass
+class ExploreReport:
+    """Everything one :func:`explore_model` call established.
+
+    ``schedules`` is the number of *inequivalent* completed schedules
+    (distinct Foata keys); ``executions`` how many runs that took —
+    executions above schedules are the replay overhead of branching
+    plus any equivalent runs sleep sets could not prune.
+    """
+
+    executions: int = 0
+    schedules: int = 0
+    states: set = field(default_factory=set)
+    deadlocks: list[DeadlockWitness] = field(default_factory=list)
+    failures: list[FailureWitness] = field(default_factory=list)
+    divergences: int = 0      #: branches abandoned: prefix would not replay
+    repairs: int = 0          #: late-surfacing candidates re-branched conservatively
+    redundant: int = 0        #: runs whose every candidate was asleep (wasted)
+    truncated: bool = False   #: stopped at max_executions before the frontier drained
+    max_depth: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when the enumeration provably covered every inequivalent
+        schedule: the frontier drained, every branch replayed
+        faithfully, and no budget cut the search short."""
+        return self.executions > 0 and not self.truncated and self.divergences == 0
+
+    @property
+    def certificate(self) -> str:
+        """Human-readable exhaustiveness certificate."""
+        verdict = (
+            "EXHAUSTIVE: every inequivalent schedule covered"
+            if self.complete
+            else "INCOMPLETE: coverage not proven"
+            + (" (budget hit)" if self.truncated else "")
+            + (f" ({self.divergences} divergent branch(es))" if self.divergences else "")
+        )
+        lines = [
+            verdict,
+            f"  {self.schedules} inequivalent schedule(s) in {self.executions} "
+            f"execution(s), max depth {self.max_depth}",
+            f"  outcomes: {len(self.states)} distinct state(s), "
+            f"{len(self.deadlocks)} deadlock(s), {len(self.failures)} failure(s)",
+        ]
+        if self.repairs or self.redundant:
+            lines.append(
+                f"  frontier repairs: {self.repairs}, redundant runs: {self.redundant}"
+            )
+        return "\n".join(lines)
+
+    def check(
+        self,
+        *,
+        require_complete: bool = True,
+        allow_deadlocks: bool = False,
+        allow_failures: bool = False,
+    ) -> "ExploreReport":
+        """Assert the exploration's verdict; returns self for chaining."""
+        problems = []
+        if require_complete and not self.complete:
+            problems.append("exploration incomplete")
+        if not allow_deadlocks and self.deadlocks:
+            problems.append(f"{len(self.deadlocks)} deadlock(s), first: {self.deadlocks[0]}")
+        if not allow_failures and self.failures:
+            problems.append(f"{len(self.failures)} failure(s), first: {self.failures[0]}")
+        if problems:
+            raise AssertionError("; ".join(problems) + "\n" + self.certificate)
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.certificate
+
+
+# ------------------------------------------------------------ internals
+
+
+class _RedundantBranch(Exception):
+    """Raised by the fallback when every candidate is asleep — the rest
+    of the run is provably covered by an earlier branch."""
+
+
+@dataclass(frozen=True, slots=True)
+class _Node:
+    """One frontier branch: a forced prefix and the sleep set holding at
+    its end (names -> footprints of already-covered siblings)."""
+
+    prefix: tuple[str, ...]
+    sleep: tuple[tuple[str, _Footprint], ...]
+
+
+class _SleepTracker:
+    """Per-run sleep-set bookkeeping, fed by the DirectedScheduler.
+
+    Maintains the current sleep set across decisions (a sleeping
+    transition wakes when a dependent grant runs) and records, per
+    step, the pre-decision sleep set and every candidate's footprint —
+    the raw material for post-run backtrack enumeration.
+    """
+
+    def __init__(self, initial: Mapping[str, _Footprint], start_depth: int) -> None:
+        self.labeler = ObjLabeler()
+        self.sleep: dict[str, _Footprint] = dict(initial)
+        #: The node's sleep set describes the state *after* its forced
+        #: prefix — the prefix's own grants must not prune it.
+        self.start_depth = start_depth
+        self.sleeps: list[dict[str, _Footprint]] = []        # pre-decision copies
+        self.footprints: list[dict[str, _Footprint]] = []    # per-step candidates
+        self.chosen_fp: list[_Footprint] = []
+        self.redundant = False
+
+    def _footprint(self, worker) -> _Footprint:
+        return (worker.point or "?", self.labeler.label(worker.obj))
+
+    def fallback(self, waiting, step):
+        for worker in waiting:
+            if worker.name not in self.sleep:
+                return worker
+        # Every candidate is asleep: each continuation from this state
+        # is equivalent to one an earlier branch already covers
+        # (classic sleep-set pruning), so abandon the run here instead
+        # of paying for the rest of it.
+        self.redundant = True
+        raise _RedundantBranch()
+
+    def on_decision(self, decision: Decision, waiting) -> None:
+        fps = {w.name: self._footprint(w) for w in waiting}
+        chosen_fp = fps[decision.chosen]
+        self.sleeps.append(dict(self.sleep))
+        self.footprints.append(fps)
+        self.chosen_fp.append(chosen_fp)
+        if decision.step < self.start_depth:
+            return  # still replaying the prefix; the sleep set is not live yet
+        # The chosen grant wakes every sleeping transition dependent on it.
+        self.sleep = {
+            name: fp
+            for name, fp in self.sleep.items()
+            if name != decision.chosen and not footprints_conflict(fp, chosen_fp)
+        }
+
+
+@dataclass
+class _RunRecord:
+    outcome: str                 # "ok" | "deadlock" | "failure"
+    choices: list[str]
+    tracker: _SleepTracker
+    trace: Trace
+    error: BaseException | None = None
+    report: DeadlockReport | None = None
+    state: Hashable = None
+
+
+def _resolve_factory(factory: ModelFactory):
+    built = factory()
+    if isinstance(built, tuple):
+        threads, oracle = built
+        return threads, oracle
+    return built, None
+
+
+def _run_once(
+    factory: ModelFactory,
+    node: _Node,
+    *,
+    settle: float,
+    stall_timeout: float,
+    deadlock_confirm: float,
+    deadlock_timeout: float,
+    patience: float,
+    finish_timeout: float,
+) -> _RunRecord:
+    threads, oracle = _resolve_factory(factory)
+    # A short finish_timeout matters: after a deadlocking schedule the
+    # parked workers never finish, and close() would otherwise spend the
+    # controller's default 20s joining daemons we are about to abandon —
+    # on every single deadlocking branch of the search.
+    controller = Controller(
+        stall_timeout=stall_timeout,
+        deadlock_confirm=deadlock_confirm,
+        deadlock_timeout=deadlock_timeout,
+        finish_timeout=finish_timeout,
+    )
+    _spawn_all(controller, threads)
+    tracker = _SleepTracker(dict(node.sleep), len(node.prefix))
+    scheduler = DirectedScheduler(
+        node.prefix,
+        fallback=tracker.fallback,
+        on_decision=tracker.on_decision,
+        patience=patience,
+    )
+    outcome, error, report = "ok", None, None
+    with controller:
+        try:
+            controller.run_scheduler(scheduler, settle=settle)
+            controller.finish()
+            controller.raise_worker_errors()
+        except PrefixDivergence:
+            raise
+        except _RedundantBranch:
+            outcome = "redundant"  # close() free-runs the workers out
+        except ScheduleDeadlock as exc:
+            outcome, error, report = "deadlock", exc, exc.report
+        except ScheduleError as exc:
+            outcome, error = "failure", exc
+    choices = [d.chosen for d in scheduler.decisions]
+    record = _RunRecord(outcome, choices, tracker, controller.trace, error, report)
+    if outcome == "ok" and oracle is not None:
+        try:
+            record.state = oracle(controller)
+        except BaseException as exc:  # noqa: BLE001 - the oracle IS the check
+            record.outcome, record.error = "failure", exc
+    return record
+
+
+def explore_model(
+    factory: ModelFactory,
+    *,
+    max_executions: int = 2000,
+    settle: float | None = None,
+    stall_timeout: float = 0.01,
+    deadlock_confirm: float = 0.1,
+    deadlock_timeout: float = 1.0,
+    patience: float = 1.0,
+    finish_timeout: float = 0.5,
+    divergence_retries: int = 2,
+) -> ExploreReport:
+    """Exhaustively explore the inequivalent schedules of a small model.
+
+    ``factory`` builds a *fresh* model per execution and returns either
+    a worker mapping (as for :func:`repro.testkit.replay`) or a
+    ``(mapping, oracle)`` pair; the oracle is called with the finished
+    controller after each completed schedule, may assert model
+    invariants, and its (hashable) return value is collected into
+    :attr:`ExploreReport.states` — "every schedule reaches one of
+    these states" falls out of the enumeration.
+
+    Deadlocks and failures do not stop the search: they are collected
+    as witnesses (with replayable traces) and the remaining frontier is
+    still explored, so one report describes the whole schedule space.
+    Call :meth:`ExploreReport.check` to turn the verdict into an
+    assertion.
+    """
+    if settle is None:
+        settle = stall_timeout
+    report = ExploreReport()
+    seen_keys: set[tuple] = set()
+    frontier_seen: dict[tuple[str, ...], set[str]] = {}
+    stack: list[_Node] = [_Node((), ())]
+
+    while stack:
+        if report.executions >= max_executions:
+            report.truncated = True
+            break
+        node = stack.pop()
+        record = None
+        for _ in range(divergence_retries + 1):
+            try:
+                record = _run_once(
+                    factory,
+                    node,
+                    settle=settle,
+                    stall_timeout=stall_timeout,
+                    deadlock_confirm=deadlock_confirm,
+                    deadlock_timeout=deadlock_timeout,
+                    patience=patience,
+                    finish_timeout=finish_timeout,
+                )
+                break
+            except PrefixDivergence:
+                continue
+        if record is None:
+            report.divergences += 1
+            continue
+        report.executions += 1
+        report.max_depth = max(report.max_depth, len(record.choices))
+        if record.tracker.redundant:
+            report.redundant += 1
+        tracker = record.tracker
+
+        if record.outcome == "ok":
+            events = [
+                GrantEvent(i, name, fp[0], family_of(fp[0], fp[1]))
+                for i, (name, fp) in enumerate(zip(record.choices, tracker.chosen_fp))
+            ]
+            seen_keys.add(canonical_key(events))
+            report.schedules = len(seen_keys)
+            try:
+                report.states.add(record.state)
+            except TypeError:
+                report.states.add(repr(record.state))
+        elif record.outcome == "deadlock":
+            report.deadlocks.append(
+                DeadlockWitness(node.prefix, str(record.trace), record.report)
+            )
+        elif record.outcome == "failure":
+            report.failures.append(
+                FailureWitness(node.prefix, str(record.trace), record.error)
+            )
+        # "redundant": abandoned mid-run, covered by an earlier branch —
+        # its decision log still feeds the backtrack enumeration below.
+
+        # ---- enumerate backtrack points from the decision log
+        for depth in range(len(record.choices)):
+            path = tuple(record.choices[:depth])
+            chosen = record.choices[depth]
+            candidates = tracker.footprints[depth]
+            seen = frontier_seen.get(path)
+            if seen is None:
+                # First branch at this state: schedule every un-slept
+                # sibling, threading sleep sets in exploration order.
+                seen = frontier_seen[path] = {chosen}
+                sleep_d = tracker.sleeps[depth]
+                prior: list[tuple[str, _Footprint]] = [(chosen, tracker.chosen_fp[depth])]
+                pushes: list[_Node] = []
+                for name in sorted(candidates):
+                    if name == chosen:
+                        continue
+                    seen.add(name)
+                    if name in sleep_d:
+                        continue  # an equivalent earlier branch covers it
+                    fp = candidates[name]
+                    alt_sleep = {
+                        n: f
+                        for n, f in sleep_d.items()
+                        if n != name and not footprints_conflict(f, fp)
+                    }
+                    for prior_name, prior_fp in prior:
+                        if prior_name != name and not footprints_conflict(prior_fp, fp):
+                            alt_sleep[prior_name] = prior_fp
+                    pushes.append(
+                        _Node(path + (name,), tuple(sorted(alt_sleep.items())))
+                    )
+                    prior.append((name, fp))
+                stack.extend(reversed(pushes))  # pop in candidate order
+            else:
+                # Frontier repair: a candidate this state had never
+                # offered before surfaced (real-primitive timing).  An
+                # empty sleep set is always sound, just less pruned.
+                for name in sorted(candidates):
+                    if name not in seen:
+                        seen.add(name)
+                        stack.append(_Node(path + (name,), ()))
+                        report.repairs += 1
+    return report

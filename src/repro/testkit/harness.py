@@ -17,13 +17,23 @@ Real blocking is the hard part of scheduling *real* primitives: a
 granted worker may vanish into ``Condition.wait`` or block on a lock a
 gated worker holds.  The controller never tries to prevent that — it
 detects it.  A grant through a known-blocking point (``park.enter``,
-``multiwait.park``) marks the worker off-schedule immediately; any other
-granted worker that fails to reach its next gate within
-``stall_timeout`` is presumed blocked and scheduling moves on.  A
+``multiwait.park``, ``doorbell.wait``) marks the worker off-schedule
+immediately; any other granted worker that fails to reach its next gate
+within ``stall_timeout`` is presumed blocked and scheduling moves on.  A
 blocked worker that later surfaces at a gate rejoins the schedule
-normally.  When every unfinished worker is blocked and nothing changes
-for ``deadlock_timeout``, the schedule is reported as a deadlock with
-the full trace.
+normally.
+
+Deadlock reporting is two-speed.  When every unfinished worker is
+*known*-blocked at an engine park point (where a pending timed wake is
+visible through the shared timer wheel) and the wheel holds no armed
+deadline, nobody can make progress: after one short confirmation window
+(``deadlock_confirm``, to absorb a grant whose park is still en route
+to the wheel) the schedule is reported **instantly** as a
+:class:`ScheduleDeadlock` carrying a structured :class:`DeadlockReport`
+— who is parked where, and who waits on what level of which counter.
+Only when some worker is blocked in an *unknown* primitive (a plain
+lock, a doorbell with a private timeout) does the controller fall back
+to the conservative no-progress-for-``deadlock_timeout`` heuristic.
 
 Every grant is recorded; :attr:`Controller.trace` is the compact
 replayable schedule (:class:`~repro.testkit.trace.Trace`).
@@ -31,15 +41,20 @@ replayable schedule (:class:`~repro.testkit.trace.Trace`).
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
+import traceback
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core import syncpoints
+from repro.core.engine import wheel
 from repro.testkit.trace import Trace
 
 __all__ = [
     "Controller",
+    "DeadlockReport",
     "ScheduleError",
     "ScheduleDeadlock",
     "ScheduleFailure",
@@ -64,9 +79,14 @@ class ScheduleError(AssertionError):
 
 
 class ScheduleDeadlock(ScheduleError):
-    """Every unfinished worker is blocked in a real primitive and no
-    progress happened for ``deadlock_timeout`` — a lost wakeup or a
-    genuine deadlock in the code under test."""
+    """Every unfinished worker is blocked in a real primitive with no
+    way to make progress — a lost wakeup or a genuine deadlock in the
+    code under test.  When raised by the scheduler loop, ``report`` is
+    the structured :class:`DeadlockReport` (who waits where, on what)."""
+
+    def __init__(self, message: str, *, report: "DeadlockReport | None" = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class ScheduleFailure(AssertionError):
@@ -79,10 +99,101 @@ class ScheduleFailure(AssertionError):
         self.seed = seed
 
 
+@dataclass(frozen=True, slots=True)
+class BlockedWorkerInfo:
+    """One blocked worker in a :class:`DeadlockReport`."""
+
+    name: str
+    point: str          #: the gate it was last granted through ("?" if none)
+    known: bool         #: True = granted through a known-blocking point
+    obj: str            #: repr of the primitive at that gate
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "parked" if self.known else "presumed blocked"
+        return f"{self.name}: {kind} after {self.point!r} on {self.obj}"
+
+
+@dataclass(frozen=True, slots=True)
+class CounterWaits:
+    """Who-waits-on-what for one counter involved in a deadlock."""
+
+    counter: str                          #: repr of the counter
+    value: int                            #: value at capture time
+    levels: tuple[tuple[int, int], ...]   #: (level, waiter count) pairs
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        waits = "; ".join(f"level {lv}: {n} waiter(s)" for lv, n in self.levels)
+        return f"{self.counter}: value={self.value}, waiting: {waits or 'none'}"
+
+
+@dataclass(frozen=True, slots=True)
+class DeadlockReport:
+    """Structured schedule-deadlock diagnosis, attached to
+    :class:`ScheduleDeadlock` by the scheduler loop.
+
+    ``instant`` distinguishes the all-parked proof (every unfinished
+    worker known-blocked at an engine park point, timer wheel empty)
+    from the conservative no-progress-timeout fallback; ``waited`` is
+    the confirmation window that elapsed before reporting.
+    """
+
+    workers: tuple[BlockedWorkerInfo, ...]
+    counters: tuple[CounterWaits, ...] = field(default_factory=tuple)
+    wheel_armed: int = 0
+    instant: bool = False
+    waited: float = 0.0
+    trace: str = ""
+
+    def __str__(self) -> str:
+        mode = (
+            "all workers parked, timer wheel empty — nothing can wake anyone"
+            if self.instant
+            else f"no progress for {self.waited:.2g}s"
+        )
+        lines = [f"schedule deadlock ({mode}):"]
+        lines += [f"  {info}" for info in self.workers]
+        if self.counters:
+            lines.append("  who waits on what:")
+            lines += [f"    {cw}" for cw in self.counters]
+        if self.wheel_armed:
+            lines.append(f"  timer wheel: {self.wheel_armed} armed deadline(s)")
+        lines.append(f"  trace: {self.trace}")
+        return "\n".join(lines)
+
+
+def _capture_counter_waits(objs: list[object]) -> tuple[CounterWaits, ...]:
+    """Who-waits-on-what snapshots for the distinct counters in ``objs``.
+
+    Reuses the stall watchdog's capture (``repro.obs.watchdog``); any
+    object without counter-shaped state is skipped.  Imported lazily so
+    the testkit does not pull the observability layer until a deadlock
+    actually needs diagnosing.
+    """
+    try:
+        from repro.obs.watchdog import capture_waiting
+    except Exception:  # pragma: no cover - obs layer unavailable
+        return ()
+    out: list[CounterWaits] = []
+    seen: set[int] = set()
+    for obj in objs:
+        if obj is None or id(obj) in seen or not hasattr(obj, "snapshot"):
+            continue
+        seen.add(id(obj))
+        captured = capture_waiting(obj)
+        if captured is None:
+            continue
+        value, waiting = captured
+        out.append(CounterWaits(repr(obj), value, tuple(waiting)))
+    return tuple(out)
+
+
 class _Worker:
     """Controller-side record of one gated thread."""
 
-    __slots__ = ("name", "fn", "args", "thread", "status", "point", "obj", "granted", "error")
+    __slots__ = (
+        "name", "fn", "args", "thread", "status", "point", "obj",
+        "granted", "error", "blocked_known",
+    )
 
     def __init__(self, name: str, fn: Callable[..., Any], args: tuple) -> None:
         self.name = name
@@ -94,6 +205,10 @@ class _Worker:
         self.obj: object | None = None
         self.granted = False
         self.error: BaseException | None = None
+        #: True when the worker went _BLOCKED via a grant through a
+        #: known-blocking point (engine park); False for presumed
+        #: stalls in unknown primitives.
+        self.blocked_known = False
 
     def __repr__(self) -> str:
         return f"<worker {self.name} {self.status}" + (
@@ -120,6 +235,7 @@ class Controller:
         *,
         stall_timeout: float = 0.02,
         deadlock_timeout: float = 2.0,
+        deadlock_confirm: float = 0.2,
         grant_timeout: float = 60.0,
         finish_timeout: float = 20.0,
     ) -> None:
@@ -135,6 +251,11 @@ class Controller:
         self._closed = False
         self.stall_timeout = stall_timeout
         self.deadlock_timeout = deadlock_timeout
+        #: Silence window confirming an *instant* deadlock verdict: long
+        #: enough for a just-granted park to reach the timer wheel (and
+        #: for the engine's ~20ms pre-wheel grace wait to expire), far
+        #: below the conservative ``deadlock_timeout``.
+        self.deadlock_confirm = deadlock_confirm
         self.grant_timeout = grant_timeout
         self.finish_timeout = finish_timeout
 
@@ -287,10 +408,13 @@ class Controller:
 
     def _grant_locked(self, worker: _Worker) -> None:
         # Callers hold self._cond and have verified worker is WAITING.
-        self.trace.append(worker.name, worker.point or "?")
-        worker.status = (
-            _BLOCKED if worker.point in syncpoints.BLOCKING_POINTS else _RUNNING
-        )
+        self.trace.append(worker.name, worker.point or "?", worker.obj)
+        if worker.point in syncpoints.BLOCKING_POINTS:
+            worker.status = _BLOCKED
+            worker.blocked_known = True
+        else:
+            worker.status = _RUNNING
+            worker.blocked_known = False
         worker.granted = True
         self._bump()
 
@@ -384,12 +508,48 @@ class Controller:
                         f"({self._statuses()}; trace: {self.trace})"
                     )
 
+    def settle(self, timeout: float | None = None) -> None:
+        """Wait until no worker is mid-segment (each is gated, parked in
+        a real primitive, or done).
+
+        A :meth:`grant` returns as soon as the gate opens — the released
+        segment then runs concurrently with the test thread.  Scripts
+        that interleave grants *across* workers need the previous
+        segment finished before the next grant, or the two race; the
+        scheduler loop gets this from its internal quiesce, and replay
+        calls this between steps for the same reason.  ``timeout`` is
+        the change-free window after which a still-running worker is
+        taken to be blocked in a real primitive (default:
+        ``stall_timeout``).
+        """
+        if timeout is None:
+            timeout = self.stall_timeout
+        with self._cond:
+            while True:
+                active = [
+                    w
+                    for w in self._workers.values()
+                    if w.status in (_NEW, _RUNNING)
+                ]
+                if not active:
+                    return
+                gen = self._gen
+                if not self._wait_change(gen, timeout):
+                    for worker in active:
+                        if worker.status == _RUNNING:
+                            worker.status = _BLOCKED
+                            worker.blocked_known = False
+                    return
+
     def finish(self, timeout: float | None = None) -> None:
         """Free-run every worker to completion and join them.
 
         Raises if any worker cannot finish (still blocked in a real
         primitive after ``finish_timeout``) — with all gates open that
-        means a lost wakeup or deadlock in the code under test.
+        means a lost wakeup or deadlock in the code under test.  A
+        worker *exception* is surfaced first: a crashed peer is usually
+        why the survivors hang (the waiter it was meant to wake never
+        hears from it), and reporting the hang would bury the cause.
         """
         if timeout is None:
             timeout = self.finish_timeout
@@ -407,10 +567,31 @@ class Controller:
             if worker.thread.is_alive():
                 stuck.append(worker.name)
         if stuck:
+            errors = self.errors
+            if errors:
+                lines = ", ".join(f"{name}: {exc!r}" for name, exc in errors.items())
+                raise ScheduleError(
+                    f"worker(s) raised: {lines}; worker(s) {stuck} then never "
+                    f"finished with every gate open — the exception likely "
+                    f"killed their waker ({self._statuses()}; trace: {self.trace})"
+                ) from next(iter(errors.values()))
             raise ScheduleDeadlock(
                 f"worker(s) {stuck} never finished with every gate open "
-                f"({self._statuses()}; trace: {self.trace})"
+                f"({self._statuses()}; trace: {self.trace})\n{self._stuck_frames(stuck)}"
             )
+
+    def _stuck_frames(self, stuck: list[str]) -> str:
+        """One innermost frame per stuck worker thread, for the report."""
+        frames = sys._current_frames()
+        lines = []
+        for name in stuck:
+            thread = self._workers[name].thread
+            frame = frames.get(thread.ident) if thread and thread.ident else None
+            if frame is None:
+                continue
+            where = traceback.extract_stack(frame, limit=1)[0]
+            lines.append(f"  {name} is at {where.filename}:{where.lineno} in {where.name}")
+        return "\n".join(lines)
 
     def _worker(self, name: str) -> _Worker:
         try:
@@ -422,40 +603,111 @@ class Controller:
 
     # ------------------------------------------------ scheduler driving
 
-    def run_scheduler(self, scheduler) -> None:
+    def run_scheduler(self, scheduler, *, settle: float | None = None) -> None:
         """Drive every worker to completion under ``scheduler``.
 
         One grant at a time: the scheduler picks among gated workers
         whenever no granted worker is still en route to its next gate.
+        A scheduler may return ``None`` to ask for a short wait before
+        being consulted again (used by
+        :class:`~repro.testkit.schedulers.DirectedScheduler` while the
+        worker its prefix names has not surfaced yet).
+
+        ``settle`` (seconds) makes each decision wait out one extra
+        change-free window whenever some worker is *blocked*: a wake
+        delivered by the previous grant may still be propagating, and a
+        systematic explorer wants the candidate set stable before it
+        branches on it.  ``None`` (default) keeps decisions immediate.
         """
         step = 0
         with self._cond:
             while True:
-                if all(w.status == _DONE for w in self._workers.values()):
+                waiting = self._quiesce_locked(settle)
+                if waiting is None:
                     return
-                running = [w for w in self._workers.values() if w.status in (_NEW, _RUNNING)]
-                if running:
+                choice = scheduler.choose(waiting, step)
+                if choice is None:
                     gen = self._gen
-                    if not self._wait_change(gen, self.stall_timeout):
-                        for worker in running:
-                            if worker.status == _RUNNING:
-                                worker.status = _BLOCKED
+                    self._wait_change(gen, self.stall_timeout)
                     continue
-                waiting = self._waiting_sorted()
-                if waiting:
-                    choice = scheduler.choose(waiting, step)
-                    if choice not in waiting:
-                        raise ScheduleError(f"scheduler chose non-waiting worker {choice!r}")
-                    self._grant_locked(choice)
-                    step += 1
-                    continue
-                # Everyone left is blocked in a real primitive: wait for
-                # one to surface, else report the deadlock.
+                if choice not in waiting:
+                    raise ScheduleError(f"scheduler chose non-waiting worker {choice!r}")
+                self._grant_locked(choice)
+                step += 1
+
+    def _quiesce_locked(self, settle: float | None) -> "list[_Worker] | None":
+        """Wait until the schedule needs a decision; caller holds _cond.
+
+        Returns the sorted gated candidates, or ``None`` when every
+        worker is done.  Raises :class:`ScheduleDeadlock` when every
+        unfinished worker is blocked and nothing can wake them (instant
+        proof or timeout fallback — see :meth:`_deadlock_wait_locked`).
+        """
+        while True:
+            workers = self._workers.values()
+            if all(w.status == _DONE for w in workers):
+                return None
+            active = [w for w in workers if w.status in (_NEW, _RUNNING)]
+            if active:
                 gen = self._gen
-                if not self._wait_change(gen, self.deadlock_timeout):
-                    blocked = [w.name for w in self._workers.values() if w.status == _BLOCKED]
-                    raise ScheduleDeadlock(
-                        f"no progress for {self.deadlock_timeout}s with all of "
-                        f"{blocked} blocked in real primitives "
-                        f"({self._statuses()}; trace: {self.trace})"
-                    )
+                if not self._wait_change(gen, self.stall_timeout):
+                    for worker in active:
+                        if worker.status == _RUNNING:
+                            worker.status = _BLOCKED
+                            worker.blocked_known = False
+                continue
+            waiting = self._waiting_sorted()
+            if waiting:
+                if settle is not None and any(w.status == _BLOCKED for w in workers):
+                    gen = self._gen
+                    if self._wait_change(gen, settle):
+                        continue  # something moved; re-stabilize
+                return waiting
+            # Everyone left is blocked in a real primitive.
+            self._deadlock_wait_locked()
+
+    def _deadlock_wait_locked(self) -> None:
+        """All unfinished workers blocked: wait for one to surface, else
+        raise.  Caller holds ``_cond``; returns (to re-quiesce) as soon
+        as anything changes.
+
+        The *instant* path: if every blocked worker is known-parked at
+        an engine park point and the shared timer wheel is empty, no
+        release pass is running (no worker is) and no timer can fire —
+        a short ``deadlock_confirm`` silence (covering a park still en
+        route to the wheel) proves the deadlock.  Otherwise fall back
+        to the conservative ``deadlock_timeout``.
+        """
+        blocked = [w for w in self._workers.values() if w.status == _BLOCKED]
+        instant = (
+            bool(blocked)
+            and all(
+                w.blocked_known and w.point in syncpoints.ENGINE_PARK_POINTS
+                for w in blocked
+            )
+            and wheel().armed_count() == 0
+        )
+        waited = self.deadlock_confirm if instant else self.deadlock_timeout
+        gen = self._gen
+        if self._wait_change(gen, waited):
+            return
+        if instant and wheel().armed_count() != 0:
+            # A just-granted timed park armed the wheel during the
+            # confirmation window without surfacing at a gate; the
+            # timer will wake it — take the conservative path instead.
+            return
+        report = DeadlockReport(
+            workers=tuple(
+                BlockedWorkerInfo(w.name, w.point or "?", w.blocked_known, repr(w.obj))
+                for w in sorted(blocked, key=lambda w: w.name)
+            ),
+            counters=_capture_counter_waits([w.obj for w in blocked]) if instant else (),
+            wheel_armed=wheel().armed_count(),
+            instant=instant,
+            waited=waited,
+            trace=str(self.trace),
+        )
+        raise ScheduleDeadlock(
+            f"{report}\n  blocked in real primitives ({self._statuses()})",
+            report=report,
+        )

@@ -31,8 +31,11 @@ Environment knobs (all optional; defaults are fully deterministic):
 ``TESTKIT_SCHEDULES_SCALE``
     Float multiplier on every ``schedules=N`` count (nightly depth).
 ``TESTKIT_TRACE_DIR``
-    If set, failing schedules also write their trace to
-    ``<dir>/<test>-seed<seed>.trace`` for artifact upload.
+    Directory failing schedules write their trace to, as
+    ``<dir>/<test>-seed<seed>.trace`` for artifact upload.  Unset, the
+    dump goes to ``<tmpdir>/testkit-traces`` instead — a failure always
+    leaves a replayable file, and its path is printed in the failure
+    message along with the seed and scheduler kind.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from __future__ import annotations
 import functools
 import inspect
 import os
+import tempfile
 import zlib
 from typing import Any, Callable
 
@@ -122,13 +126,16 @@ def _scaled(schedules: int) -> int:
 
 
 def _dump_trace(fn: Callable, run: ScheduleRun) -> str | None:
-    directory = os.environ.get("TESTKIT_TRACE_DIR")
-    if not directory:
+    directory = os.environ.get("TESTKIT_TRACE_DIR") or os.path.join(
+        tempfile.gettempdir(), "testkit-traces"
+    )
+    try:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{fn.__name__}-seed{run.seed}.trace")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(str(run.trace) + "\n")
+    except OSError:  # pragma: no cover - a read-only tmpdir must not mask the failure
         return None
-    os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, f"{fn.__name__}-seed{run.seed}.trace")
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(str(run.trace) + "\n")
     return path
 
 
@@ -171,13 +178,17 @@ def interleave(
                     raise
                 except BaseException as exc:
                     path = _dump_trace(fn, run)
-                    where = f" (trace written to {path})" if path else ""
+                    where = f"\n  trace file: {path}" if path else ""
                     raise ScheduleFailure(
                         f"{fn.__qualname__} failed on schedule #{run.index} "
                         f"(scheduler={scheduler!r}, seed={run.seed}): {exc!r}\n"
                         f"  trace: {run.trace}{where}\n"
+                        f"  rerun just this schedule: TESTKIT_SEED={run.seed} "
+                        f"python -m pytest -k {fn.__name__}\n"
                         f"  replay: repro.testkit.replay({str(run.trace)!r}, "
-                        f"threads={{...}})  # same worker names/fns as the test",
+                        f"threads={{...}})  # same worker names/fns as the test\n"
+                        f"  shrink it: repro.testkit.shrink_trace(trace, "
+                        f"repro.testkit.replay_fails(factory))  # docs/testing.md",
                         trace=run.trace,
                         seed=run.seed,
                     ) from exc

@@ -27,9 +27,19 @@ positioning primitives directly (see :mod:`repro.testkit.script`).
 from __future__ import annotations
 
 import random
-from typing import Protocol, Sequence
+import time
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
 
-__all__ = ["Scheduler", "RandomScheduler", "PCTScheduler", "make_scheduler"]
+__all__ = [
+    "Scheduler",
+    "RandomScheduler",
+    "PCTScheduler",
+    "DirectedScheduler",
+    "Decision",
+    "PrefixDivergence",
+    "make_scheduler",
+]
 
 
 class Scheduler(Protocol):
@@ -96,6 +106,92 @@ class PCTScheduler:
 
     def __repr__(self) -> str:
         return f"PCTScheduler(seed={self.seed}, depth={self.depth})"
+
+
+class PrefixDivergence(AssertionError):
+    """A :class:`DirectedScheduler` prefix named a worker that never
+    surfaced at a gate — this execution does not follow the recorded
+    branch (real-primitive nondeterminism), so its results cannot be
+    attributed to that branch."""
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """One scheduling decision recorded by :class:`DirectedScheduler`.
+
+    ``candidates`` are the gated workers offered (name-sorted by the
+    controller), as ``(name, point, obj)`` triples; ``chosen`` is the
+    name granted.
+    """
+
+    step: int
+    candidates: tuple[tuple[str, str, object], ...]
+    chosen: str
+
+
+class DirectedScheduler:
+    """Follow a forced prefix of worker names, then hand over to a
+    fallback policy — the replay engine of the DPOR explorer
+    (:mod:`repro.testkit.explore`).
+
+    While ``step`` is inside ``prefix``, the scheduler insists on the
+    named worker: if it is not among the gated candidates yet (it may
+    still be en route to its gate), ``choose`` returns ``None``, which
+    asks the controller to wait briefly and consult again; after
+    ``patience`` seconds of that, :class:`PrefixDivergence` is raised.
+    Beyond the prefix, ``fallback(waiting, step)`` picks (default:
+    first candidate, i.e. lowest name).  Every successful decision is
+    recorded and reported through ``on_decision`` — the explorer uses
+    the stream to maintain sleep sets and enumerate backtrack points.
+    """
+
+    def __init__(
+        self,
+        prefix: Sequence[str],
+        *,
+        fallback: "Callable[[Sequence[object], int], object] | None" = None,
+        on_decision: "Callable[[Decision, Sequence[object]], None] | None" = None,
+        patience: float = 2.0,
+    ) -> None:
+        self.prefix = list(prefix)
+        self.fallback = fallback
+        self.on_decision = on_decision
+        self.patience = patience
+        self.decisions: list[Decision] = []
+        self._stuck_since: float | None = None
+
+    def choose(self, waiting, step):
+        if step < len(self.prefix):
+            want = self.prefix[step]
+            chosen = next((w for w in waiting if w.name == want), None)
+            if chosen is None:
+                now = time.monotonic()
+                if self._stuck_since is None:
+                    self._stuck_since = now
+                if now - self._stuck_since >= self.patience:
+                    raise PrefixDivergence(
+                        f"directed prefix step {step} wants {want!r} but only "
+                        f"{[w.name for w in waiting]} surfaced within "
+                        f"{self.patience}s"
+                    )
+                return None  # controller waits briefly and asks again
+        elif self.fallback is not None:
+            chosen = self.fallback(waiting, step)
+        else:
+            chosen = waiting[0]
+        self._stuck_since = None
+        decision = Decision(
+            step,
+            tuple((w.name, w.point or "?", w.obj) for w in waiting),
+            chosen.name,
+        )
+        self.decisions.append(decision)
+        if self.on_decision is not None:
+            self.on_decision(decision, waiting)
+        return chosen
+
+    def __repr__(self) -> str:
+        return f"DirectedScheduler(prefix={self.prefix!r})"
 
 
 def make_scheduler(kind: str, seed: int, *, pct_depth: int = 3) -> Scheduler:

@@ -21,11 +21,19 @@ that is how the PR-2 draining-set leak is reproduced in
 
 :func:`replay` is the other direction: take the printed
 :class:`~repro.testkit.trace.Trace` of a failed scheduler run and
-re-impose its grant order.  Replay is *lenient* — real condition
-variables may surface threads in a slightly different gate order on
-re-execution — so mismatched steps are skipped and counted rather than
-failing the replay; the divergence count tells you how faithful the
-rerun was.
+re-impose its grant order.  Replay is *lenient* by default — real
+condition variables may surface threads in a slightly different gate
+order on re-execution — so mismatched steps are skipped and counted
+rather than failing the replay; the divergence count tells you how
+faithful the rerun was.  Two escalations harden it:
+
+* ``mode="until"`` treats each recorded step as a *positioning* op
+  (walk the thread to that point, then release it) instead of a bare
+  grant — the format shrunk traces use, where consecutive same-thread
+  grants have been collapsed away;
+* ``strict=True`` (or a trace so stale that *no* step could be
+  re-imposed, even leniently) raises :class:`StaleTraceError` instead
+  of silently free-running code that no longer matches the recording.
 """
 
 from __future__ import annotations
@@ -48,7 +56,16 @@ __all__ = [
     "run_script",
     "replay",
     "ReplayResult",
+    "StaleTraceError",
 ]
+
+
+class StaleTraceError(ScheduleError):
+    """A replayed trace no longer matches the code: in strict mode any
+    step that cannot be re-imposed raises this; in lenient mode it is
+    raised only when *no* recorded step could be imposed at all —
+    either way the replay refuses to pass itself off as a rerun of the
+    recorded schedule."""
 
 
 # ------------------------------------------------------------- script ops
@@ -163,11 +180,12 @@ def run_script(
 @dataclass
 class ReplayResult:
     """Outcome of a :func:`replay`: the controller (trace, errors) plus
-    how many recorded steps could not be re-imposed exactly."""
+    how many recorded steps could / could not be re-imposed exactly."""
 
     controller: Controller
     divergences: int = 0
     skipped: list[str] = field(default_factory=list)
+    imposed: int = 0
 
 
 def replay(
@@ -176,37 +194,107 @@ def replay(
     *,
     stall_timeout: float = 0.02,
     step_timeout: float = 2.0,
+    mode: str = "grant",
+    strict: bool = False,
 ) -> ReplayResult:
     """Re-impose a recorded grant order on a fresh run of ``threads``.
 
-    Leniently: a step whose worker is already done, or whose worker
-    never surfaces at a gate in time (it is blocked in a real primitive
-    awaiting a peer the original schedule had already run), is skipped
-    and counted in :attr:`ReplayResult.divergences`.  A gate-point
-    mismatch is granted anyway and counted.  Workers are free-run to
-    completion afterwards and their exceptions re-raised — so a replay
-    of a crashing schedule crashes the same way.
+    Leniently by default: a step whose worker is already done, or whose
+    worker never surfaces at a gate in time (it is blocked in a real
+    primitive awaiting a peer the original schedule had already run), is
+    skipped and counted in :attr:`ReplayResult.divergences`.  A
+    gate-point mismatch is granted anyway and counted.  Each imposed
+    step is followed by a :meth:`Controller.settle` so the granted
+    segment finishes before the next step's worker moves — the same
+    gate-to-gate serialization the recording run had.  Workers are
+    free-run to completion afterwards and their exceptions re-raised —
+    so a replay of a crashing schedule crashes the same way.
+
+    ``mode="until"`` re-imposes each step as ``until(thread, point)``
+    then ``grant`` — the right semantics for *shrunk* traces, where the
+    boring intermediate grants have been deleted and each surviving
+    step means "get this thread to this point, then let it through".
+
+    ``strict=True`` raises :class:`StaleTraceError` on the first step
+    that cannot be re-imposed exactly.  Even in lenient mode, a
+    non-empty trace none of whose steps could be imposed raises — a
+    trace that stale is not a replay, and silently free-running would
+    report whatever the uncontrolled schedule happened to do.
     """
+    if mode not in ("grant", "until"):
+        raise ValueError(f"mode must be 'grant' or 'until', got {mode!r}")
     if isinstance(trace, str):
         trace = Trace.parse(trace)
     result = ReplayResult(Controller(stall_timeout=stall_timeout))
     controller = result.controller
     _spawn_all(controller, threads)
     with controller:
-        for step in trace:
+        for index, step in enumerate(trace):
             if step.thread not in controller._workers:
                 raise ScheduleError(
                     f"trace names worker {step.thread!r} but threads= "
                     f"only defines {sorted(controller._workers)}"
                 )
             try:
-                at = controller.grant(step.thread, timeout=step_timeout)
-            except ScheduleError:
+                if mode == "until":
+                    controller.until(step.thread, step.point, timeout=step_timeout)
+                    at = controller.grant(step.thread, step.point, timeout=step_timeout)
+                else:
+                    at = controller.grant(step.thread, timeout=step_timeout)
+            except ScheduleError as exc:
+                if strict:
+                    raise StaleTraceError(
+                        f"replay step {index} ({step}) could not be re-imposed: {exc}"
+                    ) from exc
                 result.divergences += 1
                 result.skipped.append(str(step))
                 continue
+            result.imposed += 1
+            # The recorded order had the scheduler's quiesce between
+            # grants: a granted segment ran to its next gate before the
+            # next decision.  Re-impose that too, or this step's segment
+            # races the next step's worker and the replay reproduces a
+            # *different* interleaving than the one recorded.
+            controller.settle(stall_timeout)
             if at != step.point:
+                if strict:
+                    raise StaleTraceError(
+                        f"replay step {index} expected gate {step.point!r}, "
+                        f"worker {step.thread!r} was at {at!r} "
+                        f"(trace: {controller.trace})"
+                    )
                 result.divergences += 1
+        if len(trace) and result.imposed == 0:
+            raise StaleTraceError(
+                f"stale trace: none of its {len(trace)} step(s) could be "
+                f"re-imposed on the current code "
+                f"(skipped: {' '.join(result.skipped)}) — re-record the "
+                f"schedule instead of trusting this free-run"
+            )
+        # Deterministic drain.  finish() opens every remaining gate at
+        # once, so the workers' post-trace segments race each other and
+        # the replay outcome depends on OS scheduling — poison for a
+        # shrinker, whose predicate must be a *function* of the trace.
+        # Run the leftovers one worker at a time instead (trace order,
+        # then name order), looping while anyone still finishes, and
+        # only then open the gates for good (join + error surfacing).
+        order = dict.fromkeys(
+            [step.thread for step in trace] + sorted(controller._workers)
+        )
+        done: set[str] = set()
+        progress = True
+        while progress:
+            progress = False
+            for name in order:
+                if name in done:
+                    continue
+                try:
+                    outcome = controller.run_thread(name, timeout=step_timeout)
+                except ScheduleError:
+                    continue  # leave the stuck worker to finish() below
+                if outcome == "done":
+                    done.add(name)
+                    progress = True  # it may have unblocked a peer
         controller.finish()
         controller.raise_worker_errors()
     return result

@@ -1,0 +1,225 @@
+"""Failing-trace shrinking: from hundreds of grants to the ones that matter.
+
+A scheduler-found failure arrives as a full grant trace — every ``start``
+gate, every boring lock acquisition, interleaved across every worker.
+The bug usually lives in two or three of those grants.  This module
+minimizes the trace while preserving the failure:
+
+1. **Prefix truncation** (binary search): failures are usually decided
+   early — the shortest failing prefix is found in O(log n) replays
+   (verified, since failure need not be monotone in prefix length).
+2. **ddmin** (Zeller/Hildebrandt delta debugging): remove chunks of the
+   remaining steps at increasing granularity until the trace is
+   1-minimal — deleting any single step makes the failure vanish.
+
+Candidates are judged by a *predicate* — any callable from a
+:class:`~repro.testkit.trace.Trace` to "did the failure reproduce?".
+:func:`replay_fails` builds the standard one on top of
+:func:`repro.testkit.replay` in ``until`` mode: each surviving step
+positions its thread at the recorded point and releases it, so deleting
+the steps *between* two decisive grants keeps the candidate meaningful
+(the replayer walks threads through whatever boring gates the deletion
+skipped).  That is what lets a minimal trace drop to the 3-ish
+positioning steps a human would have scripted by hand.
+
+The minimal trace is replayable (same ``mode="until"``), written to
+``TESTKIT_TRACE_DIR`` when set, and comes with the replay count it cost.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.testkit.script import StaleTraceError, replay
+from repro.testkit.trace import Trace, TraceStep
+
+__all__ = ["ShrinkResult", "shrink_trace", "replay_fails"]
+
+Predicate = Callable[[Trace], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of :func:`shrink_trace`."""
+
+    minimal: Trace            #: the 1-minimal failing trace
+    original_steps: int
+    replays: int              #: candidate replays spent
+    path: str | None = None   #: where the minimal trace was saved, if anywhere
+
+    @property
+    def minimal_steps(self) -> int:
+        return len(self.minimal)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        saved = f" (saved to {self.path})" if self.path else ""
+        return (
+            f"shrunk {self.original_steps} -> {self.minimal_steps} step(s) "
+            f"in {self.replays} replay(s){saved}: {self.minimal}"
+        )
+
+
+class _Budget:
+    __slots__ = ("spent", "limit", "fails")
+
+    def __init__(self, fails: Predicate, limit: int) -> None:
+        self.spent = 0
+        self.limit = limit
+        self.fails = fails
+
+    def __call__(self, steps: list[TraceStep]) -> bool:
+        if self.spent >= self.limit:
+            return False  # out of budget: treat as not-failing, keep current
+        self.spent += 1
+        return bool(self.fails(Trace(steps)))
+
+
+def _shortest_failing_prefix(steps: list[TraceStep], check: _Budget) -> list[TraceStep]:
+    lo, hi = 1, len(steps)  # invariant: steps[:hi] fails (verified by caller)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if check(steps[:mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    candidate = steps[:hi]
+    # Binary search assumed monotonicity; trust it only if verified.
+    if hi < len(steps) and not check(candidate):
+        return steps
+    return candidate
+
+
+def _ddmin(steps: list[TraceStep], check: _Budget) -> list[TraceStep]:
+    chunks = 2
+    while len(steps) >= 2:
+        size = max(1, len(steps) // chunks)
+        reduced = False
+        start = 0
+        while start < len(steps):
+            candidate = steps[:start] + steps[start + size:]
+            if candidate and check(candidate):
+                steps = candidate
+                chunks = max(chunks - 1, 2)
+                reduced = True
+                break
+            start += size
+        if not reduced:
+            if chunks >= len(steps):
+                break
+            chunks = min(len(steps), chunks * 2)
+    return steps
+
+
+def shrink_trace(
+    trace: Trace | str,
+    fails: Predicate,
+    *,
+    max_replays: int = 400,
+    save_as: str | None = None,
+) -> ShrinkResult:
+    """Minimize ``trace`` while ``fails`` keeps returning True.
+
+    ``fails`` must hold on the input trace (validated first — a
+    predicate that cannot even reproduce the original failure would
+    "minimize" to garbage).  The result is 1-minimal with respect to
+    single-step deletion, up to the ``max_replays`` budget (an
+    exhausted budget returns the best trace found so far, never an
+    unvalidated one).
+
+    The minimal trace is written to ``save_as`` if given, else to
+    ``$TESTKIT_TRACE_DIR/minimal-<n>steps.trace`` when the env var is
+    set — next to the full traces ``@interleave`` dumps, so the CI
+    artifact contains both the haystack and the needle.
+    """
+    if isinstance(trace, str):
+        trace = Trace.parse(trace)
+    steps = list(trace)
+    if not steps:
+        raise ValueError("cannot shrink an empty trace")
+    check = _Budget(fails, max_replays)
+    if not check(steps):
+        raise ValueError(
+            "the predicate does not fail on the original trace — nothing to shrink"
+        )
+    steps = _shortest_failing_prefix(steps, check)
+    steps = _ddmin(steps, check)
+    result = ShrinkResult(Trace(steps), len(trace), check.spent)
+    directory = os.environ.get("TESTKIT_TRACE_DIR")
+    if save_as is None and directory:
+        os.makedirs(directory, exist_ok=True)
+        save_as = os.path.join(directory, f"minimal-{len(steps)}steps.trace")
+    if save_as:
+        with open(save_as, "w", encoding="utf-8") as handle:
+            handle.write(str(result.minimal) + "\n")
+        result.path = save_as
+    return result
+
+
+def replay_fails(
+    factory: Callable[[], Any],
+    *,
+    exception: type[BaseException] | tuple[type[BaseException], ...] | None = None,
+    mode: str = "until",
+    step_timeout: float = 0.3,
+    stall_timeout: float = 0.02,
+) -> Predicate:
+    """Build the standard shrink predicate: replay the candidate against
+    a fresh model and report whether the failure reproduced.
+
+    ``factory`` builds fresh primitives per candidate and returns a
+    worker mapping or a ``(mapping, oracle)`` pair (the same shape
+    :func:`repro.testkit.explore.explore_model` takes).  The failure
+    is defined by:
+
+    * ``exception`` given — the replay (worker body, finish, or
+      re-raised worker error) raises a matching exception, directly or
+      anywhere along its ``__cause__`` chain;
+    * otherwise an oracle from the factory — the replay completes and
+      ``oracle(controller)`` returns truthy ("the bad state is
+      there"), the right shape for silent-corruption bugs.  A crashing
+      replay is a *different* failure and does not count: without this
+      the shrinker happily walks from the silent corruption to
+      whatever unrelated crash the mangled schedule can also trigger,
+      and "minimizes" across failure modes;
+    * neither — any exception at all counts as the failure.
+
+    Candidates that are too mangled to replay (``StaleTraceError``)
+    never count as failing.
+    """
+
+    def _matches(exc: BaseException) -> bool:
+        if exception is None:
+            return True
+        seen: BaseException | None = exc
+        while seen is not None:
+            if isinstance(seen, exception):
+                return True
+            seen = seen.__cause__
+        return False
+
+    def predicate(candidate: Trace) -> bool:
+        built = factory()
+        threads, oracle = built if isinstance(built, tuple) else (built, None)
+        try:
+            result = replay(
+                candidate,
+                threads,
+                mode=mode,
+                step_timeout=step_timeout,
+                stall_timeout=stall_timeout,
+            )
+        except StaleTraceError:
+            return False
+        except BaseException as exc:  # noqa: BLE001 - the crash is the signal
+            if exception is None and oracle is not None:
+                return False  # the failure is the oracle's state, not a crash
+            return _matches(exc)
+        if exception is not None:
+            return False  # expected a crash; the replay completed
+        if oracle is not None:
+            return bool(oracle(result.controller))
+        return False
+
+    return predicate

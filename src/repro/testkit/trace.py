@@ -12,7 +12,7 @@ harness enforces this at ``spawn``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 __all__ = ["TraceStep", "Trace"]
@@ -20,10 +20,17 @@ __all__ = ["TraceStep", "Trace"]
 
 @dataclass(frozen=True, slots=True)
 class TraceStep:
-    """One grant: ``thread`` was released from its gate at ``point``."""
+    """One grant: ``thread`` was released from its gate at ``point``.
+
+    ``obj`` is the primitive the gate fired with, recorded live by the
+    controller for dependence analysis (:mod:`repro.testkit.por`).  It
+    is an in-memory annotation only: excluded from equality and from
+    the textual form, and absent on parsed traces.
+    """
 
     thread: str
     point: str
+    obj: object | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.thread}:{self.point}"
@@ -55,8 +62,8 @@ class Trace:
             steps.append(TraceStep(thread, point))
         return cls(steps)
 
-    def append(self, thread: str, point: str) -> None:
-        self.steps.append(TraceStep(thread, point))
+    def append(self, thread: str, point: str, obj: object | None = None) -> None:
+        self.steps.append(TraceStep(thread, point, obj))
 
     def __len__(self) -> int:
         return len(self.steps)

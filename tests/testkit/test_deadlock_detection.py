@@ -1,0 +1,117 @@
+"""Harness-level deadlock detection: the instant proof and its report.
+
+The scheduler loop detects "every unfinished worker is blocked" two
+ways: an *instant* proof (all blocked workers known-parked at engine
+park points, timer wheel empty — nothing can wake anyone) confirmed
+after a short silence, and the conservative no-progress timeout for
+everything else.  These tests inject a lost wakeup at the harness level
+and pin (a) that detection is the proof, not the timeout, and (b) the
+structured who-waits-on-what report.  They also pin finish()'s error
+attribution: a worker exception that kills a waker must be reported as
+the cause, not buried under the resulting hang.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import MonotonicCounter
+from repro.testkit import Controller, ScheduleDeadlock, ScheduleError
+from repro.testkit.schedulers import RandomScheduler
+
+
+def test_instant_detection_of_untimed_lost_wakeup():
+    """An untimed waiter above any increment's reach: nothing is armed,
+    nothing can wake it.  With the fallback timeout set far beyond the
+    test budget, only the instant proof can report in time."""
+    counter = MonotonicCounter()
+    controller = Controller(
+        deadlock_timeout=60.0, deadlock_confirm=0.05, finish_timeout=0.3
+    )
+    controller.spawn("w", counter.check, 2)
+    controller.spawn("inc", counter.increment, 1)
+    started = time.monotonic()
+    try:
+        with controller:
+            with pytest.raises(ScheduleDeadlock) as excinfo:
+                controller.run_scheduler(RandomScheduler(7), settle=0.004)
+            counter.increment(1)  # wake the stranded waiter for close()
+            controller.finish()
+    finally:
+        elapsed = time.monotonic() - started
+    assert elapsed < 10.0, f"instant proof fell back to the timeout: {elapsed:.1f}s"
+
+    report = excinfo.value.report
+    assert report is not None
+    assert report.instant
+    assert report.wheel_armed == 0
+    assert [info.name for info in report.workers] == ["w"]
+    assert report.workers[0].known
+    assert report.workers[0].point == "park.enter"
+
+
+def test_deadlock_report_names_who_waits_on_what():
+    counter = MonotonicCounter(name="orders")
+    controller = Controller(
+        deadlock_timeout=60.0, deadlock_confirm=0.05, finish_timeout=0.3
+    )
+    controller.spawn("w", counter.check, 5)
+    with controller:
+        with pytest.raises(ScheduleDeadlock) as excinfo:
+            controller.run_scheduler(RandomScheduler(0), settle=0.004)
+        counter.increment(5)
+        controller.finish()
+    text = str(excinfo.value.report)
+    assert "nothing can wake anyone" in text
+    assert "w: parked after 'park.enter'" in text
+    assert "who waits on what" in text
+    assert "level 5: 1 waiter(s)" in text
+    # The report embeds the replayable grant trace up to the deadlock.
+    assert "w:park.enter" in excinfo.value.report.trace
+
+
+def test_timed_wait_disarms_the_instant_proof():
+    """A *timed* waiter arms the wheel: the all-parked state is not a
+    deadlock (the timer will fire), and the loop must not report one —
+    the waiter times out and the run completes."""
+    from repro.core.errors import CheckTimeout
+
+    counter = MonotonicCounter()
+    outcome = {}
+
+    def waiter():
+        try:
+            counter.check(1, timeout=0.2)
+            outcome["check"] = "released"
+        except CheckTimeout:
+            outcome["check"] = "timeout"
+
+    controller = Controller(deadlock_timeout=30.0, deadlock_confirm=0.05)
+    controller.spawn("w", waiter)
+    with controller:
+        controller.run_scheduler(RandomScheduler(1), settle=0.004)
+        controller.finish()
+    controller.raise_worker_errors()
+    assert outcome["check"] == "timeout"
+
+
+def test_finish_reports_the_killer_exception_not_the_hang():
+    """A crashed waker strands its waiter; finish() must lead with the
+    exception (the cause) instead of the stall it produced."""
+    counter = MonotonicCounter()
+
+    def doomed_waker():
+        raise ValueError("died before incrementing")
+
+    controller = Controller(finish_timeout=0.3)
+    controller.spawn("w", counter.check, 1)
+    controller.spawn("waker", doomed_waker)
+    with controller:
+        controller.until("w", "park.enter")
+        controller.grant("w")            # parks; only the waker can help
+        controller.run_thread("waker")   # ...and it dies instead
+        with pytest.raises(ScheduleError, match=r"worker\(s\) raised.*died before"):
+            controller.finish()
+        counter.increment(1)  # release the stranded waiter for close()

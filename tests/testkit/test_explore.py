@@ -1,0 +1,161 @@
+"""Exhaustive exploration over counter models: the ISSUE's acceptance bar.
+
+Each test enumerates *every* inequivalent schedule of a small model and
+asserts the exhaustiveness certificate, so these are proofs about the
+full schedule space, not samples.  Deterministic models make the counts
+themselves stable, and the tests pin them: a changed count means the
+schedule space (or the dependence relation) changed, which a reviewer
+should look at either way.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import MonotonicCounter
+from repro.testkit import explore_model
+from repro.testkit.invariants import assert_counter_quiescent
+
+pytestmark = pytest.mark.explore
+
+# Tight-but-safe driving parameters: settle/stall only bound how long
+# the controller waits for wakes to surface, and the models below are
+# wake-driven (no timers), so short windows just cost retries at worst.
+FAST = dict(settle=0.004, stall_timeout=0.008)
+
+
+def two_thread_model():
+    """One waiter, one incrementer: the smallest release/park interplay."""
+    counter = MonotonicCounter()
+
+    def oracle(controller):
+        final = counter.value  # the quiescence check resets the counter
+        assert_counter_quiescent(counter, expect_value=1)
+        return final
+
+    return {"w": (counter.check, 1), "inc": (counter.increment, 1)}, oracle
+
+
+def coalesced_model():
+    """Two waiters at different levels, one increment crossing both:
+    the coalesced release pass (one sweep wakes two parked threads)."""
+    counter = MonotonicCounter()
+
+    def oracle(controller):
+        final = counter.value  # the quiescence check resets the counter
+        assert_counter_quiescent(counter, expect_value=2)
+        return final
+
+    return {
+        "w1": (counter.check, 1),
+        "w2": (counter.check, 2),
+        "inc": (counter.increment, 2),
+    }, oracle
+
+
+def test_two_thread_model_exhaustive():
+    report = explore_model(two_thread_model, **FAST)
+    report.check()
+    assert "EXHAUSTIVE" in report.certificate
+    # The space: inc-first (fast-path check, 3 grants) plus the parked
+    # variants differing in where the waiter's wake lands.
+    assert report.schedules == 4
+    assert report.states == {1}
+    assert report.executions < 30
+
+
+def test_coalesced_release_model_exhaustive():
+    report = explore_model(coalesced_model, **FAST)
+    report.check()
+    assert "EXHAUSTIVE" in report.certificate
+    # Every inequivalent interleaving of two checks against the
+    # two-level release sweep; the pinned count is the acceptance bar.
+    assert report.schedules == 77
+    assert report.states == {2}
+    # DPOR keeps the enumeration linear-ish in the class count — a blowup
+    # here means the dependence relation regressed.
+    assert report.executions < 6 * report.schedules
+
+
+def test_certificate_reports_counts():
+    report = explore_model(two_thread_model, **FAST)
+    assert f"{report.schedules} inequivalent schedule(s)" in report.certificate
+    assert f"in {report.executions} execution(s)" in report.certificate
+
+
+def test_budget_exhaustion_is_not_certified():
+    report = explore_model(coalesced_model, max_executions=5, **FAST)
+    assert report.truncated
+    assert not report.complete
+    assert "INCOMPLETE" in report.certificate
+    with pytest.raises(AssertionError, match="exploration incomplete"):
+        report.check()
+
+
+def test_oracle_failures_are_witnessed_not_fatal():
+    def model():
+        counter = MonotonicCounter()
+
+        def oracle(controller):
+            assert counter.value == 999, "planted oracle failure"
+            return counter.value
+
+        return {"w": (counter.check, 1), "inc": (counter.increment, 1)}, oracle
+
+    report = explore_model(model, **FAST)
+    assert report.failures  # every completed schedule fails the oracle
+    assert report.complete  # ...but the space was still fully explored
+    with pytest.raises(AssertionError, match="planted oracle failure"):
+        report.check()
+    report.check(allow_failures=True)
+
+
+class TestDeadlockModels:
+    """A waiter above the increment's reach: every schedule deadlocks."""
+
+    @staticmethod
+    def model():
+        counter = MonotonicCounter()
+        return {"w": (counter.check, 2), "inc": (counter.increment, 1)}
+
+    def test_all_schedules_deadlock_with_instant_witnesses(self):
+        report = explore_model(self.model, finish_timeout=0.2, **FAST)
+        report.check(allow_deadlocks=True)
+        assert report.schedules == 0  # no schedule completes
+        assert report.deadlocks
+        witness = report.deadlocks[0]
+        assert witness.report is not None
+        # Detected by the instant engine-park rule, not the timeout.
+        assert witness.report.instant
+        assert witness.report.wheel_armed == 0
+        # The structured report names the parked worker and the level it
+        # waits on — the who-waits-on-what snapshot.
+        text = str(witness.report)
+        assert "w: parked after 'park.enter'" in text
+        assert "who waits on what" in text
+        assert "level 2: 1 waiter(s)" in text
+
+    def test_deadlock_witness_trace_is_replayable_text(self):
+        report = explore_model(self.model, finish_timeout=0.2, **FAST)
+        witness = report.deadlocks[0]
+        # The witness carries the grant trace up to the deadlock.
+        assert "w:park.enter" in witness.trace
+
+    def test_detection_is_instant_not_timeout_scaled(self):
+        # With a fallback timeout big enough to dominate the test's
+        # runtime budget, only the instant path can finish in time.
+        started = time.monotonic()
+        report = explore_model(
+            self.model,
+            deadlock_timeout=30.0,
+            deadlock_confirm=0.05,
+            finish_timeout=0.2,
+            max_executions=3,
+            **FAST,
+        )
+        elapsed = time.monotonic() - started
+        assert report.deadlocks
+        assert all(w.report.instant for w in report.deadlocks)
+        assert elapsed < 10.0, f"deadlock detection waited out timeouts: {elapsed:.1f}s"

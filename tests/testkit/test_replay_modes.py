@@ -1,0 +1,148 @@
+"""Replay semantics for truncated and minimized traces.
+
+A shrunk trace is not a full recording: the boring grants are gone and
+each surviving step means "walk this thread to this point, then let it
+through" (``mode="until"``).  These tests pin that mode, the strict
+escalations (:class:`StaleTraceError` instead of silently free-running
+a trace the code has outgrown), and the gate-to-gate serialization
+(:meth:`Controller.settle`) that makes a replayed order mean what the
+recorded order meant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MonotonicCounter
+from repro.testkit import (
+    Controller,
+    ScheduleError,
+    StaleTraceError,
+    replay,
+)
+from repro.testkit.trace import Trace
+
+from tests.testkit.prefix_counter import drain_leak_model
+
+
+def counter_model():
+    counter = MonotonicCounter()
+    return counter, {"w": (counter.check, 1), "inc": (counter.increment, 1)}
+
+
+class TestUntilMode:
+    def test_truncated_trace_positions_then_grants(self):
+        """Two positioning steps stand in for the whole recording: the
+        replayer walks each thread through the deleted boring gates."""
+        counter, threads = counter_model()
+        result = replay(
+            "w:park.enter inc:increment.release", threads, mode="until"
+        )
+        assert result.imposed == 2
+        assert result.divergences == 0
+        # The intermediate gates were granted (and recorded) on the way.
+        steps = [str(step) for step in result.controller.trace]
+        assert steps.index("w:check.lock") < steps.index("w:park.enter")
+        assert steps.index("inc:increment.lock") < steps.index(
+            "inc:increment.release"
+        )
+        assert counter.value == 1
+
+    def test_minimized_leak_trace_is_a_complete_reproduction(self):
+        """The 2-step minimal the shrinker finds for the PR-2 leak
+        carries enough schedule to reproduce it from nothing else."""
+        counter, threads, leaked = drain_leak_model()
+        result = replay(
+            "w:park.enter inc:increment.release", threads, mode="until"
+        )
+        assert leaked(result.controller)
+
+    def test_stale_minimized_step_counts_as_divergence(self):
+        """The same minimal trace replayed against *fixed* code: the
+        waiter never wakes mid-critical-section, so the third recorded
+        positioning step cannot be imposed — counted, not hidden."""
+        counter, threads = counter_model()
+        result = replay(
+            "w:park.enter inc:increment.release w:park.drain",
+            threads,
+            mode="until",
+            step_timeout=0.3,
+        )
+        assert result.imposed == 2
+        assert result.divergences == 1
+        assert result.skipped == ["w:park.drain"]
+        # The deterministic drain still completes the run cleanly.
+        assert counter.value == 1
+
+    def test_mode_is_validated(self):
+        with pytest.raises(ValueError, match="mode must be"):
+            replay("w:start", {"w": (lambda: None,)}, mode="fast")
+
+
+class TestStrictMode:
+    def test_unimposable_step_raises(self):
+        counter = MonotonicCounter()
+        counter.increment(1)  # fast path: w never reaches park.enter
+        with pytest.raises(StaleTraceError, match="could not be re-imposed"):
+            replay(
+                "w:park.enter",
+                {"w": (counter.check, 1)},
+                mode="until",
+                strict=True,
+                step_timeout=0.3,
+            )
+
+    def test_gate_point_mismatch_raises(self):
+        counter, threads = counter_model()
+        # Grant-mode: the recorded first gate for w is start, not
+        # check.lock — a strict replay must refuse to reinterpret it.
+        with pytest.raises(StaleTraceError, match="expected gate"):
+            replay(
+                "w:check.lock", threads, mode="grant", strict=True,
+                step_timeout=0.3,
+            )
+
+    def test_fully_stale_trace_raises_even_leniently(self):
+        counter = MonotonicCounter()
+        counter.increment(1)  # every step of the recording is now dead
+        with pytest.raises(StaleTraceError, match="none of its 2 step"):
+            replay(
+                "w:park.enter w:park.drain",
+                {"w": (counter.check, 1)},
+                mode="until",
+                step_timeout=0.3,
+            )
+
+
+class TestSettle:
+    def test_settle_waits_out_the_granted_segment(self):
+        """grant() opens the gate and returns; settle() is the fence
+        that makes the released segment's effects visible."""
+        counter = MonotonicCounter()
+        controller = Controller()
+        controller.spawn("inc", counter.increment, 1)
+        with controller:
+            controller.until("inc", "increment.lock")
+            controller.grant("inc")
+            controller.settle()
+            # Deterministic, not racy: the whole increment (its only
+            # remaining gate-free segment) has run.
+            assert counter.value == 1
+            controller.finish()
+        controller.raise_worker_errors()
+
+    def test_settle_returns_when_workers_park(self):
+        """A segment that parks in a real primitive cannot finish; settle
+        returns after its change-free window instead of hanging."""
+        counter = MonotonicCounter()
+        controller = Controller()
+        controller.spawn("w", counter.check, 1)
+        controller.spawn("inc", counter.increment, 1)
+        with controller:
+            controller.until("w", "park.enter")
+            controller.grant("w")      # parks on the engine slot
+            controller.settle(0.05)    # must not deadlock the test thread
+            controller.run_thread("inc", timeout=5.0)
+            controller.finish()
+        controller.raise_worker_errors()
+        assert counter.value == 1

@@ -17,8 +17,9 @@ preemption is expressed as a *schedule* over the primitives' built-in
 sync points — no monkeypatched attributes, no Frankenstein objects.
 One schedule, two codebases:
 
-* on a test-local subclass reproducing the pre-fix ``increment``, the
-  schedule deterministically produces the leak;
+* on a shared test model reproducing the pre-fix ``increment``
+  (``tests/testkit/prefix_counter.py`` — the shrink tests minimize the
+  same bug), the schedule deterministically produces the leak;
 * on current code, the *same positioning script* shows the fix working:
   the waiter stays parked through the whole critical section, its
   timer's adjudication blocking on the counter lock until the
@@ -28,62 +29,12 @@ One schedule, two codebases:
 from __future__ import annotations
 
 from repro.core import MonotonicCounter
-from repro.core import syncpoints as _sp
 from repro.core.errors import CheckTimeout, ResetConcurrencyError
-from repro.core.validation import validate_amount
 from repro.testkit import Controller, assert_counter_quiescent
 
 import pytest
 
-
-class _PreFixCounter(MonotonicCounter):
-    """``MonotonicCounter`` with PR 2's increment bug re-introduced,
-    transliterated to the engine: the wake pass (set flag + slot sets)
-    runs inside the critical section, before the ``_draining`` insert,
-    instead of in the out-of-lock ``signal()`` pass.  Sync points are
-    preserved so the same schedule drives both variants.  (The later
-    ``signal()`` is harmless double delivery: each wheel entry's claim
-    is already spent, so the second ``release_wake`` no-ops.)
-    """
-
-    def increment(self, amount: int = 1) -> int:
-        amount = validate_amount(amount)
-        released = None
-        if _sp.enabled:
-            _sp.fire("increment.lock", self)
-        with self._lock:
-            new_value = self._value + amount
-            self._value = new_value
-            if amount and self._live_levels:
-                released = self._waiters.release_through(new_value)
-                if released:
-                    if _sp.enabled:
-                        _sp.fire("increment.release", self)
-                    draining = []
-                    for node in released:
-                        node.released = True
-                        self._live_levels -= 1
-                        self._live_waiters -= node.count
-                        if node.count:
-                            node.countdown = node.waiters[:]
-                            draining.append(node)
-                        node.signaled = True           # THE BUG: the wake
-                        for waiter in node.waiters:    # is observable while
-                            waiter.release_wake()      # the insert is pending
-                    if draining:
-                        if _sp.enabled:
-                            _sp.fire("increment.drain", self)
-                        with self._drain_lock:
-                            for node in draining:
-                                self._draining[id(node)] = node
-        if released:
-            if _sp.enabled:
-                _sp.fire("increment.unlock", self)
-            for node in released:
-                if _sp.enabled:
-                    _sp.fire("increment.signal", self)
-                node.signal()
-        return new_value
+from tests.testkit.prefix_counter import PreFixCounter
 
 
 def _drive_drain_race(counter):
@@ -130,7 +81,7 @@ def test_drain_leak_reproduces_on_prefix_increment():
     """On the pre-fix increment the schedule leaks deterministically:
     the waiter returns *before* the insert, the entry stays in
     ``_draining`` forever, and ``reset()`` is poisoned."""
-    counter = _PreFixCounter()
+    counter = PreFixCounter()
     controller, result, outcome = _drive_drain_race(counter)
 
     # The waiter observed the early `signaled` and got out mid-release...

@@ -1,0 +1,160 @@
+"""Shrinking a real failing trace: the PR-2 drain leak, minimized.
+
+The acceptance path: record the full grant trace of the historical
+draining-set leak (11 grants on the shared pre-fix model), hand it to
+:func:`shrink_trace` with the standard replay predicate, and get back a
+trace of a handful of grants that still — deterministically — produces
+the leak when replayed.  Alongside it, fast synthetic-predicate tests
+pin the minimizer's mechanics (ddmin 1-minimality, validation, budget)
+without spawning threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testkit import (
+    grant,
+    replay,
+    replay_fails,
+    run_script,
+    run_thread,
+    shrink_trace,
+    until,
+)
+from repro.testkit.trace import Trace
+
+from tests.testkit.prefix_counter import drain_leak_model
+
+
+def record_leak_trace() -> Trace:
+    """Drive the leak schedule end to end and return its full trace."""
+    counter, threads, leaked = drain_leak_model()
+    controller = run_script(
+        [
+            until("w", "park.enter"),
+            grant("w"),
+            until("inc", "increment.drain"),
+            run_thread("w", expect="done"),
+            run_thread("inc"),
+        ],
+        threads,
+    )
+    assert leaked(controller), str(controller.trace)
+    return controller.trace
+
+
+def leak_predicate():
+    """The standard shrink predicate: fresh pre-fix model per candidate,
+    failure = the ``leaked`` oracle after an until-mode replay."""
+    return replay_fails(lambda: drain_leak_model()[1:])
+
+
+class TestDrainLeakShrinks:
+    def test_full_trace_reproduces_under_replay(self):
+        # The shrinker's precondition, checked on its own so a predicate
+        # regression fails here and not inside shrink_trace's ValueError.
+        assert leak_predicate()(record_leak_trace())
+
+    def test_leak_shrinks_to_a_handful_of_grants(self):
+        full = record_leak_trace()
+        result = shrink_trace(full, leak_predicate(), max_replays=200)
+        assert result.original_steps == len(full)
+        # The ISSUE's bar: from the full schedule to <= 5 grants.
+        assert result.minimal_steps <= 5
+        assert result.replays <= 200
+        # The race needs both workers; a one-sided "minimum" would mean
+        # the predicate accepted an unrelated failure.
+        assert {step.thread for step in result.minimal} == {"w", "inc"}
+        assert "step(s)" in str(result)
+
+    def test_minimal_trace_replays_to_the_same_leak(self):
+        result = shrink_trace(record_leak_trace(), leak_predicate(), max_replays=200)
+        counter, threads, leaked = drain_leak_model()
+        rerun = replay(result.minimal, threads, mode="until", step_timeout=2.0)
+        assert rerun.divergences == 0
+        assert leaked(rerun.controller), str(rerun.controller.trace)
+        # The leaked entry poisons the counter exactly like the original
+        # bug report: a lone draining node that never drains.
+        assert len(counter._draining) == 1
+
+    def test_oracle_predicate_rejects_a_different_failure(self):
+        """The pre-fix model can also *crash* (double slot release when
+        the replay delivers both wakes back-to-back).  That is a
+        different bug: the leak's oracle predicate must not count it,
+        or the shrinker walks across failure modes while "minimizing"."""
+        crash_schedule = Trace.parse("w:park.enter inc:increment.lock")
+        assert not leak_predicate()(crash_schedule)
+        # An exception-mode predicate targets exactly that crash...
+        crashes = replay_fails(
+            lambda: drain_leak_model()[1], exception=RuntimeError
+        )
+        assert crashes(crash_schedule)
+        # ...and symmetrically ignores the silent leak schedule.
+        assert not crashes(Trace.parse("w:park.enter inc:increment.release"))
+
+
+class TestShrinkMechanics:
+    """Synthetic predicates: no threads, every replay is a pure function."""
+
+    TRACE = Trace.parse("a:p b:q a:r c:s b:t a:u c:v b:w")
+
+    @staticmethod
+    def ordered_pair(first: str, second: str):
+        def fails(candidate: Trace) -> bool:
+            steps = [str(step) for step in candidate]
+            return (
+                first in steps
+                and second in steps
+                and steps.index(first) < steps.index(second)
+            )
+
+        return fails
+
+    def test_ddmin_reaches_the_two_step_core(self):
+        result = shrink_trace(self.TRACE, self.ordered_pair("b:q", "c:v"))
+        assert [str(step) for step in result.minimal] == ["b:q", "c:v"]
+        assert result.original_steps == 8
+
+    def test_result_is_one_minimal(self):
+        fails = self.ordered_pair("a:p", "b:w")
+        result = shrink_trace(self.TRACE, fails)
+        steps = list(result.minimal)
+        for drop in range(len(steps)):
+            candidate = Trace(steps[:drop] + steps[drop + 1:])
+            assert not fails(candidate), f"dropping step {drop} still fails"
+
+    def test_predicate_must_fail_on_the_original(self):
+        with pytest.raises(ValueError, match="does not fail on the original"):
+            shrink_trace(self.TRACE, lambda candidate: False)
+
+    def test_empty_trace_is_rejected(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            shrink_trace(Trace([]), lambda candidate: True)
+
+    def test_budget_exhaustion_keeps_a_validated_trace(self):
+        # One replay of budget: enough to validate the original, none to
+        # improve on it — the result must be the (validated) input, not
+        # some unverified shorter candidate.
+        result = shrink_trace(
+            self.TRACE, self.ordered_pair("b:q", "c:v"), max_replays=1
+        )
+        assert result.replays == 1
+        assert [str(s) for s in result.minimal] == [str(s) for s in self.TRACE]
+
+    def test_minimal_trace_is_saved_to_trace_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("TESTKIT_TRACE_DIR", str(tmp_path))
+        result = shrink_trace(self.TRACE, self.ordered_pair("b:q", "c:v"))
+        assert result.path is not None
+        saved = (tmp_path / "minimal-2steps.trace").read_text(encoding="utf-8")
+        assert saved.strip() == str(result.minimal)
+        assert str(result.path) == str(tmp_path / "minimal-2steps.trace")
+
+    def test_save_as_overrides_trace_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("TESTKIT_TRACE_DIR", str(tmp_path / "unused"))
+        target = tmp_path / "picked.trace"
+        result = shrink_trace(
+            self.TRACE, self.ordered_pair("b:q", "c:v"), save_as=str(target)
+        )
+        assert result.path == str(target)
+        assert target.read_text(encoding="utf-8").strip() == str(result.minimal)
