@@ -27,6 +27,17 @@ measures both sides of each in the same run on the same host:
     Expected: pipelining wins by the ratio of window to round trip
     (the acceptance floor is 5x at a >=1ms window).
 
+``dist_obs_disabled`` / ``dist_obs_enabled``
+    The PR-9 zero-cost-when-off contract, measured on the dist hot
+    paths: the shm satisfied-check scan and the pipelined client
+    increment, once with observability off and once with tracing +
+    metrics on.  The *disabled* series is regression-gated at the same
+    2% noise band as ``counter_ops``'s ``immediate_check`` — the guard
+    against a hook creeping onto the lock-free scan or the pipelined
+    dict-write path.  The *enabled* series is reported (the
+    ``obs_enabled_tax`` derived ratios), never gated: the tax is an
+    honest number, not a promise.
+
 Results land in ``BENCH_dist_ops.json`` (latest) and
 ``BENCH_dist_ops.history.jsonl`` (per-SHA trajectory), same layout and
 CLI as :mod:`repro.bench.counter_ops`; ``--quick`` shrinks sizes for
@@ -55,7 +66,9 @@ __all__ = ["run_dist_ops", "compare", "main"]
 SCHEMA = 1
 
 #: Series whose ops/sec are regression-gated by :func:`compare`.
-GATED_SERIES = ("shm_readonly_check", "service_pipeline")
+#: ``dist_obs_enabled`` is deliberately absent: the enabled-mode tax is
+#: reported, only the disabled path is a contract.
+GATED_SERIES = ("shm_readonly_check", "service_pipeline", "dist_obs_disabled")
 
 _SIZES = {
     "check_ops": 20_000,       # shm scans per sample
@@ -75,15 +88,24 @@ _QUICK_SIZES = {
     "process_counts": (1, 2),
     "pipelined_ops": 2_000,
     "rpc_ops": 50,
-    "repeats": 2,
+    # Samples at quick sizes are sub-millisecond, so the gated series
+    # (min-based, see _entry) need enough repeats that at least one
+    # sample dodges shared-runner interference.
+    "repeats": 5,
     "flush_interval": 0.001,
 }
 
 
-def _entry(timing: Timing, ops: int) -> dict:
+def _entry(timing: Timing, ops: int, *, stat: str = "mean") -> dict:
+    # ``stat="min"`` bases ops/sec on the best sample instead of the
+    # mean: interference on a shared host only ever ADDS time, so for
+    # sub-millisecond samples (the obs on/off pairs at quick sizes) the
+    # min is the honest estimate and the mean is hostage to one stolen
+    # quantum.  The full sample list is kept either way.
+    basis = timing.minimum if stat == "min" else timing.mean
     return {
         "ops": ops,
-        "ops_per_sec": ops / timing.mean if timing.mean else float("inf"),
+        "ops_per_sec": ops / basis if basis else float("inf"),
         "mean_s": timing.mean,
         "min_s": timing.minimum,
         "stdev_s": timing.stdev,
@@ -94,9 +116,8 @@ def _entry(timing: Timing, ops: int) -> dict:
 # --------------------------------------------------------- shm read-only scan
 
 
-def _bench_shm_check(sizes: dict) -> dict:
+def _measure_shm_scan(sizes: dict) -> Timing:
     ops = sizes["check_ops"]
-    repeats = sizes["repeats"]
     with ShmCounter.publish(slots=16) as counter:
         counter.increment(1000)
 
@@ -105,9 +126,13 @@ def _bench_shm_check(sizes: dict) -> dict:
             for _ in range(ops):
                 check(1000)  # already satisfied: pure read-only scan
 
-        shm_timing = measure(scan, repeats=repeats)
+        return measure(scan, repeats=sizes["repeats"])
 
+
+def _bench_shm_check(sizes: dict) -> dict:
+    shm_timing = _measure_shm_scan(sizes)
     manager_ops = sizes["manager_ops"]
+    repeats = sizes["repeats"]
     with multiprocessing.get_context("fork").Manager() as manager:
         shared = manager.Value("l", 1000)
 
@@ -118,9 +143,10 @@ def _bench_shm_check(sizes: dict) -> dict:
 
         manager_timing = measure(proxy_reads, repeats=repeats)
 
+    # Gated series (see GATED_SERIES): min-based, like the obs pairs.
     return {
-        "shm": _entry(shm_timing, ops),
-        "manager_proxy": _entry(manager_timing, manager_ops),
+        "shm": _entry(shm_timing, sizes["check_ops"], stat="min"),
+        "manager_proxy": _entry(manager_timing, manager_ops, stat="min"),
     }
 
 
@@ -206,10 +232,118 @@ async def _service_samples(sizes: dict) -> tuple[list[float], list[float]]:
 
 def _bench_service(sizes: dict) -> dict:
     pipelined, rpc = asyncio.run(_service_samples(sizes))
+    # Gated series (see GATED_SERIES): min-based, like the obs pairs.
     return {
-        "pipelined": _entry(Timing(samples=tuple(pipelined)), sizes["pipelined_ops"]),
-        "per_increment_rpc": _entry(Timing(samples=tuple(rpc)), sizes["rpc_ops"]),
+        "pipelined": _entry(
+            Timing(samples=tuple(pipelined)), sizes["pipelined_ops"], stat="min"
+        ),
+        "per_increment_rpc": _entry(
+            Timing(samples=tuple(rpc)), sizes["rpc_ops"], stat="min"
+        ),
     }
+
+
+# ------------------------------------------------- observability overhead
+
+
+def _paired_shm_samples(sizes: dict) -> tuple[list[float], list[float]]:
+    import repro.obs as obs
+
+    ops = sizes["check_ops"]
+    off: list[float] = []
+    on: list[float] = []
+    obs.disable()
+    with ShmCounter.publish(slots=16) as counter:
+        counter.increment(1000)
+        check = counter.check
+
+        def one() -> float:
+            start = time.perf_counter()
+            for _ in range(ops):
+                check(1000)  # already satisfied: pure read-only scan
+            return time.perf_counter() - start
+
+        try:
+            for _ in range(3):  # warmup, discarded (clock/cache ramp)
+                one()
+            for _ in range(sizes["repeats"]):
+                obs.disable()
+                off.append(one())
+                obs.enable()
+                on.append(one())
+        finally:
+            obs.disable()
+    return off, on
+
+
+async def _paired_pipelined_samples(
+    sizes: dict,
+) -> tuple[list[float], list[float]]:
+    import repro.obs as obs
+
+    ops = sizes["pipelined_ops"]
+    off: list[float] = []
+    on: list[float] = []
+    obs.disable()
+    async with CounterService(node_id="bench-obs") as service:
+        client = await AsyncCounterClient.connect(
+            *service.address,
+            source="bench",
+            flush_interval=sizes["flush_interval"],
+        )
+
+        async def one() -> float:
+            start = time.perf_counter()
+            for _ in range(ops):
+                client.increment("pipelined")
+            await client.flush()
+            return time.perf_counter() - start
+
+        try:
+            for _ in range(3):  # warmup, discarded (clock/cache ramp)
+                await one()
+            for _ in range(sizes["repeats"]):
+                obs.disable()
+                off.append(await one())
+                obs.enable()
+                on.append(await one())
+        finally:
+            obs.disable()
+            await client.close()
+    return off, on
+
+
+def _bench_obs_overhead(sizes: dict) -> tuple[dict, dict]:
+    """The dist hot paths with observability off vs on, sampled paired.
+
+    Each repeat takes one disabled sample and one enabled sample
+    back-to-back on the same shm segment / service session, so slow
+    environmental drift (CPU clock ramp, a noisy neighbour on a shared
+    runner) lands on both series equally instead of making whichever
+    pass ran second look faster.  A discarded warmup absorbs the
+    one-time costs (first segment map, loop startup); everything exits
+    through ``obs.disable()`` so a failed sample can never leak a
+    process-global enable into later series.
+    """
+    shm_off, shm_on = _paired_shm_samples(sizes)
+    pipe_off, pipe_on = asyncio.run(_paired_pipelined_samples(sizes))
+    disabled = {
+        "shm_check": _entry(
+            Timing(samples=tuple(shm_off)), sizes["check_ops"], stat="min"
+        ),
+        "pipelined_inc": _entry(
+            Timing(samples=tuple(pipe_off)), sizes["pipelined_ops"], stat="min"
+        ),
+    }
+    enabled = {
+        "shm_check": _entry(
+            Timing(samples=tuple(shm_on)), sizes["check_ops"], stat="min"
+        ),
+        "pipelined_inc": _entry(
+            Timing(samples=tuple(pipe_on)), sizes["pipelined_ops"], stat="min"
+        ),
+    }
+    return disabled, enabled
 
 
 # ----------------------------------------------------------------- harness
@@ -218,10 +352,13 @@ def _bench_service(sizes: dict) -> dict:
 def run_dist_ops(*, quick: bool = False) -> dict:
     """Run every series; returns the result document."""
     sizes = dict(_QUICK_SIZES if quick else _SIZES)
+    obs_disabled, obs_enabled = _bench_obs_overhead(sizes)
     series = {
         "shm_readonly_check": _bench_shm_check(sizes),
         "shm_increment_scaling": _bench_shm_scaling(sizes),
         "service_pipeline": _bench_service(sizes),
+        "dist_obs_disabled": obs_disabled,
+        "dist_obs_enabled": obs_enabled,
     }
     check = series["shm_readonly_check"]
     pipeline = series["service_pipeline"]
@@ -250,6 +387,19 @@ def run_dist_ops(*, quick: bool = False) -> dict:
             "scaling_efficiency": {
                 name: (entry["ops_per_sec"] / one_proc if one_proc else float("inf"))
                 for name, entry in scaling.items()
+            },
+            # Enabled-mode slowdown per dist hot path (1.0 = free).
+            # Reported, never gated — only the disabled path is a
+            # contract (see GATED_SERIES).  Both entries are min-based
+            # (see _entry), so the ratio compares best-case against
+            # best-case and shared-host interference cancels out.
+            "obs_enabled_tax": {
+                impl: (
+                    obs_disabled[impl]["ops_per_sec"]
+                    / obs_enabled[impl]["ops_per_sec"]
+                    if obs_enabled[impl]["ops_per_sec"] else float("inf")
+                )
+                for impl in obs_disabled
             },
         },
     }
@@ -323,6 +473,14 @@ def render(doc: dict) -> str:
         for name, ratio in sorted(derived["scaling_efficiency"].items())
     )
     lines.append(f"increment scaling vs 1 process: {efficiency}")
+    if "obs_enabled_tax" in derived:
+        tax = ", ".join(
+            f"{impl}={ratio:.3f}x"
+            for impl, ratio in sorted(derived["obs_enabled_tax"].items())
+        )
+        lines.append(
+            f"obs enabled-mode tax (disabled/enabled ops, reported not gated): {tax}"
+        )
     return "\n\n".join(lines)
 
 

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from heapq import heappop, heappush
 from typing import Iterator
 
@@ -59,6 +60,7 @@ __all__ = [
     "TimerWheel",
     "Doorbell",
     "current_slot",
+    "live_slot_count",
     "wheel",
 ]
 
@@ -101,7 +103,7 @@ class ParkingSlot:
     rather than as ``def``s.
     """
 
-    __slots__ = ("_lock", "set", "release_wake", "block")
+    __slots__ = ("_lock", "set", "release_wake", "block", "__weakref__")
 
     def __init__(self) -> None:
         lock = _allocate_lock()
@@ -109,6 +111,10 @@ class ParkingSlot:
         self._lock = lock
         self.set = self.release_wake = lock.release
         self.block = lock.acquire
+        # Once per slot lifetime (one slot per thread, plus the handful
+        # of dedicated sweeper/doorbell slots) — nowhere near any wait
+        # path, so the registry costs nothing per park.
+        _live_slots.add(self)
 
     def wait(self, timeout: float | None = None) -> bool:
         """Park until ``set()`` (or ``timeout``); True if set arrived.
@@ -128,6 +134,20 @@ class ParkingSlot:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ParkingSlot {'armed' if self.armed else 'set-pending'}>"
+
+
+#: Every live slot, held weakly: a thread's slot dies with its
+#: thread-local, so the count tracks live parking capacity, not history.
+_live_slots: "weakref.WeakSet[ParkingSlot]" = weakref.WeakSet()
+
+
+def live_slot_count() -> int:
+    """Parking slots currently alive (diagnostic, for ``dump_state``).
+
+    One per thread that ever parked, plus dedicated slots (timer-wheel
+    sweeper, doorbells); weakly tracked, so exited threads fall out.
+    """
+    return len(_live_slots)
 
 
 _thread_slots = threading.local()
@@ -426,6 +446,28 @@ class TimerWheel:
     def sweeping(self) -> bool:
         """True while a sweeper thread is alive (diagnostic)."""
         return self._sweeper is not None
+
+    def snapshot(self) -> dict:
+        """JSON-ready wheel internals (for ``dump_state`` / debugging).
+
+        ``armed`` is the live entry count, ``pending`` the soonest
+        entries as ``{deadline_in_s, why}`` relative to now (capped at
+        32 — a dump is a glance, not a download), ``sweeping`` whether
+        the sweeper thread currently exists.
+        """
+        now = _clock()
+        entries = sorted(self.entries(), key=lambda e: e.deadline)
+        return {
+            "armed": self.armed_count(),
+            "sweeping": self.sweeping,
+            "span_s": self._span,
+            "buckets": self._nbuckets,
+            "pending": [
+                {"deadline_in_s": round(entry.deadline - now, 6),
+                 "why": entry.why}
+                for entry in entries[:32]
+            ],
+        }
 
     # ----------------------------------------------------------- sweeper
 

@@ -42,7 +42,9 @@ from repro.core.errors import CheckTimeout
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
 from repro.core.validation import validate_amount, validate_level
 from repro.dist import wire
+from repro.obs import hooks as _obs
 from repro.obs import registry as _obs_registry
+from repro.obs.events import next_token
 
 __all__ = ["AsyncCounterClient", "ServiceCounter", "open_threadside"]
 
@@ -81,12 +83,16 @@ class AsyncCounterClient:
         self.frames_out = 0
         self._reader_task: asyncio.Task | None = None
         self._flusher_task: asyncio.Task | None = None
+        self._obs_label = f"client:{source}"
 
     @classmethod
     async def connect(cls, host: str, port: int, *, source: str | None = None,
                       flush_interval: float = FLUSH_INTERVAL,
                       ) -> "AsyncCounterClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        # limit covers trace_reply frames (StreamReader default is 64 KiB).
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=wire.MAX_FRAME
+        )
         if source is None:
             sock = writer.get_extra_info("sockname")
             source = f"{sock[0]}:{sock[1]}"
@@ -145,13 +151,21 @@ class AsyncCounterClient:
     async def _flush_now(self, *, acked: bool) -> None:
         self._dirty_event.clear()
         dirty, self._dirty = self._dirty, set()
+        obs_on = _obs.enabled
         frames = []
         last = None
         for counter in dirty:
             frame = {"op": "inc", "c": counter, "s": self.source,
                      "v": self._contrib[counter]}
+            if obs_on:
+                frame["t"] = _obs.next_corr()
+                _obs.on_dist(self._obs_label, "frame_send", op="inc",
+                             corr=frame["t"], value=frame["v"])
             frames.append(frame)
             last = frame
+        if obs_on and frames:
+            _obs.on_dist(self._obs_label, "batch_flush", count=len(frames),
+                         corr=last["t"])
         if acked and last is None:
             # Nothing pooled, but earlier unacked frames may be in flight:
             # TCP ordering + sequential dispatch make any round trip a
@@ -195,11 +209,26 @@ class AsyncCounterClient:
         sub_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
         self._subs[sub_id] = future
-        self._writer.write(
-            wire.encode({"op": "sub", "c": counter, "l": level, "id": sub_id})
-        )
+        sub_frame = {"op": "sub", "c": counter, "l": level, "id": sub_id}
+        # Wire correlation (schema v3): the sub's token rides the frame,
+        # the server echoes it on the reached push and stamps it on the
+        # push_deliver event — and the park/unpark pair below carries it
+        # too, which is what lets a merged trace link this wait to the
+        # server-side increment that ends it.
+        obs_on = _obs.enabled
+        corr = token = t_park = None
+        if obs_on:
+            corr = sub_frame["t"] = _obs.next_corr()
+            token = next_token()
+            _obs.on_dist(self._obs_label, "frame_send", op="sub",
+                         corr=corr, level=level)
+        self._writer.write(wire.encode(sub_frame))
         self.frames_out += 1
         await self._writer.drain()
+        if obs_on:
+            t_park = _obs.clock()
+            _obs.on_dist(self._obs_label, "park", corr=corr, token=token,
+                         level=level)
         try:
             reached = await asyncio.wait_for(
                 asyncio.shield(future), timeout
@@ -207,17 +236,33 @@ class AsyncCounterClient:
         except asyncio.TimeoutError:
             if self._subs.pop(sub_id, None) is not None:
                 future.cancel()  # nothing will await it now
-            self._writer.write(wire.encode({"op": "unsub", "id": sub_id}))
+            unsub_frame: dict = {"op": "unsub", "id": sub_id}
+            if obs_on and _obs.enabled:
+                unsub_frame["t"] = corr
+                _obs.on_dist(self._obs_label, "frame_send", op="unsub", corr=corr)
+            self._writer.write(wire.encode(unsub_frame))
             self.frames_out += 1
             # Adjudicate: the push may have lost the race to the deadline.
             current = await self.value(counter)
             if current >= level:
+                if obs_on and _obs.enabled:
+                    _obs.on_dist(self._obs_label, "unpark", corr=corr,
+                                 token=token, level=level,
+                                 wait_s=_obs.clock() - t_park)
                 return
+            if obs_on and _obs.enabled:
+                _obs.on_dist(self._obs_label, "timeout", corr=corr,
+                             token=token, level=level,
+                             wait_s=_obs.clock() - t_park)
             raise CheckTimeout(
                 f"check(level={level}) on {counter!r} unsatisfied after "
                 f"{timeout}s (value={current})"
             ) from None
         else:
+            if obs_on and _obs.enabled:
+                _obs.on_dist(self._obs_label, "unpark", corr=corr,
+                             token=token, level=level,
+                             wait_s=_obs.clock() - t_park)
             self._note_value(counter, reached["v"])
 
     # ------------------------------------------------------------- plumbing
@@ -236,12 +281,31 @@ class AsyncCounterClient:
 
     async def _request(self, frame: dict) -> dict:
         frame["id"] = next(self._ids)
+        if _obs.enabled:
+            frame["t"] = _obs.next_corr()
+            _obs.on_dist(self._obs_label, "frame_send", op=frame["op"],
+                         corr=frame["t"])
         future = asyncio.get_running_loop().create_future()
         self._replies[frame["id"]] = future
         self._writer.write(wire.encode(frame))
         self.frames_out += 1
         await self._writer.drain()
         return await future
+
+    async def fetch_trace(self) -> dict:
+        """The server's event ring (``fetch_trace``): pid-stamped dicts.
+
+        Returns the raw ``trace_reply`` payload — ``events`` (each
+        already carrying the server's ``pid``), ``node``, ``pid``,
+        ``clock`` (server monotonic at reply build), ``truncated``.
+        Feed ``events`` to :func:`repro.obs.collect.merge` alongside the
+        local ring to build one cross-process timeline.
+        """
+        return await self._request({"op": "fetch_trace"})
+
+    async def fetch_metrics(self) -> dict:
+        """The server's metrics-registry snapshot (``fetch_metrics``)."""
+        return await self._request({"op": "fetch_metrics"})
 
     async def _read_loop(self) -> None:
         try:
@@ -251,7 +315,10 @@ class AsyncCounterClient:
                     raise ConnectionResetError("server closed the connection")
                 frame = wire.decode(line)
                 op = frame["op"]
-                if op in ("ack", "value"):
+                if _obs.enabled:
+                    _obs.on_dist(self._obs_label, "frame_recv", op=op,
+                                 corr=frame.get("t"))
+                if op in ("ack", "value", "trace_reply", "metrics_reply"):
                     future = self._replies.pop(frame["id"], None)
                     if future is not None and not future.done():
                         future.set_result(frame)
@@ -417,6 +484,18 @@ class _ThreadsideEndpoint:
         handle = ServiceCounter(self._client, self._loop, name)
         self._handles.append(handle)
         return handle
+
+    def fetch_trace(self) -> dict:
+        """Thread-side ``fetch_trace``: the server's pid-stamped ring."""
+        return wait_threadside(
+            self._loop, self._client.fetch_trace(), _THREADSIDE_GRACE
+        )
+
+    def fetch_metrics(self) -> dict:
+        """Thread-side ``fetch_metrics``: the server's registry snapshot."""
+        return wait_threadside(
+            self._loop, self._client.fetch_metrics(), _THREADSIDE_GRACE
+        )
 
     def close(self) -> None:
         for handle in self._handles:

@@ -65,6 +65,7 @@ from multiprocessing import shared_memory
 
 from repro.core import syncpoints as _sp
 from repro.core.counter import MonotonicCounter
+from repro.obs import hooks as _obs
 from repro.core.engine import Doorbell
 from repro.core.errors import CheckTimeout
 from repro.core.snapshot import CounterSnapshot, WaitNodeSnapshot
@@ -190,6 +191,9 @@ class ShmCounter:
         struct.pack_into("<QQQQ", buf, 0, _MAGIC, _VERSION, slots, 0)
         counter = cls(segment, 0, name=segment.name, owner=True)
         counter._pids[0] = os.getpid()
+        if _obs.enabled:
+            _obs.on_dist(f"shm:{segment.name}", "slot_claim",
+                         op="publish", level=0, count=0)
         return counter
 
     @classmethod
@@ -245,6 +249,15 @@ class ShmCounter:
                     pid = pids[index]
                     if pid == 0 or not _pid_alive(int(pid)):
                         pids[index] = os.getpid()
+                        if _obs.enabled:
+                            # op records whether this claim took a free
+                            # slot or reclaimed a dead owner's; count is
+                            # the displaced pid (0 when free) — the
+                            # crash-recovery breadcrumb a merged trace
+                            # shows after a writer is SIGKILLed.
+                            _obs.on_dist(f"shm:{name}", "slot_claim",
+                                         op="reclaim" if pid else "claim",
+                                         level=index, count=int(pid))
                         return index
             finally:
                 fcntl.flock(lock_file, fcntl.LOCK_UN)
@@ -342,26 +355,47 @@ class ShmCounter:
         with self._local_lock:
             if self._closed:
                 raise ValueError(f"{self!r}: increment on a closed handle")
-            values[slot] = values[slot] + amount
-        total = sum(values)
+            new_own = values[slot] + amount
+            total = sum(values) + amount  # the sum once the store lands
+            # Remote wakeups: scan the doorbells (one cache-line-ish
+            # read per slot, only on the increment path) and bump the
+            # ring generation when any published level is about to be
+            # satisfied.  The bump goes BEFORE the value store: a
+            # watcher that observes the new value is then guaranteed to
+            # observe the generation that announced it (this process
+            # could stall arbitrarily long between the two stores, and
+            # bump-after-store would let the watcher publish the wakeup
+            # with no bell attribution and park before the bump lands).
+            # An early ring merely costs the watcher one extra scan.
+            # The bump is a read-modify-write that may race another
+            # writer's — losing one of two concurrent bumps is harmless
+            # because the value can only move away from what any
+            # watcher last saw.
+            bells = self._bells
+            ring = self._ring
+            for index in range(self._nslots):
+                bell = bells[index]
+                if bell and index != slot and bell - 1 <= total:
+                    new_gen = ring[0] + 1
+                    ring[0] = new_gen
+                    if _obs.enabled:
+                        # The ring generation doubles as the wire token:
+                        # the remote watcher that wakes on this
+                        # generation emits bell_wake with the same corr,
+                        # tying the two rings' events together in a
+                        # merged trace.  Concurrent writers may stamp
+                        # the same generation — harmless, the collector
+                        # treats corr groups as sets.
+                        _obs.on_dist(self, "bell_ring",
+                                     corr=f"bell:{self._name}:{int(new_gen)}",
+                                     level=int(bell - 1), value=total)
+                    break
+            values[slot] = new_own
         # Local wakeups: raise the mirror floor (engine wake pass) and
         # ring our own watcher so an in-flight poll re-scans immediately.
         if self._waiting:
             self._publish_floor(total)
             self._doorbell.ring()
-        # Remote wakeups: scan the doorbells (one cache-line-ish read per
-        # slot, only on the increment path) and bump the ring generation
-        # when any published level is now satisfied.  The bump is a
-        # read-modify-write that may race another writer's — losing one
-        # of two concurrent bumps is harmless because the value can only
-        # move away from what any watcher last saw.
-        bells = self._bells
-        ring = self._ring
-        for index in range(self._nslots):
-            bell = bells[index]
-            if bell and index != slot and bell - 1 <= total:
-                ring[0] = ring[0] + 1
-                break
         return total
 
     def check(self, level: int, timeout: float | None = None) -> None:
@@ -422,12 +456,19 @@ class ShmCounter:
 
     def _register_wait(self, level: int) -> None:
         with self._local_lock:
+            # Capture the ring generation BEFORE advertising the bell:
+            # a remote writer may see the bell and bump the generation
+            # before the watcher thread runs its first instruction, and
+            # the watcher must still classify that bump as a ring (the
+            # bell_wake trace event and its corr hang off it).
+            ring0 = self._ring[0]
             self._waiting[level] = self._waiting.get(level, 0) + 1
             self._bells[self._slot] = 1 + min(self._waiting)
             watcher = self._watcher
             if watcher is None:
                 watcher = threading.Thread(
-                    target=self._watch, name=f"repro-shm-watch-{self._slot}", daemon=True
+                    target=self._watch, args=(ring0,),
+                    name=f"repro-shm-watch-{self._slot}", daemon=True
                 )
                 self._watcher = watcher
                 watcher.start()
@@ -442,7 +483,7 @@ class ShmCounter:
                 self._waiting.pop(level, None)
             self._bells[self._slot] = 1 + min(self._waiting) if self._waiting else 0
 
-    def _watch(self) -> None:
+    def _watch(self, last_ring: int) -> None:
         """The per-attachment watcher: poll the scan, raise the mirror.
 
         Runs while the handle is open; parks indefinitely on the
@@ -452,10 +493,19 @@ class ShmCounter:
         generation moved, and doubles toward the ceiling across idle
         scans, so a hot fabric is tracked at sub-millisecond lag and an
         idle one costs a few scans per second.
+
+        ``last_ring`` is the generation observed before the first
+        waiter armed its bell (see ``_register_wait``) so a ring that
+        lands during thread startup is still seen as a ring.
         """
         poll = _POLL_MIN
-        last_ring = self._ring[0]
         last_total = -1
+        # A noticed ring's corr is held PENDING until the publish it
+        # announced consumes it: writers bump the generation before the
+        # value store (see increment), so the progress may only become
+        # scannable one or more polls after the bell_wake — the
+        # attribution must survive the gap.
+        pending_corr: str | None = None
         while True:
             with self._local_lock:
                 if self._closed:
@@ -465,14 +515,43 @@ class ShmCounter:
                 self._doorbell.wait(None)
                 poll = _POLL_MIN
                 continue
-            total = sum(self._values)
-            if total > last_total:
-                last_total = total
-                self._publish_floor(total)
-                poll = _POLL_MIN
+            # Notice the generation *before* publishing: when a remote
+            # writer rang, the bell_wake event must precede (in seq) the
+            # mirror increment/release/unpark chain its publish causes,
+            # and that chain inherits the bell's corr via the ambient
+            # wire context so a merged trace links writer -> watcher ->
+            # woken thread.
             ring = self._ring[0]
             if ring != last_ring:
                 last_ring = ring
+                poll = _POLL_MIN
+                if _obs.enabled:
+                    pending_corr = f"bell:{self._name}:{int(ring)}"
+                    _obs.on_dist(self, "bell_wake", corr=pending_corr)
+            total = sum(self._values)
+            if total > last_total:
+                last_total = total
+                if pending_corr is None and _obs.enabled:
+                    # The scan saw progress the generation read above
+                    # missed: the announcing bump (if any) precedes the
+                    # value store, so a re-read now is guaranteed to see
+                    # it.
+                    ring = self._ring[0]
+                    if ring != last_ring:
+                        last_ring = ring
+                        pending_corr = f"bell:{self._name}:{int(ring)}"
+                        _obs.on_dist(self, "bell_wake", corr=pending_corr)
+                if pending_corr is not None:
+                    prev_ctx = _obs.set_wire_context(
+                        _obs.WireContext(pending_corr)
+                    )
+                    try:
+                        self._publish_floor(total)
+                    finally:
+                        _obs.set_wire_context(prev_ctx)
+                    pending_corr = None
+                else:
+                    self._publish_floor(total)
                 poll = _POLL_MIN
             if self._doorbell.wait(poll):
                 poll = _POLL_MIN  # rung: re-scan immediately

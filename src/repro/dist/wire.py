@@ -9,26 +9,44 @@ floors are idempotent — so frames are rare relative to operations and
 debuggability wins.  Every frame type is monotone-safe to duplicate,
 reorder, or drop-and-resend:
 
-========== ======================================== ==================
-op          fields                                   direction
-========== ======================================== ==================
-inc         c, s, v (absolute contribution), id?     client -> server
-sub         c, l, id                                 client -> server
-unsub       id                                       client -> server
-get         c, id                                    client -> server
-sync        counters={c: {s: v}}, id?                peer -> peer
-ack         id, v (new total)                        server -> client
-value       id, c, v                                 server -> client
-reached     id, c, l, v                              server -> client
-sync_reply  id, counters                             peer -> peer
-error       id?, msg                                 server -> client
-========== ======================================== ==================
+============= ======================================== ==================
+op             fields                                   direction
+============= ======================================== ==================
+inc            c, s, v (absolute contribution), id?     client -> server
+sub            c, l, id                                 client -> server
+unsub          id                                       client -> server
+get            c, id                                    client -> server
+sync           counters={c: {s: v}}, id?                peer -> peer
+fetch_trace    id                                       client -> server
+fetch_metrics  id                                       client -> server
+ack            id, v (new total)                        server -> client
+value          id, c, v                                 server -> client
+reached        id, c, l, v                              server -> client
+sync_reply     id, counters                             peer -> peer
+trace_reply    id, node, pid, clock, events, truncated  server -> client
+metrics_reply  id, node, pid, snapshot                  server -> client
+error          id?, msg                                 server -> client
+============= ======================================== ==================
+
+Every frame may additionally carry ``t``, a wire *correlation token*
+(schema v3 of :mod:`repro.obs.events`): the sender stamps it, the
+receiver echoes it on any frame it sends in response and stamps it on
+the trace events the frame causes.  ``t`` appears only while tracing is
+enabled on the sending side — the disabled wire path is byte-identical
+to pre-v3 — and is opaque: a receiver must treat it as a string.
 
 ``inc`` carries the source's *absolute* contribution, never a delta:
 the server applies ``max(current, v)``, so retransmits and reordered
 flushes cannot double-count.  ``sync`` carries full per-source digests;
 a two-leg exchange (sync -> sync_reply, each side merging) makes both
 replicas' digests identical — the anti-entropy round.
+
+``fetch_trace``/``fetch_metrics`` are the observability collection ops:
+the reply carries the server's event ring (each event dict stamped with
+the server's ``pid``) and its metrics-registry snapshot, plus ``clock``
+(the server's ``time.monotonic`` at reply build time).  A
+``trace_reply`` that would exceed :data:`MAX_FRAME` drops oldest events
+first and reports how many in ``truncated``.
 """
 
 from __future__ import annotations

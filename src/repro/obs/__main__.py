@@ -15,6 +15,14 @@
     python -m repro.obs export --in trace.jsonl \\
         --format perfetto --out trace.perfetto.json       # or --format otel
 
+    python -m repro.obs collect --out merged.jsonl \\
+        ring-a.jsonl ring-b.jsonl      # merge per-process rings (clock-
+                                       # offset aligned; see collect.py)
+    python -m repro.obs sample-dist --out DIR
+        # two-process demo: spawns a counter-service child, runs a
+        # client check released over the wire, fetches the server ring,
+        # merges, analyzes, exports Perfetto, scrapes fleet metrics
+
 ``--demo`` runs a short canned workload (a fan-in counter, a sharded
 counter, a timed-out check) with observability enabled so there is
 something to show; without it the commands render whatever the current
@@ -122,6 +130,166 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     print(f"wrote {len(handle.trace)} events, "
           f"{len(handle.metrics.labels())} metric series, "
           f"{len(graph.edges)} release edges -> {out}")
+    return 0
+
+
+# --------------------------------------------------------------- dist demo
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    from repro.obs import collect
+
+    rings = [collect.load_jsonl(path) for path in args.rings]
+    merged = collect.merge(*rings, align=not args.no_align, root=args.root)
+    pids = sorted({e.pid for e in merged if e.pid is not None})
+    if args.out:
+        collect.write_jsonl(merged, args.out, pid=pids[0] if pids else None)
+        print(f"merged {len(rings)} rings ({len(merged)} events, "
+              f"{len(pids)} pids) -> {args.out}")
+    else:
+        for event in merged:
+            print(json.dumps(event.as_dict(), separators=(",", ":")))
+    if not args.no_align and len(pids) > 1:
+        offsets = collect.clock_offsets([e for ring in rings for e in ring])
+        for pid, off in sorted(offsets.items()):
+            print(f"  pid {pid}: clock offset {off * 1e6:+.1f} us",
+                  file=sys.stderr)
+    return 0
+
+
+def _serve_sample_dist(portfile: str) -> int:
+    """The child half of ``sample-dist``: a traced service that raises
+    its own counter past the parent's check level, then idles until
+    killed.  Writes ``{host, port, pid, metrics_port}`` to ``portfile``
+    once listening."""
+    import asyncio
+    import os
+
+    from repro.dist.service import CounterService
+
+    obs.enable()
+
+    async def run() -> None:
+        service = CounterService(node_id="svc")
+        await service.start()
+        await service.serve_metrics()
+        Path(portfile).write_text(json.dumps({
+            "host": service.address[0], "port": service.port,
+            "pid": os.getpid(), "metrics_port": service.metrics_port,
+        }), encoding="utf-8")
+        # Give the parent time to connect and park its check, then raise
+        # the counter past the level — the push that wakes it crosses
+        # the wire, which is the whole point of the demo.
+        await asyncio.sleep(0.4)
+        service.counter("orders").raise_source("svc", 3)
+        while True:  # parent terminates us once it has fetched our ring
+            await asyncio.sleep(3600)
+
+    try:
+        asyncio.run(run())
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    return 0
+
+
+def _cmd_sample_dist(args: argparse.Namespace) -> int:
+    import socket
+    import subprocess
+    import time
+
+    from repro.dist.client import open_threadside
+    from repro.obs import collect
+    from repro.obs.causal import (
+        CausalGraph, analyze, render_report, to_perfetto, validate_perfetto,
+    )
+
+    if args.serve:
+        return _serve_sample_dist(args.serve)
+    if not args.out:
+        print("sample-dist: --out DIR is required", file=sys.stderr)
+        return 2
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    portfile = out / "server.json"
+    portfile.unlink(missing_ok=True)
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.obs", "sample-dist", "--serve", str(portfile)]
+    )
+    try:
+        deadline = time.monotonic() + 10.0
+        while not portfile.exists() or not portfile.read_text(encoding="utf-8"):
+            if server.poll() is not None or time.monotonic() > deadline:
+                print("sample-dist: server child did not come up", file=sys.stderr)
+                return 1
+            time.sleep(0.02)
+        info = json.loads(portfile.read_text(encoding="utf-8"))
+
+        handle = obs.enable()
+        with open_threadside(info["host"], info["port"], source="sample-client") as ep:
+            orders = ep.counter("orders")
+            orders.increment(1)
+            orders.flush()
+            orders.check(3, timeout=10.0)  # parks; released by the server push
+            trace_reply = ep.fetch_trace()
+            metrics_reply = ep.fetch_metrics()
+        with socket.create_connection((info["host"], info["metrics_port"]),
+                                      timeout=5.0) as sock:
+            sock.sendall(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            sock.shutdown(socket.SHUT_WR)
+            scrape = b""
+            while chunk := sock.recv(65536):
+                scrape += chunk
+        obs.disable()
+    finally:
+        server.terminate()
+        server.wait(timeout=10.0)
+
+    client_ring = out / "trace-client.jsonl"
+    server_ring = out / "trace-server.jsonl"
+    n_client = collect.write_jsonl(handle.trace.snapshot(), str(client_ring))
+    n_server = collect.write_jsonl(trace_reply["events"], str(server_ring),
+                                   pid=trace_reply["pid"])
+    merged = collect.merge(collect.load_jsonl(str(client_ring)),
+                           collect.load_jsonl(str(server_ring)))
+    collect.write_jsonl(merged, str(out / "trace-merged.jsonl"))
+    (out / "fleet.prom").write_text(
+        scrape.split(b"\r\n\r\n", 1)[-1].decode("utf-8", "replace"),
+        encoding="utf-8",
+    )
+    (out / "metrics-reply.json").write_text(
+        json.dumps(metrics_reply, indent=2) + "\n", encoding="utf-8")
+
+    graph = CausalGraph.from_events(merged)
+    report = analyze(graph)
+    (out / "analyze.txt").write_text(render_report(report, graph) + "\n",
+                                     encoding="utf-8")
+    (out / "analyze.json").write_text(json.dumps(report, indent=2) + "\n",
+                                      encoding="utf-8")
+    perfetto = to_perfetto(graph)
+    problems = validate_perfetto(perfetto)
+    if problems:
+        print("perfetto export failed validation:", *problems[:5],
+              sep="\n  ", file=sys.stderr)
+        return 1
+    (out / "trace.perfetto.json").write_text(
+        json.dumps(perfetto, indent=2) + "\n", encoding="utf-8")
+
+    path_pids = {graph.thread_pid(step.thread) for step in graph.critical_path()}
+    wired = [e for e in graph.edges if e.origin is not None]
+    print(f"wrote {n_client}+{n_server} events ({len(merged)} merged, "
+          f"{len(graph.pids)} pids), {len(graph.edges)} release edges "
+          f"({len(wired)} over the wire, {len(graph.wire_edges)} frame pairs) "
+          f"-> {out}")
+    print(f"critical path spans pids: {sorted(p for p in path_pids if p)}")
+    if len(path_pids) < 2:
+        print("sample-dist: critical path did not span both processes",
+              file=sys.stderr)
+        return 1
+    if not any(e.origin is not None and e.increment is not None
+               for e in graph.edges):
+        print("sample-dist: no wire edge carries its releasing increment",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -242,6 +410,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_sample.add_argument("--out", required=True, help="output directory")
     p_sample.set_defaults(fn=_cmd_sample)
+
+    p_collect = sub.add_parser(
+        "collect", help="merge per-process trace rings into one timeline"
+    )
+    p_collect.add_argument("rings", nargs="+", metavar="RING.jsonl",
+                           help="per-process JSONL rings to merge")
+    p_collect.add_argument("--out", help="merged JSONL path (stdout when omitted)")
+    p_collect.add_argument("--no-align", action="store_true",
+                           help="skip clock-offset rebasing (same-host traces)")
+    p_collect.add_argument("--root", type=int, metavar="PID",
+                           help="pid whose clock anchors the merged timeline")
+    p_collect.set_defaults(fn=_cmd_collect)
+
+    p_sdist = sub.add_parser(
+        "sample-dist",
+        help="two-process demo: traced service child + client check released "
+             "over the wire; writes merged trace, causal report, Perfetto "
+             "export, fleet metrics scrape",
+    )
+    p_sdist.add_argument("--out", help="output directory")
+    p_sdist.add_argument("--serve", metavar="PORTFILE", help=argparse.SUPPRESS)
+    p_sdist.set_defaults(fn=_cmd_sample_dist)
 
     p_analyze = sub.add_parser(
         "analyze", help="causal report: blame, critical path, Gantt"

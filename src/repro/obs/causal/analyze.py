@@ -27,12 +27,13 @@ def analyze(graph: CausalGraph) -> dict:
     threads = []
     for ident in graph.threads:
         first, last = graph.thread_span(ident)
-        wait_s = sum(w.duration for w in graph.waits if w.thread == ident)
+        wait_s = sum(w.duration for w in graph.waits if graph._wkey(w) == ident)
         thread_span = max(last - first, 0.0)
         threads.append(
             {
                 "thread": ident,
                 "name": graph.thread_name(ident),
+                "pid": graph.thread_pid(ident),
                 "span_s": thread_span,
                 "wait_s": wait_s,
                 "run_s": max(thread_span - wait_s, 0.0),
@@ -52,9 +53,11 @@ def analyze(graph: CausalGraph) -> dict:
     return {
         "span_s": span,
         "events": len(graph.events),
+        "pids": list(graph.pids),
         "threads": threads,
         "waits": len(graph.waits),
         "edges": len(graph.edges),
+        "wire_edges": len(graph.wire_edges),
         "critical_path": {
             "duration_s": (path[-1].end - path[0].start) if path else 0.0,
             "steps": [
@@ -77,10 +80,16 @@ def analyze(graph: CausalGraph) -> dict:
 def render_report(report: dict, graph: CausalGraph | None = None) -> str:
     """The analyze report as readable text (blame sentences included)."""
     lines: list[str] = []
+    pids = report.get("pids") or []
+    procs = f"{len(pids)} processes, " if len(pids) > 1 else ""
+    wire = (
+        f" ({report['wire_edges']} wire pairs)"
+        if report.get("wire_edges") else ""
+    )
     lines.append(
         f"trace: {report['events']} events over {report['span_s'] * 1e3:.2f} ms, "
-        f"{len(report['threads'])} threads, {report['waits']} waits, "
-        f"{report['edges']} release edges"
+        f"{procs}{len(report['threads'])} threads, {report['waits']} waits, "
+        f"{report['edges']} release edges{wire}"
     )
     cp = report["critical_path"]
     lines.append(
@@ -135,6 +144,7 @@ def render_gantt(graph: CausalGraph, width: int = 80) -> str:
     if span <= 0 or not graph.threads:
         return "(empty trace)"
     scale = width / span
+    namew = max(4, max(len(graph.thread_name(i)) for i in graph.threads))
     rows = []
     for ident in graph.threads:
         cells = [" "] * width
@@ -147,5 +157,5 @@ def render_gantt(graph: CausalGraph, width: int = 80) -> str:
                 # stalls stay visible at coarse resolution.
                 if mark == "." or cells[i] == " ":
                     cells[i] = mark
-        rows.append(f"{graph.thread_name(ident):>4} |{''.join(cells)}|")
+        rows.append(f"{graph.thread_name(ident):>{namew}} |{''.join(cells)}|")
     return "\n".join([f"(#=running  .=waiting  span={span * 1e3:.2f}ms)"] + rows)

@@ -4,12 +4,15 @@ Emits the OTLP/JSON resource-spans shape (the one ``otlp-json`` file
 exporters and collectors ingest): one root span per thread, one child
 span per wait interval, one zero-length span per increment, and a span
 *link* from each woken wait to the increment that released it — the
-release edge again, in OTel's vocabulary.
+release edge again, in OTel's vocabulary.  Merged multi-process traces
+work unchanged: thread roots are per ``(pid, ident)`` key and every
+span id folds the owning pid, so seqs from different processes (which
+restart from 1 in each) cannot collide.
 
-Ids are deterministic hex derived from the trace's own seqs, so two
-exports of the same trace are byte-identical.  The source clock is
-``time.monotonic``; span times are therefore nanoseconds relative to an
-arbitrary epoch, which is fine for the consumers that matter here
+Ids are deterministic hex derived from the trace's own pids and seqs,
+so two exports of the same trace are byte-identical.  The source clock
+is ``time.monotonic``; span times are therefore nanoseconds relative to
+an arbitrary epoch, which is fine for the consumers that matter here
 (duration and structure, not wall-clock alignment).
 """
 
@@ -25,8 +28,10 @@ def _trace_id(graph: CausalGraph) -> str:
     return f"{(len(graph.events) << 32) | (first & 0xFFFFFFFF):032x}"
 
 
-def _span_id(kind: int, n: int) -> str:
-    return f"{(kind << 48) | (n & 0xFFFFFFFFFFFF):016x}"
+def _span_id(kind: int, n: int, pid: int | None = None) -> str:
+    # 64 bits: kind(4) | pid(24) | n(36) — per-pid seqs stay disjoint.
+    folded = ((kind & 0xF) << 60) | (((pid or 0) & 0xFFFFFF) << 36) | (n & 0xFFFFFFFFF)
+    return f"{folded:016x}"
 
 
 def _nanos(ts: float) -> int:
@@ -49,34 +54,39 @@ def to_otel(graph: CausalGraph) -> dict:
     """The graph as an OTLP/JSON ``resourceSpans`` document."""
     trace_id = _trace_id(graph)
     spans: list[dict] = []
-    thread_roots: dict[int, str] = {}
-    for ident in graph.threads:
-        first, last = graph.thread_span(ident)
-        span_id = _span_id(1, graph.thread_index[ident])
-        thread_roots[ident] = span_id
+    thread_roots: dict[object, str] = {}
+    for key in graph.threads:
+        first, last = graph.thread_span(key)
+        span_id = _span_id(1, graph.thread_index[key], graph.thread_pid(key))
+        thread_roots[key] = span_id
+        attributes = [_attr("repro.thread.ident", graph.thread_tid(key))]
+        pid = graph.thread_pid(key)
+        if pid is not None:
+            attributes.append(_attr("repro.pid", pid))
         spans.append(
             {
                 "traceId": trace_id,
                 "spanId": span_id,
-                "name": f"thread {graph.thread_name(ident)}",
+                "name": f"thread {graph.thread_name(key)}",
                 "kind": "SPAN_KIND_INTERNAL",
                 "startTimeUnixNano": str(_nanos(first)),
                 "endTimeUnixNano": str(_nanos(last)),
-                "attributes": [_attr("repro.thread.ident", ident)],
+                "attributes": attributes,
             }
         )
-    increment_spans: dict[int, str] = {}
+    increment_spans: dict[tuple, str] = {}
     for n, event in enumerate(graph.events):
         if event.kind != "increment":
             continue
-        span_id = _span_id(2, event.seq if event.seq is not None else n)
+        pid = graph._pid_of(event)
+        span_id = _span_id(2, event.seq if event.seq is not None else n, pid)
         if event.seq is not None:
-            increment_spans[event.seq] = span_id
+            increment_spans[(pid, event.seq)] = span_id
         spans.append(
             {
                 "traceId": trace_id,
                 "spanId": span_id,
-                "parentSpanId": thread_roots.get(event.thread, ""),
+                "parentSpanId": thread_roots.get(graph._tkey(event), ""),
                 "name": f"increment {event.source}",
                 "kind": "SPAN_KIND_PRODUCER",
                 "startTimeUnixNano": str(_nanos(event.ts)),
@@ -89,7 +99,8 @@ def to_otel(graph: CausalGraph) -> dict:
             }
         )
     for n, wait in enumerate(graph.waits):
-        span_id = _span_id(3, wait.end.seq if wait.end.seq is not None else n)
+        span_id = _span_id(3, wait.end.seq if wait.end.seq is not None else n,
+                           wait.pid)
         attributes = [_attr("repro.counter", wait.source)]
         if wait.level is not None:
             attributes.append(_attr("repro.level", wait.level))
@@ -97,7 +108,7 @@ def to_otel(graph: CausalGraph) -> dict:
         span = {
             "traceId": trace_id,
             "spanId": span_id,
-            "parentSpanId": thread_roots.get(wait.thread, ""),
+            "parentSpanId": thread_roots.get(graph._wkey(wait), ""),
             "name": f"wait {wait.source}"
                     + (f" >= {wait.level}" if wait.level is not None else ""),
             "kind": "SPAN_KIND_CONSUMER",
@@ -105,15 +116,19 @@ def to_otel(graph: CausalGraph) -> dict:
             "endTimeUnixNano": str(_nanos(wait.end.ts)),
             "attributes": attributes,
         }
-        edge = graph.edge_by_end.get(wait.end.seq) if wait.end.seq is not None else None
+        edge = graph.edge_for(wait)
         if edge is not None and edge.increment is not None and edge.increment.seq is not None:
-            cause = increment_spans.get(edge.increment.seq)
+            cause = increment_spans.get(
+                (graph._pid_of(edge.increment), edge.increment.seq)
+            )
             if cause is not None:
+                link_kind = "released_over_wire" if edge.origin is not None \
+                    else "released_by"
                 span["links"] = [
                     {
                         "traceId": trace_id,
                         "spanId": cause,
-                        "attributes": [_attr("repro.link", "released_by")],
+                        "attributes": [_attr("repro.link", link_kind)],
                     }
                 ]
         spans.append(span)

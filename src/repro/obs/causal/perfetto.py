@@ -3,16 +3,23 @@
 The output is the legacy JSON trace-event format, which both
 ``chrome://tracing`` and https://ui.perfetto.dev load directly:
 
-* one ``M`` (metadata) event naming each thread track,
+* one ``M`` (metadata) event naming each process and thread track,
 * one complete ``X`` slice per run/wait segment of every thread,
-* one ``i`` instant per increment,
+* one ``i`` instant per increment and per dist fabric event
+  (``push_deliver``, ``bell_ring``, ``gossip_round``, ...),
 * one ``s``/``f`` flow-event pair per release edge — the arrow from the
   releasing increment's thread to the woken thread, which is the whole
-  point: open the trace and the §4 wakeup structure is drawn for you.
+  point: open the trace and the §4 wakeup structure is drawn for you —
+  plus one pair per *wire* edge (``frame_send``/``push_deliver`` →
+  ``frame_recv``), so a merged multi-process trace draws its RPCs as
+  cross-process arrows between real pids.
 
-No Perfetto/Chrome dependency: the format is plain JSON and the shape
-is pinned by :func:`validate_perfetto`, which the tests (and the CLI
-after every export) run so an emitted trace is schema-valid by
+Pids are real: a v3 trace stamps ``os.getpid()`` on events at
+collection time and those pids become Perfetto pids (single-process or
+pre-v3 traces fall back to pid 1 — Perfetto requires some pid on every
+event).  No Perfetto/Chrome dependency: the format is plain JSON and
+the shape is pinned by :func:`validate_perfetto`, which the tests (and
+the CLI after every export) run so an emitted trace is schema-valid by
 construction.  Timestamps are microseconds relative to the trace start
 (the source clock is ``time.monotonic``, so absolute values would be
 meaningless anyway).
@@ -24,7 +31,13 @@ from repro.obs.causal.graph import CausalGraph
 
 __all__ = ["to_perfetto", "validate_perfetto"]
 
-_PID = 1  # one traced process; Perfetto requires some pid on every event
+_FALLBACK_PID = 1  # pre-v3 traces carry no pid; Perfetto requires one
+
+#: Dist fabric kinds rendered as instants (beyond "increment").
+_INSTANT_KINDS = {
+    "push_deliver", "bell_ring", "bell_wake", "gossip_round",
+    "slot_claim", "batch_flush",
+}
 
 
 def _us(ts: float, t0: float) -> float:
@@ -35,15 +48,37 @@ def to_perfetto(graph: CausalGraph) -> dict:
     """The graph as a ``{"traceEvents": [...]}`` trace-event document."""
     t0, _ = graph.span()
     out: list[dict] = []
-    for ident in graph.threads:
+
+    def pid_of(key) -> int:
+        pid = graph.thread_pid(key)
+        return pid if pid is not None else _FALLBACK_PID
+
+    def event_pid(event) -> int:
+        return pid_of(graph._tkey(event))
+
+    seen_pids: list[int] = []
+    for key in graph.threads:
+        pid = pid_of(key)
+        if graph.pids and pid not in seen_pids:
+            # Real (stamped) pids get a process track name; pid-less v2
+            # traces keep the fallback pid anonymous.
+            seen_pids.append(pid)
+            out.append(
+                {
+                    "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": f"pid {pid}"},
+                }
+            )
         out.append(
             {
-                "ph": "M", "name": "thread_name", "pid": _PID, "tid": ident,
-                "args": {"name": f"{graph.thread_name(ident)} ({ident})"},
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": graph.thread_tid(key),
+                "args": {"name": f"{graph.thread_name(key)} ({graph.thread_tid(key)})"},
             }
         )
-    for ident in graph.threads:
-        for kind, start, end, wait in graph.segments(ident):
+    for key in graph.threads:
+        pid, tid = pid_of(key), graph.thread_tid(key)
+        for kind, start, end, wait in graph.segments(key):
             if end <= start:
                 continue
             if kind == "wait" and wait is not None:
@@ -61,7 +96,7 @@ def to_perfetto(graph: CausalGraph) -> dict:
                 name, args, cat = "run", {}, "run"
             out.append(
                 {
-                    "ph": "X", "name": name, "cat": cat, "pid": _PID, "tid": ident,
+                    "ph": "X", "name": name, "cat": cat, "pid": pid, "tid": tid,
                     "ts": _us(start, t0), "dur": max(_us(end, t0) - _us(start, t0), 0.001),
                     "args": args,
                 }
@@ -72,24 +107,56 @@ def to_perfetto(graph: CausalGraph) -> dict:
                 {
                     "ph": "i", "s": "t",
                     "name": f"increment {event.source} +{event.amount} -> {event.value}",
-                    "cat": "increment", "pid": _PID, "tid": event.thread,
+                    "cat": "increment", "pid": event_pid(event), "tid": event.thread,
                     "ts": _us(event.ts, t0),
                     "args": {"source": event.source, "amount": event.amount,
                              "value": event.value},
                 }
             )
+        elif event.kind in _INSTANT_KINDS:
+            args = {"source": event.source}
+            if event.corr is not None:
+                args["corr"] = event.corr
+            if event.op is not None:
+                args["op"] = event.op
+            out.append(
+                {
+                    "ph": "i", "s": "t", "name": event.kind, "cat": "dist",
+                    "pid": event_pid(event), "tid": event.thread,
+                    "ts": _us(event.ts, t0), "args": args,
+                }
+            )
     for n, edge in enumerate(graph.edges):
         # One flow per release edge; ids only need to be unique per pair,
         # and the wait's ending seq is (n as fallback for seq-less ends).
-        flow_id = edge.wait.end.seq if edge.wait.end.seq is not None else -(n + 1)
-        name = f"release {edge.release.source}"
-        common = {"name": name, "cat": "release", "pid": _PID, "id": flow_id}
+        end_key = graph._end_key(edge.wait.end)
+        flow_id = str(end_key) if end_key is not None else f"e{n}"
+        start_event = edge.origin if edge.origin is not None else edge.release
+        name = f"release {start_event.source}"
+        common = {"name": name, "cat": "release", "id": flow_id}
+        start_ts = _us(start_event.ts, t0)
         out.append(
-            {**common, "ph": "s", "tid": edge.from_thread, "ts": _us(edge.release.ts, t0)}
+            {**common, "ph": "s", "pid": pid_of(edge.from_thread),
+             "tid": graph.thread_tid(edge.from_thread), "ts": start_ts}
         )
         out.append(
-            {**common, "ph": "f", "bp": "e", "tid": edge.to_thread,
-             "ts": _us(edge.wait.end.ts, t0)}
+            {**common, "ph": "f", "bp": "e", "pid": pid_of(edge.to_thread),
+             "tid": graph.thread_tid(edge.to_thread),
+             # Clock-offset estimation can leave µs-scale skew between
+             # pids; the arrow must still point forward.
+             "ts": max(_us(edge.wait.end.ts, t0), start_ts)}
+        )
+    for n, (send, recv) in enumerate(graph.wire_edges):
+        name = f"wire {send.op or send.kind}"
+        common = {"name": name, "cat": "wire", "id": f"w{n}"}
+        start_ts = _us(send.ts, t0)
+        out.append(
+            {**common, "ph": "s", "pid": event_pid(send), "tid": send.thread,
+             "ts": start_ts}
+        )
+        out.append(
+            {**common, "ph": "f", "bp": "e", "pid": event_pid(recv),
+             "tid": recv.thread, "ts": max(_us(recv.ts, t0), start_ts)}
         )
     return {"traceEvents": out, "displayTimeUnit": "ms"}
 
@@ -100,7 +167,9 @@ def validate_perfetto(doc: dict) -> list[str]:
     Pins what the Perfetto UI actually requires: the ``traceEvents``
     array, per-phase required keys, numeric non-negative timestamps, and
     — for the flow arrows — that every ``s`` has a matching ``f`` (same
-    id) at an equal-or-later timestamp.
+    id) at an equal-or-later timestamp.  Multi-pid documents are the
+    norm for merged traces: pids only need to be ints, and flow pairs
+    may span pids (that is what draws the cross-process arrow).
     """
     problems: list[str] = []
     events = doc.get("traceEvents")
@@ -120,7 +189,8 @@ def validate_perfetto(doc: dict) -> list[str]:
             if not isinstance(ev.get(key), int):
                 problems.append(f"event {i} ({ph}): {key} missing or not an int")
         if ph == "M":
-            if ev.get("name") != "thread_name" or "name" not in ev.get("args", {}):
+            if ev.get("name") not in ("thread_name", "process_name") \
+                    or "name" not in ev.get("args", {}):
                 problems.append(f"event {i}: metadata without args.name")
             continue
         ts = ev.get("ts")

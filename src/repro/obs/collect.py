@@ -1,0 +1,207 @@
+"""Merge per-process event rings into one cross-process timeline.
+
+Each process's :class:`~repro.obs.events.TraceBuffer` is an island: its
+``seq`` values order events *within* that process only, and its ``ts``
+values come from that process's ``time.monotonic`` — which has an
+arbitrary epoch (boot-relative on Linux, but suspend handling and
+non-Linux platforms make "same epoch" an assumption, not a guarantee).
+This module joins the islands:
+
+* :func:`write_jsonl` / :func:`load_jsonl` — the on-disk form: one
+  :meth:`~repro.obs.events.Event.as_dict` JSON object per line, with
+  the writer's ``pid`` stamped on every event as it leaves its home
+  process (the emit sites stay pid-free; see ``events.py``).
+* :func:`clock_offsets` — NTP-style offset estimation from paired
+  request/response frames: for a correlation token with all four wire
+  events (requester ``frame_send`` at ``t0``, responder ``frame_recv``
+  at ``t1``, responder ``frame_send`` at ``t2``, requester
+  ``frame_recv`` at ``t3``), the responder clock leads the requester
+  clock by approximately ``((t1 - t0) + (t2 - t3)) / 2`` — network
+  asymmetry is the irreducible error, exactly as in NTP.  The estimate
+  per pid pair is the median over every such quad, and offsets compose
+  transitively across pid pairs that never spoke directly.
+* :func:`merge` — one timeline: every ring concatenated, foreign
+  timestamps rebased into the root pid's clock, ordered by
+  ``(ts, pid, seq)``.  Within one pid that order is exactly the seq
+  (causal) order whenever seqs are present — ties on the rebased
+  cross-pid axis are broken deterministically, never causally.
+
+Caveat for readers of merged traces: on one Linux host all processes
+share ``CLOCK_MONOTONIC``, so estimated offsets hover near zero and
+the merged order is trustworthy to network-roundtrip precision.
+Across hosts (or after suspend) the offset does the heavy lifting and
+sub-millisecond orderings between pids are estimates — the *wire
+edges* (correlation tokens, ``cause_seq``) stay exact regardless,
+which is why the causal graph trusts tokens over timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from statistics import median
+from typing import Iterable
+
+from repro.obs.events import Event
+
+__all__ = ["write_jsonl", "load_jsonl", "clock_offsets", "merge"]
+
+_WIRE_KINDS = ("frame_send", "frame_recv")
+
+
+def _as_doc(event: "Event | dict") -> dict:
+    return event.as_dict() if isinstance(event, Event) else dict(event)
+
+
+def write_jsonl(events: Iterable["Event | dict"], path: str, *,
+                pid: int | None = None) -> int:
+    """Write one ring as JSONL, stamping ``pid`` on unstamped events.
+
+    ``pid`` defaults to this process's; pass the origin pid explicitly
+    when relaying a ring fetched from elsewhere.  Returns the number of
+    events written.
+    """
+    if pid is None:
+        pid = os.getpid()
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            doc = _as_doc(event)
+            doc.setdefault("pid", pid)
+            fh.write(json.dumps(doc, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str) -> list[Event]:
+    """Load one JSONL ring (any schema version; blank lines ignored)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(Event.from_dict(json.loads(line)))
+    return events
+
+
+def _offset_samples(events: Iterable[Event]) -> dict[tuple[int, int], list[float]]:
+    """Per (requester, responder) pid pair: raw offset samples.
+
+    One sample per correlation token that shows a full request/response
+    quad.  The requester is the pid whose ``frame_send`` is earliest in
+    its own clock — for every RPC shape the fabric emits (get/ack,
+    sub/reached, sync/sync_reply, fetch_*/\\*_reply) the initiating
+    side sends first, and a late responder ``frame_send`` (e.g. a push
+    delivered seconds after the sub) still yields an unbiased sample:
+    only the *pairing* of send/recv matters, not the gap between them.
+    """
+    by_corr: dict[str, dict[tuple[int, str], float]] = {}
+    for event in events:
+        corr = event.corr
+        if corr is None or event.kind not in _WIRE_KINDS or event.pid is None:
+            continue
+        slots = by_corr.setdefault(corr, {})
+        key = (event.pid, event.kind)
+        # Earliest occurrence wins (an unsub that reuses its sub's token
+        # must not displace the sub's own send).
+        if key not in slots or event.ts < slots[key]:
+            slots[key] = event.ts
+    samples: dict[tuple[int, int], list[float]] = {}
+    for slots in by_corr.values():
+        pids = {pid for pid, _ in slots}
+        if len(pids) != 2:
+            continue
+        a, b = sorted(pids)
+        quad = (slots.get((a, "frame_send")), slots.get((b, "frame_recv")),
+                slots.get((b, "frame_send")), slots.get((a, "frame_recv")))
+        if None in quad:
+            continue
+        t0, t1, t2, t3 = quad
+        if t0 > t3 or t1 > t2:
+            # a was not the requester for this token; swap roles.
+            t0, t1, t2, t3 = t1, t0, t3, t2
+            a, b = b, a
+        # clock_b - clock_a, to network-asymmetry precision.
+        samples.setdefault((a, b), []).append(((t1 - t0) + (t2 - t3)) / 2.0)
+    return samples
+
+
+def clock_offsets(events: Iterable[Event],
+                  root: int | None = None) -> dict[int, float]:
+    """Estimate each pid's clock offset relative to ``root``'s.
+
+    ``offsets[p]`` is (approximately) ``clock_p - clock_root``; a
+    foreign timestamp rebases into the root timeline as
+    ``ts - offsets[pid]``.  ``root`` defaults to the pid with the most
+    events (ties to the smallest pid), which is also :func:`merge`'s
+    choice.  Pids with no wire path to the root keep offset 0.0 —
+    on one host that is also the truth.
+    """
+    events = list(events)
+    counts: dict[int, int] = {}
+    for event in events:
+        if event.pid is not None:
+            counts[event.pid] = counts.get(event.pid, 0) + 1
+    if not counts:
+        return {}
+    if root is None:
+        root = min(counts, key=lambda p: (-counts[p], p))
+    offsets = {root: 0.0}
+    edges: dict[tuple[int, int], float] = {
+        pair: median(vals) for pair, vals in _offset_samples(events).items()
+    }
+    # Compose transitively: BFS over the pid graph from the root.
+    adjacency: dict[int, list[tuple[int, float]]] = {}
+    for (a, b), off in edges.items():
+        adjacency.setdefault(a, []).append((b, off))
+        adjacency.setdefault(b, []).append((a, -off))
+    frontier = [root]
+    while frontier:
+        here = frontier.pop()
+        for there, off in adjacency.get(here, ()):
+            if there not in offsets:
+                offsets[there] = offsets[here] + off
+                frontier.append(there)
+    for pid in counts:
+        offsets.setdefault(pid, 0.0)
+    return offsets
+
+
+def merge(*rings: Iterable["Event | dict"], align: bool = True,
+          root: int | None = None) -> list[Event]:
+    """Join per-process rings into one ``(ts, pid, seq)``-ordered timeline.
+
+    Accepts :class:`Event` objects or ``as_dict`` mappings.  With
+    ``align`` (the default), foreign timestamps are rebased into the
+    root pid's clock using :func:`clock_offsets`; pass ``align=False``
+    to keep every ring's native timestamps (single-host traces, where
+    ``CLOCK_MONOTONIC`` is already shared).  Events without a ``pid``
+    are treated as the root's.
+
+    Rings may overlap: the same ``(pid, seq)`` appearing twice (a ring
+    fetched twice, or a local ring merged with its own ``fetch_trace``
+    echo) keeps only the first occurrence — duplicated park/unpark
+    pairs would otherwise corrupt causal pairing downstream.
+    """
+    events: list[Event] = []
+    seen: set[tuple[int, int]] = set()
+    for ring in rings:
+        for event in ring:
+            if not isinstance(event, Event):
+                event = Event.from_dict(event)
+            if event.pid is not None and event.seq is not None:
+                key = (event.pid, event.seq)
+                if key in seen:
+                    continue
+                seen.add(key)
+            events.append(event)
+    if align:
+        offsets = clock_offsets(events, root=root)
+        if any(abs(off) > 1e-12 for off in offsets.values()):
+            events = [
+                event if event.pid is None or not offsets.get(event.pid)
+                else event._replace(ts=event.ts - offsets[event.pid])
+                for event in events
+            ]
+    events.sort(key=lambda e: (e.ts, e.pid or 0, e.seq or 0))
+    return events

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core import engine
 from repro.obs import registry
 
 __all__ = ["dump_state", "dump_counter"]
@@ -108,5 +109,14 @@ def dump_state() -> dict[str, Any]:
             "counters": len(counters),
             "waiting_levels": sum(d.get("waiting_levels", 0) for d in counters),
             "waiters": sum(d.get("total_waiters", 0) for d in counters),
+        },
+        # Wakeup-engine internals: the shared timer wheel's armed
+        # deadlines and the live parking-slot population.  Both reads
+        # are diagnostic snapshots (wheel lock held briefly; the slot
+        # count is a weak-set len) — a wedged waiter shows up here as an
+        # armed entry whose deadline_in_s keeps shrinking.
+        "engine": {
+            "timer_wheel": engine.wheel().snapshot(),
+            "parking_slots": engine.live_slot_count(),
         },
     }

@@ -22,7 +22,7 @@ never add a lock to the paths it observes.
 Internally the ring stores *payload tuples* in :class:`Event` field
 order, not ``Event`` instances: the hot emit path (what
 :meth:`TraceBuffer.emitter` hands the hooks — with no sink installed,
-the deque's bound C ``append`` itself) lands the raw 13-tuple and the
+the deque's bound C ``append`` itself) lands the raw 16-tuple and the
 ``Event`` objects are materialized lazily by
 :meth:`TraceBuffer.snapshot` — readers pay the namedtuple wrap once per
 read instead of every park/unpark paying it per emit, and the per-event
@@ -91,6 +91,15 @@ KINDS = frozenset(
         "mw_wake",         # a MultiWait wait completed
         "mw_timeout",      # a MultiWait wait expired
         "stall",           # the watchdog flagged a blocked check
+        # --- schema v3: the cross-process fabric (repro.dist) ---
+        "frame_send",      # one wire frame written to a peer (op, corr)
+        "frame_recv",      # one wire frame read from a peer (op, corr)
+        "batch_flush",     # a client flushed its dirty-counter batch
+        "push_deliver",    # the service pushed a satisfied subscription
+        "bell_ring",       # a shm writer rang a sleeping reader's doorbell
+        "bell_wake",       # a shm watcher woke on its doorbell generation
+        "gossip_round",    # one anti-entropy digest exchange completed
+        "slot_claim",      # a shm process claimed (or reclaimed) a writer slot
     }
 )
 
@@ -117,7 +126,29 @@ class Event(NamedTuple):
       token; ``sub_fire`` carries the *node* token so a MultiWait wake
       is still traceable to the releasing increment).
     * ``cause_seq`` — on ``release`` events, the ``seq`` of the
-      increment whose advance unlinked the node.
+      increment whose advance unlinked the node (on ``push_deliver``
+      events, the seq of the increment whose advance satisfied the
+      pushed subscription).
+
+    Schema v3 adds three cross-process fields (again ``None`` — and
+    omitted from ``as_dict`` — on events emitted by pre-v3 writers, so
+    v1/v2 JSONL consumers are untouched):
+
+    * ``pid`` — the emitting process.  Not stamped at the emit sites
+      (the hot paths stay pid-free); stamped at *collection* time by
+      :func:`repro.obs.collect.write_jsonl` and the service's
+      ``fetch_trace`` reply, which is where a trace first leaves its
+      process.  ``seq`` is only meaningful *within* one pid — merged
+      timelines order by ``(ts, seq)`` and qualify every seq lookup by
+      pid (see :mod:`repro.obs.collect`).
+    * ``op`` — on ``frame_send``/``frame_recv``, the wire op the frame
+      carried (``"inc"``, ``"sub"``, ``"reached"``, ...).
+    * ``corr`` — the wire correlation token (a string, globally unique
+      across processes: ``"<pid:x>-<n:x>"``).  A client stamps it on
+      each outgoing frame, the server echoes it on replies and stamps
+      it on every event the frame causes, which is what lets the
+      causal analyzer link a client-side ``check`` to the server-side
+      ``increment`` that satisfied it.
     """
 
     ts: float
@@ -133,9 +164,12 @@ class Event(NamedTuple):
     seq: int | None = None
     token: int | None = None
     cause_seq: int | None = None
+    pid: int | None = None
+    op: str | None = None
+    corr: str | None = None
 
     _OPTIONAL = ("level", "value", "count", "amount", "wait_s", "wakeup_s",
-                 "seq", "token", "cause_seq")
+                 "seq", "token", "cause_seq", "pid", "op", "corr")
 
     def as_dict(self) -> dict:
         """JSON-ready mapping with the unused optional fields dropped.

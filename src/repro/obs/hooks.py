@@ -40,7 +40,7 @@ are tuned to the same standard as the paths they observe:
 
 * Events are emitted as raw *payload tuples* in declaration order —
   ``(ts, kind, source, thread, level, value, count, amount, wait_s,
-  wakeup_s, seq, token, cause_seq)`` — through ``_emit``, the callable
+  wakeup_s, seq, token, cause_seq, pid, op, corr)`` — through ``_emit``, the callable
   :meth:`~repro.obs.events.TraceBuffer.emitter` hands over at enable
   time (the ring deque's bound C ``append`` when no sink is installed);
   the ``Event`` objects are materialized lazily at snapshot time, and
@@ -62,6 +62,8 @@ are tuned to the same standard as the paths they observe:
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 
@@ -69,7 +71,8 @@ from repro.obs.events import TraceBuffer, next_seq
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.registry import label
 
-__all__ = ["enabled", "clock"]
+__all__ = ["enabled", "clock", "next_corr", "WireContext",
+           "set_wire_context", "wire_context", "last_increment_seq"]
 
 #: Read by every instrumented site; True only while obs is enabled.
 enabled = False
@@ -122,6 +125,85 @@ def _chan(obj: object) -> tuple:
     return ch
 
 
+# -------------------------------------------------------- wire correlation
+#
+# Schema v3: the dist layer (repro.dist) stamps a *correlation token* on
+# every wire frame, and the side that processes the frame stamps the
+# same token on the events the frame causes.  Tokens are strings,
+# globally unique across processes (``"<pid:x>-<n:x>"``); the pid prefix
+# is refreshed after fork so a forked shm worker never collides with its
+# parent.  The ambient :class:`WireContext` is a thread-local the
+# service/watcher sets around frame dispatch — core emit sites read it
+# only on the *enabled* tracing path, so the disabled contract (one
+# attr-read + false branch) is untouched.
+
+_corr_pid = os.getpid()
+_next_corr_n = itertools.count(1).__next__
+
+
+def _refresh_corr_pid() -> None:
+    global _corr_pid
+    _corr_pid = os.getpid()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on POSIX
+    os.register_at_fork(after_in_child=_refresh_corr_pid)
+
+
+def next_corr() -> str:
+    """A fresh wire correlation token, unique across cooperating pids."""
+    return f"{_corr_pid:x}-{_next_corr_n():x}"
+
+
+class WireContext:
+    """The ambient "this thread is processing wire frame X" marker.
+
+    ``corr`` is the frame's correlation token (or ``None``).  ``inc_seq``
+    is filled in by the increment emit sites below: the seq of the
+    increment event the frame's processing produced, which is what the
+    service's subscription callback reads to stamp ``cause_seq`` on the
+    ``push_deliver`` it emits — the wire half of the causal chain.
+    """
+
+    __slots__ = ("corr", "inc_seq")
+
+    def __init__(self, corr: str | None) -> None:
+        self.corr = corr
+        self.inc_seq: int | None = None
+
+
+_wire_local = threading.local()
+
+
+def set_wire_context(ctx: "WireContext | None") -> "WireContext | None":
+    """Install ``ctx`` as this thread's ambient wire context.
+
+    Returns the previous context so a dispatcher can restore it (frame
+    dispatch nests during anti-entropy: a sync_reply is processed while
+    the gossip round's own context is live).
+    """
+    prev = getattr(_wire_local, "ctx", None)
+    _wire_local.ctx = ctx
+    return prev
+
+
+def wire_context() -> "WireContext | None":
+    return getattr(_wire_local, "ctx", None)
+
+
+def last_increment_seq() -> int | None:
+    """The seq of the newest increment event emitted by *this thread*.
+
+    Subscription callbacks fire synchronously inside the increment's
+    release/signal pass, on the incrementing thread — so at fire time
+    this is exactly the satisfying increment, even when the increment
+    was process-local and no :class:`WireContext` is ambient (a service
+    node raising its own counter, an anti-entropy merge).  Stale between
+    increments; only meaningful from within a subscription callback.
+    """
+    return getattr(_wire_local, "last_inc_seq", None)
+
+
 # --------------------------------------------------------------- increment
 
 def on_increment(counter: object, amount: int, value: int) -> int | None:
@@ -138,9 +220,16 @@ def on_increment(counter: object, amount: int, value: int) -> int | None:
     emit = _emit
     if emit is not None:
         seq = next_seq()
+        _wire_local.last_inc_seq = seq
+        ctx = getattr(_wire_local, "ctx", None)
+        if ctx is None:
+            corr = None
+        else:
+            ctx.inc_seq = seq
+            corr = ctx.corr
         emit((clock(), "increment", ch[1], _get_ident(),
               None, value, None, amount,
-              None, None, seq, None, None))
+              None, None, seq, None, None, None, None, corr))
         return seq
     return None
 
@@ -165,12 +254,15 @@ def on_release(
         series.releases += len(released)
     emit = _emit
     ident = _get_ident() if emit is not None else 0
+    ctx = getattr(_wire_local, "ctx", None) if emit is not None else None
+    corr = None if ctx is None else ctx.corr
     for node in released:
         node.released_ts = now
         if emit is not None:
             emit((now, "release", ch[1], ident,
                   node.level, value, node.count, None,
-                  None, None, next_seq(), node.token, cause_seq))
+                  None, None, next_seq(), node.token, cause_seq,
+                  None, None, corr))
 
 
 def on_release_stamp(released: list) -> tuple:
@@ -196,6 +288,14 @@ def on_release_stamp(released: list) -> tuple:
             node.released_ts = now
         return (now, None, len(released))
     inc_seq = next_seq()
+    # Published before the signal pass so a subscription callback fired
+    # by node.signal() (the service's push) can already name the
+    # increment it is reacting to — via the wire context when a frame is
+    # being dispatched, via last_increment_seq() for local increments.
+    _wire_local.last_inc_seq = inc_seq
+    ctx = getattr(_wire_local, "ctx", None)
+    if ctx is not None:
+        ctx.inc_seq = inc_seq
     if len(released) == 1:
         # The ping-pong-shaped common case: one node, no list growth.
         node = released[0]
@@ -224,22 +324,26 @@ def on_increment_released(counter: object, amount: int, value: int, ctx: tuple) 
     if emit is not None and inc_seq is not None:
         src = ch[1]
         ident = _get_ident()
+        ctx = getattr(_wire_local, "ctx", None)
+        corr = None if ctx is None else ctx.corr
         emit((now, "increment", src, ident,
               None, value, None, amount,
-              None, None, inc_seq, None, None))
+              None, None, inc_seq, None, None, None, None, corr))
         for seq, token, lvl, cnt in captured:
             emit((now, "release", src, ident,
                   lvl, value, cnt, None,
-                  None, None, seq, token, inc_seq))
+                  None, None, seq, token, inc_seq, None, None, corr))
 
 
 def on_sub_fire(counter: object, level: int, count: int, token: int | None = None) -> None:
     """A released level's subscription callbacks are about to run."""
     emit = _emit
     if emit is not None:
+        ctx = getattr(_wire_local, "ctx", None)
         emit((clock(), "sub_fire", label(counter), _get_ident(),
               level, None, count, None,
-              None, None, next_seq(), token, None))
+              None, None, next_seq(), token, None,
+              None, None, None if ctx is None else ctx.corr))
 
 
 # -------------------------------------------------------------------- check
@@ -268,7 +372,7 @@ def on_park(
     if emit is not None:
         emit((now, "park", ch[1], _get_ident(),
               level, value, live_waiters, None,
-              None, None, next_seq(), token, None))
+              None, None, next_seq(), token, None, None, None, None))
     return now
 
 
@@ -297,7 +401,7 @@ def on_unpark(
         emit((ts if ts is not None else clock(), "unpark",
               ch[1], _get_ident(),
               level, None, None, None,
-              wait_s, wakeup_s, next_seq(), token, None))
+              wait_s, wakeup_s, next_seq(), token, None, None, None, None))
 
 
 def on_wake(counter: object, node: object, level: int,
@@ -326,7 +430,8 @@ def on_wake(counter: object, node: object, level: int,
     if emit is not None:
         emit((now, "unpark", ch[1], _get_ident(),
               level, None, None, None,
-              wait_s, wakeup_s, next_seq(), node.token, None))
+              wait_s, wakeup_s, next_seq(), node.token, None,
+              None, None, None))
 
 
 def on_spin_exhausted(counter: object, level: int, budget: int) -> None:
@@ -339,7 +444,7 @@ def on_spin_exhausted(counter: object, level: int, budget: int) -> None:
     if emit is not None:
         emit((clock(), "spin_exhausted", src, _get_ident(),
               level, None, budget, None,
-              None, None, next_seq(), None, None))
+              None, None, next_seq(), None, None, None, None, None))
 
 
 def on_timeout(
@@ -358,7 +463,7 @@ def on_timeout(
     if emit is not None:
         emit((clock(), "timeout", src, _get_ident(),
               level, value, None, None,
-              waited_s, None, next_seq(), token, None))
+              waited_s, None, next_seq(), token, None, None, None, None))
 
 
 # ------------------------------------------------------------------ sharded
@@ -373,7 +478,7 @@ def on_flush(counter: object, amount: int) -> None:
     if emit is not None:
         emit((clock(), "flush", src, _get_ident(),
               None, None, None, amount,
-              None, None, next_seq(), None, None))
+              None, None, next_seq(), None, None, None, None, None))
 
 
 def on_drain(counter: object, amount: int) -> None:
@@ -382,7 +487,7 @@ def on_drain(counter: object, amount: int) -> None:
     if emit is not None:
         emit((clock(), "drain", label(counter), _get_ident(),
               None, None, None, amount,
-              None, None, next_seq(), None, None))
+              None, None, next_seq(), None, None, None, None, None))
 
 
 # ---------------------------------------------------------------- multiwait
@@ -397,7 +502,7 @@ def on_mw_park(mw: object, conditions: int, satisfied: int,
     if emit is not None:
         emit((clock(), "mw_park", label(mw), _get_ident(),
               None, satisfied, conditions, None,
-              None, None, next_seq(), token, None))
+              None, None, next_seq(), token, None, None, None, None))
 
 
 def on_mw_wake(mw: object, satisfied: int, wait_s: float | None,
@@ -406,7 +511,7 @@ def on_mw_wake(mw: object, satisfied: int, wait_s: float | None,
     if emit is not None:
         emit((clock(), "mw_wake", label(mw), _get_ident(),
               None, satisfied, None, None,
-              wait_s, None, next_seq(), token, None))
+              wait_s, None, next_seq(), token, None, None, None, None))
 
 
 def on_mw_timeout(mw: object, conditions: int, satisfied: int,
@@ -415,7 +520,7 @@ def on_mw_timeout(mw: object, conditions: int, satisfied: int,
     if emit is not None:
         emit((clock(), "mw_timeout", label(mw), _get_ident(),
               None, satisfied, conditions, None,
-              None, None, next_seq(), token, None))
+              None, None, next_seq(), token, None, None, None, None))
 
 
 # ----------------------------------------------------------------- watchdog
@@ -426,4 +531,44 @@ def on_stall(source: str, level: int, waiters: int, value: int, stalled_s: float
     if emit is not None:
         emit((clock(), "stall", source, _get_ident(),
               level, value, waiters, None,
-              stalled_s, None, next_seq(), None, None))
+              stalled_s, None, next_seq(), None, None, None, None, None))
+
+
+# --------------------------------------------------------------------- dist
+#
+# One generic emit site for the cross-process fabric (frame_send /
+# frame_recv / batch_flush / push_deliver / bell_ring / bell_wake /
+# gossip_round / slot_claim).  The dist paths are network- or
+# poll-bound, so a single keyword-argument hook is the right trade:
+# clarity over the last nanosecond.  The zero-cost-when-off contract
+# still holds — every call site is guarded by ``if _obs.enabled`` and
+# none sits on the lock-free shm scan.
+
+def on_dist(
+    source: object,
+    kind: str,
+    *,
+    op: str | None = None,
+    corr: str | None = None,
+    level: int | None = None,
+    value: int | None = None,
+    count: int | None = None,
+    amount: int | None = None,
+    wait_s: float | None = None,
+    token: int | None = None,
+    cause_seq: int | None = None,
+) -> int | None:
+    """Emit one dist-fabric event; returns its ``seq`` when tracing is on.
+
+    ``source`` may be a primitive (labelled via the registry) or an
+    already-resolved label string.
+    """
+    emit = _emit
+    if emit is None:
+        return None
+    seq = next_seq()
+    emit((clock(), kind, source if type(source) is str else label(source),
+          _get_ident(),
+          level, value, count, amount,
+          wait_s, None, seq, token, cause_seq, None, op, corr))
+    return seq

@@ -24,6 +24,8 @@ class TestRunDistOps:
             "shm_readonly_check",
             "shm_increment_scaling",
             "service_pipeline",
+            "dist_obs_disabled",
+            "dist_obs_enabled",
         }
         for entries in doc["series"].values():
             for entry in entries.values():
@@ -51,6 +53,23 @@ class TestRunDistOps:
         and hold with margin even at smoke sizes."""
         assert doc["derived"]["shm_check_vs_manager_proxy"] >= 10
         assert doc["derived"]["pipelined_vs_rpc"] >= 5
+
+    def test_obs_series_are_paired_and_tax_is_derived(self, doc):
+        disabled = doc["series"]["dist_obs_disabled"]
+        enabled = doc["series"]["dist_obs_enabled"]
+        assert set(disabled) == set(enabled) == {"shm_check", "pipelined_inc"}
+        for impl in disabled:
+            # Paired sampling: repeat i's off/on samples ran back-to-back,
+            # so the two series must have the same shape.
+            assert len(disabled[impl]["samples"]) == len(enabled[impl]["samples"])
+        tax = doc["derived"]["obs_enabled_tax"]
+        assert set(tax) == {"shm_check", "pipelined_inc"}
+        for value in tax.values():
+            assert value > 0
+
+    def test_only_the_disabled_obs_series_is_gated(self):
+        assert "dist_obs_disabled" in GATED_SERIES
+        assert "dist_obs_enabled" not in GATED_SERIES
 
     def test_document_is_json_serializable(self, doc):
         json.dumps(doc)

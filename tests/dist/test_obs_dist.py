@@ -1,0 +1,306 @@
+"""Observability of the dist fabric: wire correlation, fetch ops, fleet.
+
+Client and service run in one process here (the established harness for
+dist tests), so both sides' events land in the same ring — which is
+exactly what makes the correlation assertions sharp: the sub frame's
+token must reappear verbatim on the server's ``frame_recv``, on the
+``push_deliver`` it causes, and on the client's ``unpark``.  True
+multi-process traces are covered by the shm fork tests
+(``test_shm_obs.py``) and the ``sample-dist`` CLI exercised in CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.dist import AsyncCounterClient, CounterService, open_threadside, wire
+from repro.obs.collect import merge
+from repro.obs.events import Event
+from tests.helpers import join_all, spawn, wait_until
+
+
+def run(coro, timeout: float = 30.0):
+    """asyncio.run with a suite-protecting deadline."""
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean_slate():
+    # Observability is process-global; these tests toggle it and must
+    # leave it off (same hygiene as tests/obs/conftest.py).
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def kinds(events):
+    return [e.kind for e in events]
+
+
+class TestWireCorrelation:
+    def test_increment_frames_carry_and_echo_the_token(self):
+        handle = obs.enable()
+
+        async def scenario():
+            async with CounterService() as service:
+                client = await AsyncCounterClient.connect(
+                    *service.address, source="s1"
+                )
+                try:
+                    client.increment("orders", 5)
+                    await client.flush()
+                finally:
+                    await client.close()
+
+        run(scenario())
+        events = handle.trace.snapshot()
+        send = next(e for e in events
+                    if e.kind == "frame_send" and e.op == "inc")
+        assert send.corr is not None
+        recv = next(e for e in events
+                    if e.kind == "frame_recv" and e.op == "inc")
+        assert recv.corr == send.corr  # server side saw the same token
+        acks = [e for e in events if e.op == "ack"]
+        assert {e.corr for e in acks} == {send.corr}  # echoed on the reply
+        flush = next(e for e in events if e.kind == "batch_flush")
+        assert flush.corr == send.corr
+
+    def test_push_deliver_names_the_satisfying_increment(self):
+        handle = obs.enable()
+
+        async def scenario():
+            async with CounterService() as service:
+                waiter = await AsyncCounterClient.connect(
+                    *service.address, source="w"
+                )
+                pusher = await AsyncCounterClient.connect(
+                    *service.address, source="p"
+                )
+                try:
+                    check = asyncio.ensure_future(
+                        waiter.check("orders", 3, timeout=10.0)
+                    )
+                    await asyncio.sleep(0.05)  # let the sub register
+                    pusher.increment("orders", 3)
+                    await pusher.flush()
+                    await check
+                finally:
+                    await waiter.close()
+                    await pusher.close()
+
+        run(scenario())
+        events = handle.trace.snapshot()
+        sub = next(e for e in events
+                   if e.kind == "frame_send" and e.op == "sub")
+        push = next(e for e in events if e.kind == "push_deliver")
+        assert push.corr == sub.corr
+        assert push.cause_seq is not None
+        cause = next(e for e in events if e.seq == push.cause_seq)
+        assert cause.kind == "increment"
+        unpark = next(e for e in events
+                      if e.kind == "unpark" and e.corr == sub.corr)
+        assert unpark.wait_s is not None and unpark.wait_s > 0.0
+
+    def test_server_local_raise_still_attributes_the_push(self):
+        # A raise with no frame behind it (self-increment, anti-entropy
+        # merge) has no ambient wire context; the thread-local
+        # last-increment fallback must still name the increment.
+        handle = obs.enable()
+
+        async def scenario():
+            async with CounterService(node_id="svc") as service:
+                waiter = await AsyncCounterClient.connect(
+                    *service.address, source="w"
+                )
+                try:
+                    check = asyncio.ensure_future(
+                        waiter.check("orders", 2, timeout=10.0)
+                    )
+                    await asyncio.sleep(0.05)
+                    service.counter("orders").raise_source("svc", 2)
+                    await check
+                finally:
+                    await waiter.close()
+
+        run(scenario())
+        events = handle.trace.snapshot()
+        push = next(e for e in events if e.kind == "push_deliver")
+        assert push.cause_seq is not None
+        cause = next(e for e in events if e.seq == push.cause_seq)
+        assert cause.kind == "increment"
+
+    def test_disabled_frames_stay_bare(self, monkeypatch):
+        # Zero-cost-when-off is a wire contract too: with obs disabled,
+        # no frame in either direction grows a correlation field.
+        seen: list[dict] = []
+        real_encode = wire.encode
+
+        def recording_encode(frame):
+            seen.append(dict(frame))
+            return real_encode(frame)
+
+        monkeypatch.setattr(wire, "encode", recording_encode)
+
+        async def scenario():
+            async with CounterService() as service:
+                client = await AsyncCounterClient.connect(
+                    *service.address, source="s1"
+                )
+                try:
+                    client.increment("orders", 3)
+                    await client.flush()
+                    await client.check("orders", 3, timeout=10.0)
+                    await client.value("orders")
+                finally:
+                    await client.close()
+
+        run(scenario())
+        assert seen, "the recorder must have seen traffic"
+        assert all("t" not in frame for frame in seen)
+
+
+class TestFetchOps:
+    def _start_service(self):
+        ready = threading.Event()
+        box = {}
+
+        async def serve():
+            async with CounterService(node_id="svc") as service:
+                box["address"] = service.address
+                box["service"] = service
+                ready.set()
+                await box["stop"].wait()
+
+        def drive():
+            loop = asyncio.new_event_loop()
+            box["loop"] = loop
+            asyncio.set_event_loop(loop)
+            box["stop"] = asyncio.Event()
+            loop.run_until_complete(serve())
+            loop.close()
+
+        thread = threading.Thread(target=drive, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+
+        def stop():
+            box["loop"].call_soon_threadsafe(box["stop"].set)
+            thread.join(10)
+
+        return box, stop
+
+    def test_fetch_trace_ships_the_pid_stamped_ring(self):
+        handle = obs.enable()
+        box, stop = self._start_service()
+        try:
+            with open_threadside(*box["address"], source="t") as endpoint:
+                counter = endpoint.counter("orders")
+                waiter = spawn(lambda: counter.check(3, timeout=10.0))
+                wait_until(lambda: any(
+                    e.kind == "park" and e.corr is not None
+                    for e in handle.trace.snapshot()
+                ))
+                counter.increment(3)
+                counter.flush()
+                join_all([waiter])
+                reply = endpoint.fetch_trace()
+        finally:
+            stop()
+        assert reply["enabled"] is True
+        assert reply["pid"] == os.getpid()
+        assert reply["node"] == "svc"
+        assert isinstance(reply["clock"], float)
+        assert reply["events"], "the server ring must not come back empty"
+        assert all(doc["pid"] == os.getpid() for doc in reply["events"])
+        shipped = [Event.from_dict(doc) for doc in reply["events"]]
+        assert {"frame_recv", "increment", "push_deliver"} <= set(kinds(shipped))
+        # The shipped ring is collector food: merging it with the local
+        # snapshot is lossless (same pid, so no rebasing happens).
+        merged = merge(shipped, handle.trace.snapshot())
+        assert len(merged) == len(shipped) + len(handle.trace.snapshot())
+
+    def test_fetch_trace_with_obs_off_reports_disabled(self):
+        box, stop = self._start_service()
+        try:
+            with open_threadside(*box["address"]) as endpoint:
+                endpoint.counter("orders").increment(1)
+                endpoint.counter("orders").flush()
+                reply = endpoint.fetch_trace()
+        finally:
+            stop()
+        assert reply["enabled"] is False
+        assert reply["events"] == []
+        assert reply["truncated"] == 0
+
+    def test_fetch_metrics_ships_the_registry_snapshot(self):
+        obs.enable()
+        box, stop = self._start_service()
+        try:
+            with open_threadside(*box["address"], source="t") as endpoint:
+                counter = endpoint.counter("orders")
+                counter.increment(4)
+                counter.flush()
+                counter.check(4, timeout=10.0)
+                reply = endpoint.fetch_metrics()
+        finally:
+            stop()
+        assert reply["node"] == "svc"
+        assert reply["pid"] == os.getpid()
+        snapshot = reply["snapshot"]
+        assert snapshot is not None
+        labels = [label for label in snapshot["series"] if "orders" in label]
+        assert labels, f"no orders series in {list(snapshot['series'])}"
+        assert any(snapshot["series"][label].get("increments", 0) > 0
+                   for label in labels)
+
+
+class TestFleetMetrics:
+    def test_fleet_scrape_merges_peers_and_marks_down_nodes(self):
+        obs.enable()
+
+        async def scenario():
+            async with CounterService(node_id="beta") as beta:
+                beta.counter("orders").raise_source("beta", 7)
+                async with CounterService(node_id="alpha") as alpha:
+                    alpha.counter("orders").raise_source("alpha", 2)
+                    # One live peer, one that will never answer.
+                    alpha.peers = [beta.address, ("127.0.0.1", 1)]
+                    return await alpha.fleet_metrics()
+
+        text = run(scenario())
+        assert "repro_fleet_nodes 3" in text
+        up = [line for line in text.splitlines()
+              if line.startswith("repro_fleet_node_up")]
+        assert sum(line.endswith(" 1") for line in up) == 2
+        assert sum(line.endswith(" 0") for line in up) == 1
+        totals = [line for line in text.splitlines()
+                  if line.startswith("repro_counter_increments_total")
+                  and "orders" in line]
+        assert totals, "the merged scrape must carry the orders series"
+
+    def test_serve_metrics_speaks_http(self):
+        obs.enable()
+
+        async def scenario():
+            async with CounterService(node_id="svc") as service:
+                service.counter("orders").raise_source("svc", 1)
+                host, port = await service.serve_metrics()
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET /metrics HTTP/1.1\r\n"
+                             b"Host: x\r\nConnection: close\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return raw.decode()
+
+        response = run(scenario())
+        head, _, body = response.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.1 200 OK")
+        assert "text/plain" in head
+        assert "repro_fleet_nodes 1" in body
+        assert 'repro_fleet_node_up{node="svc"' in body

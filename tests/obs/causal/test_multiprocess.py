@@ -1,0 +1,274 @@
+"""Cross-process causal analysis over merged (schema v3) traces.
+
+Synthetic two-process traces built event by event, so every assertion
+pins an exact mechanism: per-pid seq qualification (both processes use
+seq 2 for different events), the wire edge through ``push_deliver``'s
+corr + ``cause_seq``, the bell-origin upgrade on shm mirror releases,
+and the exporters' multi-pid forms.  The same shapes produced by a live
+service/client pair are exercised in ``tests/dist/test_obs_dist.py``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.causal import (
+    CausalGraph,
+    analyze,
+    render_gantt,
+    render_report,
+    to_otel,
+    to_perfetto,
+    validate_perfetto,
+)
+from repro.obs.events import Event
+
+CLIENT, SERVER = 1001, 2002
+
+
+def ev(ts, kind, pid, thread, **kw):
+    return Event(ts=ts, kind=kind, source=kw.pop("source", "c"),
+                 thread=thread, pid=pid, **kw)
+
+
+def wire_trace():
+    """A dist check satisfied over the wire: sub → increment → push → unpark.
+
+    Client pid 1001 thread 11 parks; server pid 2002 thread 22 increments
+    and pushes.  Both pids deliberately reuse the small seqs 1..4 — a
+    collision an unqualified seq index would resolve to the wrong event.
+    """
+    corr = "3e9-1"
+    return [
+        ev(0.001, "park", CLIENT, 11, source="client:c/orders", level=3,
+           token=7, seq=1),
+        ev(0.002, "frame_send", CLIENT, 11, source="client:c", op="sub",
+           corr=corr, seq=2),
+        ev(0.003, "frame_recv", SERVER, 22, source="service:svc", op="sub",
+           corr=corr, seq=1),
+        ev(0.004, "increment", SERVER, 22, source="service:svc/orders",
+           amount=3, value=3, seq=2),
+        ev(0.005, "push_deliver", SERVER, 22, source="service:svc/orders",
+           level=3, corr=corr, cause_seq=2, seq=3),
+        ev(0.006, "frame_send", SERVER, 22, source="service:svc",
+           op="reached", corr=corr, seq=4),
+        ev(0.007, "frame_recv", CLIENT, 11, source="client:c", op="reached",
+           corr=corr, seq=3),
+        ev(0.008, "unpark", CLIENT, 11, source="client:c/orders", level=3,
+           token=7, corr=corr, wait_s=0.007, wakeup_s=0.003, seq=4),
+    ]
+
+
+def bell_trace():
+    """A shm wakeup: writer rings the bell, reader's watcher publishes.
+
+    The reader-side release is token-matched locally (the mirror), but
+    its corr names the *writer's* bell_ring — the edge's origin.
+    """
+    corr = "bell:seg:5"
+    writer, reader = 3003, 4004
+    return [
+        ev(0.001, "park", reader, 41, source="shm:seg", level=2, token=9,
+           seq=1),
+        ev(0.002, "increment", writer, 31, source="shm:seg", amount=2,
+           value=2, seq=1),
+        ev(0.003, "bell_ring", writer, 31, source="shm:seg", corr=corr,
+           level=1, value=2, seq=2),
+        ev(0.004, "bell_wake", reader, 42, source="shm:seg", corr=corr,
+           seq=2),
+        ev(0.005, "increment", reader, 42, source="shm:seg", amount=2,
+           value=2, seq=3),
+        ev(0.006, "release", reader, 42, source="shm:seg", level=2, count=1,
+           token=9, corr=corr, cause_seq=3, seq=4),
+        ev(0.007, "unpark", reader, 41, source="shm:seg", level=2, token=9,
+           wait_s=0.006, seq=5),
+    ]
+
+
+class TestWireEdges:
+    def test_push_deliver_bridges_the_processes(self):
+        graph = CausalGraph.from_events(wire_trace())
+        assert graph.multi_pid
+        assert graph.pids == [CLIENT, SERVER]
+        (edge,) = graph.edges
+        assert edge.origin is not None and edge.origin.kind == "push_deliver"
+        assert edge.crosses_pid
+        assert edge.from_thread == (SERVER, 22)
+        assert edge.to_thread == (CLIENT, 11)
+
+    def test_in_process_service_wakeup_still_forms_a_push_edge(self):
+        # Server loop and client threads sharing one pid: the client's
+        # park/unpark has no token-matched release (the service's
+        # internal release carries its own wait-record token), so the
+        # edge must come from the push_deliver echoing the sub corr —
+        # the correlation indexes cannot be gated on multi_pid.
+        pid, corr = 5005, "ab-1"
+        trace = [
+            ev(0.001, "frame_send", pid, 11, source="client:c", op="sub",
+               corr=corr, seq=1),
+            ev(0.002, "frame_recv", pid, 22, source="service:svc", op="sub",
+               corr=corr, seq=2),
+            ev(0.003, "park", pid, 11, source="client:c/jobs", level=3,
+               token=1, corr=corr, seq=3),
+            ev(0.004, "increment", pid, 22, source="service:svc/jobs",
+               amount=3, value=3, seq=4),
+            ev(0.005, "release", pid, 22, source="service:svc/jobs", level=3,
+               count=1, token=2, cause_seq=4, seq=5),
+            ev(0.006, "push_deliver", pid, 22, source="service:svc/jobs",
+               level=3, corr=corr, cause_seq=4, seq=6),
+            ev(0.007, "unpark", pid, 11, source="client:c/jobs", level=3,
+               token=1, corr=corr, wait_s=0.004, seq=7),
+        ]
+        graph = CausalGraph.from_events(trace)
+        assert not graph.multi_pid
+        (edge,) = graph.edges
+        assert edge.origin is not None and edge.origin.kind == "push_deliver"
+        assert edge.from_thread == 22 and edge.to_thread == 11
+        assert edge.increment is not None and edge.increment.seq == 4
+
+    def test_increment_resolution_is_pid_qualified(self):
+        # seq 2 exists in both pids: the client's is a frame_send, the
+        # server's is the satisfying increment.  Only the pid-qualified
+        # lookup finds the right one.
+        graph = CausalGraph.from_events(wire_trace())
+        (edge,) = graph.edges
+        assert edge.increment is not None
+        assert edge.increment.kind == "increment"
+        assert edge.increment.pid == SERVER
+        assert edge.increment.seq == 2
+
+    def test_frame_pairs_cross_pids(self):
+        graph = CausalGraph.from_events(wire_trace())
+        assert len(graph.wire_edges) == 2
+        for send, recv in graph.wire_edges:
+            assert send.kind == "frame_send" and recv.kind == "frame_recv"
+            assert send.corr == recv.corr
+            assert send.pid != recv.pid
+
+    def test_critical_path_spans_both_processes(self):
+        graph = CausalGraph.from_events(wire_trace())
+        path = graph.critical_path()
+        pids_on_path = {graph.thread_pid(step.thread) for step in path}
+        assert pids_on_path >= {CLIENT, SERVER}
+        wakeup = next(s for s in path if s.kind == "wakeup")
+        assert "over the wire" in wakeup.detail
+
+    def test_thread_names_carry_pids(self):
+        graph = CausalGraph.from_events(wire_trace())
+        names = {graph.thread_name(k) for k in graph.threads}
+        assert names == {f"p{CLIENT}/T0", f"p{SERVER}/T1"}
+
+
+class TestBellEdges:
+    def test_local_release_upgrades_to_foreign_bell_origin(self):
+        graph = CausalGraph.from_events(bell_trace())
+        (edge,) = graph.edges
+        assert edge.release.kind == "release"
+        assert edge.origin is not None and edge.origin.kind == "bell_ring"
+        assert edge.origin.pid == 3003
+        assert edge.crosses_pid
+        assert edge.from_thread == (3003, 31)
+
+    def test_critical_path_reaches_the_writer(self):
+        graph = CausalGraph.from_events(bell_trace())
+        path = graph.critical_path()
+        assert {graph.thread_pid(s.thread) for s in path} >= {3003, 4004}
+
+
+class TestSinglePidBackCompat:
+    def test_uniform_pid_stamp_keeps_v2_key_shapes(self):
+        # A ring collected from ONE process is pid-stamped but not merged:
+        # thread keys stay raw ints, edge_by_end stays bare-seq, names
+        # stay "T0" — exactly the schema-v2 reading of the same trace.
+        events = [
+            ev(0.001, "park", 500, 11, source="c", level=1, token=3, seq=1),
+            ev(0.002, "increment", 500, 12, source="c", amount=1, value=1,
+               seq=2),
+            ev(0.003, "release", 500, 12, source="c", level=1, count=1,
+               token=3, cause_seq=2, seq=3),
+            ev(0.004, "unpark", 500, 11, source="c", level=1, token=3,
+               seq=4),
+        ]
+        graph = CausalGraph.from_events(events)
+        assert not graph.multi_pid
+        assert graph.pids == [500]
+        assert all(isinstance(k, int) for k in graph.threads)
+        assert set(graph.edge_by_end) == {4}
+        assert graph.thread_name(11) == "T0"
+        assert graph.thread_pid(11) == 500  # the stamp still answers
+
+
+class TestMultiPidExporters:
+    def test_perfetto_validates_with_real_pids_and_wire_flows(self):
+        graph = CausalGraph.from_events(wire_trace())
+        doc = to_perfetto(graph)
+        assert validate_perfetto(doc) == []
+        events = doc["traceEvents"]
+        procs = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert procs == {f"pid {CLIENT}", f"pid {SERVER}"}
+        assert {e["pid"] for e in events} == {CLIENT, SERVER}
+        flows = [e for e in events if e["ph"] in ("s", "f")]
+        assert flows, "the wire wakeup must export as a flow arrow"
+        starts = {e["id"]: e["pid"] for e in flows if e["ph"] == "s"}
+        finishes = {e["id"]: e["pid"] for e in flows if e["ph"] == "f"}
+        assert any(starts[i] != finishes.get(i) for i in starts), (
+            "at least one flow must cross processes"
+        )
+
+    def test_perfetto_flow_timestamps_never_run_backward(self):
+        # Offset estimation can leave microsecond-scale skew; the export
+        # clamps each flow finish at-or-after its start so the UI never
+        # draws a backward arrow.
+        events = wire_trace()
+        events[-1] = events[-1]._replace(ts=0.0045)  # unpark "before" push
+        doc = to_perfetto(CausalGraph.from_events(events))
+        assert validate_perfetto(doc) == []
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+        by_id: dict = {}
+        for e in flows:
+            by_id.setdefault(e["id"], {})[e["ph"]] = e["ts"]
+        for pair in by_id.values():
+            if "s" in pair and "f" in pair:
+                assert pair["f"] >= pair["s"]
+
+    def test_perfetto_dist_instants_are_exported(self):
+        doc = to_perfetto(CausalGraph.from_events(wire_trace()))
+        instants = {e["name"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert "push_deliver" in instants
+
+    def test_otel_span_ids_stay_disjoint_across_pids(self):
+        # Client seq 1..4 and server seq 1..4 overlap; span ids fold the
+        # pid in, so the resource spans never collide.
+        doc = to_otel(CausalGraph.from_events(wire_trace()))
+        spans = [
+            s
+            for rs in doc["resourceSpans"]
+            for ss in rs["scopeSpans"]
+            for s in ss["spans"]
+        ]
+        ids = [s["spanId"] for s in spans]
+        assert len(ids) == len(set(ids))
+        link_kinds = {
+            a["value"]["stringValue"]
+            for s in spans
+            for link in s.get("links", ())
+            for a in link.get("attributes", ())
+            if a["key"] == "repro.link"
+        }
+        assert "released_over_wire" in link_kinds
+
+
+class TestMultiPidAnalyze:
+    def test_report_counts_processes_and_wire_pairs(self):
+        graph = CausalGraph.from_events(wire_trace())
+        report = analyze(graph)
+        assert report["pids"] == [CLIENT, SERVER]
+        assert report["wire_edges"] == 2
+        assert any(t["pid"] == CLIENT for t in report["threads"])
+        text = render_report(report, graph)
+        assert "2 processes" in text
+        assert "wire pairs" in text
+
+    def test_gantt_rows_are_pid_labelled(self):
+        gantt = render_gantt(CausalGraph.from_events(wire_trace()))
+        assert f"p{CLIENT}/T0" in gantt
+        assert f"p{SERVER}/T1" in gantt

@@ -212,6 +212,33 @@ class TestShardedDump:
         assert sharded.shard_snapshot().total == producers * per_producer
 
 
+class TestEngineInternals:
+    def test_engine_key_is_always_present(self):
+        engine = dump_state()["engine"]
+        wheel = engine["timer_wheel"]
+        assert wheel["buckets"] > 0
+        assert wheel["span_s"] > 0
+        assert isinstance(wheel["armed"], int)
+        assert isinstance(wheel["pending"], list)
+        assert isinstance(engine["parking_slots"], int)
+
+    def test_timed_wait_shows_as_an_armed_wheel_entry(self):
+        counter = MonotonicCounter(name="engine-dump")
+        before = dump_state()["engine"]["timer_wheel"]["armed"]
+        waiter = spawn(lambda: counter.check(1, timeout=30.0))
+        wait_until(
+            lambda: dump_state()["engine"]["timer_wheel"]["armed"] > before
+        )
+        engine = dump_state()["engine"]
+        assert engine["parking_slots"] >= 1
+        soonest = engine["timer_wheel"]["pending"][0]
+        # Relative deadline, bounded by the timeout; an unclaimed armed
+        # entry has no outcome yet.
+        assert soonest["deadline_in_s"] <= 30.0
+        counter.increment(1)
+        join_all([waiter])
+
+
 class TestObsStateIsOrthogonal:
     def test_dump_works_with_observability_disabled(self):
         """dump_state is registry-powered, not event-powered: it must

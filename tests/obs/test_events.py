@@ -57,10 +57,14 @@ class TestEvent:
             event.kind = "unpark"
 
     def test_kind_registry_is_complete(self):
-        assert len(KINDS) == 13
+        assert len(KINDS) == 21
         for kind in ("increment", "release", "park", "unpark", "timeout",
                      "spin_exhausted", "sub_fire", "flush", "drain",
-                     "mw_park", "mw_wake", "mw_timeout", "stall"):
+                     "mw_park", "mw_wake", "mw_timeout", "stall",
+                     # schema v3: the cross-process fabric
+                     "frame_send", "frame_recv", "batch_flush",
+                     "push_deliver", "bell_ring", "bell_wake",
+                     "gossip_round", "slot_claim"):
             assert kind in KINDS
 
 
