@@ -12,6 +12,8 @@
 * :mod:`~repro.apps.graphs` — seeded graph workload generators.
 * :mod:`~repro.apps.sim_models` — virtual-time models of each workload
   for the benchmark harness.
+* :mod:`~repro.apps.ratelimit` — the counter-backed sliding-window
+  quota service (the tail-latency attribution workload).
 """
 
 from repro.apps import (  # noqa: F401 - re-exported submodules
@@ -22,6 +24,7 @@ from repro.apps import (  # noqa: F401 - re-exported submodules
     heat,
     lcs,
     paraffins,
+    ratelimit,
     sim_models,
 )
 
@@ -34,4 +37,5 @@ __all__ = [
     "lcs",
     "graphs",
     "sim_models",
+    "ratelimit",
 ]

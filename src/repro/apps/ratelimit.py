@@ -1,0 +1,507 @@
+"""A sliding-window rate limiter built from monotonic counters.
+
+The "believable product" of ROADMAP item 4: a per-key quota service
+whose synchronization is nothing but the paper's counters.  Each key
+owns two monotone quantities:
+
+* ``admitted`` — every request ever admitted for the key (a
+  :class:`~repro.core.ShardedCounter` locally: admits are the hot path
+  and shard batching keeps them cheap);
+* ``retired`` — admissions that have *left* the sliding window (a plain
+  :class:`~repro.core.MonotonicCounter` locally; the wait surface).
+
+The window estimate is the difference: a **roll** samples ``admitted``
+and, one window later, raises ``retired`` to that sample.  Because
+``retired`` is always an admitted-count from *at least* ``window_s``
+ago, ``admitted - retired`` over-estimates the true in-window count —
+so admitting only while the estimate is under the limit can never admit
+over quota, no matter how stale the marks are (stability doing
+admission control: a stale lower bound on ``retired`` errs toward
+rejecting, never over-admitting).  Mark density only affects how much
+*unused* quota a burst leaves behind.
+
+Blocked acquirers park on ``retired.check(retired + 1)``: the next roll
+that retires anything releases them, and the park → increment → release
+→ unpark chain is ordinary counter traffic — which is exactly why the
+tail-latency attribution pipeline (:mod:`repro.obs.load` /
+:mod:`repro.obs.slo`) can explain a slow admit with the same causal
+machinery as any other wait.
+
+Two backends:
+
+* **local** (default) — in-process counters; the strict never-over-quota
+  guarantee, exercised schedule-exhaustively by
+  ``tests/testkit/test_ratelimit_interleave.py``.
+* **service** (:class:`ServiceBackend`) — counters live in a PR-7
+  :class:`~repro.dist.service.CounterService`; admits ride the client's
+  batched ``inc`` frames (tagged per-request via ``corr`` riders) and
+  *only the service host rolls* (:func:`serve_rolls` —
+  ``raise_source`` is max-merge per source, so two rollers racing would
+  retire the same admissions twice and over-admit).  Client decisions
+  then use acknowledged lower bounds, giving a documented bounded
+  overshoot of at most the unacknowledged in-flight admissions per
+  client; the strict guarantee is the in-process one.
+
+Keys are LRU-bounded (``max_keys``): the least-recently-touched entry is
+evicted first, but never while it has parked waiters or pinned
+acquirers — evicting a counter out from under a ``check`` would strand
+the thread forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Callable, Iterable
+
+from repro.core import MonotonicCounter, ShardedCounter
+from repro.core import syncpoints as _sp
+from repro.core.errors import CheckTimeout
+
+__all__ = ["RateLimiter", "LocalBackend", "ServiceBackend", "serve_rolls"]
+
+
+class LocalBackend:
+    """In-process counters: strict sliding-window guarantee."""
+
+    #: Local entries roll themselves (opportunistically and via the
+    #: roller thread); service entries must not (see module docstring).
+    rolls = True
+
+    def admitted(self, name: str):
+        return ShardedCounter(name=name)
+
+    def retired(self, name: str):
+        return MonotonicCounter(name=name)
+
+    def admitted_value(self, counter) -> int:
+        return counter.value  # drains shards: exact under the entry lock
+
+    def retired_value(self, counter) -> int:
+        return counter.value
+
+    def bump(self, counter, corr: str | None) -> None:
+        counter.increment(1)
+
+    def wait(self, counter, level: int, timeout: float | None,
+             corr: str | None) -> None:
+        counter.check(level, timeout=timeout)
+
+    def close(self, counter) -> None:
+        pass
+
+
+class ServiceBackend:
+    """Counters hosted by a :class:`~repro.dist.service.CounterService`.
+
+    Built over a thread-side endpoint
+    (:func:`repro.dist.client.open_threadside`).  Admission reads are
+    acknowledged lower bounds — ``admitted`` additionally floors at our
+    own (possibly unflushed) contribution so a client at least counts
+    its own admits; the service host must run :func:`serve_rolls` for
+    this limiter's keys or blocking acquires will only ever time out.
+    """
+
+    rolls = False
+
+    def __init__(self, endpoint) -> None:
+        self._endpoint = endpoint
+
+    def admitted(self, name: str):
+        return self._endpoint.counter(name)
+
+    def retired(self, name: str):
+        return self._endpoint.counter(name)
+
+    def admitted_value(self, counter) -> int:
+        return max(counter.value, counter.dist_snapshot()["contribution"])
+
+    def retired_value(self, counter) -> int:
+        return counter.value
+
+    def bump(self, counter, corr: str | None) -> None:
+        counter.increment(1, corr=corr)
+
+    def wait(self, counter, level: int, timeout: float | None,
+             corr: str | None) -> None:
+        counter.check(level, timeout=timeout, corr=corr)
+
+    def close(self, counter) -> None:
+        counter.close()
+
+
+class _Entry:
+    """One key's counters, marks ring, and admission lock."""
+
+    __slots__ = ("key", "admitted", "retired", "lock", "marks",
+                 "last_roll", "pins")
+
+    def __init__(self, key: str, admitted, retired, now: float) -> None:
+        self.key = key
+        self.admitted = admitted
+        self.retired = retired
+        self.lock = threading.Lock()
+        #: (ts, admitted_value) samples, oldest first.  Bounded: rolls
+        #: prune everything older than the one mark still needed.
+        self.marks: deque[tuple[float, int]] = deque()
+        self.last_roll = now
+        #: Threads holding a live reference (touch → decide → park).
+        #: Non-zero means evict-unsafe: evicting would let the key be
+        #: re-created with fresh counters while this entry still admits,
+        #: splitting the window estimate and over-admitting.
+        self.pins = 0
+
+
+class RateLimiter:
+    """Sliding-window quota per key over monotonic counters.
+
+    Parameters
+    ----------
+    limit:
+        Maximum admissions per key per ``window_s`` seconds.
+    window_s:
+        The sliding window length.
+    name:
+        Prefix for the per-key counter names (``{name}:{key}:admitted``
+        etc.) — also the service-mode namespace shared with
+        :func:`serve_rolls`.
+    backend:
+        A :class:`LocalBackend` (default) or :class:`ServiceBackend`.
+    max_keys:
+        LRU bound on live per-key entries.
+    roll_interval:
+        How often a key's window rolls (opportunistically on admits and
+        via :meth:`start_roller`).  Defaults to ``window_s / 8`` — the
+        mark density, i.e. how promptly expired admissions free quota.
+    clock:
+        Injectable time source (the determinism tests use virtual time).
+    """
+
+    def __init__(self, limit: int, window_s: float, *,
+                 name: str = "ratelimit", backend=None, max_keys: int = 1024,
+                 roll_interval: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise ValueError(f"limit must be a positive int, got {limit!r}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s!r}")
+        if max_keys < 1:
+            raise ValueError(f"max_keys must be >= 1, got {max_keys!r}")
+        self.limit = limit
+        self.window_s = window_s
+        self.name = name
+        self.backend = backend if backend is not None else LocalBackend()
+        self.max_keys = max_keys
+        self.roll_interval = (
+            roll_interval if roll_interval is not None else window_s / 8.0
+        )
+        self._clock = clock
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        # Lock order: _entries_lock, then entry.lock — never the reverse.
+        self._entries_lock = threading.Lock()
+        self._roller: threading.Thread | None = None
+        self._roller_stop = threading.Event()
+        self.evictions = 0
+
+    # -------------------------------------------------------------- entries
+
+    def _touch(self, key: str) -> _Entry:
+        """LRU-touch (creating if new, evicting if over budget).
+
+        The returned entry is **pinned**: the caller owes one
+        ``entry.pins`` decrement (``_decide`` pays it on admit; the
+        reject paths pay it after parking or giving up).  Without the
+        pin, an eviction sweeping between this return and the decision
+        could orphan the entry, and a re-created key would admit against
+        fresh counters — over quota.
+        """
+        with self._entries_lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                with entry.lock:
+                    entry.pins += 1
+                return entry
+            now = self._clock()
+            entry = _Entry(
+                key,
+                self.backend.admitted(f"{self.name}:{key}:admitted"),
+                self.backend.retired(f"{self.name}:{key}:retired"),
+                now,
+            )
+            entry.marks.append((now, 0))
+            entry.pins = 1  # not yet published: no lock needed
+            self._entries[key] = entry
+            evicted = []
+            if len(self._entries) > self.max_keys:
+                # Oldest-first sweep, skipping entries that a thread is
+                # parked on (live waiters) or about to park on (pins).
+                for old_key in list(self._entries):
+                    if len(self._entries) <= self.max_keys:
+                        break
+                    if old_key == key:
+                        continue
+                    old = self._entries[old_key]
+                    with old.lock:
+                        busy = old.pins > 0 or bool(
+                            old.retired.snapshot().nodes
+                        )
+                        if busy:
+                            continue
+                        if _sp.enabled:
+                            _sp.fire("ratelimit.evict", self)
+                        del self._entries[old_key]
+                        evicted.append(old)
+                        self.evictions += 1
+        for old in evicted:
+            self.backend.close(old.admitted)
+            self.backend.close(old.retired)
+        return entry
+
+    def keys(self) -> list[str]:
+        """Live keys, least-recently-used first."""
+        with self._entries_lock:
+            return list(self._entries)
+
+    # -------------------------------------------------------------- rolling
+
+    def _roll_locked(self, entry: _Entry, now: float) -> None:
+        """Retire the window's tail (entry lock held by the caller)."""
+        if not self.backend.rolls:
+            return
+        if _sp.enabled:
+            _sp.fire("ratelimit.roll", self)
+        entry.last_roll = now
+        horizon = now - self.window_s
+        target = None
+        # The newest mark at or before the horizon is the tightest sound
+        # retire target; everything older than it is no longer needed.
+        while entry.marks and entry.marks[0][0] <= horizon:
+            target = entry.marks.popleft()[1]
+        if target is not None:
+            entry.marks.appendleft((horizon, target))
+            retired_v = self.backend.retired_value(entry.retired)
+            if target > retired_v:
+                entry.retired.increment(target - retired_v)
+        admitted_v = self.backend.admitted_value(entry.admitted)
+        if not entry.marks or entry.marks[-1][1] != admitted_v:
+            entry.marks.append((now, admitted_v))
+
+    def roll(self, key: str | None = None, now: float | None = None) -> None:
+        """Roll one key's window (or every live key's)."""
+        if now is None:
+            now = self._clock()
+        if key is not None:
+            with self._entries_lock:
+                entry = self._entries.get(key)
+            if entry is not None:
+                with entry.lock:
+                    self._roll_locked(entry, now)
+            return
+        with self._entries_lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            with entry.lock:
+                self._roll_locked(entry, now)
+
+    def start_roller(self, interval: float | None = None) -> "RateLimiter":
+        """Run :meth:`roll` for every key on a daemon thread."""
+        if self._roller is not None:
+            raise RuntimeError("roller already started")
+        if interval is None:
+            interval = self.roll_interval
+        self._roller_stop.clear()
+
+        def run() -> None:
+            while not self._roller_stop.wait(interval):
+                try:
+                    self.roll()
+                except Exception:
+                    continue  # a roll must never kill the roller
+
+        self._roller = threading.Thread(
+            target=run, name=f"repro-ratelimit-roller:{self.name}", daemon=True
+        )
+        self._roller.start()
+        return self
+
+    def stop_roller(self) -> None:
+        thread = self._roller
+        if thread is None:
+            return
+        self._roller_stop.set()
+        thread.join(timeout=5.0)
+        self._roller = None
+
+    def __enter__(self) -> "RateLimiter":
+        return self.start_roller()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop_roller()
+
+    # ------------------------------------------------------------ admission
+
+    def _decide(self, entry: _Entry, corr: str | None,
+                now: float) -> tuple[bool, int]:
+        """One locked admit decision; returns (admitted?, retired level).
+
+        The returned level is what a rejected caller should wait past:
+        ``retired`` reaching ``level + 1`` means quota was freed after
+        this decision was made.  The entry arrives pinned (``_touch``);
+        an admit releases the pin here, a reject keeps it — the caller
+        holds it through the park (or the give-up) so the eviction sweep
+        never pulls the counters out from under a waiter.
+        """
+        if _sp.enabled:
+            _sp.fire("ratelimit.lock", self)
+        with entry.lock:
+            if now - entry.last_roll >= self.roll_interval:
+                self._roll_locked(entry, now)
+            admitted_v = self.backend.admitted_value(entry.admitted)
+            retired_v = self.backend.retired_value(entry.retired)
+            if admitted_v - retired_v < self.limit:
+                self.backend.bump(entry.admitted, corr)
+                if not entry.marks or now > entry.marks[-1][0]:
+                    entry.marks.append((now, admitted_v + 1))
+                else:
+                    # Same clock tick as the newest mark (coarse or
+                    # injected clocks): raise it in place — the counter
+                    # really had reached this value by that timestamp,
+                    # so the roll may retire it a window later.
+                    entry.marks[-1] = (entry.marks[-1][0], admitted_v + 1)
+                entry.pins -= 1
+                return True, retired_v
+            return False, retired_v
+
+    def try_acquire(self, key: str, *, corr: str | None = None) -> bool:
+        """One non-blocking admit decision for ``key``.
+
+        This is the gated fast path (``ratelimit_admit`` in the quick
+        bench): with observability disabled it does no obs work at all —
+        the only hooks are sync points, which cost one module-attr read
+        each, identical to every other primitive in the repo.
+        """
+        entry = self._touch(key)
+        ok, _ = self._decide(entry, corr, self._clock())
+        if not ok:
+            with entry.lock:
+                entry.pins -= 1
+        return ok
+
+    def acquire(self, key: str, timeout: float | None = None, *,
+                corr: str | None = None) -> bool:
+        """Admit ``key``, blocking until quota frees or ``timeout``.
+
+        A rejected attempt parks on ``retired.check(level + 1)`` — the
+        next roll that retires anything wakes every parked acquirer to
+        re-contend.  Returns ``False`` on timeout (never raises
+        :class:`CheckTimeout`).
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        entry = self._touch(key)
+        while True:
+            now = self._clock()
+            ok, retired_v = self._decide(entry, corr, now)
+            if ok:
+                return True
+            try:
+                remaining = None if deadline is None else deadline - now
+                if remaining is not None and remaining <= 0:
+                    return False
+                self.backend.wait(entry.retired, retired_v + 1,
+                                  remaining, corr)
+            except CheckTimeout:
+                return False
+            finally:
+                with entry.lock:
+                    entry.pins -= 1
+            entry = self._touch(key)  # re-touch: we are active again
+
+    # ------------------------------------------------------------ inspection
+
+    def in_window(self, key: str) -> int:
+        """The current window estimate for ``key`` (0 for unknown keys)."""
+        with self._entries_lock:
+            entry = self._entries.get(key)
+        if entry is None:
+            return 0
+        with entry.lock:
+            return (self.backend.admitted_value(entry.admitted)
+                    - self.backend.retired_value(entry.retired))
+
+    def snapshot(self) -> dict:
+        """Per-key admission state (for dumps and tests)."""
+        with self._entries_lock:
+            entries = list(self._entries.items())
+        out = {}
+        for key, entry in entries:
+            with entry.lock:
+                admitted_v = self.backend.admitted_value(entry.admitted)
+                retired_v = self.backend.retired_value(entry.retired)
+                out[key] = {
+                    "admitted": admitted_v,
+                    "retired": retired_v,
+                    "in_window": admitted_v - retired_v,
+                    "marks": len(entry.marks),
+                    "pins": entry.pins,
+                }
+        return out
+
+    def close(self) -> None:
+        """Stop the roller and release every entry's counters."""
+        self.stop_roller()
+        with self._entries_lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            self.backend.close(entry.admitted)
+            self.backend.close(entry.retired)
+
+    def __repr__(self) -> str:
+        with self._entries_lock:
+            n = len(self._entries)
+        return (f"<RateLimiter {self.name!r} limit={self.limit}/"
+                f"{self.window_s}s keys={n}>")
+
+
+async def serve_rolls(service, *, keys: Iterable[str], limit: int,
+                      window_s: float, name: str = "ratelimit",
+                      interval: float | None = None) -> None:
+    """Roll a service-hosted limiter's windows, on the service host.
+
+    Runs forever (cancel the task to stop).  Exactly one process may
+    roll a key — ``raise_source("roll", ...)`` is max-merge for the
+    single ``"roll"`` source, so one roller is idempotent and safe
+    against its own retries, but two rollers sampling different marks
+    would retire admissions twice.  The server-side ``retired`` raise
+    flows through the GCounter's wait mirror into subscription pushes:
+    that push (``push_deliver``) is the wire event a blocked client's
+    tail exemplar blames.
+    """
+    import asyncio
+
+    if interval is None:
+        interval = window_s / 8.0
+    keys = list(keys)
+    marks: dict[str, deque[tuple[float, int]]] = {
+        key: deque([(time.monotonic(), 0)]) for key in keys
+    }
+    while True:
+        now = time.monotonic()
+        horizon = now - window_s
+        for key in keys:
+            admitted = service.counter(f"{name}:{key}:admitted").value
+            ring = marks[key]
+            target = None
+            while ring and ring[0][0] <= horizon:
+                target = ring.popleft()[1]
+            if target is not None:
+                ring.appendleft((horizon, target))
+                if target > 0:
+                    service.counter(f"{name}:{key}:retired").raise_source(
+                        "roll", target
+                    )
+            if not ring or ring[-1][1] != admitted:
+                ring.append((now, admitted))
+        await asyncio.sleep(interval)

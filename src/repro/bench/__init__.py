@@ -1,14 +1,24 @@
 """Benchmark harness utilities: tables, timing, counter stress workloads.
 
 ``python -m repro.bench.counter_ops`` runs the counter-ops ops/sec series
-and records ``BENCH_counter_ops.json`` (see :mod:`repro.bench.counter_ops`).
+and records ``BENCH_counter_ops.json`` (see :mod:`repro.bench.counter_ops`);
+``python -m repro.bench.load_ops`` runs the quota-service load series and
+records ``BENCH_load_ops.json`` (see :mod:`repro.bench.load_ops`).
 """
 
 from repro.bench.tables import Table
 from repro.bench.timing import Timing, measure
 from repro.bench.workloads import SpreadResult, spread_waiters
 
-__all__ = ["Table", "Timing", "measure", "SpreadResult", "spread_waiters", "run_counter_ops"]
+__all__ = [
+    "Table",
+    "Timing",
+    "measure",
+    "SpreadResult",
+    "spread_waiters",
+    "run_counter_ops",
+    "run_load_ops",
+]
 
 
 def __getattr__(name):
@@ -18,4 +28,8 @@ def __getattr__(name):
         from repro.bench.counter_ops import run_counter_ops
 
         return run_counter_ops
+    if name == "run_load_ops":
+        from repro.bench.load_ops import run_load_ops
+
+        return run_load_ops
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -89,6 +89,10 @@ POINTS = frozenset(
         "gcounter.lock",       # bump/merge, before acquiring the contributions lock
         "gcounter.merge",      # inside the lock, before applying a digest's maxes
         "gcounter.publish",    # after the lock, before raising the wait mirror
+        # repro.apps.ratelimit (the counter-backed quota service)
+        "ratelimit.lock",      # try_acquire, before acquiring the entry lock
+        "ratelimit.roll",      # inside the entry lock, before retiring a window
+        "ratelimit.evict",     # limiter lock held, before evicting an LRU entry
         # Engine claim races (fired with the Doorbell / WheelEntry)
         "doorbell.ring",       # ring, before the pending-token pop
         "doorbell.deliver",    # ring, token won, before setting the slot

@@ -75,6 +75,7 @@ class AsyncCounterClient:
         self._contrib: dict[str, int] = {}   # our absolute contribution
         self._known: dict[str, int] = {}     # last server-reported total
         self._dirty: set[str] = set()
+        self._riders: dict[str, list[str]] = {}  # counter -> request corrs
         self._dirty_event = asyncio.Event()
         self._ids = itertools.count(1)
         self._replies: dict[Any, asyncio.Future] = {}
@@ -103,19 +104,29 @@ class AsyncCounterClient:
 
     # ----------------------------------------------------------- increments
 
-    def increment(self, counter: str, amount: int = 1) -> int:
+    def increment(self, counter: str, amount: int = 1,
+                  corr: str | None = None) -> int:
         """Pool ``amount`` into the next flush; returns our contribution.
 
         Not a coroutine and never blocks: the cost is two dict writes.
         The wire cost is amortized to at most one frame per counter per
         flush window regardless of call rate — that is the pipelining
         the benchmark quantifies.
+
+        ``corr`` tags this logical increment as a *rider* of whichever
+        batched frame eventually carries it: the flusher emits one
+        ``frame_ride`` event per rider (``corr`` = the request's token,
+        ``op`` = the frame's corr), which is what lets per-request tail
+        attribution see through the coalescing
+        (:func:`repro.obs.collect.frame_riders`).
         """
         if self._closed:
             raise RuntimeError("client is closed")
         amount = validate_amount(amount)
         total = self._contrib.get(counter, 0) + amount
         self._contrib[counter] = total
+        if corr is not None:
+            self._riders.setdefault(counter, []).append(corr)
         self._dirty.add(counter)
         self._dirty_event.set()
         return total
@@ -135,9 +146,13 @@ class AsyncCounterClient:
         total = self._contrib.get(counter, 0) + amount
         self._contrib[counter] = total
         self._dirty.discard(counter)  # this frame carries the new floor
-        reply = await self._request(
-            {"op": "inc", "c": counter, "s": self.source, "v": total}
-        )
+        riders = self._riders.pop(counter, None)
+        frame = {"op": "inc", "c": counter, "s": self.source, "v": total}
+        reply = await self._request(frame)
+        if riders and "t" in frame and _obs.enabled:
+            for rider in riders:
+                _obs.on_dist(self._obs_label, "frame_ride",
+                             corr=rider, op=frame["t"])
         self._note_value(counter, reply["v"])
         return reply["v"]
 
@@ -157,10 +172,17 @@ class AsyncCounterClient:
         for counter in dirty:
             frame = {"op": "inc", "c": counter, "s": self.source,
                      "v": self._contrib[counter]}
+            # Riders are popped even with obs off so the tag list cannot
+            # accumulate across an enable/disable cycle.
+            riders = self._riders.pop(counter, None)
             if obs_on:
                 frame["t"] = _obs.next_corr()
                 _obs.on_dist(self._obs_label, "frame_send", op="inc",
                              corr=frame["t"], value=frame["v"])
+                if riders:
+                    for rider in riders:
+                        _obs.on_dist(self._obs_label, "frame_ride",
+                                     corr=rider, op=frame["t"])
             frames.append(frame)
             last = frame
         if obs_on and frames:
@@ -194,7 +216,8 @@ class AsyncCounterClient:
         return reply["v"]
 
     async def check(self, counter: str, level: int,
-                    timeout: float | None = None) -> None:
+                    timeout: float | None = None, *,
+                    corr: str | None = None) -> None:
         """Suspend this coroutine until ``counter`` reaches ``level``.
 
         Flushes our own pending contribution first (a waiter must not
@@ -202,6 +225,11 @@ class AsyncCounterClient:
         service's ``reached`` push.  On timeout the verdict is
         adjudicated against an authoritative ``get``: only a confirmed
         shortfall raises :class:`CheckTimeout`.
+
+        ``corr`` overrides the subscription's correlation token with a
+        caller-owned one (a load generator's per-request corr), so the
+        server's ``push_deliver`` — and hence the whole wire edge in a
+        merged trace — is attributed to that request.
         """
         level = validate_level(level)
         if counter in self._dirty:
@@ -216,9 +244,13 @@ class AsyncCounterClient:
         # too, which is what lets a merged trace link this wait to the
         # server-side increment that ends it.
         obs_on = _obs.enabled
-        corr = token = t_park = None
-        if obs_on:
-            corr = sub_frame["t"] = _obs.next_corr()
+        token = t_park = None
+        if not obs_on:
+            corr = None
+        else:
+            if corr is None:
+                corr = _obs.next_corr()
+            sub_frame["t"] = corr
             token = next_token()
             _obs.on_dist(self._obs_label, "frame_send", op="sub",
                          corr=corr, level=level)
@@ -396,22 +428,45 @@ class ServiceCounter:
 
     # Mirrors the MonotonicCounter surface so callers can swap backends.
 
-    def increment(self, amount: int = 1) -> None:
+    def increment(self, amount: int = 1, *, corr: str | None = None) -> None:
         amount = validate_amount(amount)
         self._loop.call_soon_threadsafe(
-            self._client.increment, self._counter, amount
+            self._client.increment, self._counter, amount, corr
         )
 
-    def check(self, level: int, timeout: float | None = None) -> None:
+    def check(self, level: int, timeout: float | None = None, *,
+              corr: str | None = None) -> None:
         level = validate_level(level)
+        # Thread-side wait interval (schema v3.1): the *calling thread*
+        # owns a park/unpark pair carrying the request corr, while the
+        # inner client park runs on the connection's loop thread.  A
+        # merged trace therefore shows the worker's wait ending at the
+        # server's push_deliver (same corr) — the wire edge a tail
+        # exemplar's critical path walks.
+        obs_on = _obs.enabled
+        token = t_park = None
+        if obs_on:
+            token = next_token()
+            t_park = _obs.clock()
+            _obs.on_dist(self._name, "park", corr=corr, token=token,
+                         level=level)
         with self._waiting_lock:
             self._waiting[level] = self._waiting.get(level, 0) + 1
         try:
             wait_threadside(
                 self._loop,
-                self._client.check(self._counter, level, timeout),
+                self._client.check(self._counter, level, timeout, corr=corr),
                 None if timeout is None else timeout + _THREADSIDE_GRACE,
             )
+        except Exception:
+            if obs_on and _obs.enabled:
+                _obs.on_dist(self._name, "timeout", corr=corr, token=token,
+                             level=level, wait_s=_obs.clock() - t_park)
+            raise
+        else:
+            if obs_on and _obs.enabled:
+                _obs.on_dist(self._name, "unpark", corr=corr, token=token,
+                             level=level, wait_s=_obs.clock() - t_park)
         finally:
             with self._waiting_lock:
                 remaining = self._waiting[level] - 1

@@ -23,6 +23,16 @@
         # client check released over the wire, fetches the server ring,
         # merges, analyzes, exports Perfetto, scrapes fleet metrics
 
+    python -m repro.obs load --out DIR [--two-process]
+        # open-loop load against the counter-backed rate limiter
+        # (in-process, or against a spawned counter-service child);
+        # writes requests.jsonl, trace(-merged).jsonl, meta.json
+    python -m repro.obs slo-report --in DIR [--expect-wire]
+        # "why is p99 high": explain the worst-K requests of a recorded
+        # load run (critical path, wait/wire/service decomposition,
+        # pid-qualified releaser); --expect-wire fails unless at least
+        # one exemplar's critical path crosses processes
+
 ``--demo`` runs a short canned workload (a fan-in counter, a sharded
 counter, a timed-out check) with observability enabled so there is
 something to show; without it the commands render whatever the current
@@ -293,6 +303,227 @@ def _cmd_sample_dist(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------- load / slo
+
+def _load_keys(n: int) -> list[str]:
+    return [f"user{i}" for i in range(n)]
+
+
+def _serve_load(args: argparse.Namespace) -> int:
+    """The child half of ``load --two-process``: a traced counter
+    service rolling the limiter's windows (:func:`serve_rolls` — the
+    service host is the only roller; see ``apps/ratelimit.py``).
+    Writes ``{host, port, pid}`` to the portfile once listening."""
+    import asyncio
+    import os
+
+    from repro.apps.ratelimit import serve_rolls
+    from repro.dist.service import CounterService
+
+    obs.enable()
+
+    async def run() -> None:
+        service = CounterService(node_id="ratelimit-svc")
+        await service.start()
+        Path(args.serve).write_text(json.dumps({
+            "host": service.address[0], "port": service.port,
+            "pid": os.getpid(),
+        }), encoding="utf-8")
+        await serve_rolls(
+            service, keys=_load_keys(args.keys), limit=args.limit,
+            window_s=args.window, interval=args.roll_interval,
+        )
+
+    try:
+        asyncio.run(run())
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import subprocess
+    import time
+
+    from repro.apps.ratelimit import RateLimiter, ServiceBackend
+    from repro.obs import collect
+    from repro.obs.load import run_load
+    from repro.obs.slo import SloPolicy, SloTracker
+    from repro.obs.watchdog import StallWatchdog
+
+    if args.serve:
+        return _serve_load(args)
+    if not args.out:
+        print("load: --out DIR is required", file=sys.stderr)
+        return 2
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    keys = _load_keys(args.keys)
+    tracker = SloTracker(SloPolicy(
+        objective_s=args.objective, quantile=args.quantile,
+        window_s=max(args.duration, 1.0),
+    ))
+    handle = obs.enable()
+    # The SLO engine rides the stall watchdog's poll loop: one periodic
+    # thread evaluates both liveness and burn rate during the run.
+    watchdog = StallWatchdog(threshold=args.duration + 60.0, interval=0.25)
+    tracker.attach(watchdog)
+    watchdog.start()
+
+    server = endpoint = trace_reply = None
+    try:
+        if args.two_process:
+            from repro.dist.client import open_threadside
+
+            portfile = out / "server.json"
+            portfile.unlink(missing_ok=True)
+            server = subprocess.Popen([
+                sys.executable, "-m", "repro.obs", "load",
+                "--serve", str(portfile), "--keys", str(args.keys),
+                "--limit", str(args.limit), "--window", str(args.window),
+                "--roll-interval", str(args.roll_interval),
+            ])
+            deadline = time.monotonic() + 10.0
+            while not portfile.exists() or not portfile.read_text(encoding="utf-8"):
+                if server.poll() is not None or time.monotonic() > deadline:
+                    print("load: server child did not come up", file=sys.stderr)
+                    return 1
+                time.sleep(0.02)
+            info = json.loads(portfile.read_text(encoding="utf-8"))
+            endpoint = open_threadside(info["host"], info["port"],
+                                       source="load-client")
+            limiter = RateLimiter(
+                args.limit, args.window, backend=ServiceBackend(endpoint),
+                roll_interval=args.roll_interval,
+            )
+            result = run_load(
+                limiter, rate=args.rate, duration=args.duration,
+                seed=args.seed, keys=keys, mode=args.mode,
+                workers=args.workers, timeout=args.timeout,
+                observers=[tracker],
+            )
+            trace_reply = endpoint.fetch_trace()
+        else:
+            limiter = RateLimiter(args.limit, args.window,
+                                  roll_interval=args.roll_interval)
+            limiter.start_roller()
+            try:
+                result = run_load(
+                    limiter, rate=args.rate, duration=args.duration,
+                    seed=args.seed, keys=keys, mode=args.mode,
+                    workers=args.workers, timeout=args.timeout,
+                    observers=[tracker],
+                )
+            finally:
+                limiter.stop_roller()
+        slo_state = tracker.poll()
+    finally:
+        watchdog.stop()
+        if endpoint is not None:
+            endpoint.close()
+        if server is not None:
+            server.terminate()
+            server.wait(timeout=10.0)
+        obs.disable()
+
+    with (out / "requests.jsonl").open("w", encoding="utf-8") as fh:
+        for r in result.records:
+            fh.write(json.dumps({
+                "index": r.index, "key": r.key, "corr": r.corr,
+                "intended": r.intended, "start": r.start, "end": r.end,
+                "ok": r.ok, "latency": r.latency, "queue_s": r.queue_s,
+                "service_s": r.service_s,
+            }, separators=(",", ":")) + "\n")
+    if trace_reply is not None:
+        client_ring = out / "trace-client.jsonl"
+        server_ring = out / "trace-server.jsonl"
+        collect.write_jsonl(handle.trace.snapshot(), str(client_ring))
+        collect.write_jsonl(trace_reply["events"], str(server_ring),
+                            pid=trace_reply["pid"])
+        merged = collect.merge(collect.load_jsonl(str(client_ring)),
+                               collect.load_jsonl(str(server_ring)))
+        collect.write_jsonl(merged, str(out / "trace-merged.jsonl"))
+    else:
+        collect.write_jsonl(handle.trace.snapshot(), str(out / "trace.jsonl"))
+    meta = {
+        "two_process": bool(args.two_process),
+        "summary": result.summary(),
+        "slo": slo_state,
+        "breaches": len(tracker.breaches),
+        "exemplars": [r.corr for r in tracker.exemplars() if r.corr],
+        "policy": {"objective_s": args.objective, "quantile": args.quantile},
+        "config": {
+            "keys": args.keys, "limit": args.limit, "window_s": args.window,
+            "roll_interval": args.roll_interval, "mode": args.mode,
+            "workers": args.workers, "timeout": args.timeout,
+        },
+    }
+    (out / "meta.json").write_text(json.dumps(meta, indent=2) + "\n",
+                                   encoding="utf-8")
+    print(f"load: {result.summary()} -> {out}")
+    return 0
+
+
+def _cmd_slo_report(args: argparse.Namespace) -> int:
+    from repro.obs import collect
+    from repro.obs.slo import explain
+
+    indir = Path(args.indir)
+    meta_path = indir / "meta.json"
+    if not meta_path.exists():
+        print(f"slo-report: {meta_path} not found (run `load --out` first)",
+              file=sys.stderr)
+        return 2
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    trace_path = indir / "trace-merged.jsonl"
+    if not trace_path.exists():
+        trace_path = indir / "trace.jsonl"
+    events = collect.load_jsonl(str(trace_path))
+    with (indir / "requests.jsonl").open("r", encoding="utf-8") as fh:
+        requests = [json.loads(line) for line in fh if line.strip()]
+
+    worst = sorted((r for r in requests if r.get("corr")),
+                   key=lambda r: r["latency"], reverse=True)[:args.k]
+    lines = [
+        f"SLO report over {len(requests)} requests "
+        f"({meta['summary']['mode']} loop, "
+        f"offered {meta['summary']['offered_rate']}/s, "
+        f"achieved {meta['summary']['achieved_rate']}/s)",
+        f"  p50 {meta['summary']['p50'] * 1e3:.2f}ms  "
+        f"p99 {meta['summary']['p99'] * 1e3:.2f}ms  "
+        f"p999 {meta['summary']['p999'] * 1e3:.2f}ms  "
+        f"admit {meta['summary']['admit_rate']:.2%}",
+        f"  window burn rate {meta['slo']['burn_rate']:.2f}x "
+        f"({meta['slo']['window_violations']}/{meta['slo']['window_total']} "
+        f"over {meta['policy']['objective_s'] * 1e3:.0f}ms objective), "
+        f"{meta['breaches']} breach event(s)",
+        "",
+    ]
+    reports = []
+    for req in worst:
+        try:
+            report = explain(req["corr"], events)
+        except ValueError as exc:
+            lines.append(f"exemplar {req['corr']}: unexplainable ({exc})")
+            continue
+        reports.append(report)
+        lines.append(report.render())
+        lines.append("")
+    text = "\n".join(lines)
+    print(text)
+    (indir / "slo-report.txt").write_text(text + "\n", encoding="utf-8")
+    if args.expect_wire:
+        crossed = [r for r in reports if r.crosses_pid or r.over_wire]
+        if not crossed:
+            print("slo-report: no tail exemplar's critical path crossed "
+                  "the wire", file=sys.stderr)
+            return 1
+        print(f"slo-report: {len(crossed)} exemplar(s) crossed the wire "
+              f"(e.g. {crossed[0].corr}: released by {crossed[0].releaser})")
+    return 0
+
+
 # ------------------------------------------------------------------- causal
 
 def _load_graph(args: argparse.Namespace):
@@ -432,6 +663,55 @@ def main(argv: list[str] | None = None) -> int:
     p_sdist.add_argument("--out", help="output directory")
     p_sdist.add_argument("--serve", metavar="PORTFILE", help=argparse.SUPPRESS)
     p_sdist.set_defaults(fn=_cmd_sample_dist)
+
+    p_load = sub.add_parser(
+        "load",
+        help="open-loop load against the counter-backed rate limiter; "
+             "writes requests.jsonl, trace(-merged).jsonl, meta.json",
+    )
+    p_load.add_argument("--out", help="output directory")
+    p_load.add_argument("--two-process", action="store_true",
+                        help="drive a spawned counter-service child instead "
+                             "of an in-process limiter")
+    p_load.add_argument("--rate", type=float, default=60.0,
+                        help="offered arrival rate (requests/s)")
+    p_load.add_argument("--duration", type=float, default=1.5,
+                        help="schedule length (seconds)")
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="arrival-schedule seed")
+    p_load.add_argument("--keys", type=int, default=2,
+                        help="number of quota keys (user0..userN-1)")
+    p_load.add_argument("--limit", type=int, default=5,
+                        help="admissions per key per window")
+    p_load.add_argument("--window", type=float, default=0.5,
+                        help="sliding window (seconds)")
+    p_load.add_argument("--roll-interval", type=float, default=0.1,
+                        help="window roll period (seconds)")
+    p_load.add_argument("--mode", choices=("open", "closed"), default="open",
+                        help="open loop (CO-safe) or closed loop (contrast)")
+    p_load.add_argument("--workers", type=int, default=4,
+                        help="executor thread count")
+    p_load.add_argument("--timeout", type=float, default=2.0,
+                        help="per-request acquire timeout (seconds)")
+    p_load.add_argument("--objective", type=float, default=0.05,
+                        help="SLO latency objective (seconds)")
+    p_load.add_argument("--quantile", type=float, default=0.99,
+                        help="SLO quantile")
+    p_load.add_argument("--serve", metavar="PORTFILE", help=argparse.SUPPRESS)
+    p_load.set_defaults(fn=_cmd_load)
+
+    p_slo = sub.add_parser(
+        "slo-report",
+        help='per-request "why is p99 high" reports for a recorded load run',
+    )
+    p_slo.add_argument("--in", dest="indir", required=True, metavar="DIR",
+                       help="a `load --out` directory")
+    p_slo.add_argument("-k", type=int, default=3, dest="k",
+                       help="how many tail exemplars to explain")
+    p_slo.add_argument("--expect-wire", action="store_true",
+                       help="exit 1 unless an exemplar's critical path "
+                            "crosses processes")
+    p_slo.set_defaults(fn=_cmd_slo_report)
 
     p_analyze = sub.add_parser(
         "analyze", help="causal report: blame, critical path, Gantt"

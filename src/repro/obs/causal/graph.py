@@ -405,8 +405,8 @@ class CausalGraph:
 
     # ---------------------------------------------------------- critical path
 
-    def critical_path(self) -> list[PathStep]:
-        """The dependency chain ending at the trace's last event.
+    def critical_path(self, end: "Event | None" = None) -> list[PathStep]:
+        """The dependency chain ending at ``end`` (default: the last event).
 
         Walks backward from the final event: across a thread's run
         segment, then — at a traced wait — jumps along the release edge
@@ -416,10 +416,14 @@ class CausalGraph:
         the merged clock).  A wait with no edge (timeout, truncated
         trace) is attributed to the waiting thread itself.  Returned
         oldest-first.
+
+        Passing ``end`` anchors the walk at one specific event — how the
+        SLO engine explains one tail request (its ``req_done``) instead
+        of whatever happened to finish last in the ring.
         """
         if not self.events:
             return []
-        last = max(self.events, key=lambda e: e.ts)
+        last = end if end is not None else max(self.events, key=lambda e: e.ts)
         steps: list[PathStep] = []
         cur_thread, cur_ts = self._tkey(last), last.ts
         waits_by_thread: dict[object, list[WaitInterval]] = defaultdict(list)

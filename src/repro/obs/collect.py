@@ -44,7 +44,8 @@ from typing import Iterable
 
 from repro.obs.events import Event
 
-__all__ = ["write_jsonl", "load_jsonl", "clock_offsets", "merge"]
+__all__ = ["write_jsonl", "load_jsonl", "clock_offsets", "merge",
+           "frame_riders"]
 
 _WIRE_KINDS = ("frame_send", "frame_recv")
 
@@ -205,3 +206,22 @@ def merge(*rings: Iterable["Event | dict"], align: bool = True,
             ]
     events.sort(key=lambda e: (e.ts, e.pid or 0, e.seq or 0))
     return events
+
+
+def frame_riders(events: Iterable[Event]) -> dict[str, str]:
+    """Map each request corr to the frame corr that carried its increment.
+
+    Reads the ``frame_ride`` events the dist client's batch flusher
+    emits (``corr`` = request token, ``op`` = frame corr): the join that
+    sees per-request attribution *through* the flusher's coalescing —
+    given a tail request's corr, ``riders[corr]`` names the wire frame
+    whose send/recv pair bounds that increment's trip to the server.  A
+    request whose increment rode several frames (re-pooled after an rpc)
+    keeps the first, which is the frame that actually carried it out.
+    """
+    riders: dict[str, str] = {}
+    for event in events:
+        if event.kind == "frame_ride" and event.corr is not None \
+                and event.op is not None:
+            riders.setdefault(event.corr, event.op)
+    return riders

@@ -100,6 +100,20 @@ KINDS = frozenset(
         "bell_wake",       # a shm watcher woke on its doorbell generation
         "gossip_round",    # one anti-entropy digest exchange completed
         "slot_claim",      # a shm process claimed (or reclaimed) a writer slot
+        # --- schema v3.1: the load/SLO layer (repro.obs.load / .slo) ---
+        "req_start",       # a load-generator request began executing (corr;
+                           #   wait_s carries the open-loop queue delay:
+                           #   actual start minus intended send time)
+        "req_done",        # a request completed (corr; wait_s carries the
+                           #   coordinated-omission-safe total latency,
+                           #   stamped from intended send time; value is
+                           #   1 admitted / 0 rejected-or-failed)
+        "frame_ride",      # one logical client increment rode a batched inc
+                           #   frame: corr is the *request's* token, op is
+                           #   the frame's corr (see collect.frame_riders)
+        "slo_breach",      # an SLO window burned past its budget (value is
+                           #   the violation count, count the window total,
+                           #   wait_s the observed objective quantile)
     }
 )
 

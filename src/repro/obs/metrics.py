@@ -40,10 +40,12 @@ from collections import deque
 
 __all__ = [
     "Histogram",
+    "HistogramMark",
     "CounterMetrics",
     "MetricsRegistry",
     "LATENCY_BOUNDS",
     "SPIN_BOUNDS",
+    "quantile_from_buckets",
 ]
 
 #: Exponential latency buckets: 1µs .. ~8s, doubling.  The +Inf bucket is
@@ -52,6 +54,62 @@ LATENCY_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2**k for k in range(24))
 
 #: Spin-iteration buckets: 1 .. 2**20, doubling.
 SPIN_BOUNDS: tuple[float, ...] = tuple(float(1 << k) for k in range(21))
+
+
+def quantile_from_buckets(
+    bounds: tuple[float, ...], buckets, count: int, q: float
+) -> float:
+    """Approximate quantile over a raw bucket vector (upper bucket bound).
+
+    The shared implementation behind :meth:`Histogram.quantile` and the
+    interval-delta :meth:`HistogramMark.quantile`: ``buckets[i]`` counts
+    observations ``<= bounds[i]``, the final slot is +Inf.  Returns 0.0
+    for an empty vector.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    seen = 0
+    for i, n in enumerate(buckets):
+        seen += n
+        if seen >= rank:
+            return bounds[i] if i < len(bounds) else float("inf")
+    return float("inf")
+
+
+class HistogramMark:
+    """A frozen bucket/count/sum triple: a cursor into a histogram.
+
+    Produced by :meth:`Histogram.mark` (a cumulative cursor) and by
+    :meth:`Histogram.since` / :meth:`MetricsRegistry.delta_since` (the
+    interval accumulated after a cursor).  Interval marks carry the
+    bounds so windowed quantiles read exactly like cumulative ones.
+    """
+
+    __slots__ = ("count", "sum", "buckets", "bounds")
+
+    def __init__(self, *, count: int, sum: float, buckets: tuple,
+                 bounds: tuple[float, ...] = ()) -> None:
+        self.count = count
+        self.sum = sum
+        self.buckets = buckets
+        self.bounds = bounds
+
+    def quantile(self, q: float) -> float:
+        return quantile_from_buckets(self.bounds, self.buckets, self.count, q)
+
+    def snapshot(self) -> dict:
+        """Same shape as :meth:`Histogram.snapshot`, for the interval."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                **{str(b): n for b, n in zip(self.bounds, self.buckets)},
+                "+Inf": self.buckets[-1] if self.buckets else 0,
+            },
+        }
 
 
 class Histogram:
@@ -130,19 +188,8 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Approximate quantile (upper bucket bound); 0.0 when empty."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"q must be in [0, 1], got {q}")
         self._drain()
-        total = self._count
-        if total == 0:
-            return 0.0
-        rank = q * total
-        seen = 0
-        for i, n in enumerate(self._buckets):
-            seen += n
-            if seen >= rank:
-                return self.bounds[i] if i < len(self.bounds) else float("inf")
-        return float("inf")
+        return quantile_from_buckets(self.bounds, self._buckets, self._count, q)
 
     def snapshot(self) -> dict:
         self._drain()
@@ -154,6 +201,46 @@ class Histogram:
                 "+Inf": self._buckets[-1],
             },
         }
+
+    # ------------------------------------------------- interval snapshots
+
+    def mark(self) -> "HistogramMark":
+        """Freeze the cumulative state for a later :meth:`since` read.
+
+        Non-destructive: marks are reader-side bookkeeping, the
+        cumulative buckets are never reset — so any number of
+        independent readers (a sliding SLO window, a Prometheus scrape,
+        an interval report) can window the same histogram without
+        stealing each other's samples.
+        """
+        self._drain()
+        return HistogramMark(
+            count=self._count, sum=self._sum,
+            buckets=tuple(self._buckets), bounds=self.bounds,
+        )
+
+    def since(self, mark: "HistogramMark") -> "HistogramMark":
+        """The interval delta accumulated after ``mark`` was taken.
+
+        Returns another :class:`HistogramMark` (a plain bucket/count/sum
+        triple), so interval quantiles come from
+        :meth:`HistogramMark.quantile` with the same upper-bound
+        convention as the cumulative :meth:`quantile`.
+        """
+        self._drain()
+        if mark.count > self._count:
+            # The histogram was replaced/reset under the mark: fall back
+            # to the full cumulative state rather than negative deltas.
+            return HistogramMark(
+                count=self._count, sum=self._sum,
+                buckets=tuple(self._buckets), bounds=self.bounds,
+            )
+        return HistogramMark(
+            count=self._count - mark.count,
+            sum=self._sum - mark.sum,
+            buckets=tuple(n - o for n, o in zip(self._buckets, mark.buckets)),
+            bounds=self.bounds,
+        )
 
 
 class CounterMetrics:
@@ -252,6 +339,60 @@ class MetricsRegistry:
 
     def labels(self) -> list[str]:
         return sorted(self._series)
+
+    # ------------------------------------------------- interval snapshots
+
+    _HISTOGRAMS = ("wait_latency", "wakeup_latency", "spin_exhausted")
+    _TALLIES = ("increments", "releases", "parks", "unparks",
+                "timeouts", "flushes")
+
+    def mark(self) -> dict:
+        """Freeze every series' cumulative state for :meth:`delta_since`.
+
+        Non-destructive (satellite of ISSUE 10): the fix for "snapshot
+        has no way to window a histogram" is a reader-side cursor, not a
+        reset — resetting would steal samples from every other consumer
+        of the same registry (the Prometheus endpoint, a second SLO
+        window).  Any number of marks may be outstanding at once.
+        """
+        out: dict = {}
+        with self._lock:
+            series = list(self._series.items())
+        for label, m in series:
+            out[label] = {
+                "tallies": {t: getattr(m, t) for t in self._TALLIES},
+                "histograms": {h: getattr(m, h).mark() for h in self._HISTOGRAMS},
+            }
+        return out
+
+    def delta_since(self, mark: dict) -> dict:
+        """Snapshot-shaped per-series deltas accumulated after ``mark``.
+
+        Series born after the mark report their full cumulative state
+        (their delta since a zero baseline).  The returned histograms
+        are :class:`HistogramMark` interval objects — call
+        ``.quantile(q)`` for windowed percentiles or ``.snapshot()``
+        for the dict form.
+        """
+        out: dict = {}
+        with self._lock:
+            series = list(self._series.items())
+        for label, m in series:
+            base = mark.get(label)
+            tallies = {}
+            for t in self._TALLIES:
+                now = getattr(m, t)
+                before = base["tallies"].get(t, 0) if base else 0
+                tallies[t] = now - before if now >= before else now
+            histograms = {}
+            for h in self._HISTOGRAMS:
+                hist: Histogram = getattr(m, h)
+                if base and h in base["histograms"]:
+                    histograms[h] = hist.since(base["histograms"][h])
+                else:
+                    histograms[h] = hist.mark()
+            out[label] = {"tallies": tallies, "histograms": histograms}
+        return out
 
     def snapshot(self) -> dict:
         """Dict export: per-label series plus the unified live counter stats.

@@ -1,0 +1,375 @@
+"""SLO evaluation and per-request tail attribution ("why is p99 high").
+
+Closes the loop the ISSUE-10 pipeline opens: :mod:`repro.obs.load`
+records coordinated-omission-safe latencies tagged with schema-v3
+``corr`` tokens; this module (a) watches them against an SLO in a
+sliding window and (b) *explains* the worst ones from the merged trace.
+
+**Watching** — :class:`SloTracker` consumes
+:class:`~repro.obs.load.RequestRecord` objects live (it is a valid
+``observers`` entry for :func:`~repro.obs.load.run_load`), feeds an
+exponential :class:`~repro.obs.metrics.Histogram`, and windows it with
+the non-destructive interval marks that PR's
+:meth:`~repro.obs.metrics.Histogram.mark` machinery provides — no
+draining, so a Prometheus scrape and the SLO window coexist on one
+histogram.  Evaluation piggybacks on the
+:class:`~repro.obs.watchdog.StallWatchdog` poll loop
+(:meth:`SloTracker.attach`): one periodic thread for both liveness and
+SLO burn.  Burn rate is the error-budget convention: with a ``q``
+objective, a fraction ``v`` of violating requests burns at
+``v / (1 - q)`` — 1.0 means exactly on budget, 10 means ten times too
+fast.  A window over budget emits one ``slo_breach`` event and invokes
+``on_breach``.
+
+**Explaining** — :func:`explain` takes one tail request's corr token
+plus the merged event timeline and renders the answer the title
+promises: the trace is sliced around the request, a
+:class:`~repro.obs.causal.CausalGraph` is built, the critical path is
+anchored at the request's own ``req_done``
+(``critical_path(end=...)``), and the latency is decomposed into
+generator queueing, traced counter waits, wire time, and service time.
+The releaser that ended the request's longest wait is named
+thread-and-pid-qualified — for a two-process run the report literally
+says ``released by p<pid>/T<n> over the wire``, which is the
+acceptance criterion of the tail-attribution issue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.obs import hooks as _obs
+from repro.obs.causal.analyze import render_gantt
+from repro.obs.causal.graph import CausalGraph, PathStep
+from repro.obs.events import Event
+from repro.obs.metrics import LATENCY_BOUNDS, Histogram
+
+__all__ = ["SloPolicy", "SloTracker", "ExemplarReport", "explain",
+           "slice_around"]
+
+
+@dataclass(frozen=True, slots=True)
+class SloPolicy:
+    """A latency objective: ``quantile`` of requests under ``objective_s``."""
+
+    objective_s: float            #: the latency bound (seconds)
+    quantile: float = 0.99        #: fraction of requests that must meet it
+    window_s: float = 10.0        #: sliding evaluation window
+    burn_threshold: float = 1.0   #: burn-rate multiple that counts as breach
+
+    def __post_init__(self) -> None:
+        if self.objective_s <= 0:
+            raise ValueError(f"objective_s must be positive, got {self.objective_s!r}")
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {self.quantile!r}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {self.window_s!r}")
+
+
+class SloTracker:
+    """Sliding-window SLO evaluation over live request records.
+
+    Call the tracker with each finished record (or pass it in
+    ``run_load(observers=[tracker])``); drive :meth:`poll` periodically
+    — directly, or by :meth:`attach`-ing to a stall watchdog.  The
+    worst ``keep_worst`` requests are retained with their corr tokens
+    as tail-exemplar candidates for :func:`explain`.
+    """
+
+    def __init__(self, policy: SloPolicy, *, label: str = "slo",
+                 keep_worst: int = 8,
+                 on_breach: Callable[[dict], None] | None = None,
+                 rearm: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy
+        self.label = label
+        self.keep_worst = keep_worst
+        self._on_breach = on_breach
+        self.rearm = rearm
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.histogram = Histogram(LATENCY_BOUNDS)
+        self.total = 0
+        self.violations = 0
+        #: (ts, HistogramMark, total, violations) cursors, oldest first.
+        self._marks: list[tuple] = []
+        self._worst: list = []  # RequestRecords, slowest first
+        self._last_breach: float | None = None
+        self.breaches: list[dict] = []
+
+    # ------------------------------------------------------------- ingest
+
+    def __call__(self, record) -> None:
+        self.observe(record.latency, record=record)
+
+    def observe(self, latency: float, record=None) -> None:
+        self.histogram.observe(latency)
+        with self._lock:
+            self.total += 1
+            if latency > self.policy.objective_s:
+                self.violations += 1
+            if record is not None:
+                worst = self._worst
+                worst.append(record)
+                worst.sort(key=lambda r: r.latency, reverse=True)
+                del worst[self.keep_worst:]
+
+    def exemplars(self, k: int | None = None):
+        """The slowest retained records (tail-exemplar candidates)."""
+        with self._lock:
+            worst = list(self._worst)
+        return worst if k is None else worst[:k]
+
+    # ---------------------------------------------------------- evaluation
+
+    def _window_base(self, now: float) -> tuple:
+        """The newest cursor at or before ``now - window_s`` (pruning)."""
+        horizon = now - self.policy.window_s
+        base = None
+        with self._lock:
+            marks = self._marks
+            while marks and marks[0][0] <= horizon:
+                base = marks.pop(0)
+            if base is not None:
+                marks.insert(0, base)
+        return base
+
+    def evaluate(self, now: float | None = None) -> dict:
+        """The current window's burn state (no emission, no side effects
+        beyond cursor pruning)."""
+        if now is None:
+            now = self._clock()
+        base = self._window_base(now)
+        with self._lock:
+            total, violations = self.total, self.violations
+        if base is None:
+            base_mark, base_total, base_viol = None, 0, 0
+        else:
+            _, base_mark, base_total, base_viol = base
+        window_total = total - base_total
+        window_viol = violations - base_viol
+        if base_mark is not None:
+            interval = self.histogram.since(base_mark)
+        else:
+            interval = self.histogram.mark()
+        observed = interval.quantile(self.policy.quantile)
+        rate = window_viol / window_total if window_total else 0.0
+        burn = rate / (1.0 - self.policy.quantile)
+        return {
+            "window_total": window_total,
+            "window_violations": window_viol,
+            "violation_rate": rate,
+            "burn_rate": burn,
+            "observed_quantile_s": observed,
+            "p50": interval.quantile(0.50),
+            "p99": interval.quantile(0.99),
+            "p999": interval.quantile(0.999),
+            "breached": window_total > 0 and burn >= self.policy.burn_threshold,
+        }
+
+    def poll(self, now: float | None = None) -> dict:
+        """One evaluation sweep: cursor, evaluate, emit on breach.
+
+        The shape :meth:`attach` wires into the watchdog's poll
+        listeners — safe to call from any thread, returns the
+        evaluation for direct drivers.
+        """
+        if now is None:
+            now = self._clock()
+        state = self.evaluate(now)
+        if state["breached"]:
+            rearmed = (
+                self._last_breach is None
+                or (self.rearm is not None
+                    and now - self._last_breach >= self.rearm)
+            )
+            if rearmed:
+                self._last_breach = now
+                self.breaches.append(state)
+                if _obs.enabled:
+                    _obs.on_dist(self.label, "slo_breach",
+                                 value=state["window_violations"],
+                                 count=state["window_total"],
+                                 wait_s=state["observed_quantile_s"])
+                if self._on_breach is not None:
+                    try:
+                        self._on_breach(state)
+                    except Exception:
+                        pass
+        with self._lock:
+            self._marks.append(
+                (now, self.histogram.mark(), self.total, self.violations)
+            )
+        return state
+
+    def attach(self, watchdog) -> "SloTracker":
+        """Ride the stall watchdog's poll loop (one timer, two monitors)."""
+        watchdog.add_poll_listener(self.poll)
+        return self
+
+
+# --------------------------------------------------------------- attribution
+
+
+def slice_around(events: Sequence[Event], corr: str, *,
+                 margin: float = 0.05) -> list[Event]:
+    """The trace ring sliced around one request.
+
+    Everything inside the request's ``[req_start - margin, req_done +
+    margin]`` bracket (other threads' activity is what blame needs) plus
+    every event sharing the request's corr regardless of time (frame
+    riders and server-side pushes can precede or trail the bracket).
+    """
+    lo = hi = None
+    for event in events:
+        if event.corr == corr and event.kind == "req_start":
+            lo = event.ts if lo is None else min(lo, event.ts)
+        elif event.corr == corr and event.kind == "req_done":
+            hi = event.ts if hi is None else max(hi, event.ts)
+    if lo is None:
+        lo = min((e.ts for e in events if e.corr == corr), default=0.0)
+    if hi is None:
+        hi = max((e.ts for e in events if e.corr == corr), default=lo)
+    lo -= margin
+    hi += margin
+    return [e for e in events if lo <= e.ts <= hi or e.corr == corr]
+
+
+@dataclass(slots=True)
+class ExemplarReport:
+    """One tail request, explained."""
+
+    corr: str
+    ok: bool                       #: admitted?
+    latency: float                 #: end-to-end, from intended send time
+    queue_s: float                 #: generator-side queue delay
+    wait_s: float                  #: traced counter waits (request thread)
+    wire_s: float                  #: send→recv time of corr-linked frames
+    service_s: float               #: the remainder (untraced execution)
+    releaser: str | None           #: "pX/TY" that ended the longest wait
+    over_wire: bool                #: did the wakeup cross a process?
+    blocked_on: str | None         #: "source >= level" of the longest wait
+    path: list[PathStep] = field(default_factory=list)
+    gantt: str = ""
+
+    @property
+    def crosses_pid(self) -> bool:
+        """True when the critical path spans more than one process."""
+        pids = {
+            step.thread[0]
+            for step in self.path
+            if isinstance(step.thread, tuple)
+        }
+        return len(pids) > 1
+
+    def render(self) -> str:
+        ms = lambda s: f"{s * 1e3:.2f}ms"  # noqa: E731 - local formatter
+        verdict = "admitted" if self.ok else "rejected/timed out"
+        lines = [
+            f"exemplar {self.corr}: {ms(self.latency)} ({verdict})",
+            (f"  queue {ms(self.queue_s)} | wait {ms(self.wait_s)} | "
+             f"wire {ms(self.wire_s)} | service {ms(self.service_s)}"),
+        ]
+        if self.blocked_on:
+            lines.append(f"  blocked on {self.blocked_on}")
+        if self.releaser:
+            via = " over the wire" if self.over_wire else ""
+            lines.append(f"  released by {self.releaser}{via}")
+        if self.path:
+            lines.append("  critical path:")
+            for step in self.path:
+                detail = f"  {step.detail}" if step.detail else ""
+                lines.append(
+                    f"    {step.kind:<6} {ms(step.duration):>10}{detail}"
+                )
+        if self.gantt:
+            lines.append("  gantt:")
+            lines.extend(f"    {row}" for row in self.gantt.splitlines())
+        return "\n".join(lines)
+
+
+def explain(corr: str, events: Iterable[Event], *,
+            margin: float = 0.05, gantt_width: int = 72) -> ExemplarReport:
+    """Explain one request's latency from the merged timeline.
+
+    ``events`` is the full (ideally :func:`repro.obs.collect.merge`-d)
+    timeline; ``corr`` is the request's token (from
+    :attr:`~repro.obs.load.RequestRecord.corr` /
+    :meth:`SloTracker.exemplars`).  Raises :class:`ValueError` if the
+    request's ``req_done`` never made it into the ring.
+    """
+    events = list(events)
+    done = start = None
+    for event in events:
+        if event.corr != corr:
+            continue
+        if event.kind == "req_done":
+            done = event
+        elif event.kind == "req_start":
+            start = event
+    if done is None:
+        raise ValueError(f"no req_done with corr {corr!r} in the trace "
+                         f"(ring wrapped? obs disabled?)")
+    graph = CausalGraph.from_events(slice_around(events, corr, margin=margin))
+    # Re-find the anchor inside the graph (from_events re-parses dicts).
+    anchor = next(
+        e for e in graph.events if e.kind == "req_done" and e.corr == corr
+    )
+    req_key = graph._tkey(anchor)
+    latency = done.wait_s if done.wait_s is not None else 0.0
+    queue_s = start.wait_s if start is not None and start.wait_s else 0.0
+    # The request's own traced waits: corr-stamped intervals on the
+    # thread that ran it (the nested loop-thread wait shares the corr
+    # but lives on the client loop; counting both would double-bill).
+    waits = [
+        w for w in graph.waits
+        if (w.park.corr == corr or w.end.corr == corr)
+        and graph._wkey(w) == req_key
+    ]
+    if not waits:
+        # In-process limiters park through the core counter, whose
+        # events carry tokens but no corr: fall back to time overlap on
+        # the request's own thread within its execution bracket.
+        t_lo = anchor.ts - max(latency - queue_s, 0.0) - 1e-9
+        waits = [
+            w for w in graph.waits
+            if graph._wkey(w) == req_key
+            and w.park.ts >= t_lo and w.end.ts <= anchor.ts + 1e-9
+        ]
+    if not waits:  # last resort: any wait carrying the corr
+        waits = [w for w in graph.waits
+                 if w.park.corr == corr or w.end.corr == corr]
+    wait_s = sum(w.duration for w in waits)
+    wire_s = sum(
+        max(recv.ts - send.ts, 0.0)
+        for send, recv in graph.wire_edges
+        if send.corr == corr
+    )
+    releaser = blocked_on = None
+    over_wire = False
+    if waits:
+        longest = max(waits, key=lambda w: w.duration)
+        blocked_on = (f"{longest.source} >= {longest.level}"
+                      if longest.level is not None else longest.source)
+        edge = graph.edge_for(longest)
+        if edge is not None:
+            releaser = graph.thread_name(edge.from_thread)
+            over_wire = edge.origin is not None
+    service_s = max(latency - queue_s - wait_s, 0.0)
+    return ExemplarReport(
+        corr=corr,
+        ok=bool(done.value),
+        latency=latency,
+        queue_s=queue_s,
+        wait_s=wait_s,
+        wire_s=wire_s,
+        service_s=service_s,
+        releaser=releaser,
+        over_wire=over_wire,
+        blocked_on=blocked_on,
+        path=graph.critical_path(end=anchor),
+        gantt=render_gantt(graph, width=gantt_width),
+    )

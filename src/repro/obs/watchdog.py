@@ -153,8 +153,22 @@ class StallWatchdog:
         # The weakref guards against id reuse after a counter dies.
         self._waiting: dict[tuple[int, int], list] = {}
         self.reports: deque[StallReport] = deque(maxlen=max_reports)
+        self._poll_listeners: list[Callable[[float], None]] = []
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+
+    def add_poll_listener(self, fn: Callable[[float], None]) -> None:
+        """Piggyback ``fn(now)`` on every :meth:`poll` sweep.
+
+        The hook the SLO engine rides (:meth:`repro.obs.slo.SloTracker.attach`):
+        periodic evaluation without a second timer thread, in both
+        driving modes (deterministic ``poll(now=...)`` passes the
+        injected clock through).  Listeners must not block; one that
+        raises is skipped for that sweep, never unsubscribed.
+        """
+        if not callable(fn):
+            raise TypeError(f"poll listener must be callable, got {fn!r}")
+        self._poll_listeners.append(fn)
 
     # ------------------------------------------------------------- scanning
 
@@ -212,6 +226,13 @@ class StallWatchdog:
                 )
             if self._on_stall is not None:
                 self._on_stall(report)
+        for listener in self._poll_listeners:
+            try:
+                listener(now)
+            except Exception:
+                # Same contract as on_stall: observers never take the
+                # watchdog down with them.
+                continue
         return reports
 
     # ----------------------------------------------------------- background

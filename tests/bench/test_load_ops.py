@@ -1,0 +1,128 @@
+"""Smoke tests for the load-ops bench harness (quick sizes)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.load_ops import GATED_SERIES, compare, main, run_load_ops
+
+
+@pytest.fixture(scope="module")
+def doc():
+    """One shared quick run (the harness itself is what's under test)."""
+    return run_load_ops(quick=True)
+
+
+class TestRunLoadOps:
+    def test_quick_run_produces_all_series(self, doc):
+        assert doc["bench"] == "load_ops"
+        assert doc["quick"] is True
+        assert set(doc["series"]) == {
+            "ratelimit_admit",
+            "ratelimit_admit_obs",
+            "capacity",
+        }
+        for series in ("ratelimit_admit", "ratelimit_admit_obs"):
+            entry = doc["series"][series]["local"]
+            assert entry["ops_per_sec"] > 0
+            assert entry["mean_s"] > 0
+
+    def test_capacity_steps_cover_every_offered_rate(self, doc):
+        steps = doc["series"]["capacity"]
+        assert [s["offered"] for s in steps] == doc["config"]["capacity_rates"]
+        for step in steps:
+            assert step["achieved"] >= 0
+            assert 0.0 <= step["admit_rate"] <= 1.0
+            assert step["p50"] <= step["p99"] <= step["p999"]
+
+    def test_derived_ratios(self, doc):
+        tax = doc["derived"]["admit_obs_enabled_vs_disabled"]
+        assert tax > 0
+        knee = doc["derived"]["capacity_knee"]
+        assert knee is None or knee in doc["config"]["capacity_rates"]
+
+    def test_document_is_json_serializable(self, doc):
+        json.dumps(doc)
+
+
+class TestCompare:
+    def test_identical_documents_pass(self, doc):
+        assert compare(doc, copy.deepcopy(doc)) == []
+
+    def test_gated_series_regression_is_reported(self, doc):
+        slow = copy.deepcopy(doc)
+        for series in GATED_SERIES:
+            for entry in slow["series"][series].values():
+                entry["ops_per_sec"] *= 0.5
+        failures = compare(slow, doc, tolerance=0.3)
+        assert failures and all("ratelimit_admit" in f for f in failures)
+
+    def test_capacity_is_trajectory_not_gate(self, doc):
+        worse = copy.deepcopy(doc)
+        for step in worse["series"]["capacity"]:
+            step["achieved"] = 0.0
+        assert compare(worse, doc) == []
+
+    def test_override_tightens_one_series(self, doc):
+        slightly_slow = copy.deepcopy(doc)
+        entry = slightly_slow["series"]["ratelimit_admit"]["local"]
+        entry["ops_per_sec"] *= 0.95  # inside 30%, outside 2%
+        assert compare(slightly_slow, doc) == []
+        failures = compare(
+            slightly_slow, doc, overrides={"ratelimit_admit": 0.02}
+        )
+        assert len(failures) == 1
+
+    def test_incomparable_documents_raise(self, doc):
+        other = copy.deepcopy(doc)
+        other["quick"] = False
+        with pytest.raises(ValueError):
+            compare(other, doc)
+
+    def test_tolerance_validation(self, doc):
+        with pytest.raises(ValueError):
+            compare(doc, doc, tolerance=1.5)
+        with pytest.raises(ValueError):
+            compare(doc, doc, overrides={"ratelimit_admit": -0.1})
+
+
+class TestMain:
+    def test_writes_snapshot_history_and_gates(self, tmp_path):
+        out = tmp_path / "BENCH_load_ops.json"
+        history = tmp_path / "hist.jsonl"
+        assert main([
+            "--quick", "--out", str(out), "--history", str(history),
+            "--label", "unit",
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["bench"] == "load_ops"
+        lines = history.read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["label"] == "unit"
+        assert "sha" in entry
+        # Same-machine rerun against its own snapshot passes the gate.
+        assert main([
+            "--quick", "--out", str(tmp_path / "second.json"), "--no-history",
+            "--compare-to", str(out), "--gate", "ratelimit_admit=0.9",
+        ]) == 0
+
+    def test_incomparable_baseline_skips_the_gate(self, tmp_path, capsys):
+        out = tmp_path / "quick.json"
+        assert main(["--quick", "--out", str(out), "--no-history"]) == 0
+        baseline = json.loads(out.read_text())
+        baseline["quick"] = False
+        full = tmp_path / "full.json"
+        full.write_text(json.dumps(baseline))
+        assert main([
+            "--quick", "--out", str(tmp_path / "again.json"), "--no-history",
+            "--compare-to", str(full),
+        ]) == 0
+        assert "regression gate skipped" in capsys.readouterr().err
+
+    def test_bad_gate_spec_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--quick", "--gate", "nonsense"])

@@ -90,3 +90,48 @@ class TestSampleCommand:
 
         prom = (out / "metrics.prom").read_text()
         assert "repro_counter_unparks_total" in prom
+
+
+class TestLoadAndSloReport:
+    """The tail-attribution verbs, in-process mode (the two-process mode
+    is CI's ``--expect-wire`` smoke; here we pin the artifact layout and
+    that the report explains a real exemplar end to end)."""
+
+    def test_load_writes_run_artifacts_and_report_explains_them(self, tmp_path):
+        out = tmp_path / "load-run"
+        proc = _run(
+            "load", "--out", str(out), "--rate", "80", "--duration", "0.8",
+            "--limit", "3", "--window", "0.3", "--objective", "0.02",
+            "--seed", "5",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+        meta = json.loads((out / "meta.json").read_text())
+        assert meta["two_process"] is False
+        assert meta["summary"]["requests"] > 0
+        assert meta["summary"]["seed"] == 5
+        assert meta["exemplars"], "no tail exemplars were retained"
+
+        requests = [
+            json.loads(line)
+            for line in (out / "requests.jsonl").read_text().splitlines()
+        ]
+        assert len(requests) == meta["summary"]["requests"]
+        assert all(r["corr"] for r in requests)
+
+        trace_kinds = {
+            json.loads(line)["kind"]
+            for line in (out / "trace.jsonl").read_text().splitlines()
+        }
+        assert {"req_start", "req_done"} <= trace_kinds
+
+        report = _run("slo-report", "--in", str(out), "-k", "2")
+        assert report.returncode == 0, report.stderr
+        assert "exemplar" in report.stdout
+        assert "queue" in report.stdout and "wait" in report.stdout
+        assert (out / "slo-report.txt").read_text().strip()
+
+    def test_slo_report_without_a_run_directory_exits_2(self, tmp_path):
+        proc = _run("slo-report", "--in", str(tmp_path / "missing"))
+        assert proc.returncode == 2
+        assert "meta.json" in proc.stderr

@@ -57,14 +57,16 @@ class TestEvent:
             event.kind = "unpark"
 
     def test_kind_registry_is_complete(self):
-        assert len(KINDS) == 21
+        assert len(KINDS) == 25
         for kind in ("increment", "release", "park", "unpark", "timeout",
                      "spin_exhausted", "sub_fire", "flush", "drain",
                      "mw_park", "mw_wake", "mw_timeout", "stall",
                      # schema v3: the cross-process fabric
                      "frame_send", "frame_recv", "batch_flush",
                      "push_deliver", "bell_ring", "bell_wake",
-                     "gossip_round", "slot_claim"):
+                     "gossip_round", "slot_claim",
+                     # schema v3.1: the load/SLO layer
+                     "req_start", "req_done", "frame_ride", "slo_breach"):
             assert kind in KINDS
 
 

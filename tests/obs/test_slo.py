@@ -1,0 +1,204 @@
+"""SLO tracking and tail attribution: windows, burn, breaches, explain."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.apps.ratelimit import RateLimiter
+from repro.obs.load import RequestRecord, run_load
+from repro.obs.slo import ExemplarReport, SloPolicy, SloTracker, explain, slice_around
+from repro.obs.watchdog import StallWatchdog
+
+
+def record(latency: float, *, corr=None, index=0, ok=True) -> RequestRecord:
+    return RequestRecord(index=index, key="u", corr=corr, intended=0.0,
+                         start=0.0, end=latency, ok=ok)
+
+
+def fixed_clock(value: float = 0.0):
+    def clock() -> float:
+        return clock.now
+
+    clock.now = value
+    return clock
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloPolicy(objective_s=0.0)
+        with pytest.raises(ValueError):
+            SloPolicy(objective_s=0.1, quantile=1.0)
+        with pytest.raises(ValueError):
+            SloPolicy(objective_s=0.1, window_s=0.0)
+
+    def test_defaults(self):
+        policy = SloPolicy(objective_s=0.05)
+        assert policy.quantile == 0.99
+        assert policy.burn_threshold == 1.0
+
+
+class TestTracker:
+    def _tracker(self, **kw):
+        clock = fixed_clock()
+        policy = kw.pop("policy", SloPolicy(objective_s=0.1, window_s=10.0))
+        return SloTracker(policy, clock=clock, **kw), clock
+
+    def test_counts_violations_against_the_objective(self):
+        tracker, _ = self._tracker()
+        for lat in (0.01, 0.05, 0.2, 0.3):
+            tracker.observe(lat)
+        assert tracker.total == 4
+        assert tracker.violations == 2
+
+    def test_burn_rate_is_violation_rate_over_error_budget(self):
+        tracker, clock = self._tracker(
+            policy=SloPolicy(objective_s=0.1, quantile=0.9, window_s=10.0)
+        )
+        for lat in [0.05] * 8 + [0.5] * 2:  # 20% violating, 10% budget
+            tracker.observe(lat)
+        state = tracker.evaluate(clock.now)
+        assert state["window_total"] == 10
+        assert state["violation_rate"] == pytest.approx(0.2)
+        assert state["burn_rate"] == pytest.approx(2.0)
+        assert state["breached"] is True
+
+    def test_empty_window_never_breaches(self):
+        tracker, clock = self._tracker()
+        state = tracker.poll(clock.now)
+        assert state["window_total"] == 0
+        assert state["breached"] is False
+        assert tracker.breaches == []
+
+    def test_window_slides_past_old_samples(self):
+        tracker, clock = self._tracker()
+        for _ in range(5):
+            tracker.observe(0.5)  # all violating
+        tracker.poll(clock.now)  # lays down a cursor at t=0 (and breaches)
+        clock.now = 20.0  # cursor is now a window old: fresh window is empty
+        state = tracker.evaluate(clock.now)
+        assert state["window_total"] == 0
+        assert state["breached"] is False
+
+    def test_breach_emits_once_and_rearms(self):
+        tracker, clock = self._tracker(rearm=30.0)
+        fired = []
+        tracker._on_breach = fired.append
+        tracker.observe(0.5)
+        tracker.poll(clock.now)
+        clock.now = 1.0
+        tracker.observe(0.5)
+        tracker.poll(clock.now)  # within rearm: suppressed
+        assert len(tracker.breaches) == len(fired) == 1
+        clock.now = 40.0
+        tracker.observe(0.5)
+        tracker.poll(clock.now)  # rearmed
+        assert len(tracker.breaches) == len(fired) == 2
+
+    def test_breach_callback_errors_are_swallowed(self):
+        tracker, clock = self._tracker(
+            on_breach=lambda state: (_ for _ in ()).throw(RuntimeError())
+        )
+        tracker.observe(0.5)
+        tracker.poll(clock.now)  # must not raise
+        assert len(tracker.breaches) == 1
+
+    def test_breach_event_lands_in_the_trace(self):
+        handle = obs.enable()
+        try:
+            tracker, clock = self._tracker(label="checkout-slo")
+            tracker.observe(0.5)
+            tracker.poll(clock.now)
+        finally:
+            events = handle.trace.snapshot()
+            obs.disable()
+        breach = next(e for e in events if e.kind == "slo_breach")
+        assert breach.source == "checkout-slo"
+        assert breach.value == 1 and breach.count == 1
+
+    def test_keeps_the_worst_k_with_corr_tokens(self):
+        tracker, _ = self._tracker(keep_worst=3)
+        for i, lat in enumerate([0.1, 0.9, 0.2, 0.7, 0.05, 0.8]):
+            tracker(record(lat, corr=f"c{i}", index=i))
+        worst = tracker.exemplars()
+        assert [r.corr for r in worst] == ["c1", "c5", "c3"]
+        assert [r.corr for r in tracker.exemplars(2)] == ["c1", "c5"]
+
+    def test_attach_rides_the_watchdog_poll(self):
+        tracker, _ = self._tracker()
+        tracker.observe(0.5)
+        watchdog = StallWatchdog(threshold=60.0, interval=0.01)
+        tracker.attach(watchdog)
+        watchdog.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while not tracker.breaches and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            watchdog.stop()
+        assert tracker.breaches, "watchdog poll never drove the tracker"
+
+
+class TestAttribution:
+    def _traced_tail_run(self):
+        """A real in-process run with one saturated key: worst request
+        blocked on the retired counter until the roller freed quota."""
+        handle = obs.enable()
+        try:
+            limiter = RateLimiter(2, 0.25, name="q", roll_interval=0.05)
+            with limiter:
+                result = run_load(limiter, rate=120.0, duration=0.5,
+                                  seed=3, keys=("hot",), timeout=5.0)
+            limiter.close()
+        finally:
+            events = handle.trace.snapshot()
+            obs.disable()
+        return result, events
+
+    def test_explain_unknown_corr_raises(self):
+        with pytest.raises(ValueError):
+            explain("nope-1", [])
+
+    def test_slice_keeps_corr_events_outside_the_bracket(self):
+        result, events = self._traced_tail_run()
+        corr = result.worst(1)[0].corr
+        sliced = slice_around(events, corr, margin=0.0)
+        own = [e for e in events if e.corr == corr]
+        assert [e for e in sliced if e.corr == corr] == own  # kept every own event
+        assert len(sliced) <= len(events)
+        lo = min(e.ts for e in own)
+        hi = max(e.ts for e in own)
+        assert all(lo <= e.ts <= hi or e.corr == corr for e in sliced)
+
+    def test_explain_decomposes_and_names_the_releaser(self):
+        result, events = self._traced_tail_run()
+        worst = result.worst(1)[0]
+        assert worst.latency > 0.05  # the run really did saturate
+        report = explain(worst.corr, events)
+        assert isinstance(report, ExemplarReport)
+        assert report.corr == worst.corr
+        assert report.latency == pytest.approx(worst.latency, rel=0.05)
+        # The decomposition accounts for the whole latency.
+        total = (report.queue_s + report.wait_s + report.service_s)
+        assert total == pytest.approx(report.latency, rel=0.05)
+        assert report.wait_s > 0  # the tail was a counter wait…
+        assert report.blocked_on and "retired" in report.blocked_on
+        assert report.releaser is not None  # …ended by the roller thread
+        assert not report.over_wire  # in-process: no wire hop
+        assert report.path, "critical path missing"
+        text = report.render()
+        assert worst.corr in text
+        assert "released by" in text
+        assert "blocked on" in text
+
+    def test_render_without_waits_still_reports(self):
+        report = ExemplarReport(corr="x-1", ok=False, latency=0.2,
+                                queue_s=0.2, wait_s=0.0, wire_s=0.0,
+                                service_s=0.0, releaser=None,
+                                over_wire=False, blocked_on=None)
+        text = report.render()
+        assert "rejected" in text and "x-1" in text
+        assert report.crosses_pid is False
